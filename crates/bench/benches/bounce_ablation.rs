@@ -1,0 +1,79 @@
+//! **E8 — bounce buffer vs dynamic mapping** (§V): the client stages data
+//! through a pre-mapped, partitioned bounce buffer ("DMA descriptors can
+//! be programmed once"), paying a memcpy per I/O. The paper's future-work
+//! alternative maps the request buffer through the IOMMU per I/O — no
+//! copy, but mapping latency on every request. This ablation locates the
+//! crossover.
+
+use bench::{bench_runtime, header, save_json, us};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use dnvme::{ClientConfig, DataPath};
+use fioflex::{JobSpec, RwMode};
+use simcore::SimDuration;
+
+fn main() {
+    header(
+        "Bounce buffer vs IOMMU-style dynamic mapping",
+        "Markussen et al., SC'24, §V (bounce design + future-work IOMMU path)",
+    );
+    let sizes: [u32; 4] = [4 << 10, 16 << 10, 64 << 10, 128 << 10];
+    println!(
+        "\n  {:>10} {:>8} {:>14} {:>14} {:>10}",
+        "bs", "dir", "bounce p50", "direct p50", "winner"
+    );
+    let mut results = Vec::new();
+    for rw in [RwMode::RandRead, RwMode::RandWrite] {
+        for &bs in &sizes {
+            let mut p50s = Vec::new();
+            for path in [DataPath::Bounce, DataPath::DirectMapped] {
+                let calib = Calibration::paper().with_client(ClientConfig {
+                    data_path: path,
+                    ..ClientConfig::default()
+                });
+                let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
+                let spec = JobSpec::new("bounce", rw)
+                    .bs(bs)
+                    .runtime(bench_runtime())
+                    .ramp(SimDuration::from_micros(500));
+                let rep = sc.run(&spec);
+                assert_eq!(rep.errors, 0);
+                let side = rep.read.as_ref().or(rep.write.as_ref()).unwrap();
+                p50s.push(side.lat.p50);
+            }
+            let winner = if p50s[0] <= p50s[1] { "bounce" } else { "direct" };
+            println!(
+                "  {:>10} {:>8} {:>14.2} {:>14.2} {:>10}",
+                bs,
+                rw.label(),
+                us(p50s[0]),
+                us(p50s[1]),
+                winner
+            );
+            results.push((rw.label(), bs, p50s[0], p50s[1]));
+        }
+    }
+
+    // Shape: at small blocks the memcpy is cheap and mapping overhead
+    // dominates (bounce wins or ties); at large blocks the copy dominates
+    // and direct mapping wins.
+    let get = |rw: &str, bs: u32| {
+        results
+            .iter()
+            .find(|(l, b, ..)| l == rw && *b == bs)
+            .map(|&(_, _, bounce, direct)| (bounce, direct))
+            .unwrap()
+    };
+    let (b4, d4) = get("randwrite", 4 << 10);
+    let (b128, d128) = get("randwrite", 128 << 10);
+    assert!(
+        b4 as f64 <= d4 as f64 * 1.1,
+        "4 KiB writes: bounce should not lose badly ({b4} vs {d4})"
+    );
+    assert!(
+        d128 < b128,
+        "128 KiB writes: direct mapping must win once the copy dominates ({d128} vs {b128})"
+    );
+
+    save_json("bounce_ablation", &results);
+    println!("\nbounce_ablation: OK");
+}

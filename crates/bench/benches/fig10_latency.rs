@@ -1,0 +1,86 @@
+//! **E1/E2 — Figure 10**: I/O command completion latency for the four
+//! benchmark scenarios, 4 KiB random read/write at queue depth 1, plus
+//! the §VI minimum-latency delta table (paper: NVMe-oF adds 7.7 µs read /
+//! 7.5 µs write over local; the PCIe driver adds ~1 µs / ~2 µs).
+
+use bench::{fig10_job, header, run_parallel, save_json, timed, us};
+use cluster::{Calibration, ScenarioKind};
+use fioflex::RwMode;
+
+fn main() {
+    let calib = Calibration::paper();
+    header(
+        "Figure 10: I/O command completion latency (4 KiB, QD1, random)",
+        "Markussen et al., SC'24, Fig. 10 + §VI minimum-latency deltas",
+    );
+
+    let kinds = [
+        ScenarioKind::LinuxLocal,
+        ScenarioKind::NvmfRemote,
+        ScenarioKind::OursLocal,
+        ScenarioKind::OursRemote { switches: 1 },
+    ];
+    let mut points = Vec::new();
+    for rw in [RwMode::RandRead, RwMode::RandWrite] {
+        for kind in &kinds {
+            points.push((
+                format!("{}/{}", kind.label(), rw.label()),
+                kind.clone(),
+                fig10_job(rw),
+            ));
+        }
+    }
+    let results = timed("fig10 (8 scenarios)", || run_parallel(&calib, points));
+
+    println!("\nBoxplot data (whiskers min..p99, box p25..p75, line p50):");
+    for (label, rep) in &results {
+        let side = rep.read.as_ref().or(rep.write.as_ref()).expect("one side");
+        println!("  {}", side.lat.boxplot_row(label));
+        assert_eq!(rep.errors, 0, "{label}: I/O errors during benchmark");
+    }
+
+    // Delta table (minimum latency vs. the matching local baseline).
+    let min_of = |label: &str| {
+        results
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| r.read.as_ref().or(r.write.as_ref()).unwrap().lat.min)
+            .expect("scenario present")
+    };
+    println!("\nMinimum-latency deltas vs local baseline (paper: 7.7/7.5 us NVMe-oF, ~1/~2 us ours):");
+    let rows = [
+        ("read ", "nvmeof/remote/randread", "linux/local/randread", 7.7),
+        ("write", "nvmeof/remote/randwrite", "linux/local/randwrite", 7.5),
+        ("read ", "ours/remote/randread", "ours/local/randread", 1.0),
+        ("write", "ours/remote/randwrite", "ours/local/randwrite", 2.0),
+    ];
+    let mut deltas = Vec::new();
+    for (dir, remote, local, paper) in rows {
+        let d = us(min_of(remote).saturating_sub(min_of(local)));
+        println!(
+            "  {dir}  {remote:<26} - {local:<24} = {d:>6.2} us   (paper: {paper:.1} us)"
+        );
+        deltas.push((remote.to_string(), d, paper));
+    }
+
+    // Shape checks: who wins and by roughly what factor.
+    let nvmf_read = deltas[0].1;
+    let ours_read = deltas[2].1;
+    let nvmf_write = deltas[1].1;
+    let ours_write = deltas[3].1;
+    assert!(
+        nvmf_read / ours_read.max(0.01) > 3.0,
+        "NVMe-oF read penalty must dwarf the PCIe penalty ({nvmf_read:.2} vs {ours_read:.2})"
+    );
+    assert!(
+        nvmf_write / ours_write.max(0.01) > 2.0,
+        "NVMe-oF write penalty must dwarf the PCIe penalty ({nvmf_write:.2} vs {ours_write:.2})"
+    );
+    assert!(ours_write > ours_read, "bounce writes cross the NTB and must cost more than reads");
+
+    save_json(
+        "fig10_latency",
+        &results.iter().map(|(l, r)| (l.clone(), r.clone())).collect::<Vec<_>>(),
+    );
+    println!("\nfig10_latency: OK");
+}

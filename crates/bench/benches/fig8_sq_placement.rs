@@ -1,0 +1,64 @@
+//! **E4 — Fig. 8 ablation**: the paper allocates the SQ in device-side
+//! memory so the controller's command fetch stays local (posted CPU
+//! writes cross the NTB instead of non-posted device reads). This bench
+//! quantifies that placement against the naive client-side SQ.
+
+use bench::{fig10_job, header, save_json, us};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use dnvme::SqPlacement;
+use fioflex::RwMode;
+
+fn main() {
+    header(
+        "Fig. 8 ablation: SQ placement (device-side vs client-side)",
+        "Markussen et al., SC'24, Fig. 8 and §V",
+    );
+    let mut rows = Vec::new();
+    for placement in [SqPlacement::DeviceSide, SqPlacement::ClientSide] {
+        let calib = Calibration::paper().with_client(dnvme::ClientConfig {
+            sq_placement: placement,
+            ..dnvme::ClientConfig::default()
+        });
+        for rw in [RwMode::RandRead, RwMode::RandWrite] {
+            let label = format!("{placement:?}/{}", rw.label());
+            let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
+            let rep = sc.run(&fig10_job(rw));
+            let side = rep.read.as_ref().or(rep.write.as_ref()).unwrap();
+            println!("  {}", side.lat.boxplot_row(&label));
+            assert_eq!(rep.errors, 0, "{label}");
+            rows.push((label, side.lat));
+        }
+    }
+
+    // Device-side SQ must beat client-side SQ for both directions: the
+    // controller's SQE fetch avoids an NTB round trip.
+    let find = |l: &str| rows.iter().find(|(n, _)| n == l).unwrap().1;
+    let dev_read = find("DeviceSide/randread");
+    let cli_read = find("ClientSide/randread");
+    let dev_write = find("DeviceSide/randwrite");
+    let cli_write = find("ClientSide/randwrite");
+    println!(
+        "\n  read  p50: device-side {:.2} us vs client-side {:.2} us (saves {:.2} us)",
+        us(dev_read.p50),
+        us(cli_read.p50),
+        us(cli_read.p50.saturating_sub(dev_read.p50)),
+    );
+    println!(
+        "  write p50: device-side {:.2} us vs client-side {:.2} us (saves {:.2} us)",
+        us(dev_write.p50),
+        us(cli_write.p50),
+        us(cli_write.p50.saturating_sub(dev_write.p50)),
+    );
+    assert!(dev_read.p50 < cli_read.p50, "device-side SQ must be faster (read)");
+    assert!(dev_write.p50 < cli_write.p50, "device-side SQ must be faster (write)");
+    // The saving should be on the order of one NTB round trip (~1 µs),
+    // not zero and not several µs.
+    let save_ns = cli_read.p50 - dev_read.p50;
+    assert!(
+        (200..3_000).contains(&save_ns),
+        "SQ placement saving should be ~an NTB round trip, got {save_ns} ns"
+    );
+
+    save_json("fig8_sq_placement", &rows);
+    println!("\nfig8_sq_placement: OK");
+}

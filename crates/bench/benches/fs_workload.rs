@@ -1,0 +1,117 @@
+//! **E11 — filesystem workload** (the paper's §VIII future work:
+//! "measuring performance when using a file system"). Runs a metadata +
+//! data workload on the `sharedfs` shared-disk filesystem over each
+//! stack: create N files, write 64 KiB each, list the directory, read
+//! every file back, delete half.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use bench::{header, save_json};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use sharedfs::SharedFs;
+use simcore::SimTime;
+
+const FILES: usize = 24;
+const FILE_BYTES: usize = 64 << 10;
+
+struct FsResult {
+    create_write_us: f64,
+    list_us: f64,
+    read_us: f64,
+    delete_us: f64,
+}
+
+fn run_fs_workload(kind: ScenarioKind, calib: &Calibration) -> FsResult {
+    let sc = Scenario::build(kind, calib);
+    let fabric = sc.fabric.clone();
+    let (host, disk) = sc.clients[0].clone();
+    let h = sc.rt.handle();
+    sc.rt.block_on(async move {
+        SharedFs::format(&fabric, host, disk.clone(), 4, 128).await.unwrap();
+        let fs = Rc::new(SharedFs::mount(&fabric, host, disk).await.unwrap());
+        let body: Vec<u8> = (0..FILE_BYTES as u32).map(|i| (i % 251) as u8).collect();
+
+        let t0: SimTime = h.now();
+        for i in 0..FILES {
+            let name = format!("data/file{i:03}");
+            fs.create(&name).await.unwrap();
+            fs.write(&name, 0, &body).await.unwrap();
+        }
+        fs.sync().await.unwrap();
+        let t1 = h.now();
+        let listing = fs.list().await.unwrap();
+        assert_eq!(listing.len(), FILES);
+        let t2 = h.now();
+        let mut buf = vec![0u8; FILE_BYTES];
+        for e in &listing {
+            let n = fs.read(&e.name, 0, &mut buf).await.unwrap();
+            assert_eq!(n, FILE_BYTES);
+            assert_eq!(buf, body);
+        }
+        let t3 = h.now();
+        for i in 0..FILES / 2 {
+            fs.remove(&format!("data/file{i:03}")).await.unwrap();
+        }
+        let t4 = h.now();
+        FsResult {
+            create_write_us: (t1 - t0).as_micros_f64(),
+            list_us: (t2 - t1).as_micros_f64(),
+            read_us: (t3 - t2).as_micros_f64(),
+            delete_us: (t4 - t3).as_micros_f64(),
+        }
+    })
+}
+
+fn main() {
+    header(
+        "Shared-disk filesystem workload (create+write / list / read / delete)",
+        "Markussen et al., SC'24, §V motivation + §VIII future work (file systems)",
+    );
+    let calib = Calibration::paper();
+    let kinds = [
+        ScenarioKind::LinuxLocal,
+        ScenarioKind::NvmfRemote,
+        ScenarioKind::OursLocal,
+        ScenarioKind::OursRemote { switches: 1 },
+    ];
+    println!(
+        "\n  {:<16} {:>16} {:>10} {:>12} {:>10}   (simulated us, {FILES} x {} KiB files)",
+        "scenario",
+        "create+write",
+        "list",
+        "read-all",
+        "delete",
+        FILE_BYTES >> 10
+    );
+    let mut rows = Vec::new();
+    for kind in kinds {
+        let wall = Instant::now();
+        let r = run_fs_workload(kind.clone(), &calib);
+        eprintln!("  [{}: {:.1}s wall]", kind.label(), wall.elapsed().as_secs_f64());
+        println!(
+            "  {:<16} {:>16.0} {:>10.0} {:>12.0} {:>10.0}",
+            kind.label(),
+            r.create_write_us,
+            r.list_us,
+            r.read_us,
+            r.delete_us
+        );
+        rows.push((kind.label(), r.create_write_us, r.list_us, r.read_us, r.delete_us));
+    }
+    // Shape: metadata-heavy phases (list = many small inode reads) punish
+    // per-I/O latency, so NVMe-oF must be the slowest and our remote
+    // driver must stay close to its local baseline.
+    let total = |l: &str| {
+        rows.iter().find(|(a, ..)| a == l).map(|(_, c, li, r, d)| c + li + r + d).unwrap()
+    };
+    let ours_gap = total("ours/remote") / total("ours/local");
+    let nvmf_gap = total("nvmeof/remote") / total("linux/local");
+    println!(
+        "\n  end-to-end remote/local: ours {ours_gap:.2}x vs NVMe-oF {nvmf_gap:.2}x — the Fig. 10 \
+         gap compounds over a filesystem's many small I/Os"
+    );
+    assert!(nvmf_gap > ours_gap, "NVMe-oF must pay more on metadata-heavy work");
+    save_json("fs_workload", &rows);
+    println!("\nfs_workload: OK");
+}

@@ -1,0 +1,67 @@
+//! **E5 — switch-hop sensitivity** (§VI): "each PCIe switch chip in the
+//! path adds between 100 and 150 nanoseconds delay (in one direction) for
+//! each PCIe transaction."
+//!
+//! Sweeps the number of cluster switch chips between the client and the
+//! device (plus the two NTB adapter chips) at both corners of the quoted
+//! per-chip latency, and checks that minimum 4 KiB read latency grows
+//! linearly with the chip count.
+
+use bench::{fig10_job, header, save_json, us};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use fioflex::RwMode;
+
+fn main() {
+    header(
+        "Switch-hop sensitivity: remote read latency vs chips in path",
+        "Markussen et al., SC'24, §VI (100-150 ns per chip per direction)",
+    );
+    let mut all = Vec::new();
+    for chip_ns in [100u64, 150] {
+        println!("\n  per-chip latency {chip_ns} ns:");
+        println!("  {:>16} {:>8} {:>12} {:>12}", "topology", "chips", "min us", "p50 us");
+        let mut mins = Vec::new();
+        // Local baseline (0 chips), then switchless NTB (2 adapter chips),
+        // then 1..4 cluster switches (2 + n chips).
+        let calib = Calibration::paper().with_chip_latency(chip_ns);
+        let local = Scenario::build(ScenarioKind::OursLocal, &calib)
+            .run(&fig10_job(RwMode::RandRead));
+        let lr = local.read.unwrap();
+        println!("  {:>16} {:>8} {:>12.2} {:>12.2}", "local", 0, us(lr.lat.min), us(lr.lat.p50));
+        mins.push((0u32, lr.lat.min));
+        for switches in 0..=4u32 {
+            let chips = 2 + switches;
+            let sc = Scenario::build(ScenarioKind::OursRemote { switches }, &calib);
+            let rep = sc.run(&fig10_job(RwMode::RandRead));
+            let r = rep.read.unwrap();
+            let label = if switches == 0 {
+                "ntb-direct".to_string()
+            } else {
+                format!("{switches} switch(es)")
+            };
+            println!(
+                "  {label:>16} {chips:>8} {:>12.2} {:>12.2}",
+                us(r.lat.min),
+                us(r.lat.p50)
+            );
+            assert_eq!(rep.errors, 0);
+            mins.push((chips, r.lat.min));
+        }
+        // Linearity: the per-chip marginal cost must sit in a plausible
+        // multiple of the one-direction chip latency (the critical path
+        // crosses each chip a small number of times per I/O).
+        let (c1, m1) = mins[1]; // 2 chips
+        let (c2, m2) = mins[mins.len() - 1]; // 6 chips
+        let per_chip = (m2.saturating_sub(m1)) as f64 / (c2 - c1) as f64;
+        println!("  -> marginal cost per added chip: {per_chip:.0} ns");
+        assert!(
+            per_chip >= chip_ns as f64 && per_chip <= 6.0 * chip_ns as f64,
+            "per-chip marginal cost {per_chip:.0} ns implausible for chip latency {chip_ns} ns"
+        );
+        all.push((chip_ns, mins, per_chip));
+    }
+    // The two corners must order correctly.
+    assert!(all[1].2 > all[0].2, "150 ns chips must cost more per hop than 100 ns chips");
+    save_json("hop_sensitivity", &all);
+    println!("\nhop_sensitivity: OK");
+}

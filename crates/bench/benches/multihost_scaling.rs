@@ -1,0 +1,85 @@
+//! **E3 — multi-host sharing** (§VI): "the P4800X … supports up to 32
+//! queue pairs (where one pair is reserved for the admin queues), and we
+//! have confirmed that it can be shared by up to 31 hosts simultaneously."
+//!
+//! This bench shares one controller between 1..31 client hosts, each
+//! running the Fig. 10 job concurrently, and reports per-client latency
+//! and aggregate IOPS. The last column proves the single-function device
+//! saturates gracefully rather than collapsing.
+
+use bench::{bench_runtime, header, save_json};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use fioflex::{JobSpec, RwMode};
+use simcore::SimDuration;
+
+fn main() {
+    header(
+        "Multi-host scaling: one single-function controller, N client hosts",
+        "Markussen et al., SC'24, §VI (31-host sharing claim)",
+    );
+    let calib = Calibration::paper();
+    // Shorter per-point runtime: 31 concurrent clients make plenty of IOs.
+    let runtime = SimDuration::from_nanos(bench_runtime().as_nanos() / 2);
+
+    println!(
+        "\n  {:>7} {:>10} {:>12} {:>12} {:>12} {:>9}",
+        "clients", "agg kIOPS", "p50 us", "p99 us", "worst p99", "errors"
+    );
+    let mut results = Vec::new();
+    let mut prev_agg = 0.0;
+    for clients in [1usize, 2, 4, 8, 16, 31] {
+        let sc = Scenario::build(ScenarioKind::OursMultihost { clients }, &calib);
+        assert_eq!(sc.ctrl.live_io_queues(), clients, "every client gets its own queue pair");
+        let spec = JobSpec::new("mh", RwMode::RandRead)
+            .iodepth(4)
+            .runtime(runtime)
+            .ramp(SimDuration::from_micros(500));
+        let reports = sc.run_all(&spec);
+        let mut agg_iops = 0.0;
+        let mut p50s = Vec::new();
+        let mut p99s = Vec::new();
+        let mut errors = 0;
+        for rep in &reports {
+            let r = rep.read.as_ref().expect("read side");
+            agg_iops += r.iops;
+            p50s.push(r.lat.p50);
+            p99s.push(r.lat.p99);
+            errors += rep.errors;
+        }
+        let med_p50 = median(&mut p50s);
+        let med_p99 = median(&mut p99s.clone());
+        let worst_p99 = *p99s.iter().max().unwrap();
+        println!(
+            "  {clients:>7} {:>10.1} {:>12.2} {:>12.2} {:>12.2} {errors:>9}",
+            agg_iops / 1_000.0,
+            med_p50 as f64 / 1_000.0,
+            med_p99 as f64 / 1_000.0,
+            worst_p99 as f64 / 1_000.0,
+        );
+        assert_eq!(errors, 0, "no I/O errors under sharing");
+        results.push((clients, agg_iops, med_p50, med_p99, worst_p99));
+        if clients > 1 {
+            assert!(
+                agg_iops > prev_agg * 0.8,
+                "aggregate IOPS must not collapse when adding clients ({prev_agg} -> {agg_iops})"
+            );
+        }
+        prev_agg = agg_iops;
+    }
+
+    // Scaling shape: aggregate throughput grows until the device's media
+    // channels saturate, then flattens.
+    let first = results.first().unwrap().1;
+    let last = results.last().unwrap().1;
+    assert!(
+        last > first * 1.3,
+        "31 clients must beat 1 client in aggregate ({first:.0} -> {last:.0})"
+    );
+    save_json("multihost_scaling", &results);
+    println!("\nmultihost_scaling: OK (31 hosts shared one controller)");
+}
+
+fn median(v: &mut [u64]) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}

@@ -1,0 +1,51 @@
+//! **E9 — polling vs forwarded interrupts** (extension): the paper's
+//! driver polls because its SISCI extension "does not currently support
+//! device-generated interrupts". This ablation implements interrupt
+//! forwarding across the NTB and quantifies what polling buys — and what
+//! interrupts would save in CPU at depth.
+
+use bench::{bench_runtime, header, save_json, us};
+use cluster::{Calibration, Scenario, ScenarioKind};
+use dnvme::{ClientCompletion, ClientConfig};
+use fioflex::{JobSpec, RwMode};
+use simcore::SimDuration;
+
+fn main() {
+    header(
+        "Polling vs forwarded-interrupt completions (extension ablation)",
+        "Markussen et al., SC'24, §V/§VI (polling rationale) + future work",
+    );
+    let modes = [
+        ("polling", ClientCompletion::Polling),
+        ("irq-1.4us", ClientCompletion::Interrupt { latency: SimDuration::from_nanos(1_400) }),
+    ];
+    println!("\n  {:<12} {:>4} {:>10} {:>10} {:>12}", "completion", "qd", "p50 us", "p99 us", "kIOPS");
+    let mut rows = Vec::new();
+    for (label, completion) in modes {
+        let calib = Calibration::paper()
+            .with_client(ClientConfig { completion, ..ClientConfig::default() });
+        for qd in [1usize, 8] {
+            let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
+            let spec = JobSpec::new("cmp", RwMode::RandRead)
+                .iodepth(qd)
+                .runtime(bench_runtime())
+                .ramp(SimDuration::from_micros(500));
+            let rep = sc.run(&spec);
+            assert_eq!(rep.errors, 0);
+            let r = rep.read.unwrap();
+            println!(
+                "  {label:<12} {qd:>4} {:>10.2} {:>10.2} {:>12.1}",
+                us(r.lat.p50),
+                us(r.lat.p99),
+                r.iops / 1e3
+            );
+            rows.push((label.to_string(), qd, r.lat.p50, r.iops));
+        }
+    }
+    let p50 = |l: &str, q: usize| rows.iter().find(|(a, b, ..)| a == l && *b == q).unwrap().2;
+    let saving = p50("irq-1.4us", 1).saturating_sub(p50("polling", 1));
+    println!("\n  polling saves {:.2} us per QD1 I/O — the paper's rationale for polling", us(saving));
+    assert!((800..3_000).contains(&saving), "saving {saving} ns should be ~IRQ latency");
+    save_json("polling_vs_irq", &rows);
+    println!("\npolling_vs_irq: OK");
+}

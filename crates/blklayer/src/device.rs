@@ -1,0 +1,58 @@
+//! The block-device abstraction drivers register and workloads consume.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use crate::bio::{Bio, BioResult};
+
+/// A future returned by [`BlockDevice::submit`].
+pub type BioFuture<'a> = Pin<Box<dyn Future<Output = BioResult> + 'a>>;
+
+/// A registered block device. Implementations enforce their own queue
+/// depth internally (submitting more simply waits for a tag, like the
+/// block layer waiting on a busy request queue).
+pub trait BlockDevice {
+    /// Logical block size in bytes.
+    fn block_size(&self) -> u32;
+
+    /// Capacity in logical blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Maximum concurrently outstanding requests.
+    fn queue_depth(&self) -> usize;
+
+    /// Submit one request; resolves when the request completes.
+    fn submit(&self, bio: Bio) -> BioFuture<'_>;
+
+    /// Human-readable description for reports.
+    fn describe(&self) -> String {
+        format!(
+            "block device: {} blocks x {} B, qd {}",
+            self.capacity_blocks(),
+            self.block_size(),
+            self.queue_depth()
+        )
+    }
+}
+
+/// Validate a bio against device geometry; shared by implementations.
+pub fn validate(dev: &dyn BlockDevice, bio: &Bio) -> BioResult {
+    use crate::bio::{BioError, BioOp};
+    if bio.op == BioOp::Flush {
+        return Ok(());
+    }
+    if bio.blocks == 0 {
+        return Err(BioError::BadBuffer);
+    }
+    let end = bio.lba.checked_add(bio.blocks as u64).ok_or(BioError::OutOfRange {
+        lba: bio.lba,
+        blocks: bio.blocks,
+    })?;
+    if end > dev.capacity_blocks() {
+        return Err(BioError::OutOfRange { lba: bio.lba, blocks: bio.blocks });
+    }
+    if bio.buf.len < bio.len(dev.block_size()) {
+        return Err(BioError::BadBuffer);
+    }
+    Ok(())
+}

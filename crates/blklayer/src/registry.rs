@@ -1,0 +1,118 @@
+//! Per-host block device registry — the analog of `register_blkdev` /
+//! `/dev` naming. Each host in the cluster registers its own view of a
+//! device (the whole point of the paper: several hosts can each register
+//! a block device backed by the *same* NVMe controller).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pcie::HostId;
+
+use crate::device::BlockDevice;
+
+type DeviceMap = HashMap<(HostId, String), Rc<dyn BlockDevice>>;
+
+/// Cluster-wide registry of named block devices, keyed by (host, name).
+#[derive(Default, Clone)]
+pub struct BlockRegistry {
+    inner: Rc<RefCell<DeviceMap>>,
+}
+
+impl BlockRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `dev` as `/dev/<name>` on `host`. Panics on duplicate
+    /// names (a real kernel would refuse the minor number).
+    pub fn register(&self, host: HostId, name: &str, dev: Rc<dyn BlockDevice>) {
+        let prev = self.inner.borrow_mut().insert((host, name.to_string()), dev);
+        assert!(prev.is_none(), "duplicate block device {host}:{name}");
+    }
+
+    /// Remove and return a device.
+    pub fn unregister(&self, host: HostId, name: &str) -> Option<Rc<dyn BlockDevice>> {
+        self.inner.borrow_mut().remove(&(host, name.to_string()))
+    }
+
+    /// Look up a device by host and name.
+    pub fn get(&self, host: HostId, name: &str) -> Option<Rc<dyn BlockDevice>> {
+        self.inner.borrow().get(&(host, name.to_string())).cloned()
+    }
+
+    /// All device names visible on `host`.
+    pub fn names_on(&self, host: HostId) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .inner
+            .borrow()
+            .keys()
+            .filter(|(h, _)| *h == host)
+            .map(|(_, n)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered devices (all hosts).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bio::Bio;
+    use crate::device::{BioFuture, BlockDevice};
+
+    struct Dummy;
+    impl BlockDevice for Dummy {
+        fn block_size(&self) -> u32 {
+            512
+        }
+        fn capacity_blocks(&self) -> u64 {
+            8
+        }
+        fn queue_depth(&self) -> usize {
+            1
+        }
+        fn submit(&self, _bio: Bio) -> BioFuture<'_> {
+            Box::pin(async { Ok(()) })
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = BlockRegistry::new();
+        reg.register(HostId(0), "nvme0n1", Rc::new(Dummy));
+        reg.register(HostId(1), "dnvme0n1", Rc::new(Dummy));
+        assert!(reg.get(HostId(0), "nvme0n1").is_some());
+        assert!(reg.get(HostId(0), "dnvme0n1").is_none());
+        assert_eq!(reg.names_on(HostId(1)), vec!["dnvme0n1"]);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let reg = BlockRegistry::new();
+        reg.register(HostId(0), "d", Rc::new(Dummy));
+        assert!(reg.unregister(HostId(0), "d").is_some());
+        assert!(reg.get(HostId(0), "d").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate block device")]
+    fn duplicate_rejected() {
+        let reg = BlockRegistry::new();
+        reg.register(HostId(0), "d", Rc::new(Dummy));
+        reg.register(HostId(0), "d", Rc::new(Dummy));
+    }
+}

@@ -1,0 +1,126 @@
+//! Calibrated parameter sets for the paper's testbed (§VI).
+//!
+//! Sources for each constant are listed in EXPERIMENTS.md. The goal is
+//! not to match the paper's absolute numbers on unknown hardware, but to
+//! place every component in its documented range:
+//!
+//! * Optane P4800X media: ~9 µs, very low jitter, 31 usable queue pairs.
+//! * PCIe switch chips: 100–150 ns per chip per direction.
+//! * ConnectX-5/EDR RDMA: just under 1 µs one-way small-message latency.
+//! * Stock Linux NVMe driver: interrupt-driven, ~0.7 µs submit path.
+//! * SPDK: poll-mode, sub-300 ns software per command.
+//! * The paper's own driver: "naive" — bigger submit cost, polling, and
+//!   a bounce-buffer copy per data-bearing request.
+
+use dnvme::{ClientConfig, ManagerConfig};
+use nvme::driver::LocalDriverConfig;
+use nvme::{MediaProfile, NvmeConfig};
+use nvmeof::{InitiatorConfig, TargetConfig};
+use pcie::FabricParams;
+use rdma::IbParams;
+
+/// Everything a scenario needs, bundled.
+#[derive(Clone)]
+pub struct Calibration {
+    /// PCIe fabric timing.
+    pub fabric: FabricParams,
+    /// InfiniBand wire timing.
+    pub ib: IbParams,
+    /// Storage medium profile.
+    pub media: MediaProfile,
+    /// Controller configuration.
+    pub nvme: NvmeConfig,
+    /// Stock-Linux driver cost profile.
+    pub linux_driver: LocalDriverConfig,
+    /// SPDK (target-side) driver cost profile.
+    pub spdk_driver: LocalDriverConfig,
+    /// NVMe-oF target configuration.
+    pub target: TargetConfig,
+    /// NVMe-oF initiator configuration.
+    pub initiator: InitiatorConfig,
+    /// Distributed-driver client configuration.
+    pub client: ClientConfig,
+    /// Distributed-driver manager configuration.
+    pub manager: ManagerConfig,
+    /// Namespace geometry.
+    pub block_size: u32,
+    /// Namespace capacity in logical blocks.
+    pub capacity_blocks: u64,
+    /// Media/latency RNG seed.
+    pub seed: u64,
+    /// NTB LUT geometry (Dolphin-style): slot size and slots per adapter.
+    pub ntb_slot_size: u64,
+    /// LUT slots per adapter.
+    pub ntb_slots: usize,
+}
+
+impl Calibration {
+    /// The paper's testbed.
+    pub fn paper() -> Calibration {
+        // Dolphin's MXH932/MXS924 use PEX-class switch chips at the upper
+        // end of the paper's 100–150 ns per-chip range.
+        let fabric = FabricParams { chip_latency_ns: 150, ..FabricParams::default() };
+        Calibration {
+            fabric,
+            ib: IbParams::default(),
+            media: MediaProfile::optane(),
+            nvme: NvmeConfig::default(),
+            linux_driver: LocalDriverConfig::linux(),
+            spdk_driver: LocalDriverConfig::spdk(),
+            target: TargetConfig::default(),
+            initiator: InitiatorConfig::default(),
+            client: ClientConfig::default(),
+            manager: ManagerConfig::default(),
+            block_size: 512,
+            capacity_blocks: 1 << 21, // 1 GiB namespace at 512 B blocks
+            seed: 0x00D0_1F14,
+            ntb_slot_size: 2 << 20,
+            ntb_slots: 256,
+        }
+    }
+
+    /// Same testbed with a NAND-class SSD instead of Optane (tail-latency
+    /// contrast experiments).
+    pub fn paper_nand() -> Calibration {
+        Calibration { media: MediaProfile::nand(), ..Calibration::paper() }
+    }
+
+    /// Switch-chip latency corner cases (the paper quotes 100–150 ns).
+    pub fn with_chip_latency(mut self, ns: u64) -> Calibration {
+        self.fabric.chip_latency_ns = ns;
+        self
+    }
+
+    /// Override the latency/workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Calibration {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the client configuration (ablations).
+    pub fn with_client(mut self, client: ClientConfig) -> Calibration {
+        self.client = client;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_is_consistent() {
+        let c = Calibration::paper();
+        assert_eq!(c.nvme.io_queue_pairs, 31, "P4800X exposes 31 usable queue pairs");
+        assert!(c.fabric.chip_latency_ns >= 100 && c.fabric.chip_latency_ns <= 150);
+        assert!(c.ib.one_way(64).as_nanos() < 1_000);
+        assert_eq!(c.block_size, 512);
+    }
+
+    #[test]
+    fn corner_builders() {
+        let c = Calibration::paper().with_chip_latency(150).with_seed(9);
+        assert_eq!(c.fabric.chip_latency_ns, 150);
+        assert_eq!(c.seed, 9);
+    }
+}

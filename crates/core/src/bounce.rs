@@ -1,0 +1,132 @@
+//! The partitioned bounce buffer (§V).
+//!
+//! NTB mappings cannot be reprogrammed per request without stalling the
+//! I/O path, so the client registers one large DMA-buffer segment up
+//! front, partitions it per request tag, and stages data through it. "The
+//! benefit of this approach is that NVMe DMA descriptors can be
+//! programmed once" — the PRP lists below are written exactly once, at
+//! connect time.
+
+use pcie::MemRegion;
+use smartio::{AccessHints, DmaWindow, SegmentId, SmartDeviceId, SmartIo};
+
+use crate::error::{DnvmeError, Result};
+
+const PAGE: u64 = nvme::spec::prp::PAGE;
+
+/// One bounce partition per request tag, with precomputed PRPs.
+pub struct BouncePool {
+    /// Client-local CPU view of the whole buffer.
+    region: MemRegion,
+    /// Device view (through the device-side NTB when remote).
+    window: DmaWindow,
+    list_window: DmaWindow,
+    segment: SegmentId,
+    list_segment: SegmentId,
+    partition: u64,
+    tags: usize,
+}
+
+impl BouncePool {
+    /// Allocate and map the buffer + PRP-list pages, and write every PRP
+    /// list once.
+    pub fn new(
+        smartio: &SmartIo,
+        device: SmartDeviceId,
+        client: pcie::HostId,
+        tags: usize,
+        partition: u64,
+    ) -> Result<BouncePool> {
+        if !partition.is_multiple_of(PAGE) || partition == 0 {
+            return Err(DnvmeError::BadConfig(format!(
+                "bounce partition {partition:#x} must be a positive multiple of the {PAGE:#x} page"
+            )));
+        }
+        let pages_per_partition = partition / PAGE;
+        if pages_per_partition > 512 {
+            return Err(DnvmeError::BadConfig(
+                "partition exceeds one PRP list page (2 MiB)".into(),
+            ));
+        }
+        // Hinted allocation: both sides read and write => client-local
+        // (the device crosses the fabric with pipelined DMA; the CPU's
+        // staging memcpy stays local).
+        let segment =
+            smartio.create_segment_hinted(client, device, tags as u64 * partition, AccessHints::buffer())?;
+        let region = smartio.segment_region(segment)?;
+        debug_assert_eq!(region.host, client, "bounce buffer must be client-local");
+        let window = smartio.map_for_device(device, segment)?;
+
+        // PRP list pages: one page per tag, kept with the DMA buffer
+        // (client-local, written exactly once below).
+        let list_segment = smartio.create_segment(client, tags as u64 * PAGE)?;
+        let list_region = smartio.segment_region(list_segment)?;
+        let list_window = smartio.map_for_device(device, list_segment)?;
+
+        // Write every PRP list once: entry i of tag t points at page i+1
+        // of partition t (bus addresses!).
+        let fabric = smartio.fabric();
+        for tag in 0..tags {
+            let part_bus = window.bus_base + tag as u64 * partition;
+            let entries: Vec<u8> = (1..pages_per_partition)
+                .flat_map(|i| (part_bus + i * PAGE).to_le_bytes())
+                .collect();
+            if !entries.is_empty() {
+                fabric.mem_write(
+                    list_region.host,
+                    list_region.addr.offset(tag as u64 * PAGE),
+                    &entries,
+                )?;
+            }
+        }
+        Ok(BouncePool {
+            region,
+            window,
+            list_window,
+            segment,
+            list_segment,
+            partition,
+            tags,
+        })
+    }
+
+    /// Number of partitions (= request tags).
+    pub fn tags(&self) -> usize {
+        self.tags
+    }
+
+    /// Bytes per partition.
+    pub fn partition_size(&self) -> u64 {
+        self.partition
+    }
+
+    /// Client-local region of tag `t`'s partition.
+    pub fn partition(&self, tag: usize) -> MemRegion {
+        assert!(tag < self.tags);
+        self.region.slice(tag as u64 * self.partition, self.partition)
+    }
+
+    /// PRP1/PRP2 for a transfer of `len` bytes staged in tag `t`'s
+    /// partition. Partitions are page aligned, so PRP1 never carries an
+    /// offset; PRP2 is unused (≤1 page), the second page (≤2 pages), or
+    /// the tag's precomputed list pointer.
+    pub fn prps(&self, tag: usize, len: u64) -> (u64, u64) {
+        assert!(tag < self.tags && len > 0 && len <= self.partition);
+        let prp1 = self.window.bus_base + tag as u64 * self.partition;
+        let pages = len.div_ceil(PAGE);
+        let prp2 = match pages {
+            1 => 0,
+            2 => prp1 + PAGE,
+            _ => self.list_window.bus_base + tag as u64 * PAGE,
+        };
+        (prp1, prp2)
+    }
+
+    /// Release mappings and segments.
+    pub fn destroy(self, smartio: &SmartIo) {
+        smartio.unmap_device(self.window);
+        smartio.unmap_device(self.list_window);
+        let _ = smartio.destroy_segment(self.segment);
+        let _ = smartio.destroy_segment(self.list_segment);
+    }
+}

@@ -1,0 +1,652 @@
+//! The client kernel-module analog (§V).
+//!
+//! A client bootstraps from the manager's metadata segment, requests an
+//! I/O queue pair through the shared-memory mailbox, and from then on
+//! operates the controller **directly and independently** — no software
+//! on the manager or device host touches the I/O path. It registers a
+//! block device backed by:
+//!
+//! * an SQ placed by access hints (device-side memory by default, written
+//!   through the NTB with posted stores — Fig. 8),
+//! * a CQ in client-local memory, polled (no interrupts over NTBs),
+//! * a partitioned bounce buffer with PRPs programmed once, or the
+//!   IOMMU-style dynamic mapping extension (the paper's future work).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
+use nvme::queue::{CqRing, SqRing};
+use nvme::spec::command::{SqEntry, SQE_SIZE};
+use nvme::spec::completion::{CqEntry, CQE_SIZE};
+use nvme::spec::prp;
+use nvme::spec::registers::Cap;
+use pcie::{DomainAddr, Fabric, HostId, MemRegion};
+use simcore::sync::{oneshot, Semaphore};
+use simcore::{Handle, SimDuration};
+use smartio::{AccessHints, BorrowMode, SegmentId, SmartDeviceId, SmartIo};
+
+use crate::bounce::BouncePool;
+use crate::error::{DnvmeError, Result};
+use crate::manager::Manager;
+use crate::proto::{self, Metadata, Request, Response, SlotMessage};
+
+/// Where the client's SQ lives (E4 ablation; the paper's design is
+/// `DeviceSide`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SqPlacement {
+    /// Fig. 8: SQ in device-side memory, written through the NTB.
+    DeviceSide,
+    /// Naive: SQ in client memory; the controller fetches across the NTB.
+    ClientSide,
+}
+
+/// How the client learns about completions.
+///
+/// The paper's SISCI extension "does not currently support
+/// device-generated interrupts", so its driver polls. `Interrupt` models
+/// the forwarding extension (MSI routed through the NTB to the client
+/// host) as an ablation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClientCompletion {
+    /// Poll the CQ in client-local memory (the paper's design).
+    Polling,
+    /// Device-generated interrupts forwarded across the fabric.
+    Interrupt { latency: SimDuration },
+}
+
+/// How request data reaches the device (E8 ablation).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DataPath {
+    /// §V: staged through the pre-mapped partitioned bounce buffer
+    /// (extra memcpy, zero mapping cost).
+    Bounce,
+    /// Future-work IOMMU mode: map the request buffer dynamically per I/O
+    /// (no copy, pay map/unmap latency on every request).
+    DirectMapped,
+}
+
+/// Client driver configuration. Defaults model the paper's "naive"
+/// proof-of-concept driver.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Entries per I/O queue.
+    pub queue_entries: u16,
+    /// Outstanding request limit (tags/bounce partitions).
+    pub queue_depth: usize,
+    /// I/O queue pairs to request (§V: "one or more"); submissions are
+    /// striped across them.
+    pub num_qpairs: u16,
+    /// Bytes per bounce partition = max transfer size.
+    pub partition_size: u64,
+    /// Where SQs live (Fig. 8 ablation).
+    pub sq_placement: SqPlacement,
+    /// Bounce buffer or per-I/O mapping.
+    pub data_path: DataPath,
+    /// Polling (paper) or forwarded interrupts (extension).
+    pub completion: ClientCompletion,
+    /// CPU cost of the submit path (block layer glue + naive driver).
+    pub submission_overhead: SimDuration,
+    /// CPU cost after completion detection.
+    pub completion_overhead: SimDuration,
+    /// CQ poll detection cost.
+    pub poll_check_cost: SimDuration,
+    /// IOMMU map / unmap costs (DirectMapped only).
+    pub iommu_map_cost: SimDuration,
+    /// IOMMU unmap + IOTLB shootdown cost (DirectMapped).
+    pub iommu_unmap_cost: SimDuration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            queue_entries: 256,
+            queue_depth: 32,
+            num_qpairs: 1,
+            partition_size: 128 << 10,
+            sq_placement: SqPlacement::DeviceSide,
+            data_path: DataPath::Bounce,
+            completion: ClientCompletion::Polling,
+            submission_overhead: SimDuration::from_nanos(2_400),
+            completion_overhead: SimDuration::from_nanos(600),
+            poll_check_cost: SimDuration::from_nanos(120),
+            iommu_map_cost: SimDuration::from_nanos(450),
+            iommu_unmap_cost: SimDuration::from_nanos(700),
+        }
+    }
+}
+
+struct Pending {
+    slots: Vec<Option<oneshot::Sender<CqEntry>>>,
+    free: Vec<u16>,
+}
+
+/// Everything a client must give back on disconnect: NTB window slots,
+/// device-side DMA windows, and its segments. Leaking these would
+/// exhaust the adapters' LUTs after enough connect/disconnect cycles.
+struct Cleanup {
+    mappings: Vec<smartio::CpuMapping>,
+    windows: Vec<smartio::DmaWindow>,
+    segments: Vec<SegmentId>,
+}
+
+/// Per-client driver stats.
+#[derive(Default, Clone, Debug)]
+pub struct ClientStats {
+    /// Read commands issued.
+    pub reads: u64,
+    /// Write commands issued.
+    pub writes: u64,
+    /// Flush commands issued.
+    pub flushes: u64,
+    /// Bytes staged through the bounce buffer.
+    pub bounce_bytes_copied: u64,
+    /// Per-I/O windows programmed (DirectMapped).
+    pub dynamic_maps: u64,
+}
+
+/// One granted I/O queue pair and its submission lock.
+struct QueuePair {
+    qid: u16,
+    sq: Rc<SqRing>,
+    lock: Semaphore,
+}
+
+/// A connected client with one or more I/O queue pairs.
+pub struct ClientDriver {
+    smartio: SmartIo,
+    fabric: Fabric,
+    handle: Handle,
+    host: HostId,
+    device: SmartDeviceId,
+    cfg: ClientConfig,
+    /// The manager's published metadata.
+    pub metadata: Metadata,
+    /// First granted queue id (see [`ClientDriver::qids`] for all).
+    pub qid: u16,
+    qpairs: Vec<QueuePair>,
+    tags: Semaphore,
+    pending: Rc<RefCell<Pending>>,
+    bounce: RefCell<Option<BouncePool>>,
+    /// Per-tag PRP list page for DirectMapped mode.
+    direct_lists: Vec<MemRegion>,
+    direct_list_bus: u64,
+    /// Mappings/segments to release on disconnect.
+    cleanup: RefCell<Option<Cleanup>>,
+    response_segment: SegmentId,
+    mailbox_map: smartio::CpuMapping,
+    next_seq: RefCell<u32>,
+    stats: RefCell<ClientStats>,
+}
+
+/// One mailbox round trip: write the stamped request into this host's
+/// slot, wait for the matching response in the local response segment.
+async fn mailbox_rpc(
+    fabric: &Fabric,
+    host: HostId,
+    mailbox_slot_addr: pcie::PhysAddr,
+    resp_region: MemRegion,
+    seq: u32,
+    request: Request,
+) -> Result<Response> {
+    let watch = fabric.watch(resp_region.host, resp_region.addr, resp_region.len);
+    let msg = SlotMessage { seq, request };
+    fabric.cpu_write(host, mailbox_slot_addr, &msg.encode()).await?;
+    let resp = loop {
+        watch.notify.notified().await;
+        let mut raw = [0u8; proto::RESPONSE_LEN];
+        fabric.mem_read(resp_region.host, resp_region.addr, &mut raw)?;
+        let r = Response::decode(&raw);
+        if r.seq == seq {
+            break r;
+        }
+    };
+    fabric.unwatch(resp_region.host, &watch);
+    if resp.status != proto::status::OK {
+        return Err(DnvmeError::Mailbox(resp.status));
+    }
+    Ok(resp)
+}
+
+impl ClientDriver {
+    /// Bootstrap from the manager's metadata segment (by name), request
+    /// the queue pairs, and set up the data path.
+    pub async fn connect(
+        smartio: &SmartIo,
+        device: SmartDeviceId,
+        host: HostId,
+        cfg: ClientConfig,
+    ) -> Result<Rc<ClientDriver>> {
+        let fabric = smartio.fabric().clone();
+        smartio.acquire(device, host, BorrowMode::Shared)?;
+
+        // --- Bootstrap: read the metadata segment. ---
+        let meta_seg = smartio
+            .lookup(&Manager::meta_name(device))
+            .map_err(|_| DnvmeError::BadMetadata)?;
+        let meta_map = smartio.map_for_cpu(host, meta_seg)?;
+        let mut raw = [0u8; proto::META_LEN];
+        fabric.cpu_read(host, meta_map.region.addr, &mut raw).await?;
+        let metadata = Metadata::decode(&raw);
+        if !metadata.valid() {
+            return Err(DnvmeError::BadMetadata);
+        }
+        if (host.0 as u32) >= metadata.mailbox_slots {
+            return Err(DnvmeError::BadConfig("host id exceeds mailbox slots".into()));
+        }
+
+        // --- Map registers (BAR window) and the mailbox. ---
+        let bar_map = smartio.map_for_cpu(host, SegmentId(metadata.bar_segment))?;
+        let mailbox_map = smartio.map_for_cpu(host, SegmentId(metadata.mailbox_segment))?;
+        let cap = Cap::decode(fabric.cpu_read_u64(host, bar_map.region.addr).await?);
+
+        if cfg.num_qpairs == 0 {
+            return Err(DnvmeError::BadConfig("num_qpairs must be >= 1".into()));
+        }
+
+        // --- Per-qpair queue memory (hint-placed, Fig. 8) + mailbox
+        //     CreateQp, repeated for every requested queue pair. ---
+        let entries = cfg.queue_entries;
+        let response_segment = smartio.create_segment(host, proto::RESPONSE_LEN as u64)?;
+        let resp_region = smartio.segment_region(response_segment)?;
+        let slot_addr = mailbox_map
+            .region
+            .addr
+            .offset(host.0 as u64 * proto::MAILBOX_SLOT as u64);
+        let bar = bar_map.region;
+        let mut seq = 0u32;
+        let mut qpairs = Vec::new();
+        let mut cqs = Vec::new();
+        let mut irqs = Vec::new();
+        let fabric_dev = smartio.device_fabric_id(device)?;
+        let mut cleanup = Cleanup {
+            mappings: vec![meta_map, bar_map, mailbox_map],
+            windows: Vec::new(),
+            segments: vec![response_segment],
+        };
+        for _ in 0..cfg.num_qpairs {
+            let sq_seg = match cfg.sq_placement {
+                SqPlacement::DeviceSide => smartio.create_segment_hinted(
+                    host,
+                    device,
+                    entries as u64 * SQE_SIZE as u64,
+                    AccessHints::sq(),
+                )?,
+                SqPlacement::ClientSide => {
+                    smartio.create_segment(host, entries as u64 * SQE_SIZE as u64)?
+                }
+            };
+            let cq_seg = smartio.create_segment_hinted(
+                host,
+                device,
+                entries as u64 * CQE_SIZE as u64,
+                AccessHints::cq(),
+            )?;
+            let cq_region = smartio.segment_region(cq_seg)?;
+            assert_eq!(cq_region.host, host, "CQ must be client-local for polling");
+            let sq_cpu = smartio.map_for_cpu(host, sq_seg)?;
+            let sq_win = smartio.map_for_device(device, sq_seg)?;
+            let cq_win = smartio.map_for_device(device, cq_seg)?;
+            seq += 1;
+            // Interrupt mode reserves a vector per queue pair; vectors are
+            // granted as qid at the controller, so request "next" (the
+            // manager echoes the actual qid and we route that vector).
+            let want_iv = matches!(cfg.completion, ClientCompletion::Interrupt { .. });
+            let resp = mailbox_rpc(
+                &fabric,
+                host,
+                slot_addr,
+                resp_region,
+                seq,
+                Request::CreateQp {
+                    entries,
+                    sq_bus: sq_win.bus_base,
+                    cq_bus: cq_win.bus_base,
+                    response_segment: response_segment.0,
+                    iv: want_iv.then_some(0), // placeholder; manager uses qid
+                },
+            )
+            .await?;
+            let qid = resp.qid;
+            let sq = Rc::new(SqRing::new(
+                &fabric,
+                sq_cpu.region,
+                DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(qid))),
+                entries,
+            ));
+            cqs.push(CqRing::new(
+                &fabric,
+                cq_region,
+                DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(qid))),
+                entries,
+            ));
+            // Interrupt extension: route vector `qid` to this host.
+            let irq = match cfg.completion {
+                ClientCompletion::Interrupt { .. } => {
+                    Some(fabric.config_msi(fabric_dev, qid, host))
+                }
+                ClientCompletion::Polling => None,
+            };
+            qpairs.push(QueuePair { qid, sq, lock: Semaphore::new(1) });
+            irqs.push(irq);
+            cleanup.mappings.push(sq_cpu);
+            cleanup.windows.push(sq_win);
+            cleanup.windows.push(cq_win);
+            cleanup.segments.push(sq_seg);
+            cleanup.segments.push(cq_seg);
+        }
+        let qid = qpairs[0].qid;
+
+        // --- Data path. ---
+        let qd = cfg.queue_depth.min(cfg.num_qpairs as usize * (entries as usize - 1));
+        let bounce = match cfg.data_path {
+            DataPath::Bounce => Some(BouncePool::new(smartio, device, host, qd, cfg.partition_size)?),
+            DataPath::DirectMapped => None,
+        };
+        // Per-tag PRP list pages for DirectMapped transfers > 2 pages.
+        let (direct_lists, direct_list_bus, lists_seg, lists_win) = {
+            let seg = smartio.create_segment(host, qd as u64 * prp::PAGE)?;
+            let region = smartio.segment_region(seg)?;
+            let win = smartio.map_for_device(device, seg)?;
+            let lists: Vec<MemRegion> =
+                (0..qd).map(|t| region.slice(t as u64 * prp::PAGE, prp::PAGE)).collect();
+            (lists, win.bus_base, seg, win)
+        };
+        cleanup.windows.push(lists_win);
+        cleanup.segments.push(lists_seg);
+
+        let driver = Rc::new(ClientDriver {
+            smartio: smartio.clone(),
+            fabric: fabric.clone(),
+            handle: fabric.handle(),
+            host,
+            device,
+            metadata,
+            qid,
+            qpairs,
+            tags: Semaphore::new(qd),
+            pending: Rc::new(RefCell::new(Pending {
+                slots: (0..qd).map(|_| None).collect(),
+                free: (0..qd as u16).rev().collect(),
+            })),
+            bounce: RefCell::new(bounce),
+            direct_lists,
+            direct_list_bus,
+            cleanup: RefCell::new(Some(cleanup)),
+            response_segment,
+            mailbox_map,
+            next_seq: RefCell::new(seq + 1),
+            stats: RefCell::new(ClientStats::default()),
+            cfg,
+        });
+        for (i, (cq, irq)) in cqs.into_iter().zip(irqs).enumerate() {
+            let d2 = driver.clone();
+            fabric.handle().spawn(async move { d2.completion_loop(i, cq, irq).await });
+        }
+        Ok(driver)
+    }
+
+    /// All granted queue ids, in stripe order.
+    pub fn qids(&self) -> Vec<u16> {
+        self.qpairs.iter().map(|q| q.qid).collect()
+    }
+
+    /// Snapshot of the run counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats.borrow().clone()
+    }
+
+    /// The client's cost/layout profile.
+    pub fn config(&self) -> &ClientConfig {
+        &self.cfg
+    }
+
+    /// The host this client runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Return the queue pair to the manager (mailbox DeleteQp) and drop
+    /// the shared device reference.
+    pub async fn disconnect(&self) -> Result<()> {
+        let resp_region = self.smartio.segment_region(self.response_segment)?;
+        let slot_addr = self
+            .mailbox_map
+            .region
+            .addr
+            .offset(self.host.0 as u64 * proto::MAILBOX_SLOT as u64);
+        for qp in &self.qpairs {
+            let seq = {
+                let mut s = self.next_seq.borrow_mut();
+                let v = *s;
+                *s += 1;
+                v
+            };
+            mailbox_rpc(
+                &self.fabric,
+                self.host,
+                slot_addr,
+                resp_region,
+                seq,
+                Request::DeleteQp { qid: qp.qid, response_segment: self.response_segment.0 },
+            )
+            .await?;
+        }
+        // Release every mapping, window, and segment this client created
+        // (LUT slots are a finite resource on the adapters).
+        if let Some(c) = self.cleanup.borrow_mut().take() {
+            for w in c.windows {
+                self.smartio.unmap_device(w);
+            }
+            for m in c.mappings {
+                self.smartio.unmap_cpu(m);
+            }
+            for seg in c.segments {
+                let _ = self.smartio.destroy_segment(seg);
+            }
+        }
+        if let Some(b) = self.bounce.borrow_mut().take() {
+            b.destroy(&self.smartio);
+        }
+        self.smartio.release(self.device, self.host)?;
+        Ok(())
+    }
+
+    /// Completion service, one per queue pair. The paper's driver polls;
+    /// the interrupt-forwarding extension waits for the routed MSI.
+    async fn completion_loop(
+        self: Rc<Self>,
+        qp_index: usize,
+        mut cq: CqRing,
+        irq: Option<simcore::sync::Notify>,
+    ) {
+        loop {
+            match (&self.cfg.completion, &irq) {
+                (ClientCompletion::Interrupt { latency }, Some(irq)) => {
+                    irq.notified().await;
+                    self.handle.sleep(*latency).await;
+                    while let Some(cqe) = cq.try_pop() {
+                        self.deliver(qp_index, cqe);
+                    }
+                    let _ = cq.ring_doorbell().await;
+                }
+                _ => {
+                    let cqe = cq.next(self.cfg.poll_check_cost).await;
+                    self.deliver(qp_index, cqe);
+                    while let Some(cqe) = cq.try_pop() {
+                        self.deliver(qp_index, cqe);
+                    }
+                    let _ = cq.ring_doorbell().await;
+                }
+            }
+        }
+    }
+
+    fn deliver(&self, qp_index: usize, cqe: CqEntry) {
+        self.qpairs[qp_index].sq.update_head(cqe.sq_head);
+        let mut p = self.pending.borrow_mut();
+        if let Some(tx) = p.slots.get_mut(cqe.cid as usize).and_then(Option::take) {
+            tx.send(cqe);
+        }
+    }
+
+    /// The queue pair a tag stripes onto.
+    fn qp_for(&self, cid: u16) -> &QueuePair {
+        &self.qpairs[cid as usize % self.qpairs.len()]
+    }
+
+    async fn issue(&self, sqe: &SqEntry) -> std::result::Result<CqEntry, BioError> {
+        let rx = {
+            let mut p = self.pending.borrow_mut();
+            let (tx, rx) = oneshot::channel();
+            p.slots[sqe.cid as usize] = Some(tx);
+            rx
+        };
+        let qp = self.qp_for(sqe.cid);
+        {
+            let _q = qp.lock.acquire().await;
+            qp.sq.push(sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            qp.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+        }
+        rx.await.map_err(|_| BioError::Gone)
+    }
+
+    async fn submit_inner(&self, bio: Bio) -> BioResult {
+        let bs = self.metadata.block_size;
+        let len = bio.len(bs);
+        let _tag = self.tags.acquire().await;
+        self.handle.sleep(self.cfg.submission_overhead).await;
+        let cid = self.pending.borrow_mut().free.pop().expect("tag guarantees a cid");
+        let result = self.submit_with_cid(&bio, cid, len).await;
+        self.pending.borrow_mut().free.push(cid);
+        self.handle.sleep(self.cfg.completion_overhead).await;
+        result
+    }
+
+    async fn submit_with_cid(&self, bio: &Bio, cid: u16, len: u64) -> BioResult {
+        let nlb0 = bio.blocks.saturating_sub(1) as u16;
+        let status = match (bio.op, self.cfg.data_path) {
+            (BioOp::Flush, _) => {
+                self.stats.borrow_mut().flushes += 1;
+                self.issue(&SqEntry::flush(cid, 1)).await?.status()
+            }
+            (op, DataPath::Bounce) => {
+                let (part, prps) = {
+                    let b = self.bounce.borrow();
+                    let b = b.as_ref().ok_or(BioError::Gone)?;
+                    (b.partition(cid as usize), b.prps(cid as usize, len))
+                };
+                if op == BioOp::Write {
+                    // Stage: local memcpy user buffer -> partition (the
+                    // extra copy on the write submission path, §V).
+                    let mut data = vec![0u8; len as usize];
+                    self.fabric
+                        .mem_read(bio.buf.host, bio.buf.addr, &mut data)
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                    self.fabric
+                        .cpu_write(self.host, part.addr, &data)
+                        .await
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                    self.stats.borrow_mut().bounce_bytes_copied += len;
+                }
+                let (prp1, prp2) = prps;
+                let sqe = match op {
+                    BioOp::Read => {
+                        self.stats.borrow_mut().reads += 1;
+                        SqEntry::read(cid, 1, bio.lba, nlb0, prp1, prp2)
+                    }
+                    _ => {
+                        self.stats.borrow_mut().writes += 1;
+                        SqEntry::write(cid, 1, bio.lba, nlb0, prp1, prp2)
+                    }
+                };
+                let status = self.issue(&sqe).await?.status();
+                if op == BioOp::Read && status.is_success() {
+                    // Unstage: partition -> user buffer (the extra copy on
+                    // the read completion path).
+                    let mut data = vec![0u8; len as usize];
+                    self.fabric
+                        .mem_read(self.host, part.addr, &mut data)
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                    self.fabric
+                        .cpu_write(bio.buf.host, bio.buf.addr, &data)
+                        .await
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                    self.stats.borrow_mut().bounce_bytes_copied += len;
+                }
+                status
+            }
+            (op, DataPath::DirectMapped) => {
+                // IOMMU-style: map the request buffer for this I/O only.
+                self.handle.sleep(self.cfg.iommu_map_cost).await;
+                let win = self
+                    .smartio
+                    .map_region_for_device(self.device, bio.buf.slice(0, len))
+                    .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                self.stats.borrow_mut().dynamic_maps += 1;
+                let list_page = &self.direct_lists[cid as usize];
+                let list_bus = self.direct_list_bus + cid as u64 * prp::PAGE;
+                let set = prp::build_prps(win.bus_base, len, list_bus)
+                    .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                if !set.list.is_empty() {
+                    let raw: Vec<u8> = set.list.iter().flat_map(|e| e.to_le_bytes()).collect();
+                    self.fabric
+                        .mem_write(self.host, list_page.addr, &raw)
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                }
+                let sqe = match op {
+                    BioOp::Read => {
+                        self.stats.borrow_mut().reads += 1;
+                        SqEntry::read(cid, 1, bio.lba, nlb0, set.prp1, set.prp2)
+                    }
+                    _ => {
+                        self.stats.borrow_mut().writes += 1;
+                        SqEntry::write(cid, 1, bio.lba, nlb0, set.prp1, set.prp2)
+                    }
+                };
+                let status = self.issue(&sqe).await?.status();
+                // Unmap + IOTLB shootdown.
+                self.smartio.unmap_device(win);
+                self.handle.sleep(self.cfg.iommu_unmap_cost).await;
+                status
+            }
+        };
+        if status.is_success() {
+            Ok(())
+        } else {
+            Err(BioError::DeviceError(status.to_string()))
+        }
+    }
+}
+
+impl BlockDevice for ClientDriver {
+    fn block_size(&self) -> u32 {
+        self.metadata.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.metadata.capacity_blocks
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.cfg.queue_depth
+    }
+
+    fn submit(&self, bio: Bio) -> BioFuture<'_> {
+        Box::pin(async move {
+            validate(self, &bio)?;
+            let len = bio.len(self.metadata.block_size);
+            if bio.op != BioOp::Flush {
+                if len > self.cfg.partition_size {
+                    return Err(BioError::TooLarge { bytes: len, max: self.cfg.partition_size });
+                }
+                if bio.buf.host != self.host {
+                    return Err(BioError::DeviceError(
+                        "client driver serves its own host's buffers".into(),
+                    ));
+                }
+            }
+            self.submit_inner(bio).await
+        })
+    }
+}

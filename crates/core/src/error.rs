@@ -1,0 +1,58 @@
+//! Distributed-driver error type.
+
+use nvme::driver::AdminError;
+use pcie::FabricError;
+use smartio::SmartIoError;
+
+/// Errors surfaced by the distributed driver.
+#[derive(Debug)]
+pub enum DnvmeError {
+    /// A SmartIO operation failed.
+    SmartIo(SmartIoError),
+    /// A raw fabric operation failed.
+    Fabric(FabricError),
+    /// Controller bring-up or admin command failure.
+    Admin(AdminError),
+    /// The manager's metadata segment is missing or malformed.
+    BadMetadata,
+    /// The manager rejected a mailbox request (proto status code).
+    Mailbox(u32),
+    /// The configured I/O size limits were violated.
+    BadConfig(String),
+}
+
+impl From<SmartIoError> for DnvmeError {
+    fn from(e: SmartIoError) -> Self {
+        DnvmeError::SmartIo(e)
+    }
+}
+
+impl From<FabricError> for DnvmeError {
+    fn from(e: FabricError) -> Self {
+        DnvmeError::Fabric(e)
+    }
+}
+
+impl From<AdminError> for DnvmeError {
+    fn from(e: AdminError) -> Self {
+        DnvmeError::Admin(e)
+    }
+}
+
+impl std::fmt::Display for DnvmeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnvmeError::SmartIo(e) => write!(f, "smartio: {e}"),
+            DnvmeError::Fabric(e) => write!(f, "fabric: {e}"),
+            DnvmeError::Admin(e) => write!(f, "admin: {e}"),
+            DnvmeError::BadMetadata => write!(f, "bad or missing manager metadata"),
+            DnvmeError::Mailbox(code) => write!(f, "manager rejected request (status {code})"),
+            DnvmeError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DnvmeError {}
+
+/// Convenience alias for driver operations.
+pub type Result<T> = std::result::Result<T, DnvmeError>;

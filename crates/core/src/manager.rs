@@ -1,0 +1,389 @@
+//! The manager kernel-module analog (§V).
+//!
+//! Exactly one manager exists per shared controller. It:
+//! 1. acquires the device **exclusively**, resets and initializes it
+//!    (admin queues, identify, queue-count negotiation),
+//! 2. publishes a metadata segment telling clients who manages the device
+//!    and where the mailbox lives,
+//! 3. downgrades to a shared reference and serves mailbox requests —
+//!    creating/deleting I/O queue pairs **on behalf of clients**, since
+//!    only the admin queue may do that and there is only one admin queue
+//!    pair on a single-function controller.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use nvme::driver::admin::{AdminQueue, AdminQueueLayout};
+use nvme::spec::command::SQE_SIZE;
+use nvme::spec::completion::CQE_SIZE;
+use pcie::HostId;
+use simcore::SimDuration;
+use smartio::{AccessHints, BorrowMode, CpuMapping, SegmentId, SmartDeviceId, SmartIo};
+
+use crate::proto::{self, Metadata, Request, Response, SlotMessage};
+
+/// Manager configuration.
+#[derive(Clone, Debug)]
+pub struct ManagerConfig {
+    /// Admin queue depth.
+    pub admin_entries: u16,
+    /// I/O queue pairs to negotiate (the device may grant fewer).
+    pub want_qpairs: u16,
+    /// Mailbox slots (one per possible client host).
+    pub mailbox_slots: u32,
+    /// CPU cost to process one mailbox request (manager software).
+    pub serve_overhead: SimDuration,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            admin_entries: 32,
+            want_qpairs: 31,
+            mailbox_slots: 64,
+            serve_overhead: SimDuration::from_nanos(400),
+        }
+    }
+}
+
+/// Statistics for tests/reports.
+#[derive(Default, Clone, Debug)]
+pub struct ManagerStats {
+    /// Queue pairs granted to clients.
+    pub qpairs_created: u64,
+    /// Queue pairs returned by clients.
+    pub qpairs_deleted: u64,
+    /// Mailbox requests refused.
+    pub requests_rejected: u64,
+}
+
+struct QidPool {
+    /// qid -> owning slot (mailbox slot index), None = free.
+    owners: Vec<Option<usize>>,
+}
+
+impl QidPool {
+    fn new(max_qpairs: u16) -> Self {
+        QidPool { owners: vec![None; max_qpairs as usize + 1] } // index 0 unused (admin)
+    }
+
+    fn alloc(&mut self, slot: usize) -> Option<u16> {
+        (1..self.owners.len()).find(|&q| self.owners[q].is_none()).map(|q| {
+            self.owners[q] = Some(slot);
+            q as u16
+        })
+    }
+
+    fn free(&mut self, qid: u16, slot: usize) -> bool {
+        match self.owners.get_mut(qid as usize) {
+            Some(o) if *o == Some(slot) => {
+                *o = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn in_use(&self) -> usize {
+        self.owners.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+/// The running manager.
+pub struct Manager {
+    smartio: SmartIo,
+    host: HostId,
+    device: SmartDeviceId,
+    cfg: ManagerConfig,
+    /// The metadata this manager published.
+    pub metadata: Metadata,
+    meta_segment: SegmentId,
+    mailbox_segment: SegmentId,
+    admin: RefCell<AdminQueue>,
+    qids: RefCell<QidPool>,
+    /// Cached CPU mappings of client response segments.
+    resp_maps: RefCell<HashMap<u32, CpuMapping>>,
+    stats: RefCell<ManagerStats>,
+    granted_qpairs: u16,
+}
+
+impl Manager {
+    /// Metadata segment name for a device.
+    pub fn meta_name(device: SmartDeviceId) -> String {
+        format!("dnvme-meta-{}", device.0)
+    }
+
+    /// Bring up the controller and start serving. `host` is where the
+    /// manager module runs — any host in the cluster, including one the
+    /// device is *not* installed in.
+    pub async fn start(
+        smartio: &SmartIo,
+        device: SmartDeviceId,
+        host: HostId,
+        cfg: ManagerConfig,
+    ) -> crate::error::Result<Rc<Manager>> {
+        let fabric = smartio.fabric().clone();
+        // Exclusive lock for the privileged bring-up phase.
+        smartio.acquire(device, host, BorrowMode::Exclusive)?;
+
+        // Map the controller's registers (BAR window if remote).
+        let bar_seg = smartio.bar_segment(device, 0)?;
+        let bar_map = smartio.map_for_cpu(host, bar_seg)?;
+
+        // Admin queues, placed by access hints: ASQ device-side (the
+        // controller fetches from it), ACQ manager-local (we poll it).
+        let asq_seg = smartio.create_segment_hinted(
+            host,
+            device,
+            cfg.admin_entries as u64 * SQE_SIZE as u64,
+            AccessHints::sq(),
+        )?;
+        let acq_seg = smartio.create_segment_hinted(
+            host,
+            device,
+            cfg.admin_entries as u64 * CQE_SIZE as u64,
+            AccessHints::cq(),
+        )?;
+        let asq_cpu = smartio.map_for_cpu(host, asq_seg)?;
+        let acq_region = smartio.segment_region(acq_seg)?;
+        assert_eq!(acq_region.host, host, "ACQ must be manager-local for polling");
+        let asq_bus = smartio.map_for_device(device, asq_seg)?.bus_base;
+        let acq_bus = smartio.map_for_device(device, acq_seg)?.bus_base;
+
+        let mut admin = AdminQueue::init(
+            &fabric,
+            bar_map.region,
+            AdminQueueLayout {
+                asq_cpu: asq_cpu.region,
+                asq_bus,
+                acq_cpu: acq_region,
+                acq_bus,
+                entries: cfg.admin_entries,
+            },
+        )
+        .await?;
+
+        // Identify + queue negotiation.
+        let idbuf_seg = smartio.create_segment(host, 4096)?;
+        let idbuf = smartio.segment_region(idbuf_seg)?;
+        let idbuf_bus = smartio.map_for_device(device, idbuf_seg)?.bus_base;
+        let _ctrl_info = admin.identify_controller(idbuf, idbuf_bus).await?;
+        let ns_info = admin.identify_namespace(1, idbuf, idbuf_bus).await?;
+        let granted = admin.set_num_queues(cfg.want_qpairs).await?;
+        smartio.destroy_segment(idbuf_seg)?;
+
+        // Mailbox + metadata segments, manager-local.
+        let mailbox_segment =
+            smartio.create_segment(host, cfg.mailbox_slots as u64 * proto::MAILBOX_SLOT as u64)?;
+        let meta_segment = smartio.create_segment(host, proto::META_LEN as u64)?;
+        let metadata = Metadata {
+            magic: proto::META_MAGIC,
+            manager_host: host.0,
+            max_qpairs: granted,
+            block_size: ns_info.block_size() as u32,
+            capacity_blocks: ns_info.nsze,
+            mailbox_segment: mailbox_segment.0,
+            bar_segment: bar_seg.0,
+            mailbox_slots: cfg.mailbox_slots,
+        };
+        let meta_region = smartio.segment_region(meta_segment)?;
+        fabric.mem_write(meta_region.host, meta_region.addr, &metadata.encode())?;
+        smartio.publish(&Self::meta_name(device), meta_segment)?;
+
+        // Downgrade: release exclusive, take a shared reference.
+        smartio.release(device, host)?;
+        smartio.acquire(device, host, BorrowMode::Shared)?;
+
+        let mgr = Rc::new(Manager {
+            smartio: smartio.clone(),
+            host,
+            device,
+            metadata,
+            meta_segment,
+            mailbox_segment,
+            admin: RefCell::new(admin),
+            qids: RefCell::new(QidPool::new(granted)),
+            resp_maps: RefCell::new(HashMap::new()),
+            stats: RefCell::new(ManagerStats::default()),
+            granted_qpairs: granted,
+            cfg,
+        });
+        let m2 = mgr.clone();
+        fabric.handle().spawn(async move { m2.serve().await });
+        Ok(mgr)
+    }
+
+    /// Snapshot of the run counters.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Currently granted queue pairs.
+    pub fn qpairs_in_use(&self) -> usize {
+        self.qids.borrow().in_use()
+    }
+
+    /// Queue pairs the controller granted at bring-up.
+    pub fn granted_qpairs(&self) -> u16 {
+        self.granted_qpairs
+    }
+
+    /// The managed device.
+    pub fn device(&self) -> SmartDeviceId {
+        self.device
+    }
+
+    /// The host the manager runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The published metadata segment.
+    pub fn meta_segment(&self) -> SegmentId {
+        self.meta_segment
+    }
+
+    /// Mailbox server: watch the mailbox memory, handle new requests.
+    async fn serve(self: Rc<Self>) {
+        let fabric = self.smartio.fabric().clone();
+        let region = self.smartio.segment_region(self.mailbox_segment).expect("mailbox gone");
+        let watch = fabric.watch(region.host, region.addr, region.len);
+        let slots = self.cfg.mailbox_slots as usize;
+        let mut last_seq = vec![0u32; slots];
+        loop {
+            watch.notify.notified().await;
+            #[allow(clippy::needless_range_loop)] // slot also computes the offset
+            for slot in 0..slots {
+                let mut raw = [0u8; proto::MAILBOX_SLOT];
+                fabric
+                    .mem_read(region.host, region.addr.offset((slot * proto::MAILBOX_SLOT) as u64), &mut raw)
+                    .expect("mailbox read");
+                let Some(msg) = SlotMessage::decode(&raw) else { continue };
+                if msg.seq == 0 || msg.seq == last_seq[slot] {
+                    continue;
+                }
+                last_seq[slot] = msg.seq;
+                // Manager software cost per request.
+                fabric.handle().sleep(self.cfg.serve_overhead).await;
+                let resp = self.handle(slot, msg.request).await;
+                let ok = resp.status == proto::status::OK;
+                self.respond(msg, resp).await;
+                // A departed client's response-segment mapping is dead
+                // weight on the manager's adapter: release it.
+                if ok {
+                    if let Request::DeleteQp { response_segment, .. } = msg.request {
+                        if let Some(m) = self.resp_maps.borrow_mut().remove(&response_segment) {
+                            self.smartio.unmap_cpu(m);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The admin queue is used exclusively by the (single, serial) serve
+    /// loop; holding its RefCell borrow across the admin awaits is sound.
+    #[allow(clippy::await_holding_refcell_ref)]
+    async fn handle(&self, slot: usize, req: Request) -> Response {
+        match req {
+            Request::CreateQp { entries, sq_bus, cq_bus, iv, .. } => {
+                if entries < 2 {
+                    self.stats.borrow_mut().requests_rejected += 1;
+                    return Response { seq: 0, status: proto::status::BAD_REQUEST, qid: 0 };
+                }
+                let Some(qid) = self.qids.borrow_mut().alloc(slot) else {
+                    self.stats.borrow_mut().requests_rejected += 1;
+                    return Response { seq: 0, status: proto::status::NO_FREE_QPAIR, qid: 0 };
+                };
+                // Privileged admin operation on behalf of the client. The
+                // paper's clients poll (iv = None); the interrupt-
+                // forwarding extension passes a vector.
+                let r = {
+                    let mut admin = self.admin.borrow_mut();
+                    // The interrupt extension assigns vector == qid.
+                    admin.create_io_qpair(qid, entries, sq_bus, cq_bus, iv.map(|_| qid)).await
+                };
+                match r {
+                    Ok(()) => {
+                        self.stats.borrow_mut().qpairs_created += 1;
+                        Response { seq: 0, status: proto::status::OK, qid }
+                    }
+                    Err(_) => {
+                        self.qids.borrow_mut().free(qid, slot);
+                        self.stats.borrow_mut().requests_rejected += 1;
+                        Response { seq: 0, status: proto::status::ADMIN_FAILED, qid: 0 }
+                    }
+                }
+            }
+            Request::DeleteQp { qid, .. } => {
+                if !self.qids.borrow_mut().free(qid, slot) {
+                    self.stats.borrow_mut().requests_rejected += 1;
+                    return Response { seq: 0, status: proto::status::NOT_OWNER, qid };
+                }
+                let r = {
+                    let mut admin = self.admin.borrow_mut();
+                    admin.delete_io_qpair(qid).await
+                };
+                match r {
+                    Ok(()) => {
+                        self.stats.borrow_mut().qpairs_deleted += 1;
+                        Response { seq: 0, status: proto::status::OK, qid }
+                    }
+                    Err(_) => Response { seq: 0, status: proto::status::ADMIN_FAILED, qid },
+                }
+            }
+        }
+    }
+
+    /// Write the response into the client's response segment (through an
+    /// NTB mapping if the client is remote — a posted write).
+    async fn respond(&self, msg: SlotMessage, mut resp: Response) {
+        resp.seq = msg.seq;
+        let seg = match msg.request {
+            Request::CreateQp { response_segment, .. } => response_segment,
+            Request::DeleteQp { response_segment, .. } => response_segment,
+        };
+        let mapping = {
+            let mut maps = self.resp_maps.borrow_mut();
+            match maps.get(&seg) {
+                Some(m) => *m,
+                None => {
+                    let Ok(m) = self.smartio.map_for_cpu(self.host, SegmentId(seg)) else {
+                        return; // client vanished; nothing to answer
+                    };
+                    maps.insert(seg, m);
+                    m
+                }
+            }
+        };
+        let fabric = self.smartio.fabric();
+        let _ = fabric.cpu_write(mapping.region.host, mapping.region.addr, &resp.encode()).await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qid_pool_alloc_free() {
+        let mut p = QidPool::new(3);
+        assert_eq!(p.alloc(0), Some(1));
+        assert_eq!(p.alloc(1), Some(2));
+        assert_eq!(p.alloc(2), Some(3));
+        assert_eq!(p.alloc(3), None, "pool exhausted");
+        assert!(!p.free(2, 0), "wrong owner rejected");
+        assert!(p.free(2, 1));
+        assert_eq!(p.alloc(5), Some(2), "freed qid reused");
+        assert_eq!(p.in_use(), 3);
+    }
+
+    #[test]
+    fn qid_zero_never_allocated() {
+        let mut p = QidPool::new(2);
+        assert_eq!(p.alloc(0), Some(1));
+        assert_eq!(p.alloc(0), Some(2));
+        assert_eq!(p.alloc(0), None);
+    }
+}

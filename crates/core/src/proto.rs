@@ -1,0 +1,284 @@
+//! Shared-memory wire formats for the distributed driver's control plane:
+//! the metadata segment the manager publishes, and the mailbox protocol
+//! clients use to request queue pairs.
+//!
+//! Everything here travels through SISCI segments as raw bytes — both
+//! sides may be different machines, so the layouts are explicit
+//! little-endian, versioned by a magic word.
+
+/// Magic identifying a dnvme metadata segment.
+pub const META_MAGIC: u32 = 0x444E_564D; // "DNVM"
+
+/// Size of the metadata blob.
+pub const META_LEN: usize = 64;
+
+/// One mailbox slot per client host.
+pub const MAILBOX_SLOT: usize = 64;
+
+/// Size of a client's response area.
+pub const RESPONSE_LEN: usize = 16;
+
+/// Metadata the manager publishes about a managed controller (§V: "a
+/// shared memory segment associated with the controller with metadata
+/// about the manager, such as which host it runs on").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Metadata {
+    /// Must equal [`META_MAGIC`].
+    pub magic: u32,
+    /// Host running the manager module.
+    pub manager_host: u16,
+    /// I/O queue pairs the controller grants (31 on the P4800X).
+    pub max_qpairs: u16,
+    /// Namespace logical block size in bytes.
+    pub block_size: u32,
+    /// Namespace capacity in logical blocks.
+    pub capacity_blocks: u64,
+    /// Segment id of the mailbox.
+    pub mailbox_segment: u32,
+    /// Segment id exporting the controller's BAR0.
+    pub bar_segment: u32,
+    /// Number of mailbox slots (one per host).
+    pub mailbox_slots: u32,
+}
+
+impl Metadata {
+    /// Serialize to the shared-memory layout.
+    pub fn encode(&self) -> [u8; META_LEN] {
+        let mut b = [0u8; META_LEN];
+        b[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        b[4..6].copy_from_slice(&self.manager_host.to_le_bytes());
+        b[6..8].copy_from_slice(&self.max_qpairs.to_le_bytes());
+        b[8..12].copy_from_slice(&self.block_size.to_le_bytes());
+        b[16..24].copy_from_slice(&self.capacity_blocks.to_le_bytes());
+        b[24..28].copy_from_slice(&self.mailbox_segment.to_le_bytes());
+        b[28..32].copy_from_slice(&self.bar_segment.to_le_bytes());
+        b[32..36].copy_from_slice(&self.mailbox_slots.to_le_bytes());
+        b
+    }
+
+    /// Parse from the shared-memory layout.
+    pub fn decode(b: &[u8; META_LEN]) -> Metadata {
+        Metadata {
+            magic: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            manager_host: u16::from_le_bytes(b[4..6].try_into().unwrap()),
+            max_qpairs: u16::from_le_bytes(b[6..8].try_into().unwrap()),
+            block_size: u32::from_le_bytes(b[8..12].try_into().unwrap()),
+            capacity_blocks: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            mailbox_segment: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+            bar_segment: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            mailbox_slots: u32::from_le_bytes(b[32..36].try_into().unwrap()),
+        }
+    }
+
+    /// Whether the magic matches.
+    pub fn valid(&self) -> bool {
+        self.magic == META_MAGIC
+    }
+}
+
+/// Requests a client writes into its mailbox slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Create an I/O queue pair with rings at the given *bus* addresses
+    /// (already resolved by SmartIO for the device). `iv` requests an
+    /// interrupt vector (the interrupt-forwarding extension; the paper's
+    /// clients poll and pass `None`).
+    CreateQp { entries: u16, sq_bus: u64, cq_bus: u64, response_segment: u32, iv: Option<u16> },
+    /// Delete a previously granted queue pair.
+    DeleteQp { qid: u16, response_segment: u32 },
+}
+
+const OP_CREATE: u32 = 1;
+const OP_DELETE: u32 = 2;
+
+/// A stamped request as written into a mailbox slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotMessage {
+    /// Monotonically increasing per slot; a new value marks a new request.
+    pub seq: u32,
+    /// The request payload.
+    pub request: Request,
+}
+
+impl SlotMessage {
+    /// Serialize to one mailbox slot.
+    pub fn encode(&self) -> [u8; MAILBOX_SLOT] {
+        let mut b = [0u8; MAILBOX_SLOT];
+        b[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        match self.request {
+            Request::CreateQp { entries, sq_bus, cq_bus, response_segment, iv } => {
+                b[8..12].copy_from_slice(&OP_CREATE.to_le_bytes());
+                b[12..14].copy_from_slice(&entries.to_le_bytes());
+                b[14..16].copy_from_slice(&iv.unwrap_or(0xFFFF).to_le_bytes());
+                b[16..24].copy_from_slice(&sq_bus.to_le_bytes());
+                b[24..32].copy_from_slice(&cq_bus.to_le_bytes());
+                b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+            }
+            Request::DeleteQp { qid, response_segment } => {
+                b[8..12].copy_from_slice(&OP_DELETE.to_le_bytes());
+                b[12..14].copy_from_slice(&qid.to_le_bytes());
+                b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+            }
+        }
+        // Sequence word first in memory order would race the payload on a
+        // real fabric; we write it last within the slot and the client
+        // issues it in one posted burst, which PCIe keeps ordered.
+        b[0..4].copy_from_slice(&self.seq.to_le_bytes());
+        b
+    }
+
+    /// Parse a slot; `None` for torn or unknown contents.
+    pub fn decode(b: &[u8; MAILBOX_SLOT]) -> Option<SlotMessage> {
+        let seq = u32::from_le_bytes(b[0..4].try_into().unwrap());
+        let seq2 = u32::from_le_bytes(b[4..8].try_into().unwrap());
+        if seq != seq2 {
+            return None; // torn write in flight
+        }
+        let op = u32::from_le_bytes(b[8..12].try_into().unwrap());
+        let response_segment = u32::from_le_bytes(b[32..36].try_into().unwrap());
+        let request = match op {
+            OP_CREATE => {
+                let raw_iv = u16::from_le_bytes(b[14..16].try_into().unwrap());
+                Request::CreateQp {
+                    entries: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+                    sq_bus: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+                    cq_bus: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+                    response_segment,
+                    iv: (raw_iv != 0xFFFF).then_some(raw_iv),
+                }
+            }
+            OP_DELETE => Request::DeleteQp {
+                qid: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+                response_segment,
+            },
+            _ => return None,
+        };
+        Some(SlotMessage { seq, request })
+    }
+}
+
+/// Manager's answer, written into the client's response segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Per-slot sequence number; a new value marks a new message.
+    pub seq: u32,
+    /// 0 = OK; otherwise an error code.
+    pub status: u32,
+    /// Granted queue id (CreateQp).
+    pub qid: u16,
+}
+
+/// Response status codes.
+pub mod status {
+    /// Request succeeded.
+    pub const OK: u32 = 0;
+    /// All I/O queue pairs are granted.
+    pub const NO_FREE_QPAIR: u32 = 1;
+    /// The admin command behind the request failed.
+    pub const ADMIN_FAILED: u32 = 2;
+    /// Malformed or invalid request.
+    pub const BAD_REQUEST: u32 = 3;
+    /// The slot does not own the named queue pair.
+    pub const NOT_OWNER: u32 = 4;
+}
+
+impl Response {
+    /// Serialize to the response area layout.
+    pub fn encode(&self) -> [u8; RESPONSE_LEN] {
+        let mut b = [0u8; RESPONSE_LEN];
+        b[4..8].copy_from_slice(&self.status.to_le_bytes());
+        b[8..10].copy_from_slice(&self.qid.to_le_bytes());
+        b[0..4].copy_from_slice(&self.seq.to_le_bytes());
+        b
+    }
+
+    /// Parse from the response area layout.
+    pub fn decode(b: &[u8; RESPONSE_LEN]) -> Response {
+        Response {
+            seq: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            status: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            qid: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_roundtrip() {
+        let m = Metadata {
+            magic: META_MAGIC,
+            manager_host: 2,
+            max_qpairs: 31,
+            block_size: 512,
+            capacity_blocks: 1 << 20,
+            mailbox_segment: 7,
+            bar_segment: 3,
+            mailbox_slots: 64,
+        };
+        let dec = Metadata::decode(&m.encode());
+        assert_eq!(dec, m);
+        assert!(dec.valid());
+    }
+
+    #[test]
+    fn invalid_magic_detected() {
+        let m = Metadata::decode(&[0u8; META_LEN]);
+        assert!(!m.valid());
+    }
+
+    #[test]
+    fn create_request_roundtrip() {
+        let msg = SlotMessage {
+            seq: 9,
+            request: Request::CreateQp {
+                entries: 256,
+                sq_bus: 0xDEAD_0000,
+                cq_bus: 0xBEEF_0000,
+                response_segment: 12,
+                iv: None,
+            },
+        };
+        assert_eq!(SlotMessage::decode(&msg.encode()), Some(msg));
+        let msg_iv = SlotMessage {
+            seq: 10,
+            request: Request::CreateQp {
+                entries: 8,
+                sq_bus: 1,
+                cq_bus: 2,
+                response_segment: 3,
+                iv: Some(7),
+            },
+        };
+        assert_eq!(SlotMessage::decode(&msg_iv.encode()), Some(msg_iv));
+    }
+
+    #[test]
+    fn delete_request_roundtrip() {
+        let msg = SlotMessage { seq: 10, request: Request::DeleteQp { qid: 5, response_segment: 12 } };
+        assert_eq!(SlotMessage::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn torn_write_rejected() {
+        let msg = SlotMessage { seq: 3, request: Request::DeleteQp { qid: 1, response_segment: 2 } };
+        let mut raw = msg.encode();
+        raw[0] = 0xFF; // seq words disagree
+        assert_eq!(SlotMessage::decode(&raw), None);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut raw = [0u8; MAILBOX_SLOT];
+        raw[8] = 0x77;
+        assert_eq!(SlotMessage::decode(&raw), None);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response { seq: 4, status: status::OK, qid: 17 };
+        assert_eq!(Response::decode(&r.encode()), r);
+    }
+}

@@ -1,0 +1,17 @@
+//! # fioflex — the Flexible I/O Tester analog
+//!
+//! The paper benchmarks with FIO 3.28 (§VI): synthetic random read/write,
+//! 4 KiB, queue depth 1, 60 s. This crate reproduces that driver for any
+//! [`blklayer::BlockDevice`]: job specs ([`JobSpec`]), a deterministic
+//! multi-lane engine ([`run_job`]), latency/IOPS/bandwidth reports
+//! ([`JobReport`]), and data verification ([`verify_region`]).
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+pub mod verify;
+
+pub use engine::run_job;
+pub use report::{JobReport, SideReport};
+pub use spec::{JobSpec, RwMode};
+pub use verify::{stamp, verify_region, VerifyReport};

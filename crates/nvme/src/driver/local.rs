@@ -1,0 +1,366 @@
+//! Local NVMe drivers: the **stock-Linux analog** (interrupt-driven
+//! completions, direct DMA to the request buffer) and the **SPDK analog**
+//! (poll-mode, minimal per-command software cost). These are the two
+//! baselines in the paper's Fig. 9a scenario.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use pcie::{DomainAddr, Fabric, HostId, MemRegion};
+use simcore::sync::{oneshot, Notify, Semaphore};
+use simcore::{Handle, SimDuration};
+
+use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BlockDevice};
+
+use crate::driver::admin::{AdminError, AdminQueue, AdminQueueLayout, AdminResult};
+use crate::queue::{CqRing, SqRing};
+use crate::spec::command::{SqEntry, SQE_SIZE};
+use crate::spec::completion::{CqEntry, CQE_SIZE};
+use crate::spec::identify::{IdentifyController, IdentifyNamespace};
+use crate::spec::log::{DsmRange, DSM_MAX_RANGES, DSM_RANGE_LEN};
+use crate::spec::prp;
+use crate::spec::status::Status;
+
+/// How a driver learns about completions.
+#[derive(Clone, Copy, Debug)]
+pub enum CompletionMode {
+    /// MSI + interrupt handling latency (stock kernel driver).
+    Interrupt { latency: SimDuration },
+    /// Busy polling; per-detection CPU cost (SPDK / the paper's driver).
+    Polling { check_cost: SimDuration },
+}
+
+/// Software-cost profile of a local driver.
+#[derive(Clone, Debug)]
+pub struct LocalDriverConfig {
+    /// I/O queue size in entries.
+    pub queue_entries: u16,
+    /// Outstanding request limit (tags).
+    pub queue_depth: usize,
+    /// CPU cost on the submit path (block layer + driver).
+    pub submission_overhead: SimDuration,
+    /// CPU cost on the completion path after detection.
+    pub completion_overhead: SimDuration,
+    /// How completions are detected.
+    pub mode: CompletionMode,
+    /// Largest single transfer (bytes).
+    pub max_transfer: u64,
+}
+
+impl LocalDriverConfig {
+    /// The stock Linux kernel NVMe driver, as configured in §VI.
+    pub fn linux() -> Self {
+        LocalDriverConfig {
+            queue_entries: 256,
+            queue_depth: 128,
+            submission_overhead: SimDuration::from_nanos(700),
+            completion_overhead: SimDuration::from_nanos(500),
+            mode: CompletionMode::Interrupt { latency: SimDuration::from_nanos(1_400) },
+            max_transfer: 1 << 20,
+        }
+    }
+
+    /// SPDK-like poll-mode driver (the paper's NVMe-oF target side).
+    pub fn spdk() -> Self {
+        LocalDriverConfig {
+            queue_entries: 256,
+            queue_depth: 128,
+            submission_overhead: SimDuration::from_nanos(220),
+            completion_overhead: SimDuration::from_nanos(150),
+            mode: CompletionMode::Polling { check_cost: SimDuration::from_nanos(90) },
+            max_transfer: 1 << 20,
+        }
+    }
+}
+
+struct Pending {
+    slots: Vec<Option<oneshot::Sender<CqEntry>>>,
+    free: Vec<u16>,
+}
+
+/// A local driver instance bound to one controller in the same PCIe
+/// domain: buffers DMA directly (bus address == physical address).
+pub struct LocalNvmeDriver {
+    fabric: Fabric,
+    handle: Handle,
+    host: HostId,
+    cfg: LocalDriverConfig,
+    /// Identify Controller data read at bring-up.
+    pub ctrl_info: IdentifyController,
+    /// Identify Namespace data read at bring-up.
+    pub ns_info: IdentifyNamespace,
+    sq: Rc<SqRing>,
+    sq_lock: Semaphore,
+    tags: Semaphore,
+    pending: Rc<RefCell<Pending>>,
+    /// Per-tag PRP list page (bus == phys for local memory).
+    prp_pages: Vec<MemRegion>,
+}
+
+impl LocalNvmeDriver {
+    /// Bring up the controller at `bar` (which must be local to `host`)
+    /// and create one I/O queue pair.
+    pub async fn init(
+        fabric: &Fabric,
+        host: HostId,
+        bar: MemRegion,
+        cfg: LocalDriverConfig,
+    ) -> AdminResult<Rc<LocalNvmeDriver>> {
+        assert_eq!(bar.host, host, "LocalNvmeDriver requires a device in the local domain");
+        let entries = cfg.queue_entries;
+        let asq = fabric.alloc(host, 32 * SQE_SIZE as u64)?;
+        let acq = fabric.alloc(host, 32 * CQE_SIZE as u64)?;
+        let mut admin = AdminQueue::init(
+            fabric,
+            bar,
+            AdminQueueLayout {
+                asq_cpu: asq,
+                asq_bus: asq.addr.as_u64(),
+                acq_cpu: acq,
+                acq_bus: acq.addr.as_u64(),
+                entries: 32,
+            },
+        )
+        .await?;
+        let idbuf = fabric.alloc(host, 4096)?;
+        let ctrl_info = admin.identify_controller(idbuf, idbuf.addr.as_u64()).await?;
+        let ns_info = admin.identify_namespace(1, idbuf, idbuf.addr.as_u64()).await?;
+        fabric.release(idbuf);
+        admin.set_num_queues(1).await?;
+
+        // I/O queue pair 1, both rings in local memory.
+        let sq_mem = fabric.alloc(host, entries as u64 * SQE_SIZE as u64)?;
+        let cq_mem = fabric.alloc(host, entries as u64 * CQE_SIZE as u64)?;
+        let iv = match cfg.mode {
+            CompletionMode::Interrupt { .. } => Some(1u16),
+            CompletionMode::Polling { .. } => None,
+        };
+        admin
+            .create_io_qpair(1, entries, sq_mem.addr.as_u64(), cq_mem.addr.as_u64(), iv)
+            .await?;
+        let cap = admin.cap;
+        let sq = Rc::new(SqRing::new(
+            fabric,
+            sq_mem,
+            DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(1))),
+            entries,
+        ));
+        let cq = CqRing::new(
+            fabric,
+            cq_mem,
+            DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(1))),
+            entries,
+        );
+        let qd = cfg.queue_depth.min(entries as usize - 1);
+        let mut prp_pages = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            prp_pages.push(fabric.alloc(host, prp::PAGE)?);
+        }
+        let driver = Rc::new(LocalNvmeDriver {
+            fabric: fabric.clone(),
+            handle: fabric.handle(),
+            host,
+            ctrl_info,
+            ns_info,
+            sq,
+            sq_lock: Semaphore::new(1),
+            tags: Semaphore::new(qd),
+            pending: Rc::new(RefCell::new(Pending {
+                slots: (0..qd).map(|_| None).collect(),
+                free: (0..qd as u16).rev().collect(),
+            })),
+            prp_pages,
+            cfg,
+        });
+
+        // Completion service: IRQ bottom-half or poll loop.
+        let irq = match driver.cfg.mode {
+            CompletionMode::Interrupt { .. } => {
+                // Vector 1 routed to this host.
+                let dev_id = match fabric.resolve(host, bar.addr, 8) {
+                    Ok(pcie::Location::Bar { dev, .. }) => dev,
+                    _ => panic!("controller BAR did not resolve to a device"),
+                };
+                Some(fabric.config_msi(dev_id, 1, host))
+            }
+            CompletionMode::Polling { .. } => None,
+        };
+        let d2 = driver.clone();
+        fabric.handle().spawn(async move { d2.completion_loop(cq, irq).await });
+        Ok(driver)
+    }
+
+    async fn completion_loop(self: Rc<Self>, mut cq: CqRing, irq: Option<Notify>) {
+        loop {
+            match (self.cfg.mode, &irq) {
+                (CompletionMode::Interrupt { latency }, Some(irq)) => {
+                    irq.notified().await;
+                    self.handle.sleep(latency).await;
+                    while let Some(cqe) = cq.try_pop() {
+                        self.deliver(cqe);
+                    }
+                    let _ = cq.ring_doorbell().await;
+                }
+                (CompletionMode::Polling { check_cost }, _) => {
+                    let cqe = cq.next(check_cost).await;
+                    self.deliver(cqe);
+                    while let Some(cqe) = cq.try_pop() {
+                        self.deliver(cqe);
+                    }
+                    let _ = cq.ring_doorbell().await;
+                }
+                _ => unreachable!("interrupt mode without an IRQ notify"),
+            }
+        }
+    }
+
+    fn deliver(&self, cqe: CqEntry) {
+        self.sq.update_head(cqe.sq_head);
+        let mut p = self.pending.borrow_mut();
+        if let Some(tx) = p.slots.get_mut(cqe.cid as usize).and_then(Option::take) {
+            tx.send(cqe);
+        }
+    }
+
+    /// Issue one I/O command against `bus_addr` (already device-visible).
+    /// Used directly by the NVMe-oF target (staging buffers) and by the
+    /// block-device path below.
+    pub async fn io_raw(
+        &self,
+        op: BioOp,
+        lba: u64,
+        blocks: u32,
+        bus_addr: u64,
+    ) -> Result<Status, BioError> {
+        let _tag = self.tags.acquire().await;
+        self.handle.sleep(self.cfg.submission_overhead).await;
+        let (cid, rx) = {
+            let mut p = self.pending.borrow_mut();
+            let cid = p.free.pop().expect("tag semaphore guarantees a free cid");
+            let (tx, rx) = oneshot::channel();
+            p.slots[cid as usize] = Some(tx);
+            (cid, rx)
+        };
+        let len = blocks as u64 * self.ns_info.block_size();
+        let sqe = match op {
+            BioOp::Flush => SqEntry::flush(cid, 1),
+            BioOp::Read | BioOp::Write => {
+                let list_page = &self.prp_pages[cid as usize];
+                let set = prp::build_prps(bus_addr, len, list_page.addr.as_u64())
+                    .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                if !set.list.is_empty() {
+                    let raw: Vec<u8> = set.list.iter().flat_map(|e| e.to_le_bytes()).collect();
+                    self.fabric
+                        .mem_write(self.host, list_page.addr, &raw)
+                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                }
+                let nlb0 = (blocks - 1) as u16;
+                match op {
+                    BioOp::Read => SqEntry::read(cid, 1, lba, nlb0, set.prp1, set.prp2),
+                    _ => SqEntry::write(cid, 1, lba, nlb0, set.prp1, set.prp2),
+                }
+            }
+        };
+        {
+            let _q = self.sq_lock.acquire().await;
+            self.sq.push(&sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+        }
+        let cqe = rx.await.map_err(|_| BioError::Gone)?;
+        self.pending.borrow_mut().free.push(cid);
+        self.handle.sleep(self.cfg.completion_overhead).await;
+        Ok(cqe.status())
+    }
+
+    /// The driver's cost profile.
+    pub fn config(&self) -> &LocalDriverConfig {
+        &self.cfg
+    }
+
+    /// Deallocate (TRIM) the given LBA ranges via Dataset Management.
+    pub async fn deallocate(&self, ranges: &[DsmRange]) -> Result<Status, BioError> {
+        assert!(!ranges.is_empty() && ranges.len() <= DSM_MAX_RANGES);
+        let _tag = self.tags.acquire().await;
+        self.handle.sleep(self.cfg.submission_overhead).await;
+        let (cid, rx) = {
+            let mut p = self.pending.borrow_mut();
+            let cid = p.free.pop().expect("tag semaphore guarantees a free cid");
+            let (tx, rx) = oneshot::channel();
+            p.slots[cid as usize] = Some(tx);
+            (cid, rx)
+        };
+        // Stage the range list in this tag's PRP page (it is exactly one
+        // page: 256 ranges x 16 B).
+        let list_page = &self.prp_pages[cid as usize];
+        let raw: Vec<u8> = ranges.iter().flat_map(|r| r.encode()).collect();
+        debug_assert!(raw.len() <= prp::PAGE as usize && DSM_RANGE_LEN * ranges.len() == raw.len());
+        self.fabric
+            .mem_write(self.host, list_page.addr, &raw)
+            .map_err(|e| BioError::DeviceError(e.to_string()))?;
+        let sqe = SqEntry::dataset_management(
+            cid,
+            1,
+            (ranges.len() - 1) as u8,
+            true,
+            list_page.addr.as_u64(),
+        );
+        {
+            let _q = self.sq_lock.acquire().await;
+            self.sq.push(&sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+        }
+        let cqe = rx.await.map_err(|_| BioError::Gone)?;
+        self.pending.borrow_mut().free.push(cid);
+        self.handle.sleep(self.cfg.completion_overhead).await;
+        Ok(cqe.status())
+    }
+}
+
+impl BlockDevice for LocalNvmeDriver {
+    fn block_size(&self) -> u32 {
+        self.ns_info.block_size() as u32
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.ns_info.nsze
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.cfg.queue_depth
+    }
+
+    fn submit(&self, bio: Bio) -> BioFuture<'_> {
+        Box::pin(async move {
+            validate(self, &bio)?;
+            let len = bio.len(self.block_size());
+            if len > self.cfg.max_transfer {
+                return Err(BioError::TooLarge { bytes: len, max: self.cfg.max_transfer });
+            }
+            if bio.op != BioOp::Flush && bio.buf.host != self.host {
+                return Err(BioError::DeviceError(
+                    "local driver cannot DMA a remote buffer".into(),
+                ));
+            }
+            // Direct DMA to the request buffer: bus address == physical
+            // address in the device's own domain.
+            let status = self.io_raw(bio.op, bio.lba, bio.blocks, bio.buf.addr.as_u64()).await?;
+            if status.is_success() {
+                Ok(())
+            } else {
+                Err(BioError::DeviceError(status.to_string()))
+            }
+        })
+    }
+}
+
+/// Convenience: allocate, bring up, and return a driver for a controller
+/// that lives in `host`'s domain, resolving its BAR automatically.
+pub async fn attach_local_driver(
+    fabric: &Fabric,
+    host: HostId,
+    ctrl: &Rc<crate::ctrl::NvmeController>,
+    cfg: LocalDriverConfig,
+) -> AdminResult<Rc<LocalNvmeDriver>> {
+    let bar = fabric.bar_region(ctrl.device_id(), 0).map_err(AdminError::Fabric)?;
+    LocalNvmeDriver::init(fabric, host, bar, cfg).await
+}

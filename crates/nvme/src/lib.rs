@@ -1,0 +1,27 @@
+//! # nvme — behavioural NVMe 1.3 model
+//!
+//! Everything between a host driver and the storage medium:
+//!
+//! * [`spec`] — on-the-wire structures (SQE/CQE, registers, identify,
+//!   PRPs) with encode/decode round-trip tests.
+//! * [`queue`] — host-side ring abstractions (`SqRing` writes through any
+//!   CPU-visible address, including NTB windows; `CqRing` polls phase
+//!   tags in local memory).
+//! * [`medium`] — storage media with calibrated latency profiles
+//!   (Optane-like consistency, NAND-like asymmetry).
+//! * [`ctrl`] — the controller device model: one register file, one admin
+//!   queue pair, up to 31 I/O queue pairs, DMA through the PCIe fabric
+//!   with full NTB translation.
+//! * [`driver`] — local drivers: the stock-Linux analog (interrupts) and
+//!   the SPDK analog (polling), plus the shared admin bring-up code.
+
+pub mod ctrl;
+pub mod driver;
+pub mod medium;
+pub mod queue;
+pub mod spec;
+
+pub use ctrl::{CtrlStats, NvmeConfig, NvmeController};
+pub use medium::{BlockStore, MediaProfile};
+pub use queue::{CqRing, SqRing};
+pub use spec::{CqEntry, IdentifyController, IdentifyNamespace, SqEntry, Status};

@@ -1,0 +1,265 @@
+//! Host-side (driver) views of NVMe queues.
+//!
+//! An [`SqRing`] writes entries through whatever address the driver's host
+//! uses to reach the queue memory — local DRAM, or an **NTB window** into
+//! device-side memory (the paper's Fig. 8 placement). A [`CqRing`] polls
+//! local memory for entries whose phase tag matches its expectation.
+//!
+//! `SqRing` uses interior mutability (`Cell`) so a submit path and a
+//! completion path can share it through an `Rc` without holding borrows
+//! across awaits; callers serialize slot allocation with a queue lock,
+//! exactly like the per-queue spinlock in a real driver.
+
+use std::cell::Cell;
+
+use pcie::{DomainAddr, Fabric, MemRegion, WatchHandle};
+use simcore::SimDuration;
+
+use crate::spec::command::{SqEntry, SQE_SIZE};
+use crate::spec::completion::{CqEntry, CQE_SIZE};
+
+/// Driver-side submission queue.
+pub struct SqRing {
+    fabric: Fabric,
+    /// Address the *driver's* CPU uses to write entries (may be remote via
+    /// an NTB window).
+    ring: MemRegion,
+    /// SQ tail doorbell address in the driver host's domain.
+    doorbell: DomainAddr,
+    entries: u16,
+    tail: Cell<u16>,
+    /// Controller's consumed head, learned from CQE.sq_head.
+    head: Cell<u16>,
+}
+
+impl SqRing {
+    /// A ring over `ring` with its doorbell at `doorbell`.
+    pub fn new(fabric: &Fabric, ring: MemRegion, doorbell: DomainAddr, entries: u16) -> Self {
+        assert!(ring.len >= entries as u64 * SQE_SIZE as u64, "SQ ring region too small");
+        SqRing {
+            fabric: fabric.clone(),
+            ring,
+            doorbell,
+            entries,
+            tail: Cell::new(0),
+            head: Cell::new(0),
+        }
+    }
+
+    /// Ring capacity in entries.
+    pub fn entries(&self) -> u16 {
+        self.entries
+    }
+
+    /// Producer tail index.
+    pub fn tail(&self) -> u16 {
+        self.tail.get()
+    }
+
+    /// Whether no slot is free.
+    pub fn is_full(&self) -> bool {
+        (self.tail.get() + 1) % self.entries == self.head.get()
+    }
+
+    /// Free SQE slots.
+    pub fn space(&self) -> u16 {
+        (self.entries + self.head.get() - self.tail.get() - 1) % self.entries
+    }
+
+    /// Record the controller's SQ head from a completion.
+    pub fn update_head(&self, head: u16) {
+        self.head.set(head);
+    }
+
+    /// Write one entry at the tail (posted; CPU-side cost applies).
+    /// Does not ring the doorbell — batch then [`SqRing::ring`].
+    pub async fn push(&self, sqe: &SqEntry) -> pcie::Result<()> {
+        assert!(!self.is_full(), "pushed into full SQ");
+        let tail = self.tail.get();
+        let slot_addr = self.ring.addr.offset(tail as u64 * SQE_SIZE as u64);
+        self.tail.set((tail + 1) % self.entries);
+        self.fabric.cpu_write(self.ring.host, slot_addr, &sqe.encode()).await?;
+        Ok(())
+    }
+
+    /// Ring the tail doorbell (posted 4-byte MMIO write).
+    pub async fn ring(&self) -> pcie::Result<()> {
+        self.fabric
+            .cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.tail.get() as u32)
+            .await
+    }
+}
+
+/// Driver-side completion queue. The ring must live in memory local to the
+/// polling host (the paper allocates CQs CPU-side for this reason).
+pub struct CqRing {
+    fabric: Fabric,
+    ring: MemRegion,
+    doorbell: DomainAddr,
+    entries: u16,
+    head: u16,
+    phase: bool,
+    watch: WatchHandle,
+}
+
+impl CqRing {
+    /// A ring over `ring` with its doorbell at `doorbell`.
+    pub fn new(fabric: &Fabric, ring: MemRegion, doorbell: DomainAddr, entries: u16) -> Self {
+        assert!(ring.len >= entries as u64 * CQE_SIZE as u64, "CQ ring region too small");
+        let watch = fabric.watch(ring.host, ring.addr, entries as u64 * CQE_SIZE as u64);
+        CqRing { fabric: fabric.clone(), ring, doorbell, entries, head: 0, phase: true, watch }
+    }
+
+    /// Ring capacity in entries.
+    pub fn entries(&self) -> u16 {
+        self.entries
+    }
+
+    /// Consumer head index.
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Check the slot at the head for a new entry (phase match). Functional
+    /// read; the caller models the CPU cost of the check.
+    pub fn try_pop(&mut self) -> Option<CqEntry> {
+        let mut raw = [0u8; CQE_SIZE];
+        self.fabric
+            .mem_read(
+                self.ring.host,
+                self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+                &mut raw,
+            )
+            .expect("CQ ring read");
+        if CqEntry::peek_phase(&raw) != self.phase {
+            return None;
+        }
+        let cqe = CqEntry::decode(&raw);
+        self.head = (self.head + 1) % self.entries;
+        if self.head == 0 {
+            self.phase = !self.phase;
+        }
+        Some(cqe)
+    }
+
+    /// Wait for the next entry: parks on the memory watch (the simulation
+    /// stand-in for spinning on the cache line), then charges `check_cost`
+    /// per successful detection.
+    pub async fn next(&mut self, check_cost: SimDuration) -> CqEntry {
+        loop {
+            if let Some(cqe) = self.try_pop() {
+                if !check_cost.is_zero() {
+                    self.fabric.handle().sleep(check_cost).await;
+                }
+                return cqe;
+            }
+            let notified = self.watch.notify.clone();
+            notified.notified().await;
+        }
+    }
+
+    /// Ring the CQ head doorbell, releasing consumed slots to the device.
+    pub async fn ring_doorbell(&self) -> pcie::Result<()> {
+        self.fabric.cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.head as u32).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::status::Status;
+    use pcie::{FabricParams, HostId, PhysAddr};
+    use simcore::SimRuntime;
+
+    fn setup() -> (SimRuntime, Fabric, HostId) {
+        let rt = SimRuntime::new();
+        let fabric = Fabric::new(rt.handle(), FabricParams::default());
+        let host = fabric.add_host(16 << 20);
+        (rt, fabric, host)
+    }
+
+    #[test]
+    fn sq_wraps_and_tracks_space() {
+        let (rt, fabric, host) = setup();
+        let ring = fabric.alloc(host, 4 * SQE_SIZE as u64).unwrap();
+        let db = DomainAddr::new(host, ring.addr); // fake doorbell target in DRAM
+        let sq = SqRing::new(&fabric, ring, db, 4);
+        assert_eq!(sq.space(), 3);
+        rt.block_on(async move {
+            for i in 0..3u16 {
+                sq.push(&SqEntry::flush(i, 1)).await.unwrap();
+            }
+            assert!(sq.is_full());
+            assert_eq!(sq.space(), 0);
+            // Controller consumed two.
+            sq.update_head(2);
+            assert!(!sq.is_full());
+            assert_eq!(sq.space(), 2);
+            sq.push(&SqEntry::flush(3, 1)).await.unwrap();
+            assert_eq!(sq.tail(), 0); // wrapped
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "full SQ")]
+    fn sq_overflow_panics() {
+        let (rt, fabric, host) = setup();
+        let ring = fabric.alloc(host, 4 * SQE_SIZE as u64).unwrap();
+        let db = DomainAddr::new(host, ring.addr);
+        let sq = SqRing::new(&fabric, ring, db, 4);
+        rt.block_on(async move {
+            for i in 0..4u16 {
+                sq.push(&SqEntry::flush(i, 1)).await.unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn cq_phase_detection_and_wrap() {
+        let (rt, fabric, host) = setup();
+        let ring = fabric.alloc(host, 2 * CQE_SIZE as u64).unwrap();
+        let db = DomainAddr::new(host, PhysAddr(ring.addr.as_u64()));
+        let mut cq = CqRing::new(&fabric, ring, db, 2);
+        assert!(cq.try_pop().is_none(), "empty queue must not pop");
+        // Simulate the controller posting entries with correct phases.
+        let write_cqe = |slot: u16, cid: u16, phase: bool| {
+            let cqe = CqEntry::new(0, 0, 1, cid, phase, Status::SUCCESS);
+            fabric
+                .mem_write(host, ring.addr.offset(slot as u64 * CQE_SIZE as u64), &cqe.encode())
+                .unwrap();
+        };
+        write_cqe(0, 10, true);
+        write_cqe(1, 11, true);
+        assert_eq!(cq.try_pop().unwrap().cid, 10);
+        assert_eq!(cq.try_pop().unwrap().cid, 11);
+        // Wrapped: stale entries (phase=true) must now be ignored.
+        assert!(cq.try_pop().is_none());
+        // Second pass uses inverted phase.
+        write_cqe(0, 12, false);
+        assert_eq!(cq.try_pop().unwrap().cid, 12);
+        let _ = rt;
+    }
+
+    #[test]
+    fn cq_next_waits_for_posting() {
+        let (rt, fabric, host) = setup();
+        let h = rt.handle();
+        let ring = fabric.alloc(host, 4 * CQE_SIZE as u64).unwrap();
+        let db = DomainAddr::new(host, ring.addr);
+        let mut cq = CqRing::new(&fabric, ring, db, 4);
+        let f2 = fabric.clone();
+        let h2 = h.clone();
+        // Poster task: writes a CQE at t=5µs.
+        h.spawn(async move {
+            h2.sleep(SimDuration::from_micros(5)).await;
+            let cqe = CqEntry::new(0, 3, 1, 42, true, Status::SUCCESS);
+            f2.mem_write(host, ring.addr, &cqe.encode()).unwrap();
+        });
+        let (cid, t) = rt.block_on(async move {
+            let cqe = cq.next(SimDuration::from_nanos(100)).await;
+            (cqe.cid, fabric.handle().now())
+        });
+        assert_eq!(cid, 42);
+        assert_eq!(t.as_nanos(), 5_000 + 100); // wake at write + check cost
+    }
+}

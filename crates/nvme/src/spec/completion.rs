@@ -1,0 +1,117 @@
+//! Completion Queue Entry (16 bytes) — NVMe 1.3 §4.6.
+//!
+//! The **phase tag** (DW3 bit 16) is how a driver detects new entries
+//! without any doorbell from the device: the controller inverts the
+//! expected phase every time the queue wraps, so a slot whose phase
+//! matches the consumer's current expectation is new.
+
+use super::status::Status;
+
+/// Byte size of a completion queue entry.
+pub const CQE_SIZE: usize = 16;
+
+/// A decoded completion queue entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct CqEntry {
+    /// Command-specific result (DW0).
+    pub result: u32,
+    /// SQ head pointer at completion time (flow control back to host).
+    pub sq_head: u16,
+    /// Which SQ the command came from.
+    pub sq_id: u16,
+    /// Command identifier being completed.
+    pub cid: u16,
+    /// Phase tag (new-entry detection).
+    pub phase: bool,
+    /// Packed status field (see [`CqEntry::status`]).
+    pub status: u16,
+}
+
+impl CqEntry {
+    /// Build an entry with a packed status field.
+    pub fn new(result: u32, sq_head: u16, sq_id: u16, cid: u16, phase: bool, status: Status) -> Self {
+        CqEntry { result, sq_head, sq_id, cid, phase, status: status.to_field() }
+    }
+
+    /// The decoded status field.
+    pub fn status(&self) -> Status {
+        Status::from_field(self.status)
+    }
+
+    /// Serialize to the 16-byte on-wire layout.
+    pub fn encode(&self) -> [u8; CQE_SIZE] {
+        let mut b = [0u8; CQE_SIZE];
+        b[0..4].copy_from_slice(&self.result.to_le_bytes());
+        // DW1 reserved.
+        b[8..10].copy_from_slice(&self.sq_head.to_le_bytes());
+        b[10..12].copy_from_slice(&self.sq_id.to_le_bytes());
+        let dw3 =
+            (self.cid as u32) | ((self.phase as u32) << 16) | ((self.status as u32 & 0x7FFF) << 17);
+        b[12..16].copy_from_slice(&dw3.to_le_bytes());
+        b
+    }
+
+    /// Parse a 16-byte completion queue entry.
+    pub fn decode(b: &[u8; CQE_SIZE]) -> CqEntry {
+        let dw3 = u32::from_le_bytes(b[12..16].try_into().unwrap());
+        CqEntry {
+            result: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            sq_head: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            sq_id: u16::from_le_bytes(b[10..12].try_into().unwrap()),
+            cid: (dw3 & 0xFFFF) as u16,
+            phase: (dw3 >> 16) & 1 == 1,
+            status: (dw3 >> 17) as u16,
+        }
+    }
+
+    /// Read just the phase bit from raw CQE bytes (what a poll loop does
+    /// before paying for a full decode).
+    pub fn peek_phase(b: &[u8; CQE_SIZE]) -> bool {
+        b[14] & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let cqe = CqEntry::new(0x1234, 7, 3, 99, true, Status::SUCCESS);
+        let dec = CqEntry::decode(&cqe.encode());
+        assert_eq!(dec, cqe);
+        assert!(dec.status().is_success());
+    }
+
+    #[test]
+    fn phase_peek_matches_decode() {
+        for phase in [false, true] {
+            let cqe = CqEntry::new(0, 0, 0, 0, phase, Status::SUCCESS);
+            let enc = cqe.encode();
+            assert_eq!(CqEntry::peek_phase(&enc), phase);
+        }
+    }
+
+    #[test]
+    fn status_preserved() {
+        let cqe = CqEntry::new(0, 0, 1, 2, false, Status::LBA_OUT_OF_RANGE);
+        let dec = CqEntry::decode(&cqe.encode());
+        assert_eq!(dec.status(), Status::LBA_OUT_OF_RANGE);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_all_fields(
+            result in any::<u32>(),
+            sq_head in any::<u16>(),
+            sq_id in any::<u16>(),
+            cid in any::<u16>(),
+            phase in any::<bool>(),
+            status in 0u16..0x8000,
+        ) {
+            let cqe = CqEntry { result, sq_head, sq_id, cid, phase, status };
+            prop_assert_eq!(CqEntry::decode(&cqe.encode()), cqe);
+        }
+    }
+}

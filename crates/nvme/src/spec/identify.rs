@@ -1,0 +1,161 @@
+//! Identify data structures (the subset the drivers need) — NVMe 1.3 §5.15.
+
+/// Identify Controller data (4096 bytes on the wire).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdentifyController {
+    /// PCI vendor id.
+    pub vid: u16,
+    /// Serial number (20 chars, space padded).
+    pub serial: String,
+    /// Model number (40 chars, space padded).
+    pub model: String,
+    /// Firmware revision (8 chars).
+    pub firmware: String,
+    /// Maximum data transfer size as a power-of-two multiple of the page
+    /// size; 0 = unlimited.
+    pub mdts: u8,
+    /// Number of namespaces.
+    pub nn: u32,
+    /// Max outstanding commands per queue advertised via CAP; echoed here
+    /// for convenience in sqes/cqes required sizes.
+    pub sqes: u8,
+    /// CQ entry size capabilities.
+    pub cqes: u8,
+}
+
+impl IdentifyController {
+    /// On-wire size of the identify data.
+    pub const LEN: usize = 4096;
+
+    /// Serialize to the on-wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; Self::LEN];
+        b[0..2].copy_from_slice(&self.vid.to_le_bytes());
+        write_padded(&mut b[4..24], &self.serial);
+        write_padded(&mut b[24..64], &self.model);
+        write_padded(&mut b[64..72], &self.firmware);
+        b[77] = self.mdts;
+        b[512] = self.sqes;
+        b[513] = self.cqes;
+        b[516..520].copy_from_slice(&self.nn.to_le_bytes());
+        b
+    }
+
+    /// Parse from the on-wire layout (first 4096 bytes).
+    pub fn decode(b: &[u8]) -> IdentifyController {
+        assert!(b.len() >= Self::LEN);
+        IdentifyController {
+            vid: u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            serial: read_padded(&b[4..24]),
+            model: read_padded(&b[24..64]),
+            firmware: read_padded(&b[64..72]),
+            mdts: b[77],
+            sqes: b[512],
+            cqes: b[513],
+            nn: u32::from_le_bytes(b[516..520].try_into().unwrap()),
+        }
+    }
+}
+
+/// Identify Namespace data (4096 bytes on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdentifyNamespace {
+    /// Namespace size in logical blocks.
+    pub nsze: u64,
+    /// Namespace capacity.
+    pub ncap: u64,
+    /// LBA data size as a power of two (9 => 512 B blocks).
+    pub lbads: u8,
+}
+
+impl IdentifyNamespace {
+    /// On-wire size of the identify data.
+    pub const LEN: usize = 4096;
+
+    /// Logical block size in bytes (`1 << lbads`).
+    pub fn block_size(&self) -> u64 {
+        1 << self.lbads
+    }
+
+    /// Serialize to the on-wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; Self::LEN];
+        b[0..8].copy_from_slice(&self.nsze.to_le_bytes());
+        b[8..16].copy_from_slice(&self.ncap.to_le_bytes());
+        b[16..24].copy_from_slice(&self.nsze.to_le_bytes()); // nuse = nsze
+        b[25] = 0; // nlbaf: one format
+        b[26] = 0; // flbas: format 0
+        // LBA format 0 descriptor at offset 128: ms(16) | lbads(8) | rp.
+        b[130] = self.lbads;
+        b
+    }
+
+    /// Parse from the on-wire layout (first 4096 bytes).
+    pub fn decode(b: &[u8]) -> IdentifyNamespace {
+        assert!(b.len() >= Self::LEN);
+        IdentifyNamespace {
+            nsze: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            ncap: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            lbads: b[130],
+        }
+    }
+}
+
+fn write_padded(dst: &mut [u8], s: &str) {
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(dst.len());
+    dst[..n].copy_from_slice(&bytes[..n]);
+    for d in dst[n..].iter_mut() {
+        *d = b' ';
+    }
+}
+
+fn read_padded(src: &[u8]) -> String {
+    String::from_utf8_lossy(src).trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_roundtrip() {
+        let id = IdentifyController {
+            vid: 0x8086,
+            serial: "SIM0001".into(),
+            model: "Simulated Optane P4800X".into(),
+            firmware: "E2010435".into(),
+            mdts: 5,
+            nn: 1,
+            sqes: 0x66,
+            cqes: 0x44,
+        };
+        assert_eq!(IdentifyController::decode(&id.encode()), id);
+    }
+
+    #[test]
+    fn namespace_roundtrip_and_block_size() {
+        let ns = IdentifyNamespace { nsze: 1 << 20, ncap: 1 << 20, lbads: 9 };
+        let dec = IdentifyNamespace::decode(&ns.encode());
+        assert_eq!(dec, ns);
+        assert_eq!(dec.block_size(), 512);
+    }
+
+    #[test]
+    fn long_strings_truncate() {
+        let id = IdentifyController {
+            vid: 0,
+            serial: "X".repeat(100),
+            model: "Y".repeat(100),
+            firmware: "Z".repeat(100),
+            mdts: 0,
+            nn: 1,
+            sqes: 0,
+            cqes: 0,
+        };
+        let dec = IdentifyController::decode(&id.encode());
+        assert_eq!(dec.serial.len(), 20);
+        assert_eq!(dec.model.len(), 40);
+        assert_eq!(dec.firmware.len(), 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Log pages — NVMe 1.3 §5.14. The Error Information log is the one
+//! drivers actually read after a failure; entries are 64 bytes.
+
+use super::status::Status;
+
+/// Byte size of one error log entry.
+pub const ERROR_LOG_ENTRY_LEN: usize = 64;
+
+/// One Error Information log entry (the fields the spec populates for
+/// command errors; vendor bytes stay zero).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ErrorLogEntry {
+    /// Monotonic error count (1 = first error since reset).
+    pub error_count: u64,
+    /// Submission queue of the failed command.
+    pub sqid: u16,
+    /// Command identifier of the failed command.
+    pub cid: u16,
+    /// Status field as it appeared in the CQE.
+    pub status: Status,
+    /// LBA of the failed command (0 when not applicable).
+    pub lba: u64,
+    /// Namespace of the failed command.
+    pub nsid: u32,
+}
+
+impl ErrorLogEntry {
+    /// Serialize to the 64-byte on-wire layout.
+    pub fn encode(&self) -> [u8; ERROR_LOG_ENTRY_LEN] {
+        let mut b = [0u8; ERROR_LOG_ENTRY_LEN];
+        b[0..8].copy_from_slice(&self.error_count.to_le_bytes());
+        b[8..10].copy_from_slice(&self.sqid.to_le_bytes());
+        b[10..12].copy_from_slice(&self.cid.to_le_bytes());
+        // Status field is stored shifted by the phase bit, like DW3.
+        b[12..14].copy_from_slice(&(self.status.to_field() << 1).to_le_bytes());
+        b[16..24].copy_from_slice(&self.lba.to_le_bytes());
+        b[24..28].copy_from_slice(&self.nsid.to_le_bytes());
+        b
+    }
+
+    /// Parse one 64-byte error log entry.
+    pub fn decode(b: &[u8; ERROR_LOG_ENTRY_LEN]) -> ErrorLogEntry {
+        ErrorLogEntry {
+            error_count: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            sqid: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            cid: u16::from_le_bytes(b[10..12].try_into().unwrap()),
+            status: Status::from_field(u16::from_le_bytes(b[12..14].try_into().unwrap()) >> 1),
+            lba: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            nsid: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+        }
+    }
+}
+
+/// One Dataset Management range (§6.7): 16 bytes on the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DsmRange {
+    /// Context attributes (0 for plain deallocate).
+    pub context: u32,
+    /// Length in logical blocks.
+    pub blocks: u32,
+    /// Starting LBA.
+    pub slba: u64,
+}
+
+/// Byte size of one DSM range descriptor.
+pub const DSM_RANGE_LEN: usize = 16;
+/// Maximum ranges in one DSM command.
+pub const DSM_MAX_RANGES: usize = 256;
+
+impl DsmRange {
+    /// A plain deallocate range.
+    pub fn new(slba: u64, blocks: u32) -> DsmRange {
+        DsmRange { context: 0, blocks, slba }
+    }
+
+    /// Serialize to the 16-byte on-wire layout.
+    pub fn encode(&self) -> [u8; DSM_RANGE_LEN] {
+        let mut b = [0u8; DSM_RANGE_LEN];
+        b[0..4].copy_from_slice(&self.context.to_le_bytes());
+        b[4..8].copy_from_slice(&self.blocks.to_le_bytes());
+        b[8..16].copy_from_slice(&self.slba.to_le_bytes());
+        b
+    }
+
+    /// Parse one 16-byte DSM range.
+    pub fn decode(b: &[u8; DSM_RANGE_LEN]) -> DsmRange {
+        DsmRange {
+            context: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            blocks: u32::from_le_bytes(b[4..8].try_into().unwrap()),
+            slba: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn error_entry_roundtrip() {
+        let e = ErrorLogEntry {
+            error_count: 7,
+            sqid: 3,
+            cid: 99,
+            status: Status::LBA_OUT_OF_RANGE,
+            lba: 0xDEAD_BEEF,
+            nsid: 1,
+        };
+        assert_eq!(ErrorLogEntry::decode(&e.encode()), e);
+    }
+
+    #[test]
+    fn dsm_range_roundtrip() {
+        let r = DsmRange::new(0x1234_5678_9ABC, 4096);
+        assert_eq!(DsmRange::decode(&r.encode()), r);
+    }
+
+    proptest! {
+        #[test]
+        fn error_entry_roundtrip_prop(
+            error_count in any::<u64>(),
+            sqid in any::<u16>(),
+            cid in any::<u16>(),
+            sct in 0u8..8,
+            sc in any::<u8>(),
+            lba in any::<u64>(),
+            nsid in any::<u32>(),
+        ) {
+            let e = ErrorLogEntry {
+                error_count, sqid, cid,
+                status: Status { sct, sc },
+                lba, nsid,
+            };
+            prop_assert_eq!(ErrorLogEntry::decode(&e.encode()), e);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Controller register map (BAR0) — NVMe 1.3 §3.1.
+
+/// Register offsets in BAR0.
+pub mod offset {
+    /// Controller Capabilities (RO, 64-bit).
+    pub const CAP: u64 = 0x00;
+    /// Version.
+    pub const VS: u64 = 0x08;
+    /// Controller Configuration.
+    pub const CC: u64 = 0x14;
+    /// Controller Status.
+    pub const CSTS: u64 = 0x1C;
+    /// Admin Queue Attributes.
+    pub const AQA: u64 = 0x24;
+    /// Admin SQ base address (64-bit).
+    pub const ASQ: u64 = 0x28;
+    /// Admin CQ base address (64-bit).
+    pub const ACQ: u64 = 0x30;
+    /// First doorbell; stride per CAP.DSTRD.
+    pub const DOORBELL_BASE: u64 = 0x1000;
+}
+
+/// Controller Capabilities (read-only, 64 bit).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cap {
+    /// Maximum queue entries supported, 0-based.
+    pub mqes: u16,
+    /// Doorbell stride: stride bytes = 4 << dstrd.
+    pub dstrd: u8,
+    /// Worst-case ready timeout, 500 ms units.
+    pub to: u8,
+    /// Contiguous queues required.
+    pub cqr: bool,
+}
+
+impl Cap {
+    /// Pack into the 64-bit register value.
+    pub fn encode(&self) -> u64 {
+        (self.mqes as u64)
+            | ((self.cqr as u64) << 16)
+            | ((self.to as u64) << 24)
+            | ((self.dstrd as u64 & 0xF) << 32)
+            | (1 << 37) // CSS: NVM command set supported
+    }
+
+    /// Unpack from the 64-bit register value.
+    pub fn decode(v: u64) -> Cap {
+        Cap {
+            mqes: (v & 0xFFFF) as u16,
+            cqr: (v >> 16) & 1 == 1,
+            to: (v >> 24) as u8,
+            dstrd: ((v >> 32) & 0xF) as u8,
+        }
+    }
+
+    /// Doorbell stride in bytes (`4 << DSTRD`).
+    pub fn doorbell_stride(&self) -> u64 {
+        4 << self.dstrd
+    }
+
+    /// BAR0 offset of the SQ tail doorbell of queue `qid`.
+    pub fn sq_doorbell(&self, qid: u16) -> u64 {
+        offset::DOORBELL_BASE + (2 * qid as u64) * self.doorbell_stride()
+    }
+
+    /// BAR0 offset of the CQ head doorbell of queue `qid`.
+    pub fn cq_doorbell(&self, qid: u16) -> u64 {
+        offset::DOORBELL_BASE + (2 * qid as u64 + 1) * self.doorbell_stride()
+    }
+}
+
+/// Controller Configuration (CC) fields.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cc {
+    /// CC.EN: enable the controller.
+    pub enable: bool,
+    /// I/O SQ entry size as a power of two (6 => 64 B).
+    pub iosqes: u8,
+    /// I/O CQ entry size as a power of two (4 => 16 B).
+    pub iocqes: u8,
+}
+
+impl Cc {
+    /// Pack into the 32-bit register value.
+    pub fn encode(&self) -> u32 {
+        (self.enable as u32) | ((self.iosqes as u32 & 0xF) << 16) | ((self.iocqes as u32 & 0xF) << 20)
+    }
+
+    /// Unpack from the 32-bit register value.
+    pub fn decode(v: u32) -> Cc {
+        Cc {
+            enable: v & 1 == 1,
+            iosqes: ((v >> 16) & 0xF) as u8,
+            iocqes: ((v >> 20) & 0xF) as u8,
+        }
+    }
+}
+
+/// Controller Status (CSTS) bits.
+pub mod csts {
+    /// Controller ready.
+    pub const RDY: u32 = 1 << 0;
+    /// Controller fatal status.
+    pub const CFS: u32 = 1 << 1; // controller fatal status
+}
+
+/// Admin Queue Attributes: sizes of the admin queues (0-based).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Aqa {
+    /// Admin SQ size, 0-based.
+    pub asqs: u16,
+    /// Admin CQ size, 0-based.
+    pub acqs: u16,
+}
+
+impl Aqa {
+    /// Pack into the 32-bit register value.
+    pub fn encode(&self) -> u32 {
+        (self.asqs as u32 & 0xFFF) | ((self.acqs as u32 & 0xFFF) << 16)
+    }
+
+    /// Unpack from the 32-bit register value.
+    pub fn decode(v: u32) -> Aqa {
+        Aqa { asqs: (v & 0xFFF) as u16, acqs: ((v >> 16) & 0xFFF) as u16 }
+    }
+}
+
+/// Decode a doorbell write: returns (qid, is_cq) or `None` if the offset is
+/// not a doorbell for this stride.
+pub fn decode_doorbell(offset: u64, dstrd: u8) -> Option<(u16, bool)> {
+    if offset < offset::DOORBELL_BASE {
+        return None;
+    }
+    let stride = 4u64 << dstrd;
+    let rel = offset - offset::DOORBELL_BASE;
+    if !rel.is_multiple_of(stride) {
+        return None;
+    }
+    let idx = rel / stride;
+    Some(((idx / 2) as u16, idx % 2 == 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cap_roundtrip() {
+        let cap = Cap { mqes: 1023, dstrd: 0, to: 20, cqr: true };
+        assert_eq!(Cap::decode(cap.encode()), cap);
+        assert_eq!(cap.doorbell_stride(), 4);
+        assert_eq!(cap.sq_doorbell(0), 0x1000);
+        assert_eq!(cap.cq_doorbell(0), 0x1004);
+        assert_eq!(cap.sq_doorbell(3), 0x1000 + 24);
+        assert_eq!(cap.cq_doorbell(3), 0x1000 + 28);
+    }
+
+    #[test]
+    fn cc_roundtrip() {
+        let cc = Cc { enable: true, iosqes: 6, iocqes: 4 };
+        assert_eq!(Cc::decode(cc.encode()), cc);
+    }
+
+    #[test]
+    fn aqa_roundtrip() {
+        let a = Aqa { asqs: 31, acqs: 31 };
+        assert_eq!(Aqa::decode(a.encode()), a);
+    }
+
+    #[test]
+    fn doorbell_decode() {
+        assert_eq!(decode_doorbell(0x1000, 0), Some((0, false)));
+        assert_eq!(decode_doorbell(0x1004, 0), Some((0, true)));
+        assert_eq!(decode_doorbell(0x1008, 0), Some((1, false)));
+        assert_eq!(decode_doorbell(0x100C, 0), Some((1, true)));
+        assert_eq!(decode_doorbell(0x14, 0), None);
+        assert_eq!(decode_doorbell(0x1002, 0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn doorbell_roundtrip(qid in 0u16..512, is_cq in any::<bool>(), dstrd in 0u8..4) {
+            let cap = Cap { mqes: 0, dstrd, to: 0, cqr: false };
+            let off = if is_cq { cap.cq_doorbell(qid) } else { cap.sq_doorbell(qid) };
+            prop_assert_eq!(decode_doorbell(off, dstrd), Some((qid, is_cq)));
+        }
+    }
+}

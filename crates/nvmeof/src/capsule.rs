@@ -1,0 +1,156 @@
+//! NVMe-oF capsules (command + response) with optional in-capsule data.
+//!
+//! A command capsule carries the 64-byte NVMe SQE plus either a remote
+//! SGL descriptor (`raddr`/`rkey`: the target moves data with one-sided
+//! RDMA) or **in-capsule data** for small writes — the reason the paper's
+//! measured write delta (7.5 µs) is nearly symmetric with the read delta
+//! (7.7 µs): a 4 KiB write needs no extra RDMA READ round trip.
+
+use nvme::spec::command::{SqEntry, SQE_SIZE};
+use nvme::spec::completion::{CqEntry, CQE_SIZE};
+
+/// Fixed header past the SQE.
+pub const CAPSULE_HEADER: usize = SQE_SIZE + 24;
+
+/// How the capsule references its data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataRef {
+    /// No data phase (e.g. Flush).
+    None,
+    /// Target accesses initiator memory with one-sided RDMA.
+    Remote { raddr: u64, rkey: u32, len: u64 },
+    /// Data travels inside the capsule (small writes).
+    InCapsule(Vec<u8>),
+}
+
+/// A command capsule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommandCapsule {
+    /// The NVMe command.
+    pub sqe: SqEntry,
+    /// How the data phase travels.
+    pub data: DataRef,
+}
+
+const FLAG_REMOTE: u32 = 1;
+const FLAG_ICD: u32 = 2;
+
+impl CommandCapsule {
+    /// Total wire length.
+    pub fn wire_len(&self) -> usize {
+        CAPSULE_HEADER
+            + match &self.data {
+                DataRef::InCapsule(d) => d.len(),
+                _ => 0,
+            }
+    }
+
+    /// Serialize to the wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; self.wire_len()];
+        b[..SQE_SIZE].copy_from_slice(&self.sqe.encode());
+        match &self.data {
+            DataRef::None => {}
+            DataRef::Remote { raddr, rkey, len } => {
+                b[SQE_SIZE..SQE_SIZE + 4].copy_from_slice(&FLAG_REMOTE.to_le_bytes());
+                b[SQE_SIZE + 4..SQE_SIZE + 12].copy_from_slice(&raddr.to_le_bytes());
+                b[SQE_SIZE + 12..SQE_SIZE + 16].copy_from_slice(&rkey.to_le_bytes());
+                b[SQE_SIZE + 16..SQE_SIZE + 24].copy_from_slice(&len.to_le_bytes());
+            }
+            DataRef::InCapsule(d) => {
+                b[SQE_SIZE..SQE_SIZE + 4].copy_from_slice(&FLAG_ICD.to_le_bytes());
+                b[SQE_SIZE + 16..SQE_SIZE + 24].copy_from_slice(&(d.len() as u64).to_le_bytes());
+                b[CAPSULE_HEADER..].copy_from_slice(d);
+            }
+        }
+        b
+    }
+
+    /// Parse from the wire; `None` when truncated/garbled.
+    pub fn decode(b: &[u8]) -> Option<CommandCapsule> {
+        if b.len() < CAPSULE_HEADER {
+            return None;
+        }
+        let sqe = SqEntry::decode(b[..SQE_SIZE].try_into().unwrap());
+        let flags = u32::from_le_bytes(b[SQE_SIZE..SQE_SIZE + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(b[SQE_SIZE + 16..SQE_SIZE + 24].try_into().unwrap());
+        let data = if flags & FLAG_REMOTE != 0 {
+            DataRef::Remote {
+                raddr: u64::from_le_bytes(b[SQE_SIZE + 4..SQE_SIZE + 12].try_into().unwrap()),
+                rkey: u32::from_le_bytes(b[SQE_SIZE + 12..SQE_SIZE + 16].try_into().unwrap()),
+                len,
+            }
+        } else if flags & FLAG_ICD != 0 {
+            if b.len() < CAPSULE_HEADER + len as usize {
+                return None;
+            }
+            DataRef::InCapsule(b[CAPSULE_HEADER..CAPSULE_HEADER + len as usize].to_vec())
+        } else {
+            DataRef::None
+        };
+        Some(CommandCapsule { sqe, data })
+    }
+}
+
+/// A response capsule is exactly one CQE.
+pub fn encode_response(cqe: &CqEntry) -> [u8; CQE_SIZE] {
+    cqe.encode()
+}
+
+/// Parse a response capsule (one CQE).
+pub fn decode_response(b: &[u8]) -> Option<CqEntry> {
+    if b.len() < CQE_SIZE {
+        return None;
+    }
+    Some(CqEntry::decode(b[..CQE_SIZE].try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvme::spec::status::Status;
+
+    #[test]
+    fn remote_capsule_roundtrip() {
+        let c = CommandCapsule {
+            sqe: SqEntry::read(5, 1, 100, 7, 0, 0),
+            data: DataRef::Remote { raddr: 0xDEAD_BEEF, rkey: 0x8000_0001, len: 4096 },
+        };
+        assert_eq!(CommandCapsule::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn icd_capsule_roundtrip() {
+        let c = CommandCapsule {
+            sqe: SqEntry::write(6, 1, 0, 7, 0, 0),
+            data: DataRef::InCapsule(vec![9u8; 4096]),
+        };
+        let enc = c.encode();
+        assert_eq!(enc.len(), CAPSULE_HEADER + 4096);
+        assert_eq!(CommandCapsule::decode(&enc), Some(c));
+    }
+
+    #[test]
+    fn dataless_capsule_roundtrip() {
+        let c = CommandCapsule { sqe: SqEntry::flush(1, 1), data: DataRef::None };
+        assert_eq!(CommandCapsule::decode(&c.encode()), Some(c));
+    }
+
+    #[test]
+    fn truncated_capsule_rejected() {
+        let c = CommandCapsule {
+            sqe: SqEntry::write(6, 1, 0, 7, 0, 0),
+            data: DataRef::InCapsule(vec![1u8; 64]),
+        };
+        let enc = c.encode();
+        assert_eq!(CommandCapsule::decode(&enc[..CAPSULE_HEADER + 10]), None);
+        assert_eq!(CommandCapsule::decode(&enc[..10]), None);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let cqe = CqEntry::new(0, 3, 1, 42, true, Status::SUCCESS);
+        assert_eq!(decode_response(&encode_response(&cqe)), Some(cqe));
+        assert_eq!(decode_response(&[0u8; 4]), None);
+    }
+}

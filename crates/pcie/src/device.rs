@@ -1,0 +1,88 @@
+//! Device-side interface to the fabric.
+//!
+//! A device model (NVMe controller, RDMA NIC, …) registers an
+//! [`MmioDevice`] handler for CPU accesses to its BARs, and uses the
+//! fabric's `dma_read`/`dma_write` for bus-master access. Handlers must be
+//! non-blocking: an MMIO write typically just latches a register value and
+//! notifies the device's worker task (exactly like hardware latching a
+//! doorbell).
+
+/// CPU-visible register interface of a device.
+pub trait MmioDevice {
+    /// A write of `size` bytes (1–8) of `value` at `offset` into `bar`.
+    /// Called at the virtual instant the posted write arrives at the
+    /// device, after fabric propagation.
+    fn mmio_write(&self, bar: u8, offset: u64, value: u64, size: usize);
+
+    /// A read of `size` bytes at `offset` of `bar`. Called when the
+    /// non-posted request arrives; the returned value rides the completion
+    /// back to the CPU (the fabric adds the return latency).
+    fn mmio_read(&self, bar: u8, offset: u64, size: usize) -> u64;
+}
+
+/// A register file backed by a plain vector — handy for tests and simple
+/// devices; real models usually implement `MmioDevice` directly.
+pub struct RegisterFile {
+    regs: std::cell::RefCell<Vec<u8>>,
+}
+
+impl RegisterFile {
+    /// A zeroed register file of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        RegisterFile { regs: std::cell::RefCell::new(vec![0; size]) }
+    }
+
+    /// Write `size` bytes of `value` at `offset` (out-of-range writes drop).
+    pub fn write(&self, offset: u64, value: u64, size: usize) {
+        assert!(size <= 8);
+        let mut regs = self.regs.borrow_mut();
+        let off = offset as usize;
+        if off + size <= regs.len() {
+            regs[off..off + size].copy_from_slice(&value.to_le_bytes()[..size]);
+        }
+    }
+
+    /// Read `size` bytes at `offset` (out-of-range reads return 0).
+    pub fn read(&self, offset: u64, size: usize) -> u64 {
+        assert!(size <= 8);
+        let regs = self.regs.borrow();
+        let off = offset as usize;
+        let mut bytes = [0u8; 8];
+        if off + size <= regs.len() {
+            bytes[..size].copy_from_slice(&regs[off..off + size]);
+        }
+        u64::from_le_bytes(bytes)
+    }
+}
+
+impl MmioDevice for RegisterFile {
+    fn mmio_write(&self, _bar: u8, offset: u64, value: u64, size: usize) {
+        self.write(offset, value, size);
+    }
+
+    fn mmio_read(&self, _bar: u8, offset: u64, size: usize) -> u64 {
+        self.read(offset, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_file_roundtrip() {
+        let rf = RegisterFile::new(64);
+        rf.write(0x10, 0xDEAD_BEEF, 4);
+        assert_eq!(rf.read(0x10, 4), 0xDEAD_BEEF);
+        assert_eq!(rf.read(0x12, 2), 0xDEAD);
+        rf.write(0x20, 0x1122_3344_5566_7788, 8);
+        assert_eq!(rf.read(0x20, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn out_of_range_register_access_is_ignored() {
+        let rf = RegisterFile::new(8);
+        rf.write(100, 1, 4); // dropped
+        assert_eq!(rf.read(100, 4), 0);
+    }
+}

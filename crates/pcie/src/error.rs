@@ -1,0 +1,71 @@
+//! Fabric error type.
+
+use crate::addr::{DeviceId, HostId, NodeId, NtbId, PhysAddr};
+
+/// Errors surfaced by the PCIe fabric model. These correspond to real
+/// failure modes: unmapped addresses complete with Unsupported Request on
+/// hardware, translation loops hang a fabric, LUT exhaustion is a resource
+/// limit of the NTB chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The address does not fall in DRAM, any BAR, or any NTB window.
+    UnmappedAddress { host: HostId, addr: PhysAddr },
+    /// The address hit an NTB window slot with no LUT entry programmed.
+    UnprogrammedSlot { ntb: NtbId, slot: usize },
+    /// LUT slot index beyond the adapter's table.
+    BadSlot { ntb: NtbId, slot: usize },
+    /// Address translation chased NTB windows too deep (cycle).
+    TranslationLoop { host: HostId, addr: PhysAddr },
+    /// An access crossed the end of the region that contains its start.
+    CrossesBoundary { host: HostId, addr: PhysAddr, len: u64 },
+    /// No topology path between the two nodes.
+    Unreachable { from: NodeId, to: NodeId },
+    /// Host DRAM exhausted.
+    OutOfMemory { host: HostId, requested: u64 },
+    /// BAR index out of range for the device.
+    BadBar { dev: DeviceId, bar: u8 },
+    /// All LUT slots on the adapter are in use.
+    LutExhausted { ntb: NtbId },
+    /// The entity id does not exist.
+    NoSuchHost(HostId),
+    /// Unknown device id.
+    NoSuchDevice(DeviceId),
+    /// Unknown NTB id.
+    NoSuchNtb(NtbId),
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnmappedAddress { host, addr } => {
+                write!(f, "unmapped address {addr} in {host}")
+            }
+            FabricError::UnprogrammedSlot { ntb, slot } => {
+                write!(f, "access to unprogrammed LUT slot {slot} on {ntb:?}")
+            }
+            FabricError::BadSlot { ntb, slot } => write!(f, "slot {slot} out of range on {ntb:?}"),
+            FabricError::TranslationLoop { host, addr } => {
+                write!(f, "NTB translation loop from {addr} in {host}")
+            }
+            FabricError::CrossesBoundary { host, addr, len } => {
+                write!(f, "access {addr}+{len:#x} in {host} crosses a mapping boundary")
+            }
+            FabricError::Unreachable { from, to } => {
+                write!(f, "no fabric path from {from:?} to {to:?}")
+            }
+            FabricError::OutOfMemory { host, requested } => {
+                write!(f, "{host} DRAM exhausted allocating {requested:#x} bytes")
+            }
+            FabricError::BadBar { dev, bar } => write!(f, "{dev:?} has no BAR{bar}"),
+            FabricError::LutExhausted { ntb } => write!(f, "{ntb:?} LUT exhausted"),
+            FabricError::NoSuchHost(h) => write!(f, "no such host {h}"),
+            FabricError::NoSuchDevice(d) => write!(f, "no such device {d:?}"),
+            FabricError::NoSuchNtb(n) => write!(f, "no such NTB {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Convenience alias for fabric operations.
+pub type Result<T> = std::result::Result<T, FabricError>;

@@ -1,0 +1,608 @@
+//! The fabric: multiple PCIe address domains stitched together by NTBs.
+//!
+//! All timed operations come in two flavors matching PCIe semantics:
+//!
+//! * **Posted** (memory writes): the issuer pays only the issue cost; the
+//!   write *applies* at the destination one propagation delay later.
+//!   Posted writes issued back-to-back on the same path apply in order.
+//! * **Non-posted** (memory reads, MMIO reads): the issuer waits the full
+//!   round trip — which grows with every switch chip in the path. This
+//!   asymmetry is why the paper places SQs device-side and CQs CPU-side
+//!   (Fig. 8).
+//!
+//! Untimed `mem_read`/`mem_write` accessors exist for test setup and for
+//! modeling work done outside the measured path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::sync::Notify;
+use simcore::{Handle, SerialResource, SimDuration};
+
+use crate::addr::{DeviceId, DomainAddr, HostId, MemRegion, NodeId, NtbId, PhysAddr};
+use crate::device::MmioDevice;
+use crate::error::{FabricError, Result};
+use crate::memory::{HostMemory, WatchHandle};
+use crate::ntb::Ntb;
+use crate::params::FabricParams;
+use crate::topology::{NodeKind, Topology};
+
+const MAX_TRANSLATION_DEPTH: usize = 4;
+/// MMIO (BAR/NTB-window) space begins here in every domain; DRAM is above.
+const MMIO_BASE: u64 = 0x2000_0000;
+
+/// Where an address resolves after NTB translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// Host DRAM at the given domain address.
+    Dram(DomainAddr),
+    /// A device register region: `offset` bytes into `bar` of `dev`.
+    Bar { dev: DeviceId, bar: u8, offset: u64 },
+}
+
+struct HostRec {
+    rc_node: NodeId,
+    memory: HostMemory,
+    mmio_cursor: u64,
+}
+
+struct BarRec {
+    base: PhysAddr,
+    size: u64,
+}
+
+struct DeviceRec {
+    host: HostId,
+    node: NodeId,
+    bars: Vec<BarRec>,
+    handler: Rc<dyn MmioDevice>,
+    /// Outbound (device writes memory) link occupancy.
+    tx: SerialResource,
+    /// Inbound (device reads memory) link occupancy.
+    rx: SerialResource,
+    /// Link width multiplier relative to the fabric's base link (1.0 =
+    /// base; a Gen3 x8 device on a x4-calibrated fabric uses 2.0).
+    link_scale: f64,
+    msi: Vec<(u16, HostId, Notify)>,
+}
+
+struct State {
+    topology: Topology,
+    hosts: Vec<HostRec>,
+    devices: Vec<DeviceRec>,
+    ntbs: Vec<Ntb>,
+}
+
+/// The shared-fabric simulator. Cheap to clone (all clones view the same
+/// fabric).
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Rc<FabricInner>,
+}
+
+struct FabricInner {
+    handle: Handle,
+    params: FabricParams,
+    state: RefCell<State>,
+}
+
+impl Fabric {
+    /// An empty fabric on the given runtime.
+    pub fn new(handle: Handle, params: FabricParams) -> Self {
+        Fabric {
+            inner: Rc::new(FabricInner {
+                handle,
+                params,
+                state: RefCell::new(State {
+                    topology: Topology::new(),
+                    hosts: Vec::new(),
+                    devices: Vec::new(),
+                    ntbs: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// The simulation runtime handle.
+    pub fn handle(&self) -> Handle {
+        self.inner.handle.clone()
+    }
+
+    /// The timing parameters this fabric was built with.
+    pub fn params(&self) -> &FabricParams {
+        &self.inner.params
+    }
+
+    // ---------------------------------------------------------------
+    // Construction
+    // ---------------------------------------------------------------
+
+    /// Add a host (root complex + DRAM of `mem_size` bytes).
+    pub fn add_host(&self, mem_size: u64) -> HostId {
+        let mut st = self.inner.state.borrow_mut();
+        let id = HostId(st.hosts.len() as u16);
+        let rc_node = st.topology.add_node(NodeKind::RootComplex(id));
+        st.hosts.push(HostRec {
+            rc_node,
+            memory: HostMemory::new(id, mem_size),
+            mmio_cursor: MMIO_BASE,
+        });
+        id
+    }
+
+    /// Add a transparent switch chip.
+    pub fn add_switch(&self, label: &str) -> NodeId {
+        self.inner.state.borrow_mut().topology.add_node(NodeKind::Switch { label: label.into() })
+    }
+
+    /// Connect two topology nodes with a link/cable.
+    pub fn link(&self, a: NodeId, b: NodeId) {
+        self.inner.state.borrow_mut().topology.link(a, b);
+    }
+
+    /// A host's root-complex topology node.
+    pub fn rc_node(&self, host: HostId) -> NodeId {
+        self.inner.state.borrow().hosts[host.0 as usize].rc_node
+    }
+
+    /// Attach a device with the given BAR sizes to `host`'s domain, linked
+    /// at topology node `attach` (use `rc_node(host)` for a direct slot).
+    pub fn add_device(
+        &self,
+        host: HostId,
+        attach: NodeId,
+        bar_sizes: &[u64],
+        handler: Rc<dyn MmioDevice>,
+    ) -> DeviceId {
+        let mut st = self.inner.state.borrow_mut();
+        let id = DeviceId(st.devices.len() as u32);
+        let node = st.topology.add_node(NodeKind::Endpoint(id));
+        st.topology.link(node, attach);
+        let mut bars = Vec::new();
+        for &size in bar_sizes {
+            let size = size.max(0x1000).next_power_of_two();
+            let hrec = &mut st.hosts[host.0 as usize];
+            let base = hrec.mmio_cursor.div_ceil(size) * size; // natural alignment
+            hrec.mmio_cursor = base + size;
+            assert!(hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(), "MMIO space exhausted");
+            bars.push(BarRec { base: PhysAddr(base), size });
+        }
+        st.devices.push(DeviceRec {
+            host,
+            node,
+            bars,
+            handler,
+            tx: SerialResource::new(self.inner.handle.clone()),
+            rx: SerialResource::new(self.inner.handle.clone()),
+            link_scale: 1.0,
+            msi: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an NTB adapter to `host` (linked to its root complex); returns
+    /// the adapter id. Cable its node (`ntb_node`) to a cluster switch or
+    /// directly to a peer adapter.
+    pub fn add_ntb(&self, host: HostId, slot_size: u64, slots: usize) -> NtbId {
+        let mut st = self.inner.state.borrow_mut();
+        let id = NtbId(st.ntbs.len() as u32);
+        let node = st.topology.add_node(NodeKind::NtbAdapter(id));
+        let rc = st.hosts[host.0 as usize].rc_node;
+        st.topology.link(node, rc);
+        let window = slot_size * slots as u64;
+        let hrec = &mut st.hosts[host.0 as usize];
+        let base = hrec.mmio_cursor.div_ceil(slot_size) * slot_size;
+        hrec.mmio_cursor = base + window;
+        assert!(hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(), "MMIO space exhausted");
+        st.ntbs.push(Ntb::new(id, host, node, PhysAddr(base), slot_size, slots));
+        id
+    }
+
+    /// The adapter's topology node (cable it to a switch or peer).
+    pub fn ntb_node(&self, ntb: NtbId) -> NodeId {
+        self.inner.state.borrow().ntbs[ntb.0 as usize].node
+    }
+
+    /// The host whose domain exposes this adapter's window.
+    pub fn ntb_host(&self, ntb: NtbId) -> HostId {
+        self.inner.state.borrow().ntbs[ntb.0 as usize].local_domain
+    }
+
+    /// The adapter's LUT slot size in bytes.
+    pub fn ntb_slot_size(&self, ntb: NtbId) -> u64 {
+        self.inner.state.borrow().ntbs[ntb.0 as usize].slot_size
+    }
+
+    /// Program a LUT slot; returns the local-domain window address of the
+    /// slot.
+    pub fn program_lut(&self, ntb: NtbId, slot: usize, dest: DomainAddr) -> Result<PhysAddr> {
+        let mut st = self.inner.state.borrow_mut();
+        let n = st.ntbs.get_mut(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        n.program(slot, dest)?;
+        n.slot_addr(slot)
+    }
+
+    /// Unprogram a LUT slot.
+    pub fn clear_lut(&self, ntb: NtbId, slot: usize) -> Result<()> {
+        let mut st = self.inner.state.borrow_mut();
+        let n = st.ntbs.get_mut(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        n.clear(slot)
+    }
+
+    /// Find one free LUT slot on `ntb`.
+    pub fn find_free_lut_slot(&self, ntb: NtbId) -> Result<usize> {
+        let st = self.inner.state.borrow();
+        let n = st.ntbs.get(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        n.find_free_slot()
+    }
+
+    /// Find `n` consecutive free LUT slots on `ntb`.
+    pub fn find_free_lut_range(&self, ntb: NtbId, n: usize) -> Result<usize> {
+        let st = self.inner.state.borrow();
+        let rec = st.ntbs.get(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        rec.find_free_range(n)
+    }
+
+    /// NTB adapters attached to a host's domain.
+    pub fn ntbs_of(&self, host: HostId) -> Vec<NtbId> {
+        let st = self.inner.state.borrow();
+        st.ntbs.iter().filter(|n| n.local_domain == host).map(|n| n.id).collect()
+    }
+
+    /// Number of hosts on the fabric.
+    pub fn host_count(&self) -> usize {
+        self.inner.state.borrow().hosts.len()
+    }
+
+    /// The domain a device lives in.
+    pub fn device_host(&self, dev: DeviceId) -> HostId {
+        self.inner.state.borrow().devices[dev.0 as usize].host
+    }
+
+    /// The device's endpoint topology node.
+    pub fn device_node(&self, dev: DeviceId) -> NodeId {
+        self.inner.state.borrow().devices[dev.0 as usize].node
+    }
+
+    /// Scale a device's link bandwidth relative to the fabric base link
+    /// (e.g. 2.0 for a x8 device on a x4-calibrated fabric).
+    pub fn set_device_link_scale(&self, dev: DeviceId, scale: f64) {
+        assert!(scale > 0.0);
+        self.inner.state.borrow_mut().devices[dev.0 as usize].link_scale = scale;
+    }
+
+    /// Base address of `bar` of `dev` in its owning domain.
+    pub fn bar_region(&self, dev: DeviceId, bar: u8) -> Result<MemRegion> {
+        let st = self.inner.state.borrow();
+        let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
+        let b = d.bars.get(bar as usize).ok_or(FabricError::BadBar { dev, bar })?;
+        Ok(MemRegion::new(d.host, b.base, b.size))
+    }
+
+    // ---------------------------------------------------------------
+    // Memory management (untimed)
+    // ---------------------------------------------------------------
+
+    /// Allocate a page-aligned segment in `host`'s DRAM.
+    pub fn alloc(&self, host: HostId, size: u64) -> Result<MemRegion> {
+        let mut st = self.inner.state.borrow_mut();
+        let rec = st.hosts.get_mut(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?;
+        let addr = rec.memory.alloc(size)?;
+        Ok(MemRegion::new(host, addr, size))
+    }
+
+    /// Return an allocated segment.
+    pub fn release(&self, region: MemRegion) {
+        let mut st = self.inner.state.borrow_mut();
+        st.hosts[region.host.0 as usize].memory.free(region.addr, region.len);
+    }
+
+    /// Untimed functional write into a host's DRAM (setup / checking).
+    pub fn mem_write(&self, host: HostId, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        let mut st = self.inner.state.borrow_mut();
+        st.hosts.get_mut(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?.memory.write(addr, data)
+    }
+
+    /// Untimed functional read from a host's DRAM.
+    pub fn mem_read(&self, host: HostId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        let st = self.inner.state.borrow();
+        st.hosts.get(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?.memory.read(addr, buf)
+    }
+
+    /// Register a write-watch on host DRAM (see [`crate::memory`]).
+    pub fn watch(&self, host: HostId, addr: PhysAddr, len: u64) -> WatchHandle {
+        let mut st = self.inner.state.borrow_mut();
+        st.hosts[host.0 as usize].memory.watch(addr, len)
+    }
+
+    /// Remove a previously registered write-watch.
+    pub fn unwatch(&self, host: HostId, handle: &WatchHandle) {
+        let mut st = self.inner.state.borrow_mut();
+        st.hosts[host.0 as usize].memory.unwatch(handle);
+    }
+
+    // ---------------------------------------------------------------
+    // Address resolution
+    // ---------------------------------------------------------------
+
+    /// Resolve `(host, addr)` through NTB windows to its final location.
+    /// An access of `len` bytes must stay within one mapping.
+    pub fn resolve(&self, host: HostId, addr: PhysAddr, len: u64) -> Result<Location> {
+        let st = self.inner.state.borrow();
+        Self::resolve_in(&st, host, addr, len)
+    }
+
+    fn resolve_in(st: &State, host: HostId, addr: PhysAddr, len: u64) -> Result<Location> {
+        let mut cur = DomainAddr::new(host, addr);
+        for _ in 0..MAX_TRANSLATION_DEPTH {
+            let hrec = st.hosts.get(cur.host.0 as usize).ok_or(FabricError::NoSuchHost(cur.host))?;
+            if hrec.memory.contains(cur.addr, len) {
+                return Ok(Location::Dram(cur));
+            }
+            // Device BARs in this domain.
+            for (di, d) in st.devices.iter().enumerate() {
+                if d.host != cur.host {
+                    continue;
+                }
+                for (bi, b) in d.bars.iter().enumerate() {
+                    let a = cur.addr.as_u64();
+                    if a >= b.base.as_u64() && a + len <= b.base.as_u64() + b.size {
+                        return Ok(Location::Bar {
+                            dev: DeviceId(di as u32),
+                            bar: bi as u8,
+                            offset: a - b.base.as_u64(),
+                        });
+                    }
+                }
+            }
+            // NTB windows in this domain.
+            let mut translated = None;
+            for n in st.ntbs.iter().filter(|n| n.local_domain == cur.host) {
+                if n.contains(cur.addr) {
+                    translated = Some(n.translate(cur.addr, len)?);
+                    break;
+                }
+            }
+            match translated {
+                Some(next) => cur = next,
+                None => return Err(FabricError::UnmappedAddress { host: cur.host, addr: cur.addr }),
+            }
+        }
+        Err(FabricError::TranslationLoop { host, addr })
+    }
+
+    /// Resolve and report the final location together with the number of
+    /// switch chips between `origin` and that location.
+    pub fn resolve_with_path(
+        &self,
+        origin: NodeId,
+        host: HostId,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<(Location, u32)> {
+        let mut st = self.inner.state.borrow_mut();
+        let loc = Self::resolve_in(&st, host, addr, len)?;
+        let dest_node = match &loc {
+            Location::Dram(da) => st.hosts[da.host.0 as usize].rc_node,
+            Location::Bar { dev, .. } => st.devices[dev.0 as usize].node,
+        };
+        let chips = st.topology.chips_between(origin, dest_node)?;
+        Ok((loc, chips))
+    }
+
+    // ---------------------------------------------------------------
+    // Timed CPU operations
+    // ---------------------------------------------------------------
+
+    /// Posted write from a CPU core on `host`. Returns once the store is
+    /// issued (write-combining); the data lands after propagation. Small
+    /// writes (≤ 8 B) to a BAR become an MMIO register write.
+    pub async fn cpu_write(&self, host: HostId, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        let origin = self.rc_node(host);
+        let (loc, chips) = self.resolve_with_path(origin, host, addr, data.len() as u64)?;
+        let p = &self.inner.params;
+        let issue = if chips == 0 && matches!(loc, Location::Dram(_)) {
+            p.cpu_memcpy(data.len() as u64)
+        } else if data.len() <= 8 {
+            SimDuration::from_nanos(p.mmio_store_ns)
+        } else {
+            p.cpu_ntb_store(data.len() as u64)
+        };
+        let delivery = p.one_way(chips);
+        self.inner.handle.sleep(issue).await;
+        let this = self.clone();
+        let data = data.to_vec();
+        let h = self.inner.handle.clone();
+        self.inner.handle.spawn(async move {
+            h.sleep(delivery).await;
+            this.apply_write(&loc, &data);
+        });
+        Ok(())
+    }
+
+    /// Convenience: posted 4-byte write (doorbells).
+    pub async fn cpu_write_u32(&self, host: HostId, addr: PhysAddr, value: u32) -> Result<()> {
+        self.cpu_write(host, addr, &value.to_le_bytes()).await
+    }
+
+    /// Non-posted read from a CPU core on `host`: waits the full round
+    /// trip (plus transfer time for bulk lengths).
+    pub async fn cpu_read(&self, host: HostId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        let origin = self.rc_node(host);
+        let (loc, chips) = self.resolve_with_path(origin, host, addr, buf.len() as u64)?;
+        let p = &self.inner.params;
+        let lat = if chips == 0 && matches!(loc, Location::Dram(_)) {
+            // Local DRAM read: cacheline fill + copy.
+            SimDuration::from_nanos(p.dram_read_ns) + p.cpu_memcpy(buf.len() as u64)
+        } else {
+            SimDuration::from_nanos(p.mmio_load_ns)
+                + p.read_rtt(chips)
+                + p.nonposted_transfer(buf.len() as u64)
+        };
+        self.inner.handle.sleep(lat).await;
+        self.apply_read(&loc, buf);
+        Ok(())
+    }
+
+    /// Convenience: non-posted 4-byte read.
+    pub async fn cpu_read_u32(&self, host: HostId, addr: PhysAddr) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.cpu_read(host, addr, &mut b).await?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Convenience: non-posted 8-byte read.
+    pub async fn cpu_read_u64(&self, host: HostId, addr: PhysAddr) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.cpu_read(host, addr, &mut b).await?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    // ---------------------------------------------------------------
+    // Timed device DMA
+    // ---------------------------------------------------------------
+
+    /// Device-initiated non-posted read (command fetch, data fetch for disk
+    /// writes). Waits round trip + serialized transfer on the device's
+    /// inbound engine.
+    pub async fn dma_read(&self, dev: DeviceId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        let (origin, rx, host, scale) = {
+            let st = self.inner.state.borrow();
+            let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
+            (d.node, d.rx.clone(), d.host, d.link_scale)
+        };
+        let (loc, chips) = self.resolve_with_path(origin, host, addr, buf.len() as u64)?;
+        let p = &self.inner.params;
+        rx.occupy(scale_transfer(p.nonposted_transfer(buf.len() as u64), scale)).await;
+        self.inner.handle.sleep(p.read_rtt(chips)).await;
+        self.apply_read(&loc, buf);
+        Ok(())
+    }
+
+    /// Device-initiated posted write (CQE post, data delivery for disk
+    /// reads). The device is released once the transfer has been pushed
+    /// onto the link; the data applies after propagation. Returns the
+    /// *apply* instant offset so callers that must observe landing (none
+    /// on the fast path) can sleep on it.
+    pub async fn dma_write(&self, dev: DeviceId, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        let (origin, tx, host, scale) = {
+            let st = self.inner.state.borrow();
+            let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
+            (d.node, d.tx.clone(), d.host, d.link_scale)
+        };
+        let (loc, chips) = self.resolve_with_path(origin, host, addr, data.len() as u64)?;
+        let p = &self.inner.params;
+        tx.occupy(scale_transfer(p.posted_transfer(data.len() as u64), scale)).await;
+        let delivery = p.one_way(chips);
+        let this = self.clone();
+        let data = data.to_vec();
+        let h = self.inner.handle.clone();
+        self.inner.handle.spawn(async move {
+            h.sleep(delivery).await;
+            this.apply_write(&loc, &data);
+        });
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Interrupts
+    // ---------------------------------------------------------------
+
+    /// Route MSI `vector` of `dev` to `target` host; returns the notify a
+    /// driver waits on.
+    pub fn config_msi(&self, dev: DeviceId, vector: u16, target: HostId) -> Notify {
+        let notify = Notify::new();
+        let mut st = self.inner.state.borrow_mut();
+        let d = &mut st.devices[dev.0 as usize];
+        d.msi.retain(|(v, _, _)| *v != vector);
+        d.msi.push((vector, target, notify.clone()));
+        notify
+    }
+
+    /// Raise MSI `vector` (non-blocking; delivery after propagation to the
+    /// target host). Unconfigured vectors are silently dropped, like a
+    /// masked interrupt.
+    pub fn raise_msi(&self, dev: DeviceId, vector: u16) {
+        let (notify, delay) = {
+            let mut st = self.inner.state.borrow_mut();
+            let (node, host, entry) = {
+                let d = &st.devices[dev.0 as usize];
+                let entry = d.msi.iter().find(|(v, _, _)| *v == vector).map(|(_, h, n)| (*h, n.clone()));
+                (d.node, d.host, entry)
+            };
+            let Some((target, notify)) = entry else { return };
+            let _ = host;
+            let rc = st.hosts[target.0 as usize].rc_node;
+            let chips = st.topology.chips_between(node, rc).unwrap_or(0);
+            (notify, self.inner.params.one_way(chips))
+        };
+        let h = self.inner.handle.clone();
+        self.inner.handle.spawn(async move {
+            h.sleep(delay).await;
+            notify.notify_one();
+        });
+    }
+
+    // ---------------------------------------------------------------
+    // Apply helpers (functional effects at delivery time)
+    // ---------------------------------------------------------------
+
+    fn apply_write(&self, loc: &Location, data: &[u8]) {
+        match loc {
+            Location::Dram(da) => {
+                let mut st = self.inner.state.borrow_mut();
+                st.hosts[da.host.0 as usize]
+                    .memory
+                    .write(da.addr, data)
+                    .expect("resolved DRAM write failed");
+            }
+            Location::Bar { dev, bar, offset } => {
+                let handler = {
+                    let st = self.inner.state.borrow();
+                    st.devices[dev.0 as usize].handler.clone()
+                };
+                // Split into at-most-8-byte register writes.
+                let mut off = *offset;
+                for chunk in data.chunks(8) {
+                    let mut v = [0u8; 8];
+                    v[..chunk.len()].copy_from_slice(chunk);
+                    handler.mmio_write(*bar, off, u64::from_le_bytes(v), chunk.len());
+                    off += chunk.len() as u64;
+                }
+            }
+        }
+    }
+
+    fn apply_read(&self, loc: &Location, buf: &mut [u8]) {
+        match loc {
+            Location::Dram(da) => {
+                let st = self.inner.state.borrow();
+                st.hosts[da.host.0 as usize]
+                    .memory
+                    .read(da.addr, buf)
+                    .expect("resolved DRAM read failed");
+            }
+            Location::Bar { dev, bar, offset } => {
+                let handler = {
+                    let st = self.inner.state.borrow();
+                    st.devices[dev.0 as usize].handler.clone()
+                };
+                let mut off = *offset;
+                for chunk in buf.chunks_mut(8) {
+                    let v = handler.mmio_read(*bar, off, chunk.len());
+                    chunk.copy_from_slice(&v.to_le_bytes()[..chunk.len()]);
+                    off += chunk.len() as u64;
+                }
+            }
+        }
+    }
+}
+
+/// Divide a transfer duration by the device's link-width scale.
+fn scale_transfer(d: simcore::SimDuration, scale: f64) -> simcore::SimDuration {
+    if (scale - 1.0).abs() < f64::EPSILON {
+        d
+    } else {
+        simcore::SimDuration::from_nanos((d.as_nanos() as f64 / scale).ceil() as u64)
+    }
+}

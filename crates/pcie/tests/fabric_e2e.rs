@@ -1,0 +1,306 @@
+//! End-to-end fabric tests: two-host Fig. 9b-style topology with timed
+//! CPU accesses and device DMA across the NTBs.
+
+use std::rc::Rc;
+
+use pcie::{
+    DomainAddr, Fabric, FabricError, FabricParams, HostId, Location, MmioDevice, PhysAddr,
+    RegisterFile,
+};
+use simcore::{SimDuration, SimRuntime};
+
+/// Build: hostA(RC) - ntbA - switch - ntbB - hostB(RC) - device.
+struct TestBed {
+    rt: SimRuntime,
+    fabric: Fabric,
+    host_a: HostId,
+    host_b: HostId,
+    dev: pcie::DeviceId,
+    ntb_a: pcie::NtbId,
+    ntb_b: pcie::NtbId,
+}
+
+fn build() -> TestBed {
+    let rt = SimRuntime::new();
+    let fabric = Fabric::new(rt.handle(), FabricParams::default());
+    let host_a = fabric.add_host(64 << 20);
+    let host_b = fabric.add_host(64 << 20);
+    let ntb_a = fabric.add_ntb(host_a, 1 << 21, 16);
+    let ntb_b = fabric.add_ntb(host_b, 1 << 21, 16);
+    let sw = fabric.add_switch("cluster");
+    fabric.link(fabric.ntb_node(ntb_a), sw);
+    fabric.link(fabric.ntb_node(ntb_b), sw);
+    let dev = fabric.add_device(
+        host_b,
+        fabric.rc_node(host_b),
+        &[0x4000],
+        Rc::new(RegisterFile::new(0x4000)),
+    );
+    TestBed { rt, fabric, host_a, host_b, dev, ntb_a, ntb_b }
+}
+
+#[test]
+fn remote_dram_write_lands_after_propagation() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let seg = f.alloc(tb.host_b, 4096).unwrap();
+    // Map host B's segment through host A's NTB.
+    let win = f
+        .program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, seg.addr))
+        .unwrap();
+    let host_a = tb.host_a;
+    let host_b = tb.host_b;
+    tb.rt.block_on({
+        let f = f.clone();
+        async move {
+            f.cpu_write(host_a, win, b"over the bridge").await.unwrap();
+        }
+    });
+    tb.rt.run();
+    let mut buf = [0u8; 15];
+    f.mem_read(host_b, seg.addr, &mut buf).unwrap();
+    assert_eq!(&buf, b"over the bridge");
+}
+
+#[test]
+fn posted_write_is_cheaper_than_nonposted_read_remotely() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let seg = f.alloc(tb.host_b, 4096).unwrap();
+    let win = f
+        .program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, seg.addr))
+        .unwrap();
+    let host_a = tb.host_a;
+    let h = tb.rt.handle();
+    let (wr_cost, rd_cost) = tb.rt.block_on({
+        let f = f.clone();
+        async move {
+            let t0 = h.now();
+            f.cpu_write_u32(host_a, win, 7).await.unwrap();
+            let wr = h.now() - t0;
+            let t1 = h.now();
+            let _ = f.cpu_read_u32(host_a, win).await.unwrap();
+            let rd = h.now() - t1;
+            (wr, rd)
+        }
+    });
+    // Posted write returns after issue cost only; the read pays 2 one-ways
+    // across 3 chips.
+    assert!(
+        wr_cost.as_nanos() < 100,
+        "posted write should cost ~issue only, got {wr_cost}"
+    );
+    assert!(
+        rd_cost.as_nanos() > 800,
+        "non-posted remote read must pay the round trip, got {rd_cost}"
+    );
+}
+
+#[test]
+fn device_dma_reads_remote_memory_through_its_ntb() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    // Segment in host A's memory, mapped for the device (which lives in
+    // host B's domain) through host B's adapter: a "DMA window".
+    let seg = f.alloc(tb.host_a, 4096).unwrap();
+    f.mem_write(tb.host_a, seg.addr, b"dma window payload").unwrap();
+    let bus_addr = f
+        .program_lut(tb.ntb_b, 3, DomainAddr::new(tb.host_a, seg.addr))
+        .unwrap();
+    let dev = tb.dev;
+    let h = tb.rt.handle();
+    let (data, lat) = tb.rt.block_on({
+        let f = f.clone();
+        async move {
+            let mut buf = [0u8; 18];
+            let t0 = h.now();
+            f.dma_read(dev, bus_addr, &mut buf).await.unwrap();
+            (buf, h.now() - t0)
+        }
+    });
+    assert_eq!(&data, b"dma window payload");
+    // Path: device -> RC_B -> ntbB -> switch -> ntbA -> RC_A = 3 chips.
+    let p = FabricParams::default();
+    assert!(lat >= p.read_rtt(3), "remote DMA read too fast: {lat}");
+}
+
+#[test]
+fn mmio_through_bar_window_reaches_device_registers() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let bar = f.bar_region(tb.dev, 0).unwrap();
+    // Host A maps the device's BAR through its NTB (a "BAR window").
+    let win = f
+        .program_lut(tb.ntb_a, 1, DomainAddr::new(tb.host_b, bar.addr))
+        .unwrap();
+    let host_a = tb.host_a;
+    let val = tb.rt.block_on({
+        let f = f.clone();
+        async move {
+            f.cpu_write_u32(host_a, win.offset(0x100), 0xCAFE_F00D).await.unwrap();
+            // Read it back through the same window (non-posted, ordered
+            // behind the posted write on the same path).
+            f.cpu_read_u32(host_a, win.offset(0x100)).await.unwrap()
+        }
+    });
+    assert_eq!(val, 0xCAFE_F00D);
+}
+
+#[test]
+fn unprogrammed_slot_faults() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let win_base = {
+        // slot 5 was never programmed
+        let slot_size = f.ntb_slot_size(tb.ntb_a);
+        let s0 = f.program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, PhysAddr(0x1_0000_0000))).unwrap();
+        s0.offset(5 * slot_size)
+    };
+    let host_a = tb.host_a;
+    let err = tb.rt.block_on({
+        let f = f.clone();
+        async move { f.cpu_write_u32(host_a, win_base, 1).await.unwrap_err() }
+    });
+    assert!(matches!(err, FabricError::UnprogrammedSlot { slot: 5, .. }), "{err}");
+}
+
+#[test]
+fn translation_loop_detected() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    // A's slot 0 -> B's window slot 0, B's slot 0 -> A's window slot 0.
+    let a_slot0 = f.ntb_slot_size(tb.ntb_a); // compute b window first
+    let _ = a_slot0;
+    let b_win = f
+        .program_lut(tb.ntb_b, 0, DomainAddr::new(tb.host_a, PhysAddr(0)))
+        .unwrap(); // placeholder, re-programmed below
+    let a_win = f
+        .program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, b_win))
+        .unwrap();
+    f.program_lut(tb.ntb_b, 0, DomainAddr::new(tb.host_a, a_win)).unwrap();
+    let err = f.resolve(tb.host_a, a_win, 4).unwrap_err();
+    assert!(matches!(err, FabricError::TranslationLoop { .. }), "{err}");
+}
+
+#[test]
+fn watch_fires_at_delivery_time_not_issue_time() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let seg = f.alloc(tb.host_b, 4096).unwrap();
+    let win = f
+        .program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, seg.addr))
+        .unwrap();
+    let watch = f.watch(tb.host_b, seg.addr, 64);
+    let h = tb.rt.handle();
+    let host_a = tb.host_a;
+    let (t_issue, t_fire) = tb.rt.block_on({
+        let f = f.clone();
+        async move {
+            f.cpu_write_u32(host_a, win, 1).await.unwrap();
+            let t_issue = h.now();
+            watch.notify.notified().await;
+            (t_issue, h.now())
+        }
+    });
+    let p = FabricParams::default();
+    assert!(t_fire - t_issue >= p.one_way(3) - SimDuration::from_nanos(p.mmio_store_ns));
+}
+
+#[test]
+fn msi_delivery_after_propagation() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let notify = f.config_msi(tb.dev, 0, tb.host_b);
+    let h = tb.rt.handle();
+    let t = tb.rt.block_on({
+        let f = f.clone();
+        let dev = tb.dev;
+        async move {
+            f.raise_msi(dev, 0);
+            notify.notified().await;
+            h.now()
+        }
+    });
+    // Local device: just RC overhead.
+    assert_eq!(t.as_nanos(), FabricParams::default().rc_overhead_ns);
+}
+
+#[test]
+fn dma_write_ordering_preserved_for_same_path() {
+    // A device posting data then a "flag" write must have the flag land
+    // after the data (NVMe relies on this: CQE after data).
+    let tb = build();
+    let f = tb.fabric.clone();
+    let seg = f.alloc(tb.host_a, 8192).unwrap();
+    let data_bus = f
+        .program_lut(tb.ntb_b, 0, DomainAddr::new(tb.host_a, seg.addr))
+        .unwrap();
+    let flag_bus = data_bus.offset(4096);
+    let watch = f.watch(tb.host_a, seg.addr.offset(4096), 4);
+    let dev = tb.dev;
+    let f2 = f.clone();
+    let host_a = tb.host_a;
+    let ok = tb.rt.block_on(async move {
+        f2.dma_write(dev, data_bus, &[0xABu8; 4096]).await.unwrap();
+        f2.dma_write(dev, flag_bus, &1u32.to_le_bytes()).await.unwrap();
+        watch.notify.notified().await;
+        // When the flag is visible, the full data block must be too.
+        let mut buf = vec![0u8; 4096];
+        f2.mem_read(host_a, seg.addr, &mut buf).unwrap();
+        buf.iter().all(|&b| b == 0xAB)
+    });
+    assert!(ok, "flag landed before data");
+}
+
+/// MmioDevice that counts doorbell writes — checks BAR dispatch plumbing.
+struct CountingDev {
+    hits: std::cell::Cell<u32>,
+}
+
+impl MmioDevice for CountingDev {
+    fn mmio_write(&self, _bar: u8, _off: u64, _val: u64, _size: usize) {
+        self.hits.set(self.hits.get() + 1);
+    }
+    fn mmio_read(&self, _bar: u8, _off: u64, _size: usize) -> u64 {
+        self.hits.get() as u64
+    }
+}
+
+#[test]
+fn local_mmio_write_hits_handler() {
+    let rt = SimRuntime::new();
+    let f = Fabric::new(rt.handle(), FabricParams::default());
+    let host = f.add_host(16 << 20);
+    let dev_impl = Rc::new(CountingDev { hits: std::cell::Cell::new(0) });
+    let dev = f.add_device(host, f.rc_node(host), &[0x1000], dev_impl.clone());
+    let bar = f.bar_region(dev, 0).unwrap();
+    let hits = rt.block_on({
+        let f = f.clone();
+        async move {
+            f.cpu_write_u32(host, bar.addr.offset(8), 55).await.unwrap();
+            f.cpu_read_u32(host, bar.addr).await.unwrap()
+        }
+    });
+    assert_eq!(hits, 1);
+    assert_eq!(dev_impl.hits.get(), 1);
+}
+
+#[test]
+fn resolve_classifies_locations() {
+    let tb = build();
+    let f = tb.fabric.clone();
+    let seg = f.alloc(tb.host_a, 4096).unwrap();
+    assert!(matches!(
+        f.resolve(tb.host_a, seg.addr, 64).unwrap(),
+        Location::Dram(da) if da.host == tb.host_a
+    ));
+    let bar = f.bar_region(tb.dev, 0).unwrap();
+    assert!(matches!(
+        f.resolve(tb.host_b, bar.addr.offset(0x10), 4).unwrap(),
+        Location::Bar { bar: 0, offset: 0x10, .. }
+    ));
+    assert!(matches!(
+        f.resolve(tb.host_a, PhysAddr(0x10), 4),
+        Err(FabricError::UnmappedAddress { .. })
+    ));
+}

@@ -1,0 +1,18 @@
+//! # rdma — InfiniBand / RDMA substrate for the NVMe-oF baseline
+//!
+//! A reliable-connected verbs model: NICs are PCIe devices (host-side DMA
+//! costs come from the [`pcie`] fabric), memory regions carry
+//! lkey/rkey protection, queue pairs process work requests in order, and
+//! the wire is parametric ([`IbParams`], calibrated to ConnectX-5/EDR).
+//!
+//! This exists so the paper's comparison point — NVMe-oF over RDMA, where
+//! "software is still required to operate the server's NVMe controller" —
+//! can be reproduced end to end in [`nvmeof`](../nvmeof/index.html).
+
+pub mod mr;
+pub mod net;
+pub mod params;
+
+pub use mr::{Access, MemoryRegion, MrError, MrTable};
+pub use net::{Cq, IbNet, NicId, Qp, SendWr, Wc, WcOpcode, WcStatus};
+pub use params::IbParams;

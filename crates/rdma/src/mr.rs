@@ -1,0 +1,183 @@
+//! Memory regions: registered host memory with local/remote keys and
+//! permission checks — the RDMA protection model.
+
+use pcie::MemRegion;
+
+/// Access permissions of a memory region.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The NIC may write locally (receives, read responses).
+    pub local_write: bool,
+    /// Remote peers may RDMA READ.
+    pub remote_read: bool,
+    /// Remote peers may RDMA WRITE.
+    pub remote_write: bool,
+}
+
+impl Access {
+    /// Local access only.
+    pub fn local_only() -> Self {
+        Access { local_write: true, remote_read: false, remote_write: false }
+    }
+
+    /// Full remote read/write access.
+    pub fn remote_all() -> Self {
+        Access { local_write: true, remote_read: true, remote_write: true }
+    }
+
+    /// Remote read access only.
+    pub fn remote_read_only() -> Self {
+        Access { local_write: true, remote_read: true, remote_write: false }
+    }
+}
+
+/// A registered memory region.
+#[derive(Copy, Clone, Debug)]
+pub struct MemoryRegion {
+    /// The registered memory.
+    pub region: MemRegion,
+    /// Local access key.
+    pub lkey: u32,
+    /// Remote access key (handed to peers).
+    pub rkey: u32,
+    /// Granted permissions.
+    pub access: Access,
+}
+
+/// Why an MR access was refused.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MrError {
+    /// No region with that key.
+    BadKey(u32),
+    /// Access outside the registered range.
+    OutOfBounds { addr: u64, len: u64 },
+    /// Operation not permitted by the MR access flags.
+    PermissionDenied,
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::BadKey(k) => write!(f, "invalid key {k:#x}"),
+            MrError::OutOfBounds { addr, len } => {
+                write!(f, "access {addr:#x}+{len:#x} outside region")
+            }
+            MrError::PermissionDenied => write!(f, "permission denied"),
+        }
+    }
+}
+
+/// Per-NIC MR table.
+#[derive(Default)]
+pub struct MrTable {
+    regions: Vec<MemoryRegion>,
+    next_key: u32,
+}
+
+impl MrTable {
+    /// Register a region; returns its keys.
+    pub fn register(&mut self, region: MemRegion, access: Access) -> MemoryRegion {
+        self.next_key += 1;
+        let mr = MemoryRegion {
+            region,
+            lkey: self.next_key,
+            rkey: self.next_key | 0x8000_0000,
+            access,
+        };
+        self.regions.push(mr);
+        mr
+    }
+
+    /// Remove a registration; false if unknown.
+    pub fn deregister(&mut self, lkey: u32) -> bool {
+        let before = self.regions.len();
+        self.regions.retain(|m| m.lkey != lkey);
+        self.regions.len() != before
+    }
+
+    /// Validate a local access by lkey.
+    pub fn check_local(&self, lkey: u32, addr: u64, len: u64) -> Result<MemRegion, MrError> {
+        let mr = self
+            .regions
+            .iter()
+            .find(|m| m.lkey == lkey)
+            .ok_or(MrError::BadKey(lkey))?;
+        Self::bounds(mr, addr, len)
+    }
+
+    /// Validate a remote access by rkey and operation.
+    pub fn check_remote(
+        &self,
+        rkey: u32,
+        addr: u64,
+        len: u64,
+        write: bool,
+    ) -> Result<MemRegion, MrError> {
+        let mr = self
+            .regions
+            .iter()
+            .find(|m| m.rkey == rkey)
+            .ok_or(MrError::BadKey(rkey))?;
+        if (write && !mr.access.remote_write) || (!write && !mr.access.remote_read) {
+            return Err(MrError::PermissionDenied);
+        }
+        Self::bounds(mr, addr, len)
+    }
+
+    fn bounds(mr: &MemoryRegion, addr: u64, len: u64) -> Result<MemRegion, MrError> {
+        let base = mr.region.addr.as_u64();
+        if addr < base || addr + len > base + mr.region.len {
+            return Err(MrError::OutOfBounds { addr, len });
+        }
+        Ok(MemRegion::new(mr.region.host, pcie::PhysAddr(addr), len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcie::{HostId, PhysAddr};
+
+    fn table() -> (MrTable, MemoryRegion) {
+        let mut t = MrTable::default();
+        let mr = t.register(
+            MemRegion::new(HostId(0), PhysAddr(0x1000), 0x1000),
+            Access::remote_read_only(),
+        );
+        (t, mr)
+    }
+
+    #[test]
+    fn local_access_in_bounds() {
+        let (t, mr) = table();
+        assert!(t.check_local(mr.lkey, 0x1000, 0x1000).is_ok());
+        assert!(t.check_local(mr.lkey, 0x1800, 0x800).is_ok());
+        assert_eq!(
+            t.check_local(mr.lkey, 0x1800, 0x900),
+            Err(MrError::OutOfBounds { addr: 0x1800, len: 0x900 })
+        );
+    }
+
+    #[test]
+    fn bad_keys_rejected() {
+        let (t, mr) = table();
+        assert_eq!(t.check_local(999, 0x1000, 1), Err(MrError::BadKey(999)));
+        // rkey is not an lkey.
+        assert_eq!(t.check_local(mr.rkey, 0x1000, 1), Err(MrError::BadKey(mr.rkey)));
+    }
+
+    #[test]
+    fn remote_permissions_enforced() {
+        let (t, mr) = table();
+        assert!(t.check_remote(mr.rkey, 0x1000, 8, false).is_ok());
+        assert_eq!(t.check_remote(mr.rkey, 0x1000, 8, true), Err(MrError::PermissionDenied));
+    }
+
+    #[test]
+    fn deregister_invalidates() {
+        let (mut t, mr) = table();
+        assert!(t.deregister(mr.lkey));
+        assert!(!t.deregister(mr.lkey));
+        assert_eq!(t.check_local(mr.lkey, 0x1000, 1), Err(MrError::BadKey(mr.lkey)));
+    }
+}

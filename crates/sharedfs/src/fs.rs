@@ -1,0 +1,512 @@
+//! Filesystem operations: format, mount, create/write/read/delete/list.
+//!
+//! Concurrency discipline (the GFS/OCFS-style shared-disk model, scaled
+//! down): every mounting host **claims an allocation group**; block and
+//! inode allocation happen only inside the claimed group, so hosts create
+//! and write files without any distributed lock manager. Any host may
+//! read any file; inodes are re-read from disk on each lookup, so a
+//! completed write on host A is visible to a subsequent lookup on host B
+//! through nothing but the shared device.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use blklayer::{Bio, BlockDevice};
+use pcie::{Fabric, HostId, MemRegion};
+
+use crate::layout::{
+    ClaimTable, Extent, Inode, Superblock, EXTENTS_PER_INODE, FS_BLOCK, INODES_PER_BLOCK,
+    INODE_LEN, MAGIC, MAX_AGS, MAX_NAME,
+};
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Device has no (valid) filesystem.
+    NotFormatted,
+    /// Device too small for the requested geometry.
+    DeviceTooSmall,
+    /// No free allocation group to claim.
+    NoFreeAg,
+    /// File not found.
+    NotFound(String),
+    /// Name already exists.
+    Exists(String),
+    /// Name longer than the on-disk limit.
+    NameTooLong(String),
+    /// Out of inodes in this host's allocation group.
+    NoFreeInode,
+    /// Out of data blocks (or extent slots) for this file.
+    NoSpace,
+    /// Only the owning host may write a file.
+    NotOwner { file: String, owner: u16 },
+    /// Underlying block device error.
+    Io(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFormatted => write!(f, "no sharedfs filesystem on device"),
+            FsError::DeviceTooSmall => write!(f, "device too small"),
+            FsError::NoFreeAg => write!(f, "no free allocation group"),
+            FsError::NotFound(n) => write!(f, "file not found: {n}"),
+            FsError::Exists(n) => write!(f, "file exists: {n}"),
+            FsError::NameTooLong(n) => write!(f, "name too long: {n}"),
+            FsError::NoFreeInode => write!(f, "no free inode in this allocation group"),
+            FsError::NoSpace => write!(f, "no space (blocks or extent slots)"),
+            FsError::NotOwner { file, owner } => {
+                write!(f, "host{owner} owns {file}; only the owner writes")
+            }
+            FsError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Convenience alias for filesystem operations.
+pub type Result<T> = std::result::Result<T, FsError>;
+
+/// Directory entry returned by [`SharedFs::list`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// File name.
+    pub name: String,
+    /// File size in bytes.
+    pub size: u64,
+    /// Host id that owns (created) the file.
+    pub owner: u16,
+}
+
+/// A mounted filesystem instance on one host.
+pub struct SharedFs {
+    fabric: Fabric,
+    host: HostId,
+    dev: Rc<dyn BlockDevice>,
+    sb: Superblock,
+    /// This mount's claimed allocation group.
+    ag: u32,
+    /// In-memory copy of the claimed AG's bitmap (we own it exclusively).
+    bitmap: RefCell<Vec<u8>>,
+    /// Scratch buffer for block I/O.
+    buf: MemRegion,
+    dev_blocks_per_fs_block: u32,
+}
+
+impl SharedFs {
+    fn dev_lba(sb_dev_blocks: u32, fs_block: u64) -> u64 {
+        fs_block * sb_dev_blocks as u64
+    }
+
+    async fn read_fs_block(&self, fs_block: u64, out: &mut [u8]) -> Result<()> {
+        debug_assert!(out.len() <= FS_BLOCK as usize);
+        self.dev
+            .submit(Bio::read(
+                Self::dev_lba(self.dev_blocks_per_fs_block, fs_block),
+                self.dev_blocks_per_fs_block,
+                self.buf,
+            ))
+            .await
+            .map_err(|e| FsError::Io(e.to_string()))?;
+        let mut full = vec![0u8; FS_BLOCK as usize];
+        self.fabric
+            .mem_read(self.host, self.buf.addr, &mut full)
+            .map_err(|e| FsError::Io(e.to_string()))?;
+        let n = out.len();
+        out.copy_from_slice(&full[..n]);
+        Ok(())
+    }
+
+    async fn write_fs_block(&self, fs_block: u64, data: &[u8]) -> Result<()> {
+        debug_assert!(data.len() <= FS_BLOCK as usize);
+        let mut full = vec![0u8; FS_BLOCK as usize];
+        full[..data.len()].copy_from_slice(data);
+        self.fabric
+            .mem_write(self.host, self.buf.addr, &full)
+            .map_err(|e| FsError::Io(e.to_string()))?;
+        self.dev
+            .submit(Bio::write(
+                Self::dev_lba(self.dev_blocks_per_fs_block, fs_block),
+                self.dev_blocks_per_fs_block,
+                self.buf,
+            ))
+            .await
+            .map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    /// Create a filesystem on `dev`: `ag_count` allocation groups sharing
+    /// the device's blocks, `inode_count` inodes.
+    pub async fn format(
+        fabric: &Fabric,
+        host: HostId,
+        dev: Rc<dyn BlockDevice>,
+        ag_count: u32,
+        inode_count: u32,
+    ) -> Result<()> {
+        assert!(ag_count > 0 && ag_count as usize <= MAX_AGS);
+        let dev_blocks_per_fs_block = (FS_BLOCK / dev.block_size() as u64) as u32;
+        let total_fs_blocks = dev.capacity_blocks() / dev_blocks_per_fs_block as u64;
+        let it_blocks = (inode_count as u64).div_ceil(INODES_PER_BLOCK);
+        let meta = 2 + it_blocks;
+        if total_fs_blocks <= meta + ag_count as u64 * 2 {
+            return Err(FsError::DeviceTooSmall);
+        }
+        let per_ag = (total_fs_blocks - meta) / ag_count as u64 - 1; // minus bitmap block
+        // One 4 KiB bitmap block tracks up to 32768 data blocks.
+        let ag_data_blocks = per_ag.min(FS_BLOCK * 8) as u32;
+        let sb = Superblock {
+            magic: MAGIC,
+            fs_blocks: total_fs_blocks,
+            inode_count,
+            ag_count,
+            ag_data_blocks,
+        };
+        let buf = fabric.alloc(host, FS_BLOCK).map_err(|e| FsError::Io(e.to_string()))?;
+        let tmp = SharedFs {
+            fabric: fabric.clone(),
+            host,
+            dev,
+            sb,
+            ag: 0,
+            bitmap: RefCell::new(Vec::new()),
+            buf,
+            dev_blocks_per_fs_block,
+        };
+        tmp.write_fs_block(0, &sb.encode()).await?;
+        tmp.write_fs_block(1, &ClaimTable::default().encode()).await?;
+        // Zero the inode table and every AG bitmap.
+        let zero = vec![0u8; FS_BLOCK as usize];
+        for b in 0..it_blocks {
+            tmp.write_fs_block(sb.inode_table_start() + b, &zero).await?;
+        }
+        for ag in 0..ag_count {
+            tmp.write_fs_block(sb.ag_start(ag), &zero).await?;
+        }
+        // `tmp`'s Drop releases the scratch buffer.
+        Ok(())
+    }
+
+    /// Mount: read the superblock and claim an allocation group for this
+    /// host (reusing its previous claim after a remount).
+    pub async fn mount(fabric: &Fabric, host: HostId, dev: Rc<dyn BlockDevice>) -> Result<SharedFs> {
+        let dev_blocks_per_fs_block = (FS_BLOCK / dev.block_size() as u64) as u32;
+        let buf = fabric.alloc(host, FS_BLOCK).map_err(|e| FsError::Io(e.to_string()))?;
+        let mut fs = SharedFs {
+            fabric: fabric.clone(),
+            host,
+            dev,
+            sb: Superblock { magic: 0, fs_blocks: 0, inode_count: 0, ag_count: 1, ag_data_blocks: 0 },
+            ag: 0,
+            bitmap: RefCell::new(Vec::new()),
+            buf,
+            dev_blocks_per_fs_block,
+        };
+        let mut raw = vec![0u8; FS_BLOCK as usize];
+        fs.read_fs_block(0, &mut raw).await?;
+        let sb = Superblock::decode(&raw);
+        if !sb.valid() {
+            return Err(FsError::NotFormatted);
+        }
+        fs.sb = sb;
+        // Claim an AG: prefer an existing claim by this host, else the
+        // first unclaimed one. (Mount is a control-plane operation; the
+        // cluster serializes mounts, like real shared-disk fs tooling.)
+        fs.read_fs_block(1, &mut raw).await?;
+        let mut claims = ClaimTable::decode(&raw);
+        let ag = match (0..sb.ag_count).find(|&a| claims.owners[a as usize] == host.0) {
+            Some(a) => a,
+            None => {
+                let a = (0..sb.ag_count)
+                    .find(|&a| claims.owners[a as usize] == 0xFFFF)
+                    .ok_or(FsError::NoFreeAg)?;
+                claims.owners[a as usize] = host.0;
+                fs.write_fs_block(1, &claims.encode()).await?;
+                a
+            }
+        };
+        fs.ag = ag;
+        // Load our bitmap (exclusively ours from here on).
+        fs.read_fs_block(sb.ag_start(ag), &mut raw).await?;
+        *fs.bitmap.borrow_mut() = raw.clone();
+        Ok(fs)
+    }
+
+    /// This mount's claimed allocation group.
+    pub fn allocation_group(&self) -> u32 {
+        self.ag
+    }
+
+    /// The on-disk superblock.
+    pub fn superblock(&self) -> Superblock {
+        self.sb
+    }
+
+    /// Free data blocks remaining in this mount's allocation group.
+    pub fn free_blocks(&self) -> u64 {
+        let bm = self.bitmap.borrow();
+        let mut used = 0u64;
+        for i in 0..self.sb.ag_data_blocks as usize {
+            if bm[i / 8] & (1 << (i % 8)) != 0 {
+                used += 1;
+            }
+        }
+        self.sb.ag_data_blocks as u64 - used
+    }
+
+    // ------------------------------------------------------------------
+    // Inode helpers
+    // ------------------------------------------------------------------
+
+    async fn read_inode(&self, idx: u32) -> Result<Inode> {
+        let blk = self.sb.inode_table_start() + idx as u64 / INODES_PER_BLOCK;
+        let mut raw = vec![0u8; FS_BLOCK as usize];
+        self.read_fs_block(blk, &mut raw).await?;
+        let off = (idx as u64 % INODES_PER_BLOCK) as usize * INODE_LEN;
+        Ok(Inode::decode(raw[off..off + INODE_LEN].try_into().unwrap()))
+    }
+
+    async fn write_inode(&self, idx: u32, ino: &Inode) -> Result<()> {
+        // Read-modify-write the containing block. Inode indices are
+        // partitioned per AG, and one inode-table block never spans two
+        // AGs' partitions in our geometry (inode_count % ag_count == 0 in
+        // format()), so this RMW touches only blocks we own.
+        let blk = self.sb.inode_table_start() + idx as u64 / INODES_PER_BLOCK;
+        let mut raw = vec![0u8; FS_BLOCK as usize];
+        self.read_fs_block(blk, &mut raw).await?;
+        let off = (idx as u64 % INODES_PER_BLOCK) as usize * INODE_LEN;
+        raw[off..off + INODE_LEN].copy_from_slice(&ino.encode());
+        self.write_fs_block(blk, &raw).await
+    }
+
+    /// Find a file by name; returns (inode index, inode).
+    async fn lookup(&self, name: &str) -> Result<(u32, Inode)> {
+        for idx in 0..self.sb.inode_count {
+            let ino = self.read_inode(idx).await?;
+            if ino.used && ino.name == name {
+                return Ok((idx, ino));
+            }
+        }
+        Err(FsError::NotFound(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Block allocation (within our claimed AG only)
+    // ------------------------------------------------------------------
+
+    /// Allocate up to `want` contiguous data blocks; returns an extent
+    /// (possibly shorter than `want`).
+    fn alloc_extent(&self, want: u32) -> Option<Extent> {
+        let mut bm = self.bitmap.borrow_mut();
+        let limit = self.sb.ag_data_blocks as usize;
+        let mut run_start = None;
+        let mut run_len = 0u32;
+        let mut best: Option<(usize, u32)> = None;
+        for i in 0..=limit {
+            let free = i < limit && bm[i / 8] & (1 << (i % 8)) == 0;
+            if free {
+                if run_start.is_none() {
+                    run_start = Some(i);
+                    run_len = 0;
+                }
+                run_len += 1;
+                if run_len >= want {
+                    best = Some((run_start.unwrap(), want));
+                    break;
+                }
+            } else {
+                if let Some(s) = run_start.take() {
+                    if best.is_none_or(|(_, l)| run_len > l) {
+                        best = Some((s, run_len));
+                    }
+                }
+                run_len = 0;
+            }
+        }
+        let (start, len) = best?;
+        for i in start..start + len as usize {
+            bm[i / 8] |= 1 << (i % 8);
+        }
+        // Data blocks start right after the AG's bitmap block.
+        Some(Extent { start: (self.sb.ag_start(self.ag) + 1 + start as u64) as u32, blocks: len })
+    }
+
+    fn free_extent(&self, e: Extent) {
+        let base = self.sb.ag_start(self.ag) + 1;
+        let mut bm = self.bitmap.borrow_mut();
+        for b in e.start as u64..e.start as u64 + e.blocks as u64 {
+            if b >= base {
+                let i = (b - base) as usize;
+                if i < self.sb.ag_data_blocks as usize {
+                    bm[i / 8] &= !(1 << (i % 8));
+                }
+            }
+        }
+    }
+
+    /// Persist the AG bitmap.
+    async fn sync_bitmap(&self) -> Result<()> {
+        let snapshot = self.bitmap.borrow().clone();
+        self.write_fs_block(self.sb.ag_start(self.ag), &snapshot).await
+    }
+
+    // ------------------------------------------------------------------
+    // Public file operations
+    // ------------------------------------------------------------------
+
+    /// Create an empty file owned by this host.
+    pub async fn create(&self, name: &str) -> Result<()> {
+        if name.len() > MAX_NAME {
+            return Err(FsError::NameTooLong(name.to_string()));
+        }
+        if self.lookup(name).await.is_ok() {
+            return Err(FsError::Exists(name.to_string()));
+        }
+        let (first, last) = self.sb.ag_inode_range(self.ag);
+        for idx in first..last {
+            let ino = self.read_inode(idx).await?;
+            if !ino.used {
+                let ino = Inode {
+                    used: true,
+                    name: name.to_string(),
+                    size: 0,
+                    owner: self.host.0,
+                    ..Default::default()
+                };
+                return self.write_inode(idx, &ino).await;
+            }
+        }
+        Err(FsError::NoFreeInode)
+    }
+
+    /// Write `data` at byte `offset` (extending the file as needed). Only
+    /// the owning host writes; allocation comes from its own AG.
+    pub async fn write(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let (idx, mut ino) = self.lookup(name).await?;
+        if ino.owner != self.host.0 {
+            return Err(FsError::NotOwner { file: name.into(), owner: ino.owner });
+        }
+        let end = offset + data.len() as u64;
+        // Grow allocation to cover `end`. Freshly allocated blocks are
+        // zeroed on disk: the allocator recycles blocks from deleted
+        // files, and sparse writes must never expose stale data.
+        let mut have = ino.allocated_blocks() * FS_BLOCK;
+        let zero = vec![0u8; FS_BLOCK as usize];
+        while have < end {
+            let need_blocks = (end - have).div_ceil(FS_BLOCK) as u32;
+            let slot = ino
+                .extents
+                .iter()
+                .position(|e| e.blocks == 0)
+                .ok_or(FsError::NoSpace)?;
+            let ext = self.alloc_extent(need_blocks).ok_or(FsError::NoSpace)?;
+            for b in ext.start as u64..ext.start as u64 + ext.blocks as u64 {
+                self.write_fs_block(b, &zero).await?;
+            }
+            // Merge with the previous extent when contiguous (keeps the
+            // fixed extent array going much further).
+            if slot > 0 {
+                let prev = &mut ino.extents[slot - 1];
+                if prev.start + prev.blocks == ext.start {
+                    prev.blocks += ext.blocks;
+                    have += ext.blocks as u64 * FS_BLOCK;
+                    continue;
+                }
+            }
+            ino.extents[slot] = ext;
+            have += ext.blocks as u64 * FS_BLOCK;
+        }
+        // Write the data block by block (read-modify-write at the edges).
+        let mut pos = offset;
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let fb = pos / FS_BLOCK;
+            let in_block = (pos % FS_BLOCK) as usize;
+            let n = (data.len() - cursor).min(FS_BLOCK as usize - in_block);
+            let abs = ino.map_block(fb).expect("allocated above");
+            if in_block != 0 || n != FS_BLOCK as usize {
+                let mut full = vec![0u8; FS_BLOCK as usize];
+                self.read_fs_block(abs, &mut full).await?;
+                full[in_block..in_block + n].copy_from_slice(&data[cursor..cursor + n]);
+                self.write_fs_block(abs, &full).await?;
+            } else {
+                self.write_fs_block(abs, &data[cursor..cursor + n]).await?;
+            }
+            pos += n as u64;
+            cursor += n;
+        }
+        ino.size = ino.size.max(end);
+        self.write_inode(idx, &ino).await?;
+        self.sync_bitmap().await
+    }
+
+    /// Read up to `out.len()` bytes at `offset`; returns bytes read. Any
+    /// host may read any file — the inode is re-read from the shared disk.
+    pub async fn read(&self, name: &str, offset: u64, out: &mut [u8]) -> Result<usize> {
+        let (_, ino) = self.lookup(name).await?;
+        if offset >= ino.size {
+            return Ok(0);
+        }
+        let n = (out.len() as u64).min(ino.size - offset) as usize;
+        let mut pos = offset;
+        let mut cursor = 0usize;
+        while cursor < n {
+            let fb = pos / FS_BLOCK;
+            let in_block = (pos % FS_BLOCK) as usize;
+            let take = (n - cursor).min(FS_BLOCK as usize - in_block);
+            let abs = ino.map_block(fb).ok_or(FsError::NoSpace)?;
+            let mut full = vec![0u8; FS_BLOCK as usize];
+            self.read_fs_block(abs, &mut full).await?;
+            out[cursor..cursor + take].copy_from_slice(&full[in_block..in_block + take]);
+            pos += take as u64;
+            cursor += take;
+        }
+        Ok(n)
+    }
+
+    /// Delete a file (owner only); its blocks return to this AG's bitmap.
+    pub async fn remove(&self, name: &str) -> Result<()> {
+        let (idx, ino) = self.lookup(name).await?;
+        if ino.owner != self.host.0 {
+            return Err(FsError::NotOwner { file: name.into(), owner: ino.owner });
+        }
+        for e in ino.extents.iter().filter(|e| e.blocks > 0) {
+            self.free_extent(*e);
+        }
+        self.write_inode(idx, &Inode::default()).await?;
+        self.sync_bitmap().await
+    }
+
+    /// List every file on the filesystem (all hosts' files).
+    pub async fn list(&self) -> Result<Vec<DirEntry>> {
+        let mut out = Vec::new();
+        for idx in 0..self.sb.inode_count {
+            let ino = self.read_inode(idx).await?;
+            if ino.used {
+                out.push(DirEntry { name: ino.name, size: ino.size, owner: ino.owner });
+            }
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    /// File size, if it exists.
+    pub async fn stat(&self, name: &str) -> Result<DirEntry> {
+        let (_, ino) = self.lookup(name).await?;
+        Ok(DirEntry { name: ino.name, size: ino.size, owner: ino.owner })
+    }
+
+    /// Flush the device write cache (maps to NVMe Flush).
+    pub async fn sync(&self) -> Result<()> {
+        self.dev.submit(Bio::flush()).await.map_err(|e| FsError::Io(e.to_string()))
+    }
+}
+
+impl Drop for SharedFs {
+    fn drop(&mut self) {
+        self.fabric.release(self.buf);
+    }
+}
+
+/// Remove unused-variable lint noise for EXTENTS_PER_INODE in docs.
+const _: usize = EXTENTS_PER_INODE;

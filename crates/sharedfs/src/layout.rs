@@ -1,0 +1,285 @@
+//! On-disk layout: superblock, allocation-group claims, inodes, extents.
+//!
+//! Everything is explicit little-endian — different hosts read these
+//! bytes through their own NTB paths, so the layout is the contract.
+//!
+//! ```text
+//! fs block 0:                superblock
+//! fs block 1:                allocation-group claim table
+//! fs blocks 2..2+IT:         inode table (16 inodes / 4 KiB block)
+//! per AG: 1 bitmap block followed by `ag_data_blocks` data blocks
+//! ```
+
+/// Filesystem block size in bytes.
+pub const FS_BLOCK: u64 = 4096;
+/// Superblock magic.
+pub const MAGIC: u32 = 0x5346_4453; // "SDFS"
+/// On-disk inode size.
+pub const INODE_LEN: usize = 256;
+/// Inodes per inode-table block.
+pub const INODES_PER_BLOCK: u64 = FS_BLOCK / INODE_LEN as u64;
+/// Maximum file-name length.
+pub const MAX_NAME: usize = 64;
+/// Direct extents per inode.
+pub const EXTENTS_PER_INODE: usize = 12;
+/// Claim-table capacity (one u16 host id + epoch per allocation group).
+pub const MAX_AGS: usize = 64;
+
+/// Superblock (fs block 0).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Must equal [`MAGIC`].
+    pub magic: u32,
+    /// Total filesystem blocks (including metadata).
+    pub fs_blocks: u64,
+    /// Total inodes.
+    pub inode_count: u32,
+    /// Allocation groups.
+    pub ag_count: u32,
+    /// Data blocks per allocation group (excluding its bitmap block).
+    pub ag_data_blocks: u32,
+}
+
+impl Superblock {
+    /// Blocks the inode table occupies.
+    pub fn inode_table_blocks(&self) -> u64 {
+        (self.inode_count as u64).div_ceil(INODES_PER_BLOCK)
+    }
+
+    /// First fs block of the inode table.
+    pub fn inode_table_start(&self) -> u64 {
+        2
+    }
+
+    /// First fs block of allocation group `ag` (its bitmap block).
+    pub fn ag_start(&self, ag: u32) -> u64 {
+        self.inode_table_start()
+            + self.inode_table_blocks()
+            + ag as u64 * (1 + self.ag_data_blocks as u64)
+    }
+
+    /// Inodes owned by allocation group `ag`: `[first, last)`.
+    pub fn ag_inode_range(&self, ag: u32) -> (u32, u32) {
+        let per = self.inode_count / self.ag_count;
+        let first = ag * per;
+        let last = if ag + 1 == self.ag_count { self.inode_count } else { first + per };
+        (first, last)
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; FS_BLOCK as usize];
+        b[0..4].copy_from_slice(&self.magic.to_le_bytes());
+        b[8..16].copy_from_slice(&self.fs_blocks.to_le_bytes());
+        b[16..20].copy_from_slice(&self.inode_count.to_le_bytes());
+        b[20..24].copy_from_slice(&self.ag_count.to_le_bytes());
+        b[24..28].copy_from_slice(&self.ag_data_blocks.to_le_bytes());
+        b
+    }
+
+    /// Parse from the on-disk layout.
+    pub fn decode(b: &[u8]) -> Superblock {
+        Superblock {
+            magic: u32::from_le_bytes(b[0..4].try_into().unwrap()),
+            fs_blocks: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            inode_count: u32::from_le_bytes(b[16..20].try_into().unwrap()),
+            ag_count: u32::from_le_bytes(b[20..24].try_into().unwrap()),
+            ag_data_blocks: u32::from_le_bytes(b[24..28].try_into().unwrap()),
+        }
+    }
+
+    /// Whether the superblock looks sane.
+    pub fn valid(&self) -> bool {
+        self.magic == MAGIC && self.ag_count > 0 && self.ag_count as usize <= MAX_AGS
+    }
+}
+
+/// One contiguous run of data blocks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct Extent {
+    /// Absolute fs block of the first block (0 = unused slot).
+    pub start: u32,
+    /// Run length in fs blocks (0 = unused slot).
+    pub blocks: u32,
+}
+
+/// An inode: flat-namespace file with direct extents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    /// Whether this inode holds a file.
+    pub used: bool,
+    /// File name (flat namespace).
+    pub name: String,
+    /// File size in bytes.
+    pub size: u64,
+    /// Direct extents (unused slots have `blocks == 0`).
+    pub extents: [Extent; EXTENTS_PER_INODE],
+    /// Host id that created (and may write) the file.
+    pub owner: u16,
+}
+
+impl Default for Inode {
+    fn default() -> Self {
+        Inode {
+            used: false,
+            name: String::new(),
+            size: 0,
+            extents: [Extent::default(); EXTENTS_PER_INODE],
+            owner: 0,
+        }
+    }
+}
+
+impl Inode {
+    /// Total allocated blocks.
+    pub fn allocated_blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.blocks as u64).sum()
+    }
+
+    /// Map a file block index to its absolute fs block, if allocated.
+    pub fn map_block(&self, file_block: u64) -> Option<u64> {
+        let mut remaining = file_block;
+        for e in &self.extents {
+            if e.blocks == 0 {
+                continue;
+            }
+            if remaining < e.blocks as u64 {
+                return Some(e.start as u64 + remaining);
+            }
+            remaining -= e.blocks as u64;
+        }
+        None
+    }
+
+    /// Serialize to the on-disk layout.
+    pub fn encode(&self) -> [u8; INODE_LEN] {
+        let mut b = [0u8; INODE_LEN];
+        b[0] = self.used as u8;
+        let name = self.name.as_bytes();
+        assert!(name.len() <= MAX_NAME, "name too long");
+        b[1] = name.len() as u8;
+        b[2..4].copy_from_slice(&self.owner.to_le_bytes());
+        b[8..16].copy_from_slice(&self.size.to_le_bytes());
+        b[16..16 + name.len()].copy_from_slice(name);
+        let mut off = 16 + MAX_NAME;
+        for e in &self.extents {
+            b[off..off + 4].copy_from_slice(&e.start.to_le_bytes());
+            b[off + 4..off + 8].copy_from_slice(&e.blocks.to_le_bytes());
+            off += 8;
+        }
+        b
+    }
+
+    /// Parse from the on-disk layout.
+    pub fn decode(b: &[u8; INODE_LEN]) -> Inode {
+        let name_len = (b[1] as usize).min(MAX_NAME);
+        let mut extents = [Extent::default(); EXTENTS_PER_INODE];
+        let mut off = 16 + MAX_NAME;
+        for e in extents.iter_mut() {
+            e.start = u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+            e.blocks = u32::from_le_bytes(b[off + 4..off + 8].try_into().unwrap());
+            off += 8;
+        }
+        Inode {
+            used: b[0] != 0,
+            name: String::from_utf8_lossy(&b[16..16 + name_len]).into_owned(),
+            size: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            owner: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            extents,
+        }
+    }
+}
+
+/// The AG claim table (fs block 1): per AG, the claiming host + epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClaimTable {
+    /// 0xFFFF = unclaimed; otherwise the claiming host id.
+    pub owners: [u16; MAX_AGS],
+}
+
+impl Default for ClaimTable {
+    fn default() -> Self {
+        ClaimTable { owners: [0xFFFF; MAX_AGS] }
+    }
+}
+
+impl ClaimTable {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; FS_BLOCK as usize];
+        for (i, o) in self.owners.iter().enumerate() {
+            b[i * 2..i * 2 + 2].copy_from_slice(&o.to_le_bytes());
+        }
+        b
+    }
+
+    /// Parse from the on-disk layout.
+    pub fn decode(b: &[u8]) -> ClaimTable {
+        let mut t = ClaimTable::default();
+        for (i, o) in t.owners.iter_mut().enumerate() {
+            *o = u16::from_le_bytes(b[i * 2..i * 2 + 2].try_into().unwrap());
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn superblock_roundtrip_and_geometry() {
+        let sb = Superblock {
+            magic: MAGIC,
+            fs_blocks: 10_000,
+            inode_count: 256,
+            ag_count: 4,
+            ag_data_blocks: 2000,
+        };
+        assert_eq!(Superblock::decode(&sb.encode()), sb);
+        assert!(sb.valid());
+        assert_eq!(sb.inode_table_blocks(), 16);
+        assert_eq!(sb.inode_table_start(), 2);
+        assert_eq!(sb.ag_start(0), 18);
+        assert_eq!(sb.ag_start(1), 18 + 2001);
+        assert_eq!(sb.ag_inode_range(0), (0, 64));
+        assert_eq!(sb.ag_inode_range(3), (192, 256));
+    }
+
+    #[test]
+    fn inode_block_mapping_walks_extents() {
+        let mut ino = Inode { used: true, name: "f".into(), size: 0, ..Default::default() };
+        ino.extents[0] = Extent { start: 100, blocks: 3 };
+        ino.extents[1] = Extent { start: 500, blocks: 2 };
+        assert_eq!(ino.map_block(0), Some(100));
+        assert_eq!(ino.map_block(2), Some(102));
+        assert_eq!(ino.map_block(3), Some(500));
+        assert_eq!(ino.map_block(4), Some(501));
+        assert_eq!(ino.map_block(5), None);
+        assert_eq!(ino.allocated_blocks(), 5);
+    }
+
+    #[test]
+    fn claim_table_roundtrip() {
+        let mut t = ClaimTable::default();
+        t.owners[3] = 7;
+        assert_eq!(ClaimTable::decode(&t.encode()), t);
+    }
+
+    proptest! {
+        #[test]
+        fn inode_roundtrip(
+            used in any::<bool>(),
+            name in "[a-z0-9/_.-]{0,64}",
+            size in any::<u64>(),
+            owner in any::<u16>(),
+            ext in prop::collection::vec((1u32..1000, 0u32..64), EXTENTS_PER_INODE),
+        ) {
+            let mut extents = [Extent::default(); EXTENTS_PER_INODE];
+            for (i, (start, blocks)) in ext.into_iter().enumerate() {
+                extents[i] = Extent { start, blocks };
+            }
+            let ino = Inode { used, name: name.clone(), size, owner, extents };
+            prop_assert_eq!(Inode::decode(&ino.encode()), ino);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # sharedfs — a shared-disk filesystem over one cluster-shared device
+//!
+//! The paper's §V motivation for a *kernel block device* is "to use shared
+//! disk file systems available on Linux, such as Global File System (GFS)
+//! or Oracle Cluster File System (OCFS)". This crate is that use case,
+//! scaled down: a flat-namespace filesystem in which every mounting host
+//! claims an **allocation group** and allocates inodes/blocks only inside
+//! it — so multiple hosts create and write files on the *same*
+//! NVMe namespace simultaneously without a distributed lock manager,
+//! while any host reads any file straight off the shared disk.
+//!
+//! Runs over any [`blklayer::BlockDevice`], which in this workspace means:
+//! the distributed driver's remote clients, the stock-Linux analog, or
+//! the NVMe-oF initiator.
+
+pub mod fs;
+pub mod layout;
+
+pub use fs::{DirEntry, FsError, Result, SharedFs};
+pub use layout::{Extent, Inode, Superblock};

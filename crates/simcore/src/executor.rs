@@ -1,0 +1,528 @@
+//! A deterministic, single-threaded async executor driven by virtual time.
+//!
+//! Simulated components (device models, driver logic, workload generators)
+//! are written as ordinary `async` functions. Awaiting [`Handle::sleep`]
+//! advances nothing by itself; instead the executor runs every runnable task
+//! to quiescence and then jumps the virtual clock to the earliest pending
+//! timer. A whole "60 second" benchmark therefore takes only as many event
+//! steps as there are latency transitions.
+//!
+//! Determinism: tasks are woken in FIFO order, timers fire in
+//! `(deadline, registration sequence)` order, and there is exactly one
+//! executor thread. Two runs with the same seed perform the identical event
+//! sequence.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier for a spawned task.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(u64);
+
+type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Queue of tasks made runnable by wakers.
+///
+/// This is the only piece of executor state reachable from a [`Waker`]
+/// (which must be `Send + Sync`), so it uses a real mutex; everything else
+/// stays in single-threaded `RefCell`s.
+#[derive(Default)]
+struct WakeQueue {
+    ready: Mutex<VecDeque<TaskId>>,
+}
+
+impl WakeQueue {
+    fn push(&self, id: TaskId) {
+        self.ready.lock().unwrap().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.ready.lock().unwrap().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    queue: Arc<WakeQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct Core {
+    now: Cell<SimTime>,
+    tasks: RefCell<HashMap<TaskId, LocalBoxFuture>>,
+    /// Tasks spawned while another task is being polled; folded in between polls.
+    spawn_queue: RefCell<Vec<(TaskId, LocalBoxFuture)>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    wake_queue: Arc<WakeQueue>,
+    next_task: Cell<u64>,
+    next_timer_seq: Cell<u64>,
+    steps: Cell<u64>,
+}
+
+impl Core {
+    fn new() -> Rc<Core> {
+        Rc::new(Core {
+            now: Cell::new(SimTime::ZERO),
+            tasks: RefCell::new(HashMap::new()),
+            spawn_queue: RefCell::new(Vec::new()),
+            timers: RefCell::new(BinaryHeap::new()),
+            wake_queue: Arc::new(WakeQueue::default()),
+            next_task: Cell::new(0),
+            next_timer_seq: Cell::new(0),
+            steps: Cell::new(0),
+        })
+    }
+
+    fn alloc_task_id(&self) -> TaskId {
+        let id = self.next_task.get();
+        self.next_task.set(id + 1);
+        TaskId(id)
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.next_timer_seq.get();
+        self.next_timer_seq.set(seq + 1);
+        self.timers.borrow_mut().push(Reverse(TimerEntry { deadline, seq, waker }));
+    }
+
+    /// Admit freshly spawned tasks and mark them runnable.
+    fn admit_spawned(&self) {
+        let spawned: Vec<_> = self.spawn_queue.borrow_mut().drain(..).collect();
+        for (id, fut) in spawned {
+            self.tasks.borrow_mut().insert(id, fut);
+            self.wake_queue.push(id);
+        }
+    }
+
+    /// Run every runnable task until the ready queue drains.
+    fn run_ready(&self) {
+        loop {
+            self.admit_spawned();
+            let Some(id) = self.wake_queue.pop() else { break };
+            // Take the future out of the map so the task body may itself
+            // spawn/wake without re-entering the `tasks` borrow.
+            let Some(mut fut) = self.tasks.borrow_mut().remove(&id) else {
+                continue; // already completed; stale wake
+            };
+            let waker = Waker::from(Arc::new(TaskWaker { id, queue: self.wake_queue.clone() }));
+            let mut cx = Context::from_waker(&waker);
+            self.steps.set(self.steps.get() + 1);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.tasks.borrow_mut().insert(id, fut);
+                }
+            }
+        }
+    }
+
+    /// Advance virtual time to the next timer and fire it (plus any timers
+    /// sharing the same deadline). Returns false when no timers remain.
+    fn advance(&self) -> bool {
+        let first = match self.timers.borrow_mut().pop() {
+            Some(Reverse(entry)) => entry,
+            None => return false,
+        };
+        debug_assert!(first.deadline >= self.now.get(), "timer in the past");
+        self.now.set(first.deadline);
+        first.waker.wake();
+        // Fire all timers that share this deadline so their tasks interleave
+        // in registration order within a single ready-queue drain.
+        loop {
+            let mut timers = self.timers.borrow_mut();
+            match timers.peek() {
+                Some(Reverse(e)) if e.deadline == first.deadline => {
+                    let Reverse(e) = timers.pop().unwrap();
+                    drop(timers);
+                    e.waker.wake();
+                }
+                _ => break,
+            }
+        }
+        true
+    }
+}
+
+/// The simulation runtime. Owns the task set, the timer wheel, and the
+/// virtual clock. Created once per scenario; not `Send`.
+pub struct SimRuntime {
+    core: Rc<Core>,
+}
+
+impl Default for SimRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimRuntime {
+    /// A fresh runtime at virtual time zero.
+    pub fn new() -> Self {
+        SimRuntime { core: Core::new() }
+    }
+
+    /// A cloneable handle for spawning tasks and reading the clock from
+    /// inside simulation code. Handles hold a weak reference so tasks that
+    /// capture one do not keep the runtime alive.
+    pub fn handle(&self) -> Handle {
+        Handle { core: Rc::downgrade(&self.core) }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Total task polls performed so far (diagnostic).
+    pub fn steps(&self) -> u64 {
+        self.core.steps.get()
+    }
+
+    /// Run until no runnable task and no pending timer remains.
+    pub fn run(&self) {
+        loop {
+            self.core.run_ready();
+            if !self.core.advance() {
+                break;
+            }
+        }
+    }
+
+    /// Spawn `fut` as the root task, run the simulation to quiescence, and
+    /// return the root task's output.
+    ///
+    /// Panics if the simulation went idle before the root future finished
+    /// (i.e. the root deadlocked on an event nobody will produce).
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let join = self.handle().spawn(fut);
+        self.run();
+        join.try_take()
+            .expect("simulation went idle before the main future completed (deadlock)")
+    }
+}
+
+/// Cloneable reference to a [`SimRuntime`] used by simulation code.
+#[derive(Clone)]
+pub struct Handle {
+    core: Weak<Core>,
+}
+
+impl Handle {
+    fn core(&self) -> Rc<Core> {
+        self.core.upgrade().expect("SimRuntime dropped while handle in use")
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core().now.get()
+    }
+
+    /// A future that completes `d` later on the virtual clock.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        let core = self.core();
+        Sleep { handle: self.clone(), deadline: core.now.get() + d }
+    }
+
+    /// A future that completes at absolute virtual time `t` (immediately if
+    /// `t` has passed).
+    pub fn sleep_until(&self, t: SimTime) -> Sleep {
+        Sleep { handle: self.clone(), deadline: t }
+    }
+
+    /// Spawn a task. The task starts running at the current virtual time
+    /// during the next scheduler iteration.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let core = self.core();
+        let id = core.alloc_task_id();
+        let state = Rc::new(RefCell::new(JoinState { value: None, waker: None }));
+        let state2 = state.clone();
+        let wrapped = Box::pin(async move {
+            let value = fut.await;
+            let mut st = state2.borrow_mut();
+            st.value = Some(value);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        core.spawn_queue.borrow_mut().push((id, wrapped));
+        JoinHandle { state, id }
+    }
+
+    pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        self.core().register_timer(deadline, waker);
+    }
+}
+
+/// Future returned by [`Handle::sleep`].
+pub struct Sleep {
+    handle: Handle,
+    deadline: SimTime,
+}
+
+impl Sleep {
+    /// The absolute instant this sleep completes.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.handle.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            self.handle.register_timer(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's eventual output. Awaiting it yields the value;
+/// [`JoinHandle::try_take`] grabs it non-blockingly after the run.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// Take the task's output if it has completed.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().value.take()
+    }
+
+    /// Whether the task has produced its output (and it hasn't been taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().value.is_some()
+    }
+
+    /// The spawned task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        match st.value.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                st.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Yield to the scheduler once, letting every other runnable task proceed
+/// at the same virtual instant.
+pub fn yield_now() -> YieldNow {
+    YieldNow { polled: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn block_on_returns_value() {
+        let rt = SimRuntime::new();
+        let out = rt.block_on(async { 40 + 2 });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let t = rt.block_on(async move {
+            h.sleep(SimDuration::from_micros(5)).await;
+            h.sleep(SimDuration::from_nanos(250)).await;
+            h.now()
+        });
+        assert_eq!(t.as_nanos(), 5_250);
+        assert_eq!(rt.now().as_nanos(), 5_250);
+    }
+
+    #[test]
+    fn spawned_tasks_interleave_by_deadline() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        let h1 = h.clone();
+        let h2 = h.clone();
+        rt.block_on(async move {
+            let a = h1.spawn({
+                let h = h1.clone();
+                async move {
+                    h.sleep(SimDuration::from_nanos(300)).await;
+                    l1.borrow_mut().push(("a", h.now().as_nanos()));
+                }
+            });
+            let b = h2.spawn({
+                let h = h2.clone();
+                async move {
+                    h.sleep(SimDuration::from_nanos(100)).await;
+                    l2.borrow_mut().push(("b", h.now().as_nanos()));
+                }
+            });
+            a.await;
+            b.await;
+        });
+        assert_eq!(*log.borrow(), vec![("b", 100), ("a", 300)]);
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in ["x", "y", "z"] {
+            let h2 = h.clone();
+            let log = log.clone();
+            h.spawn(async move {
+                h2.sleep(SimDuration::from_nanos(500)).await;
+                log.borrow_mut().push(name);
+            });
+        }
+        rt.run();
+        assert_eq!(*log.borrow(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn yield_now_lets_peer_run() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let peer = h.spawn(async move {
+            l1.borrow_mut().push("peer");
+        });
+        rt.block_on(async move {
+            yield_now().await;
+            l2.borrow_mut().push("main");
+            peer.await;
+        });
+        assert_eq!(*log.borrow(), vec!["peer", "main"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn block_on_detects_deadlock() {
+        let rt = SimRuntime::new();
+        rt.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn join_handle_try_take() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let jh = h.spawn(async { "done" });
+        assert!(!jh.is_finished());
+        rt.run();
+        assert!(jh.is_finished());
+        assert_eq!(jh.try_take(), Some("done"));
+        assert_eq!(jh.try_take(), None);
+    }
+
+    #[test]
+    fn many_timers_deterministic_order() {
+        // Run the same randomized timer workload twice and check identical
+        // completion sequence.
+        fn run_once(seed: u64) -> Vec<(u64, u64)> {
+            let rt = SimRuntime::new();
+            let h = rt.handle();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut state = seed;
+            for i in 0..200u64 {
+                // xorshift for reproducible pseudo-random deadlines
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let delay = state % 1_000;
+                let h2 = h.clone();
+                let log = log.clone();
+                h.spawn(async move {
+                    h2.sleep(SimDuration::from_nanos(delay)).await;
+                    log.borrow_mut().push((i, h2.now().as_nanos()));
+                });
+            }
+            rt.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(0xDEADBEEF), run_once(0xDEADBEEF));
+    }
+}

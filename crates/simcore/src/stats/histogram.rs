@@ -1,0 +1,215 @@
+//! Log-bucketed histogram (HDR-style) for unbounded sample streams where
+//! storing every sample is wasteful — e.g. per-TLP fabric latencies.
+//!
+//! Values are grouped into buckets of `2^sub_bits` sub-buckets per power of
+//! two, giving a bounded relative error of `2^-sub_bits` while using a few
+//! KiB regardless of stream length.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BITS: u32 = 5; // 32 sub-buckets => <= ~3.1% relative error
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// Fixed-memory log-bucketed histogram of `u64` values.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        // 64 exponents x 32 sub-buckets covers the full u64 range.
+        Histogram { counts: vec![0; (64 * SUB_COUNT) as usize], total: 0, min: u64::MAX, max: 0, sum: 0 }
+    }
+
+    fn index_of(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros() as u64; // floor(log2(value)), >= SUB_BITS
+        let sub = (value >> (exp - SUB_BITS as u64)) - SUB_COUNT; // top bits after the leading 1
+        let block = exp - SUB_BITS as u64 + 1;
+        (block * SUB_COUNT + sub) as usize
+    }
+
+    /// Lower bound of the bucket at `index`.
+    fn value_of(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_COUNT {
+            return index;
+        }
+        let block = index / SUB_COUNT; // >= 1
+        let sub = index % SUB_COUNT;
+        (SUB_COUNT + sub) << (block - 1)
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Value at quantile `q` in `[0, 100]` (bucket lower bound; relative
+    /// error bounded by the sub-bucket resolution).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((q / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::value_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Iterate non-empty buckets as `(bucket_lower_bound, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::value_of(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_COUNT {
+            h.record(v);
+        }
+        for (i, (lb, c)) in h.iter().enumerate() {
+            assert_eq!(lb, i as u64);
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    fn basic_stats() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300, 400, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(100));
+        assert_eq!(h.max(), Some(10_000));
+        let mean = h.mean().unwrap();
+        assert!((mean - 2200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert_eq!(a.max(), Some(1_000_000));
+    }
+
+    proptest! {
+        /// Bucket round trip: the bucket lower bound of any value is within
+        /// the guaranteed relative error below the value.
+        #[test]
+        fn bucket_relative_error(v in 0u64..u64::MAX / 2) {
+            let idx = Histogram::index_of(v);
+            let lb = Histogram::value_of(idx);
+            prop_assert!(lb <= v, "lb {lb} > v {v}");
+            if v >= SUB_COUNT {
+                let err = (v - lb) as f64 / v as f64;
+                prop_assert!(err <= 1.0 / SUB_COUNT as f64 + 1e-9, "err {err} for v {v}");
+            } else {
+                prop_assert_eq!(lb, v);
+            }
+        }
+
+        /// index_of must be monotone: larger values never land in earlier buckets.
+        #[test]
+        fn index_monotone(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::index_of(lo) <= Histogram::index_of(hi));
+        }
+
+        /// Percentiles from the histogram agree with exact percentiles
+        /// within the bucket resolution.
+        #[test]
+        fn percentile_close_to_exact(mut samples in prop::collection::vec(1u64..1_000_000, 1..500)) {
+            let mut h = Histogram::new();
+            for &s in &samples { h.record(s); }
+            samples.sort_unstable();
+            for q in [1.0, 25.0, 50.0, 75.0, 99.0] {
+                let rank = ((q / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+                let exact = samples[rank.min(samples.len()) - 1];
+                let approx = h.percentile(q).unwrap();
+                prop_assert!(approx <= exact);
+                let err = (exact - approx) as f64 / exact as f64;
+                prop_assert!(err <= 1.0 / SUB_COUNT as f64 + 1e-9, "q={q} exact={exact} approx={approx}");
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Measurement collection: exact recorders for benchmark latencies and
+//! log-bucketed histograms for unbounded streams.
+
+pub mod histogram;
+pub mod recorder;
+
+pub use histogram::Histogram;
+pub use recorder::{LatencyRecorder, LatencySummary};

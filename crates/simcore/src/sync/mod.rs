@@ -1,0 +1,9 @@
+//! Single-threaded async synchronization primitives for simulation code.
+
+pub mod mpsc;
+pub mod notify;
+pub mod oneshot;
+pub mod semaphore;
+
+pub use notify::Notify;
+pub use semaphore::{Permit, Semaphore};

@@ -1,0 +1,196 @@
+//! Unbounded multi-producer single-consumer channel with async receive.
+//! Used for device mailbox queues (e.g. MMIO writes delivered to a
+//! controller model) where ordering must match delivery order.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    queue: VecDeque<T>,
+    waker: Option<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Create a connected channel pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        queue: VecDeque::new(),
+        waker: None,
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+/// The cloneable sending half.
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Error returned by [`Sender::send`] when the receiver was dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> Sender<T> {
+    /// Enqueue a value; wakes the receiver if it is parked.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.borrow_mut();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        if let Some(w) = st.waker.take() {
+            drop(st);
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Number of queued, unreceived messages.
+    pub fn backlog(&self) -> usize {
+        self.shared.borrow().queue.len()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.borrow_mut().senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            if let Some(w) = st.waker.take() {
+                drop(st);
+                w.wake();
+            }
+        }
+    }
+}
+
+/// The single receiving half.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+impl<T> Receiver<T> {
+    /// Receive the next message; `None` once all senders are gone and the
+    /// queue is drained.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.shared.borrow_mut().queue.pop_front()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.shared.borrow().queue.is_empty()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_alive = false;
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.rx.shared.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            Poll::Ready(Some(v))
+        } else if st.senders == 0 {
+            Poll::Ready(None)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimRuntime;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn preserves_order_across_producers() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        let h1 = h.clone();
+        h.spawn(async move {
+            h1.sleep(SimDuration::from_nanos(10)).await;
+            tx.send(1).unwrap();
+            h1.sleep(SimDuration::from_nanos(20)).await;
+            tx.send(3).unwrap();
+        });
+        let h2 = h.clone();
+        h.spawn(async move {
+            h2.sleep(SimDuration::from_nanos(20)).await;
+            tx2.send(2).unwrap();
+        });
+        let got = rt.block_on(async move {
+            let mut v = Vec::new();
+            while let Some(x) = rx.recv().await {
+                v.push(x);
+            }
+            v
+        });
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_drop() {
+        let rt = SimRuntime::new();
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(9).unwrap();
+        drop(tx);
+        let got = rt.block_on(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(got, (Some(9), None));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn try_recv_and_backlog() {
+        let (tx, mut rx) = channel::<u32>();
+        assert!(rx.is_empty());
+        tx.send(5).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(tx.backlog(), 2);
+        assert_eq!(rx.try_recv(), Some(5));
+        assert_eq!(rx.try_recv(), Some(6));
+        assert_eq!(rx.try_recv(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Single-producer, single-consumer, single-value channel — the simulation
+//! analog of a completion callback (e.g. an MMIO read response or an RPC
+//! reply through a shared-memory mailbox).
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+}
+
+/// Create a connected oneshot pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared { value: None, waker: None, sender_dropped: false }));
+    (Sender { shared: shared.clone(), sent: false }, Receiver { shared })
+}
+
+/// The sending half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+    sent: bool,
+}
+
+/// Error returned by [`Receiver`] when the sender was dropped without sending.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oneshot sender dropped without sending")
+    }
+}
+impl std::error::Error for RecvError {}
+
+impl<T> Sender<T> {
+    /// Deliver the value, waking the receiver. Consumes the sender.
+    pub fn send(mut self, value: T) {
+        let mut st = self.shared.borrow_mut();
+        st.value = Some(value);
+        self.sent = true;
+        if let Some(w) = st.waker.take() {
+            drop(st);
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if !self.sent {
+            let mut st = self.shared.borrow_mut();
+            st.sender_dropped = true;
+            if let Some(w) = st.waker.take() {
+                drop(st);
+                w.wake();
+            }
+        }
+    }
+}
+
+/// The receiving half; a future resolving to the sent value.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.shared.borrow_mut();
+        if let Some(v) = st.value.take() {
+            Poll::Ready(Ok(v))
+        } else if st.sender_dropped {
+            Poll::Ready(Err(RecvError))
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::SimRuntime;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn send_then_recv() {
+        let rt = SimRuntime::new();
+        let (tx, rx) = channel::<u32>();
+        let h = rt.handle();
+        let out = rt.block_on(async move {
+            h.spawn({
+                let h2 = h.clone();
+                async move {
+                    h2.sleep(SimDuration::from_nanos(100)).await;
+                    tx.send(7);
+                }
+            });
+            rx.await
+        });
+        assert_eq!(out, Ok(7));
+    }
+
+    #[test]
+    fn dropped_sender_reports_error() {
+        let rt = SimRuntime::new();
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(rt.block_on(rx), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_before_send_parks() {
+        let rt = SimRuntime::new();
+        let h = rt.handle();
+        let (tx, rx) = channel::<&str>();
+        let j = h.spawn(rx);
+        let h2 = h.clone();
+        rt.block_on(async move {
+            h2.sleep(SimDuration::from_micros(1)).await;
+            tx.send("late");
+        });
+        rt.run();
+        assert_eq!(j.try_take(), Some(Ok("late")));
+    }
+}

@@ -1,0 +1,254 @@
+//! Virtual time types.
+//!
+//! The simulation clock counts nanoseconds from the start of the run.
+//! One nanosecond of resolution is sufficient for the PCIe latency model
+//! (switch chips add 100–150 ns per hop) while keeping arithmetic in `u64`:
+//! a `u64` of nanoseconds covers ~584 years of simulated time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since the run started.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since simulation start, as a float (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from a float number of microseconds (rounds to nearest ns).
+    pub fn from_micros_f64(us: f64) -> Self {
+        SimDuration((us * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// The value in whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The value in microseconds, as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The value in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Whether the span is empty.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+fn fmt_nanos(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_nanos(1_000);
+        let t2 = t + SimDuration::from_micros(2);
+        assert_eq!(t2.as_nanos(), 3_000);
+        assert_eq!((t2 - t).as_nanos(), 2_000);
+        assert_eq!(t2.since(t).as_nanos(), 2_000);
+        assert_eq!(t.since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(SimDuration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(SimDuration::from_micros_f64(-1.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn duration_math() {
+        let d = SimDuration::from_nanos(300);
+        assert_eq!((d * 3).as_nanos(), 900);
+        assert_eq!((d / 2).as_nanos(), 150);
+        assert_eq!(d.saturating_sub(SimDuration::from_nanos(500)), SimDuration::ZERO);
+        let total: SimDuration = [d, d, d].into_iter().sum();
+        assert_eq!(total.as_nanos(), 900);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimDuration::from_nanos(7).to_string(), "7ns");
+        assert_eq!(SimDuration::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimDuration::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+}

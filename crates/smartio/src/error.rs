@@ -1,0 +1,57 @@
+//! SmartIO error type.
+
+use pcie::{FabricError, HostId};
+
+use crate::service::{SegmentId, SmartDeviceId};
+
+/// Errors surfaced by the SmartIO service.
+#[derive(Debug)]
+pub enum SmartIoError {
+    /// An underlying fabric operation failed.
+    Fabric(FabricError),
+    /// Unknown segment id.
+    NoSuchSegment(SegmentId),
+    /// Unknown device id.
+    NoSuchDevice(SmartDeviceId),
+    /// The segment was not exported by its creator.
+    NotExported(SegmentId),
+    /// Exclusive acquire failed because the device is already borrowed.
+    Busy(SmartDeviceId),
+    /// Release/operation by a host that does not hold the reference.
+    NotOwner(SmartDeviceId, HostId),
+    /// The host has no NTB adapter that can reach the segment.
+    NoPath { host: HostId },
+    /// Not enough consecutive free LUT slots for the mapping.
+    SlotsUnavailable { needed: usize },
+    /// A named segment lookup failed.
+    NameNotFound(String),
+}
+
+impl From<FabricError> for SmartIoError {
+    fn from(e: FabricError) -> Self {
+        SmartIoError::Fabric(e)
+    }
+}
+
+impl std::fmt::Display for SmartIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmartIoError::Fabric(e) => write!(f, "fabric: {e}"),
+            SmartIoError::NoSuchSegment(s) => write!(f, "no such segment {s:?}"),
+            SmartIoError::NoSuchDevice(d) => write!(f, "no such device {d:?}"),
+            SmartIoError::NotExported(s) => write!(f, "segment {s:?} not exported"),
+            SmartIoError::Busy(d) => write!(f, "device {d:?} is busy (exclusive borrow)"),
+            SmartIoError::NotOwner(d, h) => write!(f, "{h} holds no reference on {d:?}"),
+            SmartIoError::NoPath { host } => write!(f, "{host} has no NTB adapter"),
+            SmartIoError::SlotsUnavailable { needed } => {
+                write!(f, "no {needed} consecutive free LUT slots")
+            }
+            SmartIoError::NameNotFound(n) => write!(f, "no segment named {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SmartIoError {}
+
+/// Convenience alias for SmartIO operations.
+pub type Result<T> = std::result::Result<T, SmartIoError>;

@@ -1,0 +1,23 @@
+//! # smartio — SISCI shared-memory API with the paper's device extension
+//!
+//! The Software Infrastructure Shared-Memory Interconnect API (SISCI)
+//! gives applications segments, remote connections, and NTB mappings. The
+//! paper extends it with device-oriented functionality (§IV) — this crate
+//! implements that extension over the [`pcie`] fabric model:
+//!
+//! * cluster-wide device IDs with discovery ([`SmartIo::register_device`],
+//!   [`SmartIo::devices`]),
+//! * BARs auto-exported as segments ([`SmartIo::bar_segment`]),
+//! * exclusive/shared device references ([`SmartIo::acquire`]),
+//! * DMA windows — segments mapped for a *device* through the device-side
+//!   NTB ([`SmartIo::map_for_device`]),
+//! * access-pattern-hinted allocation ([`AccessHints`],
+//!   [`SmartIo::create_segment_hinted`]).
+
+pub mod error;
+pub mod hints;
+pub mod service;
+
+pub use error::{Result, SmartIoError};
+pub use hints::AccessHints;
+pub use service::{BorrowMode, CpuMapping, DmaWindow, SegmentId, SmartDeviceId, SmartIo};

@@ -1,0 +1,449 @@
+//! The SmartIO host-abstraction service (§IV).
+//!
+//! One logical service instance spans the cluster (in reality a daemon on
+//! every host exchanging metadata; here one shared object — the metadata
+//! exchange is not on any measured path). It provides:
+//!
+//! * cluster-wide **device identifiers** and discovery,
+//! * device **BARs exported as segments** (mappable from any host),
+//! * device **acquire/release** with exclusive and shared references,
+//! * **segments** allocated by access-pattern hints,
+//! * **CPU mappings** (segment → local NTB window) and **DMA windows**
+//!   (segment → device-side NTB mapping) with automatic address
+//!   resolution, so driver code never handles another host's physical
+//!   address space directly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use pcie::{DeviceId, DomainAddr, Fabric, HostId, MemRegion, NtbId, PhysAddr};
+
+use crate::error::{Result, SmartIoError};
+use crate::hints::AccessHints;
+
+/// Cluster-wide segment identifier.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SegmentId(pub u32);
+
+/// Cluster-wide device identifier (stable regardless of which host the
+/// device sits in).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SmartDeviceId(pub u32);
+
+/// How a device reference is held.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BorrowMode {
+    /// Sole holder; required for reset/bring-up.
+    Exclusive,
+    /// One of many concurrent holders.
+    Shared,
+}
+
+#[derive(Clone, Debug)]
+enum SegmentKind {
+    /// Ordinary DRAM segment (we own the allocation).
+    Dram,
+    /// A device BAR exported as a segment.
+    Bar { dev: SmartDeviceId, bar: u8 },
+}
+
+struct SegmentInfo {
+    region: MemRegion,
+    kind: SegmentKind,
+    exported: bool,
+}
+
+#[derive(Default)]
+struct BorrowState {
+    exclusive: Option<HostId>,
+    shared: Vec<HostId>,
+}
+
+struct DeviceInfo {
+    dev: DeviceId,
+    host: HostId,
+    bar_segments: Vec<SegmentId>,
+    borrow: BorrowState,
+}
+
+/// A CPU mapping of a (possibly remote) segment: the address range the
+/// local CPU reads/writes.
+#[derive(Copy, Clone, Debug)]
+pub struct CpuMapping {
+    /// The mapped segment.
+    pub segment: SegmentId,
+    /// Where the mapping host accesses the segment.
+    pub region: MemRegion,
+    /// LUT slots to free on unmap (None when the segment was local).
+    slots: Option<(NtbId, usize, usize)>,
+}
+
+/// A DMA window: the bus address range a *device* uses to reach a segment
+/// (or, for the IOMMU-style extension, a raw memory region).
+#[derive(Copy, Clone, Debug)]
+pub struct DmaWindow {
+    /// `None` for raw-region mappings ([`SmartIo::map_region_for_device`]).
+    pub segment: Option<SegmentId>,
+    /// The device the window belongs to.
+    pub device: SmartDeviceId,
+    /// Bus address in the device's domain.
+    pub bus_base: u64,
+    /// Window length in bytes.
+    pub len: u64,
+    slots: Option<(NtbId, usize, usize)>,
+}
+
+struct State {
+    segments: HashMap<SegmentId, SegmentInfo>,
+    devices: HashMap<SmartDeviceId, DeviceInfo>,
+    names: HashMap<String, SegmentId>,
+    next_segment: u32,
+    next_device: u32,
+}
+
+/// The service handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct SmartIo {
+    fabric: Fabric,
+    state: Rc<RefCell<State>>,
+}
+
+impl SmartIo {
+    /// A fresh service over `fabric`.
+    pub fn new(fabric: &Fabric) -> Self {
+        SmartIo {
+            fabric: fabric.clone(),
+            state: Rc::new(RefCell::new(State {
+                segments: HashMap::new(),
+                devices: HashMap::new(),
+                names: HashMap::new(),
+                next_segment: 1,
+                next_device: 1,
+            })),
+        }
+    }
+
+    /// The fabric this service manages.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    // ------------------------------------------------------------------
+    // Device registry
+    // ------------------------------------------------------------------
+
+    /// Register a PCIe device with the service; its BARs are automatically
+    /// exported as segments.
+    pub fn register_device(&self, dev: DeviceId) -> Result<SmartDeviceId> {
+        let host = self.fabric.device_host(dev);
+        let mut st = self.state.borrow_mut();
+        let id = SmartDeviceId(st.next_device);
+        st.next_device += 1;
+        let mut bar_segments = Vec::new();
+        for bar in 0u8..6 {
+            match self.fabric.bar_region(dev, bar) {
+                Ok(region) => {
+                    let sid = SegmentId(st.next_segment);
+                    st.next_segment += 1;
+                    st.segments.insert(
+                        sid,
+                        SegmentInfo { region, kind: SegmentKind::Bar { dev: id, bar }, exported: true },
+                    );
+                    bar_segments.push(sid);
+                }
+                Err(_) => break,
+            }
+        }
+        st.devices.insert(id, DeviceInfo { dev, host, bar_segments, borrow: BorrowState::default() });
+        Ok(id)
+    }
+
+    /// All devices registered with the service (discovery).
+    pub fn devices(&self) -> Vec<SmartDeviceId> {
+        let mut v: Vec<_> = self.state.borrow().devices.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The host a device physically resides in.
+    pub fn device_host(&self, id: SmartDeviceId) -> Result<HostId> {
+        Ok(self.dev_info(id)?.0)
+    }
+
+    /// The raw fabric device id.
+    pub fn device_fabric_id(&self, id: SmartDeviceId) -> Result<DeviceId> {
+        Ok(self.dev_info(id)?.1)
+    }
+
+    /// Segment exporting BAR `bar` of the device.
+    pub fn bar_segment(&self, id: SmartDeviceId, bar: u8) -> Result<SegmentId> {
+        let st = self.state.borrow();
+        let d = st.devices.get(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        d.bar_segments.get(bar as usize).copied().ok_or({
+            SmartIoError::Fabric(pcie::FabricError::BadBar { dev: d.dev, bar })
+        })
+    }
+
+    fn dev_info(&self, id: SmartDeviceId) -> Result<(HostId, DeviceId)> {
+        let st = self.state.borrow();
+        let d = st.devices.get(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        Ok((d.host, d.dev))
+    }
+
+    // ------------------------------------------------------------------
+    // Device borrowing
+    // ------------------------------------------------------------------
+
+    /// Acquire a device reference. Exclusive acquisition fails while any
+    /// reference exists; shared acquisition fails only during an exclusive
+    /// borrow. (The §IV pattern: lock exclusively to reset/initialize,
+    /// then release and let clients take shared references.)
+    pub fn acquire(&self, id: SmartDeviceId, host: HostId, mode: BorrowMode) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let d = st.devices.get_mut(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        match mode {
+            BorrowMode::Exclusive => {
+                if d.borrow.exclusive.is_some() || !d.borrow.shared.is_empty() {
+                    return Err(SmartIoError::Busy(id));
+                }
+                d.borrow.exclusive = Some(host);
+            }
+            BorrowMode::Shared => {
+                if d.borrow.exclusive.is_some() {
+                    return Err(SmartIoError::Busy(id));
+                }
+                d.borrow.shared.push(host);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop `host`'s reference (exclusive or shared).
+    pub fn release(&self, id: SmartDeviceId, host: HostId) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let d = st.devices.get_mut(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        if d.borrow.exclusive == Some(host) {
+            d.borrow.exclusive = None;
+            return Ok(());
+        }
+        if let Some(pos) = d.borrow.shared.iter().position(|h| *h == host) {
+            d.borrow.shared.remove(pos);
+            return Ok(());
+        }
+        Err(SmartIoError::NotOwner(id, host))
+    }
+
+    /// Current holders: (exclusive, shared count).
+    pub fn borrow_state(&self, id: SmartDeviceId) -> Result<(Option<HostId>, usize)> {
+        let st = self.state.borrow();
+        let d = st.devices.get(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        Ok((d.borrow.exclusive, d.borrow.shared.len()))
+    }
+
+    // ------------------------------------------------------------------
+    // Segments
+    // ------------------------------------------------------------------
+
+    /// Allocate a segment in `host`'s local memory (plain SISCI).
+    pub fn create_segment(&self, host: HostId, size: u64) -> Result<SegmentId> {
+        let region = self.fabric.alloc(host, size)?;
+        let mut st = self.state.borrow_mut();
+        let id = SegmentId(st.next_segment);
+        st.next_segment += 1;
+        st.segments.insert(id, SegmentInfo { region, kind: SegmentKind::Dram, exported: true });
+        Ok(id)
+    }
+
+    /// Allocate a segment letting the service pick the host from access
+    /// hints (§IV extension): the reader side wins.
+    pub fn create_segment_hinted(
+        &self,
+        cpu_host: HostId,
+        device: SmartDeviceId,
+        size: u64,
+        hints: AccessHints,
+    ) -> Result<SegmentId> {
+        let dev_host = self.device_host(device)?;
+        let host = if hints.prefers_device_side() { dev_host } else { cpu_host };
+        self.create_segment(host, size)
+    }
+
+    /// Give a segment a well-known name (bootstrap metadata, e.g. the
+    /// manager's mailbox).
+    pub fn publish(&self, name: &str, id: SegmentId) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        if !st.segments.contains_key(&id) {
+            return Err(SmartIoError::NoSuchSegment(id));
+        }
+        st.names.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    /// Resolve a published segment name.
+    pub fn lookup(&self, name: &str) -> Result<SegmentId> {
+        self.state
+            .borrow()
+            .names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SmartIoError::NameNotFound(name.to_string()))
+    }
+
+    /// The backing region of a segment (its home location).
+    pub fn segment_region(&self, id: SegmentId) -> Result<MemRegion> {
+        let st = self.state.borrow();
+        st.segments
+            .get(&id)
+            .map(|s| s.region)
+            .ok_or(SmartIoError::NoSuchSegment(id))
+    }
+
+    /// Which host a segment physically lives in.
+    pub fn segment_host(&self, id: SegmentId) -> Result<HostId> {
+        Ok(self.segment_region(id)?.host)
+    }
+
+    /// If the segment exports a device BAR, which device/BAR it is.
+    pub fn segment_bar_info(&self, id: SegmentId) -> Result<Option<(SmartDeviceId, u8)>> {
+        let st = self.state.borrow();
+        let s = st.segments.get(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+        Ok(match s.kind {
+            SegmentKind::Bar { dev, bar } => Some((dev, bar)),
+            SegmentKind::Dram => None,
+        })
+    }
+
+    /// Free a DRAM segment (BAR segments live as long as the device).
+    pub fn destroy_segment(&self, id: SegmentId) -> Result<()> {
+        let mut st = self.state.borrow_mut();
+        let info = st.segments.remove(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+        st.names.retain(|_, v| *v != id);
+        if matches!(info.kind, SegmentKind::Dram) {
+            drop(st);
+            self.fabric.release(info.region);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mappings
+    // ------------------------------------------------------------------
+
+    /// Map a segment for CPU access from `host`. Local segments map
+    /// directly; remote ones get NTB window slots programmed.
+    pub fn map_for_cpu(&self, host: HostId, id: SegmentId) -> Result<CpuMapping> {
+        let (region, exported) = {
+            let st = self.state.borrow();
+            let s = st.segments.get(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+            (s.region, s.exported)
+        };
+        if !exported {
+            return Err(SmartIoError::NotExported(id));
+        }
+        if region.host == host {
+            return Ok(CpuMapping { segment: id, region, slots: None });
+        }
+        let (ntb, first_slot, n, window_addr) = self.program_window(host, region)?;
+        Ok(CpuMapping {
+            segment: id,
+            region: MemRegion::new(host, window_addr, region.len),
+            slots: Some((ntb, first_slot, n)),
+        })
+    }
+
+    /// Tear down a CPU mapping, freeing its LUT slots.
+    pub fn unmap_cpu(&self, mapping: CpuMapping) {
+        if let Some((ntb, first, n)) = mapping.slots {
+            for s in first..first + n {
+                let _ = self.fabric.clear_lut(ntb, s);
+            }
+        }
+    }
+
+    /// Map a segment for DMA by `device` ("DMA window", §IV). The device
+    /// receives a bus address valid in its own domain; the service
+    /// resolves everything else.
+    pub fn map_for_device(&self, device: SmartDeviceId, id: SegmentId) -> Result<DmaWindow> {
+        let region = self.segment_region(id)?;
+        let mut win = self.map_region_for_device(device, region)?;
+        win.segment = Some(id);
+        Ok(win)
+    }
+
+    /// Map a *raw* memory region for DMA by `device` — the paper's
+    /// future-work IOMMU path: dynamically mapping an arbitrary request
+    /// buffer instead of staging through a registered bounce segment.
+    pub fn map_region_for_device(
+        &self,
+        device: SmartDeviceId,
+        region: MemRegion,
+    ) -> Result<DmaWindow> {
+        let (dev_host, _) = self.dev_info(device)?;
+        if region.host == dev_host {
+            // Local to the device: bus address == physical address.
+            return Ok(DmaWindow {
+                segment: None,
+                device,
+                bus_base: region.addr.as_u64(),
+                len: region.len,
+                slots: None,
+            });
+        }
+        let (ntb, first_slot, n, window_addr) = self.program_window(dev_host, region)?;
+        Ok(DmaWindow {
+            segment: None,
+            device,
+            bus_base: window_addr.as_u64(),
+            len: region.len,
+            slots: Some((ntb, first_slot, n)),
+        })
+    }
+
+    /// Tear down a DMA window, freeing its LUT slots.
+    pub fn unmap_device(&self, window: DmaWindow) {
+        if let Some((ntb, first, n)) = window.slots {
+            for s in first..first + n {
+                let _ = self.fabric.clear_lut(ntb, s);
+            }
+        }
+    }
+
+    /// Program consecutive LUT slots on one of `host`'s adapters to cover
+    /// `region`; returns (ntb, first_slot, count, window_address).
+    ///
+    /// The slot granularity means `region.addr` must share the slot-size
+    /// alignment offset; our segments are page-aligned and slots are ≥ 2
+    /// MiB, so we map from the containing slot-aligned base and offset the
+    /// returned window address.
+    fn program_window(
+        &self,
+        host: HostId,
+        region: MemRegion,
+    ) -> Result<(NtbId, usize, usize, PhysAddr)> {
+        let ntbs = self.fabric.ntbs_of(host);
+        let ntb = *ntbs.first().ok_or(SmartIoError::NoPath { host })?;
+        let slot_size = self.fabric.ntb_slot_size(ntb);
+        let base = region.addr.as_u64() / slot_size * slot_size;
+        let offset = region.addr.as_u64() - base;
+        let n = ((offset + region.len).div_ceil(slot_size)) as usize;
+        let first = self
+            .fabric
+            .find_free_lut_range(ntb, n)
+            .map_err(|_| SmartIoError::SlotsUnavailable { needed: n })?;
+        let mut window_base = PhysAddr(0);
+        for i in 0..n {
+            let addr = self
+                .fabric
+                .program_lut(
+                    ntb,
+                    first + i,
+                    DomainAddr::new(region.host, PhysAddr(base + i as u64 * slot_size)),
+                )?;
+            if i == 0 {
+                window_base = addr;
+            }
+        }
+        Ok((ntb, first, n, window_base.offset(offset)))
+    }
+}

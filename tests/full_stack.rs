@@ -1,0 +1,96 @@
+//! Workspace-spanning integration: every scenario the paper evaluates is
+//! built from scratch and must pass full data verification through its
+//! complete stack (workload generator → block layer → driver → fabric →
+//! controller → medium and back).
+
+use cluster::{Calibration, Scenario, ScenarioKind};
+use fioflex::verify_region;
+
+fn verify_scenario(kind: ScenarioKind) {
+    let calib = Calibration::paper();
+    let sc = Scenario::build(kind, &calib);
+    let (host, dev) = sc.clients[0].clone();
+    let fabric = sc.fabric.clone();
+    let label = sc.label.clone();
+    let report = sc.rt.block_on(async move {
+        verify_region(&fabric, host, dev, 0, 2048, 8, 0xF00D).await
+    });
+    assert!(report.clean(), "{label}: {report:?}");
+    assert_eq!(report.ios_written, 256, "{label}");
+    assert_eq!(report.ios_verified, 256, "{label}");
+}
+
+#[test]
+fn linux_local_stack_verifies() {
+    verify_scenario(ScenarioKind::LinuxLocal);
+}
+
+#[test]
+fn nvmeof_stack_verifies() {
+    verify_scenario(ScenarioKind::NvmfRemote);
+}
+
+#[test]
+fn ours_local_stack_verifies() {
+    verify_scenario(ScenarioKind::OursLocal);
+}
+
+#[test]
+fn ours_remote_stack_verifies() {
+    verify_scenario(ScenarioKind::OursRemote { switches: 1 });
+}
+
+#[test]
+fn ours_remote_switchless_verifies() {
+    verify_scenario(ScenarioKind::OursRemote { switches: 0 });
+}
+
+#[test]
+fn ours_remote_long_path_verifies() {
+    verify_scenario(ScenarioKind::OursRemote { switches: 4 });
+}
+
+#[test]
+fn nand_media_stack_verifies() {
+    // Same stack over the NAND profile: different latencies, same data.
+    let calib = Calibration::paper_nand();
+    let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
+    let (host, dev) = sc.clients[0].clone();
+    let fabric = sc.fabric.clone();
+    let report =
+        sc.rt.block_on(async move { verify_region(&fabric, host, dev, 0, 512, 8, 0xBEEF).await });
+    assert!(report.clean(), "{report:?}");
+}
+
+#[test]
+fn concurrent_mixed_workload_leaves_consistent_state() {
+    // Two clients run mixed read/write over disjoint regions while a third
+    // verifies its own region — nothing corrupts anything.
+    use fioflex::{run_job, JobSpec, RwMode};
+    use simcore::SimDuration;
+    let calib = Calibration::paper();
+    let sc = Scenario::build(ScenarioKind::OursMultihost { clients: 3 }, &calib);
+    let fabric = sc.fabric.clone();
+    let clients = sc.clients.clone();
+    let handle = sc.rt.handle();
+    let (errors, verify) = sc.rt.block_on(async move {
+        let mut jobs = Vec::new();
+        for (i, (host, dev)) in clients.iter().take(2).cloned().enumerate() {
+            let fabric = fabric.clone();
+            let spec = JobSpec::new("mix", RwMode::RandRw { read_pct: 50 })
+                .region(i as u64 * 100_000, 50_000)
+                .runtime(SimDuration::from_millis(3))
+                .seed(i as u64);
+            jobs.push(handle.spawn(async move { run_job(&fabric, host, dev, &spec).await }));
+        }
+        let (vhost, vdev) = clients[2].clone();
+        let verify = verify_region(&fabric, vhost, vdev, 400_000, 1024, 8, 0xCAFE).await;
+        let mut errors = 0;
+        for j in jobs {
+            errors += j.await.errors;
+        }
+        (errors, verify)
+    });
+    assert_eq!(errors, 0);
+    assert!(verify.clean(), "{verify:?}");
+}

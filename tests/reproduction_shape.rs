@@ -1,0 +1,93 @@
+//! The reproduction's headline results as tests: the Fig. 10 ordering,
+//! the §VI delta magnitudes, and the bandwidth-parity premise must hold
+//! on every build. (Absolute values are simulator-calibrated; these
+//! tests pin the *shape* the paper reports.)
+
+use cluster::{Calibration, Scenario, ScenarioKind};
+use fioflex::{JobSpec, RwMode};
+use simcore::{LatencySummary, SimDuration};
+
+fn job(rw: RwMode) -> JobSpec {
+    JobSpec::fig10(rw, SimDuration::from_millis(20)).ramp(SimDuration::from_micros(500))
+}
+
+fn latency(kind: ScenarioKind, rw: RwMode) -> LatencySummary {
+    let calib = Calibration::paper();
+    let sc = Scenario::build(kind, &calib);
+    let rep = sc.run(&job(rw));
+    assert_eq!(rep.errors, 0);
+    rep.read.or(rep.write).map(|s| s.lat).unwrap()
+}
+
+#[test]
+fn fig10_read_deltas_match_paper_bands() {
+    let linux = latency(ScenarioKind::LinuxLocal, RwMode::RandRead);
+    let nvmf = latency(ScenarioKind::NvmfRemote, RwMode::RandRead);
+    let ours_l = latency(ScenarioKind::OursLocal, RwMode::RandRead);
+    let ours_r = latency(ScenarioKind::OursRemote { switches: 1 }, RwMode::RandRead);
+
+    // Paper: minimum read delta is 7.7 µs for NVMe-oF, ~1 µs for ours.
+    let nvmf_delta = nvmf.min.saturating_sub(linux.min);
+    let ours_delta = ours_r.min.saturating_sub(ours_l.min);
+    assert!(
+        (6_000..10_000).contains(&nvmf_delta),
+        "NVMe-oF read delta {nvmf_delta} ns outside the paper's band (7.7 µs ± tolerance)"
+    );
+    assert!(
+        (500..1_600).contains(&ours_delta),
+        "PCIe read delta {ours_delta} ns outside the paper's band (~1 µs)"
+    );
+    // Naive driver baseline is above stock Linux (paper, §VI).
+    assert!(ours_l.p50 > linux.p50, "naive driver must have a higher local baseline");
+}
+
+#[test]
+fn fig10_write_deltas_match_paper_bands() {
+    let linux = latency(ScenarioKind::LinuxLocal, RwMode::RandWrite);
+    let nvmf = latency(ScenarioKind::NvmfRemote, RwMode::RandWrite);
+    let ours_l = latency(ScenarioKind::OursLocal, RwMode::RandWrite);
+    let ours_r = latency(ScenarioKind::OursRemote { switches: 1 }, RwMode::RandWrite);
+
+    // Paper: minimum write delta is 7.5 µs for NVMe-oF, ~2 µs for ours.
+    let nvmf_delta = nvmf.min.saturating_sub(linux.min);
+    let ours_delta = ours_r.min.saturating_sub(ours_l.min);
+    assert!(
+        (6_000..10_000).contains(&nvmf_delta),
+        "NVMe-oF write delta {nvmf_delta} ns outside the paper's band (7.5 µs ± tolerance)"
+    );
+    assert!(
+        (1_200..3_000).contains(&ours_delta),
+        "PCIe write delta {ours_delta} ns outside the paper's band (~2 µs)"
+    );
+}
+
+#[test]
+fn optane_distribution_is_tight() {
+    // The paper picked the P4800X for its consistency: p99/p50 must be
+    // close to 1 on every scenario, or the boxplots lose their meaning.
+    for kind in [ScenarioKind::LinuxLocal, ScenarioKind::OursRemote { switches: 1 }] {
+        let s = latency(kind, RwMode::RandRead);
+        let spread = s.p99 as f64 / s.p50 as f64;
+        assert!(spread < 1.1, "p99/p50 = {spread:.3} too wide for Optane-class media");
+    }
+}
+
+#[test]
+fn remote_penalty_scales_with_chip_latency_corners() {
+    // §VI: 100–150 ns per chip per direction; the remote penalty must
+    // move with the corner choice.
+    let read_min = |chip_ns: u64| {
+        let calib = Calibration::paper().with_chip_latency(chip_ns);
+        let local = Scenario::build(ScenarioKind::OursLocal, &calib).run(&job(RwMode::RandRead));
+        let remote = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib)
+            .run(&job(RwMode::RandRead));
+        remote.read.unwrap().lat.min - local.read.unwrap().lat.min
+    };
+    let low = read_min(100);
+    let high = read_min(150);
+    assert!(high > low, "penalty must grow with chip latency ({low} -> {high})");
+    // 3 chips crossed twice on the read critical path: the corner spread
+    // should be roughly 6 × 50 ns = 300 ns.
+    let spread = high - low;
+    assert!((150..600).contains(&spread), "corner spread {spread} ns implausible");
+}
