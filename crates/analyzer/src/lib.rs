@@ -1,0 +1,669 @@
+//! # dnvme-lint — static determinism/protocol lint pass
+//!
+//! The evaluation rests on DESIGN.md §5's promise of a *deterministic*
+//! virtual-time simulation. This crate enforces the source-level half of
+//! that promise with a small hand-rolled scanner (no external deps):
+//!
+//! * **D01** — no `std::time::{Instant,SystemTime}` / `std::thread::sleep`
+//!   in simulation code: the virtual clock is the only clock.
+//! * **D02** — no entropy-seeded RNG (`thread_rng`, `from_entropy`,
+//!   `rand::random`): every random stream must be seed-derived.
+//! * **D03** — no order-dependent iteration (`.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, `for … in &map`) over `HashMap`/`HashSet`
+//!   in sim-visible crates: hasher order varies run to run.
+//! * **D04** — no `std::thread::spawn` / raw `Mutex` in DES-driven code:
+//!   tasks belong to the single-threaded executor.
+//! * **D05** — no `unwrap()`/`expect()` on fabric/DMA results in
+//!   `crates/core`: a torn-down segment or unmapped window is a normal
+//!   runtime event for the distributed driver, not a bug.
+//!
+//! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
+//! the line directly above silences it; `analyzer.toml` at the workspace
+//! root allowlists whole path prefixes per rule (`"*"` = every rule).
+//!
+//! The pass runs as the `dnvme-lint` binary (`cargo run -p analyzer`,
+//! exit 1 on findings) and as this crate's `workspace_is_clean` test, so
+//! plain `cargo test` gates it.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The five lint rules.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Rule {
+    D01,
+    D02,
+    D03,
+    D04,
+    D05,
+}
+
+/// Every rule, in code order.
+pub const ALL_RULES: [Rule; 5] = [Rule::D01, Rule::D02, Rule::D03, Rule::D04, Rule::D05];
+
+/// Crates whose state is reachable from simulation tasks: hasher-ordered
+/// iteration here changes the event stream between runs.
+pub const SIM_VISIBLE: [&str; 6] = [
+    "crates/simcore",
+    "crates/pcie",
+    "crates/smartio",
+    "crates/nvme",
+    "crates/blklayer",
+    "crates/nvmeof",
+];
+
+impl Rule {
+    /// The code used in reports, `analyzer.toml`, and `lint:allow(..)`.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D01 => "D01",
+            Rule::D02 => "D02",
+            Rule::D03 => "D03",
+            Rule::D04 => "D04",
+            Rule::D05 => "D05",
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Rule::D01 => "wall-clock time in simulation code (virtual clock only)",
+            Rule::D02 => "entropy-seeded RNG (streams must be seed-derived)",
+            Rule::D03 => "order-dependent HashMap/HashSet iteration in sim-visible code",
+            Rule::D04 => "OS thread / raw Mutex in DES-driven code",
+            Rule::D05 => "unwrap/expect on a fabric or DMA result in crates/core",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}: {}\n    {}",
+            self.rule.code(),
+            self.path,
+            self.line,
+            self.rule.describe(),
+            self.excerpt.trim()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration (analyzer.toml)
+// ---------------------------------------------------------------------
+
+/// Parsed `analyzer.toml`: per-rule path-prefix allowlist.
+#[derive(Default, Debug)]
+pub struct Config {
+    /// `(rule code or "*", path prefix)` pairs.
+    allow: Vec<(String, String)>,
+}
+
+impl Config {
+    /// Minimal hand-rolled parse of the `[allow]` table:
+    /// `D03 = ["crates/bench", …]` entries, `#` comments, quoted keys.
+    pub fn parse(text: &str) -> Config {
+        let mut allow = Vec::new();
+        let mut in_allow = false;
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_allow = line == "[allow]";
+                continue;
+            }
+            if !in_allow {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim().trim_start_matches('[').trim_end_matches(']');
+            for item in value.split(',') {
+                let prefix = item.trim().trim_matches('"');
+                if !prefix.is_empty() {
+                    allow.push((key.clone(), prefix.to_string()));
+                }
+            }
+        }
+        Config { allow }
+    }
+
+    /// Load `analyzer.toml` from the workspace root (absent = empty).
+    pub fn load(root: &Path) -> Config {
+        match fs::read_to_string(root.join("analyzer.toml")) {
+            Ok(text) => Config::parse(&text),
+            Err(_) => Config::default(),
+        }
+    }
+
+    /// Whether `rule` is allowlisted for the file at `rel`.
+    pub fn allows(&self, rule: Rule, rel: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|(k, p)| (k == "*" || k == rule.code()) && rel.starts_with(p.as_str()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source sanitizer: strip comments and literal contents, keep structure
+// ---------------------------------------------------------------------
+
+enum LexState {
+    Code,
+    Block(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Per line: (code with comments and literal contents blanked, comment
+/// text). Handles nested block comments, raw strings spanning lines, and
+/// the char-literal/lifetime ambiguity well enough for this workspace.
+fn sanitize(text: &str) -> Vec<(String, String)> {
+    let mut state = LexState::Code;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                LexState::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            LexState::Code
+                        } else {
+                            LexState::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        state = LexState::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if chars[i] == '"'
+                        && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+                    {
+                        state = LexState::Code;
+                        code.push('"');
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                }
+                LexState::Code => {
+                    let c = chars[i];
+                    let prev_ident =
+                        i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_');
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.extend(&chars[i + 2..]);
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = LexState::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        state = LexState::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && !prev_ident {
+                        // r"…", r#"…"#, b"…", br#"…"# raw/byte strings.
+                        let mut j = i + 1;
+                        if c == 'b' && chars.get(j) == Some(&'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1 || hashes > 0) {
+                            state = if hashes == 0 && chars[i..j].iter().all(|&x| x != 'r') {
+                                LexState::Str // plain byte string b"…"
+                            } else {
+                                LexState::RawStr(hashes)
+                            };
+                            code.push('"');
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to the closing quote.
+                            let mut j = i + 2;
+                            while j < chars.len() && chars[j] != '\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            i += 3; // plain char literal
+                        } else {
+                            i += 1; // lifetime
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push((code, comment));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Pattern helpers
+// ---------------------------------------------------------------------
+
+/// Whether `pat` occurs in `code` with no identifier character directly
+/// before it (so `Mutex<` does not match `FakeMutex<`).
+fn has_token(code: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let at = from + pos;
+        let bounded = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if bounded {
+            return true;
+        }
+        from = at + pat.len();
+    }
+    false
+}
+
+/// The identifier ending at byte `end` of `code`, if any.
+fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    (start < end).then(|| &code[start..end])
+}
+
+/// Strip trailing pass-through calls (`.borrow()`, `.lock()`, …) from an
+/// expression so the receiver's own name is exposed.
+fn strip_passthrough(mut expr: &str) -> &str {
+    const PASS: [&str; 6] = [
+        ".borrow()",
+        ".borrow_mut()",
+        ".lock()",
+        ".as_ref()",
+        ".as_mut()",
+        ".unwrap()",
+    ];
+    loop {
+        expr = expr.trim_end();
+        let before = expr.len();
+        for p in PASS {
+            if let Some(s) = expr.strip_suffix(p) {
+                expr = s;
+                break;
+            }
+        }
+        if expr.len() == before {
+            return expr;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The scanner
+// ---------------------------------------------------------------------
+
+const D01_PATTERNS: [&str; 4] = [
+    "std::time::Instant",
+    "std::time::SystemTime",
+    "std::thread::sleep",
+    "use std::time",
+];
+const D02_PATTERNS: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+const D04_PATTERNS: [&str; 5] = [
+    "std::thread::spawn",
+    "thread::spawn(",
+    "thread::scope(",
+    "std::sync::Mutex",
+    "Mutex<",
+];
+const D03_ITER: [&str; 4] = [".iter()", ".keys()", ".values()", ".drain("];
+/// Calls whose `Result` encodes a fabric/DMA failure the distributed
+/// driver must handle (windows can be torn down under it at any time).
+const D05_FABRIC: [&str; 14] = [
+    "dma_read(",
+    "dma_write(",
+    "cpu_read(",
+    "cpu_read_u32(",
+    "cpu_read_u64(",
+    "cpu_write(",
+    "cpu_write_u32(",
+    "mem_read(",
+    "mem_write(",
+    "segment_region(",
+    "map_for_cpu(",
+    "map_for_device(",
+    "resolve(",
+    "alloc(",
+];
+
+/// The rules that apply to the file at workspace-relative path `rel`.
+pub fn rules_for(rel: &str) -> Vec<Rule> {
+    let mut rules = vec![Rule::D01, Rule::D02, Rule::D04];
+    if SIM_VISIBLE.iter().any(|c| rel.starts_with(c)) {
+        rules.push(Rule::D03);
+    }
+    // Production driver code only: in tests, unwrapping a fabric result
+    // *is* the assertion.
+    if rel.starts_with("crates/core/src") {
+        rules.push(Rule::D05);
+    }
+    rules
+}
+
+/// Scan one source text with the given rules. `lint:allow` suppressions
+/// apply; the `analyzer.toml` allowlist is the caller's concern.
+pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
+    let lines = sanitize(text);
+    let raw_lines: Vec<&str> = text.lines().collect();
+
+    // Suppressions: rule codes allowed on each line (same line or below
+    // the comment line they appear on).
+    let allows_on = |idx: usize, rule: Rule| -> bool {
+        let check = |i: usize| -> bool {
+            lines.get(i).is_some_and(|(_, comment)| {
+                comment
+                    .split("lint:allow(")
+                    .skip(1)
+                    .any(|rest| rest.split(')').next().unwrap_or("").contains(rule.code()))
+            })
+        };
+        check(idx) || (idx > 0 && check(idx - 1))
+    };
+
+    // D03 pass 1: identifiers bound to HashMap/HashSet (or aliases).
+    let mut map_names: Vec<String> = Vec::new();
+    if rules.contains(&Rule::D03) {
+        let mut aliases: Vec<String> = Vec::new();
+        for (code, _) in &lines {
+            let trimmed = code.trim_start();
+            if trimmed.starts_with("use ") {
+                continue;
+            }
+            let mentions_map = has_token(code, "HashMap")
+                || has_token(code, "HashSet")
+                || aliases.iter().any(|a| has_token(code, a));
+            if !mentions_map {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("type ") {
+                if let Some(name) = rest.split(['=', '<', ' ']).next() {
+                    if !name.is_empty() {
+                        aliases.push(name.to_string());
+                    }
+                }
+                continue;
+            }
+            // `name: HashMap<…>` (field or param) or `let name = HashMap::…`.
+            let hit = ["HashMap", "HashSet"]
+                .iter()
+                .filter_map(|p| code.find(p))
+                .chain(aliases.iter().filter_map(|a| code.find(a.as_str())))
+                .min()
+                .unwrap_or(0);
+            let prefix = &code[..hit];
+            // Bind via the last single `:` (field/param/let type) or `=`
+            // (inferred let); `::` path separators don't count.
+            let bytes = prefix.as_bytes();
+            let type_colon = (0..bytes.len()).rev().find(|&i| {
+                bytes[i] == b':'
+                    && (i == 0 || bytes[i - 1] != b':')
+                    && bytes.get(i + 1) != Some(&b':')
+            });
+            let binder = if let Some(colon) = type_colon {
+                ident_ending_at(prefix, colon)
+            } else if let Some(eq) = prefix.rfind('=') {
+                let lhs = prefix[..eq].trim_end();
+                ident_ending_at(lhs, lhs.len())
+            } else {
+                None
+            };
+            if let Some(name) = binder {
+                if !map_names.iter().any(|n| n == name) {
+                    map_names.push(name.to_string());
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut stmt = String::new(); // rolling statement window for D05
+    for (idx, (code, _)) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let excerpt = raw_lines.get(idx).copied().unwrap_or("").to_string();
+        let hit = |rule: Rule, findings: &mut Vec<Finding>| {
+            if !allows_on(idx, rule)
+                && !findings
+                    .iter()
+                    .any(|f: &Finding| f.rule == rule && f.line == lineno)
+            {
+                findings.push(Finding {
+                    rule,
+                    path: rel.to_string(),
+                    line: lineno,
+                    excerpt: excerpt.clone(),
+                });
+            }
+        };
+
+        for rule in rules {
+            match rule {
+                Rule::D01 => {
+                    if D01_PATTERNS.iter().any(|p| has_token(code, p)) {
+                        hit(Rule::D01, &mut findings);
+                    }
+                }
+                Rule::D02 => {
+                    if D02_PATTERNS.iter().any(|p| has_token(code, p)) {
+                        hit(Rule::D02, &mut findings);
+                    }
+                }
+                Rule::D04 => {
+                    if D04_PATTERNS.iter().any(|p| has_token(code, p)) {
+                        hit(Rule::D04, &mut findings);
+                    }
+                }
+                Rule::D03 => {
+                    // `map.iter()` (and through `.borrow()` chains).
+                    for pat in D03_ITER {
+                        let mut from = 0;
+                        while let Some(pos) = code[from..].find(pat) {
+                            let at = from + pos;
+                            let recv = strip_passthrough(&code[..at]);
+                            if ident_ending_at(recv, recv.len())
+                                .is_some_and(|n| map_names.iter().any(|m| m == n))
+                            {
+                                hit(Rule::D03, &mut findings);
+                            }
+                            from = at + pat.len();
+                        }
+                    }
+                    // `for x in &map` / `for x in map`.
+                    if let Some(pos) = code.find(" in ") {
+                        if code.trim_start().starts_with("for ") {
+                            let expr = code[pos + 4..].split('{').next().unwrap_or("").trim();
+                            let expr = expr
+                                .trim_start_matches('&')
+                                .trim_start_matches("mut ")
+                                .trim();
+                            let expr = strip_passthrough(expr);
+                            if !expr.ends_with(')')
+                                && ident_ending_at(expr, expr.len())
+                                    .is_some_and(|n| map_names.iter().any(|m| m == n))
+                            {
+                                hit(Rule::D03, &mut findings);
+                            }
+                        }
+                    }
+                }
+                Rule::D05 => {
+                    stmt.push(' ');
+                    stmt.push_str(code);
+                    if (code.contains(".unwrap()") || code.contains(".expect("))
+                        && D05_FABRIC.iter().any(|p| stmt.contains(p))
+                    {
+                        hit(Rule::D05, &mut findings);
+                    }
+                    if matches!(code.trim_end().chars().next_back(), Some(';' | '{' | '}')) {
+                        stmt.clear();
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------
+
+/// The workspace root this crate was built from.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("analyzer lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_sources(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every workspace source under `crates/` and `tests/`, applying the
+/// per-path rule scopes and the `analyzer.toml` allowlist.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let config = Config::load(root);
+    let mut files = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_sources(&dir, &mut files)?;
+        }
+    }
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let rules: Vec<Rule> = rules_for(&rel)
+            .into_iter()
+            .filter(|r| !config.allows(*r, &rel))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        findings.extend(scan_source(&rel, &text, &rules));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tier-1 gate: the workspace must be lint-clean.
+    #[test]
+    fn workspace_is_clean() {
+        let findings = scan_workspace(&workspace_root()).expect("workspace scan");
+        assert!(
+            findings.is_empty(),
+            "dnvme-lint found {} issue(s):\n{}",
+            findings.len(),
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn rule_scoping_follows_crate_layout() {
+        assert!(rules_for("crates/pcie/src/fabric.rs").contains(&Rule::D03));
+        assert!(!rules_for("crates/cluster/src/scenario.rs").contains(&Rule::D03));
+        assert!(rules_for("crates/core/src/manager.rs").contains(&Rule::D05));
+        assert!(!rules_for("crates/core/tests/dnvme_e2e.rs").contains(&Rule::D05));
+        assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D05));
+        assert!(rules_for("tests/full_stack.rs").contains(&Rule::D01));
+    }
+
+    #[test]
+    fn config_allowlist_parses_and_matches() {
+        let cfg = Config::parse(
+            "# comment\n[allow]\nD01 = [\"crates/bench\"]\n\"*\" = [\"crates/shims\"]\n",
+        );
+        assert!(cfg.allows(Rule::D01, "crates/bench/src/lib.rs"));
+        assert!(!cfg.allows(Rule::D02, "crates/bench/src/lib.rs"));
+        assert!(cfg.allows(Rule::D04, "crates/shims/parking_lot/src/lib.rs"));
+    }
+}

@@ -1,0 +1,25 @@
+//! `dnvme-lint`: run the determinism/protocol lint pass over the
+//! workspace and exit non-zero on findings. See the library docs for the
+//! rule list; `analyzer.toml` at the workspace root holds the allowlist.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = analyzer::workspace_root();
+    let findings = match analyzer::scan_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dnvme-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("dnvme-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("dnvme-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,176 @@
+//! Per-rule fixture snippets: every rule has a must-trigger case, a
+//! must-not-trigger case, and a `// lint:allow(Dxx)` suppression case.
+
+use analyzer::{scan_source, Finding, Rule};
+
+fn codes(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule.code()).collect()
+}
+
+fn scan(src: &str, rules: &[Rule]) -> Vec<Finding> {
+    scan_source("crates/fixture/src/lib.rs", src, rules)
+}
+
+// ------------------------------------------------------------------ D01
+
+#[test]
+fn d01_flags_wallclock_time() {
+    let src = "use std::time::Instant;\nfn f() -> Instant { Instant::now() }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D01])), ["D01"]);
+    let src = "fn nap() { std::thread::sleep(d); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D01])), ["D01"]);
+}
+
+#[test]
+fn d01_ignores_virtual_time() {
+    let src = "async fn nap(h: &Handle) { h.sleep(SimDuration::from_micros(5)).await; }\n\
+               fn now(h: &Handle) -> SimTime { h.now() }\n";
+    assert!(scan(src, &[Rule::D01]).is_empty());
+}
+
+#[test]
+fn d01_suppressed_inline_and_line_above() {
+    let src = "use std::time::Instant; // lint:allow(D01) — host-side profiling\n";
+    assert!(scan(src, &[Rule::D01]).is_empty());
+    let src = "// lint:allow(D01)\nuse std::time::SystemTime;\n";
+    assert!(scan(src, &[Rule::D01]).is_empty());
+}
+
+// ------------------------------------------------------------------ D02
+
+#[test]
+fn d02_flags_entropy_seeded_rng() {
+    let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D02])), ["D02"]);
+    let src = "let rng = SmallRng::from_entropy();\n";
+    assert_eq!(codes(&scan(src, &[Rule::D02])), ["D02"]);
+}
+
+#[test]
+fn d02_ignores_seeded_rng() {
+    let src = "let rng = SmallRng::seed_from_u64(0x5EED);\n";
+    assert!(scan(src, &[Rule::D02]).is_empty());
+}
+
+#[test]
+fn d02_suppression() {
+    let src = "let mut rng = rand::thread_rng(); // lint:allow(D02)\n";
+    assert!(scan(src, &[Rule::D02]).is_empty());
+}
+
+// ------------------------------------------------------------------ D03
+
+#[test]
+fn d03_flags_hashmap_iteration() {
+    let src = "use std::collections::HashMap;\n\
+               struct S { m: HashMap<u32, u32> }\n\
+               impl S { fn f(&self) -> Vec<u32> { self.m.keys().copied().collect() } }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D03])), ["D03"]);
+}
+
+#[test]
+fn d03_flags_for_loop_and_borrow_chains() {
+    let src = "let mut m = HashMap::new();\nfor (k, v) in &m { work(k, v); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D03])), ["D03"]);
+    let src = "struct S { devices: RefCell<HashMap<Id, Dev>> }\n\
+               impl S { fn g(&self) { self.state.borrow().devices.iter().count(); } }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D03])), ["D03"]);
+}
+
+#[test]
+fn d03_flags_through_type_alias() {
+    let src = "type DeviceMap = HashMap<(HostId, String), Rc<dyn BlockDevice>>;\n\
+               struct R { devices: DeviceMap }\n\
+               impl R { fn all(&self) { self.devices.values().count(); } }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D03])), ["D03"]);
+}
+
+#[test]
+fn d03_ignores_btreemap_and_keyed_access() {
+    let src = "use std::collections::{BTreeMap, HashMap};\n\
+               struct S { ordered: BTreeMap<u32, u32>, keyed: HashMap<u32, u32> }\n\
+               impl S {\n\
+                   fn a(&self) { self.ordered.iter().count(); }\n\
+                   fn b(&self) -> Option<&u32> { self.keyed.get(&7) }\n\
+                   fn c(&self, v: &[u32]) { v.iter().count(); }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D03]).is_empty());
+}
+
+#[test]
+fn d03_suppression() {
+    let src = "let m = HashMap::new();\n\
+               // lint:allow(D03) — results are sorted right after\n\
+               let mut v: Vec<_> = m.keys().collect();\n";
+    assert!(scan(src, &[Rule::D03]).is_empty());
+}
+
+// ------------------------------------------------------------------ D04
+
+#[test]
+fn d04_flags_threads_and_mutexes() {
+    let src = "fn f() { std::thread::spawn(move || {}); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D04])), ["D04"]);
+    let src = "use std::sync::Mutex;\n";
+    assert_eq!(codes(&scan(src, &[Rule::D04])), ["D04"]);
+    let src = "struct Q { ready: Mutex<VecDeque<u64>> }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D04])), ["D04"]);
+}
+
+#[test]
+fn d04_ignores_des_spawn_and_refcell() {
+    let src = "fn f(h: &Handle) { h.spawn(async move {}); }\n\
+               struct S { state: RefCell<State> }\n";
+    assert!(scan(src, &[Rule::D04]).is_empty());
+}
+
+#[test]
+fn d04_suppression() {
+    let src = "use std::sync::{Arc, Mutex}; // lint:allow(D04) — waker must be Send\n";
+    assert!(scan(src, &[Rule::D04]).is_empty());
+}
+
+// ------------------------------------------------------------------ D05
+
+#[test]
+fn d05_flags_unwrap_on_fabric_results() {
+    let src = "fn f() { let r = fabric.mem_read(h, a, &mut b).unwrap(); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D05])), ["D05"]);
+    // Multi-line statement: the unwrap is lines below the DMA call.
+    let src = "let _ = self.fabric\n    .dma_write(dev, addr, &data)\n    .await\n    .expect(\"dma\");\n";
+    assert_eq!(codes(&scan(src, &[Rule::D05])), ["D05"]);
+}
+
+#[test]
+fn d05_ignores_handled_results_and_local_unwraps() {
+    let src = "if fabric.mem_read(h, a, &mut b).is_err() { return; }\n\
+               let top = stack.pop().unwrap();\n";
+    assert!(scan(src, &[Rule::D05]).is_empty());
+}
+
+#[test]
+fn d05_suppression() {
+    let src = "let r = fabric.mem_read(h, a, &mut b).unwrap(); // lint:allow(D05)\n";
+    assert!(scan(src, &[Rule::D05]).is_empty());
+}
+
+// ----------------------------------------------------- scanner hygiene
+
+#[test]
+fn patterns_inside_strings_and_comments_do_not_trigger() {
+    let src = "// std::thread::sleep would break the virtual clock\n\
+               /* thread_rng() is banned */\n\
+               let msg = \"no std::time::Instant in sim code\";\n\
+               let raw = r#\"Mutex<VecDeque<TaskId>>\"#;\n";
+    assert!(scan(src, &[Rule::D01, Rule::D02, Rule::D04]).is_empty());
+}
+
+#[test]
+fn findings_carry_location_and_excerpt() {
+    let src = "fn ok() {}\nuse std::time::Instant;\n";
+    let f = scan(src, &[Rule::D01]);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].line, 2);
+    assert!(f[0].excerpt.contains("std::time::Instant"));
+    assert!(f[0].to_string().contains("crates/fixture/src/lib.rs:2"));
+}

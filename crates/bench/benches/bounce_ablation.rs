@@ -40,7 +40,11 @@ fn main() {
                 let side = rep.read.as_ref().or(rep.write.as_ref()).unwrap();
                 p50s.push(side.lat.p50);
             }
-            let winner = if p50s[0] <= p50s[1] { "bounce" } else { "direct" };
+            let winner = if p50s[0] <= p50s[1] {
+                "bounce"
+            } else {
+                "direct"
+            };
             println!(
                 "  {:>10} {:>8} {:>14.2} {:>14.2} {:>10}",
                 bs,

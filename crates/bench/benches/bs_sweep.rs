@@ -47,7 +47,10 @@ fn main() {
     })
     .unwrap();
 
-    println!("\n  {:<16} {:>10} {:>12} {:>12}", "scenario", "bs", "MiB/s", "kIOPS");
+    println!(
+        "\n  {:<16} {:>10} {:>12} {:>12}",
+        "scenario", "bs", "MiB/s", "kIOPS"
+    );
     let mut results = Vec::new();
     for ((kind, bs), rep) in &reports {
         let r = rep.read.as_ref().unwrap();
@@ -62,7 +65,13 @@ fn main() {
         results.push((kind.label(), *bs, r.bw_mib_s));
     }
 
-    let bw = |label: &str, bs: u32| results.iter().find(|(l, b, _)| l == label && *b == bs).unwrap().2;
+    let bw = |label: &str, bs: u32| {
+        results
+            .iter()
+            .find(|(l, b, _)| l == label && *b == bs)
+            .unwrap()
+            .2
+    };
     // Bandwidth grows with block size for every scenario.
     for kind in &kinds {
         let l = kind.label();
@@ -77,7 +86,10 @@ fn main() {
         let l = kind.label();
         let ratio = bw(&l, 128 << 10) / local;
         println!("  {l}: 128 KiB bandwidth ratio vs local = {ratio:.2}");
-        assert!(ratio > 0.5, "{l}: bandwidth should be media-bound, got ratio {ratio:.2}");
+        assert!(
+            ratio > 0.5,
+            "{l}: bandwidth should be media-bound, got ratio {ratio:.2}"
+        );
     }
 
     save_json("bs_sweep", &results);

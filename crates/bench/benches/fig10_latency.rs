@@ -47,19 +47,34 @@ fn main() {
             .map(|(_, r)| r.read.as_ref().or(r.write.as_ref()).unwrap().lat.min)
             .expect("scenario present")
     };
-    println!("\nMinimum-latency deltas vs local baseline (paper: 7.7/7.5 us NVMe-oF, ~1/~2 us ours):");
+    println!(
+        "\nMinimum-latency deltas vs local baseline (paper: 7.7/7.5 us NVMe-oF, ~1/~2 us ours):"
+    );
     let rows = [
-        ("read ", "nvmeof/remote/randread", "linux/local/randread", 7.7),
-        ("write", "nvmeof/remote/randwrite", "linux/local/randwrite", 7.5),
+        (
+            "read ",
+            "nvmeof/remote/randread",
+            "linux/local/randread",
+            7.7,
+        ),
+        (
+            "write",
+            "nvmeof/remote/randwrite",
+            "linux/local/randwrite",
+            7.5,
+        ),
         ("read ", "ours/remote/randread", "ours/local/randread", 1.0),
-        ("write", "ours/remote/randwrite", "ours/local/randwrite", 2.0),
+        (
+            "write",
+            "ours/remote/randwrite",
+            "ours/local/randwrite",
+            2.0,
+        ),
     ];
     let mut deltas = Vec::new();
     for (dir, remote, local, paper) in rows {
         let d = us(min_of(remote).saturating_sub(min_of(local)));
-        println!(
-            "  {dir}  {remote:<26} - {local:<24} = {d:>6.2} us   (paper: {paper:.1} us)"
-        );
+        println!("  {dir}  {remote:<26} - {local:<24} = {d:>6.2} us   (paper: {paper:.1} us)");
         deltas.push((remote.to_string(), d, paper));
     }
 
@@ -76,11 +91,17 @@ fn main() {
         nvmf_write / ours_write.max(0.01) > 2.0,
         "NVMe-oF write penalty must dwarf the PCIe penalty ({nvmf_write:.2} vs {ours_write:.2})"
     );
-    assert!(ours_write > ours_read, "bounce writes cross the NTB and must cost more than reads");
+    assert!(
+        ours_write > ours_read,
+        "bounce writes cross the NTB and must cost more than reads"
+    );
 
     save_json(
         "fig10_latency",
-        &results.iter().map(|(l, r)| (l.clone(), r.clone())).collect::<Vec<_>>(),
+        &results
+            .iter()
+            .map(|(l, r)| (l.clone(), r.clone()))
+            .collect::<Vec<_>>(),
     );
     println!("\nfig10_latency: OK");
 }

@@ -49,8 +49,14 @@ fn main() {
         us(cli_write.p50),
         us(cli_write.p50.saturating_sub(dev_write.p50)),
     );
-    assert!(dev_read.p50 < cli_read.p50, "device-side SQ must be faster (read)");
-    assert!(dev_write.p50 < cli_write.p50, "device-side SQ must be faster (write)");
+    assert!(
+        dev_read.p50 < cli_read.p50,
+        "device-side SQ must be faster (read)"
+    );
+    assert!(
+        dev_write.p50 < cli_write.p50,
+        "device-side SQ must be faster (write)"
+    );
     // The saving should be on the order of one NTB round trip (~1 µs),
     // not zero and not several µs.
     let save_ns = cli_read.p50 - dev_read.p50;

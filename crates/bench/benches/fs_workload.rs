@@ -28,7 +28,9 @@ fn run_fs_workload(kind: ScenarioKind, calib: &Calibration) -> FsResult {
     let (host, disk) = sc.clients[0].clone();
     let h = sc.rt.handle();
     sc.rt.block_on(async move {
-        SharedFs::format(&fabric, host, disk.clone(), 4, 128).await.unwrap();
+        SharedFs::format(&fabric, host, disk.clone(), 4, 128)
+            .await
+            .unwrap();
         let fs = Rc::new(SharedFs::mount(&fabric, host, disk).await.unwrap());
         let body: Vec<u8> = (0..FILE_BYTES as u32).map(|i| (i % 251) as u8).collect();
 
@@ -88,7 +90,11 @@ fn main() {
     for kind in kinds {
         let wall = Instant::now();
         let r = run_fs_workload(kind.clone(), &calib);
-        eprintln!("  [{}: {:.1}s wall]", kind.label(), wall.elapsed().as_secs_f64());
+        eprintln!(
+            "  [{}: {:.1}s wall]",
+            kind.label(),
+            wall.elapsed().as_secs_f64()
+        );
         println!(
             "  {:<16} {:>16.0} {:>10.0} {:>12.0} {:>10.0}",
             kind.label(),
@@ -97,13 +103,22 @@ fn main() {
             r.read_us,
             r.delete_us
         );
-        rows.push((kind.label(), r.create_write_us, r.list_us, r.read_us, r.delete_us));
+        rows.push((
+            kind.label(),
+            r.create_write_us,
+            r.list_us,
+            r.read_us,
+            r.delete_us,
+        ));
     }
     // Shape: metadata-heavy phases (list = many small inode reads) punish
     // per-I/O latency, so NVMe-oF must be the slowest and our remote
     // driver must stay close to its local baseline.
     let total = |l: &str| {
-        rows.iter().find(|(a, ..)| a == l).map(|(_, c, li, r, d)| c + li + r + d).unwrap()
+        rows.iter()
+            .find(|(a, ..)| a == l)
+            .map(|(_, c, li, r, d)| c + li + r + d)
+            .unwrap()
     };
     let ours_gap = total("ours/remote") / total("ours/local");
     let nvmf_gap = total("nvmeof/remote") / total("linux/local");
@@ -111,7 +126,10 @@ fn main() {
         "\n  end-to-end remote/local: ours {ours_gap:.2}x vs NVMe-oF {nvmf_gap:.2}x — the Fig. 10 \
          gap compounds over a filesystem's many small I/Os"
     );
-    assert!(nvmf_gap > ours_gap, "NVMe-oF must pay more on metadata-heavy work");
+    assert!(
+        nvmf_gap > ours_gap,
+        "NVMe-oF must pay more on metadata-heavy work"
+    );
     save_json("fs_workload", &rows);
     println!("\nfs_workload: OK");
 }

@@ -19,15 +19,24 @@ fn main() {
     let mut all = Vec::new();
     for chip_ns in [100u64, 150] {
         println!("\n  per-chip latency {chip_ns} ns:");
-        println!("  {:>16} {:>8} {:>12} {:>12}", "topology", "chips", "min us", "p50 us");
+        println!(
+            "  {:>16} {:>8} {:>12} {:>12}",
+            "topology", "chips", "min us", "p50 us"
+        );
         let mut mins = Vec::new();
         // Local baseline (0 chips), then switchless NTB (2 adapter chips),
         // then 1..4 cluster switches (2 + n chips).
         let calib = Calibration::paper().with_chip_latency(chip_ns);
-        let local = Scenario::build(ScenarioKind::OursLocal, &calib)
-            .run(&fig10_job(RwMode::RandRead));
+        let local =
+            Scenario::build(ScenarioKind::OursLocal, &calib).run(&fig10_job(RwMode::RandRead));
         let lr = local.read.unwrap();
-        println!("  {:>16} {:>8} {:>12.2} {:>12.2}", "local", 0, us(lr.lat.min), us(lr.lat.p50));
+        println!(
+            "  {:>16} {:>8} {:>12.2} {:>12.2}",
+            "local",
+            0,
+            us(lr.lat.min),
+            us(lr.lat.p50)
+        );
         mins.push((0u32, lr.lat.min));
         for switches in 0..=4u32 {
             let chips = 2 + switches;
@@ -61,7 +70,10 @@ fn main() {
         all.push((chip_ns, mins, per_chip));
     }
     // The two corners must order correctly.
-    assert!(all[1].2 > all[0].2, "150 ns chips must cost more per hop than 100 ns chips");
+    assert!(
+        all[1].2 > all[0].2,
+        "150 ns chips must cost more per hop than 100 ns chips"
+    );
     save_json("hop_sensitivity", &all);
     println!("\nhop_sensitivity: OK");
 }

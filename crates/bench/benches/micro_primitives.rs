@@ -19,14 +19,20 @@ fn bench_sqe(c: &mut Criterion) {
     let sqe = SqEntry::read(42, 1, 0x1234_5678, 7, 0xDEAD_0000, 0xBEEF_0000);
     c.bench_function("sqe_encode", |b| b.iter(|| black_box(sqe).encode()));
     let raw = sqe.encode();
-    c.bench_function("sqe_decode", |b| b.iter(|| SqEntry::decode(black_box(&raw))));
+    c.bench_function("sqe_decode", |b| {
+        b.iter(|| SqEntry::decode(black_box(&raw)))
+    });
 }
 
 fn bench_cqe(c: &mut Criterion) {
     let cqe = CqEntry::new(0, 3, 1, 99, true, Status::SUCCESS);
     let raw = cqe.encode();
-    c.bench_function("cqe_decode", |b| b.iter(|| CqEntry::decode(black_box(&raw))));
-    c.bench_function("cqe_peek_phase", |b| b.iter(|| CqEntry::peek_phase(black_box(&raw))));
+    c.bench_function("cqe_decode", |b| {
+        b.iter(|| CqEntry::decode(black_box(&raw)))
+    });
+    c.bench_function("cqe_peek_phase", |b| {
+        b.iter(|| CqEntry::peek_phase(black_box(&raw)))
+    });
 }
 
 fn bench_prp(c: &mut Criterion) {
@@ -43,13 +49,26 @@ fn bench_prp(c: &mut Criterion) {
 }
 
 fn bench_ntb(c: &mut Criterion) {
-    let mut ntb = Ntb::new(NtbId(0), HostId(0), NodeId(0), PhysAddr(0x4000_0000), 2 << 20, 256);
+    let mut ntb = Ntb::new(
+        NtbId(0),
+        HostId(0),
+        NodeId(0),
+        PhysAddr(0x4000_0000),
+        2 << 20,
+        256,
+    );
     for slot in 0..256 {
-        ntb.program(slot, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000 + slot as u64 * (2 << 20))))
-            .unwrap();
+        ntb.program(
+            slot,
+            DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000 + slot as u64 * (2 << 20))),
+        )
+        .unwrap();
     }
     c.bench_function("ntb_translate", |b| {
-        b.iter(|| ntb.translate(black_box(PhysAddr(0x4000_0000 + 0x123456)), 64).unwrap())
+        b.iter(|| {
+            ntb.translate(black_box(PhysAddr(0x4000_0000 + 0x123456)), 64)
+                .unwrap()
+        })
     });
 }
 
@@ -58,7 +77,9 @@ fn bench_topology(c: &mut Criterion) {
     let rc_a = t.add_node(NodeKind::RootComplex(HostId(0)));
     let mut prev = rc_a;
     for i in 0..5 {
-        let s = t.add_node(NodeKind::Switch { label: format!("s{i}") });
+        let s = t.add_node(NodeKind::Switch {
+            label: format!("s{i}"),
+        });
         t.link(prev, s);
         prev = s;
     }

@@ -29,7 +29,11 @@ fn main() {
     let mut prev_agg = 0.0;
     for clients in [1usize, 2, 4, 8, 16, 31] {
         let sc = Scenario::build(ScenarioKind::OursMultihost { clients }, &calib);
-        assert_eq!(sc.ctrl.live_io_queues(), clients, "every client gets its own queue pair");
+        assert_eq!(
+            sc.ctrl.live_io_queues(),
+            clients,
+            "every client gets its own queue pair"
+        );
         let spec = JobSpec::new("mh", RwMode::RandRead)
             .iodepth(4)
             .runtime(runtime)

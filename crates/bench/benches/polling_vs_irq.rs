@@ -17,13 +17,23 @@ fn main() {
     );
     let modes = [
         ("polling", ClientCompletion::Polling),
-        ("irq-1.4us", ClientCompletion::Interrupt { latency: SimDuration::from_nanos(1_400) }),
+        (
+            "irq-1.4us",
+            ClientCompletion::Interrupt {
+                latency: SimDuration::from_nanos(1_400),
+            },
+        ),
     ];
-    println!("\n  {:<12} {:>4} {:>10} {:>10} {:>12}", "completion", "qd", "p50 us", "p99 us", "kIOPS");
+    println!(
+        "\n  {:<12} {:>4} {:>10} {:>10} {:>12}",
+        "completion", "qd", "p50 us", "p99 us", "kIOPS"
+    );
     let mut rows = Vec::new();
     for (label, completion) in modes {
-        let calib = Calibration::paper()
-            .with_client(ClientConfig { completion, ..ClientConfig::default() });
+        let calib = Calibration::paper().with_client(ClientConfig {
+            completion,
+            ..ClientConfig::default()
+        });
         for qd in [1usize, 8] {
             let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
             let spec = JobSpec::new("cmp", RwMode::RandRead)
@@ -44,8 +54,14 @@ fn main() {
     }
     let p50 = |l: &str, q: usize| rows.iter().find(|(a, b, ..)| a == l && *b == q).unwrap().2;
     let saving = p50("irq-1.4us", 1).saturating_sub(p50("polling", 1));
-    println!("\n  polling saves {:.2} us per QD1 I/O — the paper's rationale for polling", us(saving));
-    assert!((800..3_000).contains(&saving), "saving {saving} ns should be ~IRQ latency");
+    println!(
+        "\n  polling saves {:.2} us per QD1 I/O — the paper's rationale for polling",
+        us(saving)
+    );
+    assert!(
+        (800..3_000).contains(&saving),
+        "saving {saving} ns should be ~IRQ latency"
+    );
     save_json("polling_vs_irq", &rows);
     println!("\npolling_vs_irq: OK");
 }

@@ -30,7 +30,10 @@ fn main() {
         ScenarioKind::OursRemote { switches: 1 },
     ];
     let qds = [1usize, 2, 4, 8, 16, 32];
-    println!("\n  {:<16} {:>4} {:>12} {:>10} {:>10}", "scenario", "qd", "kIOPS", "p50 us", "p99 us");
+    println!(
+        "\n  {:<16} {:>4} {:>12} {:>10} {:>10}",
+        "scenario", "qd", "kIOPS", "p50 us", "p99 us"
+    );
     let mut results = Vec::new();
     let points: Vec<_> = kinds
         .iter()
@@ -66,19 +69,33 @@ fn main() {
     }
 
     let iops_at = |label: &str, qd: usize| {
-        results.iter().find(|(l, q, ..)| l == label && *q == qd).unwrap().2
+        results
+            .iter()
+            .find(|(l, q, ..)| l == label && *q == qd)
+            .unwrap()
+            .2
     };
     let p50_at = |label: &str, qd: usize| {
-        results.iter().find(|(l, q, ..)| l == label && *q == qd).unwrap().3
+        results
+            .iter()
+            .find(|(l, q, ..)| l == label && *q == qd)
+            .unwrap()
+            .3
     };
     // Bandwidth parity at depth: NVMe-oF within 25% of local at QD 32.
     let parity = iops_at("nvmeof/remote", 32) / iops_at("linux/local", 32);
     println!("\n  NVMe-oF/local IOPS ratio at QD32: {parity:.2} (paper: 'comparable')");
-    assert!(parity > 0.75, "NVMe-oF must reach comparable throughput at depth, got {parity:.2}");
+    assert!(
+        parity > 0.75,
+        "NVMe-oF must reach comparable throughput at depth, got {parity:.2}"
+    );
     // Latency gap at QD1 despite throughput parity.
     let gap = p50_at("nvmeof/remote", 1) as f64 / p50_at("ours/remote", 1) as f64;
     println!("  NVMe-oF/ours p50 ratio at QD1:     {gap:.2}");
-    assert!(gap > 1.2, "the QD1 latency gap is the paper's point, got {gap:.2}");
+    assert!(
+        gap > 1.2,
+        "the QD1 latency gap is the paper's point, got {gap:.2}"
+    );
     // IOPS scale with QD until the device saturates.
     assert!(iops_at("ours/remote", 16) > iops_at("ours/remote", 1) * 4.0);
 

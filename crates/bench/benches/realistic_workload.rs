@@ -27,11 +27,19 @@ fn mixes() -> Vec<(&'static str, JobSpec)> {
         ),
         (
             "scan",
-            JobSpec::new("scan", RwMode::SeqRead).bs(128 << 10).iodepth(4).runtime(rt).ramp(ramp),
+            JobSpec::new("scan", RwMode::SeqRead)
+                .bs(128 << 10)
+                .iodepth(4)
+                .runtime(rt)
+                .ramp(ramp),
         ),
         (
             "logger",
-            JobSpec::new("logger", RwMode::SeqWrite).bs(4 << 10).iodepth(1).runtime(rt).ramp(ramp),
+            JobSpec::new("logger", RwMode::SeqWrite)
+                .bs(4 << 10)
+                .iodepth(1)
+                .runtime(rt)
+                .ramp(ramp),
         ),
     ]
 }
@@ -50,7 +58,11 @@ fn main() {
     ];
     let points: Vec<_> = kinds
         .iter()
-        .flat_map(|k| mixes().into_iter().map(move |(name, spec)| (k.clone(), name, spec)))
+        .flat_map(|k| {
+            mixes()
+                .into_iter()
+                .map(move |(name, spec)| (k.clone(), name, spec))
+        })
         .collect();
     let reports: Vec<((String, &'static str), JobReport)> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = points

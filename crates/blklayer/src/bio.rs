@@ -33,12 +33,22 @@ pub struct Bio {
 impl Bio {
     /// A read request.
     pub fn read(lba: u64, blocks: u32, buf: MemRegion) -> Bio {
-        Bio { op: BioOp::Read, lba, blocks, buf }
+        Bio {
+            op: BioOp::Read,
+            lba,
+            blocks,
+            buf,
+        }
     }
 
     /// A write request.
     pub fn write(lba: u64, blocks: u32, buf: MemRegion) -> Bio {
-        Bio { op: BioOp::Write, lba, blocks, buf }
+        Bio {
+            op: BioOp::Write,
+            lba,
+            blocks,
+            buf,
+        }
     }
 
     /// A flush request (no data).

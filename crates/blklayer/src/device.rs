@@ -44,12 +44,18 @@ pub fn validate(dev: &dyn BlockDevice, bio: &Bio) -> BioResult {
     if bio.blocks == 0 {
         return Err(BioError::BadBuffer);
     }
-    let end = bio.lba.checked_add(bio.blocks as u64).ok_or(BioError::OutOfRange {
-        lba: bio.lba,
-        blocks: bio.blocks,
-    })?;
+    let end = bio
+        .lba
+        .checked_add(bio.blocks as u64)
+        .ok_or(BioError::OutOfRange {
+            lba: bio.lba,
+            blocks: bio.blocks,
+        })?;
     if end > dev.capacity_blocks() {
-        return Err(BioError::OutOfRange { lba: bio.lba, blocks: bio.blocks });
+        return Err(BioError::OutOfRange {
+            lba: bio.lba,
+            blocks: bio.blocks,
+        });
     }
     if bio.buf.len < bio.len(dev.block_size()) {
         return Err(BioError::BadBuffer);

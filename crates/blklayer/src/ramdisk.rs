@@ -134,7 +134,8 @@ mod tests {
     fn out_of_range_rejected() {
         let (rt, fabric, host, disk) = setup();
         let buf = fabric.alloc(host, 4096).unwrap();
-        let err = rt.block_on(async move { disk.submit(Bio::read(1020, 8, buf)).await.unwrap_err() });
+        let err =
+            rt.block_on(async move { disk.submit(Bio::read(1020, 8, buf)).await.unwrap_err() });
         assert!(matches!(err, BioError::OutOfRange { .. }));
     }
 

@@ -4,14 +4,16 @@
 //! a block device backed by the *same* NVMe controller).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pcie::HostId;
 
 use crate::device::BlockDevice;
 
-type DeviceMap = HashMap<(HostId, String), Rc<dyn BlockDevice>>;
+// Ordered map: `names_on` iterates the keys and its order must not depend
+// on hasher state (determinism).
+type DeviceMap = BTreeMap<(HostId, String), Rc<dyn BlockDevice>>;
 
 /// Cluster-wide registry of named block devices, keyed by (host, name).
 #[derive(Default, Clone)]
@@ -28,7 +30,10 @@ impl BlockRegistry {
     /// Register `dev` as `/dev/<name>` on `host`. Panics on duplicate
     /// names (a real kernel would refuse the minor number).
     pub fn register(&self, host: HostId, name: &str, dev: Rc<dyn BlockDevice>) {
-        let prev = self.inner.borrow_mut().insert((host, name.to_string()), dev);
+        let prev = self
+            .inner
+            .borrow_mut()
+            .insert((host, name.to_string()), dev);
         assert!(prev.is_none(), "duplicate block device {host}:{name}");
     }
 
@@ -42,17 +47,14 @@ impl BlockRegistry {
         self.inner.borrow().get(&(host, name.to_string())).cloned()
     }
 
-    /// All device names visible on `host`.
+    /// All device names visible on `host`, sorted (BTreeMap key order).
     pub fn names_on(&self, host: HostId) -> Vec<String> {
-        let mut v: Vec<String> = self
-            .inner
+        self.inner
             .borrow()
             .keys()
             .filter(|(h, _)| *h == host)
             .map(|(_, n)| n.clone())
-            .collect();
-        v.sort();
-        v
+            .collect()
     }
 
     /// Number of registered devices (all hosts).

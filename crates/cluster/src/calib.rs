@@ -59,7 +59,10 @@ impl Calibration {
     pub fn paper() -> Calibration {
         // Dolphin's MXH932/MXS924 use PEX-class switch chips at the upper
         // end of the paper's 100–150 ns per-chip range.
-        let fabric = FabricParams { chip_latency_ns: 150, ..FabricParams::default() };
+        let fabric = FabricParams {
+            chip_latency_ns: 150,
+            ..FabricParams::default()
+        };
         Calibration {
             fabric,
             ib: IbParams::default(),
@@ -82,7 +85,10 @@ impl Calibration {
     /// Same testbed with a NAND-class SSD instead of Optane (tail-latency
     /// contrast experiments).
     pub fn paper_nand() -> Calibration {
-        Calibration { media: MediaProfile::nand(), ..Calibration::paper() }
+        Calibration {
+            media: MediaProfile::nand(),
+            ..Calibration::paper()
+        }
     }
 
     /// Switch-chip latency corner cases (the paper quotes 100–150 ns).
@@ -111,7 +117,10 @@ mod tests {
     #[test]
     fn paper_calibration_is_consistent() {
         let c = Calibration::paper();
-        assert_eq!(c.nvme.io_queue_pairs, 31, "P4800X exposes 31 usable queue pairs");
+        assert_eq!(
+            c.nvme.io_queue_pairs, 31,
+            "P4800X exposes 31 usable queue pairs"
+        );
         assert!(c.fabric.chip_latency_ns >= 100 && c.fabric.chip_latency_ns <= 150);
         assert!(c.ib.one_way(64).as_nanos() < 1_000);
         assert_eq!(c.block_size, 512);

@@ -100,7 +100,11 @@ impl Scenario {
                     let fabric = fabric.clone();
                     let ctrl = ctrl.clone();
                     let cfg = calib.linux_driver.clone();
-                    async move { attach_local_driver(&fabric, host, &ctrl, cfg).await.unwrap() }
+                    async move {
+                        attach_local_driver(&fabric, host, &ctrl, cfg)
+                            .await
+                            .unwrap()
+                    }
                 });
                 registry.register(host, "nvme0n1", drv.clone());
                 Scenario {
@@ -134,10 +138,10 @@ impl Scenario {
                     let icfg = calib.initiator.clone();
                     let net = net.clone();
                     async move {
-                        let drv =
-                            attach_local_driver(&fabric, target_host, &ctrl, spdk).await.unwrap();
-                        let target =
-                            NvmfTarget::new(&fabric, &net, nic_t, target_host, drv, tcfg);
+                        let drv = attach_local_driver(&fabric, target_host, &ctrl, spdk)
+                            .await
+                            .unwrap();
+                        let target = NvmfTarget::new(&fabric, &net, nic_t, target_host, drv, tcfg);
                         let init = NvmfInitiator::connect(
                             &fabric,
                             &net,
@@ -163,9 +167,9 @@ impl Scenario {
             ScenarioKind::OursLocal => {
                 Self::build_ours(rt, fabric, store, registry, calib, label, 0, 1, true)
             }
-            ScenarioKind::OursRemote { switches } => {
-                Self::build_ours(rt, fabric, store, registry, calib, label, switches, 1, false)
-            }
+            ScenarioKind::OursRemote { switches } => Self::build_ours(
+                rt, fabric, store, registry, calib, label, switches, 1, false,
+            ),
             ScenarioKind::OursMultihost { clients } => {
                 Self::build_ours(rt, fabric, store, registry, calib, label, 1, clients, false)
             }
@@ -243,11 +247,15 @@ impl Scenario {
             async move {
                 // The manager runs on the device host (common deployment;
                 // any host works — covered by tests).
-                let mgr = Manager::start(&smartio, dev, dev_host, mgr_cfg).await.unwrap();
+                let mgr = Manager::start(&smartio, dev, dev_host, mgr_cfg)
+                    .await
+                    .unwrap();
                 let mut drivers = Vec::new();
                 for h in client_hosts {
                     drivers.push(
-                        ClientDriver::connect(&smartio, dev, h, client_cfg.clone()).await.unwrap(),
+                        ClientDriver::connect(&smartio, dev, h, client_cfg.clone())
+                            .await
+                            .unwrap(),
                     );
                 }
                 (mgr, drivers)
@@ -302,7 +310,8 @@ impl Scenario {
         let (host, dev) = self.clients[0].clone();
         let fabric = self.fabric.clone();
         let spec = spec.clone();
-        self.rt.block_on(async move { run_job(&fabric, host, dev, &spec).await })
+        self.rt
+            .block_on(async move { run_job(&fabric, host, dev, &spec).await })
     }
 
     /// Run the same job on every client concurrently (each with a derived
@@ -371,9 +380,18 @@ mod tests {
         let ours_local = p50(ScenarioKind::OursLocal);
         let ours_remote = p50(ScenarioKind::OursRemote { switches: 1 });
         let nvmf = p50(ScenarioKind::NvmfRemote);
-        assert!(linux < ours_local, "linux {linux} vs ours-local {ours_local}");
-        assert!(ours_local < ours_remote, "ours-local {ours_local} vs ours-remote {ours_remote}");
-        assert!(ours_remote < nvmf, "ours-remote {ours_remote} vs nvmeof {nvmf}");
+        assert!(
+            linux < ours_local,
+            "linux {linux} vs ours-local {ours_local}"
+        );
+        assert!(
+            ours_local < ours_remote,
+            "ours-local {ours_local} vs ours-remote {ours_remote}"
+        );
+        assert!(
+            ours_remote < nvmf,
+            "ours-remote {ours_remote} vs nvmeof {nvmf}"
+        );
         // And the headline: NVMe-oF's penalty dwarfs ours.
         let ours_penalty = ours_remote - ours_local;
         let nvmf_penalty = nvmf - linux;

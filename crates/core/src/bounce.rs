@@ -14,6 +14,28 @@ use crate::error::{DnvmeError, Result};
 
 const PAGE: u64 = nvme::spec::prp::PAGE;
 
+/// Bounce-layout overlap check (feature `sanitize`): every request tag
+/// must own a disjoint byte range of the DMA window, or two in-flight
+/// commands DMA into each other's staging space. Reports
+/// `dnvme.bounce-overlap` for each overlapping pair of `(bus_base, len)`
+/// ranges. [`BouncePool::new`] runs it on the real layout; tests can feed
+/// a deliberately broken one.
+#[cfg(feature = "sanitize")]
+pub fn sanitize_check_partitions(handle: &simcore::Handle, parts: &[(u64, u64)]) {
+    for (i, &(a_start, a_len)) in parts.iter().enumerate() {
+        for (j, &(b_start, b_len)) in parts.iter().enumerate().skip(i + 1) {
+            if a_start < b_start + b_len && b_start < a_start + a_len {
+                handle.sanitize_report(
+                    "dnvme.bounce-overlap",
+                    format!(
+                        "bounce ranges {i} and {j} overlap: {a_start:#x}+{a_len:#x} vs {b_start:#x}+{b_len:#x}"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// One bounce partition per request tag, with precomputed PRPs.
 pub struct BouncePool {
     /// Client-local CPU view of the whole buffer.
@@ -51,8 +73,12 @@ impl BouncePool {
         // Hinted allocation: both sides read and write => client-local
         // (the device crosses the fabric with pipelined DMA; the CPU's
         // staging memcpy stays local).
-        let segment =
-            smartio.create_segment_hinted(client, device, tags as u64 * partition, AccessHints::buffer())?;
+        let segment = smartio.create_segment_hinted(
+            client,
+            device,
+            tags as u64 * partition,
+            AccessHints::buffer(),
+        )?;
         let region = smartio.segment_region(segment)?;
         debug_assert_eq!(region.host, client, "bounce buffer must be client-local");
         let window = smartio.map_for_device(device, segment)?;
@@ -79,6 +105,14 @@ impl BouncePool {
                 )?;
             }
         }
+        #[cfg(feature = "sanitize")]
+        {
+            let layout: Vec<(u64, u64)> = (0..tags as u64)
+                .map(|t| (window.bus_base + t * partition, partition))
+                .chain((0..tags as u64).map(|t| (list_window.bus_base + t * PAGE, PAGE)))
+                .collect();
+            sanitize_check_partitions(&fabric.handle(), &layout);
+        }
         Ok(BouncePool {
             region,
             window,
@@ -103,7 +137,8 @@ impl BouncePool {
     /// Client-local region of tag `t`'s partition.
     pub fn partition(&self, tag: usize) -> MemRegion {
         assert!(tag < self.tags);
-        self.region.slice(tag as u64 * self.partition, self.partition)
+        self.region
+            .slice(tag as u64 * self.partition, self.partition)
     }
 
     /// PRP1/PRP2 for a transfer of `len` bytes staged in tag `t`'s

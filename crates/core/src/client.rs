@@ -191,7 +191,9 @@ async fn mailbox_rpc(
 ) -> Result<Response> {
     let watch = fabric.watch(resp_region.host, resp_region.addr, resp_region.len);
     let msg = SlotMessage { seq, request };
-    fabric.cpu_write(host, mailbox_slot_addr, &msg.encode()).await?;
+    fabric
+        .cpu_write(host, mailbox_slot_addr, &msg.encode())
+        .await?;
     let resp = loop {
         watch.notify.notified().await;
         let mut raw = [0u8; proto::RESPONSE_LEN];
@@ -226,13 +228,17 @@ impl ClientDriver {
             .map_err(|_| DnvmeError::BadMetadata)?;
         let meta_map = smartio.map_for_cpu(host, meta_seg)?;
         let mut raw = [0u8; proto::META_LEN];
-        fabric.cpu_read(host, meta_map.region.addr, &mut raw).await?;
+        fabric
+            .cpu_read(host, meta_map.region.addr, &mut raw)
+            .await?;
         let metadata = Metadata::decode(&raw);
         if !metadata.valid() {
             return Err(DnvmeError::BadMetadata);
         }
         if (host.0 as u32) >= metadata.mailbox_slots {
-            return Err(DnvmeError::BadConfig("host id exceeds mailbox slots".into()));
+            return Err(DnvmeError::BadConfig(
+                "host id exceeds mailbox slots".into(),
+            ));
         }
 
         // --- Map registers (BAR window) and the mailbox. ---
@@ -327,7 +333,11 @@ impl ClientDriver {
                 }
                 ClientCompletion::Polling => None,
             };
-            qpairs.push(QueuePair { qid, sq, lock: Semaphore::new(1) });
+            qpairs.push(QueuePair {
+                qid,
+                sq,
+                lock: Semaphore::new(1),
+            });
             irqs.push(irq);
             cleanup.mappings.push(sq_cpu);
             cleanup.windows.push(sq_win);
@@ -338,9 +348,17 @@ impl ClientDriver {
         let qid = qpairs[0].qid;
 
         // --- Data path. ---
-        let qd = cfg.queue_depth.min(cfg.num_qpairs as usize * (entries as usize - 1));
+        let qd = cfg
+            .queue_depth
+            .min(cfg.num_qpairs as usize * (entries as usize - 1));
         let bounce = match cfg.data_path {
-            DataPath::Bounce => Some(BouncePool::new(smartio, device, host, qd, cfg.partition_size)?),
+            DataPath::Bounce => Some(BouncePool::new(
+                smartio,
+                device,
+                host,
+                qd,
+                cfg.partition_size,
+            )?),
             DataPath::DirectMapped => None,
         };
         // Per-tag PRP list pages for DirectMapped transfers > 2 pages.
@@ -348,8 +366,9 @@ impl ClientDriver {
             let seg = smartio.create_segment(host, qd as u64 * prp::PAGE)?;
             let region = smartio.segment_region(seg)?;
             let win = smartio.map_for_device(device, seg)?;
-            let lists: Vec<MemRegion> =
-                (0..qd).map(|t| region.slice(t as u64 * prp::PAGE, prp::PAGE)).collect();
+            let lists: Vec<MemRegion> = (0..qd)
+                .map(|t| region.slice(t as u64 * prp::PAGE, prp::PAGE))
+                .collect();
             (lists, win.bus_base, seg, win)
         };
         cleanup.windows.push(lists_win);
@@ -381,7 +400,9 @@ impl ClientDriver {
         });
         for (i, (cq, irq)) in cqs.into_iter().zip(irqs).enumerate() {
             let d2 = driver.clone();
-            fabric.handle().spawn(async move { d2.completion_loop(i, cq, irq).await });
+            fabric
+                .handle()
+                .spawn(async move { d2.completion_loop(i, cq, irq).await });
         }
         Ok(driver)
     }
@@ -428,7 +449,10 @@ impl ClientDriver {
                 slot_addr,
                 resp_region,
                 seq,
-                Request::DeleteQp { qid: qp.qid, response_segment: self.response_segment.0 },
+                Request::DeleteQp {
+                    qid: qp.qid,
+                    response_segment: self.response_segment.0,
+                },
             )
             .await?;
         }
@@ -505,8 +529,14 @@ impl ClientDriver {
         let qp = self.qp_for(sqe.cid);
         {
             let _q = qp.lock.acquire().await;
-            qp.sq.push(sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
-            qp.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            qp.sq
+                .push(sqe)
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
+            qp.sq
+                .ring()
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
         }
         rx.await.map_err(|_| BioError::Gone)
     }
@@ -516,7 +546,12 @@ impl ClientDriver {
         let len = bio.len(bs);
         let _tag = self.tags.acquire().await;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let cid = self.pending.borrow_mut().free.pop().expect("tag guarantees a cid");
+        let cid = self
+            .pending
+            .borrow_mut()
+            .free
+            .pop()
+            .expect("tag guarantees a cid");
         let result = self.submit_with_cid(&bio, cid, len).await;
         self.pending.borrow_mut().free.push(cid);
         self.handle.sleep(self.cfg.completion_overhead).await;
@@ -638,7 +673,10 @@ impl BlockDevice for ClientDriver {
             let len = bio.len(self.metadata.block_size);
             if bio.op != BioOp::Flush {
                 if len > self.cfg.partition_size {
-                    return Err(BioError::TooLarge { bytes: len, max: self.cfg.partition_size });
+                    return Err(BioError::TooLarge {
+                        bytes: len,
+                        max: self.cfg.partition_size,
+                    });
                 }
                 if bio.buf.host != self.host {
                     return Err(BioError::DeviceError(

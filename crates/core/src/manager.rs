@@ -65,14 +65,18 @@ struct QidPool {
 
 impl QidPool {
     fn new(max_qpairs: u16) -> Self {
-        QidPool { owners: vec![None; max_qpairs as usize + 1] } // index 0 unused (admin)
+        QidPool {
+            owners: vec![None; max_qpairs as usize + 1],
+        } // index 0 unused (admin)
     }
 
     fn alloc(&mut self, slot: usize) -> Option<u16> {
-        (1..self.owners.len()).find(|&q| self.owners[q].is_none()).map(|q| {
-            self.owners[q] = Some(slot);
-            q as u16
-        })
+        (1..self.owners.len())
+            .find(|&q| self.owners[q].is_none())
+            .map(|q| {
+                self.owners[q] = Some(slot);
+                q as u16
+            })
     }
 
     fn free(&mut self, qid: u16, slot: usize) -> bool {
@@ -147,7 +151,10 @@ impl Manager {
         )?;
         let asq_cpu = smartio.map_for_cpu(host, asq_seg)?;
         let acq_region = smartio.segment_region(acq_seg)?;
-        assert_eq!(acq_region.host, host, "ACQ must be manager-local for polling");
+        assert_eq!(
+            acq_region.host, host,
+            "ACQ must be manager-local for polling"
+        );
         let asq_bus = smartio.map_for_device(device, asq_seg)?.bus_base;
         let acq_bus = smartio.map_for_device(device, acq_seg)?.bus_base;
 
@@ -247,7 +254,9 @@ impl Manager {
     /// Mailbox server: watch the mailbox memory, handle new requests.
     async fn serve(self: Rc<Self>) {
         let fabric = self.smartio.fabric().clone();
-        let region = self.smartio.segment_region(self.mailbox_segment).expect("mailbox gone");
+        let Ok(region) = self.smartio.segment_region(self.mailbox_segment) else {
+            return; // mailbox destroyed before the server started
+        };
         let watch = fabric.watch(region.host, region.addr, region.len);
         let slots = self.cfg.mailbox_slots as usize;
         let mut last_seq = vec![0u32; slots];
@@ -256,10 +265,19 @@ impl Manager {
             #[allow(clippy::needless_range_loop)] // slot also computes the offset
             for slot in 0..slots {
                 let mut raw = [0u8; proto::MAILBOX_SLOT];
-                fabric
-                    .mem_read(region.host, region.addr.offset((slot * proto::MAILBOX_SLOT) as u64), &mut raw)
-                    .expect("mailbox read");
-                let Some(msg) = SlotMessage::decode(&raw) else { continue };
+                if fabric
+                    .mem_read(
+                        region.host,
+                        region.addr.offset((slot * proto::MAILBOX_SLOT) as u64),
+                        &mut raw,
+                    )
+                    .is_err()
+                {
+                    continue; // slot unreadable (segment torn down mid-poll)
+                }
+                let Some(msg) = SlotMessage::decode(&raw) else {
+                    continue;
+                };
                 if msg.seq == 0 || msg.seq == last_seq[slot] {
                     continue;
                 }
@@ -272,7 +290,10 @@ impl Manager {
                 // A departed client's response-segment mapping is dead
                 // weight on the manager's adapter: release it.
                 if ok {
-                    if let Request::DeleteQp { response_segment, .. } = msg.request {
+                    if let Request::DeleteQp {
+                        response_segment, ..
+                    } = msg.request
+                    {
                         if let Some(m) = self.resp_maps.borrow_mut().remove(&response_segment) {
                             self.smartio.unmap_cpu(m);
                         }
@@ -287,14 +308,28 @@ impl Manager {
     #[allow(clippy::await_holding_refcell_ref)]
     async fn handle(&self, slot: usize, req: Request) -> Response {
         match req {
-            Request::CreateQp { entries, sq_bus, cq_bus, iv, .. } => {
+            Request::CreateQp {
+                entries,
+                sq_bus,
+                cq_bus,
+                iv,
+                ..
+            } => {
                 if entries < 2 {
                     self.stats.borrow_mut().requests_rejected += 1;
-                    return Response { seq: 0, status: proto::status::BAD_REQUEST, qid: 0 };
+                    return Response {
+                        seq: 0,
+                        status: proto::status::BAD_REQUEST,
+                        qid: 0,
+                    };
                 }
                 let Some(qid) = self.qids.borrow_mut().alloc(slot) else {
                     self.stats.borrow_mut().requests_rejected += 1;
-                    return Response { seq: 0, status: proto::status::NO_FREE_QPAIR, qid: 0 };
+                    return Response {
+                        seq: 0,
+                        status: proto::status::NO_FREE_QPAIR,
+                        qid: 0,
+                    };
                 };
                 // Privileged admin operation on behalf of the client. The
                 // paper's clients poll (iv = None); the interrupt-
@@ -302,24 +337,38 @@ impl Manager {
                 let r = {
                     let mut admin = self.admin.borrow_mut();
                     // The interrupt extension assigns vector == qid.
-                    admin.create_io_qpair(qid, entries, sq_bus, cq_bus, iv.map(|_| qid)).await
+                    admin
+                        .create_io_qpair(qid, entries, sq_bus, cq_bus, iv.map(|_| qid))
+                        .await
                 };
                 match r {
                     Ok(()) => {
                         self.stats.borrow_mut().qpairs_created += 1;
-                        Response { seq: 0, status: proto::status::OK, qid }
+                        Response {
+                            seq: 0,
+                            status: proto::status::OK,
+                            qid,
+                        }
                     }
                     Err(_) => {
                         self.qids.borrow_mut().free(qid, slot);
                         self.stats.borrow_mut().requests_rejected += 1;
-                        Response { seq: 0, status: proto::status::ADMIN_FAILED, qid: 0 }
+                        Response {
+                            seq: 0,
+                            status: proto::status::ADMIN_FAILED,
+                            qid: 0,
+                        }
                     }
                 }
             }
             Request::DeleteQp { qid, .. } => {
                 if !self.qids.borrow_mut().free(qid, slot) {
                     self.stats.borrow_mut().requests_rejected += 1;
-                    return Response { seq: 0, status: proto::status::NOT_OWNER, qid };
+                    return Response {
+                        seq: 0,
+                        status: proto::status::NOT_OWNER,
+                        qid,
+                    };
                 }
                 let r = {
                     let mut admin = self.admin.borrow_mut();
@@ -328,9 +377,17 @@ impl Manager {
                 match r {
                     Ok(()) => {
                         self.stats.borrow_mut().qpairs_deleted += 1;
-                        Response { seq: 0, status: proto::status::OK, qid }
+                        Response {
+                            seq: 0,
+                            status: proto::status::OK,
+                            qid,
+                        }
                     }
-                    Err(_) => Response { seq: 0, status: proto::status::ADMIN_FAILED, qid },
+                    Err(_) => Response {
+                        seq: 0,
+                        status: proto::status::ADMIN_FAILED,
+                        qid,
+                    },
                 }
             }
         }
@@ -341,8 +398,12 @@ impl Manager {
     async fn respond(&self, msg: SlotMessage, mut resp: Response) {
         resp.seq = msg.seq;
         let seg = match msg.request {
-            Request::CreateQp { response_segment, .. } => response_segment,
-            Request::DeleteQp { response_segment, .. } => response_segment,
+            Request::CreateQp {
+                response_segment, ..
+            } => response_segment,
+            Request::DeleteQp {
+                response_segment, ..
+            } => response_segment,
         };
         let mapping = {
             let mut maps = self.resp_maps.borrow_mut();
@@ -358,7 +419,9 @@ impl Manager {
             }
         };
         let fabric = self.smartio.fabric();
-        let _ = fabric.cpu_write(mapping.region.host, mapping.region.addr, &resp.encode()).await;
+        let _ = fabric
+            .cpu_write(mapping.region.host, mapping.region.addr, &resp.encode())
+            .await;
     }
 }
 

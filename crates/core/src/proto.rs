@@ -83,7 +83,13 @@ pub enum Request {
     /// (already resolved by SmartIO for the device). `iv` requests an
     /// interrupt vector (the interrupt-forwarding extension; the paper's
     /// clients poll and pass `None`).
-    CreateQp { entries: u16, sq_bus: u64, cq_bus: u64, response_segment: u32, iv: Option<u16> },
+    CreateQp {
+        entries: u16,
+        sq_bus: u64,
+        cq_bus: u64,
+        response_segment: u32,
+        iv: Option<u16>,
+    },
     /// Delete a previously granted queue pair.
     DeleteQp { qid: u16, response_segment: u32 },
 }
@@ -106,7 +112,13 @@ impl SlotMessage {
         let mut b = [0u8; MAILBOX_SLOT];
         b[4..8].copy_from_slice(&self.seq.to_le_bytes());
         match self.request {
-            Request::CreateQp { entries, sq_bus, cq_bus, response_segment, iv } => {
+            Request::CreateQp {
+                entries,
+                sq_bus,
+                cq_bus,
+                response_segment,
+                iv,
+            } => {
                 b[8..12].copy_from_slice(&OP_CREATE.to_le_bytes());
                 b[12..14].copy_from_slice(&entries.to_le_bytes());
                 b[14..16].copy_from_slice(&iv.unwrap_or(0xFFFF).to_le_bytes());
@@ -114,7 +126,10 @@ impl SlotMessage {
                 b[24..32].copy_from_slice(&cq_bus.to_le_bytes());
                 b[32..36].copy_from_slice(&response_segment.to_le_bytes());
             }
-            Request::DeleteQp { qid, response_segment } => {
+            Request::DeleteQp {
+                qid,
+                response_segment,
+            } => {
                 b[8..12].copy_from_slice(&OP_DELETE.to_le_bytes());
                 b[12..14].copy_from_slice(&qid.to_le_bytes());
                 b[32..36].copy_from_slice(&response_segment.to_le_bytes());
@@ -257,13 +272,25 @@ mod tests {
 
     #[test]
     fn delete_request_roundtrip() {
-        let msg = SlotMessage { seq: 10, request: Request::DeleteQp { qid: 5, response_segment: 12 } };
+        let msg = SlotMessage {
+            seq: 10,
+            request: Request::DeleteQp {
+                qid: 5,
+                response_segment: 12,
+            },
+        };
         assert_eq!(SlotMessage::decode(&msg.encode()), Some(msg));
     }
 
     #[test]
     fn torn_write_rejected() {
-        let msg = SlotMessage { seq: 3, request: Request::DeleteQp { qid: 1, response_segment: 2 } };
+        let msg = SlotMessage {
+            seq: 3,
+            request: Request::DeleteQp {
+                qid: 1,
+                response_segment: 2,
+            },
+        };
         let mut raw = msg.encode();
         raw[0] = 0xFF; // seq words disagree
         assert_eq!(SlotMessage::decode(&raw), None);
@@ -278,7 +305,11 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        let r = Response { seq: 4, status: status::OK, qid: 17 };
+        let r = Response {
+            seq: 4,
+            status: status::OK,
+            qid: 17,
+        };
         assert_eq!(Response::decode(&r.encode()), r);
     }
 }

@@ -34,12 +34,31 @@ fn cluster(n_hosts: usize) -> Cluster {
         hosts.push(h);
     }
     let dev_host = *hosts.last().unwrap();
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 42));
-    let ctrl =
-        NvmeController::attach(&fabric, dev_host, fabric.rc_node(dev_host), store, NvmeConfig::default());
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        42,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        dev_host,
+        fabric.rc_node(dev_host),
+        store,
+        NvmeConfig::default(),
+    );
     let smartio = SmartIo::new(&fabric);
     let dev = smartio.register_device(ctrl.device_id()).unwrap();
-    Cluster { rt, fabric, smartio, hosts, ctrl, dev, dev_host }
+    Cluster {
+        rt,
+        fabric,
+        smartio,
+        hosts,
+        ctrl,
+        dev,
+        dev_host,
+    }
 }
 
 #[test]
@@ -51,7 +70,9 @@ fn manager_brings_up_remote_controller() {
     let dev = c.dev;
     let mgr_host = c.hosts[0];
     let mgr = c.rt.block_on(async move {
-        Manager::start(&smartio, dev, mgr_host, ManagerConfig::default()).await.unwrap()
+        Manager::start(&smartio, dev, mgr_host, ManagerConfig::default())
+            .await
+            .unwrap()
     });
     assert_eq!(mgr.metadata.block_size, 512);
     assert_eq!(mgr.metadata.capacity_blocks, 1 << 20);
@@ -68,7 +89,9 @@ fn remote_client_reads_and_writes() {
     let dev = c.dev;
     let (mgr_host, client_host) = (c.dev_host, c.hosts[0]);
     let ok = c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, mgr_host, ManagerConfig::default()).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, mgr_host, ManagerConfig::default())
+            .await
+            .unwrap();
         let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
             .await
             .unwrap();
@@ -76,7 +99,9 @@ fn remote_client_reads_and_writes() {
         let pattern: Vec<u8> = (0..4096u32).map(|i| (i % 249) as u8).collect();
         fabric.mem_write(client_host, buf.addr, &pattern).unwrap();
         drv.submit(Bio::write(128, 8, buf)).await.unwrap();
-        fabric.mem_write(client_host, buf.addr, &vec![0u8; 4096]).unwrap();
+        fabric
+            .mem_write(client_host, buf.addr, &vec![0u8; 4096])
+            .unwrap();
         drv.submit(Bio::read(128, 8, buf)).await.unwrap();
         let mut out = vec![0u8; 4096];
         fabric.mem_read(client_host, buf.addr, &mut out).unwrap();
@@ -96,7 +121,9 @@ fn queue_memory_lands_where_hints_say() {
     let (mgr_host, client_host) = (c.dev_host, c.hosts[0]);
     let sio = c.smartio.clone();
     c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, mgr_host, ManagerConfig::default()).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, mgr_host, ManagerConfig::default())
+            .await
+            .unwrap();
         let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
             .await
             .unwrap();
@@ -108,7 +135,10 @@ fn queue_memory_lands_where_hints_say() {
     // has at least one segment (the SQ) owned there.
     let _ = sio;
     let stats = c.ctrl.stats();
-    assert!(stats.admin_commands >= 4, "expected admin traffic, got {stats:?}");
+    assert!(
+        stats.admin_commands >= 4,
+        "expected admin traffic, got {stats:?}"
+    );
 }
 
 #[test]
@@ -121,9 +151,15 @@ fn two_clients_operate_in_parallel_with_integrity() {
     let (h0, h1) = (c.hosts[0], c.hosts[1]);
     let handle = c.rt.handle();
     let ok = c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-        let d0 = ClientDriver::connect(&smartio, dev, h0, ClientConfig::default()).await.unwrap();
-        let d1 = ClientDriver::connect(&smartio, dev, h1, ClientConfig::default()).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let d0 = ClientDriver::connect(&smartio, dev, h0, ClientConfig::default())
+            .await
+            .unwrap();
+        let d1 = ClientDriver::connect(&smartio, dev, h1, ClientConfig::default())
+            .await
+            .unwrap();
         assert_ne!(d0.qid, d1.qid, "clients must get distinct queue pairs");
         // Each client hammers its own LBA range concurrently.
         let mut tasks = Vec::new();
@@ -169,12 +205,16 @@ fn local_client_works_without_ntb_crossing() {
     let dev = c.dev;
     let dev_host = c.dev_host;
     let ok = c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
         let drv = ClientDriver::connect(&smartio, dev, dev_host, ClientConfig::default())
             .await
             .unwrap();
         let buf = fabric.alloc(dev_host, 4096).unwrap();
-        fabric.mem_write(dev_host, buf.addr, &[0x5Au8; 4096]).unwrap();
+        fabric
+            .mem_write(dev_host, buf.addr, &[0x5Au8; 4096])
+            .unwrap();
         drv.submit(Bio::write(0, 8, buf)).await.unwrap();
         drv.submit(Bio::read(0, 8, buf)).await.unwrap();
         let mut out = vec![0u8; 4096];
@@ -194,12 +234,20 @@ fn sq_placement_ablation_both_work() {
         let dev_host = c.dev_host;
         let client_host = c.hosts[0];
         let ok = c.rt.block_on(async move {
-            let _mgr =
-                Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-            let cfg = ClientConfig { sq_placement: placement, ..ClientConfig::default() };
-            let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+            let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+                .await
+                .unwrap();
+            let cfg = ClientConfig {
+                sq_placement: placement,
+                ..ClientConfig::default()
+            };
+            let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+                .await
+                .unwrap();
             let buf = fabric.alloc(client_host, 4096).unwrap();
-            fabric.mem_write(client_host, buf.addr, &[9u8; 4096]).unwrap();
+            fabric
+                .mem_write(client_host, buf.addr, &[9u8; 4096])
+                .unwrap();
             drv.submit(Bio::write(0, 8, buf)).await.unwrap();
             drv.submit(Bio::read(0, 8, buf)).await.unwrap();
             let mut out = vec![0u8; 4096];
@@ -219,14 +267,23 @@ fn direct_mapped_data_path_works() {
     let dev_host = c.dev_host;
     let client_host = c.hosts[0];
     let (ok, maps) = c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-        let cfg = ClientConfig { data_path: DataPath::DirectMapped, ..ClientConfig::default() };
-        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let cfg = ClientConfig {
+            data_path: DataPath::DirectMapped,
+            ..ClientConfig::default()
+        };
+        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+            .await
+            .unwrap();
         let buf = fabric.alloc(client_host, 16384).unwrap();
         let pattern: Vec<u8> = (0..16384u32).map(|i| (i % 241) as u8).collect();
         fabric.mem_write(client_host, buf.addr, &pattern).unwrap();
         drv.submit(Bio::write(0, 32, buf)).await.unwrap();
-        fabric.mem_write(client_host, buf.addr, &vec![0u8; 16384]).unwrap();
+        fabric
+            .mem_write(client_host, buf.addr, &vec![0u8; 16384])
+            .unwrap();
         drv.submit(Bio::read(0, 32, buf)).await.unwrap();
         let mut out = vec![0u8; 16384];
         fabric.mem_read(client_host, buf.addr, &mut out).unwrap();
@@ -244,7 +301,9 @@ fn disconnect_returns_qpair_to_pool() {
     let dev_host = c.dev_host;
     let client_host = c.hosts[0];
     let (created, deleted, in_use) = c.rt.block_on(async move {
-        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
+        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
         let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
             .await
             .unwrap();
@@ -277,13 +336,22 @@ fn qpair_exhaustion_rejected_via_mailbox() {
         hosts.push(h);
     }
     let dev_host = hosts[3];
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 1));
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        1,
+    ));
     let ctrl = NvmeController::attach(
         &fabric,
         dev_host,
         fabric.rc_node(dev_host),
         store,
-        NvmeConfig { io_queue_pairs: 2, ..NvmeConfig::default() },
+        NvmeConfig {
+            io_queue_pairs: 2,
+            ..NvmeConfig::default()
+        },
     );
     let smartio = SmartIo::new(&fabric);
     let dev = smartio.register_device(ctrl.device_id()).unwrap();
@@ -292,7 +360,10 @@ fn qpair_exhaustion_rejected_via_mailbox() {
             &smartio,
             dev,
             dev_host,
-            ManagerConfig { want_qpairs: 2, ..ManagerConfig::default() },
+            ManagerConfig {
+                want_qpairs: 2,
+                ..ManagerConfig::default()
+            },
         )
         .await
         .unwrap();
@@ -307,7 +378,9 @@ fn qpair_exhaustion_rejected_via_mailbox() {
             Ok(_) => panic!("third client must be rejected"),
         }
     });
-    assert!(matches!(err, dnvme::DnvmeError::Mailbox(code) if code == dnvme::proto::status::NO_FREE_QPAIR));
+    assert!(
+        matches!(err, dnvme::DnvmeError::Mailbox(code) if code == dnvme::proto::status::NO_FREE_QPAIR)
+    );
 }
 
 #[test]
@@ -319,9 +392,16 @@ fn oversized_transfer_rejected_by_partition_limit() {
     let dev_host = c.dev_host;
     let client_host = c.hosts[0];
     let err = c.rt.block_on(async move {
-        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-        let cfg = ClientConfig { partition_size: 8192, ..ClientConfig::default() };
-        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let cfg = ClientConfig {
+            partition_size: 8192,
+            ..ClientConfig::default()
+        };
+        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+            .await
+            .unwrap();
         let buf = fabric.alloc(client_host, 16384).unwrap();
         drv.submit(Bio::read(0, 32, buf)).await.unwrap_err()
     });
@@ -342,8 +422,9 @@ fn remote_access_is_slightly_slower_than_local_not_hugely() {
         let client_host = if remote { c.hosts[0] } else { c.dev_host };
         let h = c.rt.handle();
         c.rt.block_on(async move {
-            let _mgr =
-                Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
+            let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+                .await
+                .unwrap();
             let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
                 .await
                 .unwrap();
@@ -377,9 +458,17 @@ fn multi_qpair_client_stripes_and_verifies() {
     let client_host = c.hosts[0];
     let handle = c.rt.handle();
     let (qids, ok) = c.rt.block_on(async move {
-        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-        let cfg = ClientConfig { num_qpairs: 4, queue_depth: 16, ..ClientConfig::default() };
-        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let cfg = ClientConfig {
+            num_qpairs: 4,
+            queue_depth: 16,
+            ..ClientConfig::default()
+        };
+        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+            .await
+            .unwrap();
         let qids = drv.qids();
         assert_eq!(mgr.qpairs_in_use(), 4);
         // Concurrent writes across all stripes, then read-verify.
@@ -392,7 +481,9 @@ fn multi_qpair_client_stripes_and_verifies() {
                 let data = [lane as u8 + 1; 4096];
                 fabric.mem_write(client_host, buf.addr, &data).unwrap();
                 drv.submit(Bio::write(lane * 8, 8, buf)).await.unwrap();
-                fabric.mem_write(client_host, buf.addr, &[0u8; 4096]).unwrap();
+                fabric
+                    .mem_write(client_host, buf.addr, &[0u8; 4096])
+                    .unwrap();
                 drv.submit(Bio::read(lane * 8, 8, buf)).await.unwrap();
                 let mut out = vec![0u8; 4096];
                 fabric.mem_read(client_host, buf.addr, &mut out).unwrap();
@@ -420,9 +511,16 @@ fn multi_qpair_disconnect_returns_all_qpairs() {
     let dev_host = c.dev_host;
     let client_host = c.hosts[0];
     let in_use = c.rt.block_on(async move {
-        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-        let cfg = ClientConfig { num_qpairs: 3, ..ClientConfig::default() };
-        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+        let mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let cfg = ClientConfig {
+            num_qpairs: 3,
+            ..ClientConfig::default()
+        };
+        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+            .await
+            .unwrap();
         assert_eq!(mgr.qpairs_in_use(), 3);
         drv.disconnect().await.unwrap();
         mgr.qpairs_in_use()
@@ -447,14 +545,24 @@ fn interrupt_mode_extension_works_and_costs_latency() {
         let client_host = c.hosts[0];
         let h = c.rt.handle();
         c.rt.block_on(async move {
-            let _mgr =
-                Manager::start(&smartio, dev, dev_host, ManagerConfig::default()).await.unwrap();
-            let cfg = ClientConfig { completion, ..ClientConfig::default() };
-            let drv = ClientDriver::connect(&smartio, dev, client_host, cfg).await.unwrap();
+            let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+                .await
+                .unwrap();
+            let cfg = ClientConfig {
+                completion,
+                ..ClientConfig::default()
+            };
+            let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+                .await
+                .unwrap();
             let buf = fabric.alloc(client_host, 4096).unwrap();
-            fabric.mem_write(client_host, buf.addr, &[0x42u8; 4096]).unwrap();
+            fabric
+                .mem_write(client_host, buf.addr, &[0x42u8; 4096])
+                .unwrap();
             drv.submit(Bio::write(0, 8, buf)).await.unwrap();
-            fabric.mem_write(client_host, buf.addr, &[0u8; 4096]).unwrap();
+            fabric
+                .mem_write(client_host, buf.addr, &[0u8; 4096])
+                .unwrap();
             let t0 = h.now();
             drv.submit(Bio::read(0, 8, buf)).await.unwrap();
             let lat = (h.now() - t0).as_nanos();
@@ -464,12 +572,16 @@ fn interrupt_mode_extension_works_and_costs_latency() {
         })
     }
     let (ok_poll, lat_poll) = one_read(ClientCompletion::Polling);
-    let (ok_irq, lat_irq) =
-        one_read(ClientCompletion::Interrupt { latency: SimDuration::from_nanos(1_400) });
+    let (ok_irq, lat_irq) = one_read(ClientCompletion::Interrupt {
+        latency: SimDuration::from_nanos(1_400),
+    });
     assert!(ok_poll && ok_irq, "data integrity in both modes");
     assert!(
         lat_irq > lat_poll + 800,
         "interrupts must cost ~the IRQ latency over polling ({lat_poll} vs {lat_irq})"
     );
-    assert!(lat_irq < lat_poll + 3_000, "but not more ({lat_poll} vs {lat_irq})");
+    assert!(
+        lat_irq < lat_poll + 3_000,
+        "but not more ({lat_poll} vs {lat_irq})"
+    );
 }

@@ -33,7 +33,10 @@ pub async fn run_job(
     let handle = fabric.handle();
     let bs = spec.block_size;
     let dev_bs = dev.block_size();
-    assert!(bs.is_multiple_of(dev_bs), "I/O size must be a multiple of the device block size");
+    assert!(
+        bs.is_multiple_of(dev_bs),
+        "I/O size must be a multiple of the device block size"
+    );
     let blocks_per_io = (bs / dev_bs) as u64;
     let capacity = dev.capacity_blocks();
     let (first, span) = spec.region.unwrap_or((0, capacity));
@@ -133,7 +136,11 @@ pub async fn run_job(
     let c = collect.borrow();
     // Actual measured span (io_limit can end the run early).
     let measured = c.last_completion - measure_start;
-    let measured = if measured.is_zero() { SimDuration::from_nanos(1) } else { measured };
+    let measured = if measured.is_zero() {
+        SimDuration::from_nanos(1)
+    } else {
+        measured
+    };
     JobReport {
         name: spec.name.clone(),
         rw: spec.rw.label(),
@@ -141,8 +148,14 @@ pub async fn run_job(
         iodepth: spec.iodepth,
         numjobs: spec.numjobs,
         measured_ns: measured.as_nanos(),
-        read: c.read.summary().map(|s| SideReport::from_summary(s, measured, bs)),
-        write: c.write.summary().map(|s| SideReport::from_summary(s, measured, bs)),
+        read: c
+            .read
+            .summary()
+            .map(|s| SideReport::from_summary(s, measured, bs)),
+        write: c
+            .write
+            .summary()
+            .map(|s| SideReport::from_summary(s, measured, bs)),
         errors: c.errors,
     }
 }
@@ -172,7 +185,11 @@ mod tests {
         let r = rep.read.unwrap();
         assert!(r.ios > 100, "expected hundreds of IOs, got {}", r.ios);
         // RamDisk service is a fixed 10 µs.
-        assert!(r.lat.p50 >= 10_000 && r.lat.p50 < 12_000, "p50 {}", r.lat.p50);
+        assert!(
+            r.lat.p50 >= 10_000 && r.lat.p50 < 12_000,
+            "p50 {}",
+            r.lat.p50
+        );
         // QD1 on a 10 µs device ≈ 100k IOPS.
         assert!((80_000.0..110_000.0).contains(&r.iops), "iops {}", r.iops);
         assert!(rep.write.is_none());
@@ -222,7 +239,10 @@ mod tests {
         let rep = rt.block_on(async move { run_job(&fabric, host, disk, &spec).await });
         let w = rep.write.unwrap();
         assert!(w.ios <= 50);
-        assert!(rt.now().as_secs_f64() < 1.0, "run must stop well before 10 s");
+        assert!(
+            rt.now().as_secs_f64() < 1.0,
+            "run must stop well before 10 s"
+        );
     }
 
     #[test]

@@ -128,8 +128,16 @@ mod tests {
             iodepth: 1,
             numjobs: 1,
             measured_ns: 1_000_000,
-            read: Some(SideReport::from_summary(s, SimDuration::from_millis(1), 4096)),
-            write: Some(SideReport::from_summary(s, SimDuration::from_millis(1), 4096)),
+            read: Some(SideReport::from_summary(
+                s,
+                SimDuration::from_millis(1),
+                4096,
+            )),
+            write: Some(SideReport::from_summary(
+                s,
+                SimDuration::from_millis(1),
+                4096,
+            )),
             errors: 0,
         };
         let text = rep.render();
@@ -148,7 +156,11 @@ mod tests {
             iodepth: 4,
             numjobs: 2,
             measured_ns: 42,
-            read: Some(SideReport::from_summary(s, SimDuration::from_micros(10), 512)),
+            read: Some(SideReport::from_summary(
+                s,
+                SimDuration::from_micros(10),
+                512,
+            )),
             write: None,
             errors: 1,
         };

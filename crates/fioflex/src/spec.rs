@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let j = JobSpec::new("t", RwMode::RandRead).bs(512).iodepth(8).numjobs(2).seed(7);
+        let j = JobSpec::new("t", RwMode::RandRead)
+            .bs(512)
+            .iodepth(8)
+            .numjobs(2)
+            .seed(7);
         assert_eq!(j.block_size, 512);
         assert_eq!(j.iodepth, 8);
         assert_eq!(j.numjobs, 2);

@@ -60,11 +60,18 @@ pub async fn verify_region(
     let bs = dev.block_size();
     let io_len = io_blocks as u64 * bs as u64;
     let buf = fabric.alloc(host, io_len).expect("verify buffer");
-    let mut report = VerifyReport { ios_written: 0, ios_verified: 0, mismatches: 0, errors: 0 };
+    let mut report = VerifyReport {
+        ios_written: 0,
+        ios_verified: 0,
+        mismatches: 0,
+        errors: 0,
+    };
     let mut lba = first_block;
     while lba + io_blocks as u64 <= first_block + blocks {
         let data = stamp(lba, seed, io_len as usize);
-        fabric.mem_write(host, buf.addr, &data).expect("stamp write");
+        fabric
+            .mem_write(host, buf.addr, &data)
+            .expect("stamp write");
         match dev.submit(Bio::write(lba, io_blocks, buf)).await {
             Ok(()) => report.ios_written += 1,
             Err(_) => report.errors += 1,
@@ -73,11 +80,15 @@ pub async fn verify_region(
     }
     let mut lba = first_block;
     while lba + io_blocks as u64 <= first_block + blocks {
-        fabric.mem_write(host, buf.addr, &vec![0u8; io_len as usize]).expect("clear");
+        fabric
+            .mem_write(host, buf.addr, &vec![0u8; io_len as usize])
+            .expect("clear");
         match dev.submit(Bio::read(lba, io_blocks, buf)).await {
             Ok(()) => {
                 let mut got = vec![0u8; io_len as usize];
-                fabric.mem_read(host, buf.addr, &mut got).expect("read back");
+                fabric
+                    .mem_read(host, buf.addr, &mut got)
+                    .expect("read back");
                 if got == stamp(lba, seed, io_len as usize) {
                     report.ios_verified += 1;
                 } else {
@@ -138,7 +149,9 @@ mod tests {
                 // Write stamps...
                 let buf = fabric.alloc(host, 4096).unwrap();
                 for lba in (0..64).step_by(8) {
-                    fabric.mem_write(host, buf.addr, &stamp(lba, 9, 4096)).unwrap();
+                    fabric
+                        .mem_write(host, buf.addr, &stamp(lba, 9, 4096))
+                        .unwrap();
                     disk2.submit(Bio::write(lba, 8, buf)).await.unwrap();
                 }
                 // ...corrupt one block behind the verifier's back...

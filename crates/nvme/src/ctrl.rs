@@ -9,7 +9,7 @@
 //! basis of the paper's design (Fig. 4).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
 use pcie::{DeviceId, Fabric, HostId, MmioDevice, NodeId, PhysAddr};
@@ -20,7 +20,9 @@ use crate::medium::BlockStore;
 use crate::spec::command::{SqEntry, SQE_SIZE};
 use crate::spec::completion::{CqEntry, CQE_SIZE};
 use crate::spec::identify::{IdentifyController, IdentifyNamespace};
-use crate::spec::log::{DsmRange, ErrorLogEntry, DSM_MAX_RANGES, DSM_RANGE_LEN, ERROR_LOG_ENTRY_LEN};
+use crate::spec::log::{
+    DsmRange, ErrorLogEntry, DSM_MAX_RANGES, DSM_RANGE_LEN, ERROR_LOG_ENTRY_LEN,
+};
 use crate::spec::opcode::{cns, feature, log_page, AdminOpcode, NvmOpcode};
 use crate::spec::prp;
 use crate::spec::registers::{csts, decode_doorbell, offset, Aqa, Cap, Cc};
@@ -121,8 +123,10 @@ pub struct NvmeController {
     dev: Cell<Option<DeviceId>>,
     weak_self: RefCell<Weak<NvmeController>>,
     regs: RefCell<Regs>,
-    sqs: RefCell<HashMap<u16, Rc<RefCell<SqState>>>>,
-    cqs: RefCell<HashMap<u16, Rc<RefCell<CqState>>>>,
+    // Ordered by qid: `reset` walks these to wake parked workers, and the
+    // wake order must be reproducible run-to-run (determinism).
+    sqs: RefCell<BTreeMap<u16, Rc<RefCell<SqState>>>>,
+    cqs: RefCell<BTreeMap<u16, Rc<RefCell<CqState>>>>,
     exec_sem: Semaphore,
     stats: RefCell<CtrlStats>,
     /// Newest-first Error Information log (capped at 64 entries).
@@ -141,7 +145,12 @@ impl NvmeController {
         store: Rc<BlockStore>,
         config: NvmeConfig,
     ) -> Rc<NvmeController> {
-        let cap = Cap { mqes: config.max_queue_entries - 1, dstrd: 0, to: 20, cqr: true };
+        let cap = Cap {
+            mqes: config.max_queue_entries - 1,
+            dstrd: 0,
+            to: 20,
+            cqr: true,
+        };
         let ctrl = Rc::new(NvmeController {
             fabric: fabric.clone(),
             handle: fabric.handle(),
@@ -152,8 +161,8 @@ impl NvmeController {
             dev: Cell::new(None),
             weak_self: RefCell::new(Weak::new()),
             regs: RefCell::new(Regs::default()),
-            sqs: RefCell::new(HashMap::new()),
-            cqs: RefCell::new(HashMap::new()),
+            sqs: RefCell::new(BTreeMap::new()),
+            cqs: RefCell::new(BTreeMap::new()),
             stats: RefCell::new(CtrlStats::default()),
             error_log: RefCell::new(Vec::new()),
             last_error_lba: Cell::new(None),
@@ -187,7 +196,7 @@ impl NvmeController {
 
     /// Number of live I/O submission queues (diagnostic).
     pub fn live_io_queues(&self) -> usize {
-        self.sqs.borrow().iter().filter(|(qid, _)| **qid != 0).count()
+        self.sqs.borrow().keys().filter(|qid| **qid != 0).count()
     }
 
     fn me(&self) -> Rc<NvmeController> {
@@ -267,12 +276,12 @@ impl NvmeController {
     }
 
     fn reset(&self) {
-        for (_, sq) in self.sqs.borrow_mut().drain() {
+        for (_, sq) in std::mem::take(&mut *self.sqs.borrow_mut()) {
             let mut s = sq.borrow_mut();
             s.alive = false;
             s.doorbell.notify_one();
         }
-        for (_, cq) in self.cqs.borrow_mut().drain() {
+        for (_, cq) in std::mem::take(&mut *self.cqs.borrow_mut()) {
             let mut c = cq.borrow_mut();
             c.alive = false;
             c.space.notify_all();
@@ -334,6 +343,8 @@ impl NvmeController {
                     self.fatal();
                     return;
                 }
+                #[cfg(feature = "sanitize")]
+                self.sanitize_sq_doorbell(qid, s.base, s.entries, s.tail, value as u16);
                 s.tail = value as u16;
                 s.doorbell.notify_one();
             }
@@ -365,7 +376,11 @@ impl NvmeController {
                 let mut raw = [0u8; SQE_SIZE];
                 if self
                     .fabric
-                    .dma_read(dev, PhysAddr(base + head as u64 * SQE_SIZE as u64), &mut raw)
+                    .dma_read(
+                        dev,
+                        PhysAddr(base + head as u64 * SQE_SIZE as u64),
+                        &mut raw,
+                    )
                     .await
                     .is_err()
                 {
@@ -394,7 +409,15 @@ impl NvmeController {
         }
     }
 
-    async fn post_cqe(&self, cqid: u16, result: u32, sq_head: u16, sq_id: u16, cid: u16, status: Status) {
+    async fn post_cqe(
+        &self,
+        cqid: u16,
+        result: u32,
+        sq_head: u16,
+        sq_id: u16,
+        cid: u16,
+        status: Status,
+    ) {
         let dev = self.device_id();
         loop {
             let (slot, phase, base, iv, full, space, alive) = {
@@ -422,6 +445,8 @@ impl NvmeController {
                 space.notified().await;
                 continue;
             }
+            #[cfg(feature = "sanitize")]
+            self.sanitize_cq_post(cqid, slot, phase, base);
             let cqe = CqEntry::new(result, sq_head, sq_id, cid, phase, status);
             if !status.is_success() {
                 self.stats.borrow_mut().errors_returned += 1;
@@ -429,7 +454,11 @@ impl NvmeController {
             }
             let _ = self
                 .fabric
-                .dma_write(dev, PhysAddr(base + slot as u64 * CQE_SIZE as u64), &cqe.encode())
+                .dma_write(
+                    dev,
+                    PhysAddr(base + slot as u64 * CQE_SIZE as u64),
+                    &cqe.encode(),
+                )
                 .await;
             self.stats.borrow_mut().completions_posted += 1;
             if let Some(v) = iv {
@@ -474,7 +503,12 @@ impl NvmeController {
             _ => return (0, Status::INVALID_FIELD),
         };
         let dev = self.device_id();
-        if self.fabric.dma_write(dev, PhysAddr(sqe.prp1), &data).await.is_err() {
+        if self
+            .fabric
+            .dma_write(dev, PhysAddr(sqe.prp1), &data)
+            .await
+            .is_err()
+        {
             return (0, Status::DATA_TRANSFER_ERROR);
         }
         (0, Status::SUCCESS)
@@ -500,7 +534,12 @@ impl NvmeController {
         };
         let n = want_bytes.min(data.len());
         let dev = self.device_id();
-        if self.fabric.dma_write(dev, PhysAddr(sqe.prp1), &data[..n]).await.is_err() {
+        if self
+            .fabric
+            .dma_write(dev, PhysAddr(sqe.prp1), &data[..n])
+            .await
+            .is_err()
+        {
             return (0, Status::DATA_TRANSFER_ERROR);
         }
         (0, Status::SUCCESS)
@@ -664,7 +703,12 @@ impl NvmeController {
         }
         let deallocate = sqe.cdw11 & 0x4 != 0;
         let mut raw = vec![0u8; nr * DSM_RANGE_LEN];
-        if self.fabric.dma_read(self.device_id(), PhysAddr(sqe.prp1), &mut raw).await.is_err() {
+        if self
+            .fabric
+            .dma_read(self.device_id(), PhysAddr(sqe.prp1), &mut raw)
+            .await
+            .is_err()
+        {
             return Status::DATA_TRANSFER_ERROR;
         }
         for chunk in raw.chunks(DSM_RANGE_LEN) {
@@ -673,7 +717,9 @@ impl NvmeController {
                 return Status::LBA_OUT_OF_RANGE;
             }
             if deallocate && range.blocks > 0 {
-                self.store.write_zeroes(range.slba, range.blocks as u64).await;
+                self.store
+                    .write_zeroes(range.slba, range.blocks as u64)
+                    .await;
             }
         }
         Status::SUCCESS
@@ -695,7 +741,9 @@ impl NvmeController {
                 .dma_read(self.device_id(), PhysAddr(sqe.prp2), &mut raw)
                 .await
                 .map_err(|_| Status::DATA_TRANSFER_ERROR)?;
-            raw.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
+            raw.chunks(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
         };
         prp::chunks(sqe.prp1, &rest, len).map_err(|_| Status::INVALID_PRP_OFFSET)
     }
@@ -721,7 +769,12 @@ impl NvmeController {
         let mut cursor = 0usize;
         for (addr, clen) in chunks {
             let slice = &data[cursor..cursor + clen as usize];
-            if self.fabric.dma_write(dev, PhysAddr(addr), slice).await.is_err() {
+            if self
+                .fabric
+                .dma_write(dev, PhysAddr(addr), slice)
+                .await
+                .is_err()
+            {
                 return Status::DATA_TRANSFER_ERROR;
             }
             cursor += clen as usize;
@@ -749,13 +802,86 @@ impl NvmeController {
         let mut cursor = 0usize;
         for (addr, clen) in chunks {
             let slice = &mut data[cursor..cursor + clen as usize];
-            if self.fabric.dma_read(dev, PhysAddr(addr), slice).await.is_err() {
+            if self
+                .fabric
+                .dma_read(dev, PhysAddr(addr), slice)
+                .await
+                .is_err()
+            {
                 return Status::DATA_TRANSFER_ERROR;
             }
             cursor += clen as usize;
         }
         self.store.write(sqe.slba(), &data).await;
         Status::SUCCESS
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl NvmeController {
+    /// Doorbell-before-SQE check: a host must not expose a SQ tail whose
+    /// SQE posted writes are still in flight, or the controller's DMA
+    /// fetch can read a stale slot. The paper's placement (SQ device-side,
+    /// doorbell and SQE on the same path) makes this impossible by
+    /// construction; this check catches drivers that break the ordering.
+    fn sanitize_sq_doorbell(
+        &self,
+        qid: u16,
+        base: u64,
+        entries: u16,
+        old_tail: u16,
+        new_tail: u16,
+    ) {
+        let host = self.fabric.device_host(self.device_id());
+        let mut slot = old_tail;
+        while slot != new_tail {
+            let addr = PhysAddr(base + slot as u64 * SQE_SIZE as u64);
+            if self
+                .fabric
+                .sanitize_pending_posted_overlap(host, addr, SQE_SIZE as u64)
+            {
+                self.handle.sanitize_report(
+                    "nvme.doorbell-before-sqe",
+                    format!("SQ {qid} doorbell exposed slot {slot} while its SQE posted write is still in flight"),
+                );
+            }
+            slot = (slot + 1) % entries;
+        }
+    }
+
+    /// CQ overwrite check: the slot the controller is about to fill must
+    /// not still hold an unconsumed entry. In correct operation the slot
+    /// holds the *previous* lap's entry, whose phase tag is the inverse of
+    /// the one being posted; a matching phase means the controller lapped
+    /// the host's head doorbell.
+    fn sanitize_cq_post(&self, cqid: u16, slot: u16, phase: bool, base: u64) {
+        let host = self.fabric.device_host(self.device_id());
+        let addr = PhysAddr(base + slot as u64 * CQE_SIZE as u64);
+        if self
+            .fabric
+            .sanitize_pending_posted_overlap(host, addr, CQE_SIZE as u64)
+        {
+            // The previous CQE written to this slot has not even applied
+            // yet — the host cannot possibly have consumed it.
+            self.handle.sanitize_report(
+                "nvme.cq-overwrite",
+                format!("CQ {cqid} slot {slot}: overwriting a CQE still in flight"),
+            );
+            return;
+        }
+        let Ok(pcie::Location::Dram(da)) = self.fabric.resolve(host, addr, CQE_SIZE as u64) else {
+            return;
+        };
+        let mut raw = [0u8; CQE_SIZE];
+        if self.fabric.mem_read(da.host, da.addr, &mut raw).is_err() {
+            return;
+        }
+        if CqEntry::peek_phase(&raw) == phase {
+            self.handle.sanitize_report(
+                "nvme.cq-overwrite",
+                format!("CQ {cqid} slot {slot}: posting phase={} over an unconsumed entry with the same phase", phase as u8),
+            );
+        }
     }
 }
 

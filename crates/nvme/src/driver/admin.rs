@@ -77,7 +77,11 @@ pub struct AdminQueue {
 impl AdminQueue {
     /// Reset the controller, program the admin queues, enable, and wait
     /// for ready. This is the §V "manager" bring-up sequence.
-    pub async fn init(fabric: &Fabric, bar: MemRegion, layout: AdminQueueLayout) -> AdminResult<Self> {
+    pub async fn init(
+        fabric: &Fabric,
+        bar: MemRegion,
+        layout: AdminQueueLayout,
+    ) -> AdminResult<Self> {
         assert!(
             layout.asq_cpu.len >= layout.entries as u64 * SQE_SIZE as u64
                 && layout.acq_cpu.len >= layout.entries as u64 * CQE_SIZE as u64,
@@ -90,13 +94,28 @@ impl AdminQueue {
         fabric.cpu_write_u32(host, reg(offset::CC), 0).await?;
         wait_csts(fabric, host, reg(offset::CSTS), false, cap.to).await?;
         // Admin queue attributes + bases (bus addresses!).
-        let aqa = Aqa { asqs: layout.entries - 1, acqs: layout.entries - 1 };
-        fabric.cpu_write_u32(host, reg(offset::AQA), aqa.encode()).await?;
-        fabric.cpu_write(host, reg(offset::ASQ), &layout.asq_bus.to_le_bytes()).await?;
-        fabric.cpu_write(host, reg(offset::ACQ), &layout.acq_bus.to_le_bytes()).await?;
+        let aqa = Aqa {
+            asqs: layout.entries - 1,
+            acqs: layout.entries - 1,
+        };
+        fabric
+            .cpu_write_u32(host, reg(offset::AQA), aqa.encode())
+            .await?;
+        fabric
+            .cpu_write(host, reg(offset::ASQ), &layout.asq_bus.to_le_bytes())
+            .await?;
+        fabric
+            .cpu_write(host, reg(offset::ACQ), &layout.acq_bus.to_le_bytes())
+            .await?;
         // Enable.
-        let cc = Cc { enable: true, iosqes: 6, iocqes: 4 };
-        fabric.cpu_write_u32(host, reg(offset::CC), cc.encode()).await?;
+        let cc = Cc {
+            enable: true,
+            iosqes: 6,
+            iocqes: 4,
+        };
+        fabric
+            .cpu_write_u32(host, reg(offset::CC), cc.encode())
+            .await?;
         wait_csts(fabric, host, reg(offset::CSTS), true, cap.to).await?;
         let sq = SqRing::new(
             fabric,
@@ -110,7 +129,14 @@ impl AdminQueue {
             DomainAddr::new(host, reg(cap.cq_doorbell(0))),
             layout.entries,
         );
-        Ok(AdminQueue { fabric: fabric.clone(), bar, cap, sq, cq, next_cid: 0 })
+        Ok(AdminQueue {
+            fabric: fabric.clone(),
+            bar,
+            cap,
+            sq,
+            cq,
+            next_cid: 0,
+        })
     }
 
     /// The register window this queue drives.
@@ -142,7 +168,8 @@ impl AdminQueue {
         buf: MemRegion,
         buf_bus: u64,
     ) -> AdminResult<IdentifyController> {
-        self.submit(SqEntry::identify_controller(0, buf_bus)).await?;
+        self.submit(SqEntry::identify_controller(0, buf_bus))
+            .await?;
         let mut raw = vec![0u8; IdentifyController::LEN];
         self.fabric.mem_read(buf.host, buf.addr, &mut raw)?;
         Ok(IdentifyController::decode(&raw))
@@ -155,7 +182,8 @@ impl AdminQueue {
         buf: MemRegion,
         buf_bus: u64,
     ) -> AdminResult<IdentifyNamespace> {
-        self.submit(SqEntry::identify_namespace(0, nsid, buf_bus)).await?;
+        self.submit(SqEntry::identify_namespace(0, nsid, buf_bus))
+            .await?;
         let mut raw = vec![0u8; IdentifyNamespace::LEN];
         self.fabric.mem_read(buf.host, buf.addr, &mut raw)?;
         Ok(IdentifyNamespace::decode(&raw))
@@ -163,7 +191,9 @@ impl AdminQueue {
 
     /// Negotiate I/O queue count; returns the number of queue pairs granted.
     pub async fn set_num_queues(&mut self, want: u16) -> AdminResult<u16> {
-        let cqe = self.submit(SqEntry::set_num_queues(0, want - 1, want - 1)).await?;
+        let cqe = self
+            .submit(SqEntry::set_num_queues(0, want - 1, want - 1))
+            .await?;
         let granted_sq = (cqe.result & 0xFFFF) as u16 + 1;
         let granted_cq = (cqe.result >> 16) as u16 + 1;
         Ok(granted_sq.min(granted_cq))
@@ -178,8 +208,12 @@ impl AdminQueue {
         cq_bus: u64,
         iv: Option<u16>,
     ) -> AdminResult<()> {
-        self.submit(SqEntry::create_io_cq(0, qid, entries - 1, cq_bus, iv)).await?;
-        match self.submit(SqEntry::create_io_sq(0, qid, entries - 1, sq_bus, qid)).await {
+        self.submit(SqEntry::create_io_cq(0, qid, entries - 1, cq_bus, iv))
+            .await?;
+        match self
+            .submit(SqEntry::create_io_sq(0, qid, entries - 1, sq_bus, qid))
+            .await
+        {
             Ok(_) => Ok(()),
             Err(e) => {
                 // Roll back the CQ so the qid is reusable.
@@ -207,7 +241,13 @@ impl AdminQueue {
         let bytes = max_entries * ERROR_LOG_ENTRY_LEN;
         assert!(buf.len >= bytes as u64, "log buffer too small");
         let numd0 = (bytes / 4 - 1) as u16;
-        self.submit(SqEntry::get_log_page(0, log_page::ERROR_INFO, numd0, buf_bus)).await?;
+        self.submit(SqEntry::get_log_page(
+            0,
+            log_page::ERROR_INFO,
+            numd0,
+            buf_bus,
+        ))
+        .await?;
         let mut raw = vec![0u8; bytes];
         self.fabric.mem_read(buf.host, buf.addr, &mut raw)?;
         Ok(raw
@@ -220,8 +260,17 @@ impl AdminQueue {
     /// Disable the controller (reset) — used on teardown.
     pub async fn shutdown(&mut self) -> AdminResult<()> {
         let host = self.bar.host;
-        self.fabric.cpu_write_u32(host, self.bar.addr.offset(offset::CC), 0).await?;
-        wait_csts(&self.fabric, host, self.bar.addr.offset(offset::CSTS), false, self.cap.to).await
+        self.fabric
+            .cpu_write_u32(host, self.bar.addr.offset(offset::CC), 0)
+            .await?;
+        wait_csts(
+            &self.fabric,
+            host,
+            self.bar.addr.offset(offset::CSTS),
+            false,
+            self.cap.to,
+        )
+        .await
     }
 }
 
@@ -233,10 +282,9 @@ async fn wait_csts(
     want: bool,
     to_500ms: u8,
 ) -> AdminResult<()> {
-    let deadline = fabric.handle().now()
-        + SimDuration::from_millis(500) * (to_500ms.max(1) as u64);
+    let deadline = fabric.handle().now() + SimDuration::from_millis(500) * (to_500ms.max(1) as u64);
     loop {
-        let v = fabric.cpu_read_u32(host, csts_addr).await? ;
+        let v = fabric.cpu_read_u32(host, csts_addr).await?;
         if v & csts::CFS != 0 {
             return Err(AdminError::ControllerFatal);
         }

@@ -55,7 +55,9 @@ impl LocalDriverConfig {
             queue_depth: 128,
             submission_overhead: SimDuration::from_nanos(700),
             completion_overhead: SimDuration::from_nanos(500),
-            mode: CompletionMode::Interrupt { latency: SimDuration::from_nanos(1_400) },
+            mode: CompletionMode::Interrupt {
+                latency: SimDuration::from_nanos(1_400),
+            },
             max_transfer: 1 << 20,
         }
     }
@@ -67,7 +69,9 @@ impl LocalDriverConfig {
             queue_depth: 128,
             submission_overhead: SimDuration::from_nanos(220),
             completion_overhead: SimDuration::from_nanos(150),
-            mode: CompletionMode::Polling { check_cost: SimDuration::from_nanos(90) },
+            mode: CompletionMode::Polling {
+                check_cost: SimDuration::from_nanos(90),
+            },
             max_transfer: 1 << 20,
         }
     }
@@ -106,7 +110,10 @@ impl LocalNvmeDriver {
         bar: MemRegion,
         cfg: LocalDriverConfig,
     ) -> AdminResult<Rc<LocalNvmeDriver>> {
-        assert_eq!(bar.host, host, "LocalNvmeDriver requires a device in the local domain");
+        assert_eq!(
+            bar.host, host,
+            "LocalNvmeDriver requires a device in the local domain"
+        );
         let entries = cfg.queue_entries;
         let asq = fabric.alloc(host, 32 * SQE_SIZE as u64)?;
         let acq = fabric.alloc(host, 32 * CQE_SIZE as u64)?;
@@ -123,8 +130,12 @@ impl LocalNvmeDriver {
         )
         .await?;
         let idbuf = fabric.alloc(host, 4096)?;
-        let ctrl_info = admin.identify_controller(idbuf, idbuf.addr.as_u64()).await?;
-        let ns_info = admin.identify_namespace(1, idbuf, idbuf.addr.as_u64()).await?;
+        let ctrl_info = admin
+            .identify_controller(idbuf, idbuf.addr.as_u64())
+            .await?;
+        let ns_info = admin
+            .identify_namespace(1, idbuf, idbuf.addr.as_u64())
+            .await?;
         fabric.release(idbuf);
         admin.set_num_queues(1).await?;
 
@@ -186,7 +197,9 @@ impl LocalNvmeDriver {
             CompletionMode::Polling { .. } => None,
         };
         let d2 = driver.clone();
-        fabric.handle().spawn(async move { d2.completion_loop(cq, irq).await });
+        fabric
+            .handle()
+            .spawn(async move { d2.completion_loop(cq, irq).await });
         Ok(driver)
     }
 
@@ -263,8 +276,14 @@ impl LocalNvmeDriver {
         };
         {
             let _q = self.sq_lock.acquire().await;
-            self.sq.push(&sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
-            self.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq
+                .push(&sqe)
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq
+                .ring()
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
         }
         let cqe = rx.await.map_err(|_| BioError::Gone)?;
         self.pending.borrow_mut().free.push(cid);
@@ -306,8 +325,14 @@ impl LocalNvmeDriver {
         );
         {
             let _q = self.sq_lock.acquire().await;
-            self.sq.push(&sqe).await.map_err(|e| BioError::DeviceError(e.to_string()))?;
-            self.sq.ring().await.map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq
+                .push(&sqe)
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
+            self.sq
+                .ring()
+                .await
+                .map_err(|e| BioError::DeviceError(e.to_string()))?;
         }
         let cqe = rx.await.map_err(|_| BioError::Gone)?;
         self.pending.borrow_mut().free.push(cid);
@@ -334,7 +359,10 @@ impl BlockDevice for LocalNvmeDriver {
             validate(self, &bio)?;
             let len = bio.len(self.block_size());
             if len > self.cfg.max_transfer {
-                return Err(BioError::TooLarge { bytes: len, max: self.cfg.max_transfer });
+                return Err(BioError::TooLarge {
+                    bytes: len,
+                    max: self.cfg.max_transfer,
+                });
             }
             if bio.op != BioOp::Flush && bio.buf.host != self.host {
                 return Err(BioError::DeviceError(
@@ -343,7 +371,9 @@ impl BlockDevice for LocalNvmeDriver {
             }
             // Direct DMA to the request buffer: bus address == physical
             // address in the device's own domain.
-            let status = self.io_raw(bio.op, bio.lba, bio.blocks, bio.buf.addr.as_u64()).await?;
+            let status = self
+                .io_raw(bio.op, bio.lba, bio.blocks, bio.buf.addr.as_u64())
+                .await?;
             if status.is_success() {
                 Ok(())
             } else {
@@ -361,6 +391,8 @@ pub async fn attach_local_driver(
     ctrl: &Rc<crate::ctrl::NvmeController>,
     cfg: LocalDriverConfig,
 ) -> AdminResult<Rc<LocalNvmeDriver>> {
-    let bar = fabric.bar_region(ctrl.device_id(), 0).map_err(AdminError::Fabric)?;
+    let bar = fabric
+        .bar_region(ctrl.device_id(), 0)
+        .map_err(AdminError::Fabric)?;
     LocalNvmeDriver::init(fabric, host, bar, cfg).await
 }

@@ -117,19 +117,26 @@ impl BlockStore {
 
     fn read_latency(&self, len: u64) -> SimDuration {
         let mut rng = self.rng.borrow_mut();
-        rng.latency(self.profile.read_median, self.profile.read_sigma, self.profile.floor)
-            + self.stream_cost(len)
+        rng.latency(
+            self.profile.read_median,
+            self.profile.read_sigma,
+            self.profile.floor,
+        ) + self.stream_cost(len)
     }
 
     fn write_latency(&self, len: u64) -> SimDuration {
         let mut rng = self.rng.borrow_mut();
-        rng.latency(self.profile.write_median, self.profile.write_sigma, self.profile.floor)
-            + self.stream_cost(len)
+        rng.latency(
+            self.profile.write_median,
+            self.profile.write_sigma,
+            self.profile.floor,
+        ) + self.stream_cost(len)
     }
 
     /// Check an LBA range against the namespace bounds.
     pub fn in_range(&self, slba: u64, blocks: u64) -> bool {
-        slba.checked_add(blocks).is_some_and(|end| end <= self.capacity_blocks)
+        slba.checked_add(blocks)
+            .is_some_and(|end| end <= self.capacity_blocks)
     }
 
     /// Media read: occupies a channel, samples latency, fills `buf`
@@ -203,7 +210,13 @@ mod tests {
     use std::rc::Rc;
 
     fn store(rt: &SimRuntime) -> Rc<BlockStore> {
-        Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 1))
+        Rc::new(BlockStore::new(
+            rt.handle(),
+            MediaProfile::optane(),
+            512,
+            1 << 20,
+            1,
+        ))
     }
 
     #[test]
@@ -269,11 +282,20 @@ mod tests {
             }));
         }
         rt.run();
-        let finish: Vec<_> = joins.iter().map(|j| j.try_take().unwrap().as_nanos()).collect();
+        let finish: Vec<_> = joins
+            .iter()
+            .map(|j| j.try_take().unwrap().as_nanos())
+            .collect();
         let max = *finish.iter().max().unwrap();
         let min = *finish.iter().min().unwrap();
-        assert!(max > min + 7_000, "second wave must queue behind channels: {finish:?}");
-        assert!(max < 25_000, "two waves should be ~2 media latencies: {max}");
+        assert!(
+            max > min + 7_000,
+            "second wave must queue behind channels: {finish:?}"
+        );
+        assert!(
+            max < 25_000,
+            "two waves should be ~2 media latencies: {max}"
+        );
     }
 
     #[test]
@@ -305,7 +327,13 @@ mod tests {
     fn nand_writes_slower_than_reads() {
         let rt = SimRuntime::new();
         let h = rt.handle();
-        let s = Rc::new(BlockStore::new(rt.handle(), MediaProfile::nand(), 512, 1 << 20, 2));
+        let s = Rc::new(BlockStore::new(
+            rt.handle(),
+            MediaProfile::nand(),
+            512,
+            1 << 20,
+            2,
+        ));
         let s2 = s.clone();
         let (rd, wr) = rt.block_on(async move {
             let mut buf = vec![0u8; 4096];

@@ -35,7 +35,10 @@ pub struct SqRing {
 impl SqRing {
     /// A ring over `ring` with its doorbell at `doorbell`.
     pub fn new(fabric: &Fabric, ring: MemRegion, doorbell: DomainAddr, entries: u16) -> Self {
-        assert!(ring.len >= entries as u64 * SQE_SIZE as u64, "SQ ring region too small");
+        assert!(
+            ring.len >= entries as u64 * SQE_SIZE as u64,
+            "SQ ring region too small"
+        );
         SqRing {
             fabric: fabric.clone(),
             ring,
@@ -78,14 +81,20 @@ impl SqRing {
         let tail = self.tail.get();
         let slot_addr = self.ring.addr.offset(tail as u64 * SQE_SIZE as u64);
         self.tail.set((tail + 1) % self.entries);
-        self.fabric.cpu_write(self.ring.host, slot_addr, &sqe.encode()).await?;
+        self.fabric
+            .cpu_write(self.ring.host, slot_addr, &sqe.encode())
+            .await?;
         Ok(())
     }
 
     /// Ring the tail doorbell (posted 4-byte MMIO write).
     pub async fn ring(&self) -> pcie::Result<()> {
         self.fabric
-            .cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.tail.get() as u32)
+            .cpu_write_u32(
+                self.doorbell.host,
+                self.doorbell.addr,
+                self.tail.get() as u32,
+            )
             .await
     }
 }
@@ -105,9 +114,20 @@ pub struct CqRing {
 impl CqRing {
     /// A ring over `ring` with its doorbell at `doorbell`.
     pub fn new(fabric: &Fabric, ring: MemRegion, doorbell: DomainAddr, entries: u16) -> Self {
-        assert!(ring.len >= entries as u64 * CQE_SIZE as u64, "CQ ring region too small");
+        assert!(
+            ring.len >= entries as u64 * CQE_SIZE as u64,
+            "CQ ring region too small"
+        );
         let watch = fabric.watch(ring.host, ring.addr, entries as u64 * CQE_SIZE as u64);
-        CqRing { fabric: fabric.clone(), ring, doorbell, entries, head: 0, phase: true, watch }
+        CqRing {
+            fabric: fabric.clone(),
+            ring,
+            doorbell,
+            entries,
+            head: 0,
+            phase: true,
+            watch,
+        }
     }
 
     /// Ring capacity in entries.
@@ -160,7 +180,43 @@ impl CqRing {
 
     /// Ring the CQ head doorbell, releasing consumed slots to the device.
     pub async fn ring_doorbell(&self) -> pcie::Result<()> {
-        self.fabric.cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.head as u32).await
+        self.fabric
+            .cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.head as u32)
+            .await
+    }
+
+    /// Sanitizer seam: consume the head slot *without* the phase guard, the
+    /// way an interrupt-driven driver that trusts the MSI unconditionally
+    /// would. Reports `nvme.cq-stale-phase` when the consumed entry's phase
+    /// tag does not match the ring's expectation — i.e. the driver just
+    /// decoded a stale or not-yet-delivered completion.
+    #[cfg(feature = "sanitize")]
+    pub fn pop_unchecked(&mut self) -> CqEntry {
+        let mut raw = [0u8; CQE_SIZE];
+        self.fabric
+            .mem_read(
+                self.ring.host,
+                self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+                &mut raw,
+            )
+            .expect("CQ ring read");
+        if CqEntry::peek_phase(&raw) != self.phase {
+            self.fabric.handle().sanitize_report(
+                "nvme.cq-stale-phase",
+                format!(
+                    "consumed CQE at slot {} with phase {} but the ring expects {}",
+                    self.head,
+                    CqEntry::peek_phase(&raw) as u8,
+                    self.phase as u8
+                ),
+            );
+        }
+        let cqe = CqEntry::decode(&raw);
+        self.head = (self.head + 1) % self.entries;
+        if self.head == 0 {
+            self.phase = !self.phase;
+        }
+        cqe
     }
 }
 
@@ -225,7 +281,11 @@ mod tests {
         let write_cqe = |slot: u16, cid: u16, phase: bool| {
             let cqe = CqEntry::new(0, 0, 1, cid, phase, Status::SUCCESS);
             fabric
-                .mem_write(host, ring.addr.offset(slot as u64 * CQE_SIZE as u64), &cqe.encode())
+                .mem_write(
+                    host,
+                    ring.addr.offset(slot as u64 * CQE_SIZE as u64),
+                    &cqe.encode(),
+                )
                 .unwrap();
         };
         write_cqe(0, 10, true);

@@ -98,17 +98,31 @@ impl SqEntry {
 
     /// NVM Write.
     pub fn write(cid: u16, nsid: u32, slba: u64, nlb0: u16, prp1: u64, prp2: u64) -> SqEntry {
-        SqEntry { opcode: NvmOpcode::Write as u8, ..Self::read(cid, nsid, slba, nlb0, prp1, prp2) }
+        SqEntry {
+            opcode: NvmOpcode::Write as u8,
+            ..Self::read(cid, nsid, slba, nlb0, prp1, prp2)
+        }
     }
 
     /// NVM Flush.
     pub fn flush(cid: u16, nsid: u32) -> SqEntry {
-        SqEntry { opcode: NvmOpcode::Flush as u8, cid, nsid, ..Default::default() }
+        SqEntry {
+            opcode: NvmOpcode::Flush as u8,
+            cid,
+            nsid,
+            ..Default::default()
+        }
     }
 
     /// Dataset Management (deallocate): `nr0` is the 0-based range count;
     /// PRP1 points at the range list.
-    pub fn dataset_management(cid: u16, nsid: u32, nr0: u8, deallocate: bool, prp1: u64) -> SqEntry {
+    pub fn dataset_management(
+        cid: u16,
+        nsid: u32,
+        nr0: u8,
+        deallocate: bool,
+        prp1: u64,
+    ) -> SqEntry {
         SqEntry {
             opcode: NvmOpcode::DatasetManagement as u8,
             cid,
@@ -280,7 +294,12 @@ mod tests {
 
     #[test]
     fn dw0_packing() {
-        let sqe = SqEntry { opcode: 0xAB, fuse: 2, cid: 0xCDEF, ..Default::default() };
+        let sqe = SqEntry {
+            opcode: 0xAB,
+            fuse: 2,
+            cid: 0xCDEF,
+            ..Default::default()
+        };
         let enc = sqe.encode();
         let dw0 = u32::from_le_bytes(enc[0..4].try_into().unwrap());
         assert_eq!(dw0 & 0xFF, 0xAB);

@@ -29,8 +29,22 @@ pub struct CqEntry {
 
 impl CqEntry {
     /// Build an entry with a packed status field.
-    pub fn new(result: u32, sq_head: u16, sq_id: u16, cid: u16, phase: bool, status: Status) -> Self {
-        CqEntry { result, sq_head, sq_id, cid, phase, status: status.to_field() }
+    pub fn new(
+        result: u32,
+        sq_head: u16,
+        sq_id: u16,
+        cid: u16,
+        phase: bool,
+        status: Status,
+    ) -> Self {
+        CqEntry {
+            result,
+            sq_head,
+            sq_id,
+            cid,
+            phase,
+            status: status.to_field(),
+        }
     }
 
     /// The decoded status field.

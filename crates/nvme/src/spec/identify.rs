@@ -85,7 +85,7 @@ impl IdentifyNamespace {
         b[16..24].copy_from_slice(&self.nsze.to_le_bytes()); // nuse = nsze
         b[25] = 0; // nlbaf: one format
         b[26] = 0; // flbas: format 0
-        // LBA format 0 descriptor at offset 128: ms(16) | lbads(8) | rp.
+                   // LBA format 0 descriptor at offset 128: ms(16) | lbads(8) | rp.
         b[130] = self.lbads;
         b
     }
@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn namespace_roundtrip_and_block_size() {
-        let ns = IdentifyNamespace { nsze: 1 << 20, ncap: 1 << 20, lbads: 9 };
+        let ns = IdentifyNamespace {
+            nsze: 1 << 20,
+            ncap: 1 << 20,
+            lbads: 9,
+        };
         let dec = IdentifyNamespace::decode(&ns.encode());
         assert_eq!(dec, ns);
         assert_eq!(dec.block_size(), 512);

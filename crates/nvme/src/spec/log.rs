@@ -70,7 +70,11 @@ pub const DSM_MAX_RANGES: usize = 256;
 impl DsmRange {
     /// A plain deallocate range.
     pub fn new(slba: u64, blocks: u32) -> DsmRange {
-        DsmRange { context: 0, blocks, slba }
+        DsmRange {
+            context: 0,
+            blocks,
+            slba,
+        }
     }
 
     /// Serialize to the 16-byte on-wire layout.

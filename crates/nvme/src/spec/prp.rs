@@ -64,16 +64,28 @@ pub fn build_prps(bus_addr: u64, len: u64, list_base: u64) -> Result<PrpSet, Prp
     }
     let first_page = bus_addr - off;
     if pages == 1 {
-        return Ok(PrpSet { prp1: bus_addr, prp2: 0, list: Vec::new() });
+        return Ok(PrpSet {
+            prp1: bus_addr,
+            prp2: 0,
+            list: Vec::new(),
+        });
     }
     if pages == 2 {
-        return Ok(PrpSet { prp1: bus_addr, prp2: first_page + PAGE, list: Vec::new() });
+        return Ok(PrpSet {
+            prp1: bus_addr,
+            prp2: first_page + PAGE,
+            list: Vec::new(),
+        });
     }
     if !list_base.is_multiple_of(PAGE) {
         return Err(PrpError::UnalignedEntry(list_base));
     }
     let list: Vec<u64> = (1..pages).map(|i| first_page + i * PAGE).collect();
-    Ok(PrpSet { prp1: bus_addr, prp2: list_base, list })
+    Ok(PrpSet {
+        prp1: bus_addr,
+        prp2: list_base,
+        list,
+    })
 }
 
 /// Expand PRP entries into contiguous `(bus_addr, len)` DMA chunks, as the
@@ -100,7 +112,9 @@ pub fn chunks(prp1: u64, rest: &[u64], len: u64) -> Result<Vec<(u64, u64)>, PrpE
         remaining -= n;
     }
     if remaining > 0 {
-        return Err(PrpError::TooLarge { pages: pages_spanned(off, len) });
+        return Err(PrpError::TooLarge {
+            pages: pages_spanned(off, len),
+        });
     }
     Ok(out)
 }
@@ -164,13 +178,19 @@ mod tests {
     #[test]
     fn too_large_rejected() {
         let too_big = (MAX_PAGES + 1) * PAGE;
-        assert!(matches!(build_prps(0, too_big, 0x1000), Err(PrpError::TooLarge { .. })));
+        assert!(matches!(
+            build_prps(0, too_big, 0x1000),
+            Err(PrpError::TooLarge { .. })
+        ));
     }
 
     #[test]
     fn insufficient_entries_detected() {
         // 3 pages of data but only PRP1+PRP2 provided.
-        assert!(matches!(chunks(0x1000, &[0x2000], 3 * 4096), Err(PrpError::TooLarge { .. })));
+        assert!(matches!(
+            chunks(0x1000, &[0x2000], 3 * 4096),
+            Err(PrpError::TooLarge { .. })
+        ));
     }
 
     proptest! {

@@ -83,7 +83,9 @@ pub struct Cc {
 impl Cc {
     /// Pack into the 32-bit register value.
     pub fn encode(&self) -> u32 {
-        (self.enable as u32) | ((self.iosqes as u32 & 0xF) << 16) | ((self.iocqes as u32 & 0xF) << 20)
+        (self.enable as u32)
+            | ((self.iosqes as u32 & 0xF) << 16)
+            | ((self.iocqes as u32 & 0xF) << 20)
     }
 
     /// Unpack from the 32-bit register value.
@@ -121,7 +123,10 @@ impl Aqa {
 
     /// Unpack from the 32-bit register value.
     pub fn decode(v: u32) -> Aqa {
-        Aqa { asqs: (v & 0xFFF) as u16, acqs: ((v >> 16) & 0xFFF) as u16 }
+        Aqa {
+            asqs: (v & 0xFFF) as u16,
+            acqs: ((v >> 16) & 0xFFF) as u16,
+        }
     }
 }
 
@@ -147,7 +152,12 @@ mod tests {
 
     #[test]
     fn cap_roundtrip() {
-        let cap = Cap { mqes: 1023, dstrd: 0, to: 20, cqr: true };
+        let cap = Cap {
+            mqes: 1023,
+            dstrd: 0,
+            to: 20,
+            cqr: true,
+        };
         assert_eq!(Cap::decode(cap.encode()), cap);
         assert_eq!(cap.doorbell_stride(), 4);
         assert_eq!(cap.sq_doorbell(0), 0x1000);
@@ -158,7 +168,11 @@ mod tests {
 
     #[test]
     fn cc_roundtrip() {
-        let cc = Cc { enable: true, iosqes: 6, iocqes: 4 };
+        let cc = Cc {
+            enable: true,
+            iosqes: 6,
+            iocqes: 4,
+        };
         assert_eq!(Cc::decode(cc.encode()), cc);
     }
 

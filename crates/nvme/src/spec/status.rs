@@ -46,7 +46,10 @@ impl Status {
 
     /// Unpack from the 15-bit status field.
     pub fn from_field(f: u16) -> Status {
-        Status { sc: (f & 0xFF) as u8, sct: ((f >> 8) & 0x7) as u8 }
+        Status {
+            sc: (f & 0xFF) as u8,
+            sct: ((f >> 8) & 0x7) as u8,
+        }
     }
 }
 

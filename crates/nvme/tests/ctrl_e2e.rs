@@ -20,9 +20,26 @@ fn bed() -> Bed {
     let rt = SimRuntime::new();
     let fabric = Fabric::new(rt.handle(), FabricParams::default());
     let host = fabric.add_host(256 << 20);
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 7));
-    let ctrl = NvmeController::attach(&fabric, host, fabric.rc_node(host), store, NvmeConfig::default());
-    Bed { rt, fabric, host, ctrl }
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        7,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        host,
+        fabric.rc_node(host),
+        store,
+        NvmeConfig::default(),
+    );
+    Bed {
+        rt,
+        fabric,
+        host,
+        ctrl,
+    }
 }
 
 #[test]
@@ -32,7 +49,9 @@ fn bring_up_and_identify() {
     let host = b.host;
     let ctrl = b.ctrl.clone();
     let drv = b.rt.block_on(async move {
-        attach_local_driver(&fabric, host, &ctrl, LocalDriverConfig::linux()).await.unwrap()
+        attach_local_driver(&fabric, host, &ctrl, LocalDriverConfig::linux())
+            .await
+            .unwrap()
     });
     assert_eq!(drv.ctrl_info.model, "Simulated Optane P4800X");
     assert_eq!(drv.ctrl_info.nn, 1);
@@ -84,7 +103,9 @@ fn large_transfer_uses_prp_list() {
         let pattern: Vec<u8> = (0..(64 << 10) as u32).map(|i| (i % 253) as u8).collect();
         fabric.mem_write(host, buf.addr, &pattern).unwrap();
         drv.submit(Bio::write(0, 128, buf)).await.unwrap();
-        fabric.mem_write(host, buf.addr, &vec![0u8; 64 << 10]).unwrap();
+        fabric
+            .mem_write(host, buf.addr, &vec![0u8; 64 << 10])
+            .unwrap();
         drv.submit(Bio::read(0, 128, buf)).await.unwrap();
         let mut out = vec![0u8; 64 << 10];
         fabric.mem_read(host, buf.addr, &mut out).unwrap();
@@ -106,7 +127,9 @@ fn out_of_range_returns_device_status() {
         let buf = fabric.alloc(host, 4096).unwrap();
         // Bypass blklayer validation via io_raw to reach the controller's
         // own LBA check.
-        drv.io_raw(BioOp::Read, (1 << 20) - 1, 8, buf.addr.as_u64()).await.unwrap()
+        drv.io_raw(BioOp::Read, (1 << 20) - 1, 8, buf.addr.as_u64())
+            .await
+            .unwrap()
     });
     assert_eq!(err, nvme::Status::LBA_OUT_OF_RANGE);
     assert_eq!(b.ctrl.stats().errors_returned, 1);
@@ -126,7 +149,11 @@ fn blklayer_validation_rejects_before_device() {
         drv.submit(Bio::read(1 << 20, 8, buf)).await.unwrap_err()
     });
     assert!(matches!(err, BioError::OutOfRange { .. }));
-    assert_eq!(b.ctrl.stats().errors_returned, 0, "must not reach the device");
+    assert_eq!(
+        b.ctrl.stats().errors_returned,
+        0,
+        "must not reach the device"
+    );
 }
 
 #[test]
@@ -154,7 +181,9 @@ fn polling_beats_interrupts_on_latency() {
         let ctrl = b.ctrl.clone();
         let h = b.rt.handle();
         b.rt.block_on(async move {
-            let drv = attach_local_driver(&fabric, host, &ctrl, cfg).await.unwrap();
+            let drv = attach_local_driver(&fabric, host, &ctrl, cfg)
+                .await
+                .unwrap();
             let buf = fabric.alloc(host, 4096).unwrap();
             let t0 = h.now();
             drv.submit(Bio::read(0, 8, buf)).await.unwrap();
@@ -214,7 +243,9 @@ fn queue_wraparound_survives_many_ios() {
     cfg.queue_entries = 8;
     cfg.queue_depth = 4;
     let ok = b.rt.block_on(async move {
-        let drv = attach_local_driver(&fabric, host, &ctrl, cfg).await.unwrap();
+        let drv = attach_local_driver(&fabric, host, &ctrl, cfg)
+            .await
+            .unwrap();
         let buf = fabric.alloc(host, 512).unwrap();
         for i in 0..50u64 {
             let data = [(i % 251) as u8; 512];
@@ -278,7 +309,9 @@ fn dsm_out_of_range_is_rejected() {
         let drv = attach_local_driver(&fabric, host, &ctrl, LocalDriverConfig::spdk())
             .await
             .unwrap();
-        drv.deallocate(&[nvme::spec::log::DsmRange::new(u64::MAX - 8, 16)]).await.unwrap()
+        drv.deallocate(&[nvme::spec::log::DsmRange::new(u64::MAX - 8, 16)])
+            .await
+            .unwrap()
     });
     assert_eq!(status, nvme::Status::LBA_OUT_OF_RANGE);
 }
@@ -297,9 +330,15 @@ fn error_log_records_failures_newest_first() {
         // hard to emit via the driver, so a second out-of-range at another
         // LBA.
         let buf = fabric.alloc(host, 4096).unwrap();
-        let s1 = drv.io_raw(BioOp::Read, (1 << 20) + 5, 8, buf.addr.as_u64()).await.unwrap();
+        let s1 = drv
+            .io_raw(BioOp::Read, (1 << 20) + 5, 8, buf.addr.as_u64())
+            .await
+            .unwrap();
         assert!(!s1.is_success());
-        let s2 = drv.io_raw(BioOp::Read, (1 << 20) + 77, 8, buf.addr.as_u64()).await.unwrap();
+        let s2 = drv
+            .io_raw(BioOp::Read, (1 << 20) + 77, 8, buf.addr.as_u64())
+            .await
+            .unwrap();
         assert!(!s2.is_success());
         ctrl.error_log()
     });
@@ -329,7 +368,10 @@ fn error_log_readable_via_get_log_page() {
                 .await
                 .unwrap();
             let buf = fabric.alloc(host, 4096).unwrap();
-            let _ = drv.io_raw(BioOp::Read, (1 << 20) + 9, 8, buf.addr.as_u64()).await.unwrap();
+            let _ = drv
+                .io_raw(BioOp::Read, (1 << 20) + 9, 8, buf.addr.as_u64())
+                .await
+                .unwrap();
         }
         // ...then re-own the controller with a fresh admin queue. (The
         // re-init resets the controller, which clears the log — so trigger
@@ -351,10 +393,15 @@ fn error_log_readable_via_get_log_page() {
         .unwrap();
         assert!(ctrl.error_log().is_empty(), "reset must clear the log");
         // Issue a bad admin command (invalid identify CNS) to log an error.
-        let err = admin.submit(nvme::SqEntry::identify(0, 0x55, 0, asq.addr.as_u64())).await;
+        let err = admin
+            .submit(nvme::SqEntry::identify(0, 0x55, 0, asq.addr.as_u64()))
+            .await;
         assert!(err.is_err());
         let logbuf = fabric.alloc(host, 4096).unwrap();
-        let entries = admin.read_error_log(logbuf, logbuf.addr.as_u64(), 8).await.unwrap();
+        let entries = admin
+            .read_error_log(logbuf, logbuf.addr.as_u64(), 8)
+            .await
+            .unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].status, nvme::Status::INVALID_FIELD);
         assert_eq!(entries[0].sqid, 0, "admin queue error");

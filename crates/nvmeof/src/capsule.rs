@@ -114,7 +114,11 @@ mod tests {
     fn remote_capsule_roundtrip() {
         let c = CommandCapsule {
             sqe: SqEntry::read(5, 1, 100, 7, 0, 0),
-            data: DataRef::Remote { raddr: 0xDEAD_BEEF, rkey: 0x8000_0001, len: 4096 },
+            data: DataRef::Remote {
+                raddr: 0xDEAD_BEEF,
+                rkey: 0x8000_0001,
+                len: 4096,
+            },
         };
         assert_eq!(CommandCapsule::decode(&c.encode()), Some(c));
     }
@@ -132,7 +136,10 @@ mod tests {
 
     #[test]
     fn dataless_capsule_roundtrip() {
-        let c = CommandCapsule { sqe: SqEntry::flush(1, 1), data: DataRef::None };
+        let c = CommandCapsule {
+            sqe: SqEntry::flush(1, 1),
+            data: DataRef::None,
+        };
         assert_eq!(CommandCapsule::decode(&c.encode()), Some(c));
     }
 

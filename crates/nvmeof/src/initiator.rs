@@ -7,7 +7,7 @@
 //! kernel's RDMA completion path.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
@@ -80,7 +80,7 @@ pub struct NvmfInitiator {
     capsule_stride: u64,
     tags: Semaphore,
     free_cids: RefCell<Vec<u16>>,
-    pending: Rc<RefCell<HashMap<u16, oneshot::Sender<nvme::CqEntry>>>>,
+    pending: Rc<RefCell<BTreeMap<u16, oneshot::Sender<nvme::CqEntry>>>>,
     stats: RefCell<InitiatorStats>,
 }
 
@@ -103,13 +103,20 @@ impl NvmfInitiator {
         let qd = cfg.queue_depth;
         let icd_size = target.in_capsule_data_size();
         let capsule_stride = (crate::capsule::CAPSULE_HEADER as u64 + icd_size).next_power_of_two();
-        let cmd_region = fabric.alloc(host, qd as u64 * capsule_stride).expect("initiator OOM");
+        let cmd_region = fabric
+            .alloc(host, qd as u64 * capsule_stride)
+            .expect("initiator OOM");
         let cmd_mr = net.register_mr(nic, cmd_region, Access::local_only());
         // Response receive buffers (64 B each).
         let resp_region = fabric.alloc(host, qd as u64 * 64).expect("initiator OOM");
         let resp_mr = net.register_mr(nic, resp_region, Access::local_only());
         for tag in 0..qd {
-            qp.post_recv(tag as u64, resp_mr.lkey, resp_region.addr.as_u64() + tag as u64 * 64, 64);
+            qp.post_recv(
+                tag as u64,
+                resp_mr.lkey,
+                resp_region.addr.as_u64() + tag as u64 * 64,
+                64,
+            );
         }
 
         let init = Rc::new(NvmfInitiator {
@@ -128,7 +135,7 @@ impl NvmfInitiator {
             capsule_stride,
             tags: Semaphore::new(qd),
             free_cids: RefCell::new((0..qd as u16).rev().collect()),
-            pending: Rc::new(RefCell::new(HashMap::new())),
+            pending: Rc::new(RefCell::new(BTreeMap::new())),
             stats: RefCell::new(InitiatorStats::default()),
             cfg,
         });
@@ -146,7 +153,9 @@ impl NvmfInitiator {
                 }
                 let addr = resp_region.addr.as_u64() + wc.wr_id * 64;
                 let mut raw = [0u8; 16];
-                me.fabric.mem_read(me.host, PhysAddr(addr), &mut raw).expect("resp read");
+                me.fabric
+                    .mem_read(me.host, PhysAddr(addr), &mut raw)
+                    .expect("resp read");
                 // Recycle the response buffer.
                 me.qp.post_recv(wc.wr_id, resp_mr.lkey, addr, 64);
                 if let Some(cqe) = decode_response(&raw) {
@@ -168,7 +177,11 @@ impl NvmfInitiator {
         let len = bio.len(self.block_size);
         let _tag = self.tags.acquire().await;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let cid = self.free_cids.borrow_mut().pop().expect("tag guarantees cid");
+        let cid = self
+            .free_cids
+            .borrow_mut()
+            .pop()
+            .expect("tag guarantees cid");
         let result = self.do_io_cid(&bio, cid, len).await;
         self.free_cids.borrow_mut().push(cid);
         self.handle.sleep(self.cfg.completion_overhead).await;
@@ -179,7 +192,13 @@ impl NvmfInitiator {
         let nlb0 = bio.blocks.saturating_sub(1) as u16;
         // Build the capsule.
         let (capsule, mr_to_drop) = match bio.op {
-            BioOp::Flush => (CommandCapsule { sqe: SqEntry::flush(cid, 1), data: DataRef::None }, None),
+            BioOp::Flush => (
+                CommandCapsule {
+                    sqe: SqEntry::flush(cid, 1),
+                    data: DataRef::None,
+                },
+                None,
+            ),
             BioOp::Write if len <= self.icd_size => {
                 // In-capsule data: read the user buffer and inline it.
                 self.stats.borrow_mut().icd_writes += 1;
@@ -206,7 +225,9 @@ impl NvmfInitiator {
                 };
                 // FRWR: posting the registration WR costs real time.
                 self.handle.sleep(self.cfg.mr_register).await;
-                let mr = self.net.register_mr(self.nic, bio.buf.slice(0, len), access);
+                let mr = self
+                    .net
+                    .register_mr(self.nic, bio.buf.slice(0, len), access);
                 let sqe = match op {
                     BioOp::Read => {
                         self.stats.borrow_mut().reads += 1;
@@ -220,7 +241,11 @@ impl NvmfInitiator {
                 (
                     CommandCapsule {
                         sqe,
-                        data: DataRef::Remote { raddr: bio.buf.addr.as_u64(), rkey: mr.rkey, len },
+                        data: DataRef::Remote {
+                            raddr: bio.buf.addr.as_u64(),
+                            rkey: mr.rkey,
+                            len,
+                        },
                     },
                     Some(mr.lkey),
                 )
@@ -276,10 +301,15 @@ impl BlockDevice for NvmfInitiator {
             let len = bio.len(self.block_size);
             if bio.op != BioOp::Flush {
                 if len > self.max_io {
-                    return Err(BioError::TooLarge { bytes: len, max: self.max_io });
+                    return Err(BioError::TooLarge {
+                        bytes: len,
+                        max: self.max_io,
+                    });
                 }
                 if bio.buf.host != self.host {
-                    return Err(BioError::DeviceError("buffer must be initiator-local".into()));
+                    return Err(BioError::DeviceError(
+                        "buffer must be initiator-local".into(),
+                    ));
                 }
             }
             self.do_io(bio).await

@@ -135,13 +135,23 @@ impl NvmfTarget {
     pub fn new_connection(self: &Rc<Self>) -> Qp {
         let qp = self.net.create_qp(self.nic);
         let qd = self.cfg.queue_depth;
-        let capsule_len = (CAPSULE_HEADER as u64 + self.cfg.in_capsule_data_size).next_power_of_two();
+        let capsule_len =
+            (CAPSULE_HEADER as u64 + self.cfg.in_capsule_data_size).next_power_of_two();
         // Command-capsule receive buffers + data staging buffers.
-        let cmd_region = self.fabric.alloc(self.host, qd as u64 * capsule_len).expect("target OOM");
-        let cmd_mr = self.net.register_mr(self.nic, cmd_region, Access::local_only());
-        let staging_region =
-            self.fabric.alloc(self.host, qd as u64 * self.cfg.max_io_size).expect("target OOM");
-        let staging_mr = self.net.register_mr(self.nic, staging_region, Access::local_only());
+        let cmd_region = self
+            .fabric
+            .alloc(self.host, qd as u64 * capsule_len)
+            .expect("target OOM");
+        let cmd_mr = self
+            .net
+            .register_mr(self.nic, cmd_region, Access::local_only());
+        let staging_region = self
+            .fabric
+            .alloc(self.host, qd as u64 * self.cfg.max_io_size)
+            .expect("target OOM");
+        let staging_mr = self
+            .net
+            .register_mr(self.nic, staging_region, Access::local_only());
         for tag in 0..qd {
             qp.post_recv(
                 tag as u64,
@@ -151,8 +161,13 @@ impl NvmfTarget {
             );
         }
         // Small per-tag response buffers, separate from data staging.
-        let resp_region = self.fabric.alloc(self.host, qd as u64 * 64).expect("target OOM");
-        let resp_mr = self.net.register_mr(self.nic, resp_region, Access::local_only());
+        let resp_region = self
+            .fabric
+            .alloc(self.host, qd as u64 * 64)
+            .expect("target OOM");
+        let resp_mr = self
+            .net
+            .register_mr(self.nic, resp_region, Access::local_only());
         let conn = Rc::new(Connection {
             target: self.clone(),
             qp: qp.clone(),
@@ -163,7 +178,7 @@ impl NvmfTarget {
             staging_lkey: staging_mr.lkey,
             resp_region,
             resp_lkey: resp_mr.lkey,
-            pending_sends: RefCell::new(std::collections::HashMap::new()),
+            pending_sends: RefCell::new(std::collections::BTreeMap::new()),
         });
         let recv_cq = qp.recv_cq();
         let c2 = conn.clone();
@@ -195,7 +210,8 @@ struct Connection {
     resp_region: MemRegion,
     resp_lkey: u32,
     /// Send completions awaited by command handlers, keyed by wr_id.
-    pending_sends: RefCell<std::collections::HashMap<u64, simcore::sync::oneshot::Sender<Wc>>>,
+    /// Ordered map so connection teardown drains waiters deterministically.
+    pending_sends: RefCell<std::collections::BTreeMap<u64, simcore::sync::oneshot::Sender<Wc>>>,
 }
 
 impl Connection {
@@ -241,8 +257,11 @@ impl Connection {
             Some(NvmOpcode::Read) => self.do_read(tag, &sqe, &capsule.data).await,
             Some(NvmOpcode::Write) => self.do_write(tag, &sqe, &capsule.data).await,
             Some(NvmOpcode::Flush) => {
-                let status =
-                    t.driver.io_raw(BioOp::Flush, 0, 0, 0).await.unwrap_or(Status::DATA_TRANSFER_ERROR);
+                let status = t
+                    .driver
+                    .io_raw(BioOp::Flush, 0, 0, 0)
+                    .await
+                    .unwrap_or(Status::DATA_TRANSFER_ERROR);
                 self.make_cqe(&sqe, status)
             }
             _ => self.make_cqe(&sqe, Status::INVALID_OPCODE),
@@ -260,7 +279,12 @@ impl Connection {
     async fn do_read(&self, tag: u64, sqe: &SqEntry, data: &DataRef) -> CqEntry {
         let t = &self.target;
         let len = sqe.num_blocks() * t.block_size() as u64;
-        let DataRef::Remote { raddr, rkey, len: dlen } = *data else {
+        let DataRef::Remote {
+            raddr,
+            rkey,
+            len: dlen,
+        } = *data
+        else {
             return self.make_cqe(sqe, Status::INVALID_FIELD);
         };
         if len > t.cfg.max_io_size || dlen < len {
@@ -269,7 +293,12 @@ impl Connection {
         // Local NVMe read into the staging buffer (poll-mode driver).
         let status = match t
             .driver
-            .io_raw(BioOp::Read, sqe.slba(), sqe.num_blocks() as u32, self.staging(tag))
+            .io_raw(
+                BioOp::Read,
+                sqe.slba(),
+                sqe.num_blocks() as u32,
+                self.staging(tag),
+            )
             .await
         {
             Ok(s) => s,
@@ -311,7 +340,11 @@ impl Connection {
                 // capsule header in our recv buffer.
                 self.tag_addr(tag) + CAPSULE_HEADER as u64
             }
-            DataRef::Remote { raddr, rkey, len: dlen } => {
+            DataRef::Remote {
+                raddr,
+                rkey,
+                len: dlen,
+            } => {
                 if *dlen < len {
                     return self.make_cqe(sqe, Status::INVALID_FIELD);
                 }
@@ -342,7 +375,12 @@ impl Connection {
         };
         let status = match t
             .driver
-            .io_raw(BioOp::Write, sqe.slba(), sqe.num_blocks() as u32, staged_bus)
+            .io_raw(
+                BioOp::Write,
+                sqe.slba(),
+                sqe.num_blocks() as u32,
+                staged_bus,
+            )
             .await
         {
             Ok(s) => s,
@@ -356,7 +394,8 @@ impl Connection {
         let t = &self.target;
         // Repost the command buffer before answering so the initiator can
         // immediately reuse the slot.
-        self.qp.post_recv(tag, self.cmd_lkey, self.tag_addr(tag), self.capsule_len);
+        self.qp
+            .post_recv(tag, self.cmd_lkey, self.tag_addr(tag), self.capsule_len);
         let Some(cqe) = cqe else { return };
         t.handle.sleep(t.cfg.resp_overhead).await;
         let resp = encode_response(&cqe);

@@ -29,7 +29,13 @@ fn bed() -> (SimRuntime, Rc<Parts>) {
     let net = IbNet::new(&fabric, IbParams::default());
     let nic_i = net.add_nic(initiator_host);
     let nic_t = net.add_nic(target_host);
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 5));
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        5,
+    ));
     let ctrl = NvmeController::attach(
         &fabric,
         target_host,
@@ -37,15 +43,32 @@ fn bed() -> (SimRuntime, Rc<Parts>) {
         store,
         NvmeConfig::default(),
     );
-    (rt, Rc::new(Parts { fabric, initiator_host, target_host, net, nic_i, nic_t, ctrl }))
+    (
+        rt,
+        Rc::new(Parts {
+            fabric,
+            initiator_host,
+            target_host,
+            net,
+            nic_i,
+            nic_t,
+            ctrl,
+        }),
+    )
 }
 
 async fn connect(p: &Parts) -> (Rc<NvmfTarget>, Rc<NvmfInitiator>) {
     let driver = attach_local_driver(&p.fabric, p.target_host, &p.ctrl, LocalDriverConfig::spdk())
         .await
         .unwrap();
-    let target =
-        NvmfTarget::new(&p.fabric, &p.net, p.nic_t, p.target_host, driver, TargetConfig::default());
+    let target = NvmfTarget::new(
+        &p.fabric,
+        &p.net,
+        p.nic_t,
+        p.target_host,
+        driver,
+        TargetConfig::default(),
+    );
     let init = NvmfInitiator::connect(
         &p.fabric,
         &p.net,
@@ -70,7 +93,9 @@ fn remote_write_read_integrity() {
             p.fabric.mem_write(host, buf.addr, &pattern).unwrap();
             // 8 KiB write: exceeds 4 KiB ICD => RDMA READ path.
             init.submit(Bio::write(40, 16, buf)).await.unwrap();
-            p.fabric.mem_write(host, buf.addr, &vec![0u8; 8192]).unwrap();
+            p.fabric
+                .mem_write(host, buf.addr, &vec![0u8; 8192])
+                .unwrap();
             init.submit(Bio::read(40, 16, buf)).await.unwrap();
             let mut out = vec![0u8; 8192];
             p.fabric.mem_read(host, buf.addr, &mut out).unwrap();
@@ -91,7 +116,9 @@ fn small_write_uses_in_capsule_data() {
             let buf = p.fabric.alloc(host, 4096).unwrap();
             p.fabric.mem_write(host, buf.addr, &[0x3Cu8; 4096]).unwrap();
             init.submit(Bio::write(0, 8, buf)).await.unwrap();
-            p.fabric.mem_write(host, buf.addr, &vec![0u8; 4096]).unwrap();
+            p.fabric
+                .mem_write(host, buf.addr, &vec![0u8; 4096])
+                .unwrap();
             init.submit(Bio::read(0, 8, buf)).await.unwrap();
             let mut out = vec![0u8; 4096];
             p.fabric.mem_read(host, buf.addr, &mut out).unwrap();
@@ -178,8 +205,13 @@ fn nvmeof_latency_penalty_is_several_microseconds() {
 
             // Local baseline on the target host with the stock driver —
             // a second controller avoids interfering with the target's.
-            let store2 =
-                Rc::new(BlockStore::new(h.clone(), MediaProfile::optane(), 512, 1 << 20, 6));
+            let store2 = Rc::new(BlockStore::new(
+                h.clone(),
+                MediaProfile::optane(),
+                512,
+                1 << 20,
+                6,
+            ));
             let ctrl2 = NvmeController::attach(
                 &p.fabric,
                 p.target_host,
@@ -199,7 +231,10 @@ fn nvmeof_latency_penalty_is_several_microseconds() {
             (remote, local)
         }
     });
-    assert!(remote_ns > local_ns, "remote {remote_ns} must exceed local {local_ns}");
+    assert!(
+        remote_ns > local_ns,
+        "remote {remote_ns} must exceed local {local_ns}"
+    );
     let delta = remote_ns - local_ns;
     assert!(
         (4_000..12_000).contains(&delta),

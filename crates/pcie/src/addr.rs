@@ -106,7 +106,10 @@ impl DomainAddr {
 
     /// The domain address `delta` bytes further.
     pub fn offset(self, delta: u64) -> DomainAddr {
-        DomainAddr { host: self.host, addr: self.addr.offset(delta) }
+        DomainAddr {
+            host: self.host,
+            addr: self.addr.offset(delta),
+        }
     }
 }
 
@@ -146,7 +149,11 @@ impl MemRegion {
     /// Sub-region at `offset` of length `len`. Panics when out of bounds.
     pub fn slice(&self, offset: u64, len: u64) -> MemRegion {
         assert!(offset + len <= self.len, "slice out of region bounds");
-        MemRegion { host: self.host, addr: self.addr.offset(offset), len }
+        MemRegion {
+            host: self.host,
+            addr: self.addr.offset(offset),
+            len,
+        }
     }
 }
 

@@ -29,7 +29,9 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// A zeroed register file of `size` bytes.
     pub fn new(size: usize) -> Self {
-        RegisterFile { regs: std::cell::RefCell::new(vec![0; size]) }
+        RegisterFile {
+            regs: std::cell::RefCell::new(vec![0; size]),
+        }
     }
 
     /// Write `size` bytes of `value` at `offset` (out-of-range writes drop).

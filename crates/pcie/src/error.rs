@@ -17,7 +17,11 @@ pub enum FabricError {
     /// Address translation chased NTB windows too deep (cycle).
     TranslationLoop { host: HostId, addr: PhysAddr },
     /// An access crossed the end of the region that contains its start.
-    CrossesBoundary { host: HostId, addr: PhysAddr, len: u64 },
+    CrossesBoundary {
+        host: HostId,
+        addr: PhysAddr,
+        len: u64,
+    },
     /// No topology path between the two nodes.
     Unreachable { from: NodeId, to: NodeId },
     /// Host DRAM exhausted.
@@ -48,7 +52,10 @@ impl std::fmt::Display for FabricError {
                 write!(f, "NTB translation loop from {addr} in {host}")
             }
             FabricError::CrossesBoundary { host, addr, len } => {
-                write!(f, "access {addr}+{len:#x} in {host} crosses a mapping boundary")
+                write!(
+                    f,
+                    "access {addr}+{len:#x} in {host} crosses a mapping boundary"
+                )
             }
             FabricError::Unreachable { from, to } => {
                 write!(f, "no fabric path from {from:?} to {to:?}")

@@ -84,6 +84,9 @@ struct FabricInner {
     handle: Handle,
     params: FabricParams,
     state: RefCell<State>,
+    /// In-flight posted writes, for the read-race sanitizer.
+    #[cfg(feature = "sanitize")]
+    sanitize: RefCell<crate::sanitize::PendingSet>,
 }
 
 impl Fabric {
@@ -99,6 +102,8 @@ impl Fabric {
                     devices: Vec::new(),
                     ntbs: Vec::new(),
                 }),
+                #[cfg(feature = "sanitize")]
+                sanitize: RefCell::new(crate::sanitize::PendingSet::default()),
             }),
         }
     }
@@ -132,7 +137,13 @@ impl Fabric {
 
     /// Add a transparent switch chip.
     pub fn add_switch(&self, label: &str) -> NodeId {
-        self.inner.state.borrow_mut().topology.add_node(NodeKind::Switch { label: label.into() })
+        self.inner
+            .state
+            .borrow_mut()
+            .topology
+            .add_node(NodeKind::Switch {
+                label: label.into(),
+            })
     }
 
     /// Connect two topology nodes with a link/cable.
@@ -164,8 +175,14 @@ impl Fabric {
             let hrec = &mut st.hosts[host.0 as usize];
             let base = hrec.mmio_cursor.div_ceil(size) * size; // natural alignment
             hrec.mmio_cursor = base + size;
-            assert!(hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(), "MMIO space exhausted");
-            bars.push(BarRec { base: PhysAddr(base), size });
+            assert!(
+                hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(),
+                "MMIO space exhausted"
+            );
+            bars.push(BarRec {
+                base: PhysAddr(base),
+                size,
+            });
         }
         st.devices.push(DeviceRec {
             host,
@@ -193,8 +210,12 @@ impl Fabric {
         let hrec = &mut st.hosts[host.0 as usize];
         let base = hrec.mmio_cursor.div_ceil(slot_size) * slot_size;
         hrec.mmio_cursor = base + window;
-        assert!(hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(), "MMIO space exhausted");
-        st.ntbs.push(Ntb::new(id, host, node, PhysAddr(base), slot_size, slots));
+        assert!(
+            hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(),
+            "MMIO space exhausted"
+        );
+        st.ntbs
+            .push(Ntb::new(id, host, node, PhysAddr(base), slot_size, slots));
         id
     }
 
@@ -217,7 +238,10 @@ impl Fabric {
     /// slot.
     pub fn program_lut(&self, ntb: NtbId, slot: usize, dest: DomainAddr) -> Result<PhysAddr> {
         let mut st = self.inner.state.borrow_mut();
-        let n = st.ntbs.get_mut(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        let n = st
+            .ntbs
+            .get_mut(ntb.0 as usize)
+            .ok_or(FabricError::NoSuchNtb(ntb))?;
         n.program(slot, dest)?;
         n.slot_addr(slot)
     }
@@ -225,28 +249,41 @@ impl Fabric {
     /// Unprogram a LUT slot.
     pub fn clear_lut(&self, ntb: NtbId, slot: usize) -> Result<()> {
         let mut st = self.inner.state.borrow_mut();
-        let n = st.ntbs.get_mut(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        let n = st
+            .ntbs
+            .get_mut(ntb.0 as usize)
+            .ok_or(FabricError::NoSuchNtb(ntb))?;
         n.clear(slot)
     }
 
     /// Find one free LUT slot on `ntb`.
     pub fn find_free_lut_slot(&self, ntb: NtbId) -> Result<usize> {
         let st = self.inner.state.borrow();
-        let n = st.ntbs.get(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        let n = st
+            .ntbs
+            .get(ntb.0 as usize)
+            .ok_or(FabricError::NoSuchNtb(ntb))?;
         n.find_free_slot()
     }
 
     /// Find `n` consecutive free LUT slots on `ntb`.
     pub fn find_free_lut_range(&self, ntb: NtbId, n: usize) -> Result<usize> {
         let st = self.inner.state.borrow();
-        let rec = st.ntbs.get(ntb.0 as usize).ok_or(FabricError::NoSuchNtb(ntb))?;
+        let rec = st
+            .ntbs
+            .get(ntb.0 as usize)
+            .ok_or(FabricError::NoSuchNtb(ntb))?;
         rec.find_free_range(n)
     }
 
     /// NTB adapters attached to a host's domain.
     pub fn ntbs_of(&self, host: HostId) -> Vec<NtbId> {
         let st = self.inner.state.borrow();
-        st.ntbs.iter().filter(|n| n.local_domain == host).map(|n| n.id).collect()
+        st.ntbs
+            .iter()
+            .filter(|n| n.local_domain == host)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Number of hosts on the fabric.
@@ -274,8 +311,14 @@ impl Fabric {
     /// Base address of `bar` of `dev` in its owning domain.
     pub fn bar_region(&self, dev: DeviceId, bar: u8) -> Result<MemRegion> {
         let st = self.inner.state.borrow();
-        let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
-        let b = d.bars.get(bar as usize).ok_or(FabricError::BadBar { dev, bar })?;
+        let d = st
+            .devices
+            .get(dev.0 as usize)
+            .ok_or(FabricError::NoSuchDevice(dev))?;
+        let b = d
+            .bars
+            .get(bar as usize)
+            .ok_or(FabricError::BadBar { dev, bar })?;
         Ok(MemRegion::new(d.host, b.base, b.size))
     }
 
@@ -286,7 +329,10 @@ impl Fabric {
     /// Allocate a page-aligned segment in `host`'s DRAM.
     pub fn alloc(&self, host: HostId, size: u64) -> Result<MemRegion> {
         let mut st = self.inner.state.borrow_mut();
-        let rec = st.hosts.get_mut(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?;
+        let rec = st
+            .hosts
+            .get_mut(host.0 as usize)
+            .ok_or(FabricError::NoSuchHost(host))?;
         let addr = rec.memory.alloc(size)?;
         Ok(MemRegion::new(host, addr, size))
     }
@@ -294,19 +340,29 @@ impl Fabric {
     /// Return an allocated segment.
     pub fn release(&self, region: MemRegion) {
         let mut st = self.inner.state.borrow_mut();
-        st.hosts[region.host.0 as usize].memory.free(region.addr, region.len);
+        st.hosts[region.host.0 as usize]
+            .memory
+            .free(region.addr, region.len);
     }
 
     /// Untimed functional write into a host's DRAM (setup / checking).
     pub fn mem_write(&self, host: HostId, addr: PhysAddr, data: &[u8]) -> Result<()> {
         let mut st = self.inner.state.borrow_mut();
-        st.hosts.get_mut(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?.memory.write(addr, data)
+        st.hosts
+            .get_mut(host.0 as usize)
+            .ok_or(FabricError::NoSuchHost(host))?
+            .memory
+            .write(addr, data)
     }
 
     /// Untimed functional read from a host's DRAM.
     pub fn mem_read(&self, host: HostId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
         let st = self.inner.state.borrow();
-        st.hosts.get(host.0 as usize).ok_or(FabricError::NoSuchHost(host))?.memory.read(addr, buf)
+        st.hosts
+            .get(host.0 as usize)
+            .ok_or(FabricError::NoSuchHost(host))?
+            .memory
+            .read(addr, buf)
     }
 
     /// Register a write-watch on host DRAM (see [`crate::memory`]).
@@ -335,7 +391,10 @@ impl Fabric {
     fn resolve_in(st: &State, host: HostId, addr: PhysAddr, len: u64) -> Result<Location> {
         let mut cur = DomainAddr::new(host, addr);
         for _ in 0..MAX_TRANSLATION_DEPTH {
-            let hrec = st.hosts.get(cur.host.0 as usize).ok_or(FabricError::NoSuchHost(cur.host))?;
+            let hrec = st
+                .hosts
+                .get(cur.host.0 as usize)
+                .ok_or(FabricError::NoSuchHost(cur.host))?;
             if hrec.memory.contains(cur.addr, len) {
                 return Ok(Location::Dram(cur));
             }
@@ -365,7 +424,12 @@ impl Fabric {
             }
             match translated {
                 Some(next) => cur = next,
-                None => return Err(FabricError::UnmappedAddress { host: cur.host, addr: cur.addr }),
+                None => {
+                    return Err(FabricError::UnmappedAddress {
+                        host: cur.host,
+                        addr: cur.addr,
+                    })
+                }
             }
         }
         Err(FabricError::TranslationLoop { host, addr })
@@ -410,12 +474,20 @@ impl Fabric {
         };
         let delivery = p.one_way(chips);
         self.inner.handle.sleep(issue).await;
+        #[cfg(feature = "sanitize")]
+        let pending = self
+            .inner
+            .sanitize
+            .borrow_mut()
+            .track(&loc, data.len() as u64, "cpu");
         let this = self.clone();
         let data = data.to_vec();
         let h = self.inner.handle.clone();
         self.inner.handle.spawn(async move {
             h.sleep(delivery).await;
             this.apply_write(&loc, &data);
+            #[cfg(feature = "sanitize")]
+            this.inner.sanitize.borrow_mut().untrack(pending);
         });
         Ok(())
     }
@@ -440,6 +512,8 @@ impl Fabric {
                 + p.nonposted_transfer(buf.len() as u64)
         };
         self.inner.handle.sleep(lat).await;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check_read(&loc, buf.len() as u64, "CPU read");
         self.apply_read(&loc, buf);
         Ok(())
     }
@@ -468,13 +542,22 @@ impl Fabric {
     pub async fn dma_read(&self, dev: DeviceId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
         let (origin, rx, host, scale) = {
             let st = self.inner.state.borrow();
-            let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
+            let d = st
+                .devices
+                .get(dev.0 as usize)
+                .ok_or(FabricError::NoSuchDevice(dev))?;
             (d.node, d.rx.clone(), d.host, d.link_scale)
         };
         let (loc, chips) = self.resolve_with_path(origin, host, addr, buf.len() as u64)?;
         let p = &self.inner.params;
-        rx.occupy(scale_transfer(p.nonposted_transfer(buf.len() as u64), scale)).await;
+        rx.occupy(scale_transfer(
+            p.nonposted_transfer(buf.len() as u64),
+            scale,
+        ))
+        .await;
         self.inner.handle.sleep(p.read_rtt(chips)).await;
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check_read(&loc, buf.len() as u64, "DMA read");
         self.apply_read(&loc, buf);
         Ok(())
     }
@@ -487,19 +570,31 @@ impl Fabric {
     pub async fn dma_write(&self, dev: DeviceId, addr: PhysAddr, data: &[u8]) -> Result<()> {
         let (origin, tx, host, scale) = {
             let st = self.inner.state.borrow();
-            let d = st.devices.get(dev.0 as usize).ok_or(FabricError::NoSuchDevice(dev))?;
+            let d = st
+                .devices
+                .get(dev.0 as usize)
+                .ok_or(FabricError::NoSuchDevice(dev))?;
             (d.node, d.tx.clone(), d.host, d.link_scale)
         };
         let (loc, chips) = self.resolve_with_path(origin, host, addr, data.len() as u64)?;
         let p = &self.inner.params;
-        tx.occupy(scale_transfer(p.posted_transfer(data.len() as u64), scale)).await;
+        tx.occupy(scale_transfer(p.posted_transfer(data.len() as u64), scale))
+            .await;
         let delivery = p.one_way(chips);
+        #[cfg(feature = "sanitize")]
+        let pending = self
+            .inner
+            .sanitize
+            .borrow_mut()
+            .track(&loc, data.len() as u64, "dma");
         let this = self.clone();
         let data = data.to_vec();
         let h = self.inner.handle.clone();
         self.inner.handle.spawn(async move {
             h.sleep(delivery).await;
             this.apply_write(&loc, &data);
+            #[cfg(feature = "sanitize")]
+            this.inner.sanitize.borrow_mut().untrack(pending);
         });
         Ok(())
     }
@@ -527,10 +622,16 @@ impl Fabric {
             let mut st = self.inner.state.borrow_mut();
             let (node, host, entry) = {
                 let d = &st.devices[dev.0 as usize];
-                let entry = d.msi.iter().find(|(v, _, _)| *v == vector).map(|(_, h, n)| (*h, n.clone()));
+                let entry = d
+                    .msi
+                    .iter()
+                    .find(|(v, _, _)| *v == vector)
+                    .map(|(_, h, n)| (*h, n.clone()));
                 (d.node, d.host, entry)
             };
-            let Some((target, notify)) = entry else { return };
+            let Some((target, notify)) = entry else {
+                return;
+            };
             let _ = host;
             let rc = st.hosts[target.0 as usize].rc_node;
             let chips = st.topology.chips_between(node, rc).unwrap_or(0);
@@ -595,6 +696,36 @@ impl Fabric {
                 }
             }
         }
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl Fabric {
+    /// Report every in-flight posted write overlapping a non-posted read's
+    /// target range: the read observes pre-write data (through-NTB race).
+    fn sanitize_check_read(&self, loc: &Location, len: u64, what: &str) {
+        for pw in self.inner.sanitize.borrow().overlapping(loc, len) {
+            self.inner.handle.sanitize_report(
+                "pcie.read-races-posted-write",
+                format!("{what} of {len} B at {loc:?} overlaps {}", pw.describe()),
+            );
+        }
+    }
+
+    /// Whether any in-flight posted write overlaps `len` bytes at
+    /// `(host, addr)` (after NTB resolution). Protocol checkers use this to
+    /// verify ordering assumptions — e.g. that every SQE slot a doorbell
+    /// exposes has already been written.
+    pub fn sanitize_pending_posted_overlap(&self, host: HostId, addr: PhysAddr, len: u64) -> bool {
+        let Ok(loc) = self.resolve(host, addr, len) else {
+            return false;
+        };
+        !self
+            .inner
+            .sanitize
+            .borrow()
+            .overlapping(&loc, len)
+            .is_empty()
     }
 }
 

@@ -23,6 +23,8 @@ pub mod fabric;
 pub mod memory;
 pub mod ntb;
 pub mod params;
+#[cfg(feature = "sanitize")]
+mod sanitize;
 pub mod topology;
 
 pub use addr::{DeviceId, DomainAddr, HostId, MemRegion, NodeId, NtbId, PhysAddr};

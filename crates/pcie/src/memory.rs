@@ -51,7 +51,10 @@ impl HostMemory {
 
     /// DRAM of `size` bytes (page-aligned) for `host`.
     pub fn new(host: crate::addr::HostId, size: u64) -> Self {
-        assert!(size.is_multiple_of(PAGE_SIZE), "memory size must be page aligned");
+        assert!(
+            size.is_multiple_of(PAGE_SIZE),
+            "memory size must be page aligned"
+        );
         HostMemory {
             base: Self::DRAM_BASE,
             size,
@@ -84,7 +87,10 @@ impl HostMemory {
     pub fn alloc(&mut self, size: u64) -> Result<PhysAddr> {
         let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
         let pos = self.free.iter().position(|&(_, flen)| flen >= size).ok_or(
-            FabricError::OutOfMemory { host: self.host_label, requested: size },
+            FabricError::OutOfMemory {
+                host: self.host_label,
+                requested: size,
+            },
         )?;
         let (start, flen) = self.free[pos];
         if flen == size {
@@ -132,7 +138,10 @@ impl HostMemory {
         if self.contains(addr, len) {
             Ok(())
         } else {
-            Err(FabricError::UnmappedAddress { host: self.host_label, addr })
+            Err(FabricError::UnmappedAddress {
+                host: self.host_label,
+                addr,
+            })
         }
     }
 
@@ -145,7 +154,10 @@ impl HostMemory {
             let page_idx = off / PAGE_SIZE;
             let in_page = (off % PAGE_SIZE) as usize;
             let n = rest.len().min(PAGE_SIZE as usize - in_page);
-            let page = self.pages.entry(page_idx).or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+            let page = self
+                .pages
+                .entry(page_idx)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
             page[in_page..in_page + n].copy_from_slice(&rest[..n]);
             rest = &rest[n..];
             off += n as u64;
@@ -286,9 +298,15 @@ mod tests {
     fn out_of_range_access_rejected() {
         let mut m = mem();
         let high = PhysAddr(HostMemory::DRAM_BASE.as_u64() + (1 << 20));
-        assert!(matches!(m.write(high, &[0]), Err(FabricError::UnmappedAddress { .. })));
+        assert!(matches!(
+            m.write(high, &[0]),
+            Err(FabricError::UnmappedAddress { .. })
+        ));
         let mut b = [0u8];
-        assert!(matches!(m.read(PhysAddr(0), &mut b), Err(FabricError::UnmappedAddress { .. })));
+        assert!(matches!(
+            m.read(PhysAddr(0), &mut b),
+            Err(FabricError::UnmappedAddress { .. })
+        ));
     }
 
     #[test]

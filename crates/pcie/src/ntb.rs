@@ -41,8 +41,18 @@ impl Ntb {
         slot_size: u64,
         slots: usize,
     ) -> Self {
-        assert!(slot_size.is_power_of_two(), "slot size must be a power of two");
-        Ntb { id, local_domain, node, window_base, slot_size, lut: vec![None; slots] }
+        assert!(
+            slot_size.is_power_of_two(),
+            "slot size must be a power of two"
+        );
+        Ntb {
+            id,
+            local_domain,
+            node,
+            window_base,
+            slot_size,
+            lut: vec![None; slots],
+        }
     }
 
     /// Number of LUT slots.
@@ -135,7 +145,11 @@ impl Ntb {
         let slot = (off / self.slot_size) as usize;
         let in_slot = off % self.slot_size;
         if in_slot + len > self.slot_size {
-            return Err(FabricError::CrossesBoundary { host: self.local_domain, addr, len });
+            return Err(FabricError::CrossesBoundary {
+                host: self.local_domain,
+                addr,
+                len,
+            });
         }
         match self.lut.get(slot).copied().flatten() {
             Some(e) => Ok(e.dest.offset(in_slot)),
@@ -149,7 +163,14 @@ mod tests {
     use super::*;
 
     fn ntb() -> Ntb {
-        Ntb::new(NtbId(0), HostId(0), NodeId(0), PhysAddr(0x4000_0000), 1 << 21, 8)
+        Ntb::new(
+            NtbId(0),
+            HostId(0),
+            NodeId(0),
+            PhysAddr(0x4000_0000),
+            1 << 21,
+            8,
+        )
     }
 
     #[test]
@@ -184,8 +205,10 @@ mod tests {
     #[test]
     fn cross_slot_access_rejected() {
         let mut n = ntb();
-        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000))).unwrap();
-        n.program(1, DomainAddr::new(HostId(1), PhysAddr(0x2_0000_0000))).unwrap();
+        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000)))
+            .unwrap();
+        n.program(1, DomainAddr::new(HostId(1), PhysAddr(0x2_0000_0000)))
+            .unwrap();
         let near_end = n.slot_addr(0).unwrap().offset((1 << 21) - 4);
         assert!(n.translate(near_end, 4).is_ok());
         assert!(matches!(
@@ -197,7 +220,8 @@ mod tests {
     #[test]
     fn clear_and_reuse_slot() {
         let mut n = ntb();
-        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000))).unwrap();
+        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000)))
+            .unwrap();
         assert_eq!(n.find_free_slot().unwrap(), 1);
         n.clear(0).unwrap();
         assert_eq!(n.find_free_slot().unwrap(), 0);
@@ -205,9 +229,21 @@ mod tests {
 
     #[test]
     fn lut_exhaustion() {
-        let mut n = Ntb::new(NtbId(1), HostId(0), NodeId(0), PhysAddr(0x4000_0000), 1 << 21, 2);
-        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000))).unwrap();
-        n.program(1, DomainAddr::new(HostId(1), PhysAddr(0x1_0020_0000))).unwrap();
-        assert!(matches!(n.find_free_slot(), Err(FabricError::LutExhausted { .. })));
+        let mut n = Ntb::new(
+            NtbId(1),
+            HostId(0),
+            NodeId(0),
+            PhysAddr(0x4000_0000),
+            1 << 21,
+            2,
+        );
+        n.program(0, DomainAddr::new(HostId(1), PhysAddr(0x1_0000_0000)))
+            .unwrap();
+        n.program(1, DomainAddr::new(HostId(1), PhysAddr(0x1_0020_0000)))
+            .unwrap();
+        assert!(matches!(
+            n.find_free_slot(),
+            Err(FabricError::LutExhausted { .. })
+        ));
     }
 }

@@ -152,6 +152,9 @@ mod tests {
     fn cpu_costs_monotone() {
         let p = FabricParams::default();
         assert!(p.cpu_ntb_store(8192) > p.cpu_ntb_store(4096));
-        assert!(p.cpu_memcpy(4096) < p.cpu_ntb_store(4096), "NTB stores are slower than memcpy");
+        assert!(
+            p.cpu_memcpy(4096) < p.cpu_ntb_store(4096),
+            "NTB stores are slower than memcpy"
+        );
     }
 }

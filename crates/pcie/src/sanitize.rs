@@ -1,0 +1,91 @@
+//! Pending-posted-write tracking for the simulation-time sanitizer
+//! (feature `sanitize`).
+//!
+//! A posted write is in flight from the moment it is issued until its data
+//! applies at the destination, one propagation delay later. A non-posted
+//! read that samples an overlapping range during that window observes
+//! stale data — the through-NTB data race the paper's queue placement
+//! (CQs CPU-side, SQs device-side) is designed to make impossible. The
+//! fabric records every in-flight posted write here and checks reads at
+//! their apply instant.
+
+use crate::addr::{DeviceId, HostId};
+use crate::fabric::Location;
+
+/// The address space a resolved location lives in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Space {
+    Dram(HostId),
+    Bar(DeviceId, u8),
+}
+
+/// One in-flight posted write (issued, not yet applied).
+#[derive(Clone, Debug)]
+pub(crate) struct PendingWrite {
+    id: u64,
+    space: Space,
+    start: u64,
+    len: u64,
+    /// Issuer kind, for diagnostics ("cpu" or "dma").
+    pub(crate) kind: &'static str,
+}
+
+impl PendingWrite {
+    /// Human-readable range description for violation reports.
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "{} posted write {:?}+{:#x}..{:#x}",
+            self.kind,
+            self.space,
+            self.start,
+            self.start + self.len
+        )
+    }
+}
+
+/// The set of in-flight posted writes on one fabric.
+#[derive(Default)]
+pub(crate) struct PendingSet {
+    pending: Vec<PendingWrite>,
+    next_id: u64,
+}
+
+fn key(loc: &Location) -> (Space, u64) {
+    match loc {
+        Location::Dram(da) => (Space::Dram(da.host), da.addr.as_u64()),
+        Location::Bar { dev, bar, offset } => (Space::Bar(*dev, *bar), *offset),
+    }
+}
+
+impl PendingSet {
+    /// Record a posted write at its resolved location; returns a token for
+    /// [`PendingSet::untrack`] at apply time.
+    pub(crate) fn track(&mut self, loc: &Location, len: u64, kind: &'static str) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let (space, start) = key(loc);
+        self.pending.push(PendingWrite {
+            id,
+            space,
+            start,
+            len,
+            kind,
+        });
+        id
+    }
+
+    /// Remove a write once its data has applied.
+    pub(crate) fn untrack(&mut self, id: u64) {
+        self.pending.retain(|p| p.id != id);
+    }
+
+    /// In-flight posted writes overlapping `len` bytes at `loc`.
+    pub(crate) fn overlapping(&self, loc: &Location, len: u64) -> Vec<PendingWrite> {
+        let (space, start) = key(loc);
+        self.pending
+            .iter()
+            .filter(|p| p.space == space && p.start < start + len && start < p.start + p.len)
+            .cloned()
+            .collect()
+    }
+}

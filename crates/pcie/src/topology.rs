@@ -7,7 +7,7 @@
 //! decided by address translation (see [`crate::fabric`]), not by the
 //! graph.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::addr::{DeviceId, HostId, NodeId, NtbId};
 use crate::error::{FabricError, Result};
@@ -38,8 +38,9 @@ impl NodeKind {
 pub struct Topology {
     nodes: Vec<NodeKind>,
     adj: Vec<Vec<NodeId>>,
-    /// Shortest-path cache: (from, to) -> chips traversed.
-    cache: HashMap<(NodeId, NodeId), u32>,
+    /// Shortest-path cache: (from, to) -> chips traversed. Ordered map so
+    /// any future iteration (debug dumps, invalidation) is deterministic.
+    cache: BTreeMap<(NodeId, NodeId), u32>,
 }
 
 impl Topology {
@@ -131,7 +132,9 @@ mod tests {
         let rc_b = t.add_node(NodeKind::RootComplex(HostId(1)));
         let ad_a = t.add_node(NodeKind::NtbAdapter(NtbId(0)));
         let ad_b = t.add_node(NodeKind::NtbAdapter(NtbId(1)));
-        let sw = t.add_node(NodeKind::Switch { label: "MXS924".into() });
+        let sw = t.add_node(NodeKind::Switch {
+            label: "MXS924".into(),
+        });
         let nvme = t.add_node(NodeKind::Endpoint(DeviceId(0)));
         t.link(rc_a, ad_a);
         t.link(ad_a, sw);
@@ -172,7 +175,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node(NodeKind::RootComplex(HostId(0)));
         let b = t.add_node(NodeKind::RootComplex(HostId(1)));
-        assert!(matches!(t.chips_between(a, b), Err(FabricError::Unreachable { .. })));
+        assert!(matches!(
+            t.chips_between(a, b),
+            Err(FabricError::Unreachable { .. })
+        ));
     }
 
     #[test]
@@ -198,7 +204,9 @@ mod tests {
         let a = t.add_node(NodeKind::RootComplex(HostId(0)));
         let mut prev = a;
         for i in 0..6 {
-            let s = t.add_node(NodeKind::Switch { label: format!("s{i}") });
+            let s = t.add_node(NodeKind::Switch {
+                label: format!("s{i}"),
+            });
             t.link(prev, s);
             prev = s;
         }

@@ -36,7 +36,15 @@ fn build() -> TestBed {
         &[0x4000],
         Rc::new(RegisterFile::new(0x4000)),
     );
-    TestBed { rt, fabric, host_a, host_b, dev, ntb_a, ntb_b }
+    TestBed {
+        rt,
+        fabric,
+        host_a,
+        host_b,
+        dev,
+        ntb_a,
+        ntb_b,
+    }
 }
 
 #[test]
@@ -103,7 +111,8 @@ fn device_dma_reads_remote_memory_through_its_ntb() {
     // Segment in host A's memory, mapped for the device (which lives in
     // host B's domain) through host B's adapter: a "DMA window".
     let seg = f.alloc(tb.host_a, 4096).unwrap();
-    f.mem_write(tb.host_a, seg.addr, b"dma window payload").unwrap();
+    f.mem_write(tb.host_a, seg.addr, b"dma window payload")
+        .unwrap();
     let bus_addr = f
         .program_lut(tb.ntb_b, 3, DomainAddr::new(tb.host_a, seg.addr))
         .unwrap();
@@ -137,7 +146,9 @@ fn mmio_through_bar_window_reaches_device_registers() {
     let val = tb.rt.block_on({
         let f = f.clone();
         async move {
-            f.cpu_write_u32(host_a, win.offset(0x100), 0xCAFE_F00D).await.unwrap();
+            f.cpu_write_u32(host_a, win.offset(0x100), 0xCAFE_F00D)
+                .await
+                .unwrap();
             // Read it back through the same window (non-posted, ordered
             // behind the posted write on the same path).
             f.cpu_read_u32(host_a, win.offset(0x100)).await.unwrap()
@@ -153,7 +164,13 @@ fn unprogrammed_slot_faults() {
     let win_base = {
         // slot 5 was never programmed
         let slot_size = f.ntb_slot_size(tb.ntb_a);
-        let s0 = f.program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, PhysAddr(0x1_0000_0000))).unwrap();
+        let s0 = f
+            .program_lut(
+                tb.ntb_a,
+                0,
+                DomainAddr::new(tb.host_b, PhysAddr(0x1_0000_0000)),
+            )
+            .unwrap();
         s0.offset(5 * slot_size)
     };
     let host_a = tb.host_a;
@@ -161,7 +178,10 @@ fn unprogrammed_slot_faults() {
         let f = f.clone();
         async move { f.cpu_write_u32(host_a, win_base, 1).await.unwrap_err() }
     });
-    assert!(matches!(err, FabricError::UnprogrammedSlot { slot: 5, .. }), "{err}");
+    assert!(
+        matches!(err, FabricError::UnprogrammedSlot { slot: 5, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -177,7 +197,8 @@ fn translation_loop_detected() {
     let a_win = f
         .program_lut(tb.ntb_a, 0, DomainAddr::new(tb.host_b, b_win))
         .unwrap();
-    f.program_lut(tb.ntb_b, 0, DomainAddr::new(tb.host_a, a_win)).unwrap();
+    f.program_lut(tb.ntb_b, 0, DomainAddr::new(tb.host_a, a_win))
+        .unwrap();
     let err = f.resolve(tb.host_a, a_win, 4).unwrap_err();
     assert!(matches!(err, FabricError::TranslationLoop { .. }), "{err}");
 }
@@ -242,7 +263,9 @@ fn dma_write_ordering_preserved_for_same_path() {
     let host_a = tb.host_a;
     let ok = tb.rt.block_on(async move {
         f2.dma_write(dev, data_bus, &[0xABu8; 4096]).await.unwrap();
-        f2.dma_write(dev, flag_bus, &1u32.to_le_bytes()).await.unwrap();
+        f2.dma_write(dev, flag_bus, &1u32.to_le_bytes())
+            .await
+            .unwrap();
         watch.notify.notified().await;
         // When the flag is visible, the full data block must be too.
         let mut buf = vec![0u8; 4096];
@@ -271,7 +294,9 @@ fn local_mmio_write_hits_handler() {
     let rt = SimRuntime::new();
     let f = Fabric::new(rt.handle(), FabricParams::default());
     let host = f.add_host(16 << 20);
-    let dev_impl = Rc::new(CountingDev { hits: std::cell::Cell::new(0) });
+    let dev_impl = Rc::new(CountingDev {
+        hits: std::cell::Cell::new(0),
+    });
     let dev = f.add_device(host, f.rc_node(host), &[0x1000], dev_impl.clone());
     let bar = f.bar_region(dev, 0).unwrap();
     let hits = rt.block_on({
@@ -297,7 +322,11 @@ fn resolve_classifies_locations() {
     let bar = f.bar_region(tb.dev, 0).unwrap();
     assert!(matches!(
         f.resolve(tb.host_b, bar.addr.offset(0x10), 4).unwrap(),
-        Location::Bar { bar: 0, offset: 0x10, .. }
+        Location::Bar {
+            bar: 0,
+            offset: 0x10,
+            ..
+        }
     ));
     assert!(matches!(
         f.resolve(tb.host_a, PhysAddr(0x10), 4),

@@ -17,17 +17,29 @@ pub struct Access {
 impl Access {
     /// Local access only.
     pub fn local_only() -> Self {
-        Access { local_write: true, remote_read: false, remote_write: false }
+        Access {
+            local_write: true,
+            remote_read: false,
+            remote_write: false,
+        }
     }
 
     /// Full remote read/write access.
     pub fn remote_all() -> Self {
-        Access { local_write: true, remote_read: true, remote_write: true }
+        Access {
+            local_write: true,
+            remote_read: true,
+            remote_write: true,
+        }
     }
 
     /// Remote read access only.
     pub fn remote_read_only() -> Self {
-        Access { local_write: true, remote_read: true, remote_write: false }
+        Access {
+            local_write: true,
+            remote_read: true,
+            remote_write: false,
+        }
     }
 }
 
@@ -154,7 +166,10 @@ mod tests {
         assert!(t.check_local(mr.lkey, 0x1800, 0x800).is_ok());
         assert_eq!(
             t.check_local(mr.lkey, 0x1800, 0x900),
-            Err(MrError::OutOfBounds { addr: 0x1800, len: 0x900 })
+            Err(MrError::OutOfBounds {
+                addr: 0x1800,
+                len: 0x900
+            })
         );
     }
 
@@ -163,14 +178,20 @@ mod tests {
         let (t, mr) = table();
         assert_eq!(t.check_local(999, 0x1000, 1), Err(MrError::BadKey(999)));
         // rkey is not an lkey.
-        assert_eq!(t.check_local(mr.rkey, 0x1000, 1), Err(MrError::BadKey(mr.rkey)));
+        assert_eq!(
+            t.check_local(mr.rkey, 0x1000, 1),
+            Err(MrError::BadKey(mr.rkey))
+        );
     }
 
     #[test]
     fn remote_permissions_enforced() {
         let (t, mr) = table();
         assert!(t.check_remote(mr.rkey, 0x1000, 8, false).is_ok());
-        assert_eq!(t.check_remote(mr.rkey, 0x1000, 8, true), Err(MrError::PermissionDenied));
+        assert_eq!(
+            t.check_remote(mr.rkey, 0x1000, 8, true),
+            Err(MrError::PermissionDenied)
+        );
     }
 
     #[test]
@@ -178,6 +199,9 @@ mod tests {
         let (mut t, mr) = table();
         assert!(t.deregister(mr.lkey));
         assert!(!t.deregister(mr.lkey));
-        assert_eq!(t.check_local(mr.lkey, 0x1000, 1), Err(MrError::BadKey(mr.lkey)));
+        assert_eq!(
+            t.check_local(mr.lkey, 0x1000, 1),
+            Err(MrError::BadKey(mr.lkey))
+        );
     }
 }

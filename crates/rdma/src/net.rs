@@ -80,7 +80,10 @@ impl Default for Cq {
 impl Cq {
     /// An empty completion queue.
     pub fn new() -> Self {
-        Cq { queue: Rc::new(RefCell::new(VecDeque::new())), notify: Notify::new() }
+        Cq {
+            queue: Rc::new(RefCell::new(VecDeque::new())),
+            notify: Notify::new(),
+        }
     }
 
     fn push(&self, wc: Wc) {
@@ -118,17 +121,39 @@ impl Cq {
 #[derive(Copy, Clone, Debug)]
 pub enum SendWr {
     /// Two-sided send into the peer's posted receive buffer.
-    Send { wr_id: u64, lkey: u32, laddr: u64, len: u64, imm: u32 },
+    Send {
+        wr_id: u64,
+        lkey: u32,
+        laddr: u64,
+        len: u64,
+        imm: u32,
+    },
     /// One-sided write to remote memory.
-    Write { wr_id: u64, lkey: u32, laddr: u64, len: u64, raddr: u64, rkey: u32 },
+    Write {
+        wr_id: u64,
+        lkey: u32,
+        laddr: u64,
+        len: u64,
+        raddr: u64,
+        rkey: u32,
+    },
     /// One-sided read from remote memory.
-    Read { wr_id: u64, lkey: u32, laddr: u64, len: u64, raddr: u64, rkey: u32 },
+    Read {
+        wr_id: u64,
+        lkey: u32,
+        laddr: u64,
+        len: u64,
+        raddr: u64,
+        rkey: u32,
+    },
 }
 
 impl SendWr {
     fn wr_id(&self) -> u64 {
         match *self {
-            SendWr::Send { wr_id, .. } | SendWr::Write { wr_id, .. } | SendWr::Read { wr_id, .. } => wr_id,
+            SendWr::Send { wr_id, .. }
+            | SendWr::Write { wr_id, .. }
+            | SendWr::Read { wr_id, .. } => wr_id,
         }
     }
 }
@@ -221,7 +246,9 @@ impl IbNet {
 
     /// Deregister a memory region by lkey.
     pub fn deregister_mr(&self, nic: NicId, lkey: u32) -> bool {
-        self.inner.nics.borrow_mut()[nic.0 as usize].mrs.deregister(lkey)
+        self.inner.nics.borrow_mut()[nic.0 as usize]
+            .mrs
+            .deregister(lkey)
     }
 
     /// Create a queue pair on a NIC.
@@ -237,7 +264,9 @@ impl IbNet {
             send_chan: tx,
         });
         let worker = shared.clone();
-        self.inner.handle.spawn(async move { worker.send_worker(rx).await });
+        self.inner
+            .handle
+            .spawn(async move { worker.send_worker(rx).await });
         Qp { shared }
     }
 
@@ -291,13 +320,23 @@ impl Qp {
 
     /// Post a receive buffer (pre-posted, off the critical path: free).
     pub fn post_recv(&self, wr_id: u64, lkey: u32, addr: u64, len: u64) {
-        self.shared.recv_queue.borrow_mut().push_back(RecvWqe { wr_id, lkey, addr, len });
+        self.shared.recv_queue.borrow_mut().push_back(RecvWqe {
+            wr_id,
+            lkey,
+            addr,
+            len,
+        });
     }
 
     /// Post a send-side work request; costs the doorbell time, then the
     /// NIC processes WQEs in order.
     pub async fn post_send(&self, wr: SendWr) {
-        self.shared.net.inner.handle.sleep(self.shared.net.inner.params.post_cost()).await;
+        self.shared
+            .net
+            .inner
+            .handle
+            .sleep(self.shared.net.inner.params.post_cost())
+            .await;
         let _ = self.shared.send_chan.send(wr);
     }
 }
@@ -310,7 +349,13 @@ impl QpShared {
     }
 
     fn complete_send(&self, wr: &SendWr, opcode: WcOpcode, len: u64, status: WcStatus) {
-        self.send_cq.push(Wc { wr_id: wr.wr_id(), opcode, byte_len: len, status, imm: 0 });
+        self.send_cq.push(Wc {
+            wr_id: wr.wr_id(),
+            opcode,
+            byte_len: len,
+            status,
+            imm: 0,
+        });
     }
 
     /// Process one WQE. The worker is only occupied for the *serial*
@@ -335,7 +380,13 @@ impl QpShared {
         let peer_tx = net.nic_tx(peer.nic);
         let propagate = SimDuration::from_nanos(p.wire_ns + p.nic_rx_ns);
         match wr {
-            SendWr::Send { lkey, laddr, len, imm, .. } => {
+            SendWr::Send {
+                lkey,
+                laddr,
+                len,
+                imm,
+                ..
+            } => {
                 // Validate + fetch payload from local memory (PCIe DMA).
                 let src = {
                     let nics = net.inner.nics.borrow();
@@ -377,7 +428,9 @@ impl QpShared {
                     }
                     let dst = {
                         let nics = me.net.inner.nics.borrow();
-                        nics[peer.nic.0 as usize].mrs.check_local(rwqe.lkey, rwqe.addr, len)
+                        nics[peer.nic.0 as usize]
+                            .mrs
+                            .check_local(rwqe.lkey, rwqe.addr, len)
                     };
                     match dst {
                         Ok(dst) => {
@@ -406,14 +459,23 @@ impl QpShared {
                     }
                 });
             }
-            SendWr::Write { lkey, laddr, len, raddr, rkey, .. } => {
+            SendWr::Write {
+                lkey,
+                laddr,
+                len,
+                raddr,
+                rkey,
+                ..
+            } => {
                 let src = {
                     let nics = net.inner.nics.borrow();
                     nics[self.nic.0 as usize].mrs.check_local(lkey, laddr, len)
                 };
                 let dst = {
                     let nics = net.inner.nics.borrow();
-                    nics[peer.nic.0 as usize].mrs.check_remote(rkey, raddr, len, true)
+                    nics[peer.nic.0 as usize]
+                        .mrs
+                        .check_remote(rkey, raddr, len, true)
                 };
                 let (src, dst) = match (src, dst) {
                     (Ok(s), Ok(d)) => (s, d),
@@ -434,14 +496,23 @@ impl QpShared {
                     me.spawn_ack(wr, WcOpcode::RdmaWrite, len);
                 });
             }
-            SendWr::Read { lkey, laddr, len, raddr, rkey, .. } => {
+            SendWr::Read {
+                lkey,
+                laddr,
+                len,
+                raddr,
+                rkey,
+                ..
+            } => {
                 let dst = {
                     let nics = net.inner.nics.borrow();
                     nics[self.nic.0 as usize].mrs.check_local(lkey, laddr, len)
                 };
                 let src = {
                     let nics = net.inner.nics.borrow();
-                    nics[peer.nic.0 as usize].mrs.check_remote(rkey, raddr, len, false)
+                    nics[peer.nic.0 as usize]
+                        .mrs
+                        .check_remote(rkey, raddr, len, false)
                 };
                 let (dst, src) = match (dst, src) {
                     (Ok(d), Ok(s)) => (d, s),

@@ -78,6 +78,9 @@ mod tests {
         let p = IbParams::default();
         let small = p.one_way(64);
         let big = p.one_way(1 << 20);
-        assert!(big.as_nanos() > small.as_nanos() + 90_000, "1 MiB at ~11 GB/s is ~95 µs");
+        assert!(
+            big.as_nanos() > small.as_nanos() + 90_000,
+            "1 MiB at ~11 GB/s is ~95 µs"
+        );
     }
 }

@@ -27,10 +27,26 @@ fn bed() -> Bed {
     let qp0 = net.create_qp(nic0);
     let qp1 = net.create_qp(nic1);
     qp0.connect(&qp1);
-    Bed { rt, fabric, net, h0, h1, qp0, qp1, nic0, nic1 }
+    Bed {
+        rt,
+        fabric,
+        net,
+        h0,
+        h1,
+        qp0,
+        qp1,
+        nic0,
+        nic1,
+    }
 }
 
-fn alloc_mr(b: &Bed, host: HostId, nic: rdma::NicId, len: u64, access: Access) -> (MemRegion, rdma::MemoryRegion) {
+fn alloc_mr(
+    b: &Bed,
+    host: HostId,
+    nic: rdma::NicId,
+    len: u64,
+    access: Access,
+) -> (MemRegion, rdma::MemoryRegion) {
     let region = b.fabric.alloc(host, len).unwrap();
     let mr = b.net.register_mr(nic, region, access);
     (region, mr)
@@ -96,7 +112,9 @@ fn rdma_write_lands_remotely() {
     let b = bed();
     let (src, src_mr) = alloc_mr(&b, b.h0, b.nic0, 4096, Access::local_only());
     let (dst, dst_mr) = alloc_mr(&b, b.h1, b.nic1, 4096, Access::remote_all());
-    b.fabric.mem_write(b.h0, src.addr, b"one-sided payload").unwrap();
+    b.fabric
+        .mem_write(b.h0, src.addr, b"one-sided payload")
+        .unwrap();
     let wc = b.rt.block_on({
         let qp0 = b.qp0.clone();
         async move {
@@ -198,7 +216,10 @@ fn small_message_latency_close_to_a_microsecond() {
             (h.now() - t0).as_nanos()
         }
     });
-    assert!((900..2_500).contains(&lat), "64 B send one-way latency {lat} ns");
+    assert!(
+        (900..2_500).contains(&lat),
+        "64 B send one-way latency {lat} ns"
+    );
 }
 
 #[test]
@@ -208,9 +229,12 @@ fn wqe_ordering_preserved() {
     let (src, src_mr) = alloc_mr(&b, b.h0, b.nic0, 8192, Access::local_only());
     let (dst, dst_mr) = alloc_mr(&b, b.h1, b.nic1, 8192, Access::local_only());
     b.fabric.mem_write(b.h0, src.addr, &[1u8; 4096]).unwrap();
-    b.fabric.mem_write(b.h0, src.addr.offset(4096), &[2u8; 64]).unwrap();
+    b.fabric
+        .mem_write(b.h0, src.addr.offset(4096), &[2u8; 64])
+        .unwrap();
     b.qp1.post_recv(10, dst_mr.lkey, dst.addr.as_u64(), 4096);
-    b.qp1.post_recv(11, dst_mr.lkey, dst.addr.as_u64() + 4096, 64);
+    b.qp1
+        .post_recv(11, dst_mr.lkey, dst.addr.as_u64() + 4096, 64);
     let order = b.rt.block_on({
         let qp0 = b.qp0.clone();
         let qp1 = b.qp1.clone();

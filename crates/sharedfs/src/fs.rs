@@ -153,7 +153,7 @@ impl SharedFs {
             return Err(FsError::DeviceTooSmall);
         }
         let per_ag = (total_fs_blocks - meta) / ag_count as u64 - 1; // minus bitmap block
-        // One 4 KiB bitmap block tracks up to 32768 data blocks.
+                                                                     // One 4 KiB bitmap block tracks up to 32768 data blocks.
         let ag_data_blocks = per_ag.min(FS_BLOCK * 8) as u32;
         let sb = Superblock {
             magic: MAGIC,
@@ -162,7 +162,9 @@ impl SharedFs {
             ag_count,
             ag_data_blocks,
         };
-        let buf = fabric.alloc(host, FS_BLOCK).map_err(|e| FsError::Io(e.to_string()))?;
+        let buf = fabric
+            .alloc(host, FS_BLOCK)
+            .map_err(|e| FsError::Io(e.to_string()))?;
         let tmp = SharedFs {
             fabric: fabric.clone(),
             host,
@@ -174,11 +176,13 @@ impl SharedFs {
             dev_blocks_per_fs_block,
         };
         tmp.write_fs_block(0, &sb.encode()).await?;
-        tmp.write_fs_block(1, &ClaimTable::default().encode()).await?;
+        tmp.write_fs_block(1, &ClaimTable::default().encode())
+            .await?;
         // Zero the inode table and every AG bitmap.
         let zero = vec![0u8; FS_BLOCK as usize];
         for b in 0..it_blocks {
-            tmp.write_fs_block(sb.inode_table_start() + b, &zero).await?;
+            tmp.write_fs_block(sb.inode_table_start() + b, &zero)
+                .await?;
         }
         for ag in 0..ag_count {
             tmp.write_fs_block(sb.ag_start(ag), &zero).await?;
@@ -189,14 +193,26 @@ impl SharedFs {
 
     /// Mount: read the superblock and claim an allocation group for this
     /// host (reusing its previous claim after a remount).
-    pub async fn mount(fabric: &Fabric, host: HostId, dev: Rc<dyn BlockDevice>) -> Result<SharedFs> {
+    pub async fn mount(
+        fabric: &Fabric,
+        host: HostId,
+        dev: Rc<dyn BlockDevice>,
+    ) -> Result<SharedFs> {
         let dev_blocks_per_fs_block = (FS_BLOCK / dev.block_size() as u64) as u32;
-        let buf = fabric.alloc(host, FS_BLOCK).map_err(|e| FsError::Io(e.to_string()))?;
+        let buf = fabric
+            .alloc(host, FS_BLOCK)
+            .map_err(|e| FsError::Io(e.to_string()))?;
         let mut fs = SharedFs {
             fabric: fabric.clone(),
             host,
             dev,
-            sb: Superblock { magic: 0, fs_blocks: 0, inode_count: 0, ag_count: 1, ag_data_blocks: 0 },
+            sb: Superblock {
+                magic: 0,
+                fs_blocks: 0,
+                inode_count: 0,
+                ag_count: 1,
+                ag_data_blocks: 0,
+            },
             ag: 0,
             bitmap: RefCell::new(Vec::new()),
             buf,
@@ -328,7 +344,10 @@ impl SharedFs {
             bm[i / 8] |= 1 << (i % 8);
         }
         // Data blocks start right after the AG's bitmap block.
-        Some(Extent { start: (self.sb.ag_start(self.ag) + 1 + start as u64) as u32, blocks: len })
+        Some(Extent {
+            start: (self.sb.ag_start(self.ag) + 1 + start as u64) as u32,
+            blocks: len,
+        })
     }
 
     fn free_extent(&self, e: Extent) {
@@ -347,7 +366,8 @@ impl SharedFs {
     /// Persist the AG bitmap.
     async fn sync_bitmap(&self) -> Result<()> {
         let snapshot = self.bitmap.borrow().clone();
-        self.write_fs_block(self.sb.ag_start(self.ag), &snapshot).await
+        self.write_fs_block(self.sb.ag_start(self.ag), &snapshot)
+            .await
     }
 
     // ------------------------------------------------------------------
@@ -384,7 +404,10 @@ impl SharedFs {
     pub async fn write(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
         let (idx, mut ino) = self.lookup(name).await?;
         if ino.owner != self.host.0 {
-            return Err(FsError::NotOwner { file: name.into(), owner: ino.owner });
+            return Err(FsError::NotOwner {
+                file: name.into(),
+                owner: ino.owner,
+            });
         }
         let end = offset + data.len() as u64;
         // Grow allocation to cover `end`. Freshly allocated blocks are
@@ -468,7 +491,10 @@ impl SharedFs {
     pub async fn remove(&self, name: &str) -> Result<()> {
         let (idx, ino) = self.lookup(name).await?;
         if ino.owner != self.host.0 {
-            return Err(FsError::NotOwner { file: name.into(), owner: ino.owner });
+            return Err(FsError::NotOwner {
+                file: name.into(),
+                owner: ino.owner,
+            });
         }
         for e in ino.extents.iter().filter(|e| e.blocks > 0) {
             self.free_extent(*e);
@@ -483,7 +509,11 @@ impl SharedFs {
         for idx in 0..self.sb.inode_count {
             let ino = self.read_inode(idx).await?;
             if ino.used {
-                out.push(DirEntry { name: ino.name, size: ino.size, owner: ino.owner });
+                out.push(DirEntry {
+                    name: ino.name,
+                    size: ino.size,
+                    owner: ino.owner,
+                });
             }
         }
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -493,12 +523,19 @@ impl SharedFs {
     /// File size, if it exists.
     pub async fn stat(&self, name: &str) -> Result<DirEntry> {
         let (_, ino) = self.lookup(name).await?;
-        Ok(DirEntry { name: ino.name, size: ino.size, owner: ino.owner })
+        Ok(DirEntry {
+            name: ino.name,
+            size: ino.size,
+            owner: ino.owner,
+        })
     }
 
     /// Flush the device write cache (maps to NVMe Flush).
     pub async fn sync(&self) -> Result<()> {
-        self.dev.submit(Bio::flush()).await.map_err(|e| FsError::Io(e.to_string()))
+        self.dev
+            .submit(Bio::flush())
+            .await
+            .map_err(|e| FsError::Io(e.to_string()))
     }
 }
 

@@ -62,7 +62,11 @@ impl Superblock {
     pub fn ag_inode_range(&self, ag: u32) -> (u32, u32) {
         let per = self.inode_count / self.ag_count;
         let first = ag * per;
-        let last = if ag + 1 == self.ag_count { self.inode_count } else { first + per };
+        let last = if ag + 1 == self.ag_count {
+            self.inode_count
+        } else {
+            first + per
+        };
         (first, last)
     }
 
@@ -198,7 +202,9 @@ pub struct ClaimTable {
 
 impl Default for ClaimTable {
     fn default() -> Self {
-        ClaimTable { owners: [0xFFFF; MAX_AGS] }
+        ClaimTable {
+            owners: [0xFFFF; MAX_AGS],
+        }
     }
 }
 
@@ -247,9 +253,20 @@ mod tests {
 
     #[test]
     fn inode_block_mapping_walks_extents() {
-        let mut ino = Inode { used: true, name: "f".into(), size: 0, ..Default::default() };
-        ino.extents[0] = Extent { start: 100, blocks: 3 };
-        ino.extents[1] = Extent { start: 500, blocks: 2 };
+        let mut ino = Inode {
+            used: true,
+            name: "f".into(),
+            size: 0,
+            ..Default::default()
+        };
+        ino.extents[0] = Extent {
+            start: 100,
+            blocks: 3,
+        };
+        ino.extents[1] = Extent {
+            start: 500,
+            blocks: 2,
+        };
         assert_eq!(ino.map_block(0), Some(100));
         assert_eq!(ino.map_block(2), Some(102));
         assert_eq!(ino.map_block(3), Some(500));

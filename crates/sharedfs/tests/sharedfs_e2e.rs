@@ -17,13 +17,17 @@ fn format_mount_roundtrip_on_ramdisk() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            SharedFs::format(&fabric, host, disk.clone(), 2, 64).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 2, 64)
+                .await
+                .unwrap();
             let fs = SharedFs::mount(&fabric, host, disk.clone()).await.unwrap();
             assert_eq!(fs.superblock().ag_count, 2);
             assert_eq!(fs.allocation_group(), 0);
             // Files round-trip, including a multi-block unaligned write.
             fs.create("hello.txt").await.unwrap();
-            fs.write("hello.txt", 0, b"hello, shared world").await.unwrap();
+            fs.write("hello.txt", 0, b"hello, shared world")
+                .await
+                .unwrap();
             let payload: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
             fs.create("big.bin").await.unwrap();
             fs.write("big.bin", 100, &payload).await.unwrap();
@@ -35,7 +39,13 @@ fn format_mount_roundtrip_on_ramdisk() {
             assert_eq!(big, payload);
             // Stat and list agree.
             assert_eq!(fs.stat("big.bin").await.unwrap().size, 9100);
-            let names: Vec<String> = fs.list().await.unwrap().into_iter().map(|e| e.name).collect();
+            let names: Vec<String> = fs
+                .list()
+                .await
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
             assert_eq!(names, vec!["big.bin", "hello.txt"]);
         }
     });
@@ -50,7 +60,9 @@ fn persistence_across_remount() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            SharedFs::format(&fabric, host, disk.clone(), 2, 64).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 2, 64)
+                .await
+                .unwrap();
             {
                 let fs = SharedFs::mount(&fabric, host, disk.clone()).await.unwrap();
                 fs.create("persist").await.unwrap();
@@ -80,16 +92,24 @@ fn errors_are_reported() {
                 SharedFs::mount(&fabric, host, disk.clone()).await.err(),
                 Some(FsError::NotFormatted)
             );
-            SharedFs::format(&fabric, host, disk.clone(), 1, 16).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 1, 16)
+                .await
+                .unwrap();
             let fs = SharedFs::mount(&fabric, host, disk.clone()).await.unwrap();
             fs.create("a").await.unwrap();
-            assert_eq!(fs.create("a").await.err(), Some(FsError::Exists("a".into())));
+            assert_eq!(
+                fs.create("a").await.err(),
+                Some(FsError::Exists("a".into()))
+            );
             assert_eq!(
                 fs.read("missing", 0, &mut [0u8; 4]).await.err(),
                 Some(FsError::NotFound("missing".into()))
             );
             let long = "x".repeat(80);
-            assert!(matches!(fs.create(&long).await, Err(FsError::NameTooLong(_))));
+            assert!(matches!(
+                fs.create(&long).await,
+                Err(FsError::NameTooLong(_))
+            ));
         }
     });
 }
@@ -103,7 +123,9 @@ fn delete_frees_space_for_reuse() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            SharedFs::format(&fabric, host, disk.clone(), 1, 16).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 1, 16)
+                .await
+                .unwrap();
             let fs = SharedFs::mount(&fabric, host, disk.clone()).await.unwrap();
             let free0 = fs.free_blocks();
             fs.create("tmp").await.unwrap();
@@ -129,7 +151,9 @@ fn two_hosts_share_one_filesystem_over_the_cluster() {
     let (host_a, disk_a) = sc.clients[0].clone();
     let (host_b, disk_b) = sc.clients[1].clone();
     sc.rt.block_on(async move {
-        SharedFs::format(&fabric, host_a, disk_a.clone(), 4, 64).await.unwrap();
+        SharedFs::format(&fabric, host_a, disk_a.clone(), 4, 64)
+            .await
+            .unwrap();
         let fs_a = SharedFs::mount(&fabric, host_a, disk_a).await.unwrap();
         let fs_b = SharedFs::mount(&fabric, host_b, disk_b).await.unwrap();
         assert_ne!(fs_a.allocation_group(), fs_b.allocation_group());
@@ -138,7 +162,9 @@ fn two_hosts_share_one_filesystem_over_the_cluster() {
         fs_a.create("from-a").await.unwrap();
         fs_a.write("from-a", 0, b"written by host A").await.unwrap();
         fs_b.create("from-b").await.unwrap();
-        fs_b.write("from-b", 0, &vec![0xB0; 20 << 10]).await.unwrap();
+        fs_b.write("from-b", 0, &vec![0xB0; 20 << 10])
+            .await
+            .unwrap();
 
         // Cross-host visibility: B reads A's file and vice versa.
         let mut out = vec![0u8; 17];
@@ -174,7 +200,9 @@ fn extent_merging_survives_many_appends() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            SharedFs::format(&fabric, host, disk.clone(), 1, 16).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 1, 16)
+                .await
+                .unwrap();
             let fs = SharedFs::mount(&fabric, host, disk.clone()).await.unwrap();
             fs.create("log").await.unwrap();
             let chunk = vec![0x11u8; 4096];
@@ -195,6 +223,7 @@ fn random_file_operations_match_model() {
     // an in-memory reference. Catches extent-mapping, RMW-edge, and
     // allocator bugs that directed tests miss.
     use simcore::SimRng;
+    use std::collections::hash_map::Entry;
     use std::collections::HashMap;
 
     let rt = SimRuntime::new();
@@ -204,7 +233,9 @@ fn random_file_operations_match_model() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            SharedFs::format(&fabric, host, disk.clone(), 2, 32).await.unwrap();
+            SharedFs::format(&fabric, host, disk.clone(), 2, 32)
+                .await
+                .unwrap();
             let fs = SharedFs::mount(&fabric, host, disk).await.unwrap();
             let mut model: HashMap<String, Vec<u8>> = HashMap::new();
             let mut rng = SimRng::seed_from_u64(0xF5F5);
@@ -214,10 +245,15 @@ fn random_file_operations_match_model() {
                     // create
                     0..=2 => {
                         let r = fs.create(&name).await;
-                        if model.contains_key(&name) {
-                            assert!(matches!(r, Err(FsError::Exists(_))), "step {step}");
-                        } else if r.is_ok() {
-                            model.insert(name, Vec::new());
+                        match model.entry(name) {
+                            Entry::Occupied(_) => {
+                                assert!(matches!(r, Err(FsError::Exists(_))), "step {step}");
+                            }
+                            Entry::Vacant(e) => {
+                                if r.is_ok() {
+                                    e.insert(Vec::new());
+                                }
+                            }
                         }
                         // NoFreeInode acceptable when the AG partition fills
                     }
@@ -225,8 +261,7 @@ fn random_file_operations_match_model() {
                     3..=5 => {
                         let len = rng.below(10_000) as usize + 1;
                         let off = rng.below(20_000);
-                        let data: Vec<u8> =
-                            (0..len).map(|_| rng.below(256) as u8).collect();
+                        let data: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
                         let r = fs.write(&name, off, &data).await;
                         match model.get_mut(&name) {
                             Some(m) if r.is_ok() => {
@@ -250,8 +285,7 @@ fn random_file_operations_match_model() {
                         match model.get(&name) {
                             Some(m) => {
                                 let n = r.unwrap_or_else(|e| panic!("step {step}: {e}"));
-                                let expect_n =
-                                    m.len().saturating_sub(off as usize).min(buf.len());
+                                let expect_n = m.len().saturating_sub(off as usize).min(buf.len());
                                 assert_eq!(n, expect_n, "step {step} length");
                                 if n > 0 {
                                     assert_eq!(

@@ -1,0 +1,73 @@
+//! Offline shim for the `crossbeam` 0.8 API surface this workspace uses:
+//! `crossbeam::thread::scope` with spawn closures that receive the scope
+//! (so nested spawns work), returning `thread::Result` like upstream.
+//! Backed by `std::thread::scope`, which provides the same structured-
+//! concurrency guarantee (all threads joined before `scope` returns).
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Wrapper matching `crossbeam::thread::Scope`'s spawn signature, where
+    /// the closure receives the scope for nested fan-out.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope: &'scope std_thread::Scope<'scope, 'env> = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; every spawned thread is joined before this
+    /// returns. Always `Ok`: a panicked child that was joined surfaces at
+    /// the `join()` call, and an unjoined panicked child propagates its
+    /// panic out of `std::thread::scope` directly (aborting the scope),
+    /// matching how callers in this workspace use `.unwrap()`/`.expect()`.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_fanout_collects() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

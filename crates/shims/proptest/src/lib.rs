@@ -1,0 +1,512 @@
+//! Offline shim for the `proptest` surface this workspace uses.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (derived from the test name), there is no shrinking — a failing case
+//! panics with the generated inputs so it can be reproduced by reading the
+//! message — and the strategy combinators cover exactly what the workspace
+//! needs: `any::<T>()`, integer ranges, tuples, `prop::collection::vec`,
+//! `.prop_map`, `Just`, and a tiny regex subset for `&str` strategies
+//! (character classes with `{m,n}`/`*`/`+`/`?` quantifiers).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs. Upstream defaults to 256; 64 keeps
+/// the deterministic suite fast while still exploring edge values (the
+/// integer strategies bias toward MIN/0/1/MAX).
+pub const CASES: u64 = 64;
+
+/// Rejection marker produced by `prop_assume!` to skip a case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reject;
+
+/// Deterministic splitmix64 stream used by the strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; bound must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// FNV-1a over the test name, for per-test seed separation.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A value generator. Unlike upstream there is no shrinking tree; `generate`
+/// directly yields a value.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `.prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<A>(PhantomData<A>);
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values: real-world codec bugs live at
+                // MIN/0/1/MAX far more often than mid-range.
+                match rng.below(10) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = hi.wrapping_sub(lo) as u64 + 1;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0x7f).max(0x20) as u32).unwrap_or('a')
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Collection size specification accepted by `prop::collection::vec`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_exclusive: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_exclusive: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi_exclusive - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+    }
+}
+
+// ------------------------------------------------------------ regex-lite
+
+/// One regex atom: a set of candidate chars plus a repetition range.
+struct RegexPiece {
+    choices: Vec<char>,
+    min: usize,
+    max_inclusive: usize,
+}
+
+/// `&str` patterns act as string strategies, as in upstream proptest. Only
+/// the subset used by this workspace's tests is implemented: literal chars,
+/// character classes (`[a-z0-9._-]`) and the quantifiers `{m}`, `{m,n}`,
+/// `*`, `+`, `?`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_regex_lite(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let span = (p.max_inclusive - p.min + 1) as u64;
+            let n = p.min + rng.below(span) as usize;
+            for _ in 0..n {
+                out.push(p.choices[rng.below(p.choices.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_regex_lite(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        let choices = match chars[pos] {
+            '[' => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("proptest shim: unterminated class in {pattern:?}"))
+                    + pos;
+                let class: Vec<char> = chars[pos + 1..close].to_vec();
+                pos = close + 1;
+                expand_class(&class, pattern)
+            }
+            '\\' => {
+                pos += 2;
+                vec![chars[pos - 1]]
+            }
+            c => {
+                pos += 1;
+                vec![c]
+            }
+        };
+        // Quantifier, if any.
+        let (min, max_inclusive) = match chars.get(pos) {
+            Some('{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("proptest shim: unterminated quantifier in {pattern:?}"))
+                    + pos;
+                let body: String = chars[pos + 1..close].iter().collect();
+                pos = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                pos += 1;
+                (0, 7)
+            }
+            Some('+') => {
+                pos += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                pos += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(RegexPiece { choices, min, max_inclusive });
+    }
+    pieces
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        class.first() != Some(&'^'),
+        "proptest shim: negated classes are not supported ({pattern:?})"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "proptest shim: bad class range in {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "proptest shim: empty class in {pattern:?}");
+    out
+}
+
+// ------------------------------------------------------------ macros
+
+/// The `proptest!` block: each contained `#[test] fn name(pat in strategy, ...)`
+/// becomes a deterministic multi-case test.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted = 0u64;
+            let mut __attempts = 0u64;
+            while __accepted < $crate::CASES {
+                __attempts += 1;
+                if __attempts > $crate::CASES * 20 {
+                    panic!("proptest shim: too many rejected cases in {}", stringify!($name));
+                }
+                let mut __rng = $crate::TestRng::new(__seed ^ (__attempts.wrapping_mul(0x9E3779B97F4A7C15)));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::Reject> = (|| {
+                    { $body }
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err($crate::Reject) => continue,
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Assertion that reports the failing generated inputs via panic (no
+/// shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{any, prop, Any, Arbitrary, Just, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in 3u64..17, w in 0u8..4) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!(w < 4);
+        }
+
+        #[test]
+        fn vec_sizes(ops in prop::collection::vec((0u8..2, 1u64..64), 1..60)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 60);
+            for (a, b) in ops {
+                prop_assert!(a < 2);
+                prop_assert!((1..64).contains(&b));
+            }
+        }
+
+        #[test]
+        fn regex_lite_strings(name in "[a-z0-9/_.-]{0,64}") {
+            prop_assert!(name.len() <= 64);
+            prop_assert!(name.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "/_.-".contains(c)));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (1u64 << 32..1u64 << 40).prop_map(|v| v & !0xFFF)) {
+            prop_assert_eq!(v & 0xFFF, 0);
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let strat = prop::collection::vec(any::<u8>(), 6usize);
+        let mut rng = TestRng::new(1);
+        for _ in 0..16 {
+            assert_eq!(Strategy::generate(&strat, &mut rng).len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::new(9);
+        let mut b = TestRng::new(9);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

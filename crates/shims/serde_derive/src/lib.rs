@@ -1,0 +1,392 @@
+//! Offline shim for `serde_derive`. The container has no network access, so
+//! `syn`/`quote` are unavailable; the derive input is parsed directly from
+//! the `proc_macro` token stream. Supported shapes — which cover every
+//! derive site in this workspace — are non-generic structs (unit, tuple,
+//! named) and enums whose variants are unit, tuple, or struct-like.
+//! Generated code targets the shim `serde`'s `Value` model and mirrors
+//! serde_json's conventions: newtype structs and one-element tuple variants
+//! are transparent, unit variants encode as strings, data variants as
+//! single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Tuple fields; the count is all we need (types are recovered by
+    /// inference at the `from_value` call sites).
+    Tuple(usize),
+    /// Named field identifiers in declaration order.
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive shim: generated Serialize does not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive shim: generated Deserialize does not parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other}"),
+    };
+    pos += 1;
+
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other}"),
+    };
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&tokens, pos)),
+        "enum" => Shape::Enum(parse_enum_body(&tokens, pos, &name)),
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: usize) -> Fields {
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+    }
+}
+
+/// Field names from a named-field body: `[attrs] [vis] name : Type ,` — the
+/// type is skipped up to the next comma that sits outside any `<...>`
+/// nesting (parenthesized/bracketed types are opaque groups already).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found {other}"),
+        }
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count tuple-struct fields: top-level commas (outside `<...>`) + 1,
+/// honoring a possible trailing comma.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if i + 1 < tokens.len() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_enum_body(tokens: &[TokenTree], pos: usize, name: &str) -> Vec<(String, Fields)> {
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim: expected enum body for `{name}`, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive shim: explicit discriminants on `{name}::{vname}` are not supported");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push((vname, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Serialize::to_value(&self.{i}),");
+            }
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Shape::Struct(Fields::Named(fields)) => named_fields_to_map(fields, "&self."),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let mut items = String::new();
+                            for b in &binders {
+                                let _ = write!(items, "::serde::Serialize::to_value({b}),");
+                            }
+                            format!("::serde::Value::Seq(::std::vec![{items}])")
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binds = binders.join(",")
+                        );
+                    }
+                    Fields::Named(fnames) => {
+                        let payload = named_fields_to_map(fnames, "");
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                            binds = fnames.join(",")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_to_map(fields: &[String], accessor_prefix: &str) -> String {
+    let mut items = String::new();
+    for f in fields {
+        let _ = write!(
+            items,
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({accessor_prefix}{f})),"
+        );
+    }
+    format!("::serde::Value::Map(::std::vec![{items}])")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Unit) => {
+            format!("let _ = v; ::std::result::Result::Ok({name})")
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut items = String::new();
+            for i in 0..*n {
+                let _ = write!(items, "::serde::Deserialize::from_value(&__seq[{i}])?,");
+            }
+            format!(
+                "let __seq = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n}\", \"{name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __map = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {items} }})",
+                items = named_fields_from_map(fields, name)
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?))")
+                        } else {
+                            let mut items = String::new();
+                            for i in 0..*n {
+                                let _ = write!(items, "::serde::Deserialize::from_value(&__seq[{i}])?,");
+                            }
+                            format!(
+                                "{{ let __seq = __payload.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                                   if __seq.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n}\", \"{name}::{vname}\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vname}({items})) }}"
+                            )
+                        };
+                        let _ = write!(data_arms, "\"{vname}\" => {build},");
+                    }
+                    Fields::Named(fnames) => {
+                        let _ = write!(
+                            data_arms,
+                            "\"{vname}\" => {{ let __map = __payload.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {items} }}) }},",
+                            items = named_fields_from_map(fnames, &format!("{name}::{vname}"))
+                        );
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown unit variant {{__other}} for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown variant {{__other}} for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum representation\", \"{name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(fields: &[String], _ctx: &str) -> String {
+    let mut items = String::new();
+    for f in fields {
+        let _ = write!(
+            items,
+            "{f}: ::serde::Deserialize::from_value(::serde::Value::field(__map, \"{f}\"))?,"
+        );
+    }
+    items
+}

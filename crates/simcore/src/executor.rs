@@ -18,7 +18,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex}; // lint:allow(D04) — Waker plumbing must be Send+Sync
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::time::{SimDuration, SimTime};
@@ -36,7 +36,7 @@ type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 /// stays in single-threaded `RefCell`s.
 #[derive(Default)]
 struct WakeQueue {
-    ready: Mutex<VecDeque<TaskId>>,
+    ready: Mutex<VecDeque<TaskId>>, // lint:allow(D04) — see above
 }
 
 impl WakeQueue {
@@ -97,7 +97,17 @@ struct Core {
     next_task: Cell<u64>,
     next_timer_seq: Cell<u64>,
     steps: Cell<u64>,
+    /// FNV-1a over the poll sequence `(task id, virtual time)` — the
+    /// event-stream hash. Two runs of the same scenario with the same seed
+    /// must end with identical hashes; any divergence in scheduling order
+    /// shows up here immediately.
+    trace: Cell<u64>,
+    #[cfg(feature = "sanitize")]
+    sanitize: crate::sanitize::SanitizerState,
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Core {
     fn new() -> Rc<Core> {
@@ -110,7 +120,18 @@ impl Core {
             next_task: Cell::new(0),
             next_timer_seq: Cell::new(0),
             steps: Cell::new(0),
+            trace: Cell::new(FNV_OFFSET),
+            #[cfg(feature = "sanitize")]
+            sanitize: crate::sanitize::SanitizerState::default(),
         })
+    }
+
+    fn trace_fold(&self, word: u64) {
+        let mut h = self.trace.get();
+        for b in word.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self.trace.set(h);
     }
 
     fn alloc_task_id(&self) -> TaskId {
@@ -122,7 +143,11 @@ impl Core {
     fn register_timer(&self, deadline: SimTime, waker: Waker) {
         let seq = self.next_timer_seq.get();
         self.next_timer_seq.set(seq + 1);
-        self.timers.borrow_mut().push(Reverse(TimerEntry { deadline, seq, waker }));
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
     }
 
     /// Admit freshly spawned tasks and mark them runnable.
@@ -138,15 +163,22 @@ impl Core {
     fn run_ready(&self) {
         loop {
             self.admit_spawned();
-            let Some(id) = self.wake_queue.pop() else { break };
+            let Some(id) = self.wake_queue.pop() else {
+                break;
+            };
             // Take the future out of the map so the task body may itself
             // spawn/wake without re-entering the `tasks` borrow.
             let Some(mut fut) = self.tasks.borrow_mut().remove(&id) else {
                 continue; // already completed; stale wake
             };
-            let waker = Waker::from(Arc::new(TaskWaker { id, queue: self.wake_queue.clone() }));
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                queue: self.wake_queue.clone(),
+            }));
             let mut cx = Context::from_waker(&waker);
             self.steps.set(self.steps.get() + 1);
+            self.trace_fold(id.0);
+            self.trace_fold(self.now.get().as_nanos());
             match fut.as_mut().poll(&mut cx) {
                 Poll::Ready(()) => {}
                 Poll::Pending => {
@@ -205,7 +237,9 @@ impl SimRuntime {
     /// inside simulation code. Handles hold a weak reference so tasks that
     /// capture one do not keep the runtime alive.
     pub fn handle(&self) -> Handle {
-        Handle { core: Rc::downgrade(&self.core) }
+        Handle {
+            core: Rc::downgrade(&self.core),
+        }
     }
 
     /// Current virtual time.
@@ -216,6 +250,31 @@ impl SimRuntime {
     /// Total task polls performed so far (diagnostic).
     pub fn steps(&self) -> u64 {
         self.core.steps.get()
+    }
+
+    /// The event-stream hash: FNV-1a over every `(task id, virtual time)`
+    /// poll performed so far. Equal seeds must yield equal hashes; the
+    /// determinism regression harness runs scenarios twice and compares.
+    pub fn trace_hash(&self) -> u64 {
+        self.core.trace.get()
+    }
+
+    /// Violations recorded by the simulation-time sanitizer so far.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_violations(&self) -> Vec<crate::sanitize::Violation> {
+        self.core.sanitize.violations()
+    }
+
+    /// Drain the recorded sanitizer violations.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_take_violations(&self) -> Vec<crate::sanitize::Violation> {
+        self.core.sanitize.take()
+    }
+
+    /// Panic at the moment of the next violation instead of recording it.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_panic_on_violation(&self, on: bool) {
+        self.core.sanitize.set_panic(on);
     }
 
     /// Run until no runnable task and no pending timer remains.
@@ -249,7 +308,9 @@ pub struct Handle {
 
 impl Handle {
     fn core(&self) -> Rc<Core> {
-        self.core.upgrade().expect("SimRuntime dropped while handle in use")
+        self.core
+            .upgrade()
+            .expect("SimRuntime dropped while handle in use")
     }
 
     /// Current virtual time.
@@ -260,13 +321,19 @@ impl Handle {
     /// A future that completes `d` later on the virtual clock.
     pub fn sleep(&self, d: SimDuration) -> Sleep {
         let core = self.core();
-        Sleep { handle: self.clone(), deadline: core.now.get() + d }
+        Sleep {
+            handle: self.clone(),
+            deadline: core.now.get() + d,
+        }
     }
 
     /// A future that completes at absolute virtual time `t` (immediately if
     /// `t` has passed).
     pub fn sleep_until(&self, t: SimTime) -> Sleep {
-        Sleep { handle: self.clone(), deadline: t }
+        Sleep {
+            handle: self.clone(),
+            deadline: t,
+        }
     }
 
     /// Spawn a task. The task starts running at the current virtual time
@@ -274,7 +341,10 @@ impl Handle {
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
         let core = self.core();
         let id = core.alloc_task_id();
-        let state = Rc::new(RefCell::new(JoinState { value: None, waker: None }));
+        let state = Rc::new(RefCell::new(JoinState {
+            value: None,
+            waker: None,
+        }));
         let state2 = state.clone();
         let wrapped = Box::pin(async move {
             let value = fut.await;
@@ -290,6 +360,37 @@ impl Handle {
 
     pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
         self.core().register_timer(deadline, waker);
+    }
+
+    /// The runtime's event-stream hash (see [`SimRuntime::trace_hash`]).
+    pub fn trace_hash(&self) -> u64 {
+        self.core().trace.get()
+    }
+
+    /// Record a sanitizer violation at the current virtual time.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_report(&self, code: &'static str, detail: String) {
+        let core = self.core();
+        core.sanitize
+            .report(code, core.now.get().as_nanos(), detail);
+    }
+
+    /// Violations recorded so far (see [`SimRuntime::sanitize_violations`]).
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_violations(&self) -> Vec<crate::sanitize::Violation> {
+        self.core().sanitize.violations()
+    }
+
+    /// Drain the recorded sanitizer violations.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_take_violations(&self) -> Vec<crate::sanitize::Violation> {
+        self.core().sanitize.take()
+    }
+
+    /// Panic at the moment of the next violation instead of recording it.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_panic_on_violation(&self, on: bool) {
+        self.core().sanitize.set_panic(on);
     }
 }
 
@@ -313,7 +414,8 @@ impl Future for Sleep {
         if self.handle.now() >= self.deadline {
             Poll::Ready(())
         } else {
-            self.handle.register_timer(self.deadline, cx.waker().clone());
+            self.handle
+                .register_timer(self.deadline, cx.waker().clone());
             Poll::Pending
         }
     }

@@ -26,6 +26,8 @@
 pub mod executor;
 pub mod resource;
 pub mod rng;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -33,5 +35,7 @@ pub mod time;
 pub use executor::{yield_now, Handle, JoinHandle, SimRuntime, TaskId};
 pub use resource::SerialResource;
 pub use rng::SimRng;
+#[cfg(feature = "sanitize")]
+pub use sanitize::Violation;
 pub use stats::{Histogram, LatencyRecorder, LatencySummary};
 pub use time::{SimDuration, SimTime};

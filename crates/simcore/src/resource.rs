@@ -18,7 +18,10 @@ pub struct SerialResource {
 impl SerialResource {
     /// A resource that is free immediately.
     pub fn new(handle: Handle) -> Self {
-        SerialResource { handle, busy_until: std::rc::Rc::new(Cell::new(SimTime::ZERO)) }
+        SerialResource {
+            handle,
+            busy_until: std::rc::Rc::new(Cell::new(SimTime::ZERO)),
+        }
     }
 
     /// Reserve `service` time on this resource starting no earlier than now;

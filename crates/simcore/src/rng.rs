@@ -18,7 +18,9 @@ pub struct SimRng {
 impl SimRng {
     /// A deterministic stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream (splitmix over a fresh seed).
@@ -108,12 +110,13 @@ impl SimRng {
                 t.powf(1.0 / (1.0 - s))
             };
             let k = x.floor().max(1.0);
-            let ratio = (k / x).powf(s) * if (s - 1.0).abs() < 1e-9 {
-                x / k
-            } else {
-                // acceptance uses the envelope density ratio
-                1.0
-            };
+            let ratio = (k / x).powf(s)
+                * if (s - 1.0).abs() < 1e-9 {
+                    x / k
+                } else {
+                    // acceptance uses the envelope density ratio
+                    1.0
+                };
             if v * k * ratio <= x || k <= 1.0 {
                 let idx = (k as u64).min(n) - 1;
                 return idx;
@@ -206,7 +209,12 @@ mod tests {
             counts[k as usize] += 1;
         }
         // Rank 0 must be sampled far more often than rank 500.
-        assert!(counts[0] > counts[500] * 5, "{} vs {}", counts[0], counts[500]);
+        assert!(
+            counts[0] > counts[500] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[500]
+        );
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Simulation-time protocol sanitizer (feature `sanitize`).
+//!
+//! The sanitizer is a passive observer: model code reports protocol
+//! violations it detects (a non-posted read racing an in-flight posted
+//! write, a doorbell exposing unwritten SQEs, a completion-queue phase
+//! error, overlapping bounce-buffer partitions) and the runtime records
+//! them without disturbing virtual time. Tests then assert on the recorded
+//! violations; [`Handle::sanitize_panic_on_violation`] turns a report into
+//! an immediate panic for interactive debugging.
+//!
+//! [`Handle::sanitize_panic_on_violation`]: crate::Handle::sanitize_panic_on_violation
+
+use std::cell::{Cell, RefCell};
+
+/// One recorded protocol violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Stable machine-readable code, e.g. `pcie.read-races-posted-write`.
+    pub code: &'static str,
+    /// Virtual time of detection, in nanoseconds.
+    pub at_nanos: u64,
+    /// Human-readable context (addresses, queue ids, ranges).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] t={}ns: {}", self.code, self.at_nanos, self.detail)
+    }
+}
+
+/// Per-runtime sanitizer state, owned by the executor core.
+#[derive(Default)]
+pub(crate) struct SanitizerState {
+    violations: RefCell<Vec<Violation>>,
+    panic_on_violation: Cell<bool>,
+}
+
+impl SanitizerState {
+    pub(crate) fn report(&self, code: &'static str, at_nanos: u64, detail: String) {
+        if self.panic_on_violation.get() {
+            panic!("sanitize violation [{code}] at t={at_nanos}ns: {detail}");
+        }
+        self.violations.borrow_mut().push(Violation {
+            code,
+            at_nanos,
+            detail,
+        });
+    }
+
+    pub(crate) fn violations(&self) -> Vec<Violation> {
+        self.violations.borrow().clone()
+    }
+
+    pub(crate) fn take(&self) -> Vec<Violation> {
+        std::mem::take(&mut *self.violations.borrow_mut())
+    }
+
+    pub(crate) fn set_panic(&self, on: bool) {
+        self.panic_on_violation.set(on);
+    }
+}

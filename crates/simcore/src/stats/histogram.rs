@@ -30,7 +30,13 @@ impl Histogram {
     /// An empty histogram covering the full `u64` range.
     pub fn new() -> Self {
         // 64 exponents x 32 sub-buckets covers the full u64 range.
-        Histogram { counts: vec![0; (64 * SUB_COUNT) as usize], total: 0, min: u64::MAX, max: 0, sum: 0 }
+        Histogram {
+            counts: vec![0; (64 * SUB_COUNT) as usize],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
     }
 
     fn index_of(value: u64) -> usize {

@@ -21,7 +21,9 @@ impl LatencyRecorder {
 
     /// An empty recorder preallocated for `n` samples.
     pub fn with_capacity(n: usize) -> Self {
-        LatencyRecorder { samples: Vec::with_capacity(n) }
+        LatencyRecorder {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Record one latency sample.
@@ -65,7 +67,11 @@ impl LatencyRecorder {
         let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
         let mean = (sum / count as u128) as u64;
         let mean_f = sum as f64 / count as f64;
-        let var = sorted.iter().map(|&v| (v as f64 - mean_f).powi(2)).sum::<f64>() / count as f64;
+        let var = sorted
+            .iter()
+            .map(|&v| (v as f64 - mean_f).powi(2))
+            .sum::<f64>()
+            / count as f64;
         let pct = |q: f64| -> u64 {
             // Nearest-rank percentile on the sorted array.
             let rank = ((q / 100.0) * count as f64).ceil().max(1.0) as usize;

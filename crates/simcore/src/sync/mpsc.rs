@@ -24,7 +24,12 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         senders: 1,
         receiver_alive: true,
     }));
-    (Sender { shared: shared.clone() }, Receiver { shared })
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
 }
 
 /// The cloneable sending half.
@@ -60,7 +65,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.borrow_mut().senders += 1;
-        Sender { shared: self.shared.clone() }
+        Sender {
+            shared: self.shared.clone(),
+        }
     }
 }
 

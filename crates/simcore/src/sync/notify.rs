@@ -54,7 +54,11 @@ impl Notify {
 
     /// Wait until notified (or immediately consume a stored permit).
     pub fn notified(&self) -> Notified {
-        Notified { notify: self.clone(), key: None, done: false }
+        Notified {
+            notify: self.clone(),
+            key: None,
+            done: false,
+        }
     }
 
     /// Number of tasks currently parked on this notify (diagnostic).

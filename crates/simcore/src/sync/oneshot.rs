@@ -16,8 +16,18 @@ struct Shared<T> {
 
 /// Create a connected oneshot pair.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-    let shared = Rc::new(RefCell::new(Shared { value: None, waker: None, sender_dropped: false }));
-    (Sender { shared: shared.clone(), sent: false }, Receiver { shared })
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+    }));
+    (
+        Sender {
+            shared: shared.clone(),
+            sent: false,
+        },
+        Receiver { shared },
+    )
 }
 
 /// The sending half; consumed by [`Sender::send`].

@@ -24,7 +24,11 @@ impl Semaphore {
     /// A semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
         Semaphore {
-            state: Rc::new(RefCell::new(SemState { permits, waiters: Vec::new(), next_key: 0 })),
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: Vec::new(),
+                next_key: 0,
+            })),
         }
     }
 
@@ -41,7 +45,11 @@ impl Semaphore {
     /// Acquire `n` permits at once (FIFO: a large waiter at the head blocks
     /// later small ones, preventing starvation).
     pub fn acquire_many(&self, n: usize) -> Acquire {
-        Acquire { sem: self.clone(), wanted: n, key: None }
+        Acquire {
+            sem: self.clone(),
+            wanted: n,
+            key: None,
+        }
     }
 
     /// Try to acquire without waiting.
@@ -49,7 +57,10 @@ impl Semaphore {
         let mut st = self.state.borrow_mut();
         if st.waiters.is_empty() && st.permits >= 1 {
             st.permits -= 1;
-            Some(Permit { sem: self.clone(), count: 1 })
+            Some(Permit {
+                sem: self.clone(),
+                count: 1,
+            })
         } else {
             None
         }
@@ -118,7 +129,11 @@ impl Future for Acquire {
         let mut st = self.sem.state.borrow_mut();
         let at_head = match self.key {
             None => st.waiters.is_empty(),
-            Some(key) => st.waiters.first().map(|(k, _, _)| *k == key).unwrap_or(false),
+            Some(key) => st
+                .waiters
+                .first()
+                .map(|(k, _, _)| *k == key)
+                .unwrap_or(false),
         };
         if at_head && st.permits >= self.wanted {
             st.permits -= self.wanted;
@@ -128,7 +143,10 @@ impl Future for Acquire {
             let wanted = self.wanted;
             drop(st);
             self.key = None;
-            return Poll::Ready(Permit { sem: self.sem.clone(), count: wanted });
+            return Poll::Ready(Permit {
+                sem: self.sem.clone(),
+                count: wanted,
+            });
         }
         match self.key {
             None => {

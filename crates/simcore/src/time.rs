@@ -119,7 +119,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 
@@ -139,7 +143,11 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
     }
 }
 
@@ -233,7 +241,10 @@ mod tests {
         let d = SimDuration::from_nanos(300);
         assert_eq!((d * 3).as_nanos(), 900);
         assert_eq!((d / 2).as_nanos(), 150);
-        assert_eq!(d.saturating_sub(SimDuration::from_nanos(500)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_nanos(500)),
+            SimDuration::ZERO
+        );
         let total: SimDuration = [d, d, d].into_iter().sum();
         assert_eq!(total.as_nanos(), 900);
     }

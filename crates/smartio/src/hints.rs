@@ -25,17 +25,30 @@ pub struct AccessHints {
 impl AccessHints {
     /// A submission queue: the CPU writes commands, the device reads them.
     pub fn sq() -> Self {
-        AccessHints { device_read: true, cpu_write: true, ..Default::default() }
+        AccessHints {
+            device_read: true,
+            cpu_write: true,
+            ..Default::default()
+        }
     }
 
     /// A completion queue: the device writes entries, the CPU polls them.
     pub fn cq() -> Self {
-        AccessHints { device_write: true, cpu_read: true, ..Default::default() }
+        AccessHints {
+            device_write: true,
+            cpu_read: true,
+            ..Default::default()
+        }
     }
 
     /// A data bounce buffer: everyone does everything.
     pub fn buffer() -> Self {
-        AccessHints { device_read: true, device_write: true, cpu_read: true, cpu_write: true }
+        AccessHints {
+            device_read: true,
+            device_write: true,
+            cpu_read: true,
+            cpu_write: true,
+        }
     }
 
     /// Placement decision: `true` = allocate in the device's host.

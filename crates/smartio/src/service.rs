@@ -14,7 +14,7 @@
 //!   address space directly.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use pcie::{DeviceId, DomainAddr, Fabric, HostId, MemRegion, NtbId, PhysAddr};
@@ -95,9 +95,11 @@ pub struct DmaWindow {
 }
 
 struct State {
-    segments: HashMap<SegmentId, SegmentInfo>,
-    devices: HashMap<SmartDeviceId, DeviceInfo>,
-    names: HashMap<String, SegmentId>,
+    // BTreeMaps, not HashMaps: `destroy_segment` and `devices()` iterate,
+    // and iteration order must not depend on hasher state (determinism).
+    segments: BTreeMap<SegmentId, SegmentInfo>,
+    devices: BTreeMap<SmartDeviceId, DeviceInfo>,
+    names: BTreeMap<String, SegmentId>,
     next_segment: u32,
     next_device: u32,
 }
@@ -115,9 +117,9 @@ impl SmartIo {
         SmartIo {
             fabric: fabric.clone(),
             state: Rc::new(RefCell::new(State {
-                segments: HashMap::new(),
-                devices: HashMap::new(),
-                names: HashMap::new(),
+                segments: BTreeMap::new(),
+                devices: BTreeMap::new(),
+                names: BTreeMap::new(),
                 next_segment: 1,
                 next_device: 1,
             })),
@@ -148,22 +150,32 @@ impl SmartIo {
                     st.next_segment += 1;
                     st.segments.insert(
                         sid,
-                        SegmentInfo { region, kind: SegmentKind::Bar { dev: id, bar }, exported: true },
+                        SegmentInfo {
+                            region,
+                            kind: SegmentKind::Bar { dev: id, bar },
+                            exported: true,
+                        },
                     );
                     bar_segments.push(sid);
                 }
                 Err(_) => break,
             }
         }
-        st.devices.insert(id, DeviceInfo { dev, host, bar_segments, borrow: BorrowState::default() });
+        st.devices.insert(
+            id,
+            DeviceInfo {
+                dev,
+                host,
+                bar_segments,
+                borrow: BorrowState::default(),
+            },
+        );
         Ok(id)
     }
 
-    /// All devices registered with the service (discovery).
+    /// All devices registered with the service (discovery), in id order.
     pub fn devices(&self) -> Vec<SmartDeviceId> {
-        let mut v: Vec<_> = self.state.borrow().devices.keys().copied().collect();
-        v.sort();
-        v
+        self.state.borrow().devices.keys().copied().collect()
     }
 
     /// The host a device physically resides in.
@@ -180,9 +192,13 @@ impl SmartIo {
     pub fn bar_segment(&self, id: SmartDeviceId, bar: u8) -> Result<SegmentId> {
         let st = self.state.borrow();
         let d = st.devices.get(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
-        d.bar_segments.get(bar as usize).copied().ok_or({
-            SmartIoError::Fabric(pcie::FabricError::BadBar { dev: d.dev, bar })
-        })
+        d.bar_segments
+            .get(bar as usize)
+            .copied()
+            .ok_or(SmartIoError::Fabric(pcie::FabricError::BadBar {
+                dev: d.dev,
+                bar,
+            }))
     }
 
     fn dev_info(&self, id: SmartDeviceId) -> Result<(HostId, DeviceId)> {
@@ -201,7 +217,10 @@ impl SmartIo {
     /// then release and let clients take shared references.)
     pub fn acquire(&self, id: SmartDeviceId, host: HostId, mode: BorrowMode) -> Result<()> {
         let mut st = self.state.borrow_mut();
-        let d = st.devices.get_mut(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        let d = st
+            .devices
+            .get_mut(&id)
+            .ok_or(SmartIoError::NoSuchDevice(id))?;
         match mode {
             BorrowMode::Exclusive => {
                 if d.borrow.exclusive.is_some() || !d.borrow.shared.is_empty() {
@@ -222,7 +241,10 @@ impl SmartIo {
     /// Drop `host`'s reference (exclusive or shared).
     pub fn release(&self, id: SmartDeviceId, host: HostId) -> Result<()> {
         let mut st = self.state.borrow_mut();
-        let d = st.devices.get_mut(&id).ok_or(SmartIoError::NoSuchDevice(id))?;
+        let d = st
+            .devices
+            .get_mut(&id)
+            .ok_or(SmartIoError::NoSuchDevice(id))?;
         if d.borrow.exclusive == Some(host) {
             d.borrow.exclusive = None;
             return Ok(());
@@ -251,7 +273,14 @@ impl SmartIo {
         let mut st = self.state.borrow_mut();
         let id = SegmentId(st.next_segment);
         st.next_segment += 1;
-        st.segments.insert(id, SegmentInfo { region, kind: SegmentKind::Dram, exported: true });
+        st.segments.insert(
+            id,
+            SegmentInfo {
+                region,
+                kind: SegmentKind::Dram,
+                exported: true,
+            },
+        );
         Ok(id)
     }
 
@@ -265,7 +294,11 @@ impl SmartIo {
         hints: AccessHints,
     ) -> Result<SegmentId> {
         let dev_host = self.device_host(device)?;
-        let host = if hints.prefers_device_side() { dev_host } else { cpu_host };
+        let host = if hints.prefers_device_side() {
+            dev_host
+        } else {
+            cpu_host
+        };
         self.create_segment(host, size)
     }
 
@@ -307,7 +340,10 @@ impl SmartIo {
     /// If the segment exports a device BAR, which device/BAR it is.
     pub fn segment_bar_info(&self, id: SegmentId) -> Result<Option<(SmartDeviceId, u8)>> {
         let st = self.state.borrow();
-        let s = st.segments.get(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+        let s = st
+            .segments
+            .get(&id)
+            .ok_or(SmartIoError::NoSuchSegment(id))?;
         Ok(match s.kind {
             SegmentKind::Bar { dev, bar } => Some((dev, bar)),
             SegmentKind::Dram => None,
@@ -317,7 +353,10 @@ impl SmartIo {
     /// Free a DRAM segment (BAR segments live as long as the device).
     pub fn destroy_segment(&self, id: SegmentId) -> Result<()> {
         let mut st = self.state.borrow_mut();
-        let info = st.segments.remove(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+        let info = st
+            .segments
+            .remove(&id)
+            .ok_or(SmartIoError::NoSuchSegment(id))?;
         st.names.retain(|_, v| *v != id);
         if matches!(info.kind, SegmentKind::Dram) {
             drop(st);
@@ -335,14 +374,21 @@ impl SmartIo {
     pub fn map_for_cpu(&self, host: HostId, id: SegmentId) -> Result<CpuMapping> {
         let (region, exported) = {
             let st = self.state.borrow();
-            let s = st.segments.get(&id).ok_or(SmartIoError::NoSuchSegment(id))?;
+            let s = st
+                .segments
+                .get(&id)
+                .ok_or(SmartIoError::NoSuchSegment(id))?;
             (s.region, s.exported)
         };
         if !exported {
             return Err(SmartIoError::NotExported(id));
         }
         if region.host == host {
-            return Ok(CpuMapping { segment: id, region, slots: None });
+            return Ok(CpuMapping {
+                segment: id,
+                region,
+                slots: None,
+            });
         }
         let (ntb, first_slot, n, window_addr) = self.program_window(host, region)?;
         Ok(CpuMapping {
@@ -433,13 +479,11 @@ impl SmartIo {
             .map_err(|_| SmartIoError::SlotsUnavailable { needed: n })?;
         let mut window_base = PhysAddr(0);
         for i in 0..n {
-            let addr = self
-                .fabric
-                .program_lut(
-                    ntb,
-                    first + i,
-                    DomainAddr::new(region.host, PhysAddr(base + i as u64 * slot_size)),
-                )?;
+            let addr = self.fabric.program_lut(
+                ntb,
+                first + i,
+                DomainAddr::new(region.host, PhysAddr(base + i as u64 * slot_size)),
+            )?;
             if i == 0 {
                 window_base = addr;
             }

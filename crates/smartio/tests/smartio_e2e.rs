@@ -38,7 +38,14 @@ fn bed() -> Bed {
     );
     let smartio = SmartIo::new(&fabric);
     let dev = smartio.register_device(dev_id).unwrap();
-    Bed { rt, fabric, smartio, hosts, ntbs, dev }
+    Bed {
+        rt,
+        fabric,
+        smartio,
+        hosts,
+        ntbs,
+        dev,
+    }
 }
 
 #[test]
@@ -73,7 +80,10 @@ fn exclusive_then_shared_borrowing() {
         Err(SmartIoError::Busy(_))
     ));
     // Releasing by a non-holder is rejected.
-    assert!(matches!(s.release(b.dev, b.hosts[2]), Err(SmartIoError::NotOwner(..))));
+    assert!(matches!(
+        s.release(b.dev, b.hosts[2]),
+        Err(SmartIoError::NotOwner(..))
+    ));
 }
 
 #[test]
@@ -81,12 +91,26 @@ fn hinted_allocation_places_by_reader() {
     let b = bed();
     let s = &b.smartio;
     let cpu = b.hosts[0];
-    let sq = s.create_segment_hinted(cpu, b.dev, 4096, AccessHints::sq()).unwrap();
-    let cq = s.create_segment_hinted(cpu, b.dev, 4096, AccessHints::cq()).unwrap();
-    let buf = s.create_segment_hinted(cpu, b.dev, 1 << 20, AccessHints::buffer()).unwrap();
-    assert_eq!(s.segment_host(sq).unwrap(), b.hosts[2], "SQ must land device-side");
+    let sq = s
+        .create_segment_hinted(cpu, b.dev, 4096, AccessHints::sq())
+        .unwrap();
+    let cq = s
+        .create_segment_hinted(cpu, b.dev, 4096, AccessHints::cq())
+        .unwrap();
+    let buf = s
+        .create_segment_hinted(cpu, b.dev, 1 << 20, AccessHints::buffer())
+        .unwrap();
+    assert_eq!(
+        s.segment_host(sq).unwrap(),
+        b.hosts[2],
+        "SQ must land device-side"
+    );
     assert_eq!(s.segment_host(cq).unwrap(), cpu, "CQ must stay CPU-side");
-    assert_eq!(s.segment_host(buf).unwrap(), cpu, "bounce buffer stays client-local");
+    assert_eq!(
+        s.segment_host(buf).unwrap(),
+        cpu,
+        "bounce buffer stays client-local"
+    );
 }
 
 #[test]
@@ -102,12 +126,21 @@ fn cpu_mapping_reaches_remote_segment() {
     b.rt.block_on({
         let fabric = fabric.clone();
         async move {
-            fabric.cpu_write(map.region.host, map.region.addr.offset(100), b"hello remote").await.unwrap();
+            fabric
+                .cpu_write(
+                    map.region.host,
+                    map.region.addr.offset(100),
+                    b"hello remote",
+                )
+                .await
+                .unwrap();
         }
     });
     b.rt.run();
     let mut out = [0u8; 12];
-    fabric.mem_read(home.host, home.addr.offset(100), &mut out).unwrap();
+    fabric
+        .mem_read(home.host, home.addr.offset(100), &mut out)
+        .unwrap();
     assert_eq!(&out, b"hello remote");
 }
 
@@ -128,7 +161,10 @@ fn dma_window_resolves_addresses_for_device() {
     let seg = s.create_segment(b.hosts[0], 4096).unwrap();
     let win = s.map_for_device(b.dev, seg).unwrap();
     // The bus address must resolve (in the device's domain) to the segment.
-    let loc = b.fabric.resolve(b.hosts[2], pcie::PhysAddr(win.bus_base), 64).unwrap();
+    let loc = b
+        .fabric
+        .resolve(b.hosts[2], pcie::PhysAddr(win.bus_base), 64)
+        .unwrap();
     let home = s.segment_region(seg).unwrap();
     match loc {
         pcie::Location::Dram(da) => {
@@ -157,8 +193,14 @@ fn bar_segment_mappable_from_remote_host() {
     // Write a register through the window and read it back.
     let fabric = b.fabric.clone();
     let val = b.rt.block_on(async move {
-        fabric.cpu_write_u32(map.region.host, map.region.addr.offset(0x20), 0xABCD).await.unwrap();
-        fabric.cpu_read_u32(map.region.host, map.region.addr.offset(0x20)).await.unwrap()
+        fabric
+            .cpu_write_u32(map.region.host, map.region.addr.offset(0x20), 0xABCD)
+            .await
+            .unwrap();
+        fabric
+            .cpu_read_u32(map.region.host, map.region.addr.offset(0x20))
+            .await
+            .unwrap()
     });
     assert_eq!(val, 0xABCD);
 }
@@ -176,9 +218,16 @@ fn large_segment_spans_multiple_slots() {
     b.rt.block_on({
         let fabric = fabric.clone();
         async move {
-            fabric.cpu_write(map.region.host, map.region.addr.offset(10), b"lo").await.unwrap();
             fabric
-                .cpu_write(map.region.host, map.region.addr.offset((7 << 20) + 5), b"hi")
+                .cpu_write(map.region.host, map.region.addr.offset(10), b"lo")
+                .await
+                .unwrap();
+            fabric
+                .cpu_write(
+                    map.region.host,
+                    map.region.addr.offset((7 << 20) + 5),
+                    b"hi",
+                )
                 .await
                 .unwrap();
         }
@@ -186,8 +235,12 @@ fn large_segment_spans_multiple_slots() {
     b.rt.run();
     let mut lo = [0u8; 2];
     let mut hi = [0u8; 2];
-    fabric.mem_read(home.host, home.addr.offset(10), &mut lo).unwrap();
-    fabric.mem_read(home.host, home.addr.offset((7 << 20) + 5), &mut hi).unwrap();
+    fabric
+        .mem_read(home.host, home.addr.offset(10), &mut lo)
+        .unwrap();
+    fabric
+        .mem_read(home.host, home.addr.offset((7 << 20) + 5), &mut hi)
+        .unwrap();
     assert_eq!(&lo, b"lo");
     assert_eq!(&hi, b"hi");
 }
@@ -212,9 +265,15 @@ fn publish_and_lookup_named_segments() {
     let seg = s.create_segment(b.hosts[0], 4096).unwrap();
     s.publish("nvme-mgr-meta", seg).unwrap();
     assert_eq!(s.lookup("nvme-mgr-meta").unwrap(), seg);
-    assert!(matches!(s.lookup("nope"), Err(SmartIoError::NameNotFound(_))));
+    assert!(matches!(
+        s.lookup("nope"),
+        Err(SmartIoError::NameNotFound(_))
+    ));
     s.destroy_segment(seg).unwrap();
-    assert!(matches!(s.lookup("nvme-mgr-meta"), Err(SmartIoError::NameNotFound(_))));
+    assert!(matches!(
+        s.lookup("nvme-mgr-meta"),
+        Err(SmartIoError::NameNotFound(_))
+    ));
 }
 
 #[test]
@@ -225,5 +284,8 @@ fn host_without_ntb_cannot_map_remote() {
     let h1 = fabric.add_host(16 << 20);
     let s = SmartIo::new(&fabric);
     let seg = s.create_segment(h1, 4096).unwrap();
-    assert!(matches!(s.map_for_cpu(h0, seg), Err(SmartIoError::NoPath { .. })));
+    assert!(matches!(
+        s.map_for_cpu(h0, seg),
+        Err(SmartIoError::NoPath { .. })
+    ));
 }

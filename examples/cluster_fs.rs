@@ -13,7 +13,10 @@ use sharedfs::SharedFs;
 fn main() {
     let calib = Calibration::paper();
     let sc = Scenario::build(ScenarioKind::OursMultihost { clients: 3 }, &calib);
-    println!("{}: three hosts, one controller, one filesystem\n", sc.label);
+    println!(
+        "{}: three hosts, one controller, one filesystem\n",
+        sc.label
+    );
 
     let fabric = sc.fabric.clone();
     let clients = sc.clients.clone();
@@ -21,11 +24,19 @@ fn main() {
     sc.rt.block_on(async move {
         // Host 0 formats; everyone mounts (each claims an allocation group).
         let (h0, d0) = clients[0].clone();
-        SharedFs::format(&fabric, h0, d0, 8, 128).await.expect("format");
+        SharedFs::format(&fabric, h0, d0, 8, 128)
+            .await
+            .expect("format");
         let mut mounts = Vec::new();
         for (host, disk) in &clients {
-            let fs = SharedFs::mount(&fabric, *host, disk.clone()).await.expect("mount");
-            println!("host{} mounted, claimed allocation group {}", host.0, fs.allocation_group());
+            let fs = SharedFs::mount(&fabric, *host, disk.clone())
+                .await
+                .expect("mount");
+            println!(
+                "host{} mounted, claimed allocation group {}",
+                host.0,
+                fs.allocation_group()
+            );
             mounts.push(std::rc::Rc::new(fs));
         }
 
@@ -51,7 +62,10 @@ fn main() {
         let reader = &mounts[2];
         println!("\ndirectory as seen by host{}:", clients[2].0 .0);
         for entry in reader.list().await.unwrap() {
-            println!("  {:<22} {:>8} bytes  (owner host{})", entry.name, entry.size, entry.owner);
+            println!(
+                "  {:<22} {:>8} bytes  (owner host{})",
+                entry.name, entry.size, entry.owner
+            );
             let mut buf = vec![0u8; entry.size as usize];
             let n = reader.read(&entry.name, 0, &mut buf).await.unwrap();
             assert_eq!(n as u64, entry.size);

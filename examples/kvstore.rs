@@ -41,7 +41,12 @@ struct KvStore {
 impl KvStore {
     fn new(fabric: &Fabric, host: HostId, disk: Rc<dyn BlockDevice>) -> KvStore {
         let buf = fabric.alloc(host, SLOT_BYTES).unwrap();
-        KvStore { fabric: fabric.clone(), host, disk, buf }
+        KvStore {
+            fabric: fabric.clone(),
+            host,
+            disk,
+            buf,
+        }
     }
 
     fn encode(key: &[u8], value: &[u8]) -> Vec<u8> {
@@ -75,9 +80,14 @@ impl KvStore {
     }
 
     async fn read_slot(&self, idx: u64) -> Vec<u8> {
-        self.disk.submit(Bio::read(idx * SLOT_BLOCKS as u64, SLOT_BLOCKS, self.buf)).await.unwrap();
+        self.disk
+            .submit(Bio::read(idx * SLOT_BLOCKS as u64, SLOT_BLOCKS, self.buf))
+            .await
+            .unwrap();
         let mut raw = vec![0u8; SLOT_BYTES as usize];
-        self.fabric.mem_read(self.host, self.buf.addr, &mut raw).unwrap();
+        self.fabric
+            .mem_read(self.host, self.buf.addr, &mut raw)
+            .unwrap();
         raw
     }
 
@@ -95,8 +105,13 @@ impl KvStore {
             idx = (idx + 1) % SLOTS;
         }
         let slot = Self::encode(key, value);
-        self.fabric.mem_write(self.host, self.buf.addr, &slot).unwrap();
-        self.disk.submit(Bio::write(idx * SLOT_BLOCKS as u64, SLOT_BLOCKS, self.buf)).await.unwrap();
+        self.fabric
+            .mem_write(self.host, self.buf.addr, &slot)
+            .unwrap();
+        self.disk
+            .submit(Bio::write(idx * SLOT_BLOCKS as u64, SLOT_BLOCKS, self.buf))
+            .await
+            .unwrap();
     }
 
     async fn get(&self, key: &[u8]) -> Option<Vec<u8>> {

@@ -12,9 +12,8 @@ use simcore::SimDuration;
 
 fn main() {
     let calib = Calibration::paper();
-    let job = |rw| {
-        JobSpec::fig10(rw, SimDuration::from_millis(100)).ramp(SimDuration::from_micros(500))
-    };
+    let job =
+        |rw| JobSpec::fig10(rw, SimDuration::from_millis(100)).ramp(SimDuration::from_micros(500));
 
     println!("4 KiB random I/O, queue depth 1 — remote access over two fabrics\n");
     println!(
@@ -22,7 +21,10 @@ fn main() {
         "scenario", "dir", "min us", "p50 us", "p99 us", "kIOPS"
     );
     let mut p50 = std::collections::HashMap::new();
-    for kind in [ScenarioKind::NvmfRemote, ScenarioKind::OursRemote { switches: 1 }] {
+    for kind in [
+        ScenarioKind::NvmfRemote,
+        ScenarioKind::OursRemote { switches: 1 },
+    ] {
         for rw in [RwMode::RandRead, RwMode::RandWrite] {
             let sc = Scenario::build(kind.clone(), &calib);
             let rep = sc.run(&job(rw));

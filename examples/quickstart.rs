@@ -31,7 +31,13 @@ fn main() {
     }
 
     // 3. An Optane-like NVMe controller in the device host.
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 7));
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        7,
+    ));
     let ctrl = NvmeController::attach(
         &fabric,
         device_host,
@@ -74,7 +80,9 @@ fn main() {
         disk.submit(Bio::write(0, 8, buf)).await.expect("write");
         let write_lat = handle.now() - t0;
 
-        fabric.mem_write(client_host, buf.addr, &vec![0u8; 4096]).unwrap();
+        fabric
+            .mem_write(client_host, buf.addr, &vec![0u8; 4096])
+            .unwrap();
         let t1 = handle.now();
         disk.submit(Bio::read(0, 8, buf)).await.expect("read");
         let read_lat = handle.now() - t1;
@@ -85,7 +93,10 @@ fn main() {
 
         println!("remote 4 KiB write: {write_lat}");
         println!("remote 4 KiB read:  {read_lat}");
-        println!("payload round-tripped: {:?}", String::from_utf8_lossy(&back[..message.len()]));
+        println!(
+            "payload round-tripped: {:?}",
+            String::from_utf8_lossy(&back[..message.len()])
+        );
     });
     println!("quickstart: OK");
 }

@@ -23,7 +23,11 @@ const IO_BLOCKS: u32 = 8; // 4 KiB I/Os
 fn main() {
     let calib = Calibration::paper();
     let sc = Scenario::build(ScenarioKind::OursMultihost { clients: CLIENTS }, &calib);
-    println!("built {}: {} clients share one controller", sc.label, sc.clients.len());
+    println!(
+        "built {}: {} clients share one controller",
+        sc.label,
+        sc.clients.len()
+    );
     assert_eq!(sc.ctrl.live_io_queues(), CLIENTS);
 
     let fabric = sc.fabric.clone();

@@ -19,9 +19,20 @@ fn local_bed() -> (SimRuntime, Fabric, HostId, Rc<NvmeController>) {
     let rt = SimRuntime::new();
     let fabric = Fabric::new(rt.handle(), FabricParams::default());
     let host = fabric.add_host(256 << 20);
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 1));
-    let ctrl =
-        NvmeController::attach(&fabric, host, fabric.rc_node(host), store, NvmeConfig::default());
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        1,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        host,
+        fabric.rc_node(host),
+        store,
+        NvmeConfig::default(),
+    );
     (rt, fabric, host, ctrl)
 }
 
@@ -43,7 +54,10 @@ fn insane_doorbell_value_sets_cfs() {
                 .await
                 .unwrap();
             fabric.handle().sleep(SimDuration::from_micros(5)).await;
-            let v = fabric.cpu_read_u32(host, bar.addr.offset(offset::CSTS)).await.unwrap();
+            let v = fabric
+                .cpu_read_u32(host, bar.addr.offset(offset::CSTS))
+                .await
+                .unwrap();
             assert!(v & csts::CFS != 0, "controller must report fatal status");
         }
     });
@@ -119,9 +133,20 @@ fn garbage_in_mailbox_is_ignored() {
         hosts.push(h);
     }
     let dev_host = hosts[2];
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 2));
-    let ctrl =
-        NvmeController::attach(&fabric, dev_host, fabric.rc_node(dev_host), store, NvmeConfig::default());
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        2,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        dev_host,
+        fabric.rc_node(dev_host),
+        store,
+        NvmeConfig::default(),
+    );
     let smartio = SmartIo::new(&fabric);
     let dev = smartio.register_device(ctrl.device_id()).unwrap();
     rt.block_on({
@@ -153,7 +178,11 @@ fn garbage_in_mailbox_is_ignored() {
             let buf = fabric.alloc(hosts[0], 4096).unwrap();
             drv.submit(Bio::write(0, 8, buf)).await.unwrap();
             assert_eq!(mgr.stats().qpairs_created, 1);
-            assert_eq!(mgr.stats().requests_rejected, 0, "garbage must not consume qids");
+            assert_eq!(
+                mgr.stats().requests_rejected,
+                0,
+                "garbage must not consume qids"
+            );
         }
     });
 }
@@ -163,7 +192,10 @@ fn oversized_bio_rejected_cleanly_everywhere() {
     // A 2 MiB request exceeds both the client partition and the NVMe-oF
     // max I/O: every stack refuses without side effects.
     use cluster::{Calibration, Scenario, ScenarioKind};
-    for kind in [ScenarioKind::OursRemote { switches: 1 }, ScenarioKind::NvmfRemote] {
+    for kind in [
+        ScenarioKind::OursRemote { switches: 1 },
+        ScenarioKind::NvmfRemote,
+    ] {
         let calib = Calibration::paper();
         let sc = Scenario::build(kind, &calib);
         let (host, dev) = sc.clients[0].clone();
@@ -174,7 +206,11 @@ fn oversized_bio_rejected_cleanly_everywhere() {
             dev.submit(Bio::read(0, 4096, buf)).await.unwrap_err()
         });
         assert!(matches!(err, BioError::TooLarge { .. }), "{label}: {err}");
-        assert_eq!(sc.ctrl.stats().errors_returned, 0, "{label}: must not reach the device");
+        assert_eq!(
+            sc.ctrl.stats().errors_returned,
+            0,
+            "{label}: must not reach the device"
+        );
     }
 }
 

@@ -12,9 +12,9 @@ fn verify_scenario(kind: ScenarioKind) {
     let (host, dev) = sc.clients[0].clone();
     let fabric = sc.fabric.clone();
     let label = sc.label.clone();
-    let report = sc.rt.block_on(async move {
-        verify_region(&fabric, host, dev, 0, 2048, 8, 0xF00D).await
-    });
+    let report = sc
+        .rt
+        .block_on(async move { verify_region(&fabric, host, dev, 0, 2048, 8, 0xF00D).await });
     assert!(report.clean(), "{label}: {report:?}");
     assert_eq!(report.ios_written, 256, "{label}");
     assert_eq!(report.ios_verified, 256, "{label}");
@@ -57,8 +57,9 @@ fn nand_media_stack_verifies() {
     let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
     let (host, dev) = sc.clients[0].clone();
     let fabric = sc.fabric.clone();
-    let report =
-        sc.rt.block_on(async move { verify_region(&fabric, host, dev, 0, 512, 8, 0xBEEF).await });
+    let report = sc
+        .rt
+        .block_on(async move { verify_region(&fabric, host, dev, 0, 512, 8, 0xBEEF).await });
     assert!(report.clean(), "{report:?}");
 }
 

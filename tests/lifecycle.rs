@@ -10,7 +10,15 @@ use simcore::SimRuntime;
 use smartio::{BorrowMode, SmartIo};
 use std::rc::Rc;
 
-fn star_cluster(hosts: usize) -> (SimRuntime, Fabric, SmartIo, Vec<pcie::HostId>, Rc<NvmeController>) {
+fn star_cluster(
+    hosts: usize,
+) -> (
+    SimRuntime,
+    Fabric,
+    SmartIo,
+    Vec<pcie::HostId>,
+    Rc<NvmeController>,
+) {
     let rt = SimRuntime::new();
     let fabric = Fabric::new(rt.handle(), FabricParams::default());
     let sw = fabric.add_switch("sw");
@@ -22,9 +30,20 @@ fn star_cluster(hosts: usize) -> (SimRuntime, Fabric, SmartIo, Vec<pcie::HostId>
         hs.push(h);
     }
     let dev_host = *hs.last().unwrap();
-    let store = Rc::new(BlockStore::new(rt.handle(), MediaProfile::optane(), 512, 1 << 20, 3));
-    let ctrl =
-        NvmeController::attach(&fabric, dev_host, fabric.rc_node(dev_host), store, NvmeConfig::default());
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        3,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        dev_host,
+        fabric.rc_node(dev_host),
+        store,
+        NvmeConfig::default(),
+    );
     let smartio = SmartIo::new(&fabric);
     smartio.register_device(ctrl.device_id()).unwrap();
     (rt, fabric, smartio, hs, ctrl)
@@ -47,7 +66,9 @@ fn manager_can_run_on_a_third_host() {
                 .await
                 .unwrap();
             let buf = fabric.alloc(hosts[1], 4096).unwrap();
-            fabric.mem_write(hosts[1], buf.addr, &[0x77u8; 4096]).unwrap();
+            fabric
+                .mem_write(hosts[1], buf.addr, &[0x77u8; 4096])
+                .unwrap();
             drv.submit(Bio::write(0, 8, buf)).await.unwrap();
             drv.submit(Bio::read(0, 8, buf)).await.unwrap();
             let mut out = vec![0u8; 4096];
@@ -68,8 +89,9 @@ fn second_manager_is_locked_out_during_bringup_race() {
     rt.block_on({
         let smartio = smartio.clone();
         async move {
-            let _mgr =
-                Manager::start(&smartio, dev, hosts[1], ManagerConfig::default()).await.unwrap();
+            let _mgr = Manager::start(&smartio, dev, hosts[1], ManagerConfig::default())
+                .await
+                .unwrap();
             // A second manager would start with an exclusive acquire.
             let res = smartio.acquire(dev, hosts[0], BorrowMode::Exclusive);
             assert!(matches!(res, Err(smartio::SmartIoError::Busy(_))));
@@ -86,13 +108,13 @@ fn qpair_churn_reuses_resources() {
     rt.block_on({
         let smartio = smartio.clone();
         async move {
-            let mgr =
-                Manager::start(&smartio, dev, hosts[1], ManagerConfig::default()).await.unwrap();
+            let mgr = Manager::start(&smartio, dev, hosts[1], ManagerConfig::default())
+                .await
+                .unwrap();
             for cycle in 0..40 {
-                let drv =
-                    ClientDriver::connect(&smartio, dev, hosts[0], ClientConfig::default())
-                        .await
-                        .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
+                let drv = ClientDriver::connect(&smartio, dev, hosts[0], ClientConfig::default())
+                    .await
+                    .unwrap_or_else(|e| panic!("cycle {cycle}: {e}"));
                 drv.disconnect().await.unwrap();
             }
             assert_eq!(mgr.qpairs_in_use(), 0);
@@ -113,17 +135,27 @@ fn controller_reset_tears_down_queues() {
         let smartio = smartio.clone();
         let fabric = fabric.clone();
         async move {
-            let _mgr =
-                Manager::start(&smartio, dev, hosts[1], ManagerConfig::default()).await.unwrap();
+            let _mgr = Manager::start(&smartio, dev, hosts[1], ManagerConfig::default())
+                .await
+                .unwrap();
             let _drv = ClientDriver::connect(&smartio, dev, hosts[0], ClientConfig::default())
                 .await
                 .unwrap();
             assert_eq!(ctrl.live_io_queues(), 1);
             // Reset from the device host (directly on the BAR).
             let bar = fabric.bar_region(ctrl.device_id(), 0).unwrap();
-            fabric.cpu_write_u32(hosts[1], bar.addr.offset(offset::CC), 0).await.unwrap();
-            fabric.handle().sleep(simcore::SimDuration::from_micros(100)).await;
-            let v = fabric.cpu_read_u32(hosts[1], bar.addr.offset(offset::CSTS)).await.unwrap();
+            fabric
+                .cpu_write_u32(hosts[1], bar.addr.offset(offset::CC), 0)
+                .await
+                .unwrap();
+            fabric
+                .handle()
+                .sleep(simcore::SimDuration::from_micros(100))
+                .await;
+            let v = fabric
+                .cpu_read_u32(hosts[1], bar.addr.offset(offset::CSTS))
+                .await
+                .unwrap();
             assert_eq!(v & csts::RDY, 0, "controller must drop ready");
             assert_eq!(ctrl.live_io_queues(), 0, "queues must be torn down");
             assert!(ctrl.stats().resets >= 1);

@@ -50,18 +50,30 @@ async fn run_client(
             // Write a fresh random pattern; record it in the model.
             let data = block_pattern(&mut rng, (blocks * 512) as usize);
             fabric.mem_write(host, buf.addr, &data).unwrap();
-            dev.submit(Bio::write(lba, blocks as u32, buf)).await.unwrap();
+            dev.submit(Bio::write(lba, blocks as u32, buf))
+                .await
+                .unwrap();
             for b in 0..blocks {
-                model.insert(lba + b, data[(b * 512) as usize..((b + 1) * 512) as usize].to_vec());
+                model.insert(
+                    lba + b,
+                    data[(b * 512) as usize..((b + 1) * 512) as usize].to_vec(),
+                );
             }
         } else {
             // Read and compare against the model (zeroes when unwritten).
-            fabric.mem_write(host, buf.addr, &vec![0xEE; (blocks * 512) as usize]).unwrap();
-            dev.submit(Bio::read(lba, blocks as u32, buf)).await.unwrap();
+            fabric
+                .mem_write(host, buf.addr, &vec![0xEE; (blocks * 512) as usize])
+                .unwrap();
+            dev.submit(Bio::read(lba, blocks as u32, buf))
+                .await
+                .unwrap();
             let mut got = vec![0u8; (blocks * 512) as usize];
             fabric.mem_read(host, buf.addr, &mut got).unwrap();
             for b in 0..blocks {
-                let want = model.get(&(lba + b)).cloned().unwrap_or_else(|| vec![0u8; 512]);
+                let want = model
+                    .get(&(lba + b))
+                    .cloned()
+                    .unwrap_or_else(|| vec![0u8; 512]);
                 if got[(b * 512) as usize..((b + 1) * 512) as usize] != want[..] {
                     mismatches += 1;
                 }
@@ -95,7 +107,10 @@ fn model_check(kind: ScenarioKind, clients: usize, seed: u64) {
         out
     });
     for (i, (model, mismatches)) in results.iter().enumerate() {
-        assert_eq!(*mismatches, 0, "{label}: client {i} diverged from the model");
+        assert_eq!(
+            *mismatches, 0,
+            "{label}: client {i} diverged from the model"
+        );
         assert!(!model.is_empty(), "{label}: client {i} wrote nothing");
     }
 }
@@ -129,8 +144,9 @@ fn model_check_direct_mapped_path() {
     let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
     let fabric = sc.fabric.clone();
     let (host, dev) = sc.clients[0].clone();
-    let (_, mismatches) =
-        sc.rt.block_on(async move { run_client(fabric, host, dev, 0, 0xEE).await });
+    let (_, mismatches) = sc
+        .rt
+        .block_on(async move { run_client(fabric, host, dev, 0, 0xEE).await });
     assert_eq!(mismatches, 0);
 }
 
@@ -143,7 +159,8 @@ fn model_check_multi_qpair_client() {
     let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
     let fabric = sc.fabric.clone();
     let (host, dev) = sc.clients[0].clone();
-    let (_, mismatches) =
-        sc.rt.block_on(async move { run_client(fabric, host, dev, 0, 0xFF).await });
+    let (_, mismatches) = sc
+        .rt
+        .block_on(async move { run_client(fabric, host, dev, 0, 0xFF).await });
     assert_eq!(mismatches, 0);
 }

@@ -86,4 +86,3 @@ fn thirty_second_host_is_refused() {
         "{err}"
     );
 }
-

@@ -38,7 +38,10 @@ fn fig10_read_deltas_match_paper_bands() {
         "PCIe read delta {ours_delta} ns outside the paper's band (~1 µs)"
     );
     // Naive driver baseline is above stock Linux (paper, §VI).
-    assert!(ours_l.p50 > linux.p50, "naive driver must have a higher local baseline");
+    assert!(
+        ours_l.p50 > linux.p50,
+        "naive driver must have a higher local baseline"
+    );
 }
 
 #[test]
@@ -65,10 +68,16 @@ fn fig10_write_deltas_match_paper_bands() {
 fn optane_distribution_is_tight() {
     // The paper picked the P4800X for its consistency: p99/p50 must be
     // close to 1 on every scenario, or the boxplots lose their meaning.
-    for kind in [ScenarioKind::LinuxLocal, ScenarioKind::OursRemote { switches: 1 }] {
+    for kind in [
+        ScenarioKind::LinuxLocal,
+        ScenarioKind::OursRemote { switches: 1 },
+    ] {
         let s = latency(kind, RwMode::RandRead);
         let spread = s.p99 as f64 / s.p50 as f64;
-        assert!(spread < 1.1, "p99/p50 = {spread:.3} too wide for Optane-class media");
+        assert!(
+            spread < 1.1,
+            "p99/p50 = {spread:.3} too wide for Optane-class media"
+        );
     }
 }
 
@@ -85,9 +94,15 @@ fn remote_penalty_scales_with_chip_latency_corners() {
     };
     let low = read_min(100);
     let high = read_min(150);
-    assert!(high > low, "penalty must grow with chip latency ({low} -> {high})");
+    assert!(
+        high > low,
+        "penalty must grow with chip latency ({low} -> {high})"
+    );
     // 3 chips crossed twice on the read critical path: the corner spread
     // should be roughly 6 × 50 ns = 300 ns.
     let spread = high - low;
-    assert!((150..600).contains(&spread), "corner spread {spread} ns implausible");
+    assert!(
+        (150..600).contains(&spread),
+        "corner spread {spread} ns implausible"
+    );
 }
