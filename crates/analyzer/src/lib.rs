@@ -16,6 +16,9 @@
 //! * **D05** — no `unwrap()`/`expect()` on fabric/DMA results in
 //!   `crates/core`: a torn-down segment or unmapped window is a normal
 //!   runtime event for the distributed driver, not a bug.
+//! * **D06** — no direct `SqRing` use outside `nvme::engine` (and the
+//!   ring's own module): submission goes through the engine so doorbell
+//!   coalescing and the stats/sanitize hooks cannot be bypassed.
 //!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
@@ -30,7 +33,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five lint rules.
+/// The six lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -38,10 +41,18 @@ pub enum Rule {
     D03,
     D04,
     D05,
+    D06,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 5] = [Rule::D01, Rule::D02, Rule::D03, Rule::D04, Rule::D05];
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::D01,
+    Rule::D02,
+    Rule::D03,
+    Rule::D04,
+    Rule::D05,
+    Rule::D06,
+];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
 /// iteration here changes the event stream between runs.
@@ -63,6 +74,7 @@ impl Rule {
             Rule::D03 => "D03",
             Rule::D04 => "D04",
             Rule::D05 => "D05",
+            Rule::D06 => "D06",
         }
     }
 
@@ -73,6 +85,9 @@ impl Rule {
             Rule::D03 => "order-dependent HashMap/HashSet iteration in sim-visible code",
             Rule::D04 => "OS thread / raw Mutex in DES-driven code",
             Rule::D05 => "unwrap/expect on a fabric or DMA result in crates/core",
+            Rule::D06 => {
+                "direct SqRing use outside nvme::engine (submission must go through the engine)"
+            }
         }
     }
 }
@@ -364,6 +379,13 @@ const D04_PATTERNS: [&str; 5] = [
     "Mutex<",
 ];
 const D03_ITER: [&str; 4] = [".iter()", ".keys()", ".values()", ".drain("];
+/// The host-side SQ ring type: engine-internal since the qpair refactor.
+/// One token is enough — constructing, importing, or storing the type all
+/// mention it.
+const D06_PATTERNS: [&str; 1] = ["SqRing"];
+/// Files allowed to touch `SqRing` directly: its own module and the
+/// engine that wraps it.
+const D06_EXEMPT: [&str; 2] = ["crates/nvme/src/queue.rs", "crates/nvme/src/engine.rs"];
 /// Calls whose `Result` encodes a fabric/DMA failure the distributed
 /// driver must handle (windows can be torn down under it at any time).
 const D05_FABRIC: [&str; 14] = [
@@ -393,6 +415,9 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     // *is* the assertion.
     if rel.starts_with("crates/core/src") {
         rules.push(Rule::D05);
+    }
+    if !D06_EXEMPT.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D06);
     }
     rules
 }
@@ -507,6 +532,11 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                 Rule::D04 => {
                     if D04_PATTERNS.iter().any(|p| has_token(code, p)) {
                         hit(Rule::D04, &mut findings);
+                    }
+                }
+                Rule::D06 => {
+                    if D06_PATTERNS.iter().any(|p| has_token(code, p)) {
+                        hit(Rule::D06, &mut findings);
                     }
                 }
                 Rule::D03 => {
@@ -655,6 +685,10 @@ mod tests {
         assert!(!rules_for("crates/core/tests/dnvme_e2e.rs").contains(&Rule::D05));
         assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D05));
         assert!(rules_for("tests/full_stack.rs").contains(&Rule::D01));
+        assert!(!rules_for("crates/nvme/src/engine.rs").contains(&Rule::D06));
+        assert!(!rules_for("crates/nvme/src/queue.rs").contains(&Rule::D06));
+        assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D06));
+        assert!(rules_for("crates/nvme/src/driver/local.rs").contains(&Rule::D06));
     }
 
     #[test]

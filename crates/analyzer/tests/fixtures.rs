@@ -154,6 +154,38 @@ fn d05_suppression() {
     assert!(scan(src, &[Rule::D05]).is_empty());
 }
 
+// ------------------------------------------------------------------ D06
+
+#[test]
+fn d06_flags_direct_sqring_use() {
+    let src = "use nvme::queue::SqRing;\n";
+    assert_eq!(codes(&scan(src, &[Rule::D06])), ["D06"]);
+    let src = "let sq = SqRing::new(&fabric, ring, db, entries);\n";
+    assert_eq!(codes(&scan(src, &[Rule::D06])), ["D06"]);
+    let src = "struct Qp { sq: Rc<SqRing> }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D06])), ["D06"]);
+}
+
+#[test]
+fn d06_ignores_engine_api_and_cq_ring() {
+    let src = "use nvme::engine::{IoEngine, QueuePairSpec};\n\
+               use nvme::queue::CqRing;\n\
+               let cqe = engine.issue(&tag, sqe).await?;\n";
+    assert!(scan(src, &[Rule::D06]).is_empty());
+    // Identifier-boundary check: a type merely *containing* the name is
+    // not the ring.
+    let src = "struct FakeSqRingStats { pushes: u64 }\n";
+    assert!(scan(src, &[Rule::D06]).is_empty());
+}
+
+#[test]
+fn d06_suppression() {
+    let src = "let sq = SqRing::new(&fabric, ring, db, entries); // lint:allow(D06)\n";
+    assert!(scan(src, &[Rule::D06]).is_empty());
+    let src = "// lint:allow(D06) — ring-level unit test\nuse nvme::queue::SqRing;\n";
+    assert!(scan(src, &[Rule::D06]).is_empty());
+}
+
 // ----------------------------------------------------- scanner hygiene
 
 #[test]

@@ -3,7 +3,7 @@
 //! the §VI minimum-latency delta table (paper: NVMe-oF adds 7.7 µs read /
 //! 7.5 µs write over local; the PCIe driver adds ~1 µs / ~2 µs).
 
-use bench::{fig10_job, header, run_parallel, save_json, timed, us};
+use bench::{fig10_job, header, run_parallel_instrumented, save_json, timed, us};
 use cluster::{Calibration, ScenarioKind};
 use fioflex::RwMode;
 
@@ -30,14 +30,26 @@ fn main() {
             ));
         }
     }
-    let results = timed("fig10 (8 scenarios)", || run_parallel(&calib, points));
+    let instrumented = timed("fig10 (8 scenarios)", || {
+        run_parallel_instrumented(&calib, points)
+    });
 
     println!("\nBoxplot data (whiskers min..p99, box p25..p75, line p50):");
-    for (label, rep) in &results {
+    for (label, rep, db) in &instrumented {
         let side = rep.read.as_ref().or(rep.write.as_ref()).expect("one side");
         println!("  {}", side.lat.boxplot_row(label));
         assert_eq!(rep.errors, 0, "{label}: I/O errors during benchmark");
+        // QD 1 throughout: doorbell coalescing must be inert, one SQ MMIO
+        // per command — the guarantee that keeps this figure's latencies
+        // identical to the pre-engine driver stacks.
+        assert_eq!(
+            db.sq_doorbells, db.sqes_submitted,
+            "{label}: coalescing engaged at queue depth 1"
+        );
+        assert_eq!(db.doorbell_errors, 0, "{label}");
     }
+    let results: Vec<(String, fioflex::JobReport)> =
+        instrumented.into_iter().map(|(l, r, _)| (l, r)).collect();
 
     // Delta table (minimum latency vs. the matching local baseline).
     let min_of = |label: &str| {

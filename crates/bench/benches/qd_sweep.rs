@@ -7,14 +7,15 @@
 use bench::{bench_runtime, header, save_json, us};
 use cluster::{Calibration, ScenarioKind};
 use fioflex::{JobReport, JobSpec, RwMode};
+use nvme::QpairStats;
 use simcore::SimDuration;
 
-fn run_point(kind: ScenarioKind, calib: &Calibration, qd: usize) -> JobReport {
+fn run_point(kind: ScenarioKind, calib: &Calibration, qd: usize) -> (JobReport, QpairStats) {
     let spec = JobSpec::new("qd", RwMode::RandRead)
         .iodepth(qd)
         .runtime(bench_runtime())
         .ramp(SimDuration::from_micros(500));
-    bench::run_scenario(kind, calib, &spec)
+    bench::run_scenario_instrumented(kind, calib, &spec)
 }
 
 fn main() {
@@ -31,8 +32,8 @@ fn main() {
     ];
     let qds = [1usize, 2, 4, 8, 16, 32];
     println!(
-        "\n  {:<16} {:>4} {:>12} {:>10} {:>10}",
-        "scenario", "qd", "kIOPS", "p50 us", "p99 us"
+        "\n  {:<16} {:>4} {:>12} {:>10} {:>10} {:>12}",
+        "scenario", "qd", "kIOPS", "p50 us", "p99 us", "SQE/sq-db"
     );
     let mut results = Vec::new();
     let points: Vec<_> = kinds
@@ -40,32 +41,56 @@ fn main() {
         .flat_map(|k| qds.iter().map(move |&qd| (k.clone(), qd)))
         .collect();
     // Parallel fan-out across threads: each point is its own simulation.
-    let reports: Vec<((ScenarioKind, usize), JobReport)> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = points
-            .into_iter()
-            .map(|(kind, qd)| {
-                let calib = calib.clone();
-                s.spawn(move |_| {
-                    let rep = run_point(kind.clone(), &calib, qd);
-                    ((kind, qd), rep)
+    let reports: Vec<((ScenarioKind, usize), (JobReport, QpairStats))> =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = points
+                .into_iter()
+                .map(|(kind, qd)| {
+                    let calib = calib.clone();
+                    s.spawn(move |_| {
+                        let rep = run_point(kind.clone(), &calib, qd);
+                        ((kind, qd), rep)
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
-    for ((kind, qd), rep) in &reports {
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+    for ((kind, qd), (rep, db)) in &reports {
         let r = rep.read.as_ref().unwrap();
+        let coalesce = db.sqes_submitted as f64 / db.sq_doorbells.max(1) as f64;
         println!(
-            "  {:<16} {:>4} {:>12.1} {:>10.2} {:>10.2}",
+            "  {:<16} {:>4} {:>12.1} {:>10.2} {:>10.2} {:>12.2}",
             kind.label(),
             qd,
             r.iops / 1_000.0,
             us(r.lat.p50),
-            us(r.lat.p99)
+            us(r.lat.p99),
+            coalesce
         );
         assert_eq!(rep.errors, 0);
+        assert_eq!(db.doorbell_errors, 0, "{} qd{}", kind.label(), qd);
         results.push((kind.label(), *qd, r.iops, r.lat.p50, r.lat.p99));
+    }
+
+    // Doorbell coalescing: at QD 1 the engine must ring per command (the
+    // latency path is untouched); at depth one MMIO covers several SQEs.
+    for ((kind, qd), (_, db)) in &reports {
+        let label = kind.label();
+        if *qd == 1 {
+            assert_eq!(
+                db.sq_doorbells, db.sqes_submitted,
+                "{label} qd1: coalescing must be inert at queue depth 1"
+            );
+        }
+        if *qd >= 8 && label.starts_with("ours") {
+            assert!(
+                db.sq_doorbells * 2 <= db.sqes_submitted,
+                "{label} qd{qd}: expected >=2x doorbell-MMIO reduction, got {} doorbells for {} SQEs",
+                db.sq_doorbells,
+                db.sqes_submitted
+            );
+        }
     }
 
     let iops_at = |label: &str, qd: usize| {

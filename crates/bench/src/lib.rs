@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use cluster::{Calibration, Scenario, ScenarioKind};
 use fioflex::{JobReport, JobSpec, RwMode};
+use nvme::QpairStats;
 use simcore::SimDuration;
 
 /// Simulated measurement duration per data point. The paper ran 60 s per
@@ -30,8 +31,21 @@ pub fn fig10_job(rw: RwMode) -> JobSpec {
 
 /// Run one scenario/job pair in a fresh simulation.
 pub fn run_scenario(kind: ScenarioKind, calib: &Calibration, spec: &JobSpec) -> JobReport {
+    run_scenario_instrumented(kind, calib, spec).0
+}
+
+/// Like [`run_scenario`], but also returns the summed qpair-engine
+/// counters of every host-side driver in the scenario — the doorbell-MMIO
+/// ledger the coalescing benchmarks assert on.
+pub fn run_scenario_instrumented(
+    kind: ScenarioKind,
+    calib: &Calibration,
+    spec: &JobSpec,
+) -> (JobReport, QpairStats) {
     let scenario = Scenario::build(kind, calib);
-    scenario.run(spec)
+    let rep = scenario.run(spec);
+    let doorbells = scenario.doorbell_totals();
+    (rep, doorbells)
 }
 
 /// Run several (label, kind, spec) points across OS threads — each thread
@@ -40,7 +54,18 @@ pub fn run_parallel(
     calib: &Calibration,
     points: Vec<(String, ScenarioKind, JobSpec)>,
 ) -> Vec<(String, JobReport)> {
-    let mut out: Vec<Option<(String, JobReport)>> = Vec::new();
+    run_parallel_instrumented(calib, points)
+        .into_iter()
+        .map(|(label, rep, _)| (label, rep))
+        .collect()
+}
+
+/// [`run_parallel`] with each point's doorbell ledger attached.
+pub fn run_parallel_instrumented(
+    calib: &Calibration,
+    points: Vec<(String, ScenarioKind, JobSpec)>,
+) -> Vec<(String, JobReport, QpairStats)> {
+    let mut out: Vec<Option<(String, JobReport, QpairStats)>> = Vec::new();
     out.resize_with(points.len(), || None);
     crossbeam::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -49,8 +74,8 @@ pub fn run_parallel(
             handles.push((
                 i,
                 s.spawn(move |_| {
-                    let rep = run_scenario(kind, &calib, &spec);
-                    (label, rep)
+                    let (rep, doorbells) = run_scenario_instrumented(kind, &calib, &spec);
+                    (label, rep, doorbells)
                 }),
             ));
         }

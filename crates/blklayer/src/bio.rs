@@ -78,6 +78,9 @@ pub enum BioError {
     BadBuffer,
     /// The device reported an error status.
     DeviceError(String),
+    /// Tag accounting desynchronized: a queue-depth permit was granted
+    /// but no command identifier was free (driver bug, not device state).
+    NoFreeTag,
     /// The device is gone (hot-removed / reset).
     Gone,
 }
@@ -92,6 +95,7 @@ impl std::fmt::Display for BioError {
                 write!(f, "transfer of {bytes} bytes exceeds max {max}")
             }
             BioError::BadBuffer => write!(f, "buffer size mismatch"),
+            BioError::NoFreeTag => write!(f, "tag accounting exhausted (no free cid)"),
             BioError::DeviceError(s) => write!(f, "device error: {s}"),
             BioError::Gone => write!(f, "device gone"),
         }

@@ -7,7 +7,7 @@ use blklayer::{BlockDevice, BlockRegistry};
 use dnvme::{ClientDriver, Manager};
 use fioflex::{run_job, JobReport, JobSpec};
 use nvme::driver::{attach_local_driver, LocalNvmeDriver};
-use nvme::{BlockStore, NvmeController};
+use nvme::{BlockStore, NvmeController, QpairStats};
 use nvmeof::{NvmfInitiator, NvmfTarget};
 use pcie::{Fabric, HostId};
 use rdma::IbNet;
@@ -305,6 +305,24 @@ impl Scenario {
         }
     }
 
+    /// Summed qpair-engine counters across every host-side driver in the
+    /// scenario: the Linux driver, the NVMe-oF target's SPDK driver, or
+    /// all distributed clients. This is where the benches read doorbell
+    /// MMIO counts from.
+    pub fn doorbell_totals(&self) -> QpairStats {
+        let mut total = QpairStats::default();
+        match &self._keep {
+            Keep::Linux(drv) => total.absorb(&drv.engine_totals()),
+            Keep::Nvmf(target, _) => total.absorb(&target.driver().engine_totals()),
+            Keep::Ours(_, drivers, _) => {
+                for d in drivers {
+                    total.absorb(&d.qpair_stats().totals());
+                }
+            }
+        }
+        total
+    }
+
     /// Run a job on client 0.
     pub fn run(&self, spec: &JobSpec) -> JobReport {
         let (host, dev) = self.clients[0].clone();
@@ -364,6 +382,18 @@ mod tests {
             let r = rep.read.expect("read side");
             assert!(r.ios > 20, "{}: too few IOs ({})", sc.label, r.ios);
             assert_eq!(rep.errors, 0, "{}", sc.label);
+            // Every stack submits through a qpair engine, so the doorbell
+            // aggregation must see the job's traffic.
+            let db = sc.doorbell_totals();
+            assert!(
+                db.sqes_submitted >= r.ios,
+                "{}: engine saw {} SQEs for {} IOs",
+                sc.label,
+                db.sqes_submitted,
+                r.ios
+            );
+            assert!(db.sq_doorbells > 0 && db.cq_doorbells > 0, "{}", sc.label);
+            assert_eq!(db.doorbell_errors, 0, "{}", sc.label);
         }
     }
 

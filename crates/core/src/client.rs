@@ -16,13 +16,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
-use nvme::queue::{CqRing, SqRing};
+use nvme::engine::{
+    CompletionStrategy, EngineConfig, EngineStats, IoEngine, QueuePairSpec, Tag,
+    DEFAULT_COALESCE_LIMIT,
+};
 use nvme::spec::command::{SqEntry, SQE_SIZE};
-use nvme::spec::completion::{CqEntry, CQE_SIZE};
+use nvme::spec::completion::CQE_SIZE;
 use nvme::spec::prp;
 use nvme::spec::registers::Cap;
 use pcie::{DomainAddr, Fabric, HostId, MemRegion};
-use simcore::sync::{oneshot, Semaphore};
 use simcore::{Handle, SimDuration};
 use smartio::{AccessHints, BorrowMode, SegmentId, SmartDeviceId, SmartIo};
 
@@ -95,6 +97,10 @@ pub struct ClientConfig {
     pub iommu_map_cost: SimDuration,
     /// IOMMU unmap + IOTLB shootdown cost (DirectMapped).
     pub iommu_unmap_cost: SimDuration,
+    /// Max SQEs covered by one SQ doorbell MMIO (1 = ring per command).
+    /// Each doorbell is a posted write through the NTB, so coalescing is
+    /// a direct hot-path saving at queue depth > 1.
+    pub doorbell_coalesce: usize,
 }
 
 impl Default for ClientConfig {
@@ -112,13 +118,9 @@ impl Default for ClientConfig {
             poll_check_cost: SimDuration::from_nanos(120),
             iommu_map_cost: SimDuration::from_nanos(450),
             iommu_unmap_cost: SimDuration::from_nanos(700),
+            doorbell_coalesce: DEFAULT_COALESCE_LIMIT,
         }
     }
-}
-
-struct Pending {
-    slots: Vec<Option<oneshot::Sender<CqEntry>>>,
-    free: Vec<u16>,
 }
 
 /// Everything a client must give back on disconnect: NTB window slots,
@@ -143,13 +145,16 @@ pub struct ClientStats {
     pub bounce_bytes_copied: u64,
     /// Per-I/O windows programmed (DirectMapped).
     pub dynamic_maps: u64,
-}
-
-/// One granted I/O queue pair and its submission lock.
-struct QueuePair {
-    qid: u16,
-    sq: Rc<SqRing>,
-    lock: Semaphore,
+    /// SQEs written into the rings (engine counter).
+    pub sqes_submitted: u64,
+    /// SQ tail-doorbell MMIOs; ≤ `sqes_submitted` under coalescing.
+    pub sq_doorbells: u64,
+    /// Doorbell flushes that covered more than one SQE.
+    pub coalesced_batches: u64,
+    /// CQ head-doorbell MMIOs (one per drain sweep).
+    pub cq_doorbells: u64,
+    /// Doorbell MMIO failures — counted, never silently discarded.
+    pub doorbell_errors: u64,
 }
 
 /// A connected client with one or more I/O queue pairs.
@@ -164,9 +169,8 @@ pub struct ClientDriver {
     pub metadata: Metadata,
     /// First granted queue id (see [`ClientDriver::qids`] for all).
     pub qid: u16,
-    qpairs: Vec<QueuePair>,
-    tags: Semaphore,
-    pending: Rc<RefCell<Pending>>,
+    qids: Vec<u16>,
+    engine: Rc<IoEngine>,
     bounce: RefCell<Option<BouncePool>>,
     /// Per-tag PRP list page for DirectMapped mode.
     direct_lists: Vec<MemRegion>,
@@ -261,9 +265,8 @@ impl ClientDriver {
             .offset(host.0 as u64 * proto::MAILBOX_SLOT as u64);
         let bar = bar_map.region;
         let mut seq = 0u32;
-        let mut qpairs = Vec::new();
-        let mut cqs = Vec::new();
-        let mut irqs = Vec::new();
+        let mut specs = Vec::new();
+        let mut qids = Vec::new();
         let fabric_dev = smartio.device_fabric_id(device)?;
         let mut cleanup = Cleanup {
             mappings: vec![meta_map, bar_map, mailbox_map],
@@ -314,18 +317,6 @@ impl ClientDriver {
             )
             .await?;
             let qid = resp.qid;
-            let sq = Rc::new(SqRing::new(
-                &fabric,
-                sq_cpu.region,
-                DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(qid))),
-                entries,
-            ));
-            cqs.push(CqRing::new(
-                &fabric,
-                cq_region,
-                DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(qid))),
-                entries,
-            ));
             // Interrupt extension: route vector `qid` to this host.
             let irq = match cfg.completion {
                 ClientCompletion::Interrupt { .. } => {
@@ -333,24 +324,46 @@ impl ClientDriver {
                 }
                 ClientCompletion::Polling => None,
             };
-            qpairs.push(QueuePair {
+            specs.push(QueuePairSpec {
                 qid,
-                sq,
-                lock: Semaphore::new(1),
+                sq_ring: sq_cpu.region,
+                sq_doorbell: DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(qid))),
+                cq_ring: cq_region,
+                cq_doorbell: DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(qid))),
+                entries,
+                irq,
             });
-            irqs.push(irq);
+            qids.push(qid);
             cleanup.mappings.push(sq_cpu);
             cleanup.windows.push(sq_win);
             cleanup.windows.push(cq_win);
             cleanup.segments.push(sq_seg);
             cleanup.segments.push(cq_seg);
         }
-        let qid = qpairs[0].qid;
+        let qid = qids[0];
 
-        // --- Data path. ---
+        // --- The engine: rings, tags, completion services, coalescing. ---
         let qd = cfg
             .queue_depth
             .min(cfg.num_qpairs as usize * (entries as usize - 1));
+        let strategy = match cfg.completion {
+            ClientCompletion::Polling => CompletionStrategy::Polling {
+                check_cost: cfg.poll_check_cost,
+            },
+            ClientCompletion::Interrupt { latency } => CompletionStrategy::Interrupt { latency },
+        };
+        let engine = IoEngine::start(
+            &fabric,
+            specs,
+            strategy,
+            EngineConfig {
+                queue_depth: qd,
+                coalesce_limit: cfg.doorbell_coalesce,
+                ..EngineConfig::default()
+            },
+        );
+
+        // --- Data path. ---
         let bounce = match cfg.data_path {
             DataPath::Bounce => Some(BouncePool::new(
                 smartio,
@@ -382,12 +395,8 @@ impl ClientDriver {
             device,
             metadata,
             qid,
-            qpairs,
-            tags: Semaphore::new(qd),
-            pending: Rc::new(RefCell::new(Pending {
-                slots: (0..qd).map(|_| None).collect(),
-                free: (0..qd as u16).rev().collect(),
-            })),
+            qids,
+            engine,
             bounce: RefCell::new(bounce),
             direct_lists,
             direct_list_bus,
@@ -398,23 +407,30 @@ impl ClientDriver {
             stats: RefCell::new(ClientStats::default()),
             cfg,
         });
-        for (i, (cq, irq)) in cqs.into_iter().zip(irqs).enumerate() {
-            let d2 = driver.clone();
-            fabric
-                .handle()
-                .spawn(async move { d2.completion_loop(i, cq, irq).await });
-        }
         Ok(driver)
     }
 
     /// All granted queue ids, in stripe order.
     pub fn qids(&self) -> Vec<u16> {
-        self.qpairs.iter().map(|q| q.qid).collect()
+        self.qids.clone()
     }
 
-    /// Snapshot of the run counters.
+    /// Snapshot of the run counters, with the engine's doorbell/batch
+    /// counters folded in.
     pub fn stats(&self) -> ClientStats {
-        self.stats.borrow().clone()
+        let mut s = self.stats.borrow().clone();
+        let t = self.engine.totals();
+        s.sqes_submitted = t.sqes_submitted;
+        s.sq_doorbells = t.sq_doorbells;
+        s.coalesced_batches = t.coalesced_batches;
+        s.cq_doorbells = t.cq_doorbells;
+        s.doorbell_errors = t.doorbell_errors;
+        s
+    }
+
+    /// Per-queue-pair engine counters.
+    pub fn qpair_stats(&self) -> EngineStats {
+        self.engine.stats()
     }
 
     /// The client's cost/layout profile.
@@ -436,7 +452,7 @@ impl ClientDriver {
             .region
             .addr
             .offset(self.host.0 as u64 * proto::MAILBOX_SLOT as u64);
-        for qp in &self.qpairs {
+        for qid in &self.qids {
             let seq = {
                 let mut s = self.next_seq.borrow_mut();
                 let v = *s;
@@ -450,7 +466,7 @@ impl ClientDriver {
                 resp_region,
                 seq,
                 Request::DeleteQp {
-                    qid: qp.qid,
+                    qid: *qid,
                     response_segment: self.response_segment.0,
                 },
             )
@@ -476,94 +492,26 @@ impl ClientDriver {
         Ok(())
     }
 
-    /// Completion service, one per queue pair. The paper's driver polls;
-    /// the interrupt-forwarding extension waits for the routed MSI.
-    async fn completion_loop(
-        self: Rc<Self>,
-        qp_index: usize,
-        mut cq: CqRing,
-        irq: Option<simcore::sync::Notify>,
-    ) {
-        loop {
-            match (&self.cfg.completion, &irq) {
-                (ClientCompletion::Interrupt { latency }, Some(irq)) => {
-                    irq.notified().await;
-                    self.handle.sleep(*latency).await;
-                    while let Some(cqe) = cq.try_pop() {
-                        self.deliver(qp_index, cqe);
-                    }
-                    let _ = cq.ring_doorbell().await;
-                }
-                _ => {
-                    let cqe = cq.next(self.cfg.poll_check_cost).await;
-                    self.deliver(qp_index, cqe);
-                    while let Some(cqe) = cq.try_pop() {
-                        self.deliver(qp_index, cqe);
-                    }
-                    let _ = cq.ring_doorbell().await;
-                }
-            }
-        }
-    }
-
-    fn deliver(&self, qp_index: usize, cqe: CqEntry) {
-        self.qpairs[qp_index].sq.update_head(cqe.sq_head);
-        let mut p = self.pending.borrow_mut();
-        if let Some(tx) = p.slots.get_mut(cqe.cid as usize).and_then(Option::take) {
-            tx.send(cqe);
-        }
-    }
-
-    /// The queue pair a tag stripes onto.
-    fn qp_for(&self, cid: u16) -> &QueuePair {
-        &self.qpairs[cid as usize % self.qpairs.len()]
-    }
-
-    async fn issue(&self, sqe: &SqEntry) -> std::result::Result<CqEntry, BioError> {
-        let rx = {
-            let mut p = self.pending.borrow_mut();
-            let (tx, rx) = oneshot::channel();
-            p.slots[sqe.cid as usize] = Some(tx);
-            rx
-        };
-        let qp = self.qp_for(sqe.cid);
-        {
-            let _q = qp.lock.acquire().await;
-            qp.sq
-                .push(sqe)
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-            qp.sq
-                .ring()
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-        }
-        rx.await.map_err(|_| BioError::Gone)
-    }
-
     async fn submit_inner(&self, bio: Bio) -> BioResult {
         let bs = self.metadata.block_size;
         let len = bio.len(bs);
-        let _tag = self.tags.acquire().await;
+        let tag = self.engine.acquire_tag().await?;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let cid = self
-            .pending
-            .borrow_mut()
-            .free
-            .pop()
-            .expect("tag guarantees a cid");
-        let result = self.submit_with_cid(&bio, cid, len).await;
-        self.pending.borrow_mut().free.push(cid);
+        let result = self.submit_with_tag(&bio, &tag, len).await;
         self.handle.sleep(self.cfg.completion_overhead).await;
         result
     }
 
-    async fn submit_with_cid(&self, bio: &Bio, cid: u16, len: u64) -> BioResult {
+    async fn submit_with_tag(&self, bio: &Bio, tag: &Tag, len: u64) -> BioResult {
+        let cid = tag.cid();
         let nlb0 = bio.blocks.saturating_sub(1) as u16;
         let status = match (bio.op, self.cfg.data_path) {
             (BioOp::Flush, _) => {
                 self.stats.borrow_mut().flushes += 1;
-                self.issue(&SqEntry::flush(cid, 1)).await?.status()
+                self.engine
+                    .issue(tag, SqEntry::flush(cid, 1))
+                    .await?
+                    .status()
             }
             (op, DataPath::Bounce) => {
                 let (part, prps) = {
@@ -595,7 +543,7 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, prp1, prp2)
                     }
                 };
-                let status = self.issue(&sqe).await?.status();
+                let status = self.engine.issue(tag, sqe).await?.status();
                 if op == BioOp::Read && status.is_success() {
                     // Unstage: partition -> user buffer (the extra copy on
                     // the read completion path).
@@ -639,7 +587,7 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, set.prp1, set.prp2)
                     }
                 };
-                let status = self.issue(&sqe).await?.status();
+                let status = self.engine.issue(tag, sqe).await?.status();
                 // Unmap + IOTLB shootdown.
                 self.smartio.unmap_device(win);
                 self.handle.sleep(self.cfg.iommu_unmap_cost).await;

@@ -2,11 +2,17 @@
 //! controller: the stock-Linux/SPDK analogs (local) and the distributed
 //! driver's manager module (which reaches the registers through a BAR
 //! window and places the admin rings behind DMA windows).
+//!
+//! The queue pair itself runs on [`crate::engine::IoEngine`] — admin is
+//! the engine at its smallest configuration (one qpair, depth 1, no
+//! coalescing), so the ring/completion machinery is not duplicated here.
+
+use std::rc::Rc;
 
 use pcie::{DomainAddr, Fabric, MemRegion, PhysAddr};
 use simcore::SimDuration;
 
-use crate::queue::{CqRing, SqRing};
+use crate::engine::{CompletionStrategy, EngineConfig, EngineError, IoEngine, QueuePairSpec};
 use crate::spec::command::{SqEntry, SQE_SIZE};
 use crate::spec::completion::{CqEntry, CQE_SIZE};
 use crate::spec::identify::{IdentifyController, IdentifyNamespace};
@@ -29,6 +35,15 @@ pub enum AdminError {
 impl From<pcie::FabricError> for AdminError {
     fn from(e: pcie::FabricError) -> Self {
         AdminError::Fabric(e)
+    }
+}
+
+impl From<EngineError> for AdminError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Fabric(f) => AdminError::Fabric(f),
+            EngineError::TagsExhausted | EngineError::Gone => AdminError::ControllerFatal,
+        }
     }
 }
 
@@ -69,9 +84,7 @@ pub struct AdminQueue {
     bar: MemRegion,
     /// Capabilities read at bring-up.
     pub cap: Cap,
-    sq: SqRing,
-    cq: CqRing,
-    next_cid: u16,
+    engine: Rc<IoEngine>,
 }
 
 impl AdminQueue {
@@ -117,25 +130,33 @@ impl AdminQueue {
             .cpu_write_u32(host, reg(offset::CC), cc.encode())
             .await?;
         wait_csts(fabric, host, reg(offset::CSTS), true, cap.to).await?;
-        let sq = SqRing::new(
+        // Admin traffic is serialized bring-up, not the fast path: one
+        // queue pair, one outstanding command, no doorbell coalescing.
+        let engine = IoEngine::start(
             fabric,
-            layout.asq_cpu,
-            DomainAddr::new(host, reg(cap.sq_doorbell(0))),
-            layout.entries,
-        );
-        let cq = CqRing::new(
-            fabric,
-            layout.acq_cpu,
-            DomainAddr::new(host, reg(cap.cq_doorbell(0))),
-            layout.entries,
+            vec![QueuePairSpec {
+                qid: 0,
+                sq_ring: layout.asq_cpu,
+                sq_doorbell: DomainAddr::new(host, reg(cap.sq_doorbell(0))),
+                cq_ring: layout.acq_cpu,
+                cq_doorbell: DomainAddr::new(host, reg(cap.cq_doorbell(0))),
+                entries: layout.entries,
+                irq: None,
+            }],
+            CompletionStrategy::Polling {
+                check_cost: SimDuration::from_nanos(100),
+            },
+            EngineConfig {
+                queue_depth: 1,
+                coalesce_limit: 1,
+                aggregate_window: SimDuration::ZERO,
+            },
         );
         Ok(AdminQueue {
             fabric: fabric.clone(),
             bar,
             cap,
-            sq,
-            cq,
-            next_cid: 0,
+            engine,
         })
     }
 
@@ -147,13 +168,9 @@ impl AdminQueue {
     /// Submit one admin command and wait for its completion (admin traffic
     /// is serialized; this is bring-up, not the fast path).
     pub async fn submit(&mut self, mut sqe: SqEntry) -> AdminResult<CqEntry> {
-        sqe.cid = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        self.sq.push(&sqe).await?;
-        self.sq.ring().await?;
-        let cqe = self.cq.next(SimDuration::from_nanos(100)).await;
-        self.sq.update_head(cqe.sq_head);
-        self.cq.ring_doorbell().await?;
+        let tag = self.engine.acquire_tag().await?;
+        sqe.cid = tag.cid();
+        let cqe = self.engine.issue(&tag, sqe).await?;
         if cqe.status().is_success() {
             Ok(cqe)
         } else {

@@ -2,20 +2,26 @@
 //! completions, direct DMA to the request buffer) and the **SPDK analog**
 //! (poll-mode, minimal per-command software cost). These are the two
 //! baselines in the paper's Fig. 9a scenario.
+//!
+//! Both run on [`crate::engine::IoEngine`]: the ring handling, tag table,
+//! completion service, and doorbell coalescing all live there; this file
+//! keeps only the bring-up sequence and the command-building glue (PRPs,
+//! DSM range staging).
 
-use std::cell::RefCell;
 use std::rc::Rc;
 
 use pcie::{DomainAddr, Fabric, HostId, MemRegion};
-use simcore::sync::{oneshot, Notify, Semaphore};
 use simcore::{Handle, SimDuration};
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BlockDevice};
 
 use crate::driver::admin::{AdminError, AdminQueue, AdminQueueLayout, AdminResult};
-use crate::queue::{CqRing, SqRing};
+use crate::engine::{
+    CompletionStrategy, EngineConfig, EngineStats, IoEngine, QpairStats, QueuePairSpec,
+    DEFAULT_COALESCE_LIMIT,
+};
 use crate::spec::command::{SqEntry, SQE_SIZE};
-use crate::spec::completion::{CqEntry, CQE_SIZE};
+use crate::spec::completion::CQE_SIZE;
 use crate::spec::identify::{IdentifyController, IdentifyNamespace};
 use crate::spec::log::{DsmRange, DSM_MAX_RANGES, DSM_RANGE_LEN};
 use crate::spec::prp;
@@ -45,6 +51,8 @@ pub struct LocalDriverConfig {
     pub mode: CompletionMode,
     /// Largest single transfer (bytes).
     pub max_transfer: u64,
+    /// Max SQEs covered by one SQ doorbell MMIO (1 = ring per command).
+    pub doorbell_coalesce: usize,
 }
 
 impl LocalDriverConfig {
@@ -59,6 +67,7 @@ impl LocalDriverConfig {
                 latency: SimDuration::from_nanos(1_400),
             },
             max_transfer: 1 << 20,
+            doorbell_coalesce: DEFAULT_COALESCE_LIMIT,
         }
     }
 
@@ -73,13 +82,9 @@ impl LocalDriverConfig {
                 check_cost: SimDuration::from_nanos(90),
             },
             max_transfer: 1 << 20,
+            doorbell_coalesce: DEFAULT_COALESCE_LIMIT,
         }
     }
-}
-
-struct Pending {
-    slots: Vec<Option<oneshot::Sender<CqEntry>>>,
-    free: Vec<u16>,
 }
 
 /// A local driver instance bound to one controller in the same PCIe
@@ -93,10 +98,7 @@ pub struct LocalNvmeDriver {
     pub ctrl_info: IdentifyController,
     /// Identify Namespace data read at bring-up.
     pub ns_info: IdentifyNamespace,
-    sq: Rc<SqRing>,
-    sq_lock: Semaphore,
-    tags: Semaphore,
-    pending: Rc<RefCell<Pending>>,
+    engine: Rc<IoEngine>,
     /// Per-tag PRP list page (bus == phys for local memory).
     prp_pages: Vec<MemRegion>,
 }
@@ -150,89 +152,56 @@ impl LocalNvmeDriver {
             .create_io_qpair(1, entries, sq_mem.addr.as_u64(), cq_mem.addr.as_u64(), iv)
             .await?;
         let cap = admin.cap;
-        let sq = Rc::new(SqRing::new(
-            fabric,
-            sq_mem,
-            DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(1))),
-            entries,
-        ));
-        let cq = CqRing::new(
-            fabric,
-            cq_mem,
-            DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(1))),
-            entries,
-        );
-        let qd = cfg.queue_depth.min(entries as usize - 1);
-        let mut prp_pages = Vec::with_capacity(qd);
-        for _ in 0..qd {
-            prp_pages.push(fabric.alloc(host, prp::PAGE)?);
-        }
-        let driver = Rc::new(LocalNvmeDriver {
-            fabric: fabric.clone(),
-            handle: fabric.handle(),
-            host,
-            ctrl_info,
-            ns_info,
-            sq,
-            sq_lock: Semaphore::new(1),
-            tags: Semaphore::new(qd),
-            pending: Rc::new(RefCell::new(Pending {
-                slots: (0..qd).map(|_| None).collect(),
-                free: (0..qd as u16).rev().collect(),
-            })),
-            prp_pages,
-            cfg,
-        });
-
-        // Completion service: IRQ bottom-half or poll loop.
-        let irq = match driver.cfg.mode {
-            CompletionMode::Interrupt { .. } => {
+        // IRQ routing + completion strategy for the engine's service task.
+        let (strategy, irq) = match cfg.mode {
+            CompletionMode::Interrupt { latency } => {
                 // Vector 1 routed to this host.
                 let dev_id = match fabric.resolve(host, bar.addr, 8) {
                     Ok(pcie::Location::Bar { dev, .. }) => dev,
                     _ => panic!("controller BAR did not resolve to a device"),
                 };
-                Some(fabric.config_msi(dev_id, 1, host))
+                (
+                    CompletionStrategy::Interrupt { latency },
+                    Some(fabric.config_msi(dev_id, 1, host)),
+                )
             }
-            CompletionMode::Polling { .. } => None,
+            CompletionMode::Polling { check_cost } => {
+                (CompletionStrategy::Polling { check_cost }, None)
+            }
         };
-        let d2 = driver.clone();
-        fabric
-            .handle()
-            .spawn(async move { d2.completion_loop(cq, irq).await });
-        Ok(driver)
-    }
-
-    async fn completion_loop(self: Rc<Self>, mut cq: CqRing, irq: Option<Notify>) {
-        loop {
-            match (self.cfg.mode, &irq) {
-                (CompletionMode::Interrupt { latency }, Some(irq)) => {
-                    irq.notified().await;
-                    self.handle.sleep(latency).await;
-                    while let Some(cqe) = cq.try_pop() {
-                        self.deliver(cqe);
-                    }
-                    let _ = cq.ring_doorbell().await;
-                }
-                (CompletionMode::Polling { check_cost }, _) => {
-                    let cqe = cq.next(check_cost).await;
-                    self.deliver(cqe);
-                    while let Some(cqe) = cq.try_pop() {
-                        self.deliver(cqe);
-                    }
-                    let _ = cq.ring_doorbell().await;
-                }
-                _ => unreachable!("interrupt mode without an IRQ notify"),
-            }
+        let qd = cfg.queue_depth.min(entries as usize - 1);
+        let engine = IoEngine::start(
+            fabric,
+            vec![QueuePairSpec {
+                qid: 1,
+                sq_ring: sq_mem,
+                sq_doorbell: DomainAddr::new(host, bar.addr.offset(cap.sq_doorbell(1))),
+                cq_ring: cq_mem,
+                cq_doorbell: DomainAddr::new(host, bar.addr.offset(cap.cq_doorbell(1))),
+                entries,
+                irq,
+            }],
+            strategy,
+            EngineConfig {
+                queue_depth: qd,
+                coalesce_limit: cfg.doorbell_coalesce,
+                ..EngineConfig::default()
+            },
+        );
+        let mut prp_pages = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            prp_pages.push(fabric.alloc(host, prp::PAGE)?);
         }
-    }
-
-    fn deliver(&self, cqe: CqEntry) {
-        self.sq.update_head(cqe.sq_head);
-        let mut p = self.pending.borrow_mut();
-        if let Some(tx) = p.slots.get_mut(cqe.cid as usize).and_then(Option::take) {
-            tx.send(cqe);
-        }
+        Ok(Rc::new(LocalNvmeDriver {
+            fabric: fabric.clone(),
+            handle: fabric.handle(),
+            host,
+            ctrl_info,
+            ns_info,
+            engine,
+            prp_pages,
+            cfg,
+        }))
     }
 
     /// Issue one I/O command against `bus_addr` (already device-visible).
@@ -245,15 +214,9 @@ impl LocalNvmeDriver {
         blocks: u32,
         bus_addr: u64,
     ) -> Result<Status, BioError> {
-        let _tag = self.tags.acquire().await;
+        let tag = self.engine.acquire_tag().await?;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let (cid, rx) = {
-            let mut p = self.pending.borrow_mut();
-            let cid = p.free.pop().expect("tag semaphore guarantees a free cid");
-            let (tx, rx) = oneshot::channel();
-            p.slots[cid as usize] = Some(tx);
-            (cid, rx)
-        };
+        let cid = tag.cid();
         let len = blocks as u64 * self.ns_info.block_size();
         let sqe = match op {
             BioOp::Flush => SqEntry::flush(cid, 1),
@@ -274,19 +237,7 @@ impl LocalNvmeDriver {
                 }
             }
         };
-        {
-            let _q = self.sq_lock.acquire().await;
-            self.sq
-                .push(&sqe)
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-            self.sq
-                .ring()
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-        }
-        let cqe = rx.await.map_err(|_| BioError::Gone)?;
-        self.pending.borrow_mut().free.push(cid);
+        let cqe = self.engine.issue(&tag, sqe).await?;
         self.handle.sleep(self.cfg.completion_overhead).await;
         Ok(cqe.status())
     }
@@ -296,18 +247,22 @@ impl LocalNvmeDriver {
         &self.cfg
     }
 
+    /// Per-qpair engine counters (doorbells, batches, reaps).
+    pub fn engine_stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Summed engine counters.
+    pub fn engine_totals(&self) -> QpairStats {
+        self.engine.totals()
+    }
+
     /// Deallocate (TRIM) the given LBA ranges via Dataset Management.
     pub async fn deallocate(&self, ranges: &[DsmRange]) -> Result<Status, BioError> {
         assert!(!ranges.is_empty() && ranges.len() <= DSM_MAX_RANGES);
-        let _tag = self.tags.acquire().await;
+        let tag = self.engine.acquire_tag().await?;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let (cid, rx) = {
-            let mut p = self.pending.borrow_mut();
-            let cid = p.free.pop().expect("tag semaphore guarantees a free cid");
-            let (tx, rx) = oneshot::channel();
-            p.slots[cid as usize] = Some(tx);
-            (cid, rx)
-        };
+        let cid = tag.cid();
         // Stage the range list in this tag's PRP page (it is exactly one
         // page: 256 ranges x 16 B).
         let list_page = &self.prp_pages[cid as usize];
@@ -323,19 +278,7 @@ impl LocalNvmeDriver {
             true,
             list_page.addr.as_u64(),
         );
-        {
-            let _q = self.sq_lock.acquire().await;
-            self.sq
-                .push(&sqe)
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-            self.sq
-                .ring()
-                .await
-                .map_err(|e| BioError::DeviceError(e.to_string()))?;
-        }
-        let cqe = rx.await.map_err(|_| BioError::Gone)?;
-        self.pending.borrow_mut().free.push(cid);
+        let cqe = self.engine.issue(&tag, sqe).await?;
         self.handle.sleep(self.cfg.completion_overhead).await;
         Ok(cqe.status())
     }

@@ -7,6 +7,9 @@
 //! * [`queue`] — host-side ring abstractions (`SqRing` writes through any
 //!   CPU-visible address, including NTB windows; `CqRing` polls phase
 //!   tags in local memory).
+//! * [`engine`] — the shared host-side qpair engine every driver stack
+//!   builds on: tags + pending table, pluggable completion strategy, and
+//!   batched submission with doorbell coalescing.
 //! * [`medium`] — storage media with calibrated latency profiles
 //!   (Optane-like consistency, NAND-like asymmetry).
 //! * [`ctrl`] — the controller device model: one register file, one admin
@@ -17,11 +20,16 @@
 
 pub mod ctrl;
 pub mod driver;
+pub mod engine;
 pub mod medium;
 pub mod queue;
 pub mod spec;
 
 pub use ctrl::{CtrlStats, NvmeConfig, NvmeController};
+pub use engine::{
+    CompletionStrategy, EngineConfig, EngineError, EngineStats, IoEngine, QpairStats,
+    QueuePairSpec, TagSet,
+};
 pub use medium::{BlockStore, MediaProfile};
-pub use queue::{CqRing, SqRing};
+pub use queue::CqRing;
 pub use spec::{CqEntry, IdentifyController, IdentifyNamespace, SqEntry, Status};

@@ -28,8 +28,13 @@ pub struct SqRing {
     doorbell: DomainAddr,
     entries: u16,
     tail: Cell<u16>,
-    /// Controller's consumed head, learned from CQE.sq_head.
+    /// Controller's consumed head, learned from CQE.sq_head. Advisory:
+    /// completions can arrive out of submission order, so a later CQE may
+    /// carry an *earlier* fetch-head snapshot.
     head: Cell<u16>,
+    /// Entries pushed but not yet retired by a completion — the exact
+    /// occupancy, unaffected by out-of-order head snapshots.
+    outstanding: Cell<u16>,
 }
 
 impl SqRing {
@@ -46,6 +51,7 @@ impl SqRing {
             entries,
             tail: Cell::new(0),
             head: Cell::new(0),
+            outstanding: Cell::new(0),
         }
     }
 
@@ -59,25 +65,30 @@ impl SqRing {
         self.tail.get()
     }
 
-    /// Whether no slot is free.
+    /// Whether no slot is free (a ring holds `entries - 1` commands).
     pub fn is_full(&self) -> bool {
-        (self.tail.get() + 1) % self.entries == self.head.get()
+        self.outstanding.get() >= self.entries - 1
     }
 
     /// Free SQE slots.
     pub fn space(&self) -> u16 {
-        (self.entries + self.head.get() - self.tail.get() - 1) % self.entries
+        self.entries - 1 - self.outstanding.get()
     }
 
-    /// Record the controller's SQ head from a completion.
-    pub fn update_head(&self, head: u16) {
-        self.head.set(head);
+    /// Retire one command on its completion: records the controller's SQ
+    /// head snapshot and releases the slot.
+    pub fn retire(&self, sq_head: u16) {
+        self.head.set(sq_head);
+        let n = self.outstanding.get();
+        debug_assert!(n > 0, "retired a command from an empty SQ");
+        self.outstanding.set(n.saturating_sub(1));
     }
 
     /// Write one entry at the tail (posted; CPU-side cost applies).
     /// Does not ring the doorbell — batch then [`SqRing::ring`].
     pub async fn push(&self, sqe: &SqEntry) -> pcie::Result<()> {
         assert!(!self.is_full(), "pushed into full SQ");
+        self.outstanding.set(self.outstanding.get() + 1);
         let tail = self.tail.get();
         let slot_addr = self.ring.addr.offset(tail as u64 * SQE_SIZE as u64);
         self.tail.set((tail + 1) % self.entries);
@@ -247,8 +258,9 @@ mod tests {
             }
             assert!(sq.is_full());
             assert_eq!(sq.space(), 0);
-            // Controller consumed two.
-            sq.update_head(2);
+            // Two commands completed.
+            sq.retire(1);
+            sq.retire(2);
             assert!(!sq.is_full());
             assert_eq!(sq.space(), 2);
             sq.push(&SqEntry::flush(3, 1)).await.unwrap();

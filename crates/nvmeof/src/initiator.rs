@@ -7,14 +7,13 @@
 //! kernel's RDMA completion path.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
+use nvme::engine::{Tag, TagSet};
 use nvme::spec::command::SqEntry;
 use pcie::{Fabric, HostId, MemRegion, PhysAddr};
 use rdma::{Access, IbNet, NicId, Qp, SendWr, WcStatus};
-use simcore::sync::{oneshot, Semaphore};
 use simcore::{Handle, SimDuration};
 
 use crate::capsule::{decode_response, CommandCapsule, DataRef};
@@ -78,9 +77,9 @@ pub struct NvmfInitiator {
     cmd_region: MemRegion,
     cmd_lkey: u32,
     capsule_stride: u64,
-    tags: Semaphore,
-    free_cids: RefCell<Vec<u16>>,
-    pending: Rc<RefCell<BTreeMap<u16, oneshot::Sender<nvme::CqEntry>>>>,
+    /// Tag allocator + response-capsule matching (the engine's tag table,
+    /// used standalone — NVMe-oF has no host-side rings to coalesce).
+    tags: TagSet,
     stats: RefCell<InitiatorStats>,
 }
 
@@ -133,9 +132,7 @@ impl NvmfInitiator {
             cmd_region,
             cmd_lkey: cmd_mr.lkey,
             capsule_stride,
-            tags: Semaphore::new(qd),
-            free_cids: RefCell::new((0..qd as u16).rev().collect()),
-            pending: Rc::new(RefCell::new(BTreeMap::new())),
+            tags: TagSet::new(qd),
             stats: RefCell::new(InitiatorStats::default()),
             cfg,
         });
@@ -159,9 +156,7 @@ impl NvmfInitiator {
                 // Recycle the response buffer.
                 me.qp.post_recv(wc.wr_id, resp_mr.lkey, addr, 64);
                 if let Some(cqe) = decode_response(&raw) {
-                    if let Some(tx) = me.pending.borrow_mut().remove(&cqe.cid) {
-                        tx.send(cqe);
-                    }
+                    me.tags.complete(cqe.cid, Ok(cqe));
                 }
             }
         });
@@ -175,20 +170,15 @@ impl NvmfInitiator {
 
     async fn do_io(&self, bio: Bio) -> BioResult {
         let len = bio.len(self.block_size);
-        let _tag = self.tags.acquire().await;
+        let tag = self.tags.acquire().await?;
         self.handle.sleep(self.cfg.submission_overhead).await;
-        let cid = self
-            .free_cids
-            .borrow_mut()
-            .pop()
-            .expect("tag guarantees cid");
-        let result = self.do_io_cid(&bio, cid, len).await;
-        self.free_cids.borrow_mut().push(cid);
+        let result = self.do_io_tag(&bio, &tag, len).await;
         self.handle.sleep(self.cfg.completion_overhead).await;
         result
     }
 
-    async fn do_io_cid(&self, bio: &Bio, cid: u16, len: u64) -> BioResult {
+    async fn do_io_tag(&self, bio: &Bio, tag: &Tag, len: u64) -> BioResult {
+        let cid = tag.cid();
         let nlb0 = bio.blocks.saturating_sub(1) as u16;
         // Build the capsule.
         let (capsule, mr_to_drop) = match bio.op {
@@ -257,8 +247,7 @@ impl NvmfInitiator {
         self.fabric
             .mem_write(self.host, PhysAddr(addr), &raw)
             .map_err(|e| BioError::DeviceError(e.to_string()))?;
-        let (tx, rx) = oneshot::channel();
-        self.pending.borrow_mut().insert(cid, tx);
+        let rx = self.tags.register(tag);
         self.qp
             .post_send(SendWr::Send {
                 wr_id: cid as u64,
@@ -268,7 +257,7 @@ impl NvmfInitiator {
                 imm: 0,
             })
             .await;
-        let cqe = rx.await.map_err(|_| BioError::Gone)?;
+        let cqe = rx.await.map_err(|_| BioError::Gone)??;
         if let Some(lkey) = mr_to_drop {
             self.handle.sleep(self.cfg.mr_invalidate).await;
             self.net.deregister_mr(self.nic, lkey);

@@ -108,6 +108,12 @@ impl NvmfTarget {
         self.stats.borrow().clone()
     }
 
+    /// The backing poll-mode NVMe driver (e.g. for its qpair-engine
+    /// doorbell counters).
+    pub fn driver(&self) -> &Rc<LocalNvmeDriver> {
+        &self.driver
+    }
+
     /// The namespace's logical block size.
     pub fn block_size(&self) -> u32 {
         self.driver.ns_info.block_size() as u32

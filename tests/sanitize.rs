@@ -120,7 +120,11 @@ fn doorbell_before_sqe_is_flagged() {
 #[test]
 fn cq_overwrite_is_flagged() {
     // Plant an unconsumed current-phase entry in the ACQ slot the
-    // controller will post to next: the post must be reported.
+    // controller will post to next: the post must be reported. Bring-up
+    // uses raw register writes — `AdminQueue` now runs an engine
+    // completion service that would legitimately consume the planted
+    // entry (and release its slot) before the controller posts.
+    use nvme::spec::registers::{csts, offset, Aqa, Cap, Cc};
     let rt = SimRuntime::new();
     let fabric = Fabric::new(rt.handle(), FabricParams::default());
     let host = fabric.add_host(64 << 20);
@@ -144,19 +148,48 @@ fn cq_overwrite_is_flagged() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            let admin = AdminQueue::init(
-                &fabric,
-                bar,
-                AdminQueueLayout {
-                    asq_cpu: asq,
-                    asq_bus: asq.addr.as_u64(),
-                    acq_cpu: acq,
-                    acq_bus: acq.addr.as_u64(),
-                    entries: 8,
-                },
-            )
-            .await
-            .unwrap();
+            let reg = |off: u64| bar.addr.offset(off);
+            let wait_rdy = |want: bool| {
+                let fabric = fabric.clone();
+                async move {
+                    loop {
+                        let v = fabric.cpu_read_u32(host, reg(offset::CSTS)).await.unwrap();
+                        if (v & csts::RDY != 0) == want {
+                            return;
+                        }
+                        fabric.handle().sleep(SimDuration::from_micros(10)).await;
+                    }
+                }
+            };
+            let cap = Cap::decode(fabric.cpu_read_u64(host, reg(offset::CAP)).await.unwrap());
+            fabric
+                .cpu_write_u32(host, reg(offset::CC), 0)
+                .await
+                .unwrap();
+            wait_rdy(false).await;
+            let aqa = Aqa { asqs: 7, acqs: 7 };
+            fabric
+                .cpu_write_u32(host, reg(offset::AQA), aqa.encode())
+                .await
+                .unwrap();
+            fabric
+                .cpu_write(host, reg(offset::ASQ), &asq.addr.as_u64().to_le_bytes())
+                .await
+                .unwrap();
+            fabric
+                .cpu_write(host, reg(offset::ACQ), &acq.addr.as_u64().to_le_bytes())
+                .await
+                .unwrap();
+            let cc = Cc {
+                enable: true,
+                iosqes: 6,
+                iocqes: 4,
+            };
+            fabric
+                .cpu_write_u32(host, reg(offset::CC), cc.encode())
+                .await
+                .unwrap();
+            wait_rdy(true).await;
             // Fake unconsumed CQE with the phase the controller will post.
             let fake = CqEntry::new(0, 0, 0, 0xDEAD, true, Status::SUCCESS);
             fabric.mem_write(host, acq.addr, &fake.encode()).unwrap();
@@ -166,7 +199,7 @@ fn cq_overwrite_is_flagged() {
             let sqe = SqEntry::set_num_queues(3, 3, 3);
             fabric.mem_write(host, asq.addr, &sqe.encode()).unwrap();
             fabric
-                .cpu_write_u32(host, bar.addr.offset(admin.cap.sq_doorbell(0)), 1)
+                .cpu_write_u32(host, bar.addr.offset(cap.sq_doorbell(0)), 1)
                 .await
                 .unwrap();
             fabric.handle().sleep(SimDuration::from_micros(20)).await;
