@@ -1,8 +1,12 @@
-//! # dnvme-lint — static determinism/protocol lint pass
+//! # dnvme-analyze — static determinism/protocol lint pass
 //!
 //! The evaluation rests on DESIGN.md §5's promise of a *deterministic*
-//! virtual-time simulation. This crate enforces the source-level half of
-//! that promise with a small hand-rolled scanner (no external deps):
+//! virtual-time simulation and on the paper's PCIe ordering discipline
+//! (posted writes only on the data path, SQ/CQ placement per Fig. 8).
+//! This crate enforces the source-level half of those promises with a
+//! dependency-free syntax pass (lexer → token stream → item tree, see
+//! [`ast`]) instead of regexes, so rules can reason about function
+//! bodies, call expressions, and statement order:
 //!
 //! * **D01** — no `std::time::{Instant,SystemTime}` / `std::thread::sleep`
 //!   in simulation code: the virtual clock is the only clock.
@@ -19,21 +23,38 @@
 //! * **D06** — no direct `SqRing` use outside `nvme::engine` (and the
 //!   ring's own module): submission goes through the engine so doorbell
 //!   coalescing and the stats/sanitize hooks cannot be bypassed.
+//! * **D07** — no non-posted fabric read (`cpu_read*`, `dma_read`)
+//!   reachable from an I/O-path function (`submit*`, `issue*`, `poll*`,
+//!   `flush*`, `complet*`) in `core::client` / `nvme::engine`: a read
+//!   stalls for the full NTB round trip (paper §4.2).
+//! * **D08** — no SQE store (SQ `push`, `sqe` field assignment, or a
+//!   write call carrying an `sqe`) after a doorbell ring in the same
+//!   function body: the device may fetch the entry before it is written.
+//! * **D09** — no `unsafe` / raw-pointer access outside `pcie::memory`:
+//!   exported segment memory is only reachable through the checked
+//!   fabric API.
+//! * **D10** — queue segments must carry their placement hint
+//!   (`smartio::hints`): SQ device-side, CQ client-local (Fig. 8).
 //!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
-//! root allowlists whole path prefixes per rule (`"*"` = every rule).
+//! root allowlists paths per rule (`"*"` = every rule) with glob
+//! patterns (`*`/`?`/`[…]` within a component, `**` across), where a
+//! plain path matches itself and everything below it.
 //!
 //! The pass runs as the `dnvme-lint` binary (`cargo run -p analyzer`,
-//! exit 1 on findings) and as this crate's `workspace_is_clean` test, so
-//! plain `cargo test` gates it.
+//! exit 1 on findings, `--format github` for CI annotations) and as this
+//! crate's `workspace_is_clean` test, so plain `cargo test` gates it.
 
+mod ast;
+
+use ast::{Ast, TokKind};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The six lint rules.
+/// The ten lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -42,16 +63,24 @@ pub enum Rule {
     D04,
     D05,
     D06,
+    D07,
+    D08,
+    D09,
+    D10,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::D01,
     Rule::D02,
     Rule::D03,
     Rule::D04,
     Rule::D05,
     Rule::D06,
+    Rule::D07,
+    Rule::D08,
+    Rule::D09,
+    Rule::D10,
 ];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
@@ -75,10 +104,14 @@ impl Rule {
             Rule::D04 => "D04",
             Rule::D05 => "D05",
             Rule::D06 => "D06",
+            Rule::D07 => "D07",
+            Rule::D08 => "D08",
+            Rule::D09 => "D09",
+            Rule::D10 => "D10",
         }
     }
 
-    fn describe(self) -> &'static str {
+    pub fn describe(self) -> &'static str {
         match self {
             Rule::D01 => "wall-clock time in simulation code (virtual clock only)",
             Rule::D02 => "entropy-seeded RNG (streams must be seed-derived)",
@@ -87,6 +120,16 @@ impl Rule {
             Rule::D05 => "unwrap/expect on a fabric or DMA result in crates/core",
             Rule::D06 => {
                 "direct SqRing use outside nvme::engine (submission must go through the engine)"
+            }
+            Rule::D07 => {
+                "non-posted fabric read reachable from an I/O-path function (stalls a full NTB RTT)"
+            }
+            Rule::D08 => {
+                "SQE store after the doorbell ring in the same function (device may fetch early)"
+            }
+            Rule::D09 => "unsafe / raw-pointer memory access outside pcie::memory",
+            Rule::D10 => {
+                "queue segment allocated without its placement hint (SQ device-side, CQ local)"
             }
         }
     }
@@ -117,14 +160,28 @@ impl fmt::Display for Finding {
     }
 }
 
+impl Finding {
+    /// GitHub Actions annotation line: surfaces inline on PR diffs when
+    /// printed from a workflow step.
+    pub fn to_github_annotation(&self) -> String {
+        format!(
+            "::error file={},line={},title=dnvme-lint {}::{}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.rule.describe()
+        )
+    }
+}
+
 // ---------------------------------------------------------------------
 // Configuration (analyzer.toml)
 // ---------------------------------------------------------------------
 
-/// Parsed `analyzer.toml`: per-rule path-prefix allowlist.
+/// Parsed `analyzer.toml`: per-rule path allowlist (glob patterns).
 #[derive(Default, Debug)]
 pub struct Config {
-    /// `(rule code or "*", path prefix)` pairs.
+    /// `(rule code or "*", path pattern)` pairs.
     allow: Vec<(String, String)>,
 }
 
@@ -152,9 +209,9 @@ impl Config {
             let key = key.trim().trim_matches('"').to_string();
             let value = value.trim().trim_start_matches('[').trim_end_matches(']');
             for item in value.split(',') {
-                let prefix = item.trim().trim_matches('"');
-                if !prefix.is_empty() {
-                    allow.push((key.clone(), prefix.to_string()));
+                let pattern = item.trim().trim_matches('"');
+                if !pattern.is_empty() {
+                    allow.push((key.clone(), pattern.to_string()));
                 }
             }
         }
@@ -173,136 +230,90 @@ impl Config {
     pub fn allows(&self, rule: Rule, rel: &str) -> bool {
         self.allow
             .iter()
-            .any(|(k, p)| (k == "*" || k == rule.code()) && rel.starts_with(p.as_str()))
+            .any(|(k, p)| (k == "*" || k == rule.code()) && path_matches(p, rel))
     }
 }
 
-// ---------------------------------------------------------------------
-// Source sanitizer: strip comments and literal contents, keep structure
-// ---------------------------------------------------------------------
-
-enum LexState {
-    Code,
-    Block(u32),
-    Str,
-    RawStr(u32),
+/// Whether the allowlist pattern covers `rel`. Patterns with glob
+/// metacharacters are matched as globs (`*`/`?`/`[…]` stay within a `/`
+/// component, `**` crosses components); a plain path matches itself and
+/// anything below it — on component boundaries, so `crates/nvme` does
+/// NOT cover `crates/nvmeof`.
+pub fn path_matches(pattern: &str, rel: &str) -> bool {
+    if pattern.contains(['*', '?', '[']) {
+        // A glob that matches the whole path, or a leading directory of
+        // it (so `crates/*/tests` covers the files inside).
+        glob_match(pattern.as_bytes(), rel.as_bytes())
+            || rel
+                .bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'/')
+                .any(|(i, _)| glob_match(pattern.as_bytes(), &rel.as_bytes()[..i]))
+    } else {
+        rel == pattern
+            || (rel.starts_with(pattern) && rel.as_bytes().get(pattern.len()) == Some(&b'/'))
+    }
 }
 
-/// Per line: (code with comments and literal contents blanked, comment
-/// text). Handles nested block comments, raw strings spanning lines, and
-/// the char-literal/lifetime ambiguity well enough for this workspace.
-fn sanitize(text: &str) -> Vec<(String, String)> {
-    let mut state = LexState::Code;
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let chars: Vec<char> = line.chars().collect();
-        let mut code = String::new();
-        let mut comment = String::new();
-        let mut i = 0;
-        while i < chars.len() {
-            match state {
-                LexState::Block(depth) => {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        state = if depth == 1 {
-                            LexState::Code
-                        } else {
-                            LexState::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(chars[i]);
-                        i += 1;
-                    }
+fn glob_match(pat: &[u8], s: &[u8]) -> bool {
+    if pat.is_empty() {
+        return s.is_empty();
+    }
+    match pat[0] {
+        b'*' if pat.get(1) == Some(&b'*') => {
+            // `**` crosses separators; `**/` may also match zero dirs.
+            let rest = if pat.get(2) == Some(&b'/') {
+                &pat[3..]
+            } else {
+                &pat[2..]
+            };
+            if rest.is_empty() {
+                return true;
+            }
+            (0..=s.len()).any(|k| glob_match(rest, &s[k..]))
+        }
+        b'*' => {
+            let mut k = 0;
+            loop {
+                if glob_match(&pat[1..], &s[k..]) {
+                    return true;
                 }
-                LexState::Str => {
-                    if chars[i] == '\\' {
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        state = LexState::Code;
-                        code.push('"');
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
+                if k >= s.len() || s[k] == b'/' {
+                    return false;
                 }
-                LexState::RawStr(hashes) => {
-                    if chars[i] == '"'
-                        && (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-                    {
-                        state = LexState::Code;
-                        code.push('"');
-                        i += 1 + hashes as usize;
-                    } else {
-                        i += 1;
-                    }
-                }
-                LexState::Code => {
-                    let c = chars[i];
-                    let prev_ident =
-                        i > 0 && (chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_');
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        comment.extend(&chars[i + 2..]);
-                        break;
-                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = LexState::Block(1);
-                        i += 2;
-                    } else if c == '"' {
-                        state = LexState::Str;
-                        code.push('"');
-                        i += 1;
-                    } else if (c == 'r' || c == 'b') && !prev_ident {
-                        // r"…", r#"…"#, b"…", br#"…"# raw/byte strings.
-                        let mut j = i + 1;
-                        if c == 'b' && chars.get(j) == Some(&'r') {
-                            j += 1;
-                        }
-                        let mut hashes = 0u32;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1 || hashes > 0) {
-                            state = if hashes == 0 && chars[i..j].iter().all(|&x| x != 'r') {
-                                LexState::Str // plain byte string b"…"
-                            } else {
-                                LexState::RawStr(hashes)
-                            };
-                            code.push('"');
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else if c == '\'' {
-                        if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to the closing quote.
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            i = j + 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            i += 3; // plain char literal
-                        } else {
-                            i += 1; // lifetime
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
+                k += 1;
             }
         }
-        out.push((code, comment));
+        b'?' => !s.is_empty() && s[0] != b'/' && glob_match(&pat[1..], &s[1..]),
+        b'[' => {
+            let Some(close) = pat.iter().position(|&c| c == b']').filter(|&p| p > 1) else {
+                return !s.is_empty() && s[0] == b'[' && glob_match(&pat[1..], &s[1..]);
+            };
+            let (class, negate) = if pat[1] == b'!' || pat[1] == b'^' {
+                (&pat[2..close], true)
+            } else {
+                (&pat[1..close], false)
+            };
+            let Some(&c) = s.first() else { return false };
+            let mut hit = false;
+            let mut i = 0;
+            while i < class.len() {
+                if i + 2 < class.len() && class[i + 1] == b'-' {
+                    hit |= class[i] <= c && c <= class[i + 2];
+                    i += 3;
+                } else {
+                    hit |= class[i] == c;
+                    i += 1;
+                }
+            }
+            hit != negate && glob_match(&pat[close + 1..], &s[1..])
+        }
+        c => !s.is_empty() && s[0] == c && glob_match(&pat[1..], &s[1..]),
     }
-    out
 }
 
 // ---------------------------------------------------------------------
-// Pattern helpers
+// Pattern helpers (line-level rules)
 // ---------------------------------------------------------------------
 
 /// Whether `pat` occurs in `code` with no identifier character directly
@@ -405,6 +416,26 @@ const D05_FABRIC: [&str; 14] = [
     "alloc(",
 ];
 
+/// Non-posted fabric/memory reads: each stalls the caller for a full NTB
+/// round trip, so none may sit on the I/O path (D07).
+const D07_READS: [&str; 4] = ["cpu_read", "cpu_read_u32", "cpu_read_u64", "dma_read"];
+/// I/O-path entry points: functions whose names carry these prefixes are
+/// D07 roots; everything they (transitively, within the file) call is on
+/// the I/O path.
+const D07_ROOTS: [&str; 5] = ["submit", "issue", "poll", "flush", "complet"];
+/// Files whose I/O paths the paper's read-free discipline binds.
+const D07_SCOPE: [&str; 2] = ["crates/core/src", "crates/nvme/src/engine.rs"];
+/// Write-style calls D08 inspects for doorbell targets / SQE payloads.
+const D08_WRITES: [&str; 5] = [
+    "cpu_write",
+    "cpu_write_u32",
+    "mem_write",
+    "mem_write_u32",
+    "dma_write",
+];
+/// The only file allowed raw-pointer access to segment memory (D09).
+const D09_EXEMPT: [&str; 1] = ["crates/pcie/src/memory.rs"];
+
 /// The rules that apply to the file at workspace-relative path `rel`.
 pub fn rules_for(rel: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::D01, Rule::D02, Rule::D04];
@@ -419,14 +450,23 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     if !D06_EXEMPT.iter().any(|p| rel.starts_with(p)) {
         rules.push(Rule::D06);
     }
+    if D07_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D07);
+    }
+    rules.push(Rule::D08);
+    if !D09_EXEMPT.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D09);
+    }
+    rules.push(Rule::D10);
     rules
 }
 
 /// Scan one source text with the given rules. `lint:allow` suppressions
 /// apply; the `analyzer.toml` allowlist is the caller's concern.
 pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
-    let lines = sanitize(text);
+    let ast = Ast::parse(text);
     let raw_lines: Vec<&str> = text.lines().collect();
+    let lines = &ast.lines;
 
     // Suppressions: rule codes allowed on each line (same line or below
     // the comment line they appear on).
@@ -446,7 +486,7 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
     let mut map_names: Vec<String> = Vec::new();
     if rules.contains(&Rule::D03) {
         let mut aliases: Vec<String> = Vec::new();
-        for (code, _) in &lines {
+        for (code, _) in lines {
             let trimmed = code.trim_start();
             if trimmed.starts_with("use ") {
                 continue;
@@ -497,46 +537,46 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
         }
     }
 
-    let mut findings = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let hit = |rule: Rule, lineno: usize, findings: &mut Vec<Finding>| {
+        if !allows_on(lineno.saturating_sub(1), rule)
+            && !findings
+                .iter()
+                .any(|f: &Finding| f.rule == rule && f.line == lineno)
+        {
+            findings.push(Finding {
+                rule,
+                path: rel.to_string(),
+                line: lineno,
+                excerpt: raw_lines.get(lineno - 1).copied().unwrap_or("").to_string(),
+            });
+        }
+    };
+
+    // -------------------------------------------------- line-level rules
     let mut stmt = String::new(); // rolling statement window for D05
     for (idx, (code, _)) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let excerpt = raw_lines.get(idx).copied().unwrap_or("").to_string();
-        let hit = |rule: Rule, findings: &mut Vec<Finding>| {
-            if !allows_on(idx, rule)
-                && !findings
-                    .iter()
-                    .any(|f: &Finding| f.rule == rule && f.line == lineno)
-            {
-                findings.push(Finding {
-                    rule,
-                    path: rel.to_string(),
-                    line: lineno,
-                    excerpt: excerpt.clone(),
-                });
-            }
-        };
-
         for rule in rules {
             match rule {
                 Rule::D01 => {
                     if D01_PATTERNS.iter().any(|p| has_token(code, p)) {
-                        hit(Rule::D01, &mut findings);
+                        hit(Rule::D01, lineno, &mut findings);
                     }
                 }
                 Rule::D02 => {
                     if D02_PATTERNS.iter().any(|p| has_token(code, p)) {
-                        hit(Rule::D02, &mut findings);
+                        hit(Rule::D02, lineno, &mut findings);
                     }
                 }
                 Rule::D04 => {
                     if D04_PATTERNS.iter().any(|p| has_token(code, p)) {
-                        hit(Rule::D04, &mut findings);
+                        hit(Rule::D04, lineno, &mut findings);
                     }
                 }
                 Rule::D06 => {
                     if D06_PATTERNS.iter().any(|p| has_token(code, p)) {
-                        hit(Rule::D06, &mut findings);
+                        hit(Rule::D06, lineno, &mut findings);
                     }
                 }
                 Rule::D03 => {
@@ -549,7 +589,7 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                             if ident_ending_at(recv, recv.len())
                                 .is_some_and(|n| map_names.iter().any(|m| m == n))
                             {
-                                hit(Rule::D03, &mut findings);
+                                hit(Rule::D03, lineno, &mut findings);
                             }
                             from = at + pat.len();
                         }
@@ -567,7 +607,7 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                                 && ident_ending_at(expr, expr.len())
                                     .is_some_and(|n| map_names.iter().any(|m| m == n))
                             {
-                                hit(Rule::D03, &mut findings);
+                                hit(Rule::D03, lineno, &mut findings);
                             }
                         }
                     }
@@ -578,16 +618,168 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
                     if (code.contains(".unwrap()") || code.contains(".expect("))
                         && D05_FABRIC.iter().any(|p| stmt.contains(p))
                     {
-                        hit(Rule::D05, &mut findings);
+                        hit(Rule::D05, lineno, &mut findings);
                     }
                     if matches!(code.trim_end().chars().next_back(), Some(';' | '{' | '}')) {
                         stmt.clear();
                     }
                 }
+                Rule::D07 | Rule::D08 | Rule::D09 | Rule::D10 => {} // syntax rules below
             }
         }
     }
+
+    // -------------------------------------------------- syntax rules
+    if rules.contains(&Rule::D07) {
+        scan_d07(&ast, &mut |line| hit(Rule::D07, line, &mut findings));
+    }
+    if rules.contains(&Rule::D08) {
+        scan_d08(&ast, &mut |line| hit(Rule::D08, line, &mut findings));
+    }
+    if rules.contains(&Rule::D09) {
+        scan_d09(&ast, &mut |line| hit(Rule::D09, line, &mut findings));
+    }
+    if rules.contains(&Rule::D10) {
+        scan_d10(&ast, &mut |line| hit(Rule::D10, line, &mut findings));
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
     findings
+}
+
+/// D07: build the intra-file call graph (edges by simple callee name),
+/// walk it from the I/O-path roots, and flag every non-posted read call
+/// inside a reachable function.
+fn scan_d07(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let is_root = |name: &str| D07_ROOTS.iter().any(|p| name.starts_with(p));
+    let mut reachable: Vec<bool> = ast.functions.iter().map(|f| is_root(&f.name)).collect();
+    let calls: Vec<Vec<ast::Call>> = ast.functions.iter().map(|f| ast.calls_in(f.body)).collect();
+    // Fixed-point over the (tiny) per-file graph.
+    loop {
+        let mut changed = false;
+        for i in 0..ast.functions.len() {
+            if !reachable[i] {
+                continue;
+            }
+            for call in &calls[i] {
+                for (j, f) in ast.functions.iter().enumerate() {
+                    if !reachable[j] && f.name == call.name {
+                        reachable[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for i in 0..ast.functions.len() {
+        if !reachable[i] {
+            continue;
+        }
+        for call in &calls[i] {
+            if D07_READS.iter().any(|r| call.name == *r) {
+                hit(call.line);
+            }
+        }
+    }
+}
+
+/// D08: inside each function body, a doorbell ring (a `ring` /
+/// `ring_doorbell` call, or a write call whose arguments mention a
+/// doorbell) followed by an SQE store (SQ `push`, a write call carrying
+/// an `sqe`, or an `…sqe… = ` field assignment) in token order.
+fn scan_d08(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    for f in &ast.functions {
+        let calls = ast.calls_in(f.body);
+        let mut doorbell_at: Option<usize> = None;
+        // Token index of every SQE store, found first so field assigns
+        // and calls merge into one ordered pass.
+        let mut events: Vec<(usize, bool, usize)> = Vec::new(); // (tok, is_store, line)
+        for call in &calls {
+            let is_write = D08_WRITES.iter().any(|w| call.name == *w);
+            if call.name == "ring"
+                || call.name == "ring_doorbell"
+                || (is_write && ast.any_ident_in(call.args, |id| id.contains("doorbell")))
+            {
+                events.push((call.args.0, false, call.line));
+            } else if (is_write && ast.any_ident_in(call.args, |id| id.contains("sqe")))
+                || (call.name == "push"
+                    && call.receiver.as_deref().is_some_and(|r| r.contains("sq")))
+            {
+                events.push((call.args.0, true, call.line));
+            }
+        }
+        for fa in ast.field_assigns_in(f.body) {
+            if fa.path.iter().any(|seg| seg.contains("sqe")) {
+                events.push((fa.at, true, fa.line));
+            }
+        }
+        events.sort_by_key(|e| e.0);
+        for (tok, is_store, line) in events {
+            if is_store {
+                if doorbell_at.is_some_and(|d| d < tok) {
+                    hit(line);
+                }
+            } else {
+                doorbell_at = Some(tok);
+            }
+        }
+    }
+}
+
+/// D09: `unsafe` blocks/fns and raw-pointer syntax (`*const` / `*mut`
+/// types, `as *` casts, `.as_ptr()` / `.as_mut_ptr()`, `ptr::` paths).
+fn scan_d09(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let toks = &ast.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let flag = match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "unsafe") => true,
+            (TokKind::Punct, "*") => toks
+                .get(i + 1)
+                .is_some_and(|n| n.is("const") || n.is("mut")),
+            (TokKind::Ident, "as") => toks.get(i + 1).is_some_and(|n| n.punct('*')),
+            (TokKind::Ident, "as_ptr" | "as_mut_ptr") => {
+                i > 0 && toks[i - 1].punct('.') && toks.get(i + 1).is_some_and(|n| n.punct('('))
+            }
+            (TokKind::Ident, "ptr") => {
+                toks.get(i + 1).is_some_and(|n| n.punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.punct(':'))
+            }
+            _ => false,
+        };
+        if flag {
+            hit(t.line);
+        }
+    }
+}
+
+/// D10: every `create_segment`/`create_segment_hinted` call whose
+/// `let`-binding names a queue (`…sq…` / `…cq…`) must pass the matching
+/// `AccessHints` constructor (`sq()` device-side, `cq()` client-local).
+/// Unclassifiable bindings (buffers, mailboxes, metadata) are skipped.
+fn scan_d10(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let all = ast.calls_in((0, ast.tokens.len()));
+    for call in &all {
+        if call.name != "create_segment" && call.name != "create_segment_hinted" {
+            continue;
+        }
+        let Some(binding) = ast.binding_for(call.args.0) else {
+            continue;
+        };
+        let binding = binding.to_ascii_lowercase();
+        let want = if binding.contains("cq") {
+            "cq"
+        } else if binding.contains("sq") {
+            "sq"
+        } else {
+            continue;
+        };
+        if !ast.any_ident_in(call.args, |id| id == want) {
+            hit(call.line);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -689,6 +881,15 @@ mod tests {
         assert!(!rules_for("crates/nvme/src/queue.rs").contains(&Rule::D06));
         assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D06));
         assert!(rules_for("crates/nvme/src/driver/local.rs").contains(&Rule::D06));
+        // D07 binds the client/engine I/O paths only; D08/D10 apply
+        // everywhere; D09 exempts exactly the segment-memory module.
+        assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D07));
+        assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D07));
+        assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D07));
+        assert!(rules_for("tests/sanitize.rs").contains(&Rule::D08));
+        assert!(rules_for("crates/cluster/src/scenario.rs").contains(&Rule::D10));
+        assert!(!rules_for("crates/pcie/src/memory.rs").contains(&Rule::D09));
+        assert!(rules_for("crates/pcie/src/fabric.rs").contains(&Rule::D09));
     }
 
     #[test]
@@ -699,5 +900,32 @@ mod tests {
         assert!(cfg.allows(Rule::D01, "crates/bench/src/lib.rs"));
         assert!(!cfg.allows(Rule::D02, "crates/bench/src/lib.rs"));
         assert!(cfg.allows(Rule::D04, "crates/shims/parking_lot/src/lib.rs"));
+    }
+
+    #[test]
+    fn allowlist_matches_on_component_boundaries_not_substrings() {
+        // The historic bug: a `crates/nvme` entry must not bleed into
+        // `crates/nvmeof`.
+        let cfg = Config::parse("[allow]\nD03 = [\"crates/nvme\"]\n");
+        assert!(cfg.allows(Rule::D03, "crates/nvme/src/engine.rs"));
+        assert!(cfg.allows(Rule::D03, "crates/nvme"));
+        assert!(!cfg.allows(Rule::D03, "crates/nvmeof/src/target.rs"));
+    }
+
+    #[test]
+    fn allowlist_glob_patterns() {
+        let cfg = Config::parse(
+            "[allow]\nD01 = [\"crates/*/tests\"]\nD02 = [\"crates/**/gen_*.rs\"]\nD04 = [\"crates/sim[cx]ore\"]\n",
+        );
+        // `*` stays within one path component…
+        assert!(cfg.allows(Rule::D01, "crates/nvme/tests/engine.rs"));
+        assert!(!cfg.allows(Rule::D01, "crates/nvme/src/tests/engine.rs"));
+        // …while `**` crosses components.
+        assert!(cfg.allows(Rule::D02, "crates/nvme/src/spec/gen_opcodes.rs"));
+        assert!(cfg.allows(Rule::D02, "crates/nvme/gen_tables.rs"));
+        assert!(!cfg.allows(Rule::D02, "crates/nvme/src/opcodes.rs"));
+        // Character classes.
+        assert!(cfg.allows(Rule::D04, "crates/simcore/src/lib.rs"));
+        assert!(!cfg.allows(Rule::D04, "crates/simbore/src/lib.rs"));
     }
 }

@@ -1,10 +1,44 @@
 //! `dnvme-lint`: run the determinism/protocol lint pass over the
 //! workspace and exit non-zero on findings. See the library docs for the
 //! rule list; `analyzer.toml` at the workspace root holds the allowlist.
+//!
+//! `--format github` switches the report to GitHub Actions annotation
+//! lines (`::error file=…,line=…::…`) so findings surface inline on PRs.
 
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Github,
+}
+
+fn parse_args() -> Result<Format, String> {
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("github") => format = Format::Github,
+                Some("text") => format = Format::Text,
+                other => return Err(format!("--format expects text|github, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                return Err("usage: dnvme-lint [--format text|github]".to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(format)
+}
+
 fn main() -> ExitCode {
+    let format = match parse_args() {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("dnvme-lint: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let root = analyzer::workspace_root();
     let findings = match analyzer::scan_workspace(&root) {
         Ok(f) => f,
@@ -18,7 +52,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     for f in &findings {
-        println!("{f}");
+        match format {
+            Format::Text => println!("{f}"),
+            Format::Github => println!("{}", f.to_github_annotation()),
+        }
     }
     eprintln!("dnvme-lint: {} finding(s)", findings.len());
     ExitCode::FAILURE

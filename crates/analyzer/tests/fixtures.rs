@@ -186,6 +186,173 @@ fn d06_suppression() {
     assert!(scan(src, &[Rule::D06]).is_empty());
 }
 
+// ------------------------------------------------------------------ D07
+
+#[test]
+fn d07_flags_read_reachable_from_io_path() {
+    // Direct: a non-posted read inside a submit-path function.
+    let src = "async fn submit_with_tag(&self, bio: &Bio) -> BioResult {\n\
+                   let v = self.fabric.cpu_read_u32(self.host, addr).await?;\n\
+                   Ok(v)\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D07])), ["D07"]);
+    // Transitive: the read hides one call deep in the same file.
+    let src = "async fn issue(&self, sqe: SqEntry) {\n\
+                   self.peek_tail().await;\n\
+               }\n\
+               async fn peek_tail(&self) {\n\
+                   let _ = self.fabric.dma_read(self.dev, addr, &mut buf).await;\n\
+               }\n";
+    let f = scan(src, &[Rule::D07]);
+    assert_eq!(codes(&f), ["D07"]);
+    assert_eq!(f[0].line, 5, "finding must point at the read call site");
+}
+
+#[test]
+fn d07_ignores_reads_off_the_io_path_and_functional_reads() {
+    // `connect` is bring-up, not I/O path: the CAP read is legitimate.
+    let src = "async fn connect(&self) {\n\
+                   let cap = self.fabric.cpu_read_u64(self.host, bar).await?;\n\
+               }\n\
+               async fn submit(&self, bio: Bio) {\n\
+                   self.fabric.mem_read(self.host, addr, &mut staged)?;\n\
+                   self.engine.issue(&tag, sqe).await;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D07]).is_empty());
+}
+
+#[test]
+fn d07_suppression() {
+    let src = "async fn submit(&self) {\n\
+                   // lint:allow(D07) — migration fallback reads the old ring once\n\
+                   let v = self.fabric.cpu_read_u32(self.host, addr).await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D07]).is_empty());
+}
+
+// ------------------------------------------------------------------ D08
+
+#[test]
+fn d08_flags_sqe_store_after_doorbell() {
+    // Field store into the SQE after the tail doorbell was rung.
+    let src = "async fn oops(&self, qp: &Qp, mut sqe: SqEntry) {\n\
+                   qp.sq.ring().await?;\n\
+                   sqe.cdw10 = 7;\n\
+               }\n";
+    let f = scan(src, &[Rule::D08]);
+    assert_eq!(codes(&f), ["D08"]);
+    assert_eq!(f[0].line, 3);
+    // Push after an explicit doorbell MMIO write.
+    let src = "async fn oops(&self) {\n\
+                   fabric.cpu_write_u32(h, cap.sq_doorbell(0), 1).await?;\n\
+                   fabric.cpu_write(h, win, &sqe.encode()).await?;\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D08])), ["D08"]);
+}
+
+#[test]
+fn d08_ignores_store_then_ring_order() {
+    // The engine's flush discipline: every push precedes the one ring.
+    let src = "async fn flush(&self, qp: &Qp) {\n\
+                   for sqe in batch {\n\
+                       qp.sq.push(&sqe).await?;\n\
+                   }\n\
+                   qp.sq.ring().await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D08]).is_empty());
+    // Stores after a doorbell in a *different* function don't pair up.
+    let src = "async fn a(&self) { self.qp.sq.ring().await?; }\n\
+               async fn b(&self, mut sqe: SqEntry) { sqe.cdw10 = 7; }\n";
+    assert!(scan(src, &[Rule::D08]).is_empty());
+}
+
+#[test]
+fn d08_suppression() {
+    let src = "async fn seeded(&self, qp: &Qp) {\n\
+                   qp.sq.ring().await?;\n\
+                   // lint:allow(D08) — seeded violation for the sanitizer test\n\
+                   qp.sq.push(&sqe).await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D08]).is_empty());
+}
+
+// ------------------------------------------------------------------ D09
+
+#[test]
+fn d09_flags_unsafe_and_raw_pointers() {
+    let src = "fn f(seg: &Segment) { unsafe { poke(seg) } }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D09])), ["D09"]);
+    let src = "fn g(p: *const u8) -> u8 { 0 }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D09])), ["D09"]);
+    let src = "fn h(buf: &[u8]) { let p = buf.as_ptr(); }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D09])), ["D09"]);
+    let src = "fn k(x: &u8) { let a = x as *const u8 as usize; }\n";
+    assert!(!scan(src, &[Rule::D09]).is_empty());
+}
+
+#[test]
+fn d09_ignores_safe_code_and_multiplication() {
+    let src = "fn f(entries: u64) -> u64 { entries * SQE_SIZE }\n\
+               fn g(m: &Memory) { m.write(addr, &bytes); }\n\
+               fn h(s: &str) { let c = s.as_bytes(); }\n";
+    assert!(scan(src, &[Rule::D09]).is_empty());
+}
+
+#[test]
+fn d09_suppression() {
+    let src = "// lint:allow(D09) — FFI boundary audited in review\n\
+               fn f(p: *mut u8) {}\n";
+    assert!(scan(src, &[Rule::D09]).is_empty());
+}
+
+// ------------------------------------------------------------------ D10
+
+#[test]
+fn d10_flags_unhinted_queue_segments() {
+    // SQ allocated without the device-side hint.
+    let src = "fn f(s: &SmartIo) -> Result<()> {\n\
+                   let sq_seg = s.create_segment(host, entries * SQE_SIZE)?;\n\
+                   Ok(())\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D10])), ["D10"]);
+    // CQ hinted, but with the wrong (SQ/device-side) hint.
+    let src = "fn g(s: &SmartIo) -> Result<()> {\n\
+                   let cq_seg = s.create_segment_hinted(host, dev, len, AccessHints::sq())?;\n\
+                   Ok(())\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D10])), ["D10"]);
+}
+
+#[test]
+fn d10_ignores_hinted_queues_and_plain_buffers() {
+    let src = "fn f(s: &SmartIo) -> Result<()> {\n\
+                   let sq_seg = s.create_segment_hinted(host, dev, len, AccessHints::sq())?;\n\
+                   let acq_seg = s.create_segment_hinted(host, dev, len, AccessHints::cq())?;\n\
+                   let mailbox_segment = s.create_segment(host, 4096)?;\n\
+                   let seg = s.create_segment(host, 8192)?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D10]).is_empty());
+    // Binding through a match (the placement-ablation shape).
+    let src = "fn g(s: &SmartIo) -> Result<()> {\n\
+                   let sq_seg = match placement {\n\
+                       Placement::DeviceSide => s.create_segment_hinted(host, dev, len, AccessHints::sq())?,\n\
+                   };\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D10]).is_empty());
+}
+
+#[test]
+fn d10_suppression() {
+    let src = "fn f(s: &SmartIo) -> Result<()> {\n\
+                   // lint:allow(D10) — client-side SQ ablation arm\n\
+                   let sq_seg = s.create_segment(host, entries * SQE_SIZE)?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D10]).is_empty());
+}
+
 // ----------------------------------------------------- scanner hygiene
 
 #[test]

@@ -204,6 +204,14 @@ async fn mailbox_rpc(
         fabric.mem_read(resp_region.host, resp_region.addr, &mut raw)?;
         let r = Response::decode(&raw);
         if r.seq == seq {
+            // Observing the matching seq acquires the manager's posted
+            // write (happens-before edge, like a CQE phase observation).
+            #[cfg(feature = "sanitize")]
+            fabric.sanitize_consume(
+                resp_region.host,
+                resp_region.addr,
+                proto::RESPONSE_LEN as u64,
+            );
             break r;
         }
     };
@@ -282,6 +290,8 @@ impl ClientDriver {
                     AccessHints::sq(),
                 )?,
                 SqPlacement::ClientSide => {
+                    // Deliberate Fig. 8 ablation: client-local SQ, so the
+                    // controller pays the fetch RTT. lint:allow(D10)
                     smartio.create_segment(host, entries as u64 * SQE_SIZE as u64)?
                 }
             };

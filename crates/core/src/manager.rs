@@ -282,6 +282,15 @@ impl Manager {
                     continue;
                 }
                 last_seq[slot] = msg.seq;
+                // Accepting a fresh seq acquires the client's posted
+                // request write (happens-before edge, mirroring the
+                // client's acquire on the response).
+                #[cfg(feature = "sanitize")]
+                fabric.sanitize_consume(
+                    region.host,
+                    region.addr.offset((slot * proto::MAILBOX_SLOT) as u64),
+                    proto::MAILBOX_SLOT as u64,
+                );
                 // Manager software cost per request.
                 fabric.handle().sleep(self.cfg.serve_overhead).await;
                 let resp = self.handle(slot, msg.request).await;

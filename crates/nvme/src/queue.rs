@@ -165,6 +165,12 @@ impl CqRing {
         if CqEntry::peek_phase(&raw) != self.phase {
             return None;
         }
+        #[cfg(feature = "sanitize")]
+        self.fabric.sanitize_consume(
+            self.ring.host,
+            self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+            CQE_SIZE as u64,
+        );
         let cqe = CqEntry::decode(&raw);
         self.head = (self.head + 1) % self.entries;
         if self.head == 0 {
@@ -222,6 +228,11 @@ impl CqRing {
                 ),
             );
         }
+        self.fabric.sanitize_consume(
+            self.ring.host,
+            self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+            CQE_SIZE as u64,
+        );
         let cqe = CqEntry::decode(&raw);
         self.head = (self.head + 1) % self.entries;
         if self.head == 0 {

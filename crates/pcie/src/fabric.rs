@@ -87,6 +87,9 @@ struct FabricInner {
     /// In-flight posted writes, for the read-race sanitizer.
     #[cfg(feature = "sanitize")]
     sanitize: RefCell<crate::sanitize::PendingSet>,
+    /// Access log and actor registry for the happens-before race detector.
+    #[cfg(feature = "sanitize")]
+    hb: RefCell<crate::hb::HbLog>,
 }
 
 impl Fabric {
@@ -104,6 +107,8 @@ impl Fabric {
                 }),
                 #[cfg(feature = "sanitize")]
                 sanitize: RefCell::new(crate::sanitize::PendingSet::default()),
+                #[cfg(feature = "sanitize")]
+                hb: RefCell::new(crate::hb::HbLog::default()),
             }),
         }
     }
@@ -132,6 +137,8 @@ impl Fabric {
             memory: HostMemory::new(id, mem_size),
             mmio_cursor: MMIO_BASE,
         });
+        #[cfg(feature = "sanitize")]
+        self.inner.hb.borrow_mut().register_host(&self.inner.handle);
         id
     }
 
@@ -194,6 +201,11 @@ impl Fabric {
             link_scale: 1.0,
             msi: Vec::new(),
         });
+        #[cfg(feature = "sanitize")]
+        self.inner
+            .hb
+            .borrow_mut()
+            .register_device(&self.inner.handle);
         id
     }
 
@@ -343,6 +355,14 @@ impl Fabric {
         st.hosts[region.host.0 as usize]
             .memory
             .free(region.addr, region.len);
+        // Freeing severs the happens-before history: accesses to the dead
+        // object cannot race accesses to whatever the allocator hands the
+        // range to next (the single-owner allocator orders the reuse).
+        #[cfg(feature = "sanitize")]
+        self.inner
+            .hb
+            .borrow_mut()
+            .purge_dram(region.host, region.addr.as_u64(), region.len);
     }
 
     /// Untimed functional write into a host's DRAM (setup / checking).
@@ -480,11 +500,21 @@ impl Fabric {
             .sanitize
             .borrow_mut()
             .track(&loc, data.len() as u64, "cpu");
+        #[cfg(feature = "sanitize")]
+        let hb = self.inner.hb.borrow_mut().record_write(
+            &self.inner.handle,
+            crate::hb::Agent::Host(host),
+            &loc,
+            data.len() as u64,
+            "CPU posted write",
+        );
         let this = self.clone();
         let data = data.to_vec();
         let h = self.inner.handle.clone();
         self.inner.handle.spawn(async move {
             h.sleep(delivery).await;
+            #[cfg(feature = "sanitize")]
+            this.hb_write_applied(&loc, hb);
             this.apply_write(&loc, &data);
             #[cfg(feature = "sanitize")]
             this.inner.sanitize.borrow_mut().untrack(pending);
@@ -514,6 +544,15 @@ impl Fabric {
         self.inner.handle.sleep(lat).await;
         #[cfg(feature = "sanitize")]
         self.sanitize_check_read(&loc, buf.len() as u64, "CPU read");
+        #[cfg(feature = "sanitize")]
+        self.inner.hb.borrow_mut().record_read(
+            &self.inner.handle,
+            crate::hb::Agent::Host(host),
+            &loc,
+            buf.len() as u64,
+            "CPU read",
+            true,
+        );
         self.apply_read(&loc, buf);
         Ok(())
     }
@@ -558,6 +597,15 @@ impl Fabric {
         self.inner.handle.sleep(p.read_rtt(chips)).await;
         #[cfg(feature = "sanitize")]
         self.sanitize_check_read(&loc, buf.len() as u64, "DMA read");
+        #[cfg(feature = "sanitize")]
+        self.inner.hb.borrow_mut().record_read(
+            &self.inner.handle,
+            crate::hb::Agent::Device(dev),
+            &loc,
+            buf.len() as u64,
+            "DMA read",
+            false,
+        );
         self.apply_read(&loc, buf);
         Ok(())
     }
@@ -587,11 +635,21 @@ impl Fabric {
             .sanitize
             .borrow_mut()
             .track(&loc, data.len() as u64, "dma");
+        #[cfg(feature = "sanitize")]
+        let hb = self.inner.hb.borrow_mut().record_write(
+            &self.inner.handle,
+            crate::hb::Agent::Device(dev),
+            &loc,
+            data.len() as u64,
+            "DMA posted write",
+        );
         let this = self.clone();
         let data = data.to_vec();
         let h = self.inner.handle.clone();
         self.inner.handle.spawn(async move {
             h.sleep(delivery).await;
+            #[cfg(feature = "sanitize")]
+            this.hb_write_applied(&loc, hb);
             this.apply_write(&loc, &data);
             #[cfg(feature = "sanitize")]
             this.inner.sanitize.borrow_mut().untrack(pending);
@@ -726,6 +784,62 @@ impl Fabric {
             .borrow()
             .overlapping(&loc, len)
             .is_empty()
+    }
+
+    /// A posted write has been delivered: flip it to applied in the
+    /// happens-before log and, for MMIO targets, hand the writer's
+    /// issue-time clock to the device (the doorbell edge — posted writes on
+    /// one path apply in order, so everything stored before the bell rang
+    /// has landed when it does).
+    fn hb_write_applied(&self, loc: &Location, hb: (u64, Vec<u64>)) {
+        let (token, release) = hb;
+        let mut log = self.inner.hb.borrow_mut();
+        log.mark_applied(token);
+        if let Location::Bar { dev, .. } = loc {
+            let actor = log.actor_of(crate::hb::Agent::Device(*dev));
+            self.inner.handle.sanitize_actor_join(actor, &release);
+        }
+    }
+
+    /// Record a completion-queue consume by `host` at `(addr, len)`: the
+    /// CQE-phase-observation edge. The consumer joins the clocks of the
+    /// applied writes that produced the entry and is race-checked against
+    /// any still-in-flight overlapping write — consuming an entry whose
+    /// posted write has not landed is exactly a stale-phase race.
+    pub fn sanitize_consume(&self, host: HostId, addr: PhysAddr, len: u64) {
+        let Ok(loc) = self.resolve(host, addr, len) else {
+            return;
+        };
+        self.inner.hb.borrow_mut().record_read(
+            &self.inner.handle,
+            crate::hb::Agent::Host(host),
+            &loc,
+            len,
+            "CQE consume",
+            true,
+        );
+    }
+
+    /// Fabric barrier: `host` observes everything `dev` has done — the
+    /// completion-delivery edge for engines (RDMA NICs) whose completion
+    /// queues live outside fabric memory.
+    pub fn sanitize_barrier_to_host(&self, host: HostId, dev: DeviceId) {
+        let log = self.inner.hb.borrow();
+        let from = log.actor_of(crate::hb::Agent::Device(dev));
+        let to = log.actor_of(crate::hb::Agent::Host(host));
+        let clock = self.inner.handle.sanitize_actor_clock(from);
+        self.inner.handle.sanitize_actor_join(to, &clock);
+    }
+
+    /// Fabric barrier: `dev` observes everything `host` has done — the
+    /// work-submission edge for engines whose work queues live outside
+    /// fabric memory.
+    pub fn sanitize_barrier_to_device(&self, dev: DeviceId, host: HostId) {
+        let log = self.inner.hb.borrow();
+        let from = log.actor_of(crate::hb::Agent::Host(host));
+        let to = log.actor_of(crate::hb::Agent::Device(dev));
+        let clock = self.inner.handle.sanitize_actor_clock(from);
+        self.inner.handle.sanitize_actor_join(to, &clock);
     }
 }
 

@@ -1,0 +1,258 @@
+//! Vector-clock happens-before race detector (feature `sanitize`).
+//!
+//! Every host CPU and every device DMA engine is a happens-before *actor*
+//! with a vector clock held by the simcore sanitizer. The fabric records
+//! each **timed** access (posted `cpu_write`/`dma_write`, non-posted
+//! `cpu_read`/`dma_read`, and CQ consumes) here, stamped with the issuing
+//! actor's clock. Two accesses to overlapping bytes from different actors,
+//! at least one of them a write, must be ordered by a happens-before edge
+//! or the run is racy — `pcie.hb-race` is reported with both sites.
+//!
+//! Edges come only from the synchronization the paper's protocol actually
+//! provides:
+//!
+//! * **Doorbell MMIO** — when a posted write applies to a device BAR, the
+//!   device joins the writer's clock *as of the write's issue* (posted
+//!   writes on one path apply in order, so everything the writer stored
+//!   before ringing has landed by the time the bell does).
+//! * **CQE phase observation** — consuming a completion-queue entry
+//!   ([`Fabric::sanitize_consume`]) joins the clocks of the applied writes
+//!   that produced it, ordering the consumer after everything the
+//!   controller did before posting.
+//! * **Fabric barriers** — explicit completion-delivery edges
+//!   ([`Fabric::sanitize_barrier_to_host`] /
+//!   [`Fabric::sanitize_barrier_to_device`]) for engines such as RDMA NICs
+//!   whose work/completion queues live outside fabric memory.
+//!
+//! CPU reads additionally treat *applied* overlapping writes as observed
+//! (the simulator's memory returns exactly the writes applied so far), so
+//! raw `cpu_write`-then-settle-then-`cpu_read` usage stays silent. Device
+//! DMA reads get no such grace: a command fetch is ordered only by the
+//! doorbell edge, so an SQE stored *after* the doorbell races the fetch no
+//! matter how the latencies land.
+//!
+//! [`Fabric::sanitize_consume`]: crate::fabric::Fabric::sanitize_consume
+//! [`Fabric::sanitize_barrier_to_host`]: crate::fabric::Fabric::sanitize_barrier_to_host
+//! [`Fabric::sanitize_barrier_to_device`]: crate::fabric::Fabric::sanitize_barrier_to_device
+
+use simcore::{happens_before, ActorId, Handle};
+
+use crate::addr::{DeviceId, HostId};
+use crate::fabric::Location;
+
+/// The address space a resolved location lives in.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Space {
+    Dram(HostId),
+    Bar(DeviceId, u8),
+}
+
+fn key(loc: &Location) -> (Space, u64) {
+    match loc {
+        Location::Dram(da) => (Space::Dram(da.host), da.addr.as_u64()),
+        Location::Bar { dev, bar, offset } => (Space::Bar(*dev, *bar), *offset),
+    }
+}
+
+/// The fabric agent performing an access.
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum Agent {
+    Host(HostId),
+    Device(DeviceId),
+}
+
+/// One recorded access, stamped with the actor's clock at issue.
+struct Access {
+    token: u64,
+    actor: ActorId,
+    clock: Vec<u64>,
+    space: Space,
+    start: u64,
+    len: u64,
+    write: bool,
+    /// Posted writes are in flight from issue until delivery; reads and
+    /// consumes are recorded at their apply instant.
+    applied: bool,
+    kind: &'static str,
+    at_nanos: u64,
+}
+
+impl Access {
+    fn overlaps(&self, space: Space, start: u64, len: u64) -> bool {
+        self.space == space && self.start < start + len && start < self.start + self.len
+    }
+
+    fn describe(&self, handle: &Handle) -> String {
+        format!(
+            "{} by {} to {:?}+{:#x}..{:#x} (issued t={}ns{})",
+            self.kind,
+            handle.sanitize_actor_name(self.actor),
+            self.space,
+            self.start,
+            self.start + self.len,
+            self.at_nanos,
+            if self.applied { "" } else { ", in flight" },
+        )
+    }
+}
+
+/// Per-fabric happens-before state: the actor registry plus the access
+/// log. Superseded accesses (same actor, same range, same direction) are
+/// replaced in place, so the log stays bounded by ring geometry rather
+/// than growing with simulated I/O count.
+#[derive(Default)]
+pub(crate) struct HbLog {
+    host_actors: Vec<ActorId>,
+    dev_actors: Vec<ActorId>,
+    accesses: Vec<Access>,
+    next_token: u64,
+}
+
+impl HbLog {
+    pub(crate) fn register_host(&mut self, handle: &Handle) {
+        let name = format!("host{}", self.host_actors.len());
+        self.host_actors.push(handle.sanitize_register_actor(&name));
+    }
+
+    pub(crate) fn register_device(&mut self, handle: &Handle) {
+        let name = format!("dev{}", self.dev_actors.len());
+        self.dev_actors.push(handle.sanitize_register_actor(&name));
+    }
+
+    pub(crate) fn actor_of(&self, agent: Agent) -> ActorId {
+        match agent {
+            Agent::Host(h) => self.host_actors[h.0 as usize],
+            Agent::Device(d) => self.dev_actors[d.0 as usize],
+        }
+    }
+
+    /// Record a posted write at issue. Conflicts are checked against every
+    /// overlapping foreign access; returns a token for
+    /// [`HbLog::mark_applied`] at delivery plus the issue-time clock — the
+    /// release payload for the doorbell edge.
+    pub(crate) fn record_write(
+        &mut self,
+        handle: &Handle,
+        agent: Agent,
+        loc: &Location,
+        len: u64,
+        kind: &'static str,
+    ) -> (u64, Vec<u64>) {
+        let actor = self.actor_of(agent);
+        let clock = handle.sanitize_actor_tick(actor);
+        let (space, start) = key(loc);
+        self.check_conflicts(handle, actor, &clock, space, start, len, true, kind);
+        self.accesses
+            .retain(|a| !(a.actor == actor && a.write && a.space == space && a.start == start));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.accesses.push(Access {
+            token,
+            actor,
+            clock: clock.clone(),
+            space,
+            start,
+            len,
+            write: true,
+            applied: false,
+            kind,
+            at_nanos: handle.now().as_nanos(),
+        });
+        (token, clock)
+    }
+
+    /// Drop every recorded access overlapping a freed DRAM range: the
+    /// allocator handoff orders the dead object's accesses before any
+    /// access to the range's next tenant (TSan-style shadow reset on
+    /// free).
+    pub(crate) fn purge_dram(&mut self, host: HostId, start: u64, len: u64) {
+        let space = Space::Dram(host);
+        self.accesses.retain(|a| !a.overlaps(space, start, len));
+    }
+
+    /// Flip a posted write to applied at its delivery instant.
+    pub(crate) fn mark_applied(&mut self, token: u64) {
+        if let Some(a) = self.accesses.iter_mut().find(|a| a.token == token) {
+            a.applied = true;
+        }
+    }
+
+    /// Record a non-posted read (or CQ consume) at its apply instant.
+    /// With `observe`, applied overlapping writes are joined first — the
+    /// observation edge; conflicts are then checked against the remaining
+    /// unordered foreign writes.
+    pub(crate) fn record_read(
+        &mut self,
+        handle: &Handle,
+        agent: Agent,
+        loc: &Location,
+        len: u64,
+        kind: &'static str,
+        observe: bool,
+    ) {
+        let actor = self.actor_of(agent);
+        let (space, start) = key(loc);
+        if observe {
+            for a in &self.accesses {
+                if a.write && a.applied && a.actor != actor && a.overlaps(space, start, len) {
+                    handle.sanitize_actor_join(actor, &a.clock);
+                }
+            }
+        }
+        let clock = handle.sanitize_actor_tick(actor);
+        self.check_conflicts(handle, actor, &clock, space, start, len, false, kind);
+        self.accesses
+            .retain(|a| !(a.actor == actor && !a.write && a.space == space && a.start == start));
+        let token = self.next_token;
+        self.next_token += 1;
+        self.accesses.push(Access {
+            token,
+            actor,
+            clock,
+            space,
+            start,
+            len,
+            write: false,
+            applied: true,
+            kind,
+            at_nanos: handle.now().as_nanos(),
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_conflicts(
+        &self,
+        handle: &Handle,
+        actor: ActorId,
+        clock: &[u64],
+        space: Space,
+        start: u64,
+        len: u64,
+        is_write: bool,
+        kind: &'static str,
+    ) {
+        for a in &self.accesses {
+            if a.actor == actor || !a.overlaps(space, start, len) {
+                continue;
+            }
+            if !a.write && !is_write {
+                continue;
+            }
+            if happens_before(a.actor, &a.clock, clock) {
+                continue;
+            }
+            handle.sanitize_report(
+                "pcie.hb-race",
+                format!(
+                    "{} by {} to {:?}+{:#x}..{:#x} is unordered against {}",
+                    kind,
+                    handle.sanitize_actor_name(actor),
+                    space,
+                    start,
+                    start + len,
+                    a.describe(handle),
+                ),
+            );
+        }
+    }
+}

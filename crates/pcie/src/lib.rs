@@ -20,6 +20,8 @@ pub mod addr;
 pub mod device;
 pub mod error;
 pub mod fabric;
+#[cfg(feature = "sanitize")]
+mod hb;
 pub mod memory;
 pub mod ntb;
 pub mod params;

@@ -392,6 +392,39 @@ impl Handle {
     pub fn sanitize_panic_on_violation(&self, on: bool) {
         self.core().sanitize.set_panic(on);
     }
+
+    /// Register a happens-before actor (host CPU, device DMA engine) with
+    /// the race detector and get its clock slot.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_register_actor(&self, name: &str) -> crate::sanitize::ActorId {
+        self.core().sanitize.register_actor(name)
+    }
+
+    /// The display name `actor` registered under.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_actor_name(&self, actor: crate::sanitize::ActorId) -> String {
+        self.core().sanitize.actor_name(actor)
+    }
+
+    /// Advance `actor`'s vector clock for a new event and return the
+    /// event's timestamp.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_actor_tick(&self, actor: crate::sanitize::ActorId) -> Vec<u64> {
+        self.core().sanitize.tick(actor)
+    }
+
+    /// Acquire edge: merge `observed` (a clock released by another actor)
+    /// into `actor`'s clock.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_actor_join(&self, actor: crate::sanitize::ActorId, observed: &[u64]) {
+        self.core().sanitize.join(actor, observed);
+    }
+
+    /// Snapshot `actor`'s clock without advancing it.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_actor_clock(&self, actor: crate::sanitize::ActorId) -> Vec<u64> {
+        self.core().sanitize.clock_of(actor)
+    }
 }
 
 /// Future returned by [`Handle::sleep`].

@@ -36,6 +36,6 @@ pub use executor::{yield_now, Handle, JoinHandle, SimRuntime, TaskId};
 pub use resource::SerialResource;
 pub use rng::SimRng;
 #[cfg(feature = "sanitize")]
-pub use sanitize::Violation;
+pub use sanitize::{happens_before, ActorId, Violation};
 pub use stats::{Histogram, LatencyRecorder, LatencySummary};
 pub use time::{SimDuration, SimTime};

@@ -12,6 +12,18 @@
 
 use std::cell::{Cell, RefCell};
 
+/// A happens-before actor: one independently-scheduled agent whose
+/// memory accesses the race detector orders (a host CPU, a device DMA
+/// engine). Registered by the fabric layer at topology-build time.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ActorId(pub u32);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "actor{}", self.0)
+    }
+}
+
 /// One recorded protocol violation.
 #[derive(Clone, Debug)]
 pub struct Violation {
@@ -34,6 +46,11 @@ impl std::fmt::Display for Violation {
 pub(crate) struct SanitizerState {
     violations: RefCell<Vec<Violation>>,
     panic_on_violation: Cell<bool>,
+    /// Vector clocks for the happens-before race detector, one slot per
+    /// registered actor; `clocks[a][b]` = the latest event of actor `b`
+    /// that actor `a` has (transitively) observed.
+    clocks: RefCell<Vec<Vec<u64>>>,
+    actor_names: RefCell<Vec<String>>,
 }
 
 impl SanitizerState {
@@ -59,4 +76,60 @@ impl SanitizerState {
     pub(crate) fn set_panic(&self, on: bool) {
         self.panic_on_violation.set(on);
     }
+
+    // ----------------------------------------------------- vector clocks
+
+    pub(crate) fn register_actor(&self, name: &str) -> ActorId {
+        let mut clocks = self.clocks.borrow_mut();
+        let id = ActorId(clocks.len() as u32);
+        clocks.push(Vec::new());
+        self.actor_names.borrow_mut().push(name.to_string());
+        id
+    }
+
+    pub(crate) fn actor_name(&self, actor: ActorId) -> String {
+        self.actor_names
+            .borrow()
+            .get(actor.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| actor.to_string())
+    }
+
+    /// Advance `actor`'s own component and return the updated clock — the
+    /// timestamp to attach to the event the caller is recording.
+    pub(crate) fn tick(&self, actor: ActorId) -> Vec<u64> {
+        let mut clocks = self.clocks.borrow_mut();
+        let n = clocks.len().max(actor.0 as usize + 1);
+        let clock = &mut clocks[actor.0 as usize];
+        clock.resize(n.max(clock.len()), 0);
+        clock[actor.0 as usize] += 1;
+        clock.clone()
+    }
+
+    /// Merge an observed clock into `actor`'s (elementwise max): the
+    /// acquire half of a synchronization edge.
+    pub(crate) fn join(&self, actor: ActorId, observed: &[u64]) {
+        let mut clocks = self.clocks.borrow_mut();
+        let clock = &mut clocks[actor.0 as usize];
+        if clock.len() < observed.len() {
+            clock.resize(observed.len(), 0);
+        }
+        for (own, seen) in clock.iter_mut().zip(observed) {
+            *own = (*own).max(*seen);
+        }
+    }
+
+    /// Snapshot of `actor`'s clock without advancing it.
+    pub(crate) fn clock_of(&self, actor: ActorId) -> Vec<u64> {
+        self.clocks.borrow()[actor.0 as usize].clone()
+    }
+}
+
+/// Whether an event stamped `earlier` (by `earlier_actor`) happens-before
+/// an event whose observer clock is `later`: the observer must have seen
+/// at least the stamping actor's own component.
+pub fn happens_before(earlier_actor: ActorId, earlier: &[u64], later: &[u64]) -> bool {
+    let i = earlier_actor.0 as usize;
+    let own = earlier.get(i).copied().unwrap_or(0);
+    later.get(i).copied().unwrap_or(0) >= own
 }

@@ -257,24 +257,113 @@ fn bounce_partition_overlap_is_flagged() {
 }
 
 #[test]
+fn sqe_store_after_doorbell_races_fetch() {
+    // Happens-before seed: the doorbell rings *before* the SQE store, so
+    // the device's command fetch has no edge ordering it after the store —
+    // racy no matter how the latencies land (even once the store has
+    // applied, which silences the pending-write check).
+    let (rt, fabric, [a, b], [ntb_a, _]) = two_host_bed();
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        1,
+    ));
+    let ctrl = NvmeController::attach(&fabric, b, fabric.rc_node(b), store, NvmeConfig::default());
+    let dev = ctrl.device_id();
+    let bar = fabric.bar_region(dev, 0).unwrap();
+    let sq = fabric.alloc(b, 8 * SQE_SIZE as u64).unwrap();
+    let slot = fabric.find_free_lut_slot(ntb_a).unwrap();
+    let win = fabric
+        .program_lut(ntb_a, slot, DomainAddr::new(b, sq.addr))
+        .unwrap();
+    rt.block_on({
+        let fabric = fabric.clone();
+        async move {
+            let doorbell = bar.addr.offset(0x1000);
+            fabric.cpu_write_u32(b, doorbell, 1).await.unwrap();
+            fabric.handle().sleep(SimDuration::from_micros(10)).await;
+            // Deliberate seeded violation: the store lands after the bell
+            // already exposed the slot.
+            let sqe = SqEntry::set_num_queues(7, 3, 3);
+            // lint:allow(D08)
+            fabric.cpu_write(a, win, &sqe.encode()).await.unwrap();
+            // Let the store apply: only the happens-before detector can
+            // see this race now.
+            fabric.handle().sleep(SimDuration::from_micros(10)).await;
+            let mut raw = [0u8; SQE_SIZE];
+            fabric.dma_read(dev, sq.addr, &mut raw).await.unwrap();
+            let v = fabric.handle().sanitize_take_violations();
+            assert!(
+                v.iter().any(|x| x.code == "pcie.hb-race"),
+                "expected a happens-before race report, got {v:?}"
+            );
+        }
+    });
+}
+
+#[test]
+fn cq_poll_racing_posted_cqe_is_flagged() {
+    // Happens-before seed: the driver consumes a CQ slot while the
+    // controller's posted CQE write to that slot is still in flight — no
+    // phase observation of an *applied* write, hence no edge.
+    let (rt, fabric, [a, b], [_, ntb_b]) = two_host_bed();
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        1,
+    ));
+    let ctrl = NvmeController::attach(&fabric, b, fabric.rc_node(b), store, NvmeConfig::default());
+    let dev = ctrl.device_id();
+    let ring = fabric.alloc(a, 4 * CQE_SIZE as u64).unwrap();
+    let slot = fabric.find_free_lut_slot(ntb_b).unwrap();
+    let win = fabric
+        .program_lut(ntb_b, slot, DomainAddr::new(a, ring.addr))
+        .unwrap();
+    let db = DomainAddr::new(a, ring.addr);
+    rt.block_on({
+        let fabric = fabric.clone();
+        async move {
+            let mut cq = CqRing::new(&fabric, ring, db, 4);
+            let cqe = CqEntry::new(0, 0, 0, 7, true, Status::SUCCESS);
+            fabric.dma_write(dev, win, &cqe.encode()).await.unwrap();
+            // Poll before the posted write can have applied.
+            let _ = cq.pop_unchecked();
+            let v = fabric.handle().sanitize_take_violations();
+            assert!(
+                v.iter().any(|x| x.code == "pcie.hb-race"),
+                "expected a happens-before race report, got {v:?}"
+            );
+        }
+    });
+}
+
+#[test]
 fn legitimate_stacks_stay_silent() {
     // The full verified data path — including the real BouncePool layout —
-    // must produce zero sanitizer reports.
+    // must produce zero sanitizer reports, across every scenario kind and
+    // with the happens-before race detector live.
     use cluster::{Calibration, Scenario, ScenarioKind};
     use fioflex::verify_region;
     for kind in [
+        ScenarioKind::LinuxLocal,
+        ScenarioKind::NvmfRemote,
         ScenarioKind::OursLocal,
         ScenarioKind::OursRemote { switches: 1 },
-        ScenarioKind::NvmfRemote,
+        ScenarioKind::OursMultihost { clients: 2 },
     ] {
         let calib = Calibration::paper();
         let sc = Scenario::build(kind, &calib);
-        let (host, dev) = sc.clients[0].clone();
-        let fabric = sc.fabric.clone();
-        let report = sc
-            .rt
-            .block_on(async move { verify_region(&fabric, host, dev, 0, 1024, 8, 0xAB).await });
-        assert!(report.clean(), "{}: {report:?}", sc.label);
+        for (host, dev) in sc.clients.clone() {
+            let fabric = sc.fabric.clone();
+            let report = sc
+                .rt
+                .block_on(async move { verify_region(&fabric, host, dev, 0, 1024, 8, 0xAB).await });
+            assert!(report.clean(), "{}: {report:?}", sc.label);
+        }
         let v = sc.rt.sanitize_take_violations();
         assert!(
             v.is_empty(),
