@@ -461,25 +461,65 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     rules
 }
 
+/// One source file's scan in strict mode: the findings that survived
+/// suppression, plus every `lint:allow` code that suppressed nothing.
+pub struct SourceScan {
+    pub findings: Vec<Finding>,
+    /// `(1-based line, rule code)` of each unused suppression.
+    pub unused_allows: Vec<(usize, String)>,
+}
+
 /// Scan one source text with the given rules. `lint:allow` suppressions
 /// apply; the `analyzer.toml` allowlist is the caller's concern.
 pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
+    scan_source_strict(rel, text, rules).findings
+}
+
+/// Like [`scan_source`], but also reports which suppression comments
+/// never fired — a stale `lint:allow` hides nothing today and will
+/// silently hide a real finding tomorrow.
+pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     let ast = Ast::parse(text);
     let raw_lines: Vec<&str> = text.lines().collect();
     let lines = &ast.lines;
 
-    // Suppressions: rule codes allowed on each line (same line or below
-    // the comment line they appear on).
+    // Suppressions: every `lint:allow(..)` code, with the 1-based line of
+    // its comment. A suppression covers its own line and the line below.
+    struct Suppression {
+        line: usize,
+        code: String,
+        used: bool,
+    }
+    let mut sups: Vec<Suppression> = Vec::new();
+    for (idx, (_, comment)) in lines.iter().enumerate() {
+        for rest in comment.split("lint:allow(").skip(1) {
+            let inside = rest.split(')').next().unwrap_or("");
+            // Only real rule codes are tracked: prose like
+            // `lint:allow(Dxx)` in docs is not a suppression, and a
+            // typo'd code suppresses nothing — its finding surfaces.
+            for code in inside
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|s| ALL_RULES.iter().any(|r| r.code() == *s))
+            {
+                sups.push(Suppression {
+                    line: idx + 1,
+                    code: code.to_string(),
+                    used: false,
+                });
+            }
+        }
+    }
+    let sups = std::cell::RefCell::new(sups);
     let allows_on = |idx: usize, rule: Rule| -> bool {
-        let check = |i: usize| -> bool {
-            lines.get(i).is_some_and(|(_, comment)| {
-                comment
-                    .split("lint:allow(")
-                    .skip(1)
-                    .any(|rest| rest.split(')').next().unwrap_or("").contains(rule.code()))
-            })
-        };
-        check(idx) || (idx > 0 && check(idx - 1))
+        let mut sups = sups.borrow_mut();
+        let mut found = false;
+        for s in sups.iter_mut() {
+            if s.code == rule.code() && (s.line == idx + 1 || s.line == idx) {
+                s.used = true;
+                found = true;
+            }
+        }
+        found
     };
 
     // D03 pass 1: identifiers bound to HashMap/HashSet (or aliases).
@@ -644,7 +684,16 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
     }
 
     findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
-    findings
+    let unused_allows = sups
+        .into_inner()
+        .into_iter()
+        .filter(|s| !s.used)
+        .map(|s| (s.line, s.code))
+        .collect();
+    SourceScan {
+        findings,
+        unused_allows,
+    }
 }
 
 /// D07: build the intra-file call graph (edges by simple callee name),
@@ -849,6 +898,120 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     Ok(findings)
 }
 
+// ---------------------------------------------------------------------
+// Strict-allow mode
+// ---------------------------------------------------------------------
+
+/// One `--strict-allow` diagnostic: a suppression mechanism that hides
+/// nothing. `line` is 0 for `analyzer.toml` entries.
+#[derive(Clone, Debug)]
+pub struct AllowFinding {
+    pub path: String,
+    pub line: usize,
+    pub detail: String,
+}
+
+impl fmt::Display for AllowFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "strict-allow {}: {}", self.path, self.detail)
+        } else {
+            write!(
+                f,
+                "strict-allow {}:{}: {}",
+                self.path, self.line, self.detail
+            )
+        }
+    }
+}
+
+impl AllowFinding {
+    /// GitHub Actions annotation line (see [`Finding::to_github_annotation`]).
+    pub fn to_github_annotation(&self) -> String {
+        format!(
+            "::error file={},line={},title=dnvme-lint strict-allow::{}",
+            self.path,
+            self.line.max(1),
+            self.detail
+        )
+    }
+}
+
+/// The outcome of a `--strict-allow` scan: the ordinary findings plus
+/// every unused `lint:allow` comment and dead `analyzer.toml` entry.
+pub struct StrictReport {
+    pub findings: Vec<Finding>,
+    pub unused: Vec<AllowFinding>,
+}
+
+/// Strict scan over in-memory `(path, text)` sources. Every file is
+/// scanned with its *full* rule set; an `analyzer.toml` entry is live
+/// only if it covers a finding that would otherwise be reported, so
+/// allowlist rot (a glob whose offending code was fixed or moved) is
+/// flagged the moment it happens.
+pub fn strict_scan_files(config: &Config, files: &[(String, String)]) -> StrictReport {
+    let mut used_entries = vec![false; config.allow.len()];
+    let mut findings = Vec::new();
+    let mut unused = Vec::new();
+    for (rel, text) in files {
+        let scan = scan_source_strict(rel, text, &rules_for(rel));
+        for (line, code) in scan.unused_allows {
+            unused.push(AllowFinding {
+                path: rel.clone(),
+                line,
+                detail: format!("lint:allow({code}) suppresses nothing — remove it"),
+            });
+        }
+        for f in scan.findings {
+            let mut covered = false;
+            for (i, (k, p)) in config.allow.iter().enumerate() {
+                if (k == "*" || k == f.rule.code()) && path_matches(p, &f.path) {
+                    used_entries[i] = true;
+                    covered = true;
+                }
+            }
+            if !covered {
+                findings.push(f);
+            }
+        }
+    }
+    for (i, (k, p)) in config.allow.iter().enumerate() {
+        if !used_entries[i] {
+            unused.push(AllowFinding {
+                path: "analyzer.toml".to_string(),
+                line: 0,
+                detail: format!("[allow] entry {k} = {p:?} covers no finding — remove it"),
+            });
+        }
+    }
+    StrictReport { findings, unused }
+}
+
+/// [`strict_scan_files`] over the workspace tree (same walk as
+/// [`scan_workspace`]).
+pub fn scan_workspace_strict(root: &Path) -> io::Result<StrictReport> {
+    let config = Config::load(root);
+    let mut paths = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_sources(&dir, &mut paths)?;
+        }
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push((rel, fs::read_to_string(&path)?));
+    }
+    Ok(strict_scan_files(&config, &files))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -864,6 +1027,31 @@ mod tests {
             findings
                 .iter()
                 .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// Tier-1 gate for `--strict-allow`: no stale `lint:allow` comments,
+    /// no dead `analyzer.toml` entries.
+    #[test]
+    fn workspace_is_strict_allow_clean() {
+        let report = scan_workspace_strict(&workspace_root()).expect("strict scan");
+        assert!(
+            report.findings.is_empty() && report.unused.is_empty(),
+            "dnvme-lint --strict-allow found {} finding(s), {} unused suppression(s):\n{}\n{}",
+            report.findings.len(),
+            report.unused.len(),
+            report
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n"),
+            report
+                .unused
+                .iter()
+                .map(|u| u.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
         );

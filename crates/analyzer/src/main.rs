@@ -4,6 +4,9 @@
 //!
 //! `--format github` switches the report to GitHub Actions annotation
 //! lines (`::error file=…,line=…::…`) so findings surface inline on PRs.
+//! `--strict-allow` (on in CI) additionally fails on suppressions that
+//! suppress nothing: stale `lint:allow` comments and dead `analyzer.toml`
+//! allowlist entries.
 
 use std::process::ExitCode;
 
@@ -12,51 +15,87 @@ enum Format {
     Github,
 }
 
-fn parse_args() -> Result<Format, String> {
-    let mut format = Format::Text;
+struct Options {
+    format: Format,
+    strict_allow: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        strict_allow: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
-                Some("github") => format = Format::Github,
-                Some("text") => format = Format::Text,
+                Some("github") => opts.format = Format::Github,
+                Some("text") => opts.format = Format::Text,
                 other => return Err(format!("--format expects text|github, got {other:?}")),
             },
+            "--strict-allow" => opts.strict_allow = true,
             "--help" | "-h" => {
-                return Err("usage: dnvme-lint [--format text|github]".to_string());
+                return Err("usage: dnvme-lint [--format text|github] [--strict-allow]".to_string());
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(format)
+    Ok(opts)
 }
 
 fn main() -> ExitCode {
-    let format = match parse_args() {
-        Ok(f) => f,
+    let opts = match parse_args() {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("dnvme-lint: {msg}");
             return ExitCode::FAILURE;
         }
     };
     let root = analyzer::workspace_root();
-    let findings = match analyzer::scan_workspace(&root) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("dnvme-lint: failed to scan {}: {e}", root.display());
-            return ExitCode::FAILURE;
+    let (findings, unused) = if opts.strict_allow {
+        match analyzer::scan_workspace_strict(&root) {
+            Ok(r) => (r.findings, r.unused),
+            Err(e) => {
+                eprintln!("dnvme-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match analyzer::scan_workspace(&root) {
+            Ok(f) => (f, Vec::new()),
+            Err(e) => {
+                eprintln!("dnvme-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
         }
     };
-    if findings.is_empty() {
-        println!("dnvme-lint: workspace clean");
+    if findings.is_empty() && unused.is_empty() {
+        println!(
+            "dnvme-lint: workspace clean{}",
+            if opts.strict_allow {
+                " (strict-allow)"
+            } else {
+                ""
+            }
+        );
         return ExitCode::SUCCESS;
     }
     for f in &findings {
-        match format {
+        match opts.format {
             Format::Text => println!("{f}"),
             Format::Github => println!("{}", f.to_github_annotation()),
         }
     }
-    eprintln!("dnvme-lint: {} finding(s)", findings.len());
+    for u in &unused {
+        match opts.format {
+            Format::Text => println!("{u}"),
+            Format::Github => println!("{}", u.to_github_annotation()),
+        }
+    }
+    eprintln!(
+        "dnvme-lint: {} finding(s), {} unused suppression(s)",
+        findings.len(),
+        unused.len()
+    );
     ExitCode::FAILURE
 }

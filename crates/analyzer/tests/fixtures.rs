@@ -373,3 +373,76 @@ fn findings_carry_location_and_excerpt() {
     assert!(f[0].excerpt.contains("std::time::Instant"));
     assert!(f[0].to_string().contains("crates/fixture/src/lib.rs:2"));
 }
+
+// ----------------------------------------------------- strict-allow mode
+
+#[test]
+fn strict_allow_flags_unused_suppression() {
+    // A suppression on a line where nothing fires is dead weight.
+    let src = "fn f() {\n\
+                   let x = 1; // lint:allow(D04)\n\
+                   x\n\
+               }\n";
+    let scan = analyzer::scan_source_strict("crates/fixture/src/lib.rs", src, &[Rule::D04]);
+    assert!(scan.findings.is_empty());
+    assert_eq!(scan.unused_allows, vec![(2, "D04".to_string())]);
+}
+
+#[test]
+fn strict_allow_accepts_working_suppression() {
+    let src = "// lint:allow(D04) — intentional\n\
+               static Q: Mutex<u32> = Mutex::new(0);\n";
+    let scan = analyzer::scan_source_strict("crates/fixture/src/lib.rs", src, &[Rule::D04]);
+    assert!(scan.findings.is_empty());
+    assert!(scan.unused_allows.is_empty());
+}
+
+#[test]
+fn strict_allow_ignores_prose_placeholders() {
+    // `Dxx` in documentation is not a rule code and must not be flagged.
+    let src = "//! Suppress with a `// lint:allow(Dxx)` comment.\nfn f() {}\n";
+    let scan = analyzer::scan_source_strict("crates/fixture/src/lib.rs", src, &[Rule::D04]);
+    assert!(scan.unused_allows.is_empty());
+}
+
+#[test]
+fn strict_allow_reports_each_code_of_a_multi_code_comment() {
+    // D04 fires on the next line, D01 never does: only D01 is unused.
+    let src = "// lint:allow(D04, D01)\n\
+               static Q: Mutex<u32> = Mutex::new(0);\n";
+    let scan =
+        analyzer::scan_source_strict("crates/fixture/src/lib.rs", src, &[Rule::D01, Rule::D04]);
+    assert!(scan.findings.is_empty());
+    assert_eq!(scan.unused_allows, vec![(1, "D01".to_string())]);
+}
+
+#[test]
+fn strict_allow_flags_dead_config_entries() {
+    // One live entry (covers a real D04 finding) and one dead glob.
+    let config = analyzer::Config::parse(
+        "[allow]\nD04 = [\"crates/fixture\"]\nD01 = [\"crates/ghost/**\"]\n",
+    );
+    let files = vec![(
+        "crates/fixture/src/lib.rs".to_string(),
+        "static Q: Mutex<u32> = Mutex::new(0);\n".to_string(),
+    )];
+    let report = analyzer::strict_scan_files(&config, &files);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.unused.len(), 1, "{:?}", report.unused);
+    assert_eq!(report.unused[0].path, "analyzer.toml");
+    assert!(report.unused[0].detail.contains("crates/ghost/**"));
+    assert!(report.unused[0].detail.contains("D01"));
+}
+
+#[test]
+fn strict_allow_findings_survive_uncovered() {
+    // A finding with no covering entry still reports in strict mode.
+    let config = analyzer::Config::parse("[allow]\n");
+    let files = vec![(
+        "crates/fixture/src/lib.rs".to_string(),
+        "static Q: Mutex<u32> = Mutex::new(0);\n".to_string(),
+    )];
+    let report = analyzer::strict_scan_files(&config, &files);
+    assert_eq!(codes(&report.findings), vec!["D04"]);
+    assert!(report.unused.is_empty());
+}

@@ -391,6 +391,11 @@ impl NvmeController {
                 sq.borrow_mut().head = new_head;
                 self.stats.borrow_mut().commands_fetched += 1;
                 let sqe = SqEntry::decode(&raw);
+                crate::oracle::emit(crate::oracle::Event::CmdFetched {
+                    qid,
+                    cid: sqe.cid,
+                    slot: head,
+                });
                 self.handle.sleep(self.config.cmd_overhead).await;
                 let permit = self.exec_sem.acquire().await;
                 if qid == 0 {
@@ -420,13 +425,13 @@ impl NvmeController {
     ) {
         let dev = self.device_id();
         loop {
-            let (slot, phase, base, iv, full, space, alive) = {
+            let (slot, phase, base, iv, full, space, alive, entries) = {
                 let cqs = self.cqs.borrow();
                 let Some(cq) = cqs.get(&cqid) else { return };
                 let mut c = cq.borrow_mut();
                 let next = (c.tail + 1) % c.entries;
                 if next == c.head_shadow {
-                    (0, false, 0, None, true, c.space.clone(), c.alive)
+                    (0, false, 0, None, true, c.space.clone(), c.alive, c.entries)
                 } else {
                     let slot = c.tail;
                     let phase = c.phase;
@@ -434,7 +439,16 @@ impl NvmeController {
                     if c.tail == 0 {
                         c.phase = !c.phase;
                     }
-                    (slot, phase, c.base, c.iv, false, c.space.clone(), c.alive)
+                    (
+                        slot,
+                        phase,
+                        c.base,
+                        c.iv,
+                        false,
+                        c.space.clone(),
+                        c.alive,
+                        c.entries,
+                    )
                 }
             };
             if !alive {
@@ -445,6 +459,13 @@ impl NvmeController {
                 space.notified().await;
                 continue;
             }
+            crate::oracle::emit(crate::oracle::Event::CqePosted {
+                qid: sq_id,
+                cid,
+                slot,
+                phase,
+                entries,
+            });
             #[cfg(feature = "sanitize")]
             self.sanitize_cq_post(cqid, slot, phase, base);
             let cqe = CqEntry::new(result, sq_head, sq_id, cid, phase, status);

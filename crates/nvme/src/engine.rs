@@ -390,7 +390,9 @@ impl IoEngine {
                 spec.entries - 1
             );
             let sq = SqRing::new(fabric, spec.sq_ring, spec.sq_doorbell, spec.entries);
-            let cq = CqRing::new(fabric, spec.cq_ring, spec.cq_doorbell, spec.entries);
+            let mut cq = CqRing::new(fabric, spec.cq_ring, spec.cq_doorbell, spec.entries);
+            sq.set_oracle_qid(spec.qid);
+            cq.set_oracle_qid(spec.qid);
             qpairs.push(EngineQpair {
                 qid: spec.qid,
                 sq,

@@ -22,6 +22,7 @@ pub mod ctrl;
 pub mod driver;
 pub mod engine;
 pub mod medium;
+pub mod oracle;
 pub mod queue;
 pub mod spec;
 

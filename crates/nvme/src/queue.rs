@@ -15,6 +15,7 @@ use std::cell::Cell;
 use pcie::{DomainAddr, Fabric, MemRegion, WatchHandle};
 use simcore::SimDuration;
 
+use crate::oracle;
 use crate::spec::command::{SqEntry, SQE_SIZE};
 use crate::spec::completion::{CqEntry, CQE_SIZE};
 
@@ -35,6 +36,9 @@ pub struct SqRing {
     /// Entries pushed but not yet retired by a completion — the exact
     /// occupancy, unaffected by out-of-order head snapshots.
     outstanding: Cell<u16>,
+    /// When set, ring operations feed the lifecycle conformance oracle
+    /// under this queue id (see [`crate::oracle`]).
+    oracle_qid: Cell<Option<u16>>,
 }
 
 impl SqRing {
@@ -52,7 +56,13 @@ impl SqRing {
             tail: Cell::new(0),
             head: Cell::new(0),
             outstanding: Cell::new(0),
+            oracle_qid: Cell::new(None),
         }
+    }
+
+    /// Report this ring's operations to the lifecycle oracle as SQ `qid`.
+    pub fn set_oracle_qid(&self, qid: u16) {
+        self.oracle_qid.set(Some(qid));
     }
 
     /// Ring capacity in entries.
@@ -92,6 +102,14 @@ impl SqRing {
         let tail = self.tail.get();
         let slot_addr = self.ring.addr.offset(tail as u64 * SQE_SIZE as u64);
         self.tail.set((tail + 1) % self.entries);
+        if let Some(qid) = self.oracle_qid.get() {
+            oracle::emit(oracle::Event::SqeWritten {
+                qid,
+                cid: sqe.cid,
+                slot: tail,
+                entries: self.entries,
+            });
+        }
         self.fabric
             .cpu_write(self.ring.host, slot_addr, &sqe.encode())
             .await?;
@@ -100,6 +118,13 @@ impl SqRing {
 
     /// Ring the tail doorbell (posted 4-byte MMIO write).
     pub async fn ring(&self) -> pcie::Result<()> {
+        if let Some(qid) = self.oracle_qid.get() {
+            oracle::emit(oracle::Event::SqDoorbell {
+                qid,
+                tail: self.tail.get(),
+                entries: self.entries,
+            });
+        }
         self.fabric
             .cpu_write_u32(
                 self.doorbell.host,
@@ -120,6 +145,8 @@ pub struct CqRing {
     head: u16,
     phase: bool,
     watch: WatchHandle,
+    /// When set, consumes feed the lifecycle oracle under this queue id.
+    oracle_qid: Option<u16>,
 }
 
 impl CqRing {
@@ -138,7 +165,13 @@ impl CqRing {
             head: 0,
             phase: true,
             watch,
+            oracle_qid: None,
         }
+    }
+
+    /// Report this ring's consumes to the lifecycle oracle as CQ `qid`.
+    pub fn set_oracle_qid(&mut self, qid: u16) {
+        self.oracle_qid = Some(qid);
     }
 
     /// Ring capacity in entries.
@@ -172,6 +205,15 @@ impl CqRing {
             CQE_SIZE as u64,
         );
         let cqe = CqEntry::decode(&raw);
+        if let Some(qid) = self.oracle_qid {
+            oracle::emit(oracle::Event::CqeConsumed {
+                qid,
+                cid: cqe.cid,
+                slot: self.head,
+                phase: self.phase,
+                entries: self.entries,
+            });
+        }
         self.head = (self.head + 1) % self.entries;
         if self.head == 0 {
             self.phase = !self.phase;
@@ -197,6 +239,12 @@ impl CqRing {
 
     /// Ring the CQ head doorbell, releasing consumed slots to the device.
     pub async fn ring_doorbell(&self) -> pcie::Result<()> {
+        if let Some(qid) = self.oracle_qid {
+            oracle::emit(oracle::Event::CqHeadDoorbell {
+                qid,
+                head: self.head,
+            });
+        }
         self.fabric
             .cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.head as u32)
             .await
@@ -234,6 +282,18 @@ impl CqRing {
             CQE_SIZE as u64,
         );
         let cqe = CqEntry::decode(&raw);
+        if let Some(qid) = self.oracle_qid {
+            // Report the phase actually observed in memory, not the ring's
+            // expectation — an unchecked consume of a stale slot is exactly
+            // what the oracle's phase mirror exists to catch.
+            oracle::emit(oracle::Event::CqeConsumed {
+                qid,
+                cid: cqe.cid,
+                slot: self.head,
+                phase: CqEntry::peek_phase(&raw),
+                entries: self.entries,
+            });
+        }
         self.head = (self.head + 1) % self.entries;
         if self.head == 0 {
             self.phase = !self.phase;

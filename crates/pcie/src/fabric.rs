@@ -16,8 +16,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use simcore::sched::{ChoiceKind, ChoiceOption, Footprint};
 use simcore::sync::Notify;
-use simcore::{Handle, SerialResource, SimDuration};
+use simcore::{Handle, SerialResource, SimDuration, SimTime};
 
 use crate::addr::{DeviceId, DomainAddr, HostId, MemRegion, NodeId, NtbId, PhysAddr};
 use crate::device::MmioDevice;
@@ -73,6 +74,35 @@ struct State {
     ntbs: Vec<Ntb>,
 }
 
+/// Identifies one ordered posted-write path (source agent → destination).
+/// PCIe guarantees posted writes on the same path apply in issue order;
+/// writes on *different* paths carry no ordering guarantee, which is
+/// exactly the nondeterminism the schedule explorer enumerates.
+type PathKey = (u32, u32);
+
+/// A posted write that has been issued but not yet applied.
+struct PendingDelivery {
+    /// Global issue order; ties at an instant resolve by this.
+    seq: u64,
+    /// Virtual instant the write reaches its destination.
+    due: SimTime,
+    path: PathKey,
+    loc: Location,
+    data: Vec<u8>,
+    #[cfg(feature = "sanitize")]
+    pending: u64,
+    #[cfg(feature = "sanitize")]
+    hb: (u64, Vec<u64>),
+}
+
+/// All in-flight posted writes plus the pump bookkeeping.
+#[derive(Default)]
+struct DeliveryState {
+    queue: Vec<PendingDelivery>,
+    next_seq: u64,
+    pump_spawned: bool,
+}
+
 /// The shared-fabric simulator. Cheap to clone (all clones view the same
 /// fabric).
 #[derive(Clone)]
@@ -84,6 +114,11 @@ struct FabricInner {
     handle: Handle,
     params: FabricParams,
     state: RefCell<State>,
+    /// Posted writes in flight, applied by the delivery pump in an order
+    /// that is FIFO per path but a schedule choice point across paths.
+    deliveries: RefCell<DeliveryState>,
+    /// Wakes the delivery pump when a write is enqueued or comes due.
+    pump_wake: Notify,
     /// In-flight posted writes, for the read-race sanitizer.
     #[cfg(feature = "sanitize")]
     sanitize: RefCell<crate::sanitize::PendingSet>,
@@ -105,6 +140,8 @@ impl Fabric {
                     devices: Vec::new(),
                     ntbs: Vec::new(),
                 }),
+                deliveries: RefCell::new(DeliveryState::default()),
+                pump_wake: Notify::new(),
                 #[cfg(feature = "sanitize")]
                 sanitize: RefCell::new(crate::sanitize::PendingSet::default()),
                 #[cfg(feature = "sanitize")]
@@ -508,17 +545,16 @@ impl Fabric {
             data.len() as u64,
             "CPU posted write",
         );
-        let this = self.clone();
-        let data = data.to_vec();
-        let h = self.inner.handle.clone();
-        self.inner.handle.spawn(async move {
-            h.sleep(delivery).await;
+        self.enqueue_delivery(
+            delivery,
+            (u32::from(host.0), dest_path_key(&loc)),
+            loc,
+            data.to_vec(),
             #[cfg(feature = "sanitize")]
-            this.hb_write_applied(&loc, hb);
-            this.apply_write(&loc, &data);
+            pending,
             #[cfg(feature = "sanitize")]
-            this.inner.sanitize.borrow_mut().untrack(pending);
-        });
+            hb,
+        );
         Ok(())
     }
 
@@ -643,18 +679,123 @@ impl Fabric {
             data.len() as u64,
             "DMA posted write",
         );
+        self.enqueue_delivery(
+            delivery,
+            (DEVICE_PATH_BIT | dev.0, dest_path_key(&loc)),
+            loc,
+            data.to_vec(),
+            #[cfg(feature = "sanitize")]
+            pending,
+            #[cfg(feature = "sanitize")]
+            hb,
+        );
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Posted-write delivery pump
+    // ---------------------------------------------------------------
+
+    /// Queue a posted write for application `delay` after now and make sure
+    /// the pump will run at that instant. The pump (not a per-write task)
+    /// applies deliveries so that the order of co-due writes on *different*
+    /// paths is an explicit [`ChoiceKind::Delivery`] schedule choice point;
+    /// writes on one path always apply in issue order.
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_delivery(
+        &self,
+        delay: SimDuration,
+        path: PathKey,
+        loc: Location,
+        data: Vec<u8>,
+        #[cfg(feature = "sanitize")] pending: u64,
+        #[cfg(feature = "sanitize")] hb: (u64, Vec<u64>),
+    ) {
+        let due = self.inner.handle.now() + delay;
+        let spawn_pump = {
+            let mut dq = self.inner.deliveries.borrow_mut();
+            let seq = dq.next_seq;
+            dq.next_seq += 1;
+            dq.queue.push(PendingDelivery {
+                seq,
+                due,
+                path,
+                loc,
+                data,
+                #[cfg(feature = "sanitize")]
+                pending,
+                #[cfg(feature = "sanitize")]
+                hb,
+            });
+            let first = !dq.pump_spawned;
+            dq.pump_spawned = true;
+            first
+        };
+        if spawn_pump {
+            let this = self.clone();
+            self.inner
+                .handle
+                .spawn(async move { this.delivery_pump().await });
+        }
+        // A ticker per write guarantees a pump wakeup at the due instant;
+        // the Notify coalesces redundant ones.
         let this = self.clone();
-        let data = data.to_vec();
         let h = self.inner.handle.clone();
         self.inner.handle.spawn(async move {
-            h.sleep(delivery).await;
-            #[cfg(feature = "sanitize")]
-            this.hb_write_applied(&loc, hb);
-            this.apply_write(&loc, &data);
-            #[cfg(feature = "sanitize")]
-            this.inner.sanitize.borrow_mut().untrack(pending);
+            h.sleep(delay).await;
+            this.inner.pump_wake.notify_one();
         });
-        Ok(())
+    }
+
+    /// Applies every due posted write, consulting the installed scheduler
+    /// (if any) whenever more than one path has a delivery ready.
+    async fn delivery_pump(&self) {
+        loop {
+            while let Some(d) = self.take_due_delivery() {
+                #[cfg(feature = "sanitize")]
+                self.hb_write_applied(&d.loc, d.hb);
+                self.apply_write(&d.loc, &d.data);
+                #[cfg(feature = "sanitize")]
+                self.inner.sanitize.borrow_mut().untrack(d.pending);
+            }
+            self.inner.pump_wake.notified().await;
+        }
+    }
+
+    /// Remove and return the next due delivery, or `None` if nothing is
+    /// due. Candidates are the earliest-issued due delivery of each path
+    /// (per-path FIFO); with two or more candidate paths the pick is a
+    /// schedule choice point, with each option's write footprint exposed so
+    /// the explorer can prune commuting orders.
+    fn take_due_delivery(&self) -> Option<PendingDelivery> {
+        let now = self.inner.handle.now();
+        let mut dq = self.inner.deliveries.borrow_mut();
+        let mut heads: Vec<usize> = Vec::new();
+        for (i, d) in dq.queue.iter().enumerate() {
+            if d.due > now {
+                continue;
+            }
+            let blocked = dq.queue.iter().any(|e| e.path == d.path && e.seq < d.seq);
+            if !blocked {
+                heads.push(i);
+            }
+        }
+        if heads.is_empty() {
+            return None;
+        }
+        heads.sort_by_key(|&i| dq.queue[i].seq);
+        let pick = if heads.len() == 1 {
+            0
+        } else {
+            let options: Vec<ChoiceOption> = heads
+                .iter()
+                .map(|&i| ChoiceOption::writing(delivery_footprint(&dq.queue[i])))
+                .collect();
+            self.inner
+                .handle
+                .sched_choose(ChoiceKind::Delivery, &options)
+        };
+        Some(dq.queue.remove(heads[pick]))
     }
 
     // ---------------------------------------------------------------
@@ -840,6 +981,36 @@ impl Fabric {
         let to = log.actor_of(crate::hb::Agent::Device(dev));
         let clock = self.inner.handle.sanitize_actor_clock(from);
         self.inner.handle.sanitize_actor_join(to, &clock);
+    }
+}
+
+/// High bit marking the device half of a [`PathKey`] / footprint domain, so
+/// host and device identifiers never collide.
+const DEVICE_PATH_BIT: u32 = 0x8000_0000;
+
+/// Destination half of a delivery's [`PathKey`].
+fn dest_path_key(loc: &Location) -> u32 {
+    match loc {
+        Location::Dram(da) => u32::from(da.host.0),
+        Location::Bar { dev, .. } => DEVICE_PATH_BIT | dev.0,
+    }
+}
+
+/// The memory range a pending delivery will mutate, in scheduler terms.
+/// Host DRAM domains and device BAR domains are disjoint; BAR offsets are
+/// keyed per BAR index so BAR0/BAR1 never alias.
+fn delivery_footprint(d: &PendingDelivery) -> Footprint {
+    match &d.loc {
+        Location::Dram(da) => Footprint {
+            domain: u32::from(da.host.0),
+            addr: da.addr.as_u64(),
+            len: d.data.len() as u64,
+        },
+        Location::Bar { dev, bar, offset } => Footprint {
+            domain: DEVICE_PATH_BIT | dev.0,
+            addr: (u64::from(*bar) << 56) | offset,
+            len: d.data.len() as u64,
+        },
     }
 }
 

@@ -18,9 +18,10 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::{Arc, Mutex}; // lint:allow(D04) — Waker plumbing must be Send+Sync
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::sched::{ChoiceKind, ChoiceOption, Scheduler};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier for a spawned task.
@@ -102,6 +103,9 @@ struct Core {
     /// must end with identical hashes; any divergence in scheduling order
     /// shows up here immediately.
     trace: Cell<u64>,
+    /// Installed schedule controller (see [`crate::sched`]). `None` means
+    /// the canonical FIFO schedule; the hot path stays branch-cheap.
+    scheduler: RefCell<Option<Box<dyn Scheduler>>>,
     #[cfg(feature = "sanitize")]
     sanitize: crate::sanitize::SanitizerState,
 }
@@ -121,6 +125,7 @@ impl Core {
             next_timer_seq: Cell::new(0),
             steps: Cell::new(0),
             trace: Cell::new(FNV_OFFSET),
+            scheduler: RefCell::new(None),
             #[cfg(feature = "sanitize")]
             sanitize: crate::sanitize::SanitizerState::default(),
         })
@@ -159,11 +164,52 @@ impl Core {
         }
     }
 
+    /// Pick the next runnable task. Without a scheduler this is a plain
+    /// FIFO pop; with one installed, every instant where two or more live
+    /// tasks are runnable becomes a [`ChoiceKind::Task`] choice point.
+    fn next_runnable(&self) -> Option<TaskId> {
+        if self.scheduler.borrow().is_none() {
+            return self.wake_queue.pop();
+        }
+        let mut queue = self.wake_queue.ready.lock().unwrap();
+        // Candidates: live tasks in wake order, first occurrence only
+        // (duplicate and stale wakes are not schedulable alternatives).
+        let mut candidates: Vec<TaskId> = Vec::new();
+        {
+            let tasks = self.tasks.borrow();
+            for &id in queue.iter() {
+                if tasks.contains_key(&id) && !candidates.contains(&id) {
+                    candidates.push(id);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            queue.clear();
+            return None;
+        }
+        let pick = if candidates.len() == 1 {
+            0
+        } else {
+            let options = vec![ChoiceOption::opaque(); candidates.len()];
+            let mut sched = self.scheduler.borrow_mut();
+            let chosen = sched
+                .as_mut()
+                .expect("scheduler vanished mid-pick")
+                .choose(ChoiceKind::Task, &options);
+            chosen.min(candidates.len() - 1)
+        };
+        let chosen = candidates[pick];
+        if let Some(pos) = queue.iter().position(|&x| x == chosen) {
+            queue.remove(pos);
+        }
+        Some(chosen)
+    }
+
     /// Run every runnable task until the ready queue drains.
     fn run_ready(&self) {
         loop {
             self.admit_spawned();
-            let Some(id) = self.wake_queue.pop() else {
+            let Some(id) = self.next_runnable() else {
                 break;
             };
             // Take the future out of the map so the task body may itself
@@ -277,6 +323,18 @@ impl SimRuntime {
         self.core.sanitize.set_panic(on);
     }
 
+    /// Install a schedule controller; replaces any previous one. Pass the
+    /// result of a recorded exploration prefix to replay a schedule.
+    pub fn set_scheduler(&self, scheduler: Box<dyn crate::sched::Scheduler>) {
+        *self.core.scheduler.borrow_mut() = Some(scheduler);
+    }
+
+    /// Remove the installed schedule controller, restoring the canonical
+    /// FIFO schedule.
+    pub fn clear_scheduler(&self) {
+        *self.core.scheduler.borrow_mut() = None;
+    }
+
     /// Run until no runnable task and no pending timer remains.
     pub fn run(&self) {
         loop {
@@ -365,6 +423,27 @@ impl Handle {
     /// The runtime's event-stream hash (see [`SimRuntime::trace_hash`]).
     pub fn trace_hash(&self) -> u64 {
         self.core().trace.get()
+    }
+
+    /// Resolve a choice point outside the executor (the fabric's delivery
+    /// order). Returns the canonical choice `0` when no scheduler is
+    /// installed; otherwise defers to it, clamping out-of-range answers.
+    pub fn sched_choose(&self, kind: ChoiceKind, options: &[ChoiceOption]) -> usize {
+        if options.len() < 2 {
+            return 0;
+        }
+        let core = self.core();
+        let mut sched = core.scheduler.borrow_mut();
+        match sched.as_mut() {
+            Some(s) => s.choose(kind, options).min(options.len() - 1),
+            None => 0,
+        }
+    }
+
+    /// Whether a schedule controller is installed (lets instrumentation
+    /// skip building option lists on the canonical schedule).
+    pub fn scheduler_installed(&self) -> bool {
+        self.core().scheduler.borrow().is_some()
     }
 
     /// Record a sanitizer violation at the current virtual time.

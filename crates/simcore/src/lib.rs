@@ -28,6 +28,7 @@ pub mod resource;
 pub mod rng;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
+pub mod sched;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -37,5 +38,6 @@ pub use resource::SerialResource;
 pub use rng::SimRng;
 #[cfg(feature = "sanitize")]
 pub use sanitize::{happens_before, ActorId, Violation};
+pub use sched::{ChoiceKind, ChoiceOption, Footprint, ReplayScheduler, ScheduleTrace, Scheduler};
 pub use stats::{Histogram, LatencyRecorder, LatencySummary};
 pub use time::{SimDuration, SimTime};

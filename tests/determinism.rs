@@ -3,14 +3,36 @@
 //! folds an FNV-1a hash over every `(task id, virtual time)` poll, so any
 //! divergence — a hasher-ordered map iteration, a wallclock leak, an
 //! entropy-seeded RNG — shows up as a hash mismatch even when the final
-//! state happens to agree.
+//! state happens to agree. The fingerprint also folds in the sanitizer's
+//! violation set: two runs that poll identically but *diagnose*
+//! differently (a violation recorded in one run only, or with different
+//! context) are just as non-deterministic as diverging schedules.
 
 use cluster::{Calibration, Scenario, ScenarioKind};
 use fioflex::verify_region;
 
+/// FNV-1a over the sanitize violation set, order-sensitive: the sanitizer
+/// must report the same violations in the same order on every replay.
+fn violations_fingerprint(violations: &[simcore::sanitize::Violation]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for v in violations {
+        eat(v.code.as_bytes());
+        eat(&v.at_nanos.to_le_bytes());
+        eat(v.detail.as_bytes());
+    }
+    h
+}
+
 /// Build the scenario from scratch, push a verified workload through it,
-/// and return the executor's event-stream hash.
-fn run_once(kind: ScenarioKind, seed: u64) -> u64 {
+/// and return the run's fingerprint: the executor's event-stream hash
+/// plus a hash of everything the sanitizer flagged.
+fn run_once(kind: ScenarioKind, seed: u64) -> (u64, u64) {
     let calib = Calibration::paper();
     let sc = Scenario::build(kind, &calib);
     let (host, dev) = sc.clients[0].clone();
@@ -19,15 +41,22 @@ fn run_once(kind: ScenarioKind, seed: u64) -> u64 {
         .rt
         .block_on(async move { verify_region(&fabric, host, dev, 0, 1024, 8, seed).await });
     assert!(report.clean(), "{}: {report:?}", sc.label);
-    sc.rt.trace_hash()
+    (
+        sc.rt.trace_hash(),
+        violations_fingerprint(&sc.rt.sanitize_violations()),
+    )
 }
 
 fn assert_deterministic(kind: ScenarioKind) {
     let first = run_once(kind.clone(), 0x5EED);
     let second = run_once(kind.clone(), 0x5EED);
     assert_eq!(
-        first, second,
+        first.0, second.0,
         "{kind:?}: same seed produced different event streams"
+    );
+    assert_eq!(
+        first.1, second.1,
+        "{kind:?}: same seed produced different sanitize violation sets"
     );
 }
 
@@ -62,7 +91,7 @@ fn hash_is_sensitive_to_the_workload() {
     // workload shape must change the event stream. (Different *seeds* with
     // the same shape legitimately hash equal — timing here is
     // data-independent by design.)
-    let a = run_once(ScenarioKind::OursRemote { switches: 1 }, 0x0001);
+    let (a, _) = run_once(ScenarioKind::OursRemote { switches: 1 }, 0x0001);
     let calib = Calibration::paper();
     let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
     let (host, dev) = sc.clients[0].clone();
