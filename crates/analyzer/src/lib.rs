@@ -35,6 +35,11 @@
 //!   fabric API.
 //! * **D10** — queue segments must carry their placement hint
 //!   (`smartio::hints`): SQ device-side, CQ client-local (Fig. 8).
+//! * **D11** — no unbounded `.await` on a non-posted fabric read or an
+//!   admin RPC inside an I/O-path or manager-serve function: with fault
+//!   injection armed, the completing event may never arrive, so every
+//!   such wait must go through `simcore::timeout` (the recovery ladder
+//!   turns the expiry into abort/reset escalation instead of a hang).
 //!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
@@ -54,7 +59,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The ten lint rules.
+/// The eleven lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -67,10 +72,11 @@ pub enum Rule {
     D08,
     D09,
     D10,
+    D11,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::D01,
     Rule::D02,
     Rule::D03,
@@ -81,6 +87,7 @@ pub const ALL_RULES: [Rule; 10] = [
     Rule::D08,
     Rule::D09,
     Rule::D10,
+    Rule::D11,
 ];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
@@ -108,6 +115,7 @@ impl Rule {
             Rule::D08 => "D08",
             Rule::D09 => "D09",
             Rule::D10 => "D10",
+            Rule::D11 => "D11",
         }
     }
 
@@ -130,6 +138,10 @@ impl Rule {
             Rule::D09 => "unsafe / raw-pointer memory access outside pcie::memory",
             Rule::D10 => {
                 "queue segment allocated without its placement hint (SQ device-side, CQ local)"
+            }
+            Rule::D11 => {
+                "unbounded await on a fabric read / admin RPC in an I/O-path or manager-serve \
+                 function (wrap it in simcore::timeout so a lost event escalates, not hangs)"
             }
         }
     }
@@ -436,6 +448,29 @@ const D08_WRITES: [&str; 5] = [
 /// The only file allowed raw-pointer access to segment memory (D09).
 const D09_EXEMPT: [&str; 1] = ["crates/pcie/src/memory.rs"];
 
+/// Awaits that park until a *remote* event arrives (D11): non-posted
+/// fabric reads and the admin-queue RPCs. Under fault injection the
+/// completing CQE or delivery may never come, so each of these must sit
+/// inside a `simcore::timeout` wrapper on the paths that cannot stall.
+const D11_BLOCKING: [&str; 10] = [
+    "cpu_read",
+    "cpu_read_u32",
+    "cpu_read_u64",
+    "dma_read",
+    "abort",
+    "create_io_qpair",
+    "delete_io_qpair",
+    "identify_controller",
+    "identify_namespace",
+    "set_num_queues",
+];
+/// D11 roots: the I/O-path entry prefixes plus the manager's serve and
+/// reaper loops. Bring-up (`connect`, `start`) may still block: a hung
+/// bring-up fails the scenario immediately rather than wedging live I/O.
+const D11_ROOTS: [&str; 7] = [
+    "submit", "issue", "poll", "flush", "complet", "serve", "reap",
+];
+
 /// The rules that apply to the file at workspace-relative path `rel`.
 pub fn rules_for(rel: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::D01, Rule::D02, Rule::D04];
@@ -452,6 +487,9 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     }
     if D07_SCOPE.iter().any(|p| rel.starts_with(p)) {
         rules.push(Rule::D07);
+        // D11 binds the same production paths: the crates whose I/O and
+        // serve loops must survive injected faults without hanging.
+        rules.push(Rule::D11);
     }
     rules.push(Rule::D08);
     if !D09_EXEMPT.iter().any(|p| rel.starts_with(p)) {
@@ -664,7 +702,7 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
                         stmt.clear();
                     }
                 }
-                Rule::D07 | Rule::D08 | Rule::D09 | Rule::D10 => {} // syntax rules below
+                Rule::D07 | Rule::D08 | Rule::D09 | Rule::D10 | Rule::D11 => {} // syntax rules below
             }
         }
     }
@@ -682,6 +720,9 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     if rules.contains(&Rule::D10) {
         scan_d10(&ast, &mut |line| hit(Rule::D10, line, &mut findings));
     }
+    if rules.contains(&Rule::D11) {
+        scan_d11(&ast, &mut |line| hit(Rule::D11, line, &mut findings));
+    }
 
     findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
     let unused_allows = sups
@@ -696,11 +737,10 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     }
 }
 
-/// D07: build the intra-file call graph (edges by simple callee name),
-/// walk it from the I/O-path roots, and flag every non-posted read call
-/// inside a reachable function.
-fn scan_d07(ast: &Ast, hit: &mut dyn FnMut(usize)) {
-    let is_root = |name: &str| D07_ROOTS.iter().any(|p| name.starts_with(p));
+/// Intra-file call-graph reachability (edges by simple callee name) from
+/// the functions whose names satisfy `is_root`. Returns the reachability
+/// mask plus each function's call list, in `ast.functions` order.
+fn reachable_from(ast: &Ast, is_root: &dyn Fn(&str) -> bool) -> (Vec<bool>, Vec<Vec<ast::Call>>) {
     let mut reachable: Vec<bool> = ast.functions.iter().map(|f| is_root(&f.name)).collect();
     let calls: Vec<Vec<ast::Call>> = ast.functions.iter().map(|f| ast.calls_in(f.body)).collect();
     // Fixed-point over the (tiny) per-file graph.
@@ -723,12 +763,56 @@ fn scan_d07(ast: &Ast, hit: &mut dyn FnMut(usize)) {
             break;
         }
     }
+    (reachable, calls)
+}
+
+/// D07: build the intra-file call graph, walk it from the I/O-path
+/// roots, and flag every non-posted read call inside a reachable
+/// function.
+fn scan_d07(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let (reachable, calls) =
+        reachable_from(ast, &|name| D07_ROOTS.iter().any(|p| name.starts_with(p)));
     for i in 0..ast.functions.len() {
         if !reachable[i] {
             continue;
         }
         for call in &calls[i] {
             if D07_READS.iter().any(|r| call.name == *r) {
+                hit(call.line);
+            }
+        }
+    }
+}
+
+/// D11: in functions reachable from the I/O-path / manager-serve roots,
+/// flag every *directly awaited* blocking call (non-posted fabric read
+/// or admin RPC) that is not inside the argument list of a `timeout(…)`
+/// wrapper. `timeout(&h, d, admin.abort(q, c)).await` passes — the call
+/// is handed to the wrapper as a future; `admin.abort(q, c).await` on
+/// the same path can park forever once a fault eats the completion.
+fn scan_d11(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let (reachable, calls) =
+        reachable_from(ast, &|name| D11_ROOTS.iter().any(|p| name.starts_with(p)));
+    for i in 0..ast.functions.len() {
+        if !reachable[i] {
+            continue;
+        }
+        let guards: Vec<(usize, usize)> = calls[i]
+            .iter()
+            .filter(|c| c.name == "timeout")
+            .map(|c| c.args)
+            .collect();
+        for call in &calls[i] {
+            if !D11_BLOCKING.iter().any(|b| call.name == *b) {
+                continue;
+            }
+            let close = call.args.1;
+            let awaited = ast.tokens.get(close + 1).is_some_and(|t| t.punct('.'))
+                && ast.tokens.get(close + 2).is_some_and(|t| t.is("await"));
+            let guarded = guards
+                .iter()
+                .any(|&(a, b)| a <= call.args.0 && call.args.1 <= b);
+            if awaited && !guarded {
                 hit(call.line);
             }
         }
@@ -1075,6 +1159,12 @@ mod tests {
         assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D07));
         assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D07));
         assert!(rules_for("tests/sanitize.rs").contains(&Rule::D08));
+        // D11 rides the D07 scope: production I/O/serve paths, not tests
+        // (a test awaiting an admin RPC unwrapped is the test's business).
+        assert!(rules_for("crates/core/src/manager.rs").contains(&Rule::D11));
+        assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D11));
+        assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D11));
+        assert!(!rules_for("tests/fault_injection.rs").contains(&Rule::D11));
         assert!(rules_for("crates/cluster/src/scenario.rs").contains(&Rule::D10));
         assert!(!rules_for("crates/pcie/src/memory.rs").contains(&Rule::D09));
         assert!(rules_for("crates/pcie/src/fabric.rs").contains(&Rule::D09));

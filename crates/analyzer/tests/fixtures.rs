@@ -353,6 +353,66 @@ fn d10_suppression() {
     assert!(scan(src, &[Rule::D10]).is_empty());
 }
 
+// ------------------------------------------------------------------ D11
+
+#[test]
+fn d11_flags_unbounded_admin_rpc_await_on_serve_path() {
+    // The manager's serve loop awaiting an admin RPC with no deadline: a
+    // dropped admin CQE wedges every client behind the mailbox.
+    let src = "async fn serve(self: Rc<Self>) {\n\
+                   let ok = admin.delete_io_qpair(qid).await?;\n\
+               }\n";
+    let f = scan(src, &[Rule::D11]);
+    assert_eq!(codes(&f), ["D11"]);
+    assert_eq!(f[0].line, 2);
+    // Transitive: the unbounded fabric read hides one call deep under an
+    // I/O-path root.
+    let src = "async fn submit_with_tag(&self, bio: &Bio) -> BioResult {\n\
+                   self.slow_probe().await\n\
+               }\n\
+               async fn slow_probe(&self) -> BioResult {\n\
+                   let v = self.fabric.cpu_read_u32(self.host, addr).await?;\n\
+                   Ok(v)\n\
+               }\n";
+    let f = scan(src, &[Rule::D11]);
+    assert_eq!(codes(&f), ["D11"]);
+    assert_eq!(f[0].line, 5, "finding must point at the blocking await");
+}
+
+#[test]
+fn d11_ignores_timeout_wrapped_awaits_and_bringup() {
+    // The shipped discipline: every serve-path admin RPC goes through
+    // simcore::timeout, and the expiry feeds the escalation ladder.
+    let src = "async fn serve(self: Rc<Self>) {\n\
+                   let r = simcore::timeout(&handle, deadline, admin.abort(qid, cid)).await;\n\
+               }\n\
+               async fn reap_loop(self: Rc<Self>) {\n\
+                   let r = simcore::timeout(\n\
+                       &handle,\n\
+                       deadline,\n\
+                       admin.delete_io_qpair(qid),\n\
+                   )\n\
+                   .await;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D11]).is_empty());
+    // Bring-up may block: a hung `start`/`connect` fails the scenario
+    // before any I/O exists, so it is outside the rule's roots.
+    let src = "async fn start(cfg: Config) -> Result<Self> {\n\
+                   let granted = admin.set_num_queues(cfg.want_qpairs).await?;\n\
+                   Ok(granted)\n\
+               }\n";
+    assert!(scan(src, &[Rule::D11]).is_empty());
+}
+
+#[test]
+fn d11_suppression() {
+    let src = "async fn serve(self: Rc<Self>) {\n\
+                   // lint:allow(D11) — seeded hang for the fault-injection test\n\
+                   let ok = admin.delete_io_qpair(qid).await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D11]).is_empty());
+}
+
 // ----------------------------------------------------- scanner hygiene
 
 #[test]

@@ -83,6 +83,9 @@ pub enum BioError {
     NoFreeTag,
     /// The device is gone (hot-removed / reset).
     Gone,
+    /// The command exceeded its deadline and every recovery rung (retry,
+    /// abort, queue recreate) failed to produce a completion.
+    Timeout { qid: u16, cid: u16 },
 }
 
 impl std::fmt::Display for BioError {
@@ -98,6 +101,9 @@ impl std::fmt::Display for BioError {
             BioError::NoFreeTag => write!(f, "tag accounting exhausted (no free cid)"),
             BioError::DeviceError(s) => write!(f, "device error: {s}"),
             BioError::Gone => write!(f, "device gone"),
+            BioError::Timeout { qid, cid } => {
+                write!(f, "command timed out (qid={qid}, cid={cid})")
+            }
         }
     }
 }

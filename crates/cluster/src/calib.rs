@@ -18,6 +18,7 @@ use nvme::{MediaProfile, NvmeConfig};
 use nvmeof::{InitiatorConfig, TargetConfig};
 use pcie::FabricParams;
 use rdma::IbParams;
+use simcore::SimDuration;
 
 /// Everything a scenario needs, bundled.
 #[derive(Clone)]
@@ -80,6 +81,20 @@ impl Calibration {
             ntb_slot_size: 2 << 20,
             ntb_slots: 256,
         }
+    }
+
+    /// The paper's testbed with the full recovery ladder armed: per-command
+    /// deadlines on every client, mailbox RPC timeouts with idempotent
+    /// retransmission, and the manager's lease/heartbeat protocol. The
+    /// deadlines sit far above the fault-free latencies (a 4 KiB Optane I/O
+    /// completes in ~15 µs, a mailbox round trip in a few µs), so they only
+    /// fire when a fault is actually injected.
+    pub fn fault_recovery() -> Calibration {
+        let mut c = Calibration::paper();
+        c.client.cmd_timeout = Some(SimDuration::from_micros(200));
+        c.client.mailbox_timeout = Some(SimDuration::from_micros(500));
+        c.manager.lease = Some(SimDuration::from_micros(600));
+        c
     }
 
     /// Same testbed with a NAND-class SSD instead of Optane (tail-latency

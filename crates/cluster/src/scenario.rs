@@ -9,7 +9,7 @@ use fioflex::{run_job, JobReport, JobSpec};
 use nvme::driver::{attach_local_driver, LocalNvmeDriver};
 use nvme::{BlockStore, NvmeController, QpairStats};
 use nvmeof::{NvmfInitiator, NvmfTarget};
-use pcie::{Fabric, HostId};
+use pcie::{Fabric, FaultPlan, HostId, NtbId};
 use rdma::IbNet;
 use simcore::SimRuntime;
 use smartio::SmartIo;
@@ -57,6 +57,9 @@ pub struct Scenario {
     pub ctrl: Rc<NvmeController>,
     /// (host, device) per client; index 0 is "the" benchmark host.
     pub clients: Vec<(HostId, Rc<dyn BlockDevice>)>,
+    /// NTB adapter per remote client, in `clients` order (empty for the
+    /// local and NVMe-oF testbeds) — fault tests sever these.
+    pub client_ntbs: Vec<NtbId>,
     /// Named block devices per host.
     pub registry: BlockRegistry,
     /// The scenario's label.
@@ -112,6 +115,7 @@ impl Scenario {
                     fabric,
                     ctrl,
                     clients: vec![(host, drv.clone() as Rc<dyn BlockDevice>)],
+                    client_ntbs: Vec::new(),
                     registry,
                     label,
                     _keep: Keep::Linux(drv),
@@ -159,6 +163,7 @@ impl Scenario {
                     fabric,
                     ctrl,
                     clients: vec![(initiator_host, init.clone() as Rc<dyn BlockDevice>)],
+                    client_ntbs: Vec::new(),
                     registry,
                     label,
                     _keep: Keep::Nvmf(target, init),
@@ -274,10 +279,21 @@ impl Scenario {
             fabric,
             ctrl,
             clients,
+            client_ntbs,
             registry,
             label,
             _keep: Keep::Ours(mgr, drivers, smartio),
         }
+    }
+
+    /// Build `kind` fault-free, then install `plan` on the live fabric.
+    /// Bring-up never sees injected faults — delivery ordinals count from
+    /// installation — so the plan lands squarely on the I/O phase, where
+    /// the recovery ladder (not the bring-up path) must absorb it.
+    pub fn build_with_faults(kind: ScenarioKind, calib: &Calibration, plan: FaultPlan) -> Scenario {
+        let sc = Scenario::build(kind, calib);
+        sc.fabric.set_fault_plan(plan);
+        sc
     }
 
     /// The SmartIO service instance, for scenarios built on the

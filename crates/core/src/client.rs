@@ -12,19 +12,20 @@
 //! * a partitioned bounce buffer with PRPs programmed once, or the
 //!   IOMMU-style dynamic mapping extension (the paper's future work).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
 use nvme::engine::{
-    CompletionStrategy, EngineConfig, EngineStats, IoEngine, QueuePairSpec, Tag,
-    DEFAULT_COALESCE_LIMIT,
+    CompletionStrategy, EngineConfig, EngineError, EngineStats, IoEngine, QueuePairSpec, Tag,
+    DEFAULT_COALESCE_LIMIT, DEFAULT_MAX_RETRIES,
 };
 use nvme::spec::command::{SqEntry, SQE_SIZE};
-use nvme::spec::completion::CQE_SIZE;
+use nvme::spec::completion::{CqEntry, CQE_SIZE};
 use nvme::spec::prp;
 use nvme::spec::registers::Cap;
 use pcie::{DomainAddr, Fabric, HostId, MemRegion};
+use simcore::sync::Semaphore;
 use simcore::{Handle, SimDuration};
 use smartio::{AccessHints, BorrowMode, SegmentId, SmartDeviceId, SmartIo};
 
@@ -101,6 +102,19 @@ pub struct ClientConfig {
     /// Each doorbell is a posted write through the NTB, so coalescing is
     /// a direct hot-path saving at queue depth > 1.
     pub doorbell_coalesce: usize,
+    /// Per-command deadline. `None` (the seed default) waits forever;
+    /// `Some(d)` arms the recovery ladder: doorbell-re-ring retries with
+    /// exponential backoff, then Abort via the manager, then
+    /// delete-and-recreate of the queue pair, then controller reset —
+    /// surfacing [`BioError::Timeout`] instead of hanging.
+    pub cmd_timeout: Option<SimDuration>,
+    /// Doorbell re-ring attempts before the ladder escalates.
+    pub cmd_retries: u32,
+    /// Deadline for one mailbox round trip. `None` waits forever.
+    pub mailbox_timeout: Option<SimDuration>,
+    /// Same-seq retransmissions before a mailbox RPC gives up with
+    /// [`DnvmeError::RpcTimeout`].
+    pub mailbox_retries: u32,
 }
 
 impl Default for ClientConfig {
@@ -119,6 +133,10 @@ impl Default for ClientConfig {
             iommu_map_cost: SimDuration::from_nanos(450),
             iommu_unmap_cost: SimDuration::from_nanos(700),
             doorbell_coalesce: DEFAULT_COALESCE_LIMIT,
+            cmd_timeout: None,
+            cmd_retries: DEFAULT_MAX_RETRIES,
+            mailbox_timeout: None,
+            mailbox_retries: 2,
         }
     }
 }
@@ -130,6 +148,23 @@ struct Cleanup {
     mappings: Vec<smartio::CpuMapping>,
     windows: Vec<smartio::DmaWindow>,
     segments: Vec<SegmentId>,
+}
+
+/// Mailbox RPC deadline/retry policy (from [`ClientConfig`]).
+#[derive(Copy, Clone)]
+struct RpcPolicy {
+    deadline: Option<SimDuration>,
+    retries: u32,
+}
+
+/// Everything needed to re-create a queue pair under its original id.
+#[derive(Copy, Clone)]
+struct QpWiring {
+    qid: u16,
+    entries: u16,
+    sq_bus: u64,
+    cq_bus: u64,
+    iv: Option<u16>,
 }
 
 /// Per-client driver stats.
@@ -155,6 +190,16 @@ pub struct ClientStats {
     pub cq_doorbells: u64,
     /// Doorbell MMIO failures — counted, never silently discarded.
     pub doorbell_errors: u64,
+    /// Commands that entered the recovery ladder (deadline expired).
+    pub recoveries: u64,
+    /// Abort RPCs sent (ladder rung 2).
+    pub aborts_requested: u64,
+    /// Queue pairs deleted and re-created in place (ladder rung 3).
+    pub qpairs_recreated: u64,
+    /// Controller resets requested (ladder rung 4).
+    pub resets_requested: u64,
+    /// Lease heartbeats sent.
+    pub heartbeats_sent: u64,
 }
 
 /// A connected client with one or more I/O queue pairs.
@@ -180,11 +225,24 @@ pub struct ClientDriver {
     response_segment: SegmentId,
     mailbox_map: smartio::CpuMapping,
     next_seq: RefCell<u32>,
+    /// Serializes mailbox RPCs: one slot, one outstanding request.
+    rpc_lock: Semaphore,
+    /// Per-qid ring wiring, kept so recovery can re-create a queue pair
+    /// under the same id with the same rings.
+    qp_wiring: RefCell<Vec<QpWiring>>,
+    /// Set on disconnect; stops the heartbeat task.
+    hb_stop: Cell<bool>,
     stats: RefCell<ClientStats>,
 }
 
 /// One mailbox round trip: write the stamped request into this host's
 /// slot, wait for the matching response in the local response segment.
+///
+/// With a `deadline`, the wait is raced against the clock; each expiry
+/// retransmits the *same* seq with a bumped retry counter (the manager
+/// re-sends its cached response without re-executing — idempotent
+/// retry), and after `retries` retransmissions the RPC fails with
+/// [`DnvmeError::RpcTimeout`] instead of hanging on a dead manager.
 async fn mailbox_rpc(
     fabric: &Fabric,
     host: HostId,
@@ -192,30 +250,64 @@ async fn mailbox_rpc(
     resp_region: MemRegion,
     seq: u32,
     request: Request,
+    policy: RpcPolicy,
 ) -> Result<Response> {
     let watch = fabric.watch(resp_region.host, resp_region.addr, resp_region.len);
-    let msg = SlotMessage { seq, request };
-    fabric
-        .cpu_write(host, mailbox_slot_addr, &msg.encode())
-        .await?;
-    let resp = loop {
-        watch.notify.notified().await;
-        let mut raw = [0u8; proto::RESPONSE_LEN];
-        fabric.mem_read(resp_region.host, resp_region.addr, &mut raw)?;
-        let r = Response::decode(&raw);
-        if r.seq == seq {
-            // Observing the matching seq acquires the manager's posted
-            // write (happens-before edge, like a CQE phase observation).
-            #[cfg(feature = "sanitize")]
-            fabric.sanitize_consume(
-                resp_region.host,
-                resp_region.addr,
-                proto::RESPONSE_LEN as u64,
-            );
-            break r;
+    let send = |retry: u32| {
+        SlotMessage {
+            seq,
+            retry,
+            request,
+        }
+        .encode()
+    };
+    let wait_matching = || async {
+        loop {
+            watch.notify.notified().await;
+            let mut raw = [0u8; proto::RESPONSE_LEN];
+            fabric.mem_read(resp_region.host, resp_region.addr, &mut raw)?;
+            let r = Response::decode(&raw);
+            if r.seq == seq {
+                // Observing the matching seq acquires the manager's posted
+                // write (happens-before edge, like a CQE phase observation).
+                #[cfg(feature = "sanitize")]
+                fabric.sanitize_consume(
+                    resp_region.host,
+                    resp_region.addr,
+                    proto::RESPONSE_LEN as u64,
+                );
+                return Ok::<Response, DnvmeError>(r);
+            }
+        }
+    };
+    let sent = fabric.cpu_write(host, mailbox_slot_addr, &send(0)).await;
+    let resp = match (sent, policy.deadline) {
+        (Err(e), _) => Err(e.into()),
+        (Ok(()), None) => wait_matching().await,
+        (Ok(()), Some(d)) => {
+            let mut attempt = 0u32;
+            loop {
+                match simcore::timeout(&fabric.handle(), d, wait_matching()).await {
+                    Ok(r) => break r,
+                    Err(simcore::Elapsed) => {
+                        if attempt >= policy.retries {
+                            break Err(DnvmeError::RpcTimeout);
+                        }
+                        attempt += 1;
+                        if fabric
+                            .cpu_write(host, mailbox_slot_addr, &send(attempt))
+                            .await
+                            .is_err()
+                        {
+                            break Err(DnvmeError::RpcTimeout);
+                        }
+                    }
+                }
+            }
         }
     };
     fabric.unwatch(resp_region.host, &watch);
+    let resp = resp?;
     if resp.status != proto::status::OK {
         return Err(DnvmeError::Mailbox(resp.status));
     }
@@ -275,6 +367,7 @@ impl ClientDriver {
         let mut seq = 0u32;
         let mut specs = Vec::new();
         let mut qids = Vec::new();
+        let mut wiring = Vec::new();
         let fabric_dev = smartio.device_fabric_id(device)?;
         let mut cleanup = Cleanup {
             mappings: vec![meta_map, bar_map, mailbox_map],
@@ -323,10 +416,22 @@ impl ClientDriver {
                     cq_bus: cq_win.bus_base,
                     response_segment: response_segment.0,
                     iv: want_iv.then_some(0), // placeholder; manager uses qid
+                    want_qid: 0,
+                },
+                RpcPolicy {
+                    deadline: cfg.mailbox_timeout,
+                    retries: cfg.mailbox_retries,
                 },
             )
             .await?;
             let qid = resp.qid;
+            wiring.push(QpWiring {
+                qid,
+                entries,
+                sq_bus: sq_win.bus_base,
+                cq_bus: cq_win.bus_base,
+                iv: want_iv.then_some(0),
+            });
             // Interrupt extension: route vector `qid` to this host.
             let irq = match cfg.completion {
                 ClientCompletion::Interrupt { .. } => {
@@ -369,6 +474,8 @@ impl ClientDriver {
             EngineConfig {
                 queue_depth: qd,
                 coalesce_limit: cfg.doorbell_coalesce,
+                cmd_timeout: cfg.cmd_timeout,
+                max_retries: cfg.cmd_retries,
                 ..EngineConfig::default()
             },
         );
@@ -414,9 +521,43 @@ impl ClientDriver {
             response_segment,
             mailbox_map,
             next_seq: RefCell::new(seq + 1),
+            rpc_lock: Semaphore::new(1),
+            qp_wiring: RefCell::new(wiring),
+            hb_stop: Cell::new(false),
             stats: RefCell::new(ClientStats::default()),
             cfg,
         });
+        // Lease protocol: keep the manager convinced we're alive, or our
+        // queue pairs get reclaimed.
+        if driver.metadata.lease_nanos > 0 {
+            let d = driver.clone();
+            let interval = SimDuration::from_nanos((driver.metadata.lease_nanos / 3).max(1));
+            driver.handle.spawn(async move {
+                loop {
+                    d.handle.sleep(interval).await;
+                    if d.hb_stop.get() {
+                        return;
+                    }
+                    // Skip when another RPC holds the slot — its accept
+                    // refreshes the lease just as well.
+                    let Some(_permit) = d.rpc_lock.try_acquire() else {
+                        continue;
+                    };
+                    let seq = d.take_seq();
+                    let r = d
+                        .raw_rpc(
+                            seq,
+                            Request::Heartbeat {
+                                response_segment: d.response_segment.0,
+                            },
+                        )
+                        .await;
+                    if r.is_ok() {
+                        d.stats.borrow_mut().heartbeats_sent += 1;
+                    }
+                }
+            });
+        }
         Ok(driver)
     }
 
@@ -453,34 +594,159 @@ impl ClientDriver {
         self.host
     }
 
-    /// Return the queue pair to the manager (mailbox DeleteQp) and drop
-    /// the shared device reference.
-    pub async fn disconnect(&self) -> Result<()> {
+    fn take_seq(&self) -> u32 {
+        let mut s = self.next_seq.borrow_mut();
+        let v = *s;
+        *s += 1;
+        v
+    }
+
+    /// One mailbox round trip with this client's slot/response wiring.
+    /// Callers must hold (or have just taken) `rpc_lock`.
+    async fn raw_rpc(&self, seq: u32, request: Request) -> Result<Response> {
         let resp_region = self.smartio.segment_region(self.response_segment)?;
         let slot_addr = self
             .mailbox_map
             .region
             .addr
             .offset(self.host.0 as u64 * proto::MAILBOX_SLOT as u64);
+        mailbox_rpc(
+            &self.fabric,
+            self.host,
+            slot_addr,
+            resp_region,
+            seq,
+            request,
+            RpcPolicy {
+                deadline: self.cfg.mailbox_timeout,
+                retries: self.cfg.mailbox_retries,
+            },
+        )
+        .await
+    }
+
+    /// Serialized mailbox RPC (one slot — one outstanding request).
+    async fn rpc(&self, request: Request) -> Result<Response> {
+        let _permit = self.rpc_lock.acquire().await;
+        let seq = self.take_seq();
+        self.raw_rpc(seq, request).await
+    }
+
+    /// Issue with the recovery ladder armed: an engine deadline expiry
+    /// (rung 1, doorbell retries exhausted) escalates to Abort via the
+    /// manager (rung 2), then delete-and-recreate of the queue pair with
+    /// one resubmission (rung 3), then controller reset (rung 4) — always
+    /// ending in a completion or a typed [`BioError`], never a hang.
+    async fn issue_recovered(
+        &self,
+        tag: &Tag,
+        sqe: SqEntry,
+    ) -> std::result::Result<CqEntry, BioError> {
+        match self.engine.issue(tag, sqe).await {
+            Ok(cqe) => Ok(cqe),
+            Err(EngineError::Timeout { qid, cid }) => self.recover(tag, sqe, qid, cid).await,
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    async fn recover(
+        &self,
+        tag: &Tag,
+        sqe: SqEntry,
+        qid: u16,
+        cid: u16,
+    ) -> std::result::Result<CqEntry, BioError> {
+        self.stats.borrow_mut().recoveries += 1;
+        // Rung 2: ask the manager's admin queue to abort the command.
+        self.stats.borrow_mut().aborts_requested += 1;
+        let aborted = match self
+            .rpc(Request::Abort {
+                qid,
+                cid,
+                response_segment: self.response_segment.0,
+            })
+            .await
+        {
+            Ok(r) => r.flags & proto::flag::ABORTED != 0,
+            Err(_) => false,
+        };
+        if aborted {
+            // The controller killed it; the command is dead and the slot
+            // will retire when the abort CQE lands. Surface the deadline.
+            return Err(BioError::Timeout { qid, cid });
+        }
+        // Rung 3: the command was never seen or its completion was lost —
+        // tear the queue pair down, re-create it under the same id, and
+        // resubmit exactly once.
+        if self.recreate_qpair(qid).await.is_ok() {
+            self.stats.borrow_mut().qpairs_recreated += 1;
+            if let Ok(cqe) = self.engine.issue(tag, sqe).await {
+                return Ok(cqe);
+            }
+        }
+        // Rung 4: controller reset. Our grants (and everyone else's) are
+        // void afterwards; surface the typed error either way.
+        self.stats.borrow_mut().resets_requested += 1;
+        let _ = self
+            .rpc(Request::Reset {
+                response_segment: self.response_segment.0,
+            })
+            .await;
+        Err(BioError::Timeout { qid, cid })
+    }
+
+    /// Delete + re-create queue pair `qid` in place: same rings, same
+    /// doorbells, same qid — only the controller-side state is rebuilt,
+    /// so the engine wiring stays valid.
+    async fn recreate_qpair(&self, qid: u16) -> Result<()> {
+        let w = {
+            let wiring = self.qp_wiring.borrow();
+            *wiring
+                .iter()
+                .find(|w| w.qid == qid)
+                .ok_or_else(|| DnvmeError::BadConfig(format!("unknown qid {qid}")))?
+        };
+        self.rpc(Request::DeleteQp {
+            qid,
+            response_segment: self.response_segment.0,
+        })
+        .await?;
+        // Local rings/backlog wiped; in-flight waiters striped to this
+        // qpair fail with `Gone` (recovery collateral, still typed).
+        self.engine.reset_qpair(qid);
+        let resp = self
+            .rpc(Request::CreateQp {
+                entries: w.entries,
+                sq_bus: w.sq_bus,
+                cq_bus: w.cq_bus,
+                response_segment: self.response_segment.0,
+                iv: w.iv,
+                want_qid: qid,
+            })
+            .await?;
+        if resp.qid != qid {
+            return Err(DnvmeError::Mailbox(proto::status::NO_FREE_QPAIR));
+        }
+        Ok(())
+    }
+
+    /// Return the queue pair to the manager (mailbox DeleteQp) and drop
+    /// the shared device reference. Cleanup is best-effort: local
+    /// resources are always released even when the manager is
+    /// unreachable, and the first RPC error is reported after.
+    pub async fn disconnect(&self) -> Result<()> {
+        self.hb_stop.set(true);
+        let mut first_err = None;
         for qid in &self.qids {
-            let seq = {
-                let mut s = self.next_seq.borrow_mut();
-                let v = *s;
-                *s += 1;
-                v
-            };
-            mailbox_rpc(
-                &self.fabric,
-                self.host,
-                slot_addr,
-                resp_region,
-                seq,
-                Request::DeleteQp {
+            let r = self
+                .rpc(Request::DeleteQp {
                     qid: *qid,
                     response_segment: self.response_segment.0,
-                },
-            )
-            .await?;
+                })
+                .await;
+            if let Err(e) = r {
+                first_err.get_or_insert(e);
+            }
         }
         // Release every mapping, window, and segment this client created
         // (LUT slots are a finite resource on the adapters).
@@ -498,8 +764,13 @@ impl ClientDriver {
         if let Some(b) = self.bounce.borrow_mut().take() {
             b.destroy(&self.smartio);
         }
-        self.smartio.release(self.device, self.host)?;
-        Ok(())
+        if let Err(e) = self.smartio.release(self.device, self.host) {
+            first_err.get_or_insert(e.into());
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
     }
 
     async fn submit_inner(&self, bio: Bio) -> BioResult {
@@ -518,8 +789,7 @@ impl ClientDriver {
         let status = match (bio.op, self.cfg.data_path) {
             (BioOp::Flush, _) => {
                 self.stats.borrow_mut().flushes += 1;
-                self.engine
-                    .issue(tag, SqEntry::flush(cid, 1))
+                self.issue_recovered(tag, SqEntry::flush(cid, 1))
                     .await?
                     .status()
             }
@@ -553,7 +823,7 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, prp1, prp2)
                     }
                 };
-                let status = self.engine.issue(tag, sqe).await?.status();
+                let status = self.issue_recovered(tag, sqe).await?.status();
                 if op == BioOp::Read && status.is_success() {
                     // Unstage: partition -> user buffer (the extra copy on
                     // the read completion path).
@@ -597,7 +867,7 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, set.prp1, set.prp2)
                     }
                 };
-                let status = self.engine.issue(tag, sqe).await?.status();
+                let status = self.issue_recovered(tag, sqe).await?.status();
                 // Unmap + IOTLB shootdown.
                 self.smartio.unmap_device(win);
                 self.handle.sleep(self.cfg.iommu_unmap_cost).await;

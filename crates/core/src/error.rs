@@ -17,6 +17,9 @@ pub enum DnvmeError {
     BadMetadata,
     /// The manager rejected a mailbox request (proto status code).
     Mailbox(u32),
+    /// A mailbox round trip exhausted its timeout and retries — the
+    /// manager is unreachable (crashed, partitioned, or wedged).
+    RpcTimeout,
     /// The configured I/O size limits were violated.
     BadConfig(String),
 }
@@ -47,6 +50,7 @@ impl std::fmt::Display for DnvmeError {
             DnvmeError::Admin(e) => write!(f, "admin: {e}"),
             DnvmeError::BadMetadata => write!(f, "bad or missing manager metadata"),
             DnvmeError::Mailbox(code) => write!(f, "manager rejected request (status {code})"),
+            DnvmeError::RpcTimeout => write!(f, "mailbox rpc timed out (manager unreachable)"),
             DnvmeError::BadConfig(s) => write!(f, "bad configuration: {s}"),
         }
     }

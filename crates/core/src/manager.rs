@@ -14,14 +14,14 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use nvme::driver::admin::{AdminQueue, AdminQueueLayout};
+use nvme::driver::admin::{AdminError, AdminQueue, AdminQueueLayout, AdminResult};
 use nvme::spec::command::SQE_SIZE;
 use nvme::spec::completion::CQE_SIZE;
-use pcie::HostId;
-use simcore::SimDuration;
+use pcie::{HostId, MemRegion};
+use simcore::{SimDuration, SimTime};
 use smartio::{AccessHints, BorrowMode, CpuMapping, SegmentId, SmartDeviceId, SmartIo};
 
-use crate::proto::{self, Metadata, Request, Response, SlotMessage};
+use crate::proto::{self, flag, Metadata, Request, Response, SlotMessage};
 
 /// Manager configuration.
 #[derive(Clone, Debug)]
@@ -34,6 +34,14 @@ pub struct ManagerConfig {
     pub mailbox_slots: u32,
     /// CPU cost to process one mailbox request (manager software).
     pub serve_overhead: SimDuration,
+    /// Client lease duration. `None` disables the lease protocol (the
+    /// seed behavior); `Some(d)` makes clients heartbeat and lets the
+    /// manager reclaim the queue pairs of any client silent for `d`.
+    pub lease: Option<SimDuration>,
+    /// Deadline for each admin command issued on a client's behalf. The
+    /// serve loop must never block forever on a wedged controller, so
+    /// every admin await is raced against this.
+    pub admin_timeout: SimDuration,
 }
 
 impl Default for ManagerConfig {
@@ -43,6 +51,8 @@ impl Default for ManagerConfig {
             want_qpairs: 31,
             mailbox_slots: 64,
             serve_overhead: SimDuration::from_nanos(400),
+            lease: None,
+            admin_timeout: SimDuration::from_millis(50),
         }
     }
 }
@@ -56,6 +66,16 @@ pub struct ManagerStats {
     pub qpairs_deleted: u64,
     /// Mailbox requests refused.
     pub requests_rejected: u64,
+    /// Queue pairs reclaimed from crashed/silent clients (lease expiry).
+    pub qpairs_reclaimed: u64,
+    /// Clients evicted by the lease reaper.
+    pub clients_evicted: u64,
+    /// Cached responses re-sent for duplicate (retried) requests.
+    pub retries_resent: u64,
+    /// Abort commands issued on behalf of clients.
+    pub aborts_issued: u64,
+    /// Controller resets performed (recovery ladder rung 4).
+    pub controller_resets: u64,
 }
 
 struct QidPool {
@@ -79,6 +99,20 @@ impl QidPool {
             })
     }
 
+    /// Allocate a *specific* qid (recovery re-creates a queue pair under
+    /// its old id). Fails if the qid is taken by anyone else; allocating
+    /// a qid the slot already owns is a no-op success (idempotent retry).
+    fn alloc_specific(&mut self, qid: u16, slot: usize) -> bool {
+        match self.owners.get_mut(qid as usize) {
+            Some(o) if o.is_none() => {
+                *o = Some(slot);
+                true
+            }
+            Some(o) => *o == Some(slot),
+            None => false,
+        }
+    }
+
     fn free(&mut self, qid: u16, slot: usize) -> bool {
         match self.owners.get_mut(qid as usize) {
             Some(o) if *o == Some(slot) => {
@@ -87,6 +121,25 @@ impl QidPool {
             }
             _ => false,
         }
+    }
+
+    fn owner(&self, qid: u16) -> Option<usize> {
+        self.owners.get(qid as usize).copied().flatten()
+    }
+
+    /// All qids a slot currently owns (lease reclamation).
+    fn owned_by(&self, slot: usize) -> Vec<u16> {
+        (1..self.owners.len())
+            .filter(|&q| self.owners[q] == Some(slot))
+            .map(|q| q as u16)
+            .collect()
+    }
+
+    /// Revoke every grant (controller reset voids all queue pairs).
+    fn clear(&mut self) -> usize {
+        let n = self.in_use();
+        self.owners.iter_mut().for_each(|o| *o = None);
+        n
     }
 
     fn in_use(&self) -> usize {
@@ -108,6 +161,13 @@ pub struct Manager {
     qids: RefCell<QidPool>,
     /// Cached CPU mappings of client response segments.
     resp_maps: RefCell<HashMap<u32, CpuMapping>>,
+    /// Which response segment each slot last used (reclamation unmaps it).
+    slot_resp_seg: RefCell<HashMap<usize, u32>>,
+    /// Last time each slot was heard from (any decoded message counts).
+    leases: RefCell<HashMap<usize, SimTime>>,
+    /// Register window + ring layout, kept for controller re-init.
+    bar_region: MemRegion,
+    admin_layout: AdminQueueLayout,
     stats: RefCell<ManagerStats>,
     granted_qpairs: u16,
 }
@@ -158,18 +218,14 @@ impl Manager {
         let asq_bus = smartio.map_for_device(device, asq_seg)?.bus_base;
         let acq_bus = smartio.map_for_device(device, acq_seg)?.bus_base;
 
-        let mut admin = AdminQueue::init(
-            &fabric,
-            bar_map.region,
-            AdminQueueLayout {
-                asq_cpu: asq_cpu.region,
-                asq_bus,
-                acq_cpu: acq_region,
-                acq_bus,
-                entries: cfg.admin_entries,
-            },
-        )
-        .await?;
+        let admin_layout = AdminQueueLayout {
+            asq_cpu: asq_cpu.region,
+            asq_bus,
+            acq_cpu: acq_region,
+            acq_bus,
+            entries: cfg.admin_entries,
+        };
+        let mut admin = AdminQueue::init(&fabric, bar_map.region, admin_layout).await?;
 
         // Identify + queue negotiation.
         let idbuf_seg = smartio.create_segment(host, 4096)?;
@@ -193,6 +249,7 @@ impl Manager {
             mailbox_segment: mailbox_segment.0,
             bar_segment: bar_seg.0,
             mailbox_slots: cfg.mailbox_slots,
+            lease_nanos: cfg.lease.map(SimDuration::as_nanos).unwrap_or(0),
         };
         let meta_region = smartio.segment_region(meta_segment)?;
         fabric.mem_write(meta_region.host, meta_region.addr, &metadata.encode())?;
@@ -212,12 +269,20 @@ impl Manager {
             admin: RefCell::new(admin),
             qids: RefCell::new(QidPool::new(granted)),
             resp_maps: RefCell::new(HashMap::new()),
+            slot_resp_seg: RefCell::new(HashMap::new()),
+            leases: RefCell::new(HashMap::new()),
+            bar_region: bar_map.region,
+            admin_layout,
             stats: RefCell::new(ManagerStats::default()),
             granted_qpairs: granted,
             cfg,
         });
         let m2 = mgr.clone();
         fabric.handle().spawn(async move { m2.serve().await });
+        if mgr.cfg.lease.is_some() {
+            let m3 = mgr.clone();
+            fabric.handle().spawn(async move { m3.reap_loop().await });
+        }
         Ok(mgr)
     }
 
@@ -260,6 +325,8 @@ impl Manager {
         let watch = fabric.watch(region.host, region.addr, region.len);
         let slots = self.cfg.mailbox_slots as usize;
         let mut last_seq = vec![0u32; slots];
+        let mut last_retry = vec![0u32; slots];
+        let mut cached: Vec<Option<Response>> = vec![None; slots];
         loop {
             watch.notify.notified().await;
             #[allow(clippy::needless_range_loop)] // slot also computes the offset
@@ -278,10 +345,26 @@ impl Manager {
                 let Some(msg) = SlotMessage::decode(&raw) else {
                     continue;
                 };
-                if msg.seq == 0 || msg.seq == last_seq[slot] {
+                if msg.seq == 0 {
+                    continue;
+                }
+                if msg.seq == last_seq[slot] {
+                    // Duplicate seq: either nothing new, or the client
+                    // retried because our response got lost. A bumped
+                    // retry counter asks for the cached answer again —
+                    // the request is NOT re-executed (idempotent retry).
+                    if msg.retry != last_retry[slot] {
+                        last_retry[slot] = msg.retry;
+                        if let Some(resp) = cached[slot] {
+                            self.touch_lease(slot);
+                            self.stats.borrow_mut().retries_resent += 1;
+                            self.respond(msg, resp).await;
+                        }
+                    }
                     continue;
                 }
                 last_seq[slot] = msg.seq;
+                last_retry[slot] = msg.retry;
                 // Accepting a fresh seq acquires the client's posted
                 // request write (happens-before edge, mirroring the
                 // client's acquire on the response).
@@ -291,11 +374,26 @@ impl Manager {
                     region.addr.offset((slot * proto::MAILBOX_SLOT) as u64),
                     proto::MAILBOX_SLOT as u64,
                 );
+                self.touch_lease(slot);
+                self.slot_resp_seg
+                    .borrow_mut()
+                    .insert(slot, msg.request.response_segment());
                 // Manager software cost per request.
                 fabric.handle().sleep(self.cfg.serve_overhead).await;
                 let resp = self.handle(slot, msg.request).await;
+                cached[slot] = Some(resp);
                 let ok = resp.status == proto::status::OK;
-                self.respond(msg, resp).await;
+                let delivered = self.respond(msg, resp).await;
+                if !delivered && ok {
+                    // The client granted a queue pair never got told about
+                    // it (response segment unmappable — client vanished
+                    // mid-handshake). Roll the grant back so the qid and
+                    // the slot don't leak until lease expiry.
+                    if let Request::CreateQp { .. } = msg.request {
+                        self.rollback_create(slot, resp.qid).await;
+                        cached[slot] = None;
+                    }
+                }
                 // A departed client's response-segment mapping is dead
                 // weight on the manager's adapter: release it.
                 if ok {
@@ -312,115 +410,261 @@ impl Manager {
         }
     }
 
+    fn touch_lease(&self, slot: usize) {
+        let now = self.smartio.fabric().handle().now();
+        self.leases.borrow_mut().insert(slot, now);
+    }
+
+    /// Undo a CreateQp whose grant response could not be delivered: delete
+    /// the controller-side queues and return the qid to the pool.
+    #[allow(clippy::await_holding_refcell_ref)] // serial serve loop
+    async fn rollback_create(&self, slot: usize, qid: u16) {
+        if qid == 0 || !self.qids.borrow_mut().free(qid, slot) {
+            return;
+        }
+        let handle = self.smartio.fabric().handle();
+        let _ = {
+            let mut admin = self.admin.borrow_mut();
+            simcore::timeout(&handle, self.cfg.admin_timeout, admin.delete_io_qpair(qid)).await
+        };
+        let mut st = self.stats.borrow_mut();
+        st.qpairs_created -= 1;
+        st.requests_rejected += 1;
+    }
+
+    fn reject(&self, status: u32, qid: u16) -> Response {
+        self.stats.borrow_mut().requests_rejected += 1;
+        Response {
+            seq: 0,
+            status,
+            qid,
+            flags: 0,
+        }
+    }
+
     /// The admin queue is used exclusively by the (single, serial) serve
     /// loop; holding its RefCell borrow across the admin awaits is sound.
+    /// Every admin await is raced against `admin_timeout` so a wedged or
+    /// unreachable controller degrades to ADMIN_FAILED, never a hang.
     #[allow(clippy::await_holding_refcell_ref)]
     async fn handle(&self, slot: usize, req: Request) -> Response {
+        let handle = self.smartio.fabric().handle();
+        let deadline = self.cfg.admin_timeout;
         match req {
             Request::CreateQp {
                 entries,
                 sq_bus,
                 cq_bus,
                 iv,
+                want_qid,
                 ..
             } => {
                 if entries < 2 {
-                    self.stats.borrow_mut().requests_rejected += 1;
-                    return Response {
-                        seq: 0,
-                        status: proto::status::BAD_REQUEST,
-                        qid: 0,
-                    };
+                    return self.reject(proto::status::BAD_REQUEST, 0);
                 }
-                let Some(qid) = self.qids.borrow_mut().alloc(slot) else {
-                    self.stats.borrow_mut().requests_rejected += 1;
-                    return Response {
-                        seq: 0,
-                        status: proto::status::NO_FREE_QPAIR,
-                        qid: 0,
-                    };
+                let qid = if want_qid != 0 {
+                    if self.qids.borrow_mut().alloc_specific(want_qid, slot) {
+                        want_qid
+                    } else {
+                        return self.reject(proto::status::NO_FREE_QPAIR, 0);
+                    }
+                } else {
+                    match self.qids.borrow_mut().alloc(slot) {
+                        Some(q) => q,
+                        None => return self.reject(proto::status::NO_FREE_QPAIR, 0),
+                    }
                 };
                 // Privileged admin operation on behalf of the client. The
                 // paper's clients poll (iv = None); the interrupt-
-                // forwarding extension passes a vector.
+                // forwarding extension passes a vector (== qid).
                 let r = {
                     let mut admin = self.admin.borrow_mut();
-                    // The interrupt extension assigns vector == qid.
-                    admin
-                        .create_io_qpair(qid, entries, sq_bus, cq_bus, iv.map(|_| qid))
-                        .await
+                    simcore::timeout(
+                        &handle,
+                        deadline,
+                        admin.create_io_qpair(qid, entries, sq_bus, cq_bus, iv.map(|_| qid)),
+                    )
+                    .await
                 };
                 match r {
-                    Ok(()) => {
+                    Ok(Ok(())) => {
                         self.stats.borrow_mut().qpairs_created += 1;
                         Response {
                             seq: 0,
                             status: proto::status::OK,
                             qid,
+                            flags: 0,
                         }
                     }
-                    Err(_) => {
+                    _ => {
                         self.qids.borrow_mut().free(qid, slot);
-                        self.stats.borrow_mut().requests_rejected += 1;
-                        Response {
-                            seq: 0,
-                            status: proto::status::ADMIN_FAILED,
-                            qid: 0,
-                        }
+                        self.reject(proto::status::ADMIN_FAILED, 0)
                     }
                 }
             }
             Request::DeleteQp { qid, .. } => {
                 if !self.qids.borrow_mut().free(qid, slot) {
-                    self.stats.borrow_mut().requests_rejected += 1;
-                    return Response {
-                        seq: 0,
-                        status: proto::status::NOT_OWNER,
-                        qid,
-                    };
+                    return self.reject(proto::status::NOT_OWNER, qid);
                 }
                 let r = {
                     let mut admin = self.admin.borrow_mut();
-                    admin.delete_io_qpair(qid).await
+                    simcore::timeout(&handle, deadline, admin.delete_io_qpair(qid)).await
                 };
                 match r {
-                    Ok(()) => {
+                    Ok(Ok(())) => {
                         self.stats.borrow_mut().qpairs_deleted += 1;
                         Response {
                             seq: 0,
                             status: proto::status::OK,
                             qid,
+                            flags: 0,
                         }
                     }
-                    Err(_) => Response {
+                    _ => Response {
                         seq: 0,
                         status: proto::status::ADMIN_FAILED,
                         qid,
+                        flags: 0,
                     },
                 }
+            }
+            Request::Abort { qid, cid, .. } => {
+                // Only the owner of the queue may abort commands on it.
+                if self.qids.borrow().owner(qid) != Some(slot) {
+                    return self.reject(proto::status::NOT_OWNER, qid);
+                }
+                let r = {
+                    let mut admin = self.admin.borrow_mut();
+                    simcore::timeout(&handle, deadline, admin.abort(qid, cid)).await
+                };
+                match r {
+                    Ok(Ok(aborted)) => {
+                        self.stats.borrow_mut().aborts_issued += 1;
+                        Response {
+                            seq: 0,
+                            status: proto::status::OK,
+                            qid,
+                            flags: if aborted { flag::ABORTED } else { 0 },
+                        }
+                    }
+                    _ => Response {
+                        seq: 0,
+                        status: proto::status::ADMIN_FAILED,
+                        qid,
+                        flags: 0,
+                    },
+                }
+            }
+            Request::Heartbeat { .. } => Response {
+                // The lease was refreshed when the message was accepted.
+                seq: 0,
+                status: proto::status::OK,
+                qid: 0,
+                flags: 0,
+            },
+            Request::Reset { .. } => match self.reset_controller().await {
+                Ok(()) => Response {
+                    seq: 0,
+                    status: proto::status::OK,
+                    qid: 0,
+                    flags: 0,
+                },
+                Err(_) => Response {
+                    seq: 0,
+                    status: proto::status::ADMIN_FAILED,
+                    qid: 0,
+                    flags: 0,
+                },
+            },
+        }
+    }
+
+    /// Recovery ladder rung 4: full controller re-initialization. Every
+    /// granted queue pair is revoked — clients other than the requester
+    /// learn this through NOT_OWNER / timed-out I/O, the typed-error path.
+    #[allow(clippy::await_holding_refcell_ref)]
+    async fn reset_controller(&self) -> AdminResult<()> {
+        let fabric = self.smartio.fabric().clone();
+        let handle = fabric.handle();
+        self.qids.borrow_mut().clear();
+        let mut admin = self.admin.borrow_mut();
+        let r = simcore::timeout(
+            &handle,
+            self.cfg.admin_timeout,
+            AdminQueue::init(&fabric, self.bar_region, self.admin_layout),
+        )
+        .await;
+        match r {
+            Ok(Ok(fresh)) => {
+                *admin = fresh;
+                self.stats.borrow_mut().controller_resets += 1;
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(simcore::Elapsed) => Err(AdminError::ControllerFatal),
+        }
+    }
+
+    /// Lease reaper: periodically reclaim the queue pairs, mappings, and
+    /// segments of clients that stopped heartbeating (§V crash recovery).
+    #[allow(clippy::await_holding_refcell_ref)]
+    async fn reap_loop(self: Rc<Self>) {
+        let Some(lease) = self.cfg.lease else { return };
+        let fabric = self.smartio.fabric().clone();
+        let handle = fabric.handle();
+        loop {
+            handle.sleep(lease / 2).await;
+            let now = handle.now();
+            let expired: Vec<usize> = self
+                .leases
+                .borrow()
+                .iter()
+                .filter(|&(_, &seen)| now.since(seen) > lease)
+                .map(|(&slot, _)| slot)
+                .collect();
+            for slot in expired {
+                self.leases.borrow_mut().remove(&slot);
+                let owned = self.qids.borrow().owned_by(slot);
+                for qid in owned {
+                    let _ = {
+                        let mut admin = self.admin.borrow_mut();
+                        simcore::timeout(
+                            &handle,
+                            self.cfg.admin_timeout,
+                            admin.delete_io_qpair(qid),
+                        )
+                        .await
+                    };
+                    self.qids.borrow_mut().free(qid, slot);
+                    self.stats.borrow_mut().qpairs_reclaimed += 1;
+                }
+                // Drop the response-segment mapping and let SmartIO sweep
+                // everything else the client owned (device-side rings,
+                // bounce partitions, LUT windows, borrow references).
+                if let Some(seg) = self.slot_resp_seg.borrow_mut().remove(&slot) {
+                    if let Some(m) = self.resp_maps.borrow_mut().remove(&seg) {
+                        self.smartio.unmap_cpu(m);
+                    }
+                }
+                self.smartio.purge_owner(HostId(slot as u16));
+                self.stats.borrow_mut().clients_evicted += 1;
             }
         }
     }
 
     /// Write the response into the client's response segment (through an
-    /// NTB mapping if the client is remote — a posted write).
-    async fn respond(&self, msg: SlotMessage, mut resp: Response) {
+    /// NTB mapping if the client is remote — a posted write). Returns
+    /// whether the response could be delivered at all.
+    async fn respond(&self, msg: SlotMessage, mut resp: Response) -> bool {
         resp.seq = msg.seq;
-        let seg = match msg.request {
-            Request::CreateQp {
-                response_segment, ..
-            } => response_segment,
-            Request::DeleteQp {
-                response_segment, ..
-            } => response_segment,
-        };
+        let seg = msg.request.response_segment();
         let mapping = {
             let mut maps = self.resp_maps.borrow_mut();
             match maps.get(&seg) {
                 Some(m) => *m,
                 None => {
                     let Ok(m) = self.smartio.map_for_cpu(self.host, SegmentId(seg)) else {
-                        return; // client vanished; nothing to answer
+                        return false; // client vanished; nothing to answer
                     };
                     maps.insert(seg, m);
                     m
@@ -428,9 +672,10 @@ impl Manager {
             }
         };
         let fabric = self.smartio.fabric();
-        let _ = fabric
+        fabric
             .cpu_write(mapping.region.host, mapping.region.addr, &resp.encode())
-            .await;
+            .await
+            .is_ok()
     }
 }
 
@@ -457,5 +702,52 @@ mod tests {
         assert_eq!(p.alloc(0), Some(1));
         assert_eq!(p.alloc(0), Some(2));
         assert_eq!(p.alloc(0), None);
+    }
+
+    /// Regression for the CreateQp leak path: a qid allocated for a
+    /// request that subsequently fails (admin error, or a client that
+    /// never sees the grant) must go back to the pool — repeated failed
+    /// creates must not exhaust it.
+    #[test]
+    fn failed_create_path_never_leaks_qids() {
+        let mut p = QidPool::new(2);
+        for _ in 0..100 {
+            let Some(qid) = p.alloc(7) else {
+                panic!("pool must not be exhausted by failures");
+            };
+            // Failure path: the same rollback `handle`/`rollback_create` run.
+            assert!(p.free(qid, 7), "rollback frees what alloc granted");
+        }
+        assert_eq!(p.in_use(), 0);
+        // Pool still fully usable afterwards.
+        assert_eq!(p.alloc(1), Some(1));
+        assert_eq!(p.alloc(2), Some(2));
+    }
+
+    #[test]
+    fn alloc_specific_for_recovery() {
+        let mut p = QidPool::new(3);
+        assert_eq!(p.alloc(0), Some(1));
+        assert_eq!(p.alloc(1), Some(2));
+        // Recreate under the old id after the owner deleted it.
+        assert!(p.free(2, 1));
+        assert!(p.alloc_specific(2, 1), "freed qid re-grantable by id");
+        assert!(p.alloc_specific(2, 1), "idempotent for the same owner");
+        assert!(!p.alloc_specific(2, 0), "taken qid refused to others");
+        assert!(!p.alloc_specific(9, 0), "out-of-range qid refused");
+        assert_eq!(p.owner(2), Some(1));
+    }
+
+    #[test]
+    fn owned_by_and_clear_reclaim_everything() {
+        let mut p = QidPool::new(4);
+        assert_eq!(p.alloc(3), Some(1));
+        assert_eq!(p.alloc(5), Some(2));
+        assert_eq!(p.alloc(3), Some(3));
+        assert_eq!(p.owned_by(3), vec![1, 3]);
+        assert_eq!(p.owned_by(5), vec![2]);
+        assert_eq!(p.clear(), 3, "controller reset revokes all grants");
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.owned_by(3), Vec::<u16>::new());
     }
 }

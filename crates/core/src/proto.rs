@@ -39,6 +39,10 @@ pub struct Metadata {
     pub bar_segment: u32,
     /// Number of mailbox slots (one per host).
     pub mailbox_slots: u32,
+    /// Client lease duration in nanoseconds; 0 disables the lease
+    /// protocol. When non-zero, a client that stops heartbeating for this
+    /// long is presumed crashed and its queue pairs are reclaimed.
+    pub lease_nanos: u64,
 }
 
 impl Metadata {
@@ -53,6 +57,7 @@ impl Metadata {
         b[24..28].copy_from_slice(&self.mailbox_segment.to_le_bytes());
         b[28..32].copy_from_slice(&self.bar_segment.to_le_bytes());
         b[32..36].copy_from_slice(&self.mailbox_slots.to_le_bytes());
+        b[36..44].copy_from_slice(&self.lease_nanos.to_le_bytes());
         b
     }
 
@@ -67,6 +72,7 @@ impl Metadata {
             mailbox_segment: u32::from_le_bytes(b[24..28].try_into().unwrap()),
             bar_segment: u32::from_le_bytes(b[28..32].try_into().unwrap()),
             mailbox_slots: u32::from_le_bytes(b[32..36].try_into().unwrap()),
+            lease_nanos: u64::from_le_bytes(b[36..44].try_into().unwrap()),
         }
     }
 
@@ -89,19 +95,42 @@ pub enum Request {
         cq_bus: u64,
         response_segment: u32,
         iv: Option<u16>,
+        /// Ask for this specific queue id (0 = any free qid). Recovery
+        /// uses this to re-create a reset queue pair under its old id so
+        /// the client's doorbell/ring wiring stays valid.
+        want_qid: u16,
     },
     /// Delete a previously granted queue pair.
     DeleteQp { qid: u16, response_segment: u32 },
+    /// Abort command `cid` on the client's own queue `qid` (recovery
+    /// ladder rung 2 — only the manager's admin queue may issue Abort).
+    Abort {
+        qid: u16,
+        cid: u16,
+        response_segment: u32,
+    },
+    /// Lease keep-alive; carries no other payload.
+    Heartbeat { response_segment: u32 },
+    /// Controller reset (recovery ladder rung 4): re-initialize the
+    /// controller and revoke every granted queue pair.
+    Reset { response_segment: u32 },
 }
 
 const OP_CREATE: u32 = 1;
 const OP_DELETE: u32 = 2;
+const OP_ABORT: u32 = 3;
+const OP_HEARTBEAT: u32 = 4;
+const OP_RESET: u32 = 5;
 
 /// A stamped request as written into a mailbox slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SlotMessage {
     /// Monotonically increasing per slot; a new value marks a new request.
     pub seq: u32,
+    /// Retransmission counter: a client that times out waiting for the
+    /// response rewrites the *same* request with `retry` bumped, and the
+    /// manager answers with its cached response (idempotent retry).
+    pub retry: u32,
     /// The request payload.
     pub request: Request,
 }
@@ -118,6 +147,7 @@ impl SlotMessage {
                 cq_bus,
                 response_segment,
                 iv,
+                want_qid,
             } => {
                 b[8..12].copy_from_slice(&OP_CREATE.to_le_bytes());
                 b[12..14].copy_from_slice(&entries.to_le_bytes());
@@ -125,6 +155,7 @@ impl SlotMessage {
                 b[16..24].copy_from_slice(&sq_bus.to_le_bytes());
                 b[24..32].copy_from_slice(&cq_bus.to_le_bytes());
                 b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+                b[36..38].copy_from_slice(&want_qid.to_le_bytes());
             }
             Request::DeleteQp {
                 qid,
@@ -134,7 +165,29 @@ impl SlotMessage {
                 b[12..14].copy_from_slice(&qid.to_le_bytes());
                 b[32..36].copy_from_slice(&response_segment.to_le_bytes());
             }
+            Request::Abort {
+                qid,
+                cid,
+                response_segment,
+            } => {
+                b[8..12].copy_from_slice(&OP_ABORT.to_le_bytes());
+                b[12..14].copy_from_slice(&qid.to_le_bytes());
+                b[14..16].copy_from_slice(&cid.to_le_bytes());
+                b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+            }
+            Request::Heartbeat { response_segment } => {
+                b[8..12].copy_from_slice(&OP_HEARTBEAT.to_le_bytes());
+                b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+            }
+            Request::Reset { response_segment } => {
+                b[8..12].copy_from_slice(&OP_RESET.to_le_bytes());
+                b[32..36].copy_from_slice(&response_segment.to_le_bytes());
+            }
         }
+        // The retry counter sits outside the torn-write guard: a torn
+        // retry value can at worst trigger (or miss) one duplicate
+        // response re-send, which is idempotent by construction.
+        b[60..64].copy_from_slice(&self.retry.to_le_bytes());
         // Sequence word first in memory order would race the payload on a
         // real fabric; we write it last within the slot and the client
         // issues it in one posted burst, which PCIe keeps ordered.
@@ -160,15 +213,47 @@ impl SlotMessage {
                     cq_bus: u64::from_le_bytes(b[24..32].try_into().unwrap()),
                     response_segment,
                     iv: (raw_iv != 0xFFFF).then_some(raw_iv),
+                    want_qid: u16::from_le_bytes(b[36..38].try_into().unwrap()),
                 }
             }
             OP_DELETE => Request::DeleteQp {
                 qid: u16::from_le_bytes(b[12..14].try_into().unwrap()),
                 response_segment,
             },
+            OP_ABORT => Request::Abort {
+                qid: u16::from_le_bytes(b[12..14].try_into().unwrap()),
+                cid: u16::from_le_bytes(b[14..16].try_into().unwrap()),
+                response_segment,
+            },
+            OP_HEARTBEAT => Request::Heartbeat { response_segment },
+            OP_RESET => Request::Reset { response_segment },
             _ => return None,
         };
-        Some(SlotMessage { seq, request })
+        let retry = u32::from_le_bytes(b[60..64].try_into().unwrap());
+        Some(SlotMessage {
+            seq,
+            retry,
+            request,
+        })
+    }
+}
+
+impl Request {
+    /// The response segment every request variant carries.
+    pub fn response_segment(&self) -> u32 {
+        match *self {
+            Request::CreateQp {
+                response_segment, ..
+            }
+            | Request::DeleteQp {
+                response_segment, ..
+            }
+            | Request::Abort {
+                response_segment, ..
+            }
+            | Request::Heartbeat { response_segment }
+            | Request::Reset { response_segment } => response_segment,
+        }
     }
 }
 
@@ -181,6 +266,16 @@ pub struct Response {
     pub status: u32,
     /// Granted queue id (CreateQp).
     pub qid: u16,
+    /// Per-operation detail bits (see [`flag`]).
+    pub flags: u16,
+}
+
+/// Bits of [`Response::flags`].
+pub mod flag {
+    /// Abort: the controller actually killed the command (CQE DW0 bit 0
+    /// clear, NVMe 1.3 §5.1). Unset means the command had already
+    /// completed or was never seen.
+    pub const ABORTED: u16 = 1;
 }
 
 /// Response status codes.
@@ -203,6 +298,7 @@ impl Response {
         let mut b = [0u8; RESPONSE_LEN];
         b[4..8].copy_from_slice(&self.status.to_le_bytes());
         b[8..10].copy_from_slice(&self.qid.to_le_bytes());
+        b[10..12].copy_from_slice(&self.flags.to_le_bytes());
         b[0..4].copy_from_slice(&self.seq.to_le_bytes());
         b
     }
@@ -213,6 +309,7 @@ impl Response {
             seq: u32::from_le_bytes(b[0..4].try_into().unwrap()),
             status: u32::from_le_bytes(b[4..8].try_into().unwrap()),
             qid: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            flags: u16::from_le_bytes(b[10..12].try_into().unwrap()),
         }
     }
 }
@@ -232,6 +329,7 @@ mod tests {
             mailbox_segment: 7,
             bar_segment: 3,
             mailbox_slots: 64,
+            lease_nanos: 5_000_000,
         };
         let dec = Metadata::decode(&m.encode());
         assert_eq!(dec, m);
@@ -248,23 +346,27 @@ mod tests {
     fn create_request_roundtrip() {
         let msg = SlotMessage {
             seq: 9,
+            retry: 0,
             request: Request::CreateQp {
                 entries: 256,
                 sq_bus: 0xDEAD_0000,
                 cq_bus: 0xBEEF_0000,
                 response_segment: 12,
                 iv: None,
+                want_qid: 0,
             },
         };
         assert_eq!(SlotMessage::decode(&msg.encode()), Some(msg));
         let msg_iv = SlotMessage {
             seq: 10,
+            retry: 2,
             request: Request::CreateQp {
                 entries: 8,
                 sq_bus: 1,
                 cq_bus: 2,
                 response_segment: 3,
                 iv: Some(7),
+                want_qid: 5,
             },
         };
         assert_eq!(SlotMessage::decode(&msg_iv.encode()), Some(msg_iv));
@@ -274,6 +376,7 @@ mod tests {
     fn delete_request_roundtrip() {
         let msg = SlotMessage {
             seq: 10,
+            retry: 0,
             request: Request::DeleteQp {
                 qid: 5,
                 response_segment: 12,
@@ -283,9 +386,35 @@ mod tests {
     }
 
     #[test]
+    fn recovery_request_roundtrips() {
+        for req in [
+            Request::Abort {
+                qid: 3,
+                cid: 0x1234,
+                response_segment: 9,
+            },
+            Request::Heartbeat {
+                response_segment: 9,
+            },
+            Request::Reset {
+                response_segment: 9,
+            },
+        ] {
+            let msg = SlotMessage {
+                seq: 21,
+                retry: 1,
+                request: req,
+            };
+            assert_eq!(SlotMessage::decode(&msg.encode()), Some(msg));
+            assert_eq!(req.response_segment(), 9);
+        }
+    }
+
+    #[test]
     fn torn_write_rejected() {
         let msg = SlotMessage {
             seq: 3,
+            retry: 0,
             request: Request::DeleteQp {
                 qid: 1,
                 response_segment: 2,
@@ -309,6 +438,7 @@ mod tests {
             seq: 4,
             status: status::OK,
             qid: 17,
+            flags: flag::ABORTED,
         };
         assert_eq!(Response::decode(&r.encode()), r);
     }

@@ -30,7 +30,7 @@ use std::rc::Rc;
 use blklayer::{Bio, BlockDevice};
 use cluster::{Calibration, Scenario, ScenarioKind};
 use nvme::oracle::{self, LifecycleOracle, LifecycleViolation};
-use pcie::{Fabric, HostId};
+use pcie::{Fabric, FaultPlan, HostId};
 use simcore::sched::{ChoiceKind, ChoiceRecord};
 use simcore::ReplayScheduler;
 
@@ -277,6 +277,12 @@ pub struct ScenarioProgram {
     pub clients: usize,
     /// Write+read-back pairs per client.
     pub ops_per_client: usize,
+    /// Fault plan installed after bring-up, identically on every explored
+    /// schedule. When set, the clients run with the recovery ladder armed
+    /// (deadlines + mailbox retries), and a workload op failing with a
+    /// *typed* error is acceptable — the oracle still checks every
+    /// schedule for lifecycle violations, and a hang still fails the run.
+    pub fault: Option<FaultPlan>,
 }
 
 impl ScenarioProgram {
@@ -291,6 +297,7 @@ impl ScenarioProgram {
             kind,
             clients,
             ops_per_client: 1,
+            fault: None,
         }
     }
 
@@ -307,8 +314,21 @@ impl ScenarioProgram {
 
     /// Execute one schedule of this scenario program.
     pub fn run(&self, prefix: &[u32]) -> RunOutcome {
-        let calib = Calibration::paper();
+        // With a fault installed, the ladder must be armed or a dropped
+        // CQE would hang the run; the lease stays off so heartbeats don't
+        // inflate the schedule space the explorer has to drain.
+        let calib = if self.fault.is_some() {
+            let mut c = Calibration::fault_recovery();
+            c.manager.lease = None;
+            c
+        } else {
+            Calibration::paper()
+        };
         let sc = Scenario::build(self.kind.clone(), &calib);
+        if let Some(plan) = &self.fault {
+            sc.fabric.set_fault_plan(plan.clone());
+        }
+        let tolerate_errors = self.fault.is_some();
         let n = self.clients.min(sc.clients.len()).max(1);
         let ops = self.ops_per_client;
         let replay = ReplayScheduler::new(prefix.to_vec());
@@ -319,21 +339,20 @@ impl ScenarioProgram {
         let fabric = sc.fabric.clone();
         let targets: Vec<_> = sc.clients.iter().take(n).cloned().collect();
         let hd = sc.rt.handle();
-        let mismatches =
-            sc.rt.block_on(async move {
-                let mut joins = Vec::new();
-                for (i, (host, dev)) in targets.into_iter().enumerate() {
-                    let fabric = fabric.clone();
-                    joins.push(hd.spawn(async move {
-                        client_workload(fabric, host, dev, i as u64, ops).await
-                    }));
-                }
-                let mut total = 0u64;
-                for j in joins {
-                    total += j.await;
-                }
-                total
-            });
+        let mismatches = sc.rt.block_on(async move {
+            let mut joins = Vec::new();
+            for (i, (host, dev)) in targets.into_iter().enumerate() {
+                let fabric = fabric.clone();
+                joins.push(hd.spawn(async move {
+                    client_workload(fabric, host, dev, i as u64, ops, tolerate_errors).await
+                }));
+            }
+            let mut total = 0u64;
+            for j in joins {
+                total += j.await;
+            }
+            total
+        });
         sc.rt.clear_scheduler();
         drop(guard);
         let mut violations = checker.take_violations();
@@ -356,13 +375,17 @@ impl ScenarioProgram {
 
 /// Per-client job: write a distinct pattern, read it back, count
 /// mismatched blocks. Fully deterministic — no RNG — so every divergence
-/// across schedules is the schedule's doing.
+/// across schedules is the schedule's doing. With `tolerate_errors` (fault
+/// exploration) a submit may fail with a typed error after the recovery
+/// ladder ran dry — the op is skipped, not counted as a mismatch; a hang
+/// would still stall the whole run and is never tolerated.
 async fn client_workload(
     fabric: Fabric,
     host: HostId,
     dev: Rc<dyn BlockDevice>,
     id: u64,
     ops: usize,
+    tolerate_errors: bool,
 ) -> u64 {
     const BLOCKS: u32 = 2;
     let len = (BLOCKS as usize) * 512;
@@ -373,9 +396,15 @@ async fn client_workload(
         let fill = 0x40u8 ^ (id as u8) ^ (op as u8).rotate_left(3);
         let pattern = vec![fill; len];
         fabric.mem_write(host, buf.addr, &pattern).unwrap();
-        dev.submit(Bio::write(lba, BLOCKS, buf)).await.unwrap();
+        if let Err(e) = dev.submit(Bio::write(lba, BLOCKS, buf)).await {
+            assert!(tolerate_errors, "fault-free write failed: {e}");
+            continue;
+        }
         fabric.mem_write(host, buf.addr, &vec![0xEE; len]).unwrap();
-        dev.submit(Bio::read(lba, BLOCKS, buf)).await.unwrap();
+        if let Err(e) = dev.submit(Bio::read(lba, BLOCKS, buf)).await {
+            assert!(tolerate_errors, "fault-free read failed: {e}");
+            continue;
+        }
         let mut got = vec![0u8; len];
         fabric.mem_read(host, buf.addr, &mut got).unwrap();
         if got != pattern {

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 
 use cluster::ScenarioKind;
 use explore::{explore, fixtures, ExploreConfig, ExploreResult, ScenarioProgram, ScheduleToken};
+use pcie::FaultPlan;
 
 const USAGE: &str = "\
 dnvme-explore: bounded schedule-space exploration with the NVMe
@@ -38,9 +39,15 @@ bounds:
   --ops N             write+read pairs per client (default 1)
   --clients N         clients to drive (default: scenario's natural size)
 
+faults:
+  --faults N          sweep N single-fault runs: run k drops the k-th CQE
+                      (f1:drop@k/cqe) with the recovery ladder armed, and
+                      the whole sweep must stay conformant
+  --fault-plan TOKEN  explore under one specific f1: fault plan
+
 replay:
   --replay TOKEN      run exactly one schedule from a failure token and
-                      report its violations
+                      report its violations (combines with --fault-plan)
 ";
 
 struct Cli {
@@ -54,6 +61,8 @@ struct Cli {
     prune: bool,
     ops: usize,
     clients: Option<usize>,
+    faults: Option<usize>,
+    fault_plan: Option<String>,
     replay: Option<String>,
 }
 
@@ -80,6 +89,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         prune: true,
         ops: 1,
         clients: None,
+        faults: None,
+        fault_plan: None,
         replay: None,
     };
     let mut it = args.iter();
@@ -122,6 +133,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .map_err(|e| format!("--clients: {e}"))?,
                 )
             }
+            "--faults" => {
+                cli.faults = Some(
+                    value("--faults")?
+                        .parse()
+                        .map_err(|e| format!("--faults: {e}"))?,
+                )
+            }
+            "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")?),
             "--replay" => cli.replay = Some(value("--replay")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -212,31 +231,55 @@ fn run() -> Result<bool, String> {
     } else {
         return Err("pick a target: --scenario, --all, or --fixture".into());
     };
+    // One entry per run: `None` is the fault-free exploration; --faults N
+    // sweeps N plans each dropping a different CQE ordinal; --fault-plan
+    // explores under exactly the given plan.
+    let plans: Vec<Option<FaultPlan>> = if let Some(n) = cli.faults {
+        if cli.fault_plan.is_some() {
+            return Err("--faults and --fault-plan are mutually exclusive".into());
+        }
+        (0..n as u64)
+            .map(|k| Some(FaultPlan::drop_nth_cqe(k)))
+            .collect()
+    } else if let Some(token) = &cli.fault_plan {
+        vec![Some(FaultPlan::parse(token)?)]
+    } else {
+        vec![None]
+    };
+    if cli.replay.is_some() && plans.len() > 1 {
+        return Err("--replay needs a single run; use --fault-plan, not --faults".into());
+    }
     let mut all_clean = true;
     for kind in kinds {
-        let mut prog = ScenarioProgram::small(kind);
-        prog.ops_per_client = cli.ops;
-        if let Some(c) = cli.clients {
-            prog.clients = c;
-        }
-        let label = prog.kind.label();
-        if let Some(token) = &cli.replay {
-            let token = ScheduleToken::parse(token)?;
-            let out = prog.run(&token.prefix);
-            if out.diverged {
-                return Err(format!("{label}: token does not fit this program"));
+        for plan in &plans {
+            let mut prog = ScenarioProgram::small(kind.clone());
+            prog.ops_per_client = cli.ops;
+            prog.fault = plan.clone();
+            if let Some(c) = cli.clients {
+                prog.clients = c;
             }
-            for v in &out.violations {
-                println!("[{}] t={}ns {}", v.code, v.at_nanos, v.detail);
+            let label = match plan {
+                Some(p) => format!("{}+{}", prog.kind.label(), p),
+                None => prog.kind.label(),
+            };
+            if let Some(token) = &cli.replay {
+                let token = ScheduleToken::parse(token)?;
+                let out = prog.run(&token.prefix);
+                if out.diverged {
+                    return Err(format!("{label}: token does not fit this program"));
+                }
+                for v in &out.violations {
+                    println!("[{}] t={}ns {}", v.code, v.at_nanos, v.detail);
+                }
+                println!(
+                    "{label}: replayed {token} (trace hash {:#018x})",
+                    out.trace_hash
+                );
+                all_clean &= out.violations.is_empty();
+                continue;
             }
-            println!(
-                "{label}: replayed {token} (trace hash {:#018x})",
-                out.trace_hash
-            );
-            all_clean &= out.violations.is_empty();
-            continue;
+            all_clean &= report(&label, &explore(&|p: &[u32]| prog.run(p), &cfg));
         }
-        all_clean &= report(&label, &explore(&|p: &[u32]| prog.run(p), &cfg));
     }
     Ok(all_clean)
 }

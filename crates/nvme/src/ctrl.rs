@@ -133,7 +133,14 @@ pub struct NvmeController {
     error_log: RefCell<Vec<ErrorLogEntry>>,
     /// LBA context for the next error completion (set by the I/O path).
     last_error_lba: Cell<Option<u64>>,
+    /// Executing I/O commands, `(sqid, cid)` → aborted flag. An Abort for
+    /// a tracked command sets the flag; the executor completes it with
+    /// ABORT_REQUESTED. Ordered for reproducible reset teardown.
+    inflight: RefCell<InflightMap>,
 }
+
+/// `(sqid, cid)` → aborted flag for every executing I/O command.
+type InflightMap = BTreeMap<(u16, u16), Rc<Cell<bool>>>;
 
 impl NvmeController {
     /// Create the controller, attach it to `host`'s domain at topology node
@@ -166,6 +173,7 @@ impl NvmeController {
             stats: RefCell::new(CtrlStats::default()),
             error_log: RefCell::new(Vec::new()),
             last_error_lba: Cell::new(None),
+            inflight: RefCell::new(BTreeMap::new()),
         });
         *ctrl.weak_self.borrow_mut() = Rc::downgrade(&ctrl);
         let bar0 = ctrl.config.bar0_size;
@@ -289,8 +297,10 @@ impl NvmeController {
         let mut r = self.regs.borrow_mut();
         r.csts &= !csts::RDY;
         drop(r);
+        self.inflight.borrow_mut().clear();
         self.error_log.borrow_mut().clear();
         self.stats.borrow_mut().resets += 1;
+        crate::oracle::emit(crate::oracle::Event::ControllerReset);
     }
 
     fn record_error(&self, sqid: u16, cid: u16, status: Status, lba: Option<u64>) {
@@ -384,7 +394,16 @@ impl NvmeController {
                     .await
                     .is_err()
                 {
-                    self.fatal();
+                    if qid == 0 {
+                        // Admin ring unreachable: the controller is dead.
+                        self.fatal();
+                        return;
+                    }
+                    // An I/O ring behind a severed link or a crashed host
+                    // must not take the controller down for every other
+                    // client: kill just this queue. The owner recreates it
+                    // (or the manager reclaims it) later.
+                    sq.borrow_mut().alive = false;
                     return;
                 }
                 let new_head = (head + 1) % entries;
@@ -404,9 +423,13 @@ impl NvmeController {
                     drop(permit);
                 } else {
                     // I/O commands execute concurrently (device pipelining).
+                    let aborted = Rc::new(Cell::new(false));
+                    self.inflight
+                        .borrow_mut()
+                        .insert((qid, sqe.cid), aborted.clone());
                     let me = self.clone();
                     self.handle.spawn(async move {
-                        me.exec_io(qid, cqid, sqe, new_head).await;
+                        me.exec_io(qid, cqid, sqe, new_head, aborted).await;
                         drop(permit);
                     });
                 }
@@ -505,8 +528,8 @@ impl NvmeController {
                 self.admin_features(&sqe)
             }
             Some(AdminOpcode::GetLogPage) => self.admin_get_log_page(&sqe).await,
-            Some(AdminOpcode::Abort) => (1, Status::SUCCESS), // not aborted
-            Some(AdminOpcode::AsyncEventRequest) => return,   // parked forever
+            Some(AdminOpcode::Abort) => self.admin_abort(&sqe),
+            Some(AdminOpcode::AsyncEventRequest) => return, // parked forever
             None => (0, Status::INVALID_OPCODE),
         };
         self.post_cqe(0, result, sq_head, 0, sqe.cid, status).await;
@@ -643,6 +666,12 @@ impl NvmeController {
         if let Some(cq) = self.cqs.borrow().get(&s.cqid) {
             cq.borrow_mut().sq_refs -= 1;
         }
+        // Commands of the deleted queue are disposed of with it: a
+        // recreate under the same qid must not collide with stale flags.
+        self.inflight
+            .borrow_mut()
+            .retain(|(sqid, _), _| *sqid != qid);
+        crate::oracle::emit(crate::oracle::Event::QueueDeleted { qid });
         (0, Status::SUCCESS)
     }
 
@@ -665,7 +694,26 @@ impl NvmeController {
         let mut c = cq.borrow_mut();
         c.alive = false;
         c.space.notify_all();
+        crate::oracle::emit(crate::oracle::Event::QueueDeleted { qid });
         (0, Status::SUCCESS)
+    }
+
+    /// Abort (NVMe 1.3 §5.1): CDW10 carries the SQ id (15:0) and the cid
+    /// to kill (31:16). DW0 bit 0 **clear** means the command was found
+    /// executing and will complete with ABORT_REQUESTED; **set** means it
+    /// was not found — already completed (perhaps its CQE got lost in the
+    /// fabric) or never fetched, and the host must escalate.
+    fn admin_abort(&self, sqe: &SqEntry) -> (u32, Status) {
+        let sqid = (sqe.cdw10 & 0xFFFF) as u16;
+        let cid = (sqe.cdw10 >> 16) as u16;
+        match self.inflight.borrow().get(&(sqid, cid)) {
+            Some(flag) => {
+                flag.set(true);
+                crate::oracle::emit(crate::oracle::Event::CmdAborted { qid: sqid, cid });
+                (0, Status::SUCCESS)
+            }
+            None => (1, Status::SUCCESS),
+        }
     }
 
     fn admin_features(&self, sqe: &SqEntry) -> (u32, Status) {
@@ -682,8 +730,15 @@ impl NvmeController {
     // I/O command execution
     // -----------------------------------------------------------------
 
-    async fn exec_io(self: Rc<Self>, qid: u16, cqid: u16, sqe: SqEntry, sq_head: u16) {
-        let status = match NvmOpcode::from_u8(sqe.opcode) {
+    async fn exec_io(
+        self: Rc<Self>,
+        qid: u16,
+        cqid: u16,
+        sqe: SqEntry,
+        sq_head: u16,
+        aborted: Rc<Cell<bool>>,
+    ) {
+        let mut status = match NvmOpcode::from_u8(sqe.opcode) {
             Some(NvmOpcode::DatasetManagement) => self.io_dsm(&sqe).await,
             Some(NvmOpcode::Read) => self.io_read(&sqe).await,
             Some(NvmOpcode::Write) => self.io_write(&sqe).await,
@@ -707,6 +762,13 @@ impl NvmeController {
             }
             None => Status::INVALID_OPCODE,
         };
+        // An Abort that raced this command wins over whatever the data
+        // path produced (media effects may still have happened — abort is
+        // best-effort, as on real hardware).
+        if aborted.get() {
+            status = Status::ABORT_REQUESTED;
+        }
+        self.inflight.borrow_mut().remove(&(qid, sqe.cid));
         if !status.is_success() {
             self.last_error_lba.set(Some(sqe.slba()));
         }

@@ -42,7 +42,9 @@ impl From<EngineError> for AdminError {
     fn from(e: EngineError) -> Self {
         match e {
             EngineError::Fabric(f) => AdminError::Fabric(f),
-            EngineError::TagsExhausted | EngineError::Gone => AdminError::ControllerFatal,
+            EngineError::TagsExhausted | EngineError::Gone | EngineError::Timeout { .. } => {
+                AdminError::ControllerFatal
+            }
         }
     }
 }
@@ -63,6 +65,7 @@ impl std::error::Error for AdminError {}
 pub type AdminResult<T> = Result<T, AdminError>;
 
 /// Where the admin rings live and how the device reaches them.
+#[derive(Clone, Copy, Debug)]
 pub struct AdminQueueLayout {
     /// CPU-visible region the driver writes SQEs into.
     pub asq_cpu: MemRegion,
@@ -150,6 +153,7 @@ impl AdminQueue {
                 queue_depth: 1,
                 coalesce_limit: 1,
                 aggregate_window: SimDuration::ZERO,
+                ..EngineConfig::default()
             },
         );
         Ok(AdminQueue {
@@ -245,6 +249,15 @@ impl AdminQueue {
         self.submit(SqEntry::delete_io_sq(0, qid)).await?;
         self.submit(SqEntry::delete_io_cq(0, qid)).await?;
         Ok(())
+    }
+
+    /// Abort command `cid` on I/O submission queue `sqid` (recovery
+    /// ladder rung 2). Returns whether the controller actually aborted
+    /// it — CQE DW0 bit 0 *clear* means aborted; set means the command
+    /// had already completed or was never seen (NVMe 1.3 §5.1).
+    pub async fn abort(&mut self, sqid: u16, cid: u16) -> AdminResult<bool> {
+        let cqe = self.submit(SqEntry::abort(0, sqid, cid)).await?;
+        Ok(cqe.result & 1 == 0)
     }
 
     /// Read up to `max_entries` Error Information log entries (newest

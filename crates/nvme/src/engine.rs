@@ -34,7 +34,7 @@ use std::rc::Rc;
 use blklayer::BioError;
 use pcie::{DomainAddr, Fabric, MemRegion};
 use simcore::sync::{oneshot, Notify, Permit, Semaphore};
-use simcore::{Handle, SimDuration};
+use simcore::{Handle, SimDuration, SimTime};
 
 use crate::queue::{CqRing, SqRing};
 use crate::spec::command::SqEntry;
@@ -53,6 +53,15 @@ pub enum EngineError {
     /// The completion channel closed without a CQE: the engine is being
     /// torn down or the tag slot was clobbered.
     Gone,
+    /// The command blew through its deadline and every doorbell re-ring
+    /// retry (rung 1 of the recovery ladder). The caller escalates:
+    /// Abort via the admin path, then queue recreate, then reset.
+    Timeout {
+        /// Queue pair the command was striped onto.
+        qid: u16,
+        /// Command identifier that never completed.
+        cid: u16,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -61,6 +70,9 @@ impl std::fmt::Display for EngineError {
             EngineError::TagsExhausted => write!(f, "tag accounting exhausted (no free cid)"),
             EngineError::Fabric(e) => write!(f, "fabric: {e}"),
             EngineError::Gone => write!(f, "completion channel closed"),
+            EngineError::Timeout { qid, cid } => {
+                write!(f, "command deadline expired (qid={qid}, cid={cid})")
+            }
         }
     }
 }
@@ -79,6 +91,7 @@ impl From<EngineError> for BioError {
             EngineError::TagsExhausted => BioError::NoFreeTag,
             EngineError::Fabric(f) => BioError::DeviceError(f.to_string()),
             EngineError::Gone => BioError::Gone,
+            EngineError::Timeout { qid, cid } => BioError::Timeout { qid, cid },
         }
     }
 }
@@ -94,6 +107,10 @@ pub type EngineResult = Result<CqEntry, EngineError>;
 struct TagTable {
     slots: Vec<Option<oneshot::Sender<EngineResult>>>,
     free: Vec<u16>,
+    /// Submission instant per registered cid — the raw material for
+    /// [`QpairStats::oldest_pending_age`]. Cleared on completion and on
+    /// tag drop, so an entry here means "a waiter is still pending".
+    since: Vec<Option<SimTime>>,
 }
 
 /// A reserved command identifier. Dropping the tag returns the cid to the
@@ -116,6 +133,7 @@ impl Drop for Tag {
     fn drop(&mut self) {
         let mut t = self.table.borrow_mut();
         t.slots[self.cid as usize] = None;
+        t.since[self.cid as usize] = None;
         t.free.push(self.cid);
     }
 }
@@ -140,6 +158,7 @@ impl TagSet {
             table: Rc::new(RefCell::new(TagTable {
                 slots: (0..depth).map(|_| None).collect(),
                 free: (0..depth as u16).rev().collect(),
+                since: vec![None; depth],
             })),
         }
     }
@@ -178,15 +197,25 @@ impl TagSet {
         rx
     }
 
+    /// [`TagSet::register`], additionally recording `now` as the
+    /// submission instant so the command shows up in pending-age stats.
+    pub fn register_at(&self, tag: &Tag, now: SimTime) -> oneshot::Receiver<EngineResult> {
+        let rx = self.register(tag);
+        self.table.borrow_mut().since[tag.cid as usize] = Some(now);
+        rx
+    }
+
     /// Deliver `result` to the waiter registered on `cid`. Returns false
     /// when no waiter is registered (stale or duplicate completion).
     pub fn complete(&self, cid: u16, result: EngineResult) -> bool {
-        let tx = self
-            .table
-            .borrow_mut()
-            .slots
-            .get_mut(cid as usize)
-            .and_then(Option::take);
+        let tx = {
+            let mut t = self.table.borrow_mut();
+            let tx = t.slots.get_mut(cid as usize).and_then(Option::take);
+            if tx.is_some() {
+                t.since[cid as usize] = None;
+            }
+            tx
+        };
         match tx {
             Some(tx) => {
                 tx.send(result);
@@ -194,6 +223,31 @@ impl TagSet {
             }
             None => false,
         }
+    }
+
+    /// Earliest recorded submission instant among registered cids that
+    /// `pred` accepts (the engine filters by queue-pair stripe).
+    fn oldest_since_where(&self, pred: impl Fn(u16) -> bool) -> Option<SimTime> {
+        self.table
+            .borrow()
+            .since
+            .iter()
+            .enumerate()
+            .filter(|(cid, _)| pred(*cid as u16))
+            .filter_map(|(_, s)| *s)
+            .min()
+    }
+
+    /// Cids with a registered completion slot, for recovery sweeps.
+    fn registered_cids(&self) -> Vec<u16> {
+        self.table
+            .borrow()
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(cid, _)| cid as u16)
+            .collect()
     }
 }
 
@@ -236,6 +290,16 @@ pub struct EngineConfig {
     /// window never engages, so queue-depth-1 latency is untouched.
     /// `SimDuration::ZERO` disables aggregation entirely.
     pub aggregate_window: SimDuration,
+    /// Per-command completion deadline — rung 1 of the recovery ladder.
+    /// `None` (the default) keeps the old unbounded wait. When set,
+    /// [`IoEngine::issue`] re-rings the SQ tail doorbell on each expiry
+    /// (recovering a dropped doorbell delivery) and doubles the deadline,
+    /// up to `max_retries` times, then fails the command with
+    /// [`EngineError::Timeout`] instead of hanging.
+    pub cmd_timeout: Option<SimDuration>,
+    /// Doorbell re-ring retries before a deadline expiry becomes an
+    /// [`EngineError::Timeout`]. Ignored when `cmd_timeout` is `None`.
+    pub max_retries: u32,
 }
 
 impl Default for EngineConfig {
@@ -244,9 +308,14 @@ impl Default for EngineConfig {
             queue_depth: 32,
             coalesce_limit: DEFAULT_COALESCE_LIMIT,
             aggregate_window: DEFAULT_AGGREGATE_WINDOW,
+            cmd_timeout: None,
+            max_retries: DEFAULT_MAX_RETRIES,
         }
     }
 }
+
+/// Default doorbell re-ring retry budget when a command deadline is set.
+pub const DEFAULT_MAX_RETRIES: u32 = 2;
 
 /// Default doorbell-coalesce limit used by the driver stacks.
 pub const DEFAULT_COALESCE_LIMIT: usize = 32;
@@ -301,11 +370,19 @@ pub struct QpairStats {
     pub doorbell_errors: u64,
     /// SQE ring-write failures (waiter receives the typed error).
     pub push_errors: u64,
+    /// Deadline expiries that triggered a doorbell re-ring retry.
+    pub timeout_retries: u64,
+    /// Commands abandoned after the retry budget: their waiters received
+    /// [`EngineError::Timeout`].
+    pub timeouts: u64,
+    /// Age of the oldest still-pending command at snapshot time. A
+    /// gauge, not a counter — [`QpairStats::absorb`] takes the max.
+    pub oldest_pending_age: SimDuration,
 }
 
 impl QpairStats {
-    /// Fold another counter set into this one (`max_batch` takes the max,
-    /// everything else sums).
+    /// Fold another counter set into this one (`max_batch` and
+    /// `oldest_pending_age` take the max, everything else sums).
     pub fn absorb(&mut self, other: &QpairStats) {
         self.sqes_submitted += other.sqes_submitted;
         self.sq_doorbells += other.sq_doorbells;
@@ -315,6 +392,9 @@ impl QpairStats {
         self.cq_doorbells += other.cq_doorbells;
         self.doorbell_errors += other.doorbell_errors;
         self.push_errors += other.push_errors;
+        self.timeout_retries += other.timeout_retries;
+        self.timeouts += other.timeouts;
+        self.oldest_pending_age = self.oldest_pending_age.max(other.oldest_pending_age);
     }
 }
 
@@ -343,6 +423,9 @@ impl EngineStats {
 struct EngineQpair {
     qid: u16,
     sq: SqRing,
+    /// The CQ ring, shared with the completion-service task so
+    /// [`IoEngine::reset_qpair`] can restart the phase walk in place.
+    cq: Rc<CqRing>,
     /// SQEs accepted but not yet written to the ring. The active flusher
     /// drains this; its doorbell covers everything it wrote.
     backlog: RefCell<VecDeque<SqEntry>>,
@@ -390,12 +473,18 @@ impl IoEngine {
                 spec.entries - 1
             );
             let sq = SqRing::new(fabric, spec.sq_ring, spec.sq_doorbell, spec.entries);
-            let mut cq = CqRing::new(fabric, spec.cq_ring, spec.cq_doorbell, spec.entries);
+            let cq = Rc::new(CqRing::new(
+                fabric,
+                spec.cq_ring,
+                spec.cq_doorbell,
+                spec.entries,
+            ));
             sq.set_oracle_qid(spec.qid);
             cq.set_oracle_qid(spec.qid);
             qpairs.push(EngineQpair {
                 qid: spec.qid,
                 sq,
+                cq: cq.clone(),
                 backlog: RefCell::new(VecDeque::new()),
                 flushing: Cell::new(false),
                 stats: RefCell::new(QpairStats::default()),
@@ -449,15 +538,38 @@ impl IoEngine {
         self.qp_for(cid).qid
     }
 
-    /// Counter snapshot across all queue pairs.
+    /// Counter snapshot across all queue pairs, with each qpair's
+    /// `oldest_pending_age` computed against the current sim time.
     pub fn stats(&self) -> EngineStats {
+        let now = self.handle.now();
+        let stripe = self.qpairs.len();
         EngineStats {
             qpairs: self
                 .qpairs
                 .iter()
-                .map(|q| (q.qid, q.stats.borrow().clone()))
+                .enumerate()
+                .map(|(i, q)| {
+                    let mut s = q.stats.borrow().clone();
+                    s.oldest_pending_age = self
+                        .tags
+                        .oldest_since_where(|cid| cid as usize % stripe == i)
+                        .map(|t| now.since(t))
+                        .unwrap_or(SimDuration::ZERO);
+                    (q.qid, s)
+                })
                 .collect(),
         }
+    }
+
+    /// Age of the oldest pending command across all queue pairs — the
+    /// liveness gauge fault scenarios assert on (a healthy engine keeps
+    /// this bounded by the device's service time).
+    pub fn oldest_pending_age(&self) -> SimDuration {
+        let now = self.handle.now();
+        self.tags
+            .oldest_since_where(|_| true)
+            .map(|t| now.since(t))
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Summed counter snapshot.
@@ -471,12 +583,68 @@ impl IoEngine {
     /// the tag.
     pub async fn issue(&self, tag: &Tag, sqe: SqEntry) -> EngineResult {
         debug_assert_eq!(tag.cid(), sqe.cid, "SQE cid must match the reserved tag");
-        let rx = self.tags.register(tag);
+        let mut rx = self.tags.register_at(tag, self.handle.now());
         self.enqueue(sqe).await;
-        match rx.await {
-            Ok(result) => result,
-            Err(_) => Err(EngineError::Gone),
+        let Some(base) = self.cfg.cmd_timeout else {
+            return match rx.await {
+                Ok(result) => result,
+                Err(_) => Err(EngineError::Gone),
+            };
+        };
+        // Recovery ladder, rung 1: bound the completion wait. Each expiry
+        // re-rings the SQ tail doorbell — which recovers a dropped
+        // doorbell delivery outright — and doubles the deadline so a
+        // merely-slow device isn't hammered. A command that stays silent
+        // through the whole budget surfaces as `Timeout` for the caller's
+        // abort/recreate/reset escalation instead of hanging forever.
+        let qp = self.qp_for(sqe.cid);
+        let mut wait = base;
+        for attempt in 0..=self.cfg.max_retries {
+            match simcore::timeout(&self.handle, wait, &mut rx).await {
+                Ok(Ok(result)) => return result,
+                Ok(Err(_)) => return Err(EngineError::Gone),
+                Err(simcore::Elapsed) => {
+                    if attempt == self.cfg.max_retries {
+                        break;
+                    }
+                    qp.stats.borrow_mut().timeout_retries += 1;
+                    if qp.sq.ring().await.is_err() {
+                        qp.stats.borrow_mut().doorbell_errors += 1;
+                    }
+                    wait = wait * 2;
+                }
+            }
         }
+        qp.stats.borrow_mut().timeouts += 1;
+        Err(EngineError::Timeout {
+            qid: qp.qid,
+            cid: sqe.cid,
+        })
+    }
+
+    /// Per-queue-pair recovery (ladder rung 3 support): fail every waiter
+    /// striped onto `qid` with [`EngineError::Gone`], discard its backlog,
+    /// and restart both rings at slot 0 / phase 1 — the state a freshly
+    /// recreated controller-side queue pair expects. The completion
+    /// service keeps running on the same (shared) CQ ring. Returns false
+    /// when the engine owns no such qid.
+    pub fn reset_qpair(&self, qid: u16) -> bool {
+        let stripe = self.qpairs.len();
+        let Some((index, qp)) = self.qpairs.iter().enumerate().find(|(_, q)| q.qid == qid) else {
+            return false;
+        };
+        let backlogged: Vec<SqEntry> = qp.backlog.borrow_mut().drain(..).collect();
+        for sqe in backlogged {
+            self.tags.complete(sqe.cid, Err(EngineError::Gone));
+        }
+        for cid in self.tags.registered_cids() {
+            if cid as usize % stripe == index {
+                self.tags.complete(cid, Err(EngineError::Gone));
+            }
+        }
+        qp.sq.reset();
+        qp.cq.reset();
+        true
     }
 
     /// Accept `sqe` for submission. If a flusher is already draining this
@@ -545,7 +713,7 @@ impl IoEngine {
 
     /// The per-queue-pair completion service: detect (poll or IRQ), drain
     /// every available CQE, ring the CQ head doorbell once per sweep.
-    async fn completion_service(self: Rc<Self>, index: usize, mut cq: CqRing, irq: Option<Notify>) {
+    async fn completion_service(self: Rc<Self>, index: usize, cq: Rc<CqRing>, irq: Option<Notify>) {
         loop {
             let held = match (self.strategy, &irq) {
                 (CompletionStrategy::Interrupt { latency }, Some(irq)) => {

@@ -77,6 +77,16 @@ pub enum Event {
     },
     /// Host wrote `head` to CQ `qid`'s head doorbell.
     CqHeadDoorbell { qid: u16, head: u16 },
+    /// Controller accepted an Abort for `cid` on SQ `qid`: the command
+    /// will complete with ABORT_REQUESTED instead of its own status.
+    CmdAborted { qid: u16, cid: u16 },
+    /// Controller executed Delete I/O SQ/CQ for `qid`: the queue pair's
+    /// lifecycle state is void. A later Create with the same qid starts a
+    /// fresh ring at slot 0 / phase 1 (the recovery ladder's
+    /// Delete-and-Recreate rung does exactly this).
+    QueueDeleted { qid: u16 },
+    /// CC.EN 1 → 0: every queue and every in-flight command is gone.
+    ControllerReset,
 }
 
 /// Where a command stands in its lifecycle.
@@ -95,6 +105,10 @@ enum CmdState {
 struct CmdRec {
     state: CmdState,
     slot: u16,
+    /// Abort accepted for this command; its CQE carries ABORT_REQUESTED
+    /// and the host may legitimately tear the queue down instead of
+    /// consuming it.
+    aborted: bool,
 }
 
 /// Host-visible submission-queue mirror.
@@ -160,6 +174,17 @@ impl LifecycleOracle {
         self.state.borrow().cmds.len()
     }
 
+    /// Commands whose abort was accepted but whose CQE the host has not
+    /// consumed (diagnostic: they are disposed of with the queue).
+    pub fn aborted_pending(&self) -> usize {
+        self.state
+            .borrow()
+            .cmds
+            .values()
+            .filter(|c| c.aborted)
+            .count()
+    }
+
     fn report(&self, st: &mut OracleState, code: &'static str, detail: String) {
         st.violations.push(LifecycleViolation {
             code,
@@ -198,6 +223,7 @@ impl LifecycleOracle {
                     CmdRec {
                         state: CmdState::Written,
                         slot,
+                        aborted: false,
                     },
                 ) {
                     let detail = format!(
@@ -432,6 +458,42 @@ impl LifecycleOracle {
                     );
                     self.report(&mut st, "nvme.lifecycle.cq-doorbell-mismatch", detail);
                 }
+            }
+            Event::CmdAborted { qid, cid } => {
+                // Abort for an untracked command is legal: it raced the
+                // completion (or the queue is not mirrored).
+                match st.cmds.get(&(qid, cid)).map(|c| c.state) {
+                    // A controller can only abort a command it has
+                    // fetched; claiming to abort one still sitting in the
+                    // ring means it peeked past the doorbell.
+                    Some(state @ (CmdState::Written | CmdState::Exposed)) => {
+                        let detail = format!(
+                            "SQ {qid} cid {cid}: abort accepted for a command the \
+                             controller never fetched (state {state:?})"
+                        );
+                        self.report(&mut st, "nvme.lifecycle.abort-unfetched", detail);
+                    }
+                    Some(_) => {
+                        st.cmds.get_mut(&(qid, cid)).expect("cmd tracked").aborted = true;
+                    }
+                    None => {}
+                }
+            }
+            Event::QueueDeleted { qid } => {
+                // The qpair's whole lifecycle state is void: commands the
+                // host abandoned (timed out, aborted, CQE lost in the
+                // fabric) are disposed of with the queue, and a recreate
+                // under the same qid starts a pristine mirror.
+                st.sqs.remove(&qid);
+                st.cq_consumer.remove(&qid);
+                st.cq_poster.remove(&qid);
+                st.cmds.retain(|(q, _), _| *q != qid);
+            }
+            Event::ControllerReset => {
+                st.sqs.clear();
+                st.cq_consumer.clear();
+                st.cq_poster.clear();
+                st.cmds.clear();
             }
         }
     }

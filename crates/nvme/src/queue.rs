@@ -85,6 +85,15 @@ impl SqRing {
         self.entries - 1 - self.outstanding.get()
     }
 
+    /// Forget all host-side ring state (tail, head snapshot, occupancy) —
+    /// the Delete-and-Recreate recovery path rebuilds the controller-side
+    /// queue from scratch, so the driver's view restarts at slot 0.
+    pub fn reset(&self) {
+        self.tail.set(0);
+        self.head.set(0);
+        self.outstanding.set(0);
+    }
+
     /// Retire one command on its completion: records the controller's SQ
     /// head snapshot and releases the slot.
     pub fn retire(&self, sq_head: u16) {
@@ -142,11 +151,11 @@ pub struct CqRing {
     ring: MemRegion,
     doorbell: DomainAddr,
     entries: u16,
-    head: u16,
-    phase: bool,
+    head: Cell<u16>,
+    phase: Cell<bool>,
     watch: WatchHandle,
     /// When set, consumes feed the lifecycle oracle under this queue id.
-    oracle_qid: Option<u16>,
+    oracle_qid: Cell<Option<u16>>,
 }
 
 impl CqRing {
@@ -162,16 +171,16 @@ impl CqRing {
             ring,
             doorbell,
             entries,
-            head: 0,
-            phase: true,
+            head: Cell::new(0),
+            phase: Cell::new(true),
             watch,
-            oracle_qid: None,
+            oracle_qid: Cell::new(None),
         }
     }
 
     /// Report this ring's consumes to the lifecycle oracle as CQ `qid`.
-    pub fn set_oracle_qid(&mut self, qid: u16) {
-        self.oracle_qid = Some(qid);
+    pub fn set_oracle_qid(&self, qid: u16) {
+        self.oracle_qid.set(Some(qid));
     }
 
     /// Ring capacity in entries.
@@ -181,50 +190,70 @@ impl CqRing {
 
     /// Consumer head index.
     pub fn head(&self) -> u16 {
-        self.head
+        self.head.get()
+    }
+
+    /// Forget consumer state and wipe the ring memory (untimed): the
+    /// Delete-and-Recreate recovery path restarts the phase walk exactly
+    /// like a freshly created queue, so stale CQEs from the deleted queue
+    /// can never satisfy the new one's phase expectation.
+    pub fn reset(&self) {
+        self.head.set(0);
+        self.phase.set(true);
+        let zeros = vec![0u8; self.entries as usize * CQE_SIZE];
+        self.fabric
+            .mem_write(self.ring.host, self.ring.addr, &zeros)
+            .expect("CQ ring wipe");
     }
 
     /// Check the slot at the head for a new entry (phase match). Functional
     /// read; the caller models the CPU cost of the check.
-    pub fn try_pop(&mut self) -> Option<CqEntry> {
+    pub fn try_pop(&self) -> Option<CqEntry> {
+        let head = self.head.get();
+        let phase = self.phase.get();
         let mut raw = [0u8; CQE_SIZE];
         self.fabric
             .mem_read(
                 self.ring.host,
-                self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+                self.ring.addr.offset(head as u64 * CQE_SIZE as u64),
                 &mut raw,
             )
             .expect("CQ ring read");
-        if CqEntry::peek_phase(&raw) != self.phase {
+        if CqEntry::peek_phase(&raw) != phase {
             return None;
         }
         #[cfg(feature = "sanitize")]
         self.fabric.sanitize_consume(
             self.ring.host,
-            self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+            self.ring.addr.offset(head as u64 * CQE_SIZE as u64),
             CQE_SIZE as u64,
         );
         let cqe = CqEntry::decode(&raw);
-        if let Some(qid) = self.oracle_qid {
+        if let Some(qid) = self.oracle_qid.get() {
             oracle::emit(oracle::Event::CqeConsumed {
                 qid,
                 cid: cqe.cid,
-                slot: self.head,
-                phase: self.phase,
+                slot: head,
+                phase,
                 entries: self.entries,
             });
         }
-        self.head = (self.head + 1) % self.entries;
-        if self.head == 0 {
-            self.phase = !self.phase;
-        }
+        self.advance(head);
         Some(cqe)
+    }
+
+    fn advance(&self, head: u16) {
+        let next = (head + 1) % self.entries;
+        self.head.set(next);
+        if next == 0 {
+            self.phase.set(!self.phase.get());
+        }
     }
 
     /// Wait for the next entry: parks on the memory watch (the simulation
     /// stand-in for spinning on the cache line), then charges `check_cost`
     /// per successful detection.
-    pub async fn next(&mut self, check_cost: SimDuration) -> CqEntry {
+    pub async fn next(&self, check_cost: SimDuration) -> CqEntry {
         loop {
             if let Some(cqe) = self.try_pop() {
                 if !check_cost.is_zero() {
@@ -239,14 +268,18 @@ impl CqRing {
 
     /// Ring the CQ head doorbell, releasing consumed slots to the device.
     pub async fn ring_doorbell(&self) -> pcie::Result<()> {
-        if let Some(qid) = self.oracle_qid {
+        if let Some(qid) = self.oracle_qid.get() {
             oracle::emit(oracle::Event::CqHeadDoorbell {
                 qid,
-                head: self.head,
+                head: self.head.get(),
             });
         }
         self.fabric
-            .cpu_write_u32(self.doorbell.host, self.doorbell.addr, self.head as u32)
+            .cpu_write_u32(
+                self.doorbell.host,
+                self.doorbell.addr,
+                self.head.get() as u32,
+            )
             .await
     }
 
@@ -256,48 +289,47 @@ impl CqRing {
     /// tag does not match the ring's expectation — i.e. the driver just
     /// decoded a stale or not-yet-delivered completion.
     #[cfg(feature = "sanitize")]
-    pub fn pop_unchecked(&mut self) -> CqEntry {
+    pub fn pop_unchecked(&self) -> CqEntry {
+        let head = self.head.get();
+        let phase = self.phase.get();
         let mut raw = [0u8; CQE_SIZE];
         self.fabric
             .mem_read(
                 self.ring.host,
-                self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+                self.ring.addr.offset(head as u64 * CQE_SIZE as u64),
                 &mut raw,
             )
             .expect("CQ ring read");
-        if CqEntry::peek_phase(&raw) != self.phase {
+        if CqEntry::peek_phase(&raw) != phase {
             self.fabric.handle().sanitize_report(
                 "nvme.cq-stale-phase",
                 format!(
                     "consumed CQE at slot {} with phase {} but the ring expects {}",
-                    self.head,
+                    head,
                     CqEntry::peek_phase(&raw) as u8,
-                    self.phase as u8
+                    phase as u8
                 ),
             );
         }
         self.fabric.sanitize_consume(
             self.ring.host,
-            self.ring.addr.offset(self.head as u64 * CQE_SIZE as u64),
+            self.ring.addr.offset(head as u64 * CQE_SIZE as u64),
             CQE_SIZE as u64,
         );
         let cqe = CqEntry::decode(&raw);
-        if let Some(qid) = self.oracle_qid {
+        if let Some(qid) = self.oracle_qid.get() {
             // Report the phase actually observed in memory, not the ring's
             // expectation — an unchecked consume of a stale slot is exactly
             // what the oracle's phase mirror exists to catch.
             oracle::emit(oracle::Event::CqeConsumed {
                 qid,
                 cid: cqe.cid,
-                slot: self.head,
+                slot: head,
                 phase: CqEntry::peek_phase(&raw),
                 entries: self.entries,
             });
         }
-        self.head = (self.head + 1) % self.entries;
-        if self.head == 0 {
-            self.phase = !self.phase;
-        }
+        self.advance(head);
         cqe
     }
 }
@@ -358,7 +390,7 @@ mod tests {
         let (rt, fabric, host) = setup();
         let ring = fabric.alloc(host, 2 * CQE_SIZE as u64).unwrap();
         let db = DomainAddr::new(host, PhysAddr(ring.addr.as_u64()));
-        let mut cq = CqRing::new(&fabric, ring, db, 2);
+        let cq = CqRing::new(&fabric, ring, db, 2);
         assert!(cq.try_pop().is_none(), "empty queue must not pop");
         // Simulate the controller posting entries with correct phases.
         let write_cqe = |slot: u16, cid: u16, phase: bool| {
@@ -389,7 +421,7 @@ mod tests {
         let h = rt.handle();
         let ring = fabric.alloc(host, 4 * CQE_SIZE as u64).unwrap();
         let db = DomainAddr::new(host, ring.addr);
-        let mut cq = CqRing::new(&fabric, ring, db, 4);
+        let cq = CqRing::new(&fabric, ring, db, 4);
         let f2 = fabric.clone();
         let h2 = h.clone();
         // Poster task: writes a CQE at t=5µs.

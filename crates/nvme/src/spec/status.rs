@@ -18,6 +18,8 @@ impl Status {
     pub const INVALID_FIELD: Status = Status { sct: 0, sc: 0x02 };
     /// Data transfer error.
     pub const DATA_TRANSFER_ERROR: Status = Status { sct: 0, sc: 0x04 };
+    /// Command abort requested (the command was killed by an Abort).
+    pub const ABORT_REQUESTED: Status = Status { sct: 0, sc: 0x07 };
     /// Invalid namespace or format.
     pub const INVALID_NAMESPACE: Status = Status { sct: 0, sc: 0x0B };
     /// LBA out of range.

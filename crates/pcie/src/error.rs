@@ -36,6 +36,13 @@ pub enum FabricError {
     NoSuchDevice(DeviceId),
     /// Unknown NTB id.
     NoSuchNtb(NtbId),
+    /// The access would traverse (or terminate behind) a severed NTB
+    /// link; on hardware the TLP completes with Completer Abort or is
+    /// simply lost.
+    LinkDown { ntb: NtbId },
+    /// The issuing host has been crashed by the fault injector; its CPU
+    /// issues no further fabric transactions.
+    HostCrashed(HostId),
 }
 
 impl std::fmt::Display for FabricError {
@@ -68,6 +75,8 @@ impl std::fmt::Display for FabricError {
             FabricError::NoSuchHost(h) => write!(f, "no such host {h}"),
             FabricError::NoSuchDevice(d) => write!(f, "no such device {d:?}"),
             FabricError::NoSuchNtb(n) => write!(f, "no such NTB {n:?}"),
+            FabricError::LinkDown { ntb } => write!(f, "NTB link {ntb:?} is severed"),
+            FabricError::HostCrashed(h) => write!(f, "issuing host {h} has crashed"),
         }
     }
 }

@@ -23,6 +23,7 @@ use simcore::{Handle, SerialResource, SimDuration, SimTime};
 use crate::addr::{DeviceId, DomainAddr, HostId, MemRegion, NodeId, NtbId, PhysAddr};
 use crate::device::MmioDevice;
 use crate::error::{FabricError, Result};
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, FaultStats, SeverMode};
 use crate::memory::{HostMemory, WatchHandle};
 use crate::ntb::Ntb;
 use crate::params::FabricParams;
@@ -119,6 +120,8 @@ struct FabricInner {
     deliveries: RefCell<DeliveryState>,
     /// Wakes the delivery pump when a write is enqueued or comes due.
     pump_wake: Notify,
+    /// Deterministic fault-injection state (empty plan = no faults).
+    faults: RefCell<FaultInjector>,
     /// In-flight posted writes, for the read-race sanitizer.
     #[cfg(feature = "sanitize")]
     sanitize: RefCell<crate::sanitize::PendingSet>,
@@ -142,6 +145,7 @@ impl Fabric {
                 }),
                 deliveries: RefCell::new(DeliveryState::default()),
                 pump_wake: Notify::new(),
+                faults: RefCell::new(FaultInjector::default()),
                 #[cfg(feature = "sanitize")]
                 sanitize: RefCell::new(crate::sanitize::PendingSet::default()),
                 #[cfg(feature = "sanitize")]
@@ -372,6 +376,105 @@ impl Fabric {
     }
 
     // ---------------------------------------------------------------
+    // Fault injection
+    // ---------------------------------------------------------------
+
+    /// Install a fault plan; replaces any previous plan and resets the
+    /// injection statistics. The empty plan disables injection.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.faults.borrow_mut().install(plan);
+    }
+
+    /// Remove the fault plan and any manually injected severs/crashes.
+    pub fn clear_fault_plan(&self) {
+        self.inner.faults.borrow_mut().clear();
+    }
+
+    /// Counters of faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.inner.faults.borrow().stats
+    }
+
+    /// Immediately crash a host actor: every timed fabric operation it
+    /// issues afterwards fails with [`FabricError::HostCrashed`].
+    pub fn crash_host_now(&self, host: HostId) {
+        self.inner.faults.borrow_mut().crash_now(host);
+    }
+
+    /// Whether the fault injector has crashed this host.
+    pub fn host_is_crashed(&self, host: HostId) -> bool {
+        self.inner.faults.borrow().is_crashed(host)
+    }
+
+    /// Immediately sever an NTB link in the given mode.
+    pub fn sever_ntb_now(&self, ntb: NtbId, mode: SeverMode) {
+        self.inner.faults.borrow_mut().sever_now(ntb, mode);
+    }
+
+    /// Restore a previously severed NTB link.
+    pub fn restore_ntb(&self, ntb: NtbId) {
+        self.inner.faults.borrow_mut().restore(ntb);
+    }
+
+    /// Refuse the op if the issuing host has crashed.
+    fn fault_check_issuer(&self, host: HostId) -> Result<()> {
+        let mut fi = self.inner.faults.borrow_mut();
+        if !fi.active() {
+            return Ok(());
+        }
+        fi.refresh(self.inner.handle.now());
+        if fi.is_crashed(host) {
+            fi.stats.refused += 1;
+            return Err(FabricError::HostCrashed(host));
+        }
+        Ok(())
+    }
+
+    /// Gate a resolved access against severed links. `crossed` holds the
+    /// NTB windows the translation walked (the issuer-side cut);
+    /// additionally, a `Both`-severed adapter cuts foreign traffic *into*
+    /// its local domain. Returns `Ok(true)` when a posted write should be
+    /// silently lost at the severed target port, `Err` when the op is
+    /// refused outright, `Ok(false)` when unaffected.
+    fn fault_gate(
+        &self,
+        issuer_domain: HostId,
+        crossed: &[NtbId],
+        loc: &Location,
+        posted: bool,
+    ) -> Result<bool> {
+        let mut fi = self.inner.faults.borrow_mut();
+        if !fi.active() {
+            return Ok(false);
+        }
+        fi.refresh(self.inner.handle.now());
+        for &ntb in crossed {
+            if fi.severed_mode(ntb).is_some() {
+                fi.stats.refused += 1;
+                return Err(FabricError::LinkDown { ntb });
+            }
+        }
+        let st = self.inner.state.borrow();
+        let target = match loc {
+            Location::Dram(da) => da.host,
+            Location::Bar { dev, .. } => st.devices[dev.0 as usize].host,
+        };
+        if target != issuer_domain {
+            for &(ntb, mode) in fi.severed() {
+                if mode == SeverMode::Both && st.ntbs[ntb.0 as usize].local_domain == target {
+                    if posted {
+                        fi.stats.dropped += 1;
+                        return Ok(true);
+                    }
+                    fi.stats.refused += 1;
+                    return Err(FabricError::LinkDown { ntb });
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ---------------------------------------------------------------
     // Memory management (untimed)
     // ---------------------------------------------------------------
 
@@ -446,6 +549,19 @@ impl Fabric {
     }
 
     fn resolve_in(st: &State, host: HostId, addr: PhysAddr, len: u64) -> Result<Location> {
+        Self::resolve_traced(st, host, addr, len, &mut Vec::new())
+    }
+
+    /// Like [`resolve_in`](Self::resolve_in), additionally recording the
+    /// NTB windows the walk crossed (the fault injector's sever check
+    /// keys off these).
+    fn resolve_traced(
+        st: &State,
+        host: HostId,
+        addr: PhysAddr,
+        len: u64,
+        crossed: &mut Vec<NtbId>,
+    ) -> Result<Location> {
         let mut cur = DomainAddr::new(host, addr);
         for _ in 0..MAX_TRANSLATION_DEPTH {
             let hrec = st
@@ -476,6 +592,7 @@ impl Fabric {
             for n in st.ntbs.iter().filter(|n| n.local_domain == cur.host) {
                 if n.contains(cur.addr) {
                     translated = Some(n.translate(cur.addr, len)?);
+                    crossed.push(n.id);
                     break;
                 }
             }
@@ -501,14 +618,28 @@ impl Fabric {
         addr: PhysAddr,
         len: u64,
     ) -> Result<(Location, u32)> {
+        let (loc, chips, _) = self.resolve_with_path_traced(origin, host, addr, len)?;
+        Ok((loc, chips))
+    }
+
+    /// [`resolve_with_path`](Self::resolve_with_path) plus the NTB
+    /// windows the walk crossed, for the fault injector's sever gate.
+    fn resolve_with_path_traced(
+        &self,
+        origin: NodeId,
+        host: HostId,
+        addr: PhysAddr,
+        len: u64,
+    ) -> Result<(Location, u32, Vec<NtbId>)> {
         let mut st = self.inner.state.borrow_mut();
-        let loc = Self::resolve_in(&st, host, addr, len)?;
+        let mut crossed = Vec::new();
+        let loc = Self::resolve_traced(&st, host, addr, len, &mut crossed)?;
         let dest_node = match &loc {
             Location::Dram(da) => st.hosts[da.host.0 as usize].rc_node,
             Location::Bar { dev, .. } => st.devices[dev.0 as usize].node,
         };
         let chips = st.topology.chips_between(origin, dest_node)?;
-        Ok((loc, chips))
+        Ok((loc, chips, crossed))
     }
 
     // ---------------------------------------------------------------
@@ -519,8 +650,15 @@ impl Fabric {
     /// issued (write-combining); the data lands after propagation. Small
     /// writes (≤ 8 B) to a BAR become an MMIO register write.
     pub async fn cpu_write(&self, host: HostId, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        self.fault_check_issuer(host)?;
         let origin = self.rc_node(host);
-        let (loc, chips) = self.resolve_with_path(origin, host, addr, data.len() as u64)?;
+        let (loc, chips, crossed) =
+            self.resolve_with_path_traced(origin, host, addr, data.len() as u64)?;
+        if self.fault_gate(host, &crossed, &loc, true)? {
+            // Lost at a severed target port: the posted write vanishes,
+            // and the issuer (fire-and-forget) never learns.
+            return Ok(());
+        }
         let p = &self.inner.params;
         let issue = if chips == 0 && matches!(loc, Location::Dram(_)) {
             p.cpu_memcpy(data.len() as u64)
@@ -566,8 +704,11 @@ impl Fabric {
     /// Non-posted read from a CPU core on `host`: waits the full round
     /// trip (plus transfer time for bulk lengths).
     pub async fn cpu_read(&self, host: HostId, addr: PhysAddr, buf: &mut [u8]) -> Result<()> {
+        self.fault_check_issuer(host)?;
         let origin = self.rc_node(host);
-        let (loc, chips) = self.resolve_with_path(origin, host, addr, buf.len() as u64)?;
+        let (loc, chips, crossed) =
+            self.resolve_with_path_traced(origin, host, addr, buf.len() as u64)?;
+        self.fault_gate(host, &crossed, &loc, false)?;
         let p = &self.inner.params;
         let lat = if chips == 0 && matches!(loc, Location::Dram(_)) {
             // Local DRAM read: cacheline fill + copy.
@@ -623,7 +764,9 @@ impl Fabric {
                 .ok_or(FabricError::NoSuchDevice(dev))?;
             (d.node, d.rx.clone(), d.host, d.link_scale)
         };
-        let (loc, chips) = self.resolve_with_path(origin, host, addr, buf.len() as u64)?;
+        let (loc, chips, crossed) =
+            self.resolve_with_path_traced(origin, host, addr, buf.len() as u64)?;
+        self.fault_gate(host, &crossed, &loc, false)?;
         let p = &self.inner.params;
         rx.occupy(scale_transfer(
             p.nonposted_transfer(buf.len() as u64),
@@ -648,10 +791,26 @@ impl Fabric {
 
     /// Device-initiated posted write (CQE post, data delivery for disk
     /// reads). The device is released once the transfer has been pushed
-    /// onto the link; the data applies after propagation. Returns the
-    /// *apply* instant offset so callers that must observe landing (none
-    /// on the fast path) can sleep on it.
+    /// onto the link; the data applies after propagation.
     pub async fn dma_write(&self, dev: DeviceId, addr: PhysAddr, data: &[u8]) -> Result<()> {
+        self.dma_write_landing(dev, addr, data).await.map(|_| ())
+    }
+
+    /// Like [`Self::dma_write`], but returns the delay from the issue
+    /// instant until the write *applies* at its destination. Agents whose
+    /// completion contract promises landed data (an RDMA read's work
+    /// completion, for one) sleep that long before signalling; the fast
+    /// path never needs it. The delay is nominal: a write refused by a
+    /// severed link reports zero, and one dropped in flight by fault
+    /// injection still reports its propagation delay even though it will
+    /// never land — sleeping on it cannot hang, and the caller's own
+    /// deadline machinery is what turns lost data into a timeout.
+    pub async fn dma_write_landing(
+        &self,
+        dev: DeviceId,
+        addr: PhysAddr,
+        data: &[u8],
+    ) -> Result<SimDuration> {
         let (origin, tx, host, scale) = {
             let st = self.inner.state.borrow();
             let d = st
@@ -660,7 +819,11 @@ impl Fabric {
                 .ok_or(FabricError::NoSuchDevice(dev))?;
             (d.node, d.tx.clone(), d.host, d.link_scale)
         };
-        let (loc, chips) = self.resolve_with_path(origin, host, addr, data.len() as u64)?;
+        let (loc, chips, crossed) =
+            self.resolve_with_path_traced(origin, host, addr, data.len() as u64)?;
+        if self.fault_gate(host, &crossed, &loc, true)? {
+            return Ok(SimDuration::from_nanos(0));
+        }
         let p = &self.inner.params;
         tx.occupy(scale_transfer(p.posted_transfer(data.len() as u64), scale))
             .await;
@@ -689,7 +852,7 @@ impl Fabric {
             #[cfg(feature = "sanitize")]
             hb,
         );
-        Ok(())
+        Ok(delivery)
     }
 
     // ---------------------------------------------------------------
@@ -711,8 +874,60 @@ impl Fabric {
         #[cfg(feature = "sanitize")] pending: u64,
         #[cfg(feature = "sanitize")] hb: (u64, Vec<u64>),
     ) {
+        let mut delay = delay;
+        let mut copies = 1usize;
+        {
+            let mut fi = self.inner.faults.borrow_mut();
+            if fi.active() {
+                fi.refresh(self.inner.handle.now());
+                let src_host = if path.0 & DEVICE_PATH_BIT == 0 {
+                    Some(HostId(path.0 as u16))
+                } else {
+                    None
+                };
+                let to_dram_host = match &loc {
+                    Location::Dram(da) => Some(da.host),
+                    Location::Bar { .. } => None,
+                };
+                match fi.delivery_action(src_host, to_dram_host, data.len() as u64) {
+                    Some(FaultAction::Drop) => {
+                        fi.stats.dropped += 1;
+                        drop(fi);
+                        // The write vanishes in flight: retire its
+                        // sanitizer bookkeeping so it is not reported as
+                        // pending forever.
+                        #[cfg(feature = "sanitize")]
+                        {
+                            self.inner.sanitize.borrow_mut().untrack(pending);
+                            self.inner.hb.borrow_mut().mark_applied(hb.0);
+                        }
+                        return;
+                    }
+                    Some(FaultAction::Delay(extra)) => {
+                        fi.stats.delayed += 1;
+                        delay += extra;
+                    }
+                    Some(FaultAction::Duplicate) => {
+                        fi.stats.duplicated += 1;
+                        copies = 2;
+                    }
+                    None => {}
+                }
+            }
+        }
         let due = self.inner.handle.now() + delay;
         let spawn_pump = {
+            // A duplicated TLP is queued right behind the original on the
+            // same path, so it applies in order after it; the sanitizer
+            // tokens are shared (untrack/mark_applied are idempotent).
+            let dup = (copies == 2).then(|| {
+                (
+                    loc.clone(),
+                    data.clone(),
+                    #[cfg(feature = "sanitize")]
+                    hb.clone(),
+                )
+            });
             let mut dq = self.inner.deliveries.borrow_mut();
             let seq = dq.next_seq;
             dq.next_seq += 1;
@@ -727,6 +942,32 @@ impl Fabric {
                 #[cfg(feature = "sanitize")]
                 hb,
             });
+            #[cfg(feature = "sanitize")]
+            if let Some((loc, data, hb)) = dup {
+                let seq = dq.next_seq;
+                dq.next_seq += 1;
+                dq.queue.push(PendingDelivery {
+                    seq,
+                    due,
+                    path,
+                    loc,
+                    data,
+                    pending,
+                    hb,
+                });
+            }
+            #[cfg(not(feature = "sanitize"))]
+            if let Some((loc, data)) = dup {
+                let seq = dq.next_seq;
+                dq.next_seq += 1;
+                dq.queue.push(PendingDelivery {
+                    seq,
+                    due,
+                    path,
+                    loc,
+                    data,
+                });
+            }
             let first = !dq.pump_spawned;
             dq.pump_spawned = true;
             first
@@ -787,6 +1028,15 @@ impl Fabric {
         let pick = if heads.len() == 1 {
             0
         } else {
+            // A real schedule choice point: tell the fault injector, so
+            // choice-indexed host crashes fire at schedule-relative
+            // positions the explorer can enumerate.
+            {
+                let mut fi = self.inner.faults.borrow_mut();
+                if fi.active() {
+                    fi.on_choice_point();
+                }
+            }
             let options: Vec<ChoiceOption> = heads
                 .iter()
                 .map(|&i| ChoiceOption::writing(delivery_footprint(&dq.queue[i])))

@@ -20,6 +20,7 @@ pub mod addr;
 pub mod device;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 #[cfg(feature = "sanitize")]
 mod hb;
 pub mod memory;
@@ -33,6 +34,10 @@ pub use addr::{DeviceId, DomainAddr, HostId, MemRegion, NodeId, NtbId, PhysAddr}
 pub use device::{MmioDevice, RegisterFile};
 pub use error::{FabricError, Result};
 pub use fabric::{Fabric, Location};
+pub use fault::{
+    CrashHost, CrashTrigger, DeliveryFault, FaultAction, FaultPlan, FaultStats, Selector,
+    SeverLink, SeverMode,
+};
 pub use memory::{HostMemory, WatchHandle, PAGE_SIZE};
 pub use params::FabricParams;
 pub use topology::{NodeKind, Topology};

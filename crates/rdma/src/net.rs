@@ -559,8 +559,13 @@ impl QpShared {
                         .occupy(SimDuration::from_nanos(p.nic_tx_ns + p.transfer_ns(len)))
                         .await;
                     handle.sleep(propagate).await;
-                    let _ = fabric.dma_write(local_dev, dst.addr, &data).await;
-                    // Reads complete when the data has landed.
+                    // Reads complete when the data has landed: the write is
+                    // posted, so wait out its apply delay before raising the
+                    // work completion.
+                    if let Ok(landing) = fabric.dma_write_landing(local_dev, dst.addr, &data).await
+                    {
+                        handle.sleep(landing).await;
+                    }
                     me.complete_send(&wr, WcOpcode::RdmaRead, len, WcStatus::Success);
                 });
             }

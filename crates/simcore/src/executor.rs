@@ -345,14 +345,22 @@ impl SimRuntime {
         }
     }
 
-    /// Spawn `fut` as the root task, run the simulation to quiescence, and
-    /// return the root task's output.
+    /// Spawn `fut` as the root task, run the simulation until it finishes,
+    /// and return its output. Runnable tasks sharing the root's final
+    /// instant still drain; timers past it do not fire, so unbounded
+    /// periodic tasks (lease reapers, heartbeats) cannot keep the
+    /// simulation alive after the root is done.
     ///
     /// Panics if the simulation went idle before the root future finished
     /// (i.e. the root deadlocked on an event nobody will produce).
     pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
         let join = self.handle().spawn(fut);
-        self.run();
+        loop {
+            self.core.run_ready();
+            if join.is_finished() || !self.core.advance() {
+                break;
+            }
+        }
         join.try_take()
             .expect("simulation went idle before the main future completed (deadlock)")
     }

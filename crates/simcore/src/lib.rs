@@ -32,6 +32,7 @@ pub mod sched;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod timeout;
 
 pub use executor::{yield_now, Handle, JoinHandle, SimRuntime, TaskId};
 pub use resource::SerialResource;
@@ -41,3 +42,4 @@ pub use sanitize::{happens_before, ActorId, Violation};
 pub use sched::{ChoiceKind, ChoiceOption, Footprint, ReplayScheduler, ScheduleTrace, Scheduler};
 pub use stats::{Histogram, LatencyRecorder, LatencySummary};
 pub use time::{SimDuration, SimTime};
+pub use timeout::{timeout, Elapsed};

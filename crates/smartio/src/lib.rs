@@ -20,4 +20,6 @@ pub mod service;
 
 pub use error::{Result, SmartIoError};
 pub use hints::AccessHints;
-pub use service::{BorrowMode, CpuMapping, DmaWindow, SegmentId, SmartDeviceId, SmartIo};
+pub use service::{
+    BorrowMode, CpuMapping, DmaWindow, PurgeReport, SegmentId, SmartDeviceId, SmartIo,
+};

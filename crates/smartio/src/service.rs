@@ -52,6 +52,10 @@ struct SegmentInfo {
     region: MemRegion,
     kind: SegmentKind,
     exported: bool,
+    /// The host that created the segment (not necessarily where it
+    /// lives: hint-placed segments may land device-side). Crash recovery
+    /// reclaims everything a dead owner left behind.
+    owner: HostId,
 }
 
 #[derive(Default)]
@@ -100,8 +104,24 @@ struct State {
     segments: BTreeMap<SegmentId, SegmentInfo>,
     devices: BTreeMap<SmartDeviceId, DeviceInfo>,
     names: BTreeMap<String, SegmentId>,
+    /// Live LUT window ranges, tagged with the host they serve:
+    /// (owner, adapter, first slot, slot count). Normal unmaps remove
+    /// their entry; [`SmartIo::purge_owner`] sweeps what a crashed host
+    /// left programmed.
+    windows: Vec<(HostId, NtbId, usize, usize)>,
     next_segment: u32,
     next_device: u32,
+}
+
+/// What [`SmartIo::purge_owner`] reclaimed for a crashed host.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct PurgeReport {
+    /// DRAM segments destroyed.
+    pub segments: usize,
+    /// NTB LUT window ranges cleared.
+    pub windows: usize,
+    /// Device borrow references dropped.
+    pub borrows: usize,
 }
 
 /// The service handle (cheaply cloneable).
@@ -120,6 +140,7 @@ impl SmartIo {
                 segments: BTreeMap::new(),
                 devices: BTreeMap::new(),
                 names: BTreeMap::new(),
+                windows: Vec::new(),
                 next_segment: 1,
                 next_device: 1,
             })),
@@ -154,6 +175,7 @@ impl SmartIo {
                             region,
                             kind: SegmentKind::Bar { dev: id, bar },
                             exported: true,
+                            owner: host,
                         },
                     );
                     bar_segments.push(sid);
@@ -269,6 +291,10 @@ impl SmartIo {
 
     /// Allocate a segment in `host`'s local memory (plain SISCI).
     pub fn create_segment(&self, host: HostId, size: u64) -> Result<SegmentId> {
+        self.create_segment_owned(host, host, size)
+    }
+
+    fn create_segment_owned(&self, owner: HostId, host: HostId, size: u64) -> Result<SegmentId> {
         let region = self.fabric.alloc(host, size)?;
         let mut st = self.state.borrow_mut();
         let id = SegmentId(st.next_segment);
@@ -279,13 +305,16 @@ impl SmartIo {
                 region,
                 kind: SegmentKind::Dram,
                 exported: true,
+                owner,
             },
         );
         Ok(id)
     }
 
     /// Allocate a segment letting the service pick the host from access
-    /// hints (§IV extension): the reader side wins.
+    /// hints (§IV extension): the reader side wins. The segment stays
+    /// *owned* by `cpu_host` even when placed device-side, so a crashed
+    /// client's device-side rings are reclaimable.
     pub fn create_segment_hinted(
         &self,
         cpu_host: HostId,
@@ -299,7 +328,7 @@ impl SmartIo {
         } else {
             cpu_host
         };
-        self.create_segment(host, size)
+        self.create_segment_owned(cpu_host, host, size)
     }
 
     /// Give a segment a well-known name (bootstrap metadata, e.g. the
@@ -390,7 +419,7 @@ impl SmartIo {
                 slots: None,
             });
         }
-        let (ntb, first_slot, n, window_addr) = self.program_window(host, region)?;
+        let (ntb, first_slot, n, window_addr) = self.program_window(host, host, region)?;
         Ok(CpuMapping {
             segment: id,
             region: MemRegion::new(host, window_addr, region.len),
@@ -400,7 +429,15 @@ impl SmartIo {
 
     /// Tear down a CPU mapping, freeing its LUT slots.
     pub fn unmap_cpu(&self, mapping: CpuMapping) {
-        if let Some((ntb, first, n)) = mapping.slots {
+        self.clear_window(mapping.slots);
+    }
+
+    fn clear_window(&self, slots: Option<(NtbId, usize, usize)>) {
+        if let Some((ntb, first, n)) = slots {
+            self.state
+                .borrow_mut()
+                .windows
+                .retain(|&(_, w_ntb, w_first, w_n)| (w_ntb, w_first, w_n) != (ntb, first, n));
             for s in first..first + n {
                 let _ = self.fabric.clear_lut(ntb, s);
             }
@@ -436,7 +473,10 @@ impl SmartIo {
                 slots: None,
             });
         }
-        let (ntb, first_slot, n, window_addr) = self.program_window(dev_host, region)?;
+        // The window serves the host the memory lives in: that host's
+        // crash is what makes the mapping garbage.
+        let (ntb, first_slot, n, window_addr) =
+            self.program_window(region.host, dev_host, region)?;
         Ok(DmaWindow {
             segment: None,
             device,
@@ -448,11 +488,55 @@ impl SmartIo {
 
     /// Tear down a DMA window, freeing its LUT slots.
     pub fn unmap_device(&self, window: DmaWindow) {
-        if let Some((ntb, first, n)) = window.slots {
+        self.clear_window(window.slots);
+    }
+
+    /// Reclaim everything a crashed (or lease-expired) host left behind:
+    /// its device borrow references, every LUT window range programmed on
+    /// its behalf, and every DRAM segment it created — including
+    /// hint-placed segments living device-side. The §V manager calls this
+    /// when a client's lease expires, so the adapters' finite LUT space
+    /// and the device-side memory become reusable.
+    pub fn purge_owner(&self, owner: HostId) -> PurgeReport {
+        let mut report = PurgeReport::default();
+        let (dead_windows, dead_segments) = {
+            let mut st = self.state.borrow_mut();
+            for d in st.devices.values_mut() {
+                if d.borrow.exclusive == Some(owner) {
+                    d.borrow.exclusive = None;
+                    report.borrows += 1;
+                }
+                let before = d.borrow.shared.len();
+                d.borrow.shared.retain(|h| *h != owner);
+                report.borrows += before - d.borrow.shared.len();
+            }
+            let dead_windows: Vec<(NtbId, usize, usize)> = st
+                .windows
+                .iter()
+                .filter(|(o, _, _, _)| *o == owner)
+                .map(|&(_, ntb, first, n)| (ntb, first, n))
+                .collect();
+            st.windows.retain(|(o, _, _, _)| *o != owner);
+            let dead_segments: Vec<SegmentId> = st
+                .segments
+                .iter()
+                .filter(|(_, s)| s.owner == owner && matches!(s.kind, SegmentKind::Dram))
+                .map(|(id, _)| *id)
+                .collect();
+            (dead_windows, dead_segments)
+        };
+        for (ntb, first, n) in dead_windows {
+            report.windows += 1;
             for s in first..first + n {
                 let _ = self.fabric.clear_lut(ntb, s);
             }
         }
+        for id in dead_segments {
+            if self.destroy_segment(id).is_ok() {
+                report.segments += 1;
+            }
+        }
+        report
     }
 
     /// Program consecutive LUT slots on one of `host`'s adapters to cover
@@ -464,6 +548,7 @@ impl SmartIo {
     /// returned window address.
     fn program_window(
         &self,
+        owner: HostId,
         host: HostId,
         region: MemRegion,
     ) -> Result<(NtbId, usize, usize, PhysAddr)> {
@@ -488,6 +573,7 @@ impl SmartIo {
                 window_base = addr;
             }
         }
+        self.state.borrow_mut().windows.push((owner, ntb, first, n));
         Ok((ntb, first, n, window_base.offset(offset)))
     }
 }

@@ -8,6 +8,7 @@
 //! differently (a violation recorded in one run only, or with different
 //! context) are just as non-deterministic as diverging schedules.
 
+use blklayer::Bio;
 use cluster::{Calibration, Scenario, ScenarioKind};
 use fioflex::verify_region;
 
@@ -83,6 +84,41 @@ fn ours_remote_is_deterministic() {
 #[test]
 fn multihost_is_deterministic() {
     assert_deterministic(ScenarioKind::OursMultihost { clients: 3 });
+}
+
+#[test]
+fn fault_schedule_replays_bit_identically() {
+    // The tentpole's replay guarantee: the same fault token (a dropped
+    // CQE, which drives the full recovery ladder — timeout, abort RPC,
+    // queue recreate, resubmit) produces a bit-identical event stream on
+    // every run. Fault injection must be as deterministic as the fault-
+    // free simulation it perturbs.
+    let run = || {
+        let calib = Calibration::fault_recovery();
+        let plan = pcie::FaultPlan::parse("f1:drop@0/cqe").unwrap();
+        let sc =
+            Scenario::build_with_faults(ScenarioKind::OursRemote { switches: 1 }, &calib, plan);
+        let (host, dev) = sc.clients[0].clone();
+        let fabric = sc.fabric.clone();
+        sc.rt.block_on(async move {
+            let buf = fabric.alloc(host, 4096).unwrap();
+            dev.submit(Bio::read(0, 8, buf)).await.unwrap();
+        });
+        let fs = sc.fabric.fault_stats();
+        assert_eq!(fs.dropped, 1, "the fault must fire on every run");
+        (
+            sc.rt.trace_hash(),
+            violations_fingerprint(&sc.rt.sanitize_violations()),
+            fs,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "same fault token produced diverging runs (event stream, \
+         sanitizer set, or injection counters)"
+    );
 }
 
 #[test]

@@ -42,6 +42,36 @@ fn exhaustive_two_client_is_conformant() {
 }
 
 #[test]
+fn exhaustive_two_client_with_cqe_drop_is_conformant() {
+    // Fault-bearing model check: the same two-client space, but with the
+    // first CQE after bring-up dropped on every explored schedule. The
+    // recovery ladder (timeout → abort → queue recreate → resubmit) runs
+    // under every delivery ordering, and the lifecycle oracle must stay
+    // silent on all of them — recovery may not double-complete, reuse a
+    // live cid, or leave a queue half-deleted, on any schedule.
+    let mut prog = two_client_program();
+    prog.fault = Some(pcie::FaultPlan::drop_nth_cqe(0));
+    let cfg = ExploreConfig {
+        max_schedules: None,
+        max_preemptions: 1,
+        prune: true,
+        stop_on_violation: true,
+    };
+    let res = explore(&|p: &[u32]| prog.run(p), &cfg);
+    assert!(
+        res.failure.is_none(),
+        "faulty two-client exploration found: {:?}",
+        res.failure
+    );
+    assert!(res.stats.exhausted, "frontier must drain: {:?}", res.stats);
+    assert!(
+        res.stats.schedules_run >= 2,
+        "recovery must open schedule alternatives, ran {}",
+        res.stats.schedules_run
+    );
+}
+
+#[test]
 fn pruning_halves_the_naive_schedule_space() {
     let prog = two_client_program();
     let pruned_cfg = ExploreConfig {

@@ -215,6 +215,167 @@ fn oversized_bio_rejected_cleanly_everywhere() {
 }
 
 #[test]
+fn dropped_cqe_recovers_through_the_abort_ladder() {
+    // Drop the first CQE the device posts after bring-up. The client's
+    // per-command deadline expires, doorbell re-rings go unanswered (the
+    // controller already completed the command), the Abort RPC reports
+    // "already completed", and the ladder recreates the queue pair and
+    // resubmits — the I/O ultimately *succeeds*, with every escalation
+    // visible in the counters and no hang anywhere.
+    use cluster::{Calibration, Scenario, ScenarioKind};
+    use pcie::FaultPlan;
+    let calib = Calibration::fault_recovery();
+    let sc = Scenario::build_with_faults(
+        ScenarioKind::OursRemote { switches: 1 },
+        &calib,
+        FaultPlan::drop_nth_cqe(0),
+    );
+    let (host, dev) = sc.clients[0].clone();
+    let fabric = sc.fabric.clone();
+    sc.rt.block_on(async move {
+        let buf = fabric.alloc(host, 4096).unwrap();
+        dev.submit(Bio::read(0, 8, buf)).await.unwrap();
+    });
+    assert_eq!(sc.fabric.fault_stats().dropped, 1, "the plan must fire");
+    let cs = sc.client_drivers()[0].stats();
+    assert!(cs.recoveries >= 1, "deadline must trip: {cs:?}");
+    assert!(cs.aborts_requested >= 1, "abort rung must run: {cs:?}");
+    assert!(cs.qpairs_recreated >= 1, "recreate rung must run: {cs:?}");
+    assert_eq!(cs.resets_requested, 0, "ladder must stop before reset");
+    let ms = sc.manager().unwrap().stats();
+    assert!(
+        ms.aborts_issued >= 1,
+        "manager must issue the abort: {ms:?}"
+    );
+}
+
+#[test]
+fn severed_ntb_surfaces_typed_errors_and_detaches() {
+    // A full cable pull between the client adapter and the switch: every
+    // outstanding and future access through the window fails. The client
+    // must observe typed BioErrors — never hang — and disconnect must
+    // terminate (best-effort, reporting the failure).
+    use cluster::{Calibration, Scenario, ScenarioKind};
+    use pcie::SeverMode;
+    let calib = Calibration::fault_recovery();
+    let sc = Scenario::build(ScenarioKind::OursRemote { switches: 1 }, &calib);
+    let (host, dev) = sc.clients[0].clone();
+    let ntb = sc.client_ntbs[0];
+    let drv = sc.client_drivers()[0].clone();
+    let fabric = sc.fabric.clone();
+    let (io_err, detach) = sc.rt.block_on(async move {
+        // Sanity: the path works before the pull.
+        let buf = fabric.alloc(host, 4096).unwrap();
+        dev.submit(Bio::write(0, 8, buf)).await.unwrap();
+        fabric.sever_ntb_now(ntb, SeverMode::Both);
+        let io_err = dev.submit(Bio::write(0, 8, buf)).await.unwrap_err();
+        let detach = drv.disconnect().await;
+        (io_err, detach)
+    });
+    match io_err {
+        BioError::DeviceError(_) | BioError::Timeout { .. } | BioError::Gone => {}
+        other => panic!("expected a typed fabric/timeout error, got {other}"),
+    }
+    assert!(
+        detach.is_err(),
+        "disconnect over a severed link must report the failure"
+    );
+    assert!(
+        sc.fabric.fault_stats().refused > 0,
+        "severed link must refuse accesses"
+    );
+}
+
+#[test]
+fn crashed_client_is_reaped_and_its_qpairs_reused() {
+    // Lease protocol end-to-end: a client connects (heartbeating), does
+    // I/O, and crashes without disconnecting. The manager's reaper notices
+    // the silent lease, admin-deletes the client's queues, frees its qids
+    // and mailbox state, and purges its SmartIO footprint — so a second
+    // client can connect and be granted the very same queue pair.
+    let rt = SimRuntime::new();
+    let fabric = Fabric::new(rt.handle(), FabricParams::default());
+    let sw = fabric.add_switch("sw");
+    let mut hosts = Vec::new();
+    for _ in 0..3 {
+        let h = fabric.add_host(256 << 20);
+        let ntb = fabric.add_ntb(h, 2 << 20, 128);
+        fabric.link(fabric.ntb_node(ntb), sw);
+        hosts.push(h);
+    }
+    let dev_host = hosts[2];
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        512,
+        1 << 20,
+        3,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        dev_host,
+        fabric.rc_node(dev_host),
+        store,
+        NvmeConfig::default(),
+    );
+    let smartio = SmartIo::new(&fabric);
+    let dev = smartio.register_device(ctrl.device_id()).unwrap();
+    let lease = SimDuration::from_micros(300);
+    let client_cfg = ClientConfig {
+        cmd_timeout: Some(SimDuration::from_micros(200)),
+        mailbox_timeout: Some(SimDuration::from_micros(500)),
+        ..ClientConfig::default()
+    };
+    rt.block_on({
+        let smartio = smartio.clone();
+        let fabric = fabric.clone();
+        async move {
+            let mgr = Manager::start(
+                &smartio,
+                dev,
+                dev_host,
+                ManagerConfig {
+                    lease: Some(lease),
+                    ..ManagerConfig::default()
+                },
+            )
+            .await
+            .unwrap();
+            let a = ClientDriver::connect(&smartio, dev, hosts[0], client_cfg.clone())
+                .await
+                .unwrap();
+            let qids_a = a.qids();
+            let buf = fabric.alloc(hosts[0], 4096).unwrap();
+            a.submit(Bio::write(0, 8, buf)).await.unwrap();
+            // Outlive a few heartbeat intervals to prove the lease holds
+            // while the client is alive...
+            fabric.handle().sleep(lease * 4).await;
+            assert_eq!(mgr.stats().clients_evicted, 0, "live client evicted");
+            assert!(a.stats().heartbeats_sent > 0, "client must heartbeat");
+            // ...then pull the power.
+            fabric.crash_host_now(hosts[0]);
+            fabric.handle().sleep(lease * 4).await;
+            let ms = mgr.stats();
+            assert_eq!(ms.clients_evicted, 1, "crashed client not reaped: {ms:?}");
+            assert_eq!(
+                ms.qpairs_reclaimed,
+                qids_a.len() as u64,
+                "all of the crashed client's qpairs must be reclaimed"
+            );
+            assert_eq!(mgr.qpairs_in_use(), 0);
+            // A fresh client on another host gets the reclaimed qid back.
+            let b = ClientDriver::connect(&smartio, dev, hosts[1], client_cfg)
+                .await
+                .unwrap();
+            assert_eq!(b.qids(), qids_a, "reclaimed qids must be reusable");
+            let buf = fabric.alloc(hosts[1], 4096).unwrap();
+            b.submit(Bio::write(8, 8, buf)).await.unwrap();
+            b.disconnect().await.unwrap();
+        }
+    });
+}
+
+#[test]
 fn torn_slot_never_decodes() {
     // Property: flipping the first seq word of any valid message makes it
     // undecodable (the torn-write guard).
@@ -222,12 +383,14 @@ fn torn_slot_never_decodes() {
     for seq in [1u32, 2, 77, u32::MAX - 1] {
         let msg = SlotMessage {
             seq,
+            retry: 0,
             request: Request::CreateQp {
                 entries: 64,
                 sq_bus: 0x123,
                 cq_bus: 0x456,
                 response_segment: 9,
                 iv: None,
+                want_qid: 0,
             },
         };
         let mut raw = msg.encode();

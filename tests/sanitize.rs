@@ -219,7 +219,7 @@ fn stale_phase_consumption_is_flagged() {
     let host = fabric.add_host(16 << 20);
     let ring = fabric.alloc(host, 4 * CQE_SIZE as u64).unwrap();
     let db = DomainAddr::new(host, ring.addr);
-    let mut cq = CqRing::new(&fabric, ring, db, 4);
+    let cq = CqRing::new(&fabric, ring, db, 4);
     // Consuming an empty slot (phase tag 0, ring expects 1) — what a
     // driver trusting a spurious interrupt would do.
     let _ = cq.pop_unchecked();
@@ -327,7 +327,7 @@ fn cq_poll_racing_posted_cqe_is_flagged() {
     rt.block_on({
         let fabric = fabric.clone();
         async move {
-            let mut cq = CqRing::new(&fabric, ring, db, 4);
+            let cq = CqRing::new(&fabric, ring, db, 4);
             let cqe = CqEntry::new(0, 0, 0, 7, true, Status::SUCCESS);
             fabric.dma_write(dev, win, &cqe.encode()).await.unwrap();
             // Poll before the posted write can have applied.
