@@ -207,8 +207,12 @@ impl Ast {
     }
 
     /// Call expressions inside the token range, in token order. An ident
-    /// directly followed by `(` is a call unless it is a definition
-    /// (`fn name(`).
+    /// followed by `(` — directly, or through a `::<…>` turbofish — is a
+    /// call unless it is a definition (`fn name(`). Turbofish matters
+    /// for the call-graph rules: `recv.probe::<u32>(…)` used to be
+    /// invisible, so a non-posted read inside a generic trait method
+    /// called through a `&dyn` / `impl Trait` receiver silently escaped
+    /// the D07/D11 reachability walk.
     pub(crate) fn calls_in(&self, range: (usize, usize)) -> Vec<Call> {
         let mut out = Vec::new();
         let (start, end) = range;
@@ -216,7 +220,28 @@ impl Ast {
             if self.tokens[i].kind != TokKind::Ident {
                 continue;
             }
-            if !self.tokens.get(i + 1).is_some_and(|t| t.punct('(')) {
+            // Accept `name(` and `name::<T, …>(`.
+            let mut open = i + 1;
+            if self.tokens.get(i + 1).is_some_and(|t| t.punct(':'))
+                && self.tokens.get(i + 2).is_some_and(|t| t.punct(':'))
+                && self.tokens.get(i + 3).is_some_and(|t| t.punct('<'))
+            {
+                let mut depth = 0isize;
+                let mut k = i + 3;
+                while k < self.tokens.len() {
+                    if self.tokens[k].punct('<') {
+                        depth += 1;
+                    } else if self.tokens[k].punct('>') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                open = k + 1;
+            }
+            if !self.tokens.get(open).is_some_and(|t| t.punct('(')) {
                 continue;
             }
             if i > 0 && self.tokens[i - 1].is("fn") {
@@ -227,12 +252,12 @@ impl Ast {
             } else {
                 None
             };
-            let close = match_delim(&self.tokens, i + 1, '(', ')');
+            let close = match_delim(&self.tokens, open, '(', ')');
             out.push(Call {
                 name: self.tokens[i].text.clone(),
                 line: self.tokens[i].line,
                 receiver,
-                args: (i + 2, close),
+                args: (open + 1, close),
             });
         }
         out
@@ -387,7 +412,7 @@ fn tokenize(lines: &[(String, String)]) -> Vec<Tok> {
 
 /// Token index of the delimiter closing the one at `open`, or the end of
 /// the stream if unbalanced.
-fn match_delim(tokens: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+pub(crate) fn match_delim(tokens: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         if t.punct(open_c) {

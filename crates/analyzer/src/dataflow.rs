@@ -1,0 +1,761 @@
+//! dnvme-dataflow: intraprocedural def-use chains and an abstract-value
+//! lattice over the [`crate::ast`] token stream.
+//!
+//! The syntactic rules (D01–D11) see single lines or call expressions;
+//! the address-domain rules (D12–D16) need to know *where a value came
+//! from* — a raw `u64` minted three statements ago by
+//! `PhysAddr::as_u64()` is still raw when it reaches a DMA sink. This
+//! module recovers that with two passes per function body:
+//!
+//! 1. **Def-use chains** ([`def_use`]): every `let` binding,
+//!    reassignment, and `for` loop variable becomes a [`Def`]; every
+//!    later mention of the name resolves to the nearest preceding def
+//!    (shadowing-aware, so `let x = x + 1` reads the *old* `x`).
+//! 2. **Abstract values** ([`eval_fn`]): each def's right-hand side is
+//!    folded into an [`AbstractVal`] carrying
+//!    * an address-domain taint ([`Taint`]): `Raw` is seeded at
+//!      `PhysAddr::as_u64()` and propagates through arithmetic and
+//!      def-to-def copies until a domain constructor (`PhysAddr(..)`,
+//!      `DomainAddr::new`, `MemRegion::new`) re-wraps it;
+//!    * a host tag (the first-argument path of `MemRegion::new` /
+//!      `DomainAddr::new`), so D13 can see an address minted in one
+//!      host's domain crossing into another's;
+//!    * a constant interval for integers (literals, `for i in a..b`
+//!      bounds, `+ - *` arithmetic, `const` items), so D15 can bound
+//!      offset/length expressions against a region's literal length;
+//!    * flags for guard values (`.lock()` / `.borrow()` /
+//!      `.borrow_mut()` as the outermost call) and status values
+//!      (`io_raw` / `issue` / `.status()`), feeding D16 and D14.
+//!
+//! Everything is intraprocedural and name-based, matching the rest of
+//! the analyzer: no type inference, no heap model. The lattice is
+//! deliberately shallow — `Raw` vs `Typed` vs unknown — because the
+//! substrate sweep (typed `PhysAddr` end to end) makes the honest
+//! answer for most values "statically typed, nothing to check".
+
+use crate::ast::{Ast, TokKind};
+
+// ---------------------------------------------------------------------
+// Def-use chains
+// ---------------------------------------------------------------------
+
+/// One definition: a `let` binding, a reassignment, or a `for` binding.
+#[derive(Clone, Debug)]
+pub struct Def {
+    /// The bound identifier.
+    pub name: String,
+    /// Token index of the bound identifier.
+    pub at: usize,
+    /// 1-based source line of the binding.
+    pub line: usize,
+    /// Token range of the right-hand side (for `for` defs, the range
+    /// expression), exclusive end.
+    pub expr: (usize, usize),
+}
+
+/// One use: an identifier occurrence resolved to its governing def.
+#[derive(Clone, Debug)]
+pub struct UseSite {
+    /// Index into the function's def list.
+    pub def: usize,
+    /// Token index of the identifier.
+    pub at: usize,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A function body's def-use chains.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    pub defs: Vec<Def>,
+    pub uses: Vec<UseSite>,
+}
+
+impl DefUse {
+    /// The `(use ordinal → def ordinal)` shape: the part of the chains
+    /// that must survive consistent renaming of any binding.
+    pub fn shape(&self) -> Vec<usize> {
+        self.uses.iter().map(|u| u.def).collect()
+    }
+
+    /// Uses of def `d`, in token order.
+    pub(crate) fn uses_of(&self, d: usize) -> impl Iterator<Item = &UseSite> {
+        self.uses.iter().filter(move |u| u.def == d)
+    }
+}
+
+/// Def-use chains for every function in `src` (public so the property
+/// tests can drive the builder on synthetic bodies).
+pub fn build_def_use(src: &str) -> Vec<(String, DefUse)> {
+    let ast = Ast::parse(src);
+    ast.functions
+        .iter()
+        .map(|f| (f.name.clone(), def_use(&ast, f.body)))
+        .collect()
+}
+
+/// Scan one body's tokens into def-use chains.
+pub(crate) fn def_use(ast: &Ast, body: (usize, usize)) -> DefUse {
+    let toks = &ast.tokens;
+    let end = body.1.min(toks.len());
+    let mut defs: Vec<Def> = Vec::new();
+
+    // Pass 1: definitions, in token order.
+    let mut i = body.0;
+    while i < end {
+        let t = &toks[i];
+        if t.is("let") && t.kind == TokKind::Ident {
+            // `let [mut] name [: ty] = rhs ;` — single-ident patterns
+            // only; tuple/struct patterns are skipped (no chain).
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is("mut")) {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) {
+                // Find the `=` introducing the RHS before the statement
+                // ends; a `;` or `{` first means no initializer here.
+                let mut k = j + 1;
+                let mut eq = None;
+                while k < end {
+                    let tk = &toks[k];
+                    if tk.punct('=') && !toks.get(k + 1).is_some_and(|n| n.punct('=')) {
+                        eq = Some(k);
+                        break;
+                    }
+                    if tk.punct(';') || tk.punct('{') {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(eq) = eq {
+                    let stop = stmt_end(ast, eq + 1, end);
+                    defs.push(Def {
+                        name: name.text.clone(),
+                        at: j,
+                        line: name.line,
+                        expr: (eq + 1, stop),
+                    });
+                    i = j;
+                }
+            }
+        } else if t.is("for") && t.kind == TokKind::Ident {
+            // `for name in range { … }` — the range tokens are the expr.
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                if toks.get(i + 2).is_some_and(|t| t.is("in")) {
+                    let mut k = i + 3;
+                    while k < end && !toks[k].punct('{') {
+                        k += 1;
+                    }
+                    defs.push(Def {
+                        name: name.text.clone(),
+                        at: i + 1,
+                        line: name.line,
+                        expr: (i + 3, k),
+                    });
+                }
+            }
+        } else if t.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.punct('='))
+            && !toks
+                .get(i + 2)
+                .is_some_and(|n| n.punct('=') || n.punct('>'))
+            && i > body.0
+            && !toks[i - 1].punct('.')
+            && !"=<>!+-*/%&|^".contains(toks[i - 1].text.as_str())
+            && !toks[i - 1].is("let")
+            && !toks[i - 1].is("mut")
+            && defs.iter().any(|d| d.name == t.text)
+        {
+            // Reassignment of a known binding: a fresh def.
+            let stop = stmt_end(ast, i + 2, end);
+            defs.push(Def {
+                name: t.text.clone(),
+                at: i,
+                line: t.line,
+                expr: (i + 2, stop),
+            });
+        }
+        i += 1;
+    }
+
+    // Pass 2: uses. Each in-scope identifier mention resolves to the
+    // nearest preceding def of that name — excluding a def whose own
+    // RHS contains the mention (`let x = x + 1` reads the old `x`).
+    let mut uses = Vec::new();
+    for i in body.0..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if defs.iter().any(|d| d.at == i) {
+            continue; // the binding occurrence itself
+        }
+        if i > 0 && toks[i - 1].punct('.') {
+            continue; // field or method name, not the value
+        }
+        // Struct-literal / parameter labels: `Foo { name: v }`.
+        if toks.get(i + 1).is_some_and(|n| n.punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.punct(':'))
+            && i > 0
+            && (toks[i - 1].punct('{') || toks[i - 1].punct(',') || toks[i - 1].punct('('))
+        {
+            continue;
+        }
+        if let Some(d) = resolve_use(&defs, &t.text, i) {
+            uses.push(UseSite {
+                def: d,
+                at: i,
+                line: t.line,
+            });
+        }
+    }
+    DefUse { defs, uses }
+}
+
+/// The def governing a mention of `name` at token `at`: the latest def
+/// with `def.at < at`, skipping a same-name def whose RHS contains `at`
+/// (its initializer still reads the previous binding).
+fn resolve_use(defs: &[Def], name: &str, at: usize) -> Option<usize> {
+    defs.iter()
+        .enumerate()
+        .filter(|(_, d)| d.name == name && d.at < at && !(d.expr.0 <= at && at < d.expr.1))
+        .map(|(i, _)| i)
+        .next_back()
+}
+
+/// Token index one past the statement starting at `from`: the `;` at
+/// zero delimiter depth, or `end`.
+fn stmt_end(ast: &Ast, from: usize, end: usize) -> usize {
+    let mut depth = 0isize;
+    for (k, t) in ast.tokens[from..end].iter().enumerate() {
+        if t.punct('(') || t.punct('[') || t.punct('{') {
+            depth += 1;
+        } else if t.punct(')') || t.punct(']') || t.punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return from + k;
+            }
+        } else if t.punct(';') && depth == 0 {
+            return from + k;
+        }
+    }
+    end
+}
+
+// ---------------------------------------------------------------------
+// Abstract values
+// ---------------------------------------------------------------------
+
+/// Address-domain taint: where an integer value stands relative to the
+/// typed address world.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub(crate) enum Taint {
+    /// Nothing known (most values).
+    #[default]
+    Unknown,
+    /// A raw `u64` escaped via `PhysAddr::as_u64()` on this line, not
+    /// yet re-wrapped in a domain type.
+    Raw(usize),
+    /// Re-wrapped through `PhysAddr` / `DomainAddr` / `MemRegion` (or
+    /// produced by an NTB translation): safe to hand to a sink.
+    Typed,
+}
+
+/// What the dataflow pass knows about one def's value.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AbstractVal {
+    pub taint: Taint,
+    /// The host-domain tag: the dotted first-argument path of the
+    /// `MemRegion::new` / `DomainAddr::new` that minted the value.
+    pub host: Option<String>,
+    /// Constant interval `[lo, hi]` when statically known.
+    pub range: Option<(u64, u64)>,
+    /// Literal region length, for defs minted by `MemRegion::new(_,_,N)`
+    /// or `.slice(_, N)`.
+    pub region_len: Option<u64>,
+    /// The value is a lock/borrow guard (`.lock()` / `.borrow()` /
+    /// `.borrow_mut()` as the outermost call).
+    pub guard: bool,
+    /// The value is a command status (`io_raw` / `issue` / `.status()`).
+    pub status: bool,
+}
+
+/// Constructors that re-enter the typed address world.
+const WRAPPERS: [&str; 3] = ["PhysAddr", "DomainAddr", "MemRegion"];
+/// Calls that translate an address across an NTB (domain-crossing is
+/// legitimate downstream of any of these).
+pub(crate) const TRANSLATORS: [&str; 4] = [
+    "translate",
+    "map_for_device",
+    "map_for_cpu",
+    "program_window",
+];
+/// Guard-producing calls (D16).
+const GUARD_CALLS: [&str; 3] = ["lock", "borrow", "borrow_mut"];
+/// Status-producing calls (D14).
+const STATUS_CALLS: [&str; 3] = ["io_raw", "issue", "status"];
+
+/// `const NAME: ty = <int literal>;` items in the file, for D15 ranges.
+pub(crate) fn const_env(ast: &Ast) -> Vec<(String, u64)> {
+    let toks = &ast.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // const NAME : TY = LIT ;
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].punct('=') && !toks[j].punct(';') {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.punct('=')) {
+            continue;
+        }
+        if let Some(v) = toks.get(j + 1).and_then(|t| parse_num(&t.text)) {
+            if toks.get(j + 2).is_some_and(|t| t.punct(';')) {
+                out.push((name.text.clone(), v));
+            }
+        }
+    }
+    out
+}
+
+/// Parse an integer literal token (`4096`, `0x1000`, `512u64`, with
+/// `_` separators).
+pub(crate) fn parse_num(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let t = t
+        .trim_end_matches("u64")
+        .trim_end_matches("u32")
+        .trim_end_matches("u16")
+        .trim_end_matches("u8")
+        .trim_end_matches("usize");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Evaluate every def of a body into an [`AbstractVal`], in def order
+/// (later defs see earlier defs' values through their uses).
+pub(crate) fn eval_fn(ast: &Ast, du: &DefUse, consts: &[(String, u64)]) -> Vec<AbstractVal> {
+    let mut vals: Vec<AbstractVal> = Vec::new();
+    for (di, d) in du.defs.iter().enumerate() {
+        let v = eval_expr(ast, du, &vals, di, d.expr, consts);
+        vals.push(v);
+    }
+    vals
+}
+
+/// Fold one RHS token range into an abstract value.
+fn eval_expr(
+    ast: &Ast,
+    du: &DefUse,
+    vals: &[AbstractVal],
+    def_idx: usize,
+    expr: (usize, usize),
+    consts: &[(String, u64)],
+) -> AbstractVal {
+    let toks = &ast.tokens;
+    let (start, end) = (expr.0, expr.1.min(toks.len()));
+    let mut v = AbstractVal::default();
+
+    let mut has_wrap = false;
+    let mut raw_line = None;
+    let mut inherited_raw = None;
+    let mut inherited_host = None;
+    let mut inherited_range: Option<(u64, u64)> = None;
+
+    for i in start..end {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Domain constructors: `PhysAddr(…)` / `DomainAddr::new(h, …)`.
+        if WRAPPERS.contains(&t.text.as_str()) {
+            has_wrap = true;
+            if t.text != "PhysAddr" {
+                // Host tag: first argument of `::new(h, …)`.
+                if let Some(open) = (i..end.min(i + 5)).find(|&k| toks[k].punct('(')) {
+                    if let Some(path) = first_arg_path(ast, open) {
+                        v.host = Some(path);
+                    }
+                    // Region length: `MemRegion::new(h, a, LIT)`.
+                    if t.text == "MemRegion" {
+                        if let Some(n) = last_arg_literal(ast, open) {
+                            v.region_len = Some(n);
+                        }
+                    }
+                }
+            }
+        }
+        if t.is("as_u64") && i > start && toks[i - 1].punct('.') {
+            raw_line = Some(t.line);
+        }
+        if TRANSLATORS.contains(&t.text.as_str()) {
+            has_wrap = true; // translated values are device-visible, typed
+        }
+        if GUARD_CALLS.contains(&t.text.as_str())
+            && i > start
+            && toks[i - 1].punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.punct('('))
+            && guard_is_outermost(ast, i, end)
+        {
+            v.guard = true;
+        }
+        if STATUS_CALLS.contains(&t.text.as_str()) && toks.get(i + 1).is_some_and(|n| n.punct('('))
+        {
+            v.status = true;
+        }
+        // `.slice(_, LIT)` re-derives a region with a literal length.
+        if t.is("slice") && toks.get(i + 1).is_some_and(|n| n.punct('(')) {
+            if let Some(n) = last_arg_literal(ast, i + 1) {
+                v.region_len = Some(n);
+            }
+        }
+        // Inherit from referenced defs (uses inside this RHS).
+        if let Some(u) = du.uses.iter().find(|u| u.at == i) {
+            if u.def < vals.len() && u.def != def_idx {
+                let uv = &vals[u.def];
+                if let Taint::Raw(l) = uv.taint {
+                    inherited_raw = Some(l);
+                }
+                if uv.host.is_some() && inherited_host.is_none() {
+                    inherited_host.clone_from(&uv.host);
+                }
+                if v.region_len.is_none() {
+                    v.region_len = uv.region_len;
+                }
+            }
+        }
+    }
+
+    // Constant interval: literal, `a..b` range (for-loops), or a
+    // left-associated `+ - *` chain over known terms.
+    inherited_range = eval_range(ast, du, vals, expr, consts).or(inherited_range);
+
+    v.taint = if has_wrap {
+        Taint::Typed
+    } else if let Some(l) = raw_line.or(inherited_raw) {
+        Taint::Raw(l)
+    } else {
+        Taint::Unknown
+    };
+    if v.host.is_none() {
+        v.host = inherited_host;
+    }
+    v.range = inherited_range;
+    v
+}
+
+/// Whether a guard call at token `i` is the outermost producer of the
+/// RHS: after its closing paren only `.unwrap()` / `.expect(…)` may
+/// follow before the expression ends (a trailing field access or method
+/// means the guard is a dropped temporary, not the bound value).
+fn guard_is_outermost(ast: &Ast, i: usize, end: usize) -> bool {
+    let toks = &ast.tokens;
+    let close = crate::ast::match_delim(toks, i + 1, '(', ')');
+    let mut k = close + 1;
+    while k < end {
+        if toks[k].punct('.')
+            && toks
+                .get(k + 1)
+                .is_some_and(|t| t.is("unwrap") || t.is("expect"))
+            && toks.get(k + 2).is_some_and(|t| t.punct('('))
+        {
+            k = crate::ast::match_delim(toks, k + 2, '(', ')') + 1;
+        } else {
+            return false;
+        }
+    }
+    true
+}
+
+/// The dotted path of the first argument of the call whose `(` is at
+/// `open`, when it is a simple `a.b.c` chain (`self.host`, `host_a`).
+pub(crate) fn first_arg_path(ast: &Ast, open: usize) -> Option<String> {
+    let toks = &ast.tokens;
+    let close = crate::ast::match_delim(toks, open, '(', ')');
+    let mut parts = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.punct(',') {
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            parts.push(t.text.clone());
+        } else if !t.punct('.') && !t.punct('&') {
+            return None; // not a simple path
+        }
+        k += 1;
+    }
+    (!parts.is_empty()).then(|| parts.join("."))
+}
+
+/// The literal value of the call's last argument, if it is a single
+/// numeric token or a known `const`.
+fn last_arg_literal(ast: &Ast, open: usize) -> Option<u64> {
+    let toks = &ast.tokens;
+    let close = crate::ast::match_delim(toks, open, '(', ')');
+    // Walk back from the close paren: the last argument must be one
+    // token (or `mod :: CONST`, from which we take the tail ident).
+    let last = toks.get(close.checked_sub(1)?)?;
+    let boundary = toks.get(close.checked_sub(2)?);
+    let at_boundary = boundary.is_some_and(|t| t.punct(',') || t.punct('('));
+    if last.kind == TokKind::Num && at_boundary {
+        return parse_num(&last.text);
+    }
+    None
+}
+
+/// Split a call's argument token range at top-level commas.
+pub(crate) fn split_args(ast: &Ast, args: (usize, usize)) -> Vec<(usize, usize)> {
+    let toks = &ast.tokens;
+    let (start, end) = (args.0, args.1.min(toks.len()));
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut from = start;
+    for (i, t) in toks.iter().enumerate().take(end).skip(start) {
+        if t.punct('(') || t.punct('[') || t.punct('{') {
+            depth += 1;
+        } else if t.punct(')') || t.punct(']') || t.punct('}') {
+            depth -= 1;
+        } else if t.punct(',') && depth == 0 {
+            out.push((from, i));
+            from = i + 1;
+        }
+    }
+    if from < end {
+        out.push((from, end));
+    }
+    out
+}
+
+/// The constant interval of an expression range, given a function's
+/// evaluated defs (the rule-facing wrapper over [`eval_range`]).
+pub(crate) fn range_of(
+    ast: &Ast,
+    du: &DefUse,
+    vals: &[AbstractVal],
+    expr: (usize, usize),
+    consts: &[(String, u64)],
+) -> Option<(u64, u64)> {
+    eval_range(ast, du, vals, expr, consts)
+}
+
+/// Evaluate a token range as a constant interval: a literal, a known
+/// const/def, an `a..b` range, or `+ - *` arithmetic over those.
+fn eval_range(
+    ast: &Ast,
+    du: &DefUse,
+    vals: &[AbstractVal],
+    expr: (usize, usize),
+    consts: &[(String, u64)],
+) -> Option<(u64, u64)> {
+    let toks = &ast.tokens;
+    let (start, end) = (expr.0, expr.1.min(toks.len()));
+    if start >= end {
+        return None;
+    }
+    // `a..b` / `a..=b`: the for-loop interval [a, b-1] / [a, b].
+    let mut depth = 0isize;
+    for i in start..end.saturating_sub(1) {
+        let t = &toks[i];
+        if t.punct('(') || t.punct('[') {
+            depth += 1;
+        } else if t.punct(')') || t.punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.punct('.') && toks[i + 1].punct('.') {
+            let inclusive = toks.get(i + 2).is_some_and(|t| t.punct('='));
+            let lo = eval_range(ast, du, vals, (start, i), consts)?;
+            let hi_start = if inclusive { i + 3 } else { i + 2 };
+            let hi = eval_range(ast, du, vals, (hi_start, end), consts)?;
+            let hi_val = if inclusive {
+                hi.1
+            } else {
+                hi.1.checked_sub(1)?
+            };
+            return (lo.0 <= hi_val).then_some((lo.0, hi_val));
+        }
+    }
+    // Left-associated `term (op term)*` over `+ - *`.
+    let mut terms: Vec<(usize, usize)> = Vec::new();
+    let mut ops: Vec<char> = Vec::new();
+    let mut depth = 0isize;
+    let mut term_start = start;
+    for (i, t) in toks.iter().enumerate().take(end).skip(start) {
+        if t.punct('(') || t.punct('[') {
+            depth += 1;
+        } else if t.punct(')') || t.punct(']') {
+            depth -= 1;
+        } else if depth == 0 && (t.punct('+') || t.punct('*') || t.punct('-')) && i > term_start {
+            terms.push((term_start, i));
+            ops.push(t.text.chars().next().unwrap_or('+'));
+            term_start = i + 1;
+        }
+    }
+    terms.push((term_start, end));
+    if terms.len() > 1 {
+        let mut acc = eval_range(ast, du, vals, terms[0], consts)?;
+        for (op, term) in ops.iter().zip(&terms[1..]) {
+            let rhs = eval_range(ast, du, vals, *term, consts)?;
+            acc = match op {
+                '+' => (acc.0.saturating_add(rhs.0), acc.1.saturating_add(rhs.1)),
+                '*' => (acc.0.saturating_mul(rhs.0), acc.1.saturating_mul(rhs.1)),
+                '-' => (acc.0.saturating_sub(rhs.1), acc.1.saturating_sub(rhs.0)),
+                _ => return None,
+            };
+        }
+        return Some(acc);
+    }
+    // Single term: strip parens / casts, then literal, const, or def.
+    let mut s = start;
+    let mut e = end;
+    // `expr as u64` — the cast does not change the interval.
+    if e >= s + 2 && toks[e - 2].is("as") {
+        e -= 2;
+    }
+    while e > s && toks[s].punct('(') && toks[e - 1].punct(')') {
+        s += 1;
+        e -= 1;
+    }
+    if e == s + 1 {
+        let t = &toks[s];
+        if t.kind == TokKind::Num {
+            return parse_num(&t.text).map(|v| (v, v));
+        }
+        if t.kind == TokKind::Ident {
+            if let Some(u) = du.uses.iter().find(|u| u.at == s) {
+                return vals.get(u.def).and_then(|v| v.range);
+            }
+            return consts
+                .iter()
+                .find(|(n, _)| n == &t.text)
+                .map(|&(_, v)| (v, v));
+        }
+    }
+    // `mod :: CONST` path: take the tail ident.
+    if e == s + 3 && toks[s + 1].punct(':') && toks[s + 2].punct(':') {
+        // `a::B` arrives as 4 tokens (`a : : B`); handled below.
+    }
+    if e >= s + 2 && toks[e - 1].kind == TokKind::Ident && toks[e - 2].punct(':') {
+        return consts
+            .iter()
+            .find(|(n, _)| n == &toks[e - 1].text)
+            .map(|&(_, v)| (v, v));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chains(src: &str) -> DefUse {
+        let all = build_def_use(src);
+        assert_eq!(all.len(), 1, "one function expected");
+        all.into_iter().next().unwrap().1
+    }
+
+    #[test]
+    fn lets_and_uses_chain_up() {
+        let du = chains("fn f() { let a = 1; let b = a + 2; use_it(b, a); }");
+        assert_eq!(du.defs.len(), 2);
+        assert_eq!(du.defs[0].name, "a");
+        assert_eq!(du.defs[1].name, "b");
+        // a in b's RHS, then b and a as call args.
+        let shape = du.shape();
+        assert_eq!(shape, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn shadowing_reads_the_old_binding() {
+        let du = chains("fn f() { let x = 1; let x = x + 1; sink(x); }");
+        assert_eq!(du.defs.len(), 2);
+        // The RHS `x` resolves to def 0, the sink arg to def 1.
+        assert_eq!(du.shape(), vec![0, 1]);
+    }
+
+    #[test]
+    fn reassignment_is_a_fresh_def() {
+        let du = chains("fn f() { let mut x = 1; x = x + 1; sink(x); }");
+        assert_eq!(du.defs.len(), 2);
+        assert_eq!(du.shape(), vec![0, 1]);
+    }
+
+    #[test]
+    fn for_loop_binds_its_variable() {
+        let du = chains("fn f() { for i in 0..4 { use_it(i); } }");
+        assert_eq!(du.defs.len(), 1);
+        assert_eq!(du.defs[0].name, "i");
+        assert_eq!(du.shape(), vec![0]);
+    }
+
+    #[test]
+    fn struct_labels_and_field_names_are_not_uses() {
+        let du = chains("fn f() { let host = h(); let s = S { host: host, l: 1 }; t(s.host); }");
+        // Uses: the struct-literal *value* `host`, and `s` in `t(s.host)`.
+        assert_eq!(du.shape(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ranges_fold_through_arithmetic() {
+        let src = "const K: u64 = 4096;\nfn f() { let a = 2; let b = a * K + 8; }";
+        let ast = Ast::parse(src);
+        let consts = const_env(&ast);
+        assert_eq!(consts, vec![("K".to_string(), 4096)]);
+        let du = def_use(&ast, ast.functions[0].body);
+        let vals = eval_fn(&ast, &du, &consts);
+        assert_eq!(vals[0].range, Some((2, 2)));
+        assert_eq!(vals[1].range, Some((2 * 4096 + 8, 2 * 4096 + 8)));
+    }
+
+    #[test]
+    fn for_range_gives_interval() {
+        let src = "fn f() { for i in 0..512 { let off = i * 8; } }";
+        let ast = Ast::parse(src);
+        let du = def_use(&ast, ast.functions[0].body);
+        let vals = eval_fn(&ast, &du, &[]);
+        assert_eq!(vals[0].range, Some((0, 511)));
+        assert_eq!(vals[1].range, Some((0, 511 * 8)));
+    }
+
+    #[test]
+    fn taint_seeds_propagates_and_clears() {
+        let src = "fn f() { let raw = addr.as_u64(); let off = raw + 16; \
+                   let ok = PhysAddr(off); }";
+        let ast = Ast::parse(src);
+        let du = def_use(&ast, ast.functions[0].body);
+        let vals = eval_fn(&ast, &du, &[]);
+        assert!(matches!(vals[0].taint, Taint::Raw(_)));
+        assert!(matches!(vals[1].taint, Taint::Raw(_)));
+        assert_eq!(vals[2].taint, Taint::Typed);
+    }
+
+    #[test]
+    fn host_tags_flow_from_constructors() {
+        let src = "fn f() { let r = MemRegion::new(host_a, PhysAddr(0), 4096); \
+                   let s = r; }";
+        let ast = Ast::parse(src);
+        let du = def_use(&ast, ast.functions[0].body);
+        let vals = eval_fn(&ast, &du, &[]);
+        assert_eq!(vals[0].host.as_deref(), Some("host_a"));
+        assert_eq!(vals[0].region_len, Some(4096));
+        assert_eq!(vals[1].host.as_deref(), Some("host_a"));
+    }
+
+    #[test]
+    fn guards_only_when_outermost() {
+        let src = "fn f() { let g = cell.borrow_mut(); let v = cell.borrow().field; }";
+        let ast = Ast::parse(src);
+        let du = def_use(&ast, ast.functions[0].body);
+        let vals = eval_fn(&ast, &du, &[]);
+        assert!(vals[0].guard);
+        assert!(!vals[1].guard, "a copied field is not a held guard");
+    }
+}

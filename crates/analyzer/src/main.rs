@@ -4,26 +4,34 @@
 //!
 //! `--format github` switches the report to GitHub Actions annotation
 //! lines (`::error file=…,line=…::…`) so findings surface inline on PRs.
+//! `--format sarif` emits a SARIF 2.1.0 report on stdout (empty scans
+//! included) for the code-scanning upload.
 //! `--strict-allow` (on in CI) additionally fails on suppressions that
 //! suppress nothing: stale `lint:allow` comments and dead `analyzer.toml`
 //! allowlist entries.
+//! `--bench` re-runs the scan under a wall-clock timer and rewrites
+//! `BENCH_lint.json` at the workspace root; CI diffs the committed copy
+//! (ignoring `wall_ms`) so rule-count and finding-count drift is loud.
 
 use std::process::ExitCode;
 
 enum Format {
     Text,
     Github,
+    Sarif,
 }
 
 struct Options {
     format: Format,
     strict_allow: bool,
+    bench: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Text,
         strict_allow: false,
+        bench: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,16 +39,46 @@ fn parse_args() -> Result<Options, String> {
             "--format" => match args.next().as_deref() {
                 Some("github") => opts.format = Format::Github,
                 Some("text") => opts.format = Format::Text,
-                other => return Err(format!("--format expects text|github, got {other:?}")),
+                Some("sarif") => opts.format = Format::Sarif,
+                other => return Err(format!("--format expects text|github|sarif, got {other:?}")),
             },
             "--strict-allow" => opts.strict_allow = true,
+            "--bench" => opts.bench = true,
             "--help" | "-h" => {
-                return Err("usage: dnvme-lint [--format text|github] [--strict-allow]".to_string());
+                return Err(
+                    "usage: dnvme-lint [--format text|github|sarif] [--strict-allow] [--bench]"
+                        .to_string(),
+                );
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(opts)
+}
+
+/// Time the full workspace scan and rewrite `BENCH_lint.json` at the
+/// root. The file is the canonical self-benchmark: everything in it but
+/// `wall_ms` must be byte-stable run to run.
+fn write_bench(root: &std::path::Path) -> std::io::Result<()> {
+    // lint:allow(D01) — host wall-clock benchmark of the linter itself
+    let t0 = std::time::Instant::now();
+    let findings = analyzer::scan_workspace(root)?.len();
+    let wall_ms = t0.elapsed().as_millis();
+    let files = analyzer::workspace_source_count(root)?;
+    let json = format!(
+        "{{\n  \"rules\": {},\n  \"files_scanned\": {},\n  \"findings\": {},\n  \"wall_ms\": {}\n}}\n",
+        analyzer::ALL_RULES.len(),
+        files,
+        findings,
+        wall_ms
+    );
+    let path = root.join("BENCH_lint.json");
+    std::fs::write(&path, json)?;
+    eprintln!(
+        "dnvme-lint: bench — {files} files, {findings} finding(s), {wall_ms} ms → {}",
+        path.display()
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -69,6 +107,26 @@ fn main() -> ExitCode {
             }
         }
     };
+    if opts.bench {
+        if let Err(e) = write_bench(&root) {
+            eprintln!("dnvme-lint: failed to write BENCH_lint.json: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // SARIF is a whole-report format: emit it even for a clean scan so
+    // the CI upload step always has a valid document.
+    if let Format::Sarif = opts.format {
+        println!("{}", analyzer::to_sarif(&findings, &unused));
+        if findings.is_empty() && unused.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "dnvme-lint: {} finding(s), {} unused suppression(s)",
+            findings.len(),
+            unused.len()
+        );
+        return ExitCode::FAILURE;
+    }
     if findings.is_empty() && unused.is_empty() {
         println!(
             "dnvme-lint: workspace clean{}",
@@ -82,13 +140,13 @@ fn main() -> ExitCode {
     }
     for f in &findings {
         match opts.format {
-            Format::Text => println!("{f}"),
+            Format::Text | Format::Sarif => println!("{f}"),
             Format::Github => println!("{}", f.to_github_annotation()),
         }
     }
     for u in &unused {
         match opts.format {
-            Format::Text => println!("{u}"),
+            Format::Text | Format::Sarif => println!("{u}"),
             Format::Github => println!("{}", u.to_github_annotation()),
         }
     }

@@ -222,6 +222,23 @@ fn d07_ignores_reads_off_the_io_path_and_functional_reads() {
 }
 
 #[test]
+fn d07_follows_turbofish_method_calls() {
+    // Regression: `probe::<u32>()` is still a method call. Before the
+    // turbofish fix the call-graph walk did not recognise `name::<T>(`
+    // as a call, dropped the submit→probe edge, and the transitive
+    // non-posted read below slipped through the I/O-path scan.
+    let src = "async fn submit(&self, bio: Bio) {\n\
+                   let v = self.backend.probe::<u32>().await?;\n\
+               }\n\
+               async fn probe<T>(&self) -> T {\n\
+                   self.fabric.cpu_read_u32(self.host, self.bar).await\n\
+               }\n";
+    let f = scan(src, &[Rule::D07]);
+    assert_eq!(codes(&f), ["D07"]);
+    assert_eq!(f[0].line, 5, "finding points at the transitive read");
+}
+
+#[test]
 fn d07_suppression() {
     let src = "async fn submit(&self) {\n\
                    // lint:allow(D07) — migration fallback reads the old ring once\n\
@@ -411,6 +428,227 @@ fn d11_suppression() {
                    let ok = admin.delete_io_qpair(qid).await?;\n\
                }\n";
     assert!(scan(src, &[Rule::D11]).is_empty());
+}
+
+// ------------------------------------------------------------------ D12
+
+#[test]
+fn d12_flags_raw_as_u64_reaching_a_sink() {
+    // Direct: the raw qword is minted inside the sink's argument list.
+    let src = "async fn f(&self) {\n\
+                   fabric.cpu_write_u32(h, self.db.as_u64(), tail).await?;\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D12])), ["D12"]);
+    // Through the chain: minted two statements up, laundered through
+    // arithmetic, then handed to a DMA sink still raw.
+    let src = "async fn f(&self) {\n\
+                   let raw = self.win.bus_base.as_u64();\n\
+                   let target = raw + 16;\n\
+                   fabric.dma_write(dev, target, &payload).await?;\n\
+               }\n";
+    let f = scan(src, &[Rule::D12]);
+    assert_eq!(codes(&f), ["D12"]);
+    assert_eq!(f[0].line, 4, "finding points at the sink, not the mint");
+}
+
+#[test]
+fn d12_ignores_rewrapped_values() {
+    // Re-entering the typed world before the sink clears the taint —
+    // upstream of the call or right at the sink boundary.
+    let src = "async fn f(&self) {\n\
+                   let raw = self.win.bus_base.as_u64();\n\
+                   let target = PhysAddr(raw + 16);\n\
+                   fabric.dma_write(dev, target, &payload).await?;\n\
+                   fabric.ring(PhysAddr(self.db.as_u64())).await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D12]).is_empty());
+}
+
+#[test]
+fn d12_suppression() {
+    let src = "async fn f(&self) {\n\
+                   // lint:allow(D12) — wire-format register takes a raw qword\n\
+                   fabric.cpu_write_u32(h, self.db.as_u64(), tail).await?;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D12]).is_empty());
+}
+
+// ------------------------------------------------------------------ D13
+
+#[test]
+fn d13_flags_cross_host_address_without_translation() {
+    // Fabric sink: an address minted in host_a's domain written through
+    // host_b's window with no NTB translation on the path.
+    let src = "fn f(&self, fabric: &Fabric) {\n\
+                   let addr = DomainAddr::new(host_a, 0x4000);\n\
+                   fabric.mem_write(host_b, addr, &bytes);\n\
+               }\n";
+    let f = scan(src, &[Rule::D13]);
+    assert_eq!(codes(&f), ["D13"]);
+    assert_eq!(f[0].line, 3);
+    // Region sink: a peer-domain region probed with a local address.
+    let src = "fn g(&self) {\n\
+                   let remote = MemRegion::new(self.peer, PhysAddr(0), 4096);\n\
+                   let local = DomainAddr::new(self.host, 0x100);\n\
+                   let ok = remote.contains(local);\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D13])), ["D13"]);
+}
+
+#[test]
+fn d13_ignores_translated_and_same_host_flows() {
+    let src = "fn f(&self, fabric: &Fabric) {\n\
+                   let addr = DomainAddr::new(host_a, 0x4000);\n\
+                   let mapped = ntb.translate(addr);\n\
+                   fabric.mem_write(host_b, mapped, &bytes);\n\
+                   fabric.mem_write(host_a, addr, &bytes);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D13]).is_empty());
+}
+
+#[test]
+fn d13_suppression() {
+    let src = "fn f(&self, fabric: &Fabric) {\n\
+                   let addr = DomainAddr::new(host_a, 0x4000);\n\
+                   // lint:allow(D13) — loopback probe writes the raw peer window\n\
+                   fabric.mem_write(host_b, addr, &bytes);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D13]).is_empty());
+}
+
+// ------------------------------------------------------------------ D14
+
+#[test]
+fn d14_flags_unread_status_before_retire() {
+    let src = "async fn f(&self) {\n\
+                   let status = self.engine.io_raw(qid, sqe).await;\n\
+                   self.pool.free(tag);\n\
+               }\n";
+    let f = scan(src, &[Rule::D14]);
+    assert_eq!(codes(&f), ["D14"]);
+    assert_eq!(f[0].line, 2, "finding points at the dead binding");
+}
+
+#[test]
+fn d14_ignores_checked_and_deliberately_discarded_status() {
+    let src = "async fn f(&self) {\n\
+                   let status = self.engine.io_raw(qid, sqe).await;\n\
+                   if status.is_err() { return; }\n\
+                   self.pool.free(tag);\n\
+               }\n\
+               async fn g(&self) {\n\
+                   let _ignored = self.engine.io_raw(qid, sqe).await;\n\
+                   self.pool.free(tag);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D14]).is_empty());
+}
+
+#[test]
+fn d14_suppression() {
+    let src = "async fn f(&self) {\n\
+                   // lint:allow(D14) — fire-and-forget flush, pool is idempotent\n\
+                   let status = self.engine.io_raw(qid, sqe).await;\n\
+                   self.pool.free(tag);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D14]).is_empty());
+}
+
+// ------------------------------------------------------------------ D15
+
+#[test]
+fn d15_flags_slice_bounds_exceeding_region_length() {
+    // Literal offset at the region's end: off + len = 4104 > 4096.
+    let src = "fn f(&self) {\n\
+                   let region = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   let tail = region.slice(4096, 8);\n\
+               }\n";
+    let f = scan(src, &[Rule::D15]);
+    assert_eq!(codes(&f), ["D15"]);
+    assert_eq!(f[0].line, 3);
+    // Interval arithmetic: an inclusive loop bound pushes the last
+    // entry one stride past the ring (max off 64*64 + 64 = 4160).
+    let src = "const SQE: u64 = 64;\n\
+               fn f(&self) {\n\
+                   let ring = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   for i in 0..=64 {\n\
+                       let e = ring.slice(i * SQE, SQE);\n\
+                   }\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D15])), ["D15"]);
+}
+
+#[test]
+fn d15_ignores_in_bounds_and_unknown_ranges() {
+    // The exclusive-bound version of the same loop stays in bounds
+    // (max off 63*64 + 64 = 4096 exactly), and dynamic offsets with no
+    // static interval are honestly unknown, not flagged.
+    let src = "const SQE: u64 = 64;\n\
+               fn f(&self) {\n\
+                   let ring = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   for i in 0..64 {\n\
+                       let e = ring.slice(i * SQE, SQE);\n\
+                   }\n\
+                   let d = ring.slice(dynamic_off, 8);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D15]).is_empty());
+}
+
+#[test]
+fn d15_suppression() {
+    let src = "fn f(&self) {\n\
+                   let region = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   // lint:allow(D15) — deliberate overrun for the sanitizer seed\n\
+                   let tail = region.slice(4096, 8);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D15]).is_empty());
+}
+
+// ------------------------------------------------------------------ D16
+
+#[test]
+fn d16_flags_guard_held_across_await() {
+    // Guard used after the await: the borrow is live across it.
+    let src = "async fn f(&self) {\n\
+                   let admin = self.admin.borrow_mut();\n\
+                   self.handle.sleep(d).await;\n\
+                   admin.submit(sqe);\n\
+               }\n";
+    let f = scan(src, &[Rule::D16]);
+    assert_eq!(codes(&f), ["D16"]);
+    assert_eq!(f[0].line, 2, "finding points at the guard binding");
+    // Named-but-unused guard: Rust keeps `_guard` alive to end of
+    // scope, so the await still happens under the lock.
+    let src = "async fn g(&self) {\n\
+                   let _guard = self.lock.lock();\n\
+                   self.handle.sleep(d).await;\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D16])), ["D16"]);
+}
+
+#[test]
+fn d16_ignores_scoped_borrows_and_immediate_drops() {
+    // The reap-loop discipline: borrow inside a block, copy out, drop
+    // before awaiting. A bare `let _ = …` drops the guard immediately.
+    let src = "async fn f(&self) {\n\
+                   let depth = { let admin = self.admin.borrow(); admin.depth() };\n\
+                   self.handle.sleep(d).await;\n\
+               }\n\
+               async fn g(&self) {\n\
+                   let _ = self.cell.borrow_mut();\n\
+                   self.handle.sleep(d).await;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D16]).is_empty());
+}
+
+#[test]
+fn d16_suppression() {
+    let src = "async fn f(&self) {\n\
+                   // lint:allow(D16) — exclusive reset path, no reentrant borrow\n\
+                   let admin = self.admin.borrow_mut();\n\
+                   self.handle.sleep(d).await;\n\
+                   admin.replace(fresh);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D16]).is_empty());
 }
 
 // ----------------------------------------------------- scanner hygiene

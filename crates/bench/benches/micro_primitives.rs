@@ -16,7 +16,14 @@ use simcore::stats::Histogram;
 use simcore::LatencyRecorder;
 
 fn bench_sqe(c: &mut Criterion) {
-    let sqe = SqEntry::read(42, 1, 0x1234_5678, 7, 0xDEAD_0000, 0xBEEF_0000);
+    let sqe = SqEntry::read(
+        42,
+        1,
+        0x1234_5678,
+        7,
+        PhysAddr(0xDEAD_0000),
+        PhysAddr(0xBEEF_0000),
+    );
     c.bench_function("sqe_encode", |b| b.iter(|| black_box(sqe).encode()));
     let raw = sqe.encode();
     c.bench_function("sqe_decode", |b| {
@@ -37,12 +44,26 @@ fn bench_cqe(c: &mut Criterion) {
 
 fn bench_prp(c: &mut Criterion) {
     c.bench_function("prp_build_4k", |b| {
-        b.iter(|| prp::build_prps(black_box(0x1000_0000), 4096, 0x2000_0000).unwrap())
+        b.iter(|| {
+            prp::build_prps(
+                black_box(PhysAddr(0x1000_0000)),
+                4096,
+                PhysAddr(0x2000_0000),
+            )
+            .unwrap()
+        })
     });
     c.bench_function("prp_build_128k", |b| {
-        b.iter(|| prp::build_prps(black_box(0x1000_0000), 128 << 10, 0x2000_0000).unwrap())
+        b.iter(|| {
+            prp::build_prps(
+                black_box(PhysAddr(0x1000_0000)),
+                128 << 10,
+                PhysAddr(0x2000_0000),
+            )
+            .unwrap()
+        })
     });
-    let set = prp::build_prps(0x1000_0000, 128 << 10, 0x2000_0000).unwrap();
+    let set = prp::build_prps(PhysAddr(0x1000_0000), 128 << 10, PhysAddr(0x2000_0000)).unwrap();
     c.bench_function("prp_chunks_128k", |b| {
         b.iter(|| prp::chunks(black_box(set.prp1), &set.list, 128 << 10).unwrap())
     });

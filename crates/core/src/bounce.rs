@@ -7,7 +7,7 @@
 //! programmed once" — the PRP lists below are written exactly once, at
 //! connect time.
 
-use pcie::MemRegion;
+use pcie::{MemRegion, PhysAddr};
 use smartio::{AccessHints, DmaWindow, SegmentId, SmartDeviceId, SmartIo};
 
 use crate::error::{DnvmeError, Result};
@@ -21,14 +21,14 @@ const PAGE: u64 = nvme::spec::prp::PAGE;
 /// ranges. [`BouncePool::new`] runs it on the real layout; tests can feed
 /// a deliberately broken one.
 #[cfg(feature = "sanitize")]
-pub fn sanitize_check_partitions(handle: &simcore::Handle, parts: &[(u64, u64)]) {
+pub fn sanitize_check_partitions(handle: &simcore::Handle, parts: &[(PhysAddr, u64)]) {
     for (i, &(a_start, a_len)) in parts.iter().enumerate() {
         for (j, &(b_start, b_len)) in parts.iter().enumerate().skip(i + 1) {
-            if a_start < b_start + b_len && b_start < a_start + a_len {
+            if a_start < b_start.offset(b_len) && b_start < a_start.offset(a_len) {
                 handle.sanitize_report(
                     "dnvme.bounce-overlap",
                     format!(
-                        "bounce ranges {i} and {j} overlap: {a_start:#x}+{a_len:#x} vs {b_start:#x}+{b_len:#x}"
+                        "bounce ranges {i} and {j} overlap: {a_start}+{a_len:#x} vs {b_start}+{b_len:#x}"
                     ),
                 );
             }
@@ -93,9 +93,9 @@ impl BouncePool {
         // of partition t (bus addresses!).
         let fabric = smartio.fabric();
         for tag in 0..tags {
-            let part_bus = window.bus_base + tag as u64 * partition;
+            let part_bus = window.bus_base.offset(tag as u64 * partition);
             let entries: Vec<u8> = (1..pages_per_partition)
-                .flat_map(|i| (part_bus + i * PAGE).to_le_bytes())
+                .flat_map(|i| part_bus.offset(i * PAGE).to_le_bytes())
                 .collect();
             if !entries.is_empty() {
                 fabric.mem_write(
@@ -107,9 +107,9 @@ impl BouncePool {
         }
         #[cfg(feature = "sanitize")]
         {
-            let layout: Vec<(u64, u64)> = (0..tags as u64)
-                .map(|t| (window.bus_base + t * partition, partition))
-                .chain((0..tags as u64).map(|t| (list_window.bus_base + t * PAGE, PAGE)))
+            let layout: Vec<(PhysAddr, u64)> = (0..tags as u64)
+                .map(|t| (window.bus_base.offset(t * partition), partition))
+                .chain((0..tags as u64).map(|t| (list_window.bus_base.offset(t * PAGE), PAGE)))
                 .collect();
             sanitize_check_partitions(&fabric.handle(), &layout);
         }
@@ -145,14 +145,14 @@ impl BouncePool {
     /// partition. Partitions are page aligned, so PRP1 never carries an
     /// offset; PRP2 is unused (≤1 page), the second page (≤2 pages), or
     /// the tag's precomputed list pointer.
-    pub fn prps(&self, tag: usize, len: u64) -> (u64, u64) {
+    pub fn prps(&self, tag: usize, len: u64) -> (PhysAddr, PhysAddr) {
         assert!(tag < self.tags && len > 0 && len <= self.partition);
-        let prp1 = self.window.bus_base + tag as u64 * self.partition;
+        let prp1 = self.window.bus_base.offset(tag as u64 * self.partition);
         let pages = len.div_ceil(PAGE);
         let prp2 = match pages {
-            1 => 0,
-            2 => prp1 + PAGE,
-            _ => self.list_window.bus_base + tag as u64 * PAGE,
+            1 => PhysAddr(0),
+            2 => prp1.offset(PAGE),
+            _ => self.list_window.bus_base.offset(tag as u64 * PAGE),
         };
         (prp1, prp2)
     }

@@ -24,7 +24,7 @@ use nvme::spec::command::{SqEntry, SQE_SIZE};
 use nvme::spec::completion::{CqEntry, CQE_SIZE};
 use nvme::spec::prp;
 use nvme::spec::registers::Cap;
-use pcie::{DomainAddr, Fabric, HostId, MemRegion};
+use pcie::{DomainAddr, Fabric, HostId, MemRegion, PhysAddr};
 use simcore::sync::Semaphore;
 use simcore::{Handle, SimDuration};
 use smartio::{AccessHints, BorrowMode, SegmentId, SmartDeviceId, SmartIo};
@@ -162,8 +162,8 @@ struct RpcPolicy {
 struct QpWiring {
     qid: u16,
     entries: u16,
-    sq_bus: u64,
-    cq_bus: u64,
+    sq_bus: PhysAddr,
+    cq_bus: PhysAddr,
     iv: Option<u16>,
 }
 
@@ -219,7 +219,7 @@ pub struct ClientDriver {
     bounce: RefCell<Option<BouncePool>>,
     /// Per-tag PRP list page for DirectMapped mode.
     direct_lists: Vec<MemRegion>,
-    direct_list_bus: u64,
+    direct_list_bus: PhysAddr,
     /// Mappings/segments to release on disconnect.
     cleanup: RefCell<Option<Cleanup>>,
     response_segment: SegmentId,
@@ -848,7 +848,7 @@ impl ClientDriver {
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 self.stats.borrow_mut().dynamic_maps += 1;
                 let list_page = &self.direct_lists[cid as usize];
-                let list_bus = self.direct_list_bus + cid as u64 * prp::PAGE;
+                let list_bus = self.direct_list_bus.offset(cid as u64 * prp::PAGE);
                 let set = prp::build_prps(win.bus_base, len, list_bus)
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 if !set.list.is_empty() {

@@ -582,12 +582,14 @@ impl Manager {
     /// Recovery ladder rung 4: full controller re-initialization. Every
     /// granted queue pair is revoked — clients other than the requester
     /// learn this through NOT_OWNER / timed-out I/O, the typed-error path.
-    #[allow(clippy::await_holding_refcell_ref)]
     async fn reset_controller(&self) -> AdminResult<()> {
         let fabric = self.smartio.fabric().clone();
         let handle = fabric.handle();
         self.qids.borrow_mut().clear();
-        let mut admin = self.admin.borrow_mut();
+        // Borrow the admin queue only *after* the re-init await resolves:
+        // holding the RefCell guard across the await would turn any
+        // concurrent admin use during the reset into a reentrant-borrow
+        // panic instead of the NOT_OWNER / timeout path (D16).
         let r = simcore::timeout(
             &handle,
             self.cfg.admin_timeout,
@@ -596,7 +598,7 @@ impl Manager {
         .await;
         match r {
             Ok(Ok(fresh)) => {
-                *admin = fresh;
+                *self.admin.borrow_mut() = fresh;
                 self.stats.borrow_mut().controller_resets += 1;
                 Ok(())
             }

@@ -6,6 +6,8 @@
 //! sides may be different machines, so the layouts are explicit
 //! little-endian, versioned by a magic word.
 
+use pcie::PhysAddr;
+
 /// Magic identifying a dnvme metadata segment.
 pub const META_MAGIC: u32 = 0x444E_564D; // "DNVM"
 
@@ -91,8 +93,8 @@ pub enum Request {
     /// clients poll and pass `None`).
     CreateQp {
         entries: u16,
-        sq_bus: u64,
-        cq_bus: u64,
+        sq_bus: PhysAddr,
+        cq_bus: PhysAddr,
         response_segment: u32,
         iv: Option<u16>,
         /// Ask for this specific queue id (0 = any free qid). Recovery
@@ -209,8 +211,8 @@ impl SlotMessage {
                 let raw_iv = u16::from_le_bytes(b[14..16].try_into().unwrap());
                 Request::CreateQp {
                     entries: u16::from_le_bytes(b[12..14].try_into().unwrap()),
-                    sq_bus: u64::from_le_bytes(b[16..24].try_into().unwrap()),
-                    cq_bus: u64::from_le_bytes(b[24..32].try_into().unwrap()),
+                    sq_bus: PhysAddr(u64::from_le_bytes(b[16..24].try_into().unwrap())),
+                    cq_bus: PhysAddr(u64::from_le_bytes(b[24..32].try_into().unwrap())),
                     response_segment,
                     iv: (raw_iv != 0xFFFF).then_some(raw_iv),
                     want_qid: u16::from_le_bytes(b[36..38].try_into().unwrap()),
@@ -349,8 +351,8 @@ mod tests {
             retry: 0,
             request: Request::CreateQp {
                 entries: 256,
-                sq_bus: 0xDEAD_0000,
-                cq_bus: 0xBEEF_0000,
+                sq_bus: PhysAddr(0xDEAD_0000),
+                cq_bus: PhysAddr(0xBEEF_0000),
                 response_segment: 12,
                 iv: None,
                 want_qid: 0,
@@ -362,8 +364,8 @@ mod tests {
             retry: 2,
             request: Request::CreateQp {
                 entries: 8,
-                sq_bus: 1,
-                cq_bus: 2,
+                sq_bus: PhysAddr(1),
+                cq_bus: PhysAddr(2),
                 response_segment: 3,
                 iv: Some(7),
                 want_qid: 5,

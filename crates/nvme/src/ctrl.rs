@@ -69,7 +69,7 @@ struct Regs {
 
 struct SqState {
     qid: u16,
-    base: u64,
+    base: PhysAddr,
     entries: u16,
     cqid: u16,
     head: u16,
@@ -80,7 +80,7 @@ struct SqState {
 }
 
 struct CqState {
-    base: u64,
+    base: PhysAddr,
     entries: u16,
     tail: u16,
     phase: bool,
@@ -252,7 +252,7 @@ impl NvmeController {
         self.handle.sleep(self.config.enable_delay).await;
         let (aqa, asq, acq) = {
             let r = self.regs.borrow();
-            (Aqa::decode(r.aqa), r.asq, r.acq)
+            (Aqa::decode(r.aqa), PhysAddr(r.asq), PhysAddr(r.acq))
         };
         // Install the admin queue pair (qid 0).
         let cq = Rc::new(RefCell::new(CqState {
@@ -386,11 +386,7 @@ impl NvmeController {
                 let mut raw = [0u8; SQE_SIZE];
                 if self
                     .fabric
-                    .dma_read(
-                        dev,
-                        PhysAddr(base + head as u64 * SQE_SIZE as u64),
-                        &mut raw,
-                    )
+                    .dma_read(dev, base.offset(head as u64 * SQE_SIZE as u64), &mut raw)
                     .await
                     .is_err()
                 {
@@ -454,7 +450,16 @@ impl NvmeController {
                 let mut c = cq.borrow_mut();
                 let next = (c.tail + 1) % c.entries;
                 if next == c.head_shadow {
-                    (0, false, 0, None, true, c.space.clone(), c.alive, c.entries)
+                    (
+                        0,
+                        false,
+                        PhysAddr(0),
+                        None,
+                        true,
+                        c.space.clone(),
+                        c.alive,
+                        c.entries,
+                    )
                 } else {
                     let slot = c.tail;
                     let phase = c.phase;
@@ -500,7 +505,7 @@ impl NvmeController {
                 .fabric
                 .dma_write(
                     dev,
-                    PhysAddr(base + slot as u64 * CQE_SIZE as u64),
+                    base.offset(slot as u64 * CQE_SIZE as u64),
                     &cqe.encode(),
                 )
                 .await;
@@ -547,12 +552,7 @@ impl NvmeController {
             _ => return (0, Status::INVALID_FIELD),
         };
         let dev = self.device_id();
-        if self
-            .fabric
-            .dma_write(dev, PhysAddr(sqe.prp1), &data)
-            .await
-            .is_err()
-        {
+        if self.fabric.dma_write(dev, sqe.prp1, &data).await.is_err() {
             return (0, Status::DATA_TRANSFER_ERROR);
         }
         (0, Status::SUCCESS)
@@ -580,7 +580,7 @@ impl NvmeController {
         let dev = self.device_id();
         if self
             .fabric
-            .dma_write(dev, PhysAddr(sqe.prp1), &data[..n])
+            .dma_write(dev, sqe.prp1, &data[..n])
             .await
             .is_err()
         {
@@ -788,7 +788,7 @@ impl NvmeController {
         let mut raw = vec![0u8; nr * DSM_RANGE_LEN];
         if self
             .fabric
-            .dma_read(self.device_id(), PhysAddr(sqe.prp1), &mut raw)
+            .dma_read(self.device_id(), sqe.prp1, &mut raw)
             .await
             .is_err()
         {
@@ -810,10 +810,10 @@ impl NvmeController {
 
     /// Gather the DMA chunk list for a command, fetching the PRP list from
     /// host memory when the transfer spans more than two pages.
-    async fn dma_chunks(&self, sqe: &SqEntry, len: u64) -> Result<Vec<(u64, u64)>, Status> {
-        let off = sqe.prp1 % prp::PAGE;
+    async fn dma_chunks(&self, sqe: &SqEntry, len: u64) -> Result<Vec<(PhysAddr, u64)>, Status> {
+        let off = sqe.prp1.align_offset(prp::PAGE);
         let pages = prp::pages_spanned(off, len);
-        let rest: Vec<u64> = if pages <= 1 {
+        let rest: Vec<PhysAddr> = if pages <= 1 {
             Vec::new()
         } else if pages == 2 {
             vec![sqe.prp2]
@@ -821,11 +821,11 @@ impl NvmeController {
             let n = (pages - 1) as usize;
             let mut raw = vec![0u8; n * 8];
             self.fabric
-                .dma_read(self.device_id(), PhysAddr(sqe.prp2), &mut raw)
+                .dma_read(self.device_id(), sqe.prp2, &mut raw)
                 .await
                 .map_err(|_| Status::DATA_TRANSFER_ERROR)?;
             raw.chunks(8)
-                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .map(|c| PhysAddr(u64::from_le_bytes(c.try_into().unwrap())))
                 .collect()
         };
         prp::chunks(sqe.prp1, &rest, len).map_err(|_| Status::INVALID_PRP_OFFSET)
@@ -852,12 +852,7 @@ impl NvmeController {
         let mut cursor = 0usize;
         for (addr, clen) in chunks {
             let slice = &data[cursor..cursor + clen as usize];
-            if self
-                .fabric
-                .dma_write(dev, PhysAddr(addr), slice)
-                .await
-                .is_err()
-            {
+            if self.fabric.dma_write(dev, addr, slice).await.is_err() {
                 return Status::DATA_TRANSFER_ERROR;
             }
             cursor += clen as usize;
@@ -885,12 +880,7 @@ impl NvmeController {
         let mut cursor = 0usize;
         for (addr, clen) in chunks {
             let slice = &mut data[cursor..cursor + clen as usize];
-            if self
-                .fabric
-                .dma_read(dev, PhysAddr(addr), slice)
-                .await
-                .is_err()
-            {
+            if self.fabric.dma_read(dev, addr, slice).await.is_err() {
                 return Status::DATA_TRANSFER_ERROR;
             }
             cursor += clen as usize;
@@ -910,7 +900,7 @@ impl NvmeController {
     fn sanitize_sq_doorbell(
         &self,
         qid: u16,
-        base: u64,
+        base: PhysAddr,
         entries: u16,
         old_tail: u16,
         new_tail: u16,
@@ -918,7 +908,7 @@ impl NvmeController {
         let host = self.fabric.device_host(self.device_id());
         let mut slot = old_tail;
         while slot != new_tail {
-            let addr = PhysAddr(base + slot as u64 * SQE_SIZE as u64);
+            let addr = base.offset(slot as u64 * SQE_SIZE as u64);
             if self
                 .fabric
                 .sanitize_pending_posted_overlap(host, addr, SQE_SIZE as u64)
@@ -937,9 +927,9 @@ impl NvmeController {
     /// holds the *previous* lap's entry, whose phase tag is the inverse of
     /// the one being posted; a matching phase means the controller lapped
     /// the host's head doorbell.
-    fn sanitize_cq_post(&self, cqid: u16, slot: u16, phase: bool, base: u64) {
+    fn sanitize_cq_post(&self, cqid: u16, slot: u16, phase: bool, base: PhysAddr) {
         let host = self.fabric.device_host(self.device_id());
-        let addr = PhysAddr(base + slot as u64 * CQE_SIZE as u64);
+        let addr = base.offset(slot as u64 * CQE_SIZE as u64);
         if self
             .fabric
             .sanitize_pending_posted_overlap(host, addr, CQE_SIZE as u64)

@@ -70,11 +70,11 @@ pub struct AdminQueueLayout {
     /// CPU-visible region the driver writes SQEs into.
     pub asq_cpu: MemRegion,
     /// Bus address of the ASQ as the *device* sees it.
-    pub asq_bus: u64,
+    pub asq_bus: PhysAddr,
     /// CPU-local region the driver polls for CQEs (must be host-local).
     pub acq_cpu: MemRegion,
     /// Bus address of the ACQ as the device sees it.
-    pub acq_bus: u64,
+    pub acq_bus: PhysAddr,
     /// Entries in each admin queue.
     pub entries: u16,
 }
@@ -187,7 +187,7 @@ impl AdminQueue {
     pub async fn identify_controller(
         &mut self,
         buf: MemRegion,
-        buf_bus: u64,
+        buf_bus: PhysAddr,
     ) -> AdminResult<IdentifyController> {
         self.submit(SqEntry::identify_controller(0, buf_bus))
             .await?;
@@ -201,7 +201,7 @@ impl AdminQueue {
         &mut self,
         nsid: u32,
         buf: MemRegion,
-        buf_bus: u64,
+        buf_bus: PhysAddr,
     ) -> AdminResult<IdentifyNamespace> {
         self.submit(SqEntry::identify_namespace(0, nsid, buf_bus))
             .await?;
@@ -225,8 +225,8 @@ impl AdminQueue {
         &mut self,
         qid: u16,
         entries: u16,
-        sq_bus: u64,
-        cq_bus: u64,
+        sq_bus: PhysAddr,
+        cq_bus: PhysAddr,
         iv: Option<u16>,
     ) -> AdminResult<()> {
         self.submit(SqEntry::create_io_cq(0, qid, entries - 1, cq_bus, iv))
@@ -265,7 +265,7 @@ impl AdminQueue {
     pub async fn read_error_log(
         &mut self,
         buf: MemRegion,
-        buf_bus: u64,
+        buf_bus: PhysAddr,
         max_entries: usize,
     ) -> AdminResult<Vec<ErrorLogEntry>> {
         let bytes = max_entries * ERROR_LOG_ENTRY_LEN;

@@ -10,7 +10,7 @@
 
 use std::rc::Rc;
 
-use pcie::{DomainAddr, Fabric, HostId, MemRegion};
+use pcie::{DomainAddr, Fabric, HostId, MemRegion, PhysAddr};
 use simcore::{Handle, SimDuration};
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BlockDevice};
@@ -124,20 +124,16 @@ impl LocalNvmeDriver {
             bar,
             AdminQueueLayout {
                 asq_cpu: asq,
-                asq_bus: asq.addr.as_u64(),
+                asq_bus: asq.addr,
                 acq_cpu: acq,
-                acq_bus: acq.addr.as_u64(),
+                acq_bus: acq.addr,
                 entries: 32,
             },
         )
         .await?;
         let idbuf = fabric.alloc(host, 4096)?;
-        let ctrl_info = admin
-            .identify_controller(idbuf, idbuf.addr.as_u64())
-            .await?;
-        let ns_info = admin
-            .identify_namespace(1, idbuf, idbuf.addr.as_u64())
-            .await?;
+        let ctrl_info = admin.identify_controller(idbuf, idbuf.addr).await?;
+        let ns_info = admin.identify_namespace(1, idbuf, idbuf.addr).await?;
         fabric.release(idbuf);
         admin.set_num_queues(1).await?;
 
@@ -149,7 +145,7 @@ impl LocalNvmeDriver {
             CompletionMode::Polling { .. } => None,
         };
         admin
-            .create_io_qpair(1, entries, sq_mem.addr.as_u64(), cq_mem.addr.as_u64(), iv)
+            .create_io_qpair(1, entries, sq_mem.addr, cq_mem.addr, iv)
             .await?;
         let cap = admin.cap;
         // IRQ routing + completion strategy for the engine's service task.
@@ -212,7 +208,7 @@ impl LocalNvmeDriver {
         op: BioOp,
         lba: u64,
         blocks: u32,
-        bus_addr: u64,
+        bus_addr: PhysAddr,
     ) -> Result<Status, BioError> {
         let tag = self.engine.acquire_tag().await?;
         self.handle.sleep(self.cfg.submission_overhead).await;
@@ -222,7 +218,7 @@ impl LocalNvmeDriver {
             BioOp::Flush => SqEntry::flush(cid, 1),
             BioOp::Read | BioOp::Write => {
                 let list_page = &self.prp_pages[cid as usize];
-                let set = prp::build_prps(bus_addr, len, list_page.addr.as_u64())
+                let set = prp::build_prps(bus_addr, len, list_page.addr)
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 if !set.list.is_empty() {
                     let raw: Vec<u8> = set.list.iter().flat_map(|e| e.to_le_bytes()).collect();
@@ -271,13 +267,8 @@ impl LocalNvmeDriver {
         self.fabric
             .mem_write(self.host, list_page.addr, &raw)
             .map_err(|e| BioError::DeviceError(e.to_string()))?;
-        let sqe = SqEntry::dataset_management(
-            cid,
-            1,
-            (ranges.len() - 1) as u8,
-            true,
-            list_page.addr.as_u64(),
-        );
+        let sqe =
+            SqEntry::dataset_management(cid, 1, (ranges.len() - 1) as u8, true, list_page.addr);
         let cqe = self.engine.issue(&tag, sqe).await?;
         self.handle.sleep(self.cfg.completion_overhead).await;
         Ok(cqe.status())
@@ -315,7 +306,7 @@ impl BlockDevice for LocalNvmeDriver {
             // Direct DMA to the request buffer: bus address == physical
             // address in the device's own domain.
             let status = self
-                .io_raw(bio.op, bio.lba, bio.blocks, bio.buf.addr.as_u64())
+                .io_raw(bio.op, bio.lba, bio.blocks, bio.buf.addr)
                 .await?;
             if status.is_success() {
                 Ok(())

@@ -338,7 +338,7 @@ impl CqRing {
 mod tests {
     use super::*;
     use crate::spec::status::Status;
-    use pcie::{FabricParams, HostId, PhysAddr};
+    use pcie::{FabricParams, HostId};
     use simcore::SimRuntime;
 
     fn setup() -> (SimRuntime, Fabric, HostId) {
@@ -389,7 +389,7 @@ mod tests {
     fn cq_phase_detection_and_wrap() {
         let (rt, fabric, host) = setup();
         let ring = fabric.alloc(host, 2 * CQE_SIZE as u64).unwrap();
-        let db = DomainAddr::new(host, PhysAddr(ring.addr.as_u64()));
+        let db = DomainAddr::new(host, ring.addr);
         let cq = CqRing::new(&fabric, ring, db, 2);
         assert!(cq.try_pop().is_none(), "empty queue must not pop");
         // Simulate the controller posting entries with correct phases.

@@ -1,6 +1,7 @@
 //! Submission Queue Entry (64 bytes) — NVMe 1.3 §4.2.
 
 use super::opcode::{cns, feature, AdminOpcode, NvmOpcode};
+use pcie::PhysAddr;
 
 /// Byte size of a submission queue entry.
 pub const SQE_SIZE: usize = 64;
@@ -18,10 +19,11 @@ pub struct SqEntry {
     pub nsid: u32,
     /// Metadata pointer (unused).
     pub mptr: u64,
-    /// First PRP entry (bus address, may carry an offset).
-    pub prp1: u64,
+    /// First PRP entry (a device-domain bus address, may carry an
+    /// offset).
+    pub prp1: PhysAddr,
     /// Second PRP entry or PRP-list pointer.
-    pub prp2: u64,
+    pub prp2: PhysAddr,
     /// Command dword 10.
     pub cdw10: u32,
     /// Command dword 11.
@@ -68,8 +70,8 @@ impl SqEntry {
             cid: (dw0 >> 16) as u16,
             nsid: dw(4),
             mptr: qw(16),
-            prp1: qw(24),
-            prp2: qw(32),
+            prp1: PhysAddr(qw(24)),
+            prp2: PhysAddr(qw(32)),
             cdw10: dw(40),
             cdw11: dw(44),
             cdw12: dw(48),
@@ -82,7 +84,14 @@ impl SqEntry {
     // ---------------- builders: NVM command set ----------------
 
     /// NVM Read: `nlb0` is the 0-based block count (spec encoding).
-    pub fn read(cid: u16, nsid: u32, slba: u64, nlb0: u16, prp1: u64, prp2: u64) -> SqEntry {
+    pub fn read(
+        cid: u16,
+        nsid: u32,
+        slba: u64,
+        nlb0: u16,
+        prp1: PhysAddr,
+        prp2: PhysAddr,
+    ) -> SqEntry {
         SqEntry {
             opcode: NvmOpcode::Read as u8,
             cid,
@@ -97,7 +106,14 @@ impl SqEntry {
     }
 
     /// NVM Write.
-    pub fn write(cid: u16, nsid: u32, slba: u64, nlb0: u16, prp1: u64, prp2: u64) -> SqEntry {
+    pub fn write(
+        cid: u16,
+        nsid: u32,
+        slba: u64,
+        nlb0: u16,
+        prp1: PhysAddr,
+        prp2: PhysAddr,
+    ) -> SqEntry {
         SqEntry {
             opcode: NvmOpcode::Write as u8,
             ..Self::read(cid, nsid, slba, nlb0, prp1, prp2)
@@ -121,7 +137,7 @@ impl SqEntry {
         nsid: u32,
         nr0: u8,
         deallocate: bool,
-        prp1: u64,
+        prp1: PhysAddr,
     ) -> SqEntry {
         SqEntry {
             opcode: NvmOpcode::DatasetManagement as u8,
@@ -135,7 +151,7 @@ impl SqEntry {
     }
 
     /// Get Log Page: `numd0` is the 0-based dword count to transfer.
-    pub fn get_log_page(cid: u16, lid: u32, numd0: u16, prp1: u64) -> SqEntry {
+    pub fn get_log_page(cid: u16, lid: u32, numd0: u16, prp1: PhysAddr) -> SqEntry {
         SqEntry {
             opcode: AdminOpcode::GetLogPage as u8,
             cid,
@@ -172,7 +188,7 @@ impl SqEntry {
     // ---------------- builders: admin command set ----------------
 
     /// Admin Identify with an explicit CNS.
-    pub fn identify(cid: u16, cns_value: u32, nsid: u32, prp1: u64) -> SqEntry {
+    pub fn identify(cid: u16, cns_value: u32, nsid: u32, prp1: PhysAddr) -> SqEntry {
         SqEntry {
             opcode: AdminOpcode::Identify as u8,
             cid,
@@ -184,18 +200,24 @@ impl SqEntry {
     }
 
     /// Admin Identify Controller.
-    pub fn identify_controller(cid: u16, prp1: u64) -> SqEntry {
+    pub fn identify_controller(cid: u16, prp1: PhysAddr) -> SqEntry {
         Self::identify(cid, cns::CONTROLLER, 0, prp1)
     }
 
     /// Admin Identify Namespace.
-    pub fn identify_namespace(cid: u16, nsid: u32, prp1: u64) -> SqEntry {
+    pub fn identify_namespace(cid: u16, nsid: u32, prp1: PhysAddr) -> SqEntry {
         Self::identify(cid, cns::NAMESPACE, nsid, prp1)
     }
 
     /// Create I/O Completion Queue: `size0` is 0-based; `iv` the MSI vector
     /// when interrupts are enabled.
-    pub fn create_io_cq(cid: u16, qid: u16, size0: u16, prp1: u64, iv: Option<u16>) -> SqEntry {
+    pub fn create_io_cq(
+        cid: u16,
+        qid: u16,
+        size0: u16,
+        prp1: PhysAddr,
+        iv: Option<u16>,
+    ) -> SqEntry {
         let mut cdw11 = 0x1; // PC: physically contiguous
         if let Some(v) = iv {
             cdw11 |= 0x2 | ((v as u32) << 16); // IEN + vector
@@ -211,7 +233,7 @@ impl SqEntry {
     }
 
     /// Create I/O Submission Queue bound to `cqid`.
-    pub fn create_io_sq(cid: u16, qid: u16, size0: u16, prp1: u64, cqid: u16) -> SqEntry {
+    pub fn create_io_sq(cid: u16, qid: u16, size0: u16, prp1: PhysAddr, cqid: u16) -> SqEntry {
         SqEntry {
             opcode: AdminOpcode::CreateIoSq as u8,
             cid,
@@ -285,7 +307,14 @@ mod tests {
 
     #[test]
     fn read_command_fields() {
-        let sqe = SqEntry::read(42, 1, 0x1_2345_6789, 7, 0xDEAD000, 0xBEEF000);
+        let sqe = SqEntry::read(
+            42,
+            1,
+            0x1_2345_6789,
+            7,
+            PhysAddr(0xDEAD000),
+            PhysAddr(0xBEEF000),
+        );
         assert_eq!(sqe.slba(), 0x1_2345_6789);
         assert_eq!(sqe.num_blocks(), 8);
         assert_eq!(sqe.cid, 42);
@@ -295,12 +324,12 @@ mod tests {
 
     #[test]
     fn create_queue_encodings() {
-        let cq = SqEntry::create_io_cq(1, 3, 255, 0x1000, Some(5));
+        let cq = SqEntry::create_io_cq(1, 3, 255, PhysAddr(0x1000), Some(5));
         assert_eq!(cq.cdw10 & 0xFFFF, 3);
         assert_eq!(cq.cdw10 >> 16, 255);
         assert_eq!(cq.cdw11 & 0x3, 0x3); // PC + IEN
         assert_eq!(cq.cdw11 >> 16, 5);
-        let sq = SqEntry::create_io_sq(2, 3, 255, 0x2000, 3);
+        let sq = SqEntry::create_io_sq(2, 3, 255, PhysAddr(0x2000), 3);
         assert_eq!(sq.cdw11 >> 16, 3);
         assert_eq!(sq.cdw11 & 1, 1);
     }
@@ -333,7 +362,8 @@ mod tests {
             cdws in any::<[u32; 6]>(),
         ) {
             let sqe = SqEntry {
-                opcode, fuse, cid, nsid, mptr, prp1, prp2,
+                opcode, fuse, cid, nsid, mptr,
+                prp1: PhysAddr(prp1), prp2: PhysAddr(prp2),
                 cdw10: cdws[0], cdw11: cdws[1], cdw12: cdws[2],
                 cdw13: cdws[3], cdw14: cdws[4], cdw15: cdws[5],
             };
@@ -342,7 +372,7 @@ mod tests {
 
         #[test]
         fn slba_roundtrip(slba in any::<u64>(), nlb in 0u16..=0xFFFF) {
-            let sqe = SqEntry::read(0, 1, slba, nlb, 0, 0);
+            let sqe = SqEntry::read(0, 1, slba, nlb, PhysAddr(0), PhysAddr(0));
             prop_assert_eq!(sqe.slba(), slba);
             prop_assert_eq!(sqe.num_blocks(), nlb as u64 + 1);
         }

@@ -3,6 +3,13 @@
 //! PRP1 may carry a byte offset into its page; every other entry must be
 //! page aligned. Up to two pages are described inline (PRP1 + PRP2);
 //! larger transfers put a pointer to a **PRP list** in PRP2.
+//!
+//! All entries are [`PhysAddr`]s in the *device's* bus-address domain:
+//! callers on a remote host must translate through an NTB window before
+//! building PRPs (the type makes forgetting that a visible `as_u64()`
+//! escape instead of a silent integer copy).
+
+use pcie::PhysAddr;
 
 /// The memory page size PRPs are defined over.
 pub const PAGE: u64 = 4096;
@@ -11,7 +18,7 @@ pub const PAGE: u64 = 4096;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrpError {
     /// A non-first PRP entry has a page offset.
-    UnalignedEntry(u64),
+    UnalignedEntry(PhysAddr),
     /// Zero-length data transfer where one was required.
     EmptyTransfer,
     /// Transfer exceeds what a single-level PRP list can describe.
@@ -21,7 +28,7 @@ pub enum PrpError {
 impl std::fmt::Display for PrpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PrpError::UnalignedEntry(a) => write!(f, "PRP entry {a:#x} not page aligned"),
+            PrpError::UnalignedEntry(a) => write!(f, "PRP entry {a} not page aligned"),
             PrpError::EmptyTransfer => write!(f, "zero-length PRP transfer"),
             PrpError::TooLarge { pages } => write!(f, "transfer of {pages} pages exceeds PRP list"),
         }
@@ -38,11 +45,11 @@ pub const MAX_PAGES: u64 = 513;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrpSet {
     /// First PRP entry (may carry a byte offset).
-    pub prp1: u64,
-    /// Second page or PRP-list pointer (0 when unused).
-    pub prp2: u64,
+    pub prp1: PhysAddr,
+    /// Second page or PRP-list pointer (`PhysAddr(0)` when unused).
+    pub prp2: PhysAddr,
     /// Entries to be written at the list segment (`prp2`) before issuing.
-    pub list: Vec<u64>,
+    pub list: Vec<PhysAddr>,
 }
 
 /// Number of pages a transfer spans given the first-page byte offset.
@@ -53,34 +60,34 @@ pub fn pages_spanned(first_offset: u64, len: u64) -> u64 {
 /// Build PRPs for a physically contiguous buffer at `bus_addr`.
 /// `list_base` is the (page-aligned) bus address of the caller's PRP-list
 /// page, used only when more than two pages are spanned.
-pub fn build_prps(bus_addr: u64, len: u64, list_base: u64) -> Result<PrpSet, PrpError> {
+pub fn build_prps(bus_addr: PhysAddr, len: u64, list_base: PhysAddr) -> Result<PrpSet, PrpError> {
     if len == 0 {
         return Err(PrpError::EmptyTransfer);
     }
-    let off = bus_addr % PAGE;
+    let off = bus_addr.align_offset(PAGE);
     let pages = pages_spanned(off, len);
     if pages > MAX_PAGES {
         return Err(PrpError::TooLarge { pages });
     }
-    let first_page = bus_addr - off;
+    let first_page = bus_addr.align_down(PAGE);
     if pages == 1 {
         return Ok(PrpSet {
             prp1: bus_addr,
-            prp2: 0,
+            prp2: PhysAddr(0),
             list: Vec::new(),
         });
     }
     if pages == 2 {
         return Ok(PrpSet {
             prp1: bus_addr,
-            prp2: first_page + PAGE,
+            prp2: first_page.offset(PAGE),
             list: Vec::new(),
         });
     }
-    if !list_base.is_multiple_of(PAGE) {
+    if list_base.align_offset(PAGE) != 0 {
         return Err(PrpError::UnalignedEntry(list_base));
     }
-    let list: Vec<u64> = (1..pages).map(|i| first_page + i * PAGE).collect();
+    let list: Vec<PhysAddr> = (1..pages).map(|i| first_page.offset(i * PAGE)).collect();
     Ok(PrpSet {
         prp1: bus_addr,
         prp2: list_base,
@@ -91,12 +98,16 @@ pub fn build_prps(bus_addr: u64, len: u64, list_base: u64) -> Result<PrpSet, Prp
 /// Expand PRP entries into contiguous `(bus_addr, len)` DMA chunks, as the
 /// controller does when executing a command. `rest` holds PRP2 (two-page
 /// case) or the fetched PRP-list entries (list case).
-pub fn chunks(prp1: u64, rest: &[u64], len: u64) -> Result<Vec<(u64, u64)>, PrpError> {
+pub fn chunks(
+    prp1: PhysAddr,
+    rest: &[PhysAddr],
+    len: u64,
+) -> Result<Vec<(PhysAddr, u64)>, PrpError> {
     if len == 0 {
         return Err(PrpError::EmptyTransfer);
     }
     let mut out = Vec::with_capacity(1 + rest.len());
-    let off = prp1 % PAGE;
+    let off = prp1.align_offset(PAGE);
     let first = (PAGE - off).min(len);
     out.push((prp1, first));
     let mut remaining = len - first;
@@ -104,7 +115,7 @@ pub fn chunks(prp1: u64, rest: &[u64], len: u64) -> Result<Vec<(u64, u64)>, PrpE
         if remaining == 0 {
             break;
         }
-        if entry % PAGE != 0 {
+        if entry.align_offset(PAGE) != 0 {
             return Err(PrpError::UnalignedEntry(entry));
         }
         let n = remaining.min(PAGE);
@@ -126,35 +137,41 @@ mod tests {
 
     #[test]
     fn single_page_inline() {
-        let s = build_prps(0x1000_0200, 0x100, 0).unwrap();
-        assert_eq!(s.prp1, 0x1000_0200);
-        assert_eq!(s.prp2, 0);
+        let s = build_prps(PhysAddr(0x1000_0200), 0x100, PhysAddr(0)).unwrap();
+        assert_eq!(s.prp1, PhysAddr(0x1000_0200));
+        assert_eq!(s.prp2, PhysAddr(0));
         assert!(s.list.is_empty());
         let c = chunks(s.prp1, &[], 0x100).unwrap();
-        assert_eq!(c, vec![(0x1000_0200, 0x100)]);
+        assert_eq!(c, vec![(PhysAddr(0x1000_0200), 0x100)]);
     }
 
     #[test]
     fn two_pages_inline() {
         // 4 KiB starting mid-page spans two pages.
-        let s = build_prps(0x1000_0800, 4096, 0).unwrap();
-        assert_eq!(s.prp2, 0x1000_1000);
+        let s = build_prps(PhysAddr(0x1000_0800), 4096, PhysAddr(0)).unwrap();
+        assert_eq!(s.prp2, PhysAddr(0x1000_1000));
         assert!(s.list.is_empty());
         let c = chunks(s.prp1, &[s.prp2], 4096).unwrap();
-        assert_eq!(c, vec![(0x1000_0800, 0x800), (0x1000_1000, 0x800)]);
+        assert_eq!(
+            c,
+            vec![
+                (PhysAddr(0x1000_0800), 0x800),
+                (PhysAddr(0x1000_1000), 0x800)
+            ]
+        );
     }
 
     #[test]
     fn aligned_4k_is_single_page() {
-        let s = build_prps(0x1000_0000, 4096, 0).unwrap();
-        assert_eq!(s.prp2, 0);
+        let s = build_prps(PhysAddr(0x1000_0000), 4096, PhysAddr(0)).unwrap();
+        assert_eq!(s.prp2, PhysAddr(0));
     }
 
     #[test]
     fn large_transfer_uses_list() {
-        let s = build_prps(0x2000_0000, 64 * 1024, 0x3000_0000).unwrap();
-        assert_eq!(s.prp1, 0x2000_0000);
-        assert_eq!(s.prp2, 0x3000_0000);
+        let s = build_prps(PhysAddr(0x2000_0000), 64 * 1024, PhysAddr(0x3000_0000)).unwrap();
+        assert_eq!(s.prp1, PhysAddr(0x2000_0000));
+        assert_eq!(s.prp2, PhysAddr(0x3000_0000));
         assert_eq!(s.list.len(), 15); // 16 pages, first in PRP1
         let c = chunks(s.prp1, &s.list, 64 * 1024).unwrap();
         assert_eq!(c.len(), 16);
@@ -164,22 +181,28 @@ mod tests {
     #[test]
     fn unaligned_list_entry_rejected() {
         assert!(matches!(
-            chunks(0x1000, &[0x2004], 8192),
-            Err(PrpError::UnalignedEntry(0x2004))
+            chunks(PhysAddr(0x1000), &[PhysAddr(0x2004)], 8192),
+            Err(PrpError::UnalignedEntry(PhysAddr(0x2004)))
         ));
     }
 
     #[test]
     fn zero_len_rejected() {
-        assert_eq!(build_prps(0x1000, 0, 0), Err(PrpError::EmptyTransfer));
-        assert_eq!(chunks(0x1000, &[], 0), Err(PrpError::EmptyTransfer));
+        assert_eq!(
+            build_prps(PhysAddr(0x1000), 0, PhysAddr(0)),
+            Err(PrpError::EmptyTransfer)
+        );
+        assert_eq!(
+            chunks(PhysAddr(0x1000), &[], 0),
+            Err(PrpError::EmptyTransfer)
+        );
     }
 
     #[test]
     fn too_large_rejected() {
         let too_big = (MAX_PAGES + 1) * PAGE;
         assert!(matches!(
-            build_prps(0, too_big, 0x1000),
+            build_prps(PhysAddr(0), too_big, PhysAddr(0x1000)),
             Err(PrpError::TooLarge { .. })
         ));
     }
@@ -188,7 +211,7 @@ mod tests {
     fn insufficient_entries_detected() {
         // 3 pages of data but only PRP1+PRP2 provided.
         assert!(matches!(
-            chunks(0x1000, &[0x2000], 3 * 4096),
+            chunks(PhysAddr(0x1000), &[PhysAddr(0x2000)], 3 * 4096),
             Err(PrpError::TooLarge { .. })
         ));
     }
@@ -202,11 +225,11 @@ mod tests {
             off in 0u64..PAGE,
             len in 1u64..(MAX_PAGES - 1) * PAGE,
         ) {
-            let bus = page * PAGE + off;
+            let bus = PhysAddr(page * PAGE + off);
             prop_assume!(pages_spanned(off, len) <= MAX_PAGES);
-            let s = build_prps(bus, len, 0xFFFF_0000).unwrap();
-            let rest: Vec<u64> = if s.list.is_empty() {
-                if s.prp2 != 0 { vec![s.prp2] } else { vec![] }
+            let s = build_prps(bus, len, PhysAddr(0xFFFF_0000)).unwrap();
+            let rest: Vec<PhysAddr> = if s.list.is_empty() {
+                if s.prp2 != PhysAddr(0) { vec![s.prp2] } else { vec![] }
             } else {
                 s.list.clone()
             };
@@ -216,7 +239,7 @@ mod tests {
             let mut total = 0;
             for (a, l) in c {
                 prop_assert_eq!(a, cursor);
-                cursor += l;
+                cursor = cursor.offset(l);
                 total += l;
             }
             prop_assert_eq!(total, len);

@@ -127,7 +127,7 @@ fn out_of_range_returns_device_status() {
         let buf = fabric.alloc(host, 4096).unwrap();
         // Bypass blklayer validation via io_raw to reach the controller's
         // own LBA check.
-        drv.io_raw(BioOp::Read, (1 << 20) - 1, 8, buf.addr.as_u64())
+        drv.io_raw(BioOp::Read, (1 << 20) - 1, 8, buf.addr)
             .await
             .unwrap()
     });
@@ -331,12 +331,12 @@ fn error_log_records_failures_newest_first() {
         // LBA.
         let buf = fabric.alloc(host, 4096).unwrap();
         let s1 = drv
-            .io_raw(BioOp::Read, (1 << 20) + 5, 8, buf.addr.as_u64())
+            .io_raw(BioOp::Read, (1 << 20) + 5, 8, buf.addr)
             .await
             .unwrap();
         assert!(!s1.is_success());
         let s2 = drv
-            .io_raw(BioOp::Read, (1 << 20) + 77, 8, buf.addr.as_u64())
+            .io_raw(BioOp::Read, (1 << 20) + 77, 8, buf.addr)
             .await
             .unwrap();
         assert!(!s2.is_success());
@@ -369,7 +369,7 @@ fn error_log_readable_via_get_log_page() {
                 .unwrap();
             let buf = fabric.alloc(host, 4096).unwrap();
             let _ = drv
-                .io_raw(BioOp::Read, (1 << 20) + 9, 8, buf.addr.as_u64())
+                .io_raw(BioOp::Read, (1 << 20) + 9, 8, buf.addr)
                 .await
                 .unwrap();
         }
@@ -383,9 +383,9 @@ fn error_log_readable_via_get_log_page() {
             fabric.bar_region(ctrl.device_id(), 0).unwrap(),
             AdminQueueLayout {
                 asq_cpu: asq,
-                asq_bus: asq.addr.as_u64(),
+                asq_bus: asq.addr,
                 acq_cpu: acq,
-                acq_bus: acq.addr.as_u64(),
+                acq_bus: acq.addr,
                 entries: 32,
             },
         )
@@ -394,14 +394,11 @@ fn error_log_readable_via_get_log_page() {
         assert!(ctrl.error_log().is_empty(), "reset must clear the log");
         // Issue a bad admin command (invalid identify CNS) to log an error.
         let err = admin
-            .submit(nvme::SqEntry::identify(0, 0x55, 0, asq.addr.as_u64()))
+            .submit(nvme::SqEntry::identify(0, 0x55, 0, asq.addr))
             .await;
         assert!(err.is_err());
         let logbuf = fabric.alloc(host, 4096).unwrap();
-        let entries = admin
-            .read_error_log(logbuf, logbuf.addr.as_u64(), 8)
-            .await
-            .unwrap();
+        let entries = admin.read_error_log(logbuf, logbuf.addr, 8).await.unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].status, nvme::Status::INVALID_FIELD);
         assert_eq!(entries[0].sqid, 0, "admin queue error");

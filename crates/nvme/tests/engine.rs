@@ -57,10 +57,7 @@ fn qd1_rings_once_per_command() {
             .unwrap();
         let buf = fabric.alloc(host, 4096).unwrap();
         for i in 0..50u64 {
-            let status = drv
-                .io_raw(BioOp::Read, i * 8, 8, buf.addr.as_u64())
-                .await
-                .unwrap();
+            let status = drv.io_raw(BioOp::Read, i * 8, 8, buf.addr).await.unwrap();
             assert!(status.is_success());
         }
         let t = drv.engine_totals();
@@ -97,9 +94,7 @@ fn concurrent_submission_coalesces_doorbells() {
                 let buf = fabric.alloc(host, 4096).unwrap();
                 for i in 0..10u64 {
                     let lba = (w * 10 + i) * 8;
-                    drv.io_raw(BioOp::Write, lba, 8, buf.addr.as_u64())
-                        .await
-                        .unwrap();
+                    drv.io_raw(BioOp::Write, lba, 8, buf.addr).await.unwrap();
                 }
             }));
         }
@@ -143,7 +138,7 @@ fn coalesce_limit_one_disables_batching() {
             tasks.push(handle.spawn(async move {
                 let buf = fabric.alloc(host, 4096).unwrap();
                 for i in 0..5u64 {
-                    drv.io_raw(BioOp::Write, (w * 5 + i) * 8, 8, buf.addr.as_u64())
+                    drv.io_raw(BioOp::Write, (w * 5 + i) * 8, 8, buf.addr)
                         .await
                         .unwrap();
                 }
@@ -174,9 +169,7 @@ fn engine_stats_report_per_qpair() {
             .await
             .unwrap();
         let buf = fabric.alloc(host, 4096).unwrap();
-        drv.io_raw(BioOp::Read, 0, 8, buf.addr.as_u64())
-            .await
-            .unwrap();
+        drv.io_raw(BioOp::Read, 0, 8, buf.addr).await.unwrap();
         let stats = drv.engine_stats();
         assert_eq!(stats.qpairs.len(), 1, "local driver runs one I/O qpair");
         assert_eq!(stats.qpairs[0].0, 1, "I/O qpair is qid 1");

@@ -9,7 +9,7 @@ use blklayer::BioOp;
 use nvme::driver::{attach_local_driver, CompletionMode, LocalDriverConfig};
 use nvme::spec::completion::CQE_SIZE;
 use nvme::{BlockStore, CqEntry, CqRing, MediaProfile, NvmeConfig, NvmeController, Status};
-use pcie::{DomainAddr, Fabric, FabricParams, PhysAddr};
+use pcie::{DomainAddr, Fabric, FabricParams};
 use proptest::prelude::*;
 use simcore::{SimDuration, SimRuntime};
 
@@ -77,7 +77,7 @@ proptest! {
                             let pat = (w as u8) ^ (blk as u8) ^ (i as u8);
                             fabric.mem_write(host, buf.addr, &[pat; 512]).unwrap();
                             let st = drv
-                                .io_raw(BioOp::Write, lba, 1, buf.addr.as_u64())
+                                .io_raw(BioOp::Write, lba, 1, buf.addr)
                                 .await
                                 .unwrap();
                             if !st.is_success() {
@@ -86,7 +86,7 @@ proptest! {
                             model[blk as usize] = Some(pat);
                         } else {
                             let st = drv
-                                .io_raw(BioOp::Read, lba, 1, buf.addr.as_u64())
+                                .io_raw(BioOp::Read, lba, 1, buf.addr)
                                 .await
                                 .unwrap();
                             if !st.is_success() {
@@ -144,7 +144,7 @@ proptest! {
             let phase = (i / entries as usize).is_multiple_of(2);
             prop_assert!(cq.try_pop().is_none(), "popped a slot nothing was posted to");
             let cqe = CqEntry::new(0, 0, 1, i as u16, phase, Status::SUCCESS);
-            let addr = PhysAddr(ring.addr.as_u64() + slot as u64 * CQE_SIZE as u64);
+            let addr = ring.addr.offset(slot as u64 * CQE_SIZE as u64);
             fabric.mem_write(host, addr, &cqe.encode()).unwrap();
             let got = cq.try_pop();
             prop_assert!(got.is_some(), "posted entry {i} not visible");
@@ -185,10 +185,7 @@ fn interrupt_mode_tiny_ring_sequential() {
         let drv = attach_local_driver(&f2, host, &ctrl, cfg).await.unwrap();
         let buf = f2.alloc(host, 512).unwrap();
         for i in 0..21u64 {
-            let st = drv
-                .io_raw(BioOp::Write, i % 5, 1, buf.addr.as_u64())
-                .await
-                .unwrap();
+            let st = drv.io_raw(BioOp::Write, i % 5, 1, buf.addr).await.unwrap();
             assert!(st.is_success());
         }
         let t = drv.engine_totals();

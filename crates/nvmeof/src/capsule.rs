@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn remote_capsule_roundtrip() {
         let c = CommandCapsule {
-            sqe: SqEntry::read(5, 1, 100, 7, 0, 0),
+            sqe: SqEntry::read(5, 1, 100, 7, pcie::PhysAddr(0), pcie::PhysAddr(0)),
             data: DataRef::Remote {
                 raddr: 0xDEAD_BEEF,
                 rkey: 0x8000_0001,
@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn icd_capsule_roundtrip() {
         let c = CommandCapsule {
-            sqe: SqEntry::write(6, 1, 0, 7, 0, 0),
+            sqe: SqEntry::write(6, 1, 0, 7, pcie::PhysAddr(0), pcie::PhysAddr(0)),
             data: DataRef::InCapsule(vec![9u8; 4096]),
         };
         let enc = c.encode();
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn truncated_capsule_rejected() {
         let c = CommandCapsule {
-            sqe: SqEntry::write(6, 1, 0, 7, 0, 0),
+            sqe: SqEntry::write(6, 1, 0, 7, pcie::PhysAddr(0), pcie::PhysAddr(0)),
             data: DataRef::InCapsule(vec![1u8; 64]),
         };
         let enc = c.encode();

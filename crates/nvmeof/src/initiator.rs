@@ -199,7 +199,7 @@ impl NvmfInitiator {
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 (
                     CommandCapsule {
-                        sqe: SqEntry::write(cid, 1, bio.lba, nlb0, 0, 0),
+                        sqe: SqEntry::write(cid, 1, bio.lba, nlb0, PhysAddr(0), PhysAddr(0)),
                         data: DataRef::InCapsule(data),
                     },
                     None,
@@ -221,11 +221,11 @@ impl NvmfInitiator {
                 let sqe = match op {
                     BioOp::Read => {
                         self.stats.borrow_mut().reads += 1;
-                        SqEntry::read(cid, 1, bio.lba, nlb0, 0, 0)
+                        SqEntry::read(cid, 1, bio.lba, nlb0, PhysAddr(0), PhysAddr(0))
                     }
                     _ => {
                         self.stats.borrow_mut().writes += 1;
-                        SqEntry::write(cid, 1, bio.lba, nlb0, 0, 0)
+                        SqEntry::write(cid, 1, bio.lba, nlb0, PhysAddr(0), PhysAddr(0))
                     }
                 };
                 (

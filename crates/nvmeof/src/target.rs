@@ -15,7 +15,7 @@ use nvme::spec::command::SqEntry;
 use nvme::spec::completion::CqEntry;
 use nvme::spec::opcode::NvmOpcode;
 use nvme::spec::status::Status;
-use pcie::{Fabric, HostId, MemRegion};
+use pcie::{Fabric, HostId, MemRegion, PhysAddr};
 use rdma::{Access, Cq, IbNet, NicId, Qp, SendWr, Wc, WcStatus};
 use simcore::{Handle, SimDuration};
 
@@ -238,12 +238,14 @@ impl Connection {
         }
     }
 
-    fn tag_addr(&self, tag: u64) -> u64 {
-        self.cmd_region.addr.as_u64() + tag * self.capsule_len
+    fn tag_addr(&self, tag: u64) -> PhysAddr {
+        self.cmd_region.addr.offset(tag * self.capsule_len)
     }
 
-    fn staging(&self, tag: u64) -> u64 {
-        self.staging_region.addr.as_u64() + tag * self.target.cfg.max_io_size
+    fn staging(&self, tag: u64) -> PhysAddr {
+        self.staging_region
+            .addr
+            .offset(tag * self.target.cfg.max_io_size)
     }
 
     async fn handle_capsule(self: Rc<Self>, wc: Wc) {
@@ -251,7 +253,7 @@ impl Connection {
         let tag = wc.wr_id;
         let mut raw = vec![0u8; wc.byte_len as usize];
         t.fabric
-            .mem_read(t.host, pcie::PhysAddr(self.tag_addr(tag)), &mut raw)
+            .mem_read(t.host, self.tag_addr(tag), &mut raw)
             .expect("capsule read");
         let Some(capsule) = CommandCapsule::decode(&raw) else {
             t.stats.borrow_mut().errors += 1;
@@ -265,7 +267,7 @@ impl Connection {
             Some(NvmOpcode::Flush) => {
                 let status = t
                     .driver
-                    .io_raw(BioOp::Flush, 0, 0, 0)
+                    .io_raw(BioOp::Flush, 0, 0, PhysAddr(0))
                     .await
                     .unwrap_or(Status::DATA_TRANSFER_ERROR);
                 self.make_cqe(&sqe, status)
@@ -320,7 +322,7 @@ impl Connection {
             .post_send(SendWr::Write {
                 wr_id: u64::MAX, // data transfers complete silently
                 lkey: self.staging_lkey,
-                laddr: self.staging(tag),
+                laddr: self.staging(tag).as_u64(),
                 len,
                 raddr,
                 rkey,
@@ -344,7 +346,7 @@ impl Connection {
                 // SPDK points the NVMe at the in-capsule data in the recv
                 // buffer directly — no copy. The data sits just past the
                 // capsule header in our recv buffer.
-                self.tag_addr(tag) + CAPSULE_HEADER as u64
+                self.tag_addr(tag).offset(CAPSULE_HEADER as u64)
             }
             DataRef::Remote {
                 raddr,
@@ -364,7 +366,7 @@ impl Connection {
                     .post_send(SendWr::Read {
                         wr_id,
                         lkey: self.staging_lkey,
-                        laddr: self.staging(tag),
+                        laddr: self.staging(tag).as_u64(),
                         len,
                         raddr: *raddr,
                         rkey: *rkey,
@@ -400,8 +402,12 @@ impl Connection {
         let t = &self.target;
         // Repost the command buffer before answering so the initiator can
         // immediately reuse the slot.
-        self.qp
-            .post_recv(tag, self.cmd_lkey, self.tag_addr(tag), self.capsule_len);
+        self.qp.post_recv(
+            tag,
+            self.cmd_lkey,
+            self.tag_addr(tag).as_u64(),
+            self.capsule_len,
+        );
         let Some(cqe) = cqe else { return };
         t.handle.sleep(t.cfg.resp_overhead).await;
         let resp = encode_response(&cqe);

@@ -71,8 +71,29 @@ impl PhysAddr {
     }
 
     /// The raw address value.
+    ///
+    /// This is the *only* sanctioned escape hatch out of the typed
+    /// address world; the `dnvme-lint` D12 rule tracks values produced
+    /// here and flags them when they reach a fabric/DMA/doorbell sink
+    /// without being re-wrapped in a domain type.
     pub const fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Little-endian wire encoding — what lands in an NVMe register or
+    /// an SQE DPTR field.
+    pub const fn to_le_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// The address rounded down to a multiple of `align`.
+    pub const fn align_down(self, align: u64) -> PhysAddr {
+        PhysAddr(self.0 - self.0 % align)
+    }
+
+    /// Byte offset above the enclosing `align`-sized boundary.
+    pub const fn align_offset(self, align: u64) -> u64 {
+        self.0 % align
     }
 }
 
@@ -143,7 +164,7 @@ impl MemRegion {
 
     /// Whether `[addr, addr+len)` lies inside the region.
     pub fn contains(&self, addr: PhysAddr, len: u64) -> bool {
-        addr.as_u64() >= self.addr.as_u64() && addr.as_u64() + len <= self.addr.as_u64() + self.len
+        addr >= self.addr && addr.0 + len <= self.addr.0 + self.len
     }
 
     /// Sub-region at `offset` of length `len`. Panics when out of bounds.
@@ -166,6 +187,16 @@ mod tests {
         let a = PhysAddr(0x1000);
         assert_eq!(a.offset(0x10).as_u64(), 0x1010);
         assert_eq!(a.offset(0x10).offset_from(a), 0x10);
+    }
+
+    #[test]
+    fn phys_addr_alignment_helpers() {
+        let a = PhysAddr(0x1234);
+        assert_eq!(a.align_down(0x1000), PhysAddr(0x1000));
+        assert_eq!(a.align_offset(0x1000), 0x234);
+        assert_eq!(PhysAddr(0x2000).align_down(0x1000), PhysAddr(0x2000));
+        assert_eq!(PhysAddr(0x2000).align_offset(0x1000), 0);
+        assert_eq!(a.to_le_bytes(), 0x1234u64.to_le_bytes());
     }
 
     #[test]

@@ -224,7 +224,7 @@ impl Fabric {
             let base = hrec.mmio_cursor.div_ceil(size) * size; // natural alignment
             hrec.mmio_cursor = base + size;
             assert!(
-                hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(),
+                PhysAddr(hrec.mmio_cursor) <= HostMemory::DRAM_BASE,
                 "MMIO space exhausted"
             );
             bars.push(BarRec {
@@ -264,7 +264,7 @@ impl Fabric {
         let base = hrec.mmio_cursor.div_ceil(slot_size) * slot_size;
         hrec.mmio_cursor = base + window;
         assert!(
-            hrec.mmio_cursor <= HostMemory::DRAM_BASE.as_u64(),
+            PhysAddr(hrec.mmio_cursor) <= HostMemory::DRAM_BASE,
             "MMIO space exhausted"
         );
         st.ntbs
@@ -577,12 +577,11 @@ impl Fabric {
                     continue;
                 }
                 for (bi, b) in d.bars.iter().enumerate() {
-                    let a = cur.addr.as_u64();
-                    if a >= b.base.as_u64() && a + len <= b.base.as_u64() + b.size {
+                    if cur.addr >= b.base && cur.addr.offset(len) <= b.base.offset(b.size) {
                         return Ok(Location::Bar {
                             dev: DeviceId(di as u32),
                             bar: bi as u8,
-                            offset: a - b.base.as_u64(),
+                            offset: cur.addr.offset_from(b.base),
                         });
                     }
                 }

@@ -78,8 +78,7 @@ impl HostMemory {
 
     /// Whether `[addr, addr+len)` is inside DRAM.
     pub fn contains(&self, addr: PhysAddr, len: u64) -> bool {
-        let a = addr.as_u64();
-        a >= self.base.as_u64() && a + len <= self.base.as_u64() + self.size
+        addr >= self.base && addr.0 + len <= self.base.0 + self.size
     }
 
     /// Allocate a page-aligned segment of at least `size` bytes (rounded up
@@ -297,7 +296,7 @@ mod tests {
     #[test]
     fn out_of_range_access_rejected() {
         let mut m = mem();
-        let high = PhysAddr(HostMemory::DRAM_BASE.as_u64() + (1 << 20));
+        let high = HostMemory::DRAM_BASE.offset(1 << 20);
         assert!(matches!(
             m.write(high, &[0]),
             Err(FabricError::UnmappedAddress { .. })

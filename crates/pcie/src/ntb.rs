@@ -132,8 +132,7 @@ impl Ntb {
 
     /// Is `addr` (local domain) inside this adapter's window?
     pub fn contains(&self, addr: PhysAddr) -> bool {
-        let a = addr.as_u64();
-        a >= self.window_base.as_u64() && a < self.window_base.as_u64() + self.window_size()
+        addr >= self.window_base && addr < self.window_base.offset(self.window_size())
     }
 
     /// Translate a local-domain address inside the window to the far side.

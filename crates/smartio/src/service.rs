@@ -92,7 +92,7 @@ pub struct DmaWindow {
     /// The device the window belongs to.
     pub device: SmartDeviceId,
     /// Bus address in the device's domain.
-    pub bus_base: u64,
+    pub bus_base: PhysAddr,
     /// Window length in bytes.
     pub len: u64,
     slots: Option<(NtbId, usize, usize)>,
@@ -468,7 +468,7 @@ impl SmartIo {
             return Ok(DmaWindow {
                 segment: None,
                 device,
-                bus_base: region.addr.as_u64(),
+                bus_base: region.addr,
                 len: region.len,
                 slots: None,
             });
@@ -480,7 +480,7 @@ impl SmartIo {
         Ok(DmaWindow {
             segment: None,
             device,
-            bus_base: window_addr.as_u64(),
+            bus_base: window_addr,
             len: region.len,
             slots: Some((ntb, first_slot, n)),
         })
@@ -555,8 +555,8 @@ impl SmartIo {
         let ntbs = self.fabric.ntbs_of(host);
         let ntb = *ntbs.first().ok_or(SmartIoError::NoPath { host })?;
         let slot_size = self.fabric.ntb_slot_size(ntb);
-        let base = region.addr.as_u64() / slot_size * slot_size;
-        let offset = region.addr.as_u64() - base;
+        let base = region.addr.align_down(slot_size);
+        let offset = region.addr.align_offset(slot_size);
         let n = ((offset + region.len).div_ceil(slot_size)) as usize;
         let first = self
             .fabric
@@ -567,7 +567,7 @@ impl SmartIo {
             let addr = self.fabric.program_lut(
                 ntb,
                 first + i,
-                DomainAddr::new(region.host, PhysAddr(base + i as u64 * slot_size)),
+                DomainAddr::new(region.host, base.offset(i as u64 * slot_size)),
             )?;
             if i == 0 {
                 window_base = addr;

@@ -161,10 +161,7 @@ fn dma_window_resolves_addresses_for_device() {
     let seg = s.create_segment(b.hosts[0], 4096).unwrap();
     let win = s.map_for_device(b.dev, seg).unwrap();
     // The bus address must resolve (in the device's domain) to the segment.
-    let loc = b
-        .fabric
-        .resolve(b.hosts[2], pcie::PhysAddr(win.bus_base), 64)
-        .unwrap();
+    let loc = b.fabric.resolve(b.hosts[2], win.bus_base, 64).unwrap();
     let home = s.segment_region(seg).unwrap();
     match loc {
         pcie::Location::Dram(da) => {
@@ -181,7 +178,7 @@ fn dma_window_local_segment_is_identity() {
     let s = &b.smartio;
     let seg = s.create_segment(b.hosts[2], 4096).unwrap();
     let win = s.map_for_device(b.dev, seg).unwrap();
-    assert_eq!(win.bus_base, s.segment_region(seg).unwrap().addr.as_u64());
+    assert_eq!(win.bus_base, s.segment_region(seg).unwrap().addr);
 }
 
 #[test]

@@ -76,7 +76,10 @@ fn bad_prp_address_fails_the_command_not_the_controller() {
                 .await
                 .unwrap();
             // 0x10 is mapped to nothing in any domain.
-            let status = drv.io_raw(blklayer::BioOp::Read, 0, 8, 0x10).await.unwrap();
+            let status = drv
+                .io_raw(blklayer::BioOp::Read, 0, 8, pcie::PhysAddr(0x10))
+                .await
+                .unwrap();
             assert!(!status.is_success(), "unmapped PRP must fail the command");
             // The controller survives: a good I/O still completes.
             let buf = fabric.alloc(host, 4096).unwrap();
@@ -104,15 +107,14 @@ fn unaligned_prp_list_entry_rejected_by_controller() {
                 .flat_map(|i| (data.addr.as_u64() + i * 4096 + 4).to_le_bytes())
                 .collect();
             fabric.mem_write(host, list.addr, &entries).unwrap();
-            let _sqe = SqEntry::read(0, 1, 0, 127, data.addr.as_u64(), list.addr.as_u64());
+            let _sqe = SqEntry::read(0, 1, 0, 127, data.addr, list.addr);
             // Issue through the raw path by borrowing the driver's own
             // machinery: io_raw builds its own PRPs, so instead drive the
             // ring directly is overkill — the controller-side check is
             // covered by unit tests; here we assert the driver-side
             // builder never produces such lists (defense in depth).
-            let set = nvme::spec::prp::build_prps(data.addr.as_u64(), 64 << 10, list.addr.as_u64())
-                .unwrap();
-            assert!(set.list.iter().all(|e| e % 4096 == 0));
+            let set = nvme::spec::prp::build_prps(data.addr, 64 << 10, list.addr).unwrap();
+            assert!(set.list.iter().all(|e| e.align_offset(4096) == 0));
             let _ = drv;
         }
     });
@@ -386,8 +388,8 @@ fn torn_slot_never_decodes() {
             retry: 0,
             request: Request::CreateQp {
                 entries: 64,
-                sq_bus: 0x123,
-                cq_bus: 0x456,
+                sq_bus: pcie::PhysAddr(0x123),
+                cq_bus: pcie::PhysAddr(0x456),
                 response_segment: 9,
                 iv: None,
                 want_qid: 0,

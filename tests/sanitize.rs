@@ -11,7 +11,7 @@ use nvme::spec::completion::CQE_SIZE;
 use nvme::{
     BlockStore, CqEntry, CqRing, MediaProfile, NvmeConfig, NvmeController, SqEntry, Status,
 };
-use pcie::{DomainAddr, Fabric, FabricParams, HostId, NtbId};
+use pcie::{DomainAddr, Fabric, FabricParams, HostId, NtbId, PhysAddr};
 use simcore::{SimDuration, SimRuntime};
 
 /// Two hosts joined through NTBs and one switch chip — the minimal fabric
@@ -93,9 +93,9 @@ fn doorbell_before_sqe_is_flagged() {
                 bar,
                 AdminQueueLayout {
                     asq_cpu: asq,
-                    asq_bus: asq.addr.as_u64(),
+                    asq_bus: asq.addr,
                     acq_cpu: acq,
-                    acq_bus: acq.addr.as_u64(),
+                    acq_bus: acq.addr,
                     entries: 8,
                 },
             )
@@ -245,7 +245,11 @@ fn bounce_partition_overlap_is_flagged() {
     // each other's staging space.
     dnvme::bounce::sanitize_check_partitions(
         &handle,
-        &[(0x1000, 0x2000), (0x2000, 0x2000), (0x8000, 0x1000)],
+        &[
+            (PhysAddr(0x1000), 0x2000),
+            (PhysAddr(0x2000), 0x2000),
+            (PhysAddr(0x8000), 0x1000),
+        ],
     );
     let v = rt.sanitize_take_violations();
     assert_eq!(
