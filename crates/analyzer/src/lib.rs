@@ -63,6 +63,11 @@
 //! * **D16** — a `Mutex`/`RefCell` guard held across an `.await`: the
 //!   executor may interleave a reentrant borrow (panic) or hold the
 //!   lock for a full fabric round trip.
+//! * **D17** — no plain `fabric.alloc(..)` buffer allocation reachable
+//!   from a client datapath root (`submit*`/`issue*`/`read*`/`write*`):
+//!   datapath buffers come from `SmartIo::alloc_hinted`, whose placement
+//!   hint is what lets the staging decision pick the zero-copy path.
+//!   Bring-up and admin allocations live off those roots and are exempt.
 //!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
@@ -83,7 +88,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The sixteen lint rules.
+/// The seventeen lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -102,10 +107,11 @@ pub enum Rule {
     D14,
     D15,
     D16,
+    D17,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 16] = [
+pub const ALL_RULES: [Rule; 17] = [
     Rule::D01,
     Rule::D02,
     Rule::D03,
@@ -122,6 +128,7 @@ pub const ALL_RULES: [Rule; 16] = [
     Rule::D14,
     Rule::D15,
     Rule::D16,
+    Rule::D17,
 ];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
@@ -155,6 +162,7 @@ impl Rule {
             Rule::D14 => "D14",
             Rule::D15 => "D15",
             Rule::D16 => "D16",
+            Rule::D17 => "D17",
         }
     }
 
@@ -201,6 +209,10 @@ impl Rule {
             Rule::D16 => {
                 "lock/borrow guard held across an .await (reentrant-borrow panic or a lock \
                  held for a fabric round trip)"
+            }
+            Rule::D17 => {
+                "plain fabric.alloc buffer on the client datapath (use SmartIo::alloc_hinted \
+                 so the staging decision can pick zero-copy)"
             }
         }
     }
@@ -615,6 +627,12 @@ const D11_ROOTS: [&str; 7] = [
     "submit", "issue", "poll", "flush", "complet", "serve", "reap",
 ];
 
+/// D17 roots: the client datapath entry points. `read*`/`write*` join
+/// the submit/issue prefixes so blklayer-facing wrappers are walked too.
+const D17_ROOTS: [&str; 4] = ["submit", "issue", "read", "write"];
+/// Files whose datapath buffers must stay hinted (zero-copy eligible).
+const D17_SCOPE: [&str; 2] = ["crates/core/src", "crates/blklayer/src"];
+
 /// D12 sinks: calls where a raw integer is interpreted as an address by
 /// the fabric, a DMA engine, or a doorbell. Everything here takes typed
 /// addresses in the production API; a raw `as_u64()` product flowing in
@@ -678,6 +696,9 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     rules.push(Rule::D10);
     if DF_SCOPE.iter().any(|p| rel.starts_with(p)) {
         rules.extend([Rule::D12, Rule::D13, Rule::D14, Rule::D15, Rule::D16]);
+    }
+    if D17_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D17);
     }
     rules
 }
@@ -894,7 +915,8 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
                 | Rule::D13
                 | Rule::D14
                 | Rule::D15
-                | Rule::D16 => {} // syntax / dataflow rules below
+                | Rule::D16
+                | Rule::D17 => {} // syntax / dataflow rules below
             }
         }
     }
@@ -929,6 +951,9 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     }
     if rules.contains(&Rule::D16) {
         scan_d16(&ast, &mut |line| hit(Rule::D16, line, &mut findings));
+    }
+    if rules.contains(&Rule::D17) {
+        scan_d17(&ast, &mut |line| hit(Rule::D17, line, &mut findings));
     }
 
     findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
@@ -1020,6 +1045,32 @@ fn scan_d11(ast: &Ast, hit: &mut dyn FnMut(usize)) {
                 .iter()
                 .any(|&(a, b)| a <= call.args.0 && call.args.1 <= b);
             if awaited && !guarded {
+                hit(call.line);
+            }
+        }
+    }
+}
+
+/// D17: walk the intra-file call graph from the client datapath roots
+/// and flag every plain `fabric.alloc(..)` inside a reachable function.
+/// A hinted allocation (`alloc_hinted`) has a different callee name and
+/// passes; bring-up/admin code (`connect`, `start`, queue creation) is
+/// off the walked roots, so its bounce-pool and queue allocations stay
+/// legal.
+fn scan_d17(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    let (reachable, calls) =
+        reachable_from(ast, &|name| D17_ROOTS.iter().any(|p| name.starts_with(p)));
+    for i in 0..ast.functions.len() {
+        if !reachable[i] {
+            continue;
+        }
+        for call in &calls[i] {
+            if call.name == "alloc"
+                && call
+                    .receiver
+                    .as_deref()
+                    .is_some_and(|r| r.contains("fabric"))
+            {
                 hit(call.line);
             }
         }
@@ -1577,6 +1628,12 @@ mod tests {
         assert!(!rules_for("crates/nvme/tests/engine.rs").contains(&Rule::D12));
         assert!(!rules_for("tests/sanitize.rs").contains(&Rule::D16));
         assert!(!rules_for("crates/cluster/src/scenario.rs").contains(&Rule::D13));
+        // D17 binds the client datapath crates; benches allocate plain
+        // bounce-mode buffers on purpose.
+        assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D17));
+        assert!(rules_for("crates/blklayer/src/lib.rs").contains(&Rule::D17));
+        assert!(!rules_for("crates/bench/benches/datapath_shards.rs").contains(&Rule::D17));
+        assert!(!rules_for("crates/nvme/src/driver/local.rs").contains(&Rule::D17));
     }
 
     #[test]

@@ -651,6 +651,50 @@ fn d16_suppression() {
     assert!(scan(src, &[Rule::D16]).is_empty());
 }
 
+// ------------------------------------------------------------------ D17
+
+#[test]
+fn d17_flags_plain_alloc_on_the_datapath() {
+    // Directly inside a submit root …
+    let src = "fn submit(&self, bio: Bio) {\n\
+                   let staging = self.fabric.alloc(self.host, len).unwrap();\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D17])), ["D17"]);
+    // … and through an intra-file helper the root calls.
+    let src = "fn write_blocks(&self, lba: u64) { self.stage(lba); }\n\
+               fn stage(&self, lba: u64) {\n\
+                   let buf = fabric.alloc(host, 4096).unwrap();\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D17])), ["D17"]);
+}
+
+#[test]
+fn d17_ignores_hinted_and_off_path_allocations() {
+    // alloc_hinted is the sanctioned datapath allocator.
+    let src = "fn submit(&self, bio: Bio) {\n\
+                   let buf = smartio.alloc_hinted(host, dev, len, AccessHints::buffer());\n\
+               }\n";
+    assert!(scan(src, &[Rule::D17]).is_empty());
+    // Bring-up code allocates bounce partitions legally: `connect` is
+    // not a datapath root.
+    let src = "async fn connect(&self) {\n\
+                   let pool = self.fabric.alloc(self.host, pool_len).unwrap();\n\
+               }\n";
+    assert!(scan(src, &[Rule::D17]).is_empty());
+    // A non-fabric `alloc` receiver (qid pool, tag set) is not a buffer.
+    let src = "fn submit(&self) { let qid = self.qids.alloc(slot); }\n";
+    assert!(scan(src, &[Rule::D17]).is_empty());
+}
+
+#[test]
+fn d17_suppression() {
+    let src = "fn submit_probe(&self) {\n\
+                   // lint:allow(D17) — one-shot diagnostic buffer, never hot\n\
+                   let buf = self.fabric.alloc(self.host, 512).unwrap();\n\
+               }\n";
+    assert!(scan(src, &[Rule::D17]).is_empty());
+}
+
 // ----------------------------------------------------- scanner hygiene
 
 #[test]

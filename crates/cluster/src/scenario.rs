@@ -11,7 +11,7 @@ use nvme::{BlockStore, NvmeController, QpairStats};
 use nvmeof::{NvmfInitiator, NvmfTarget};
 use pcie::{Fabric, FaultPlan, HostId, NtbId};
 use rdma::IbNet;
-use simcore::SimRuntime;
+use simcore::{ReactorId, SimRuntime};
 use smartio::SmartIo;
 
 use crate::calib::Calibration;
@@ -78,7 +78,20 @@ enum Keep {
 impl Scenario {
     /// Build a scenario from a calibration.
     pub fn build(kind: ScenarioKind, calib: &Calibration) -> Scenario {
-        let rt = SimRuntime::new();
+        Self::build_on(kind, calib, SimRuntime::new())
+    }
+
+    /// Build a scenario on a multi-reactor runtime. Clients pin
+    /// round-robin to reactors (client *i* to reactor `i % reactors`), so
+    /// each client driver's internal tasks — submission, completion
+    /// service, heartbeats — live on the client's reactor and only
+    /// messages cross shards. `reactors: 1` is byte-identical to
+    /// [`Scenario::build`].
+    pub fn build_sharded(kind: ScenarioKind, calib: &Calibration, reactors: usize) -> Scenario {
+        Self::build_on(kind, calib, SimRuntime::with_reactors(reactors.max(1)))
+    }
+
+    fn build_on(kind: ScenarioKind, calib: &Calibration, rt: SimRuntime) -> Scenario {
         let fabric = Fabric::new(rt.handle(), calib.fabric.clone());
         let registry = BlockRegistry::new();
         let store = Rc::new(BlockStore::new(
@@ -249,19 +262,25 @@ impl Scenario {
             let mgr_cfg = calib.manager.clone();
             let client_cfg = calib.client.clone();
             let client_hosts = client_hosts.clone();
+            let hd = rt.handle();
             async move {
                 // The manager runs on the device host (common deployment;
                 // any host works — covered by tests).
                 let mgr = Manager::start(&smartio, dev, dev_host, mgr_cfg)
                     .await
                     .unwrap();
+                // Connect each client *on its reactor*, so every task the
+                // driver spawns during bring-up (completion service,
+                // heartbeats) inherits the client's shard.
+                let reactors = hd.reactor_count();
                 let mut drivers = Vec::new();
-                for h in client_hosts {
-                    drivers.push(
-                        ClientDriver::connect(&smartio, dev, h, client_cfg.clone())
-                            .await
-                            .unwrap(),
-                    );
+                for (i, h) in client_hosts.into_iter().enumerate() {
+                    let smartio = smartio.clone();
+                    let cfg = client_cfg.clone();
+                    let join = hd.spawn_on(ReactorId::new(i % reactors), async move {
+                        ClientDriver::connect(&smartio, dev, h, cfg).await.unwrap()
+                    });
+                    drivers.push(join.await);
                 }
                 (mgr, drivers)
             }
@@ -356,13 +375,16 @@ impl Scenario {
         let spec = spec.clone();
         self.rt.block_on(async move {
             let h = fabric.handle();
+            let reactors = h.reactor_count();
             let mut joins = Vec::new();
             for (i, (host, dev)) in clients.into_iter().enumerate() {
                 let fabric = fabric.clone();
                 let mut s = spec.clone();
                 s.seed = s.seed.wrapping_add(i as u64 * 0x9E37);
                 s.name = format!("{}-client{}", s.name, i);
-                joins.push(h.spawn(async move { run_job(&fabric, host, dev, &s).await }));
+                joins.push(h.spawn_on(ReactorId::new(i % reactors), async move {
+                    run_job(&fabric, host, dev, &s).await
+                }));
             }
             let mut out = Vec::new();
             for j in joins {
@@ -445,6 +467,26 @@ mod tests {
             nvmf_penalty > 3 * ours_penalty,
             "nvmeof penalty {nvmf_penalty} must dwarf ours {ours_penalty}"
         );
+    }
+
+    #[test]
+    fn sharded_multihost_pins_clients_round_robin() {
+        let calib = Calibration::paper();
+        let sc = Scenario::build_sharded(ScenarioKind::OursMultihost { clients: 4 }, &calib, 2);
+        assert_eq!(sc.rt.reactor_count(), 2);
+        let reports = sc.run_all(&quick_job());
+        assert_eq!(reports.len(), 4);
+        for rep in &reports {
+            assert!(rep.read.as_ref().unwrap().ios > 20, "{}", rep.name);
+            assert_eq!(rep.errors, 0);
+        }
+        assert_eq!(sc.ctrl.live_io_queues(), 4);
+        // A single-reactor sharded build is the plain build.
+        let a = Scenario::build_sharded(ScenarioKind::OursLocal, &calib, 1);
+        let b = Scenario::build(ScenarioKind::OursLocal, &calib);
+        let pa = a.run(&quick_job()).read.unwrap().lat.p50;
+        let pb = b.run(&quick_job()).read.unwrap().lat.p50;
+        assert_eq!(pa, pb, "reactors=1 must be byte-identical to build()");
     }
 
     #[test]

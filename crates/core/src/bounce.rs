@@ -20,20 +20,68 @@ const PAGE: u64 = nvme::spec::prp::PAGE;
 /// `dnvme.bounce-overlap` for each overlapping pair of `(bus_base, len)`
 /// ranges. [`BouncePool::new`] runs it on the real layout; tests can feed
 /// a deliberately broken one.
+///
+/// Sort-by-start sweep: O(n log n + k) for k overlapping pairs, instead
+/// of the quadratic all-pairs scan — the layout grows with `tags ×
+/// qpairs` under sharding, and this runs on every connect. Reports are
+/// emitted in the same `(i, j)` order as the old pairwise scan.
 #[cfg(feature = "sanitize")]
 pub fn sanitize_check_partitions(handle: &simcore::Handle, parts: &[(PhysAddr, u64)]) {
-    for (i, &(a_start, a_len)) in parts.iter().enumerate() {
-        for (j, &(b_start, b_len)) in parts.iter().enumerate().skip(i + 1) {
-            if a_start < b_start.offset(b_len) && b_start < a_start.offset(a_len) {
-                handle.sanitize_report(
-                    "dnvme.bounce-overlap",
-                    format!(
-                        "bounce ranges {i} and {j} overlap: {a_start}+{a_len:#x} vs {b_start}+{b_len:#x}"
-                    ),
-                );
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_unstable_by_key(|&i| (parts[i].0, i));
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (pos, &i) in order.iter().enumerate() {
+        let (a_start, a_len) = parts[i];
+        let a_end = a_start.offset(a_len);
+        for &j in &order[pos + 1..] {
+            let (b_start, b_len) = parts[j];
+            // Sorted by start: once a candidate begins at or past our
+            // end, every later one does too.
+            if b_start >= a_end {
+                break;
+            }
+            // `b_start < a_end` holds; the other half of the overlap
+            // predicate guards zero-length ranges sharing a start.
+            if a_start < b_start.offset(b_len) {
+                pairs.push(if i < j { (i, j) } else { (j, i) });
             }
         }
     }
+    pairs.sort_unstable();
+    for (i, j) in pairs {
+        let (a_start, a_len) = parts[i];
+        let (b_start, b_len) = parts[j];
+        handle.sanitize_report(
+            "dnvme.bounce-overlap",
+            format!(
+                "bounce ranges {i} and {j} overlap: {a_start}+{a_len:#x} vs {b_start}+{b_len:#x}"
+            ),
+        );
+    }
+}
+
+/// How one request's data travels between the user buffer and the
+/// device — the [`BouncePool::staging`] decision.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Staging {
+    /// Stage through the tag's partition (the §V copy path): PRPs point
+    /// at the partition, and the driver memcpys user ⇄ partition around
+    /// the command.
+    Bounce {
+        /// First PRP (partition base).
+        prp1: PhysAddr,
+        /// Second PRP (page 2, list pointer, or 0).
+        prp2: PhysAddr,
+    },
+    /// DMA straight to/from the user buffer: PRPs point at the hinted
+    /// user segment ([`smartio::SmartIo::alloc_hinted`]) and the staging
+    /// memcpy disappears from the submit/complete path.
+    ZeroCopy {
+        /// First PRP (user buffer, device bus address).
+        prp1: PhysAddr,
+        /// Second PRP (second page or 0).
+        prp2: PhysAddr,
+    },
 }
 
 /// One bounce partition per request tag, with precomputed PRPs.
@@ -45,6 +93,7 @@ pub struct BouncePool {
     list_window: DmaWindow,
     segment: SegmentId,
     list_segment: SegmentId,
+    device: SmartDeviceId,
     partition: u64,
     tags: usize,
 }
@@ -119,6 +168,7 @@ impl BouncePool {
             list_window,
             segment,
             list_segment,
+            device,
             partition,
             tags,
         })
@@ -155,6 +205,40 @@ impl BouncePool {
             _ => self.list_window.bus_base.offset(tag as u64 * PAGE),
         };
         (prp1, prp2)
+    }
+
+    /// Decide how a transfer of `len` bytes of `buf` on tag `tag` reaches
+    /// the device. Zero-copy when the whole transfer can DMA directly:
+    ///
+    /// * the buffer range is covered by a hinted allocation pre-mapped
+    ///   for this device ([`smartio::SmartIo::dma_translate`] hits),
+    /// * the buffer start is page-aligned (PRP1 must not carry an offset
+    ///   into a page the device would misinterpret for block data),
+    /// * the transfer fits in PRP1+PRP2 (≤ 2 pages — larger transfers
+    ///   would need a per-I/O PRP list, forfeiting the programmed-once
+    ///   property), and
+    /// * the transfer is within the partition-size limit.
+    ///
+    /// Everything else falls back to the bounce copy path, byte-for-byte
+    /// identical in outcome.
+    pub fn staging(&self, smartio: &SmartIo, tag: usize, buf: MemRegion, len: u64) -> Staging {
+        if len > 0
+            && len <= self.partition
+            && len.div_ceil(PAGE) <= 2
+            && buf.addr.align_offset(PAGE) == 0
+            && buf.len >= len
+        {
+            if let Some(bus) = smartio.dma_translate(self.device, buf.slice(0, len)) {
+                let prp2 = if len > PAGE {
+                    bus.offset(PAGE)
+                } else {
+                    PhysAddr(0)
+                };
+                return Staging::ZeroCopy { prp1: bus, prp2 };
+            }
+        }
+        let (prp1, prp2) = self.prps(tag, len);
+        Staging::Bounce { prp1, prp2 }
     }
 
     /// Release mappings and segments.

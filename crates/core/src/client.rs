@@ -17,8 +17,8 @@ use std::rc::Rc;
 
 use blklayer::{validate, Bio, BioError, BioFuture, BioOp, BioResult, BlockDevice};
 use nvme::engine::{
-    CompletionStrategy, EngineConfig, EngineError, EngineStats, IoEngine, QueuePairSpec, Tag,
-    DEFAULT_COALESCE_LIMIT, DEFAULT_MAX_RETRIES,
+    BackendKind, CompletionStrategy, EngineConfig, EngineError, EngineStats, IoEngine, QpairStats,
+    QueuePairSpec, Tag, DEFAULT_COALESCE_LIMIT, DEFAULT_MAX_RETRIES,
 };
 use nvme::spec::command::{SqEntry, SQE_SIZE};
 use nvme::spec::completion::{CqEntry, CQE_SIZE};
@@ -29,7 +29,7 @@ use simcore::sync::Semaphore;
 use simcore::{Handle, SimDuration};
 use smartio::{AccessHints, BorrowMode, SegmentId, SmartDeviceId, SmartIo};
 
-use crate::bounce::BouncePool;
+use crate::bounce::{BouncePool, Staging};
 use crate::error::{DnvmeError, Result};
 use crate::manager::Manager;
 use crate::proto::{self, Metadata, Request, Response, SlotMessage};
@@ -115,6 +115,20 @@ pub struct ClientConfig {
     /// Same-seq retransmissions before a mailbox RPC gives up with
     /// [`DnvmeError::RpcTimeout`].
     pub mailbox_retries: u32,
+    /// Submission backend for the engine(s): coalescing flusher
+    /// (`Batched`, the §V default) or immediate push+ring per command
+    /// (`ZeroCopy`, the latency-first sharded path).
+    pub backend: BackendKind,
+    /// `true`: one [`IoEngine`] per queue pair, each with its own tag
+    /// table, so distinct reactor shards can drive distinct qpairs
+    /// without sharing allocator state. `false` (default): one engine
+    /// striping all qpairs — the exact legacy layout.
+    pub shard_qpairs: bool,
+    /// `true`: charge submission/completion overheads as reactor CPU
+    /// time ([`Handle::cpu_work`]) so per-core saturation is modelled in
+    /// sharded benchmarks. `false` (default): plain sleeps (infinite CPU,
+    /// the legacy timing model).
+    pub cpu_accounting: bool,
 }
 
 impl Default for ClientConfig {
@@ -137,6 +151,9 @@ impl Default for ClientConfig {
             cmd_retries: DEFAULT_MAX_RETRIES,
             mailbox_timeout: None,
             mailbox_retries: 2,
+            backend: BackendKind::Batched,
+            shard_qpairs: false,
+            cpu_accounting: false,
         }
     }
 }
@@ -178,6 +195,9 @@ pub struct ClientStats {
     pub flushes: u64,
     /// Bytes staged through the bounce buffer.
     pub bounce_bytes_copied: u64,
+    /// I/Os that DMA'd directly to/from a hinted user buffer — no
+    /// staging copy ([`crate::bounce::Staging::ZeroCopy`]).
+    pub zero_copy_ios: u64,
     /// Per-I/O windows programmed (DirectMapped).
     pub dynamic_maps: u64,
     /// SQEs written into the rings (engine counter).
@@ -215,7 +235,14 @@ pub struct ClientDriver {
     /// First granted queue id (see [`ClientDriver::qids`] for all).
     pub qid: u16,
     qids: Vec<u16>,
-    engine: Rc<IoEngine>,
+    /// One engine striping all qpairs (legacy), or one per qpair
+    /// (`shard_qpairs`) — each with its own tag table.
+    engines: Vec<Rc<IoEngine>>,
+    /// Tags per engine; staging slot = `engine_idx * engine_depth + cid`
+    /// keeps bounce partitions and PRP-list pages globally disjoint.
+    engine_depth: usize,
+    /// Round-robin cursor over `engines`.
+    next_engine: Cell<usize>,
     bounce: RefCell<Option<BouncePool>>,
     /// Per-tag PRP list page for DirectMapped mode.
     direct_lists: Vec<MemRegion>,
@@ -457,7 +484,7 @@ impl ClientDriver {
         }
         let qid = qids[0];
 
-        // --- The engine: rings, tags, completion services, coalescing. ---
+        // --- The engine(s): rings, tags, completion services, backends. ---
         let qd = cfg
             .queue_depth
             .min(cfg.num_qpairs as usize * (entries as usize - 1));
@@ -467,18 +494,30 @@ impl ClientDriver {
             },
             ClientCompletion::Interrupt { latency } => CompletionStrategy::Interrupt { latency },
         };
-        let engine = IoEngine::start(
-            &fabric,
-            specs,
-            strategy,
-            EngineConfig {
-                queue_depth: qd,
-                coalesce_limit: cfg.doorbell_coalesce,
-                cmd_timeout: cfg.cmd_timeout,
-                max_retries: cfg.cmd_retries,
-                ..EngineConfig::default()
-            },
-        );
+        let engine_cfg = |depth: usize| EngineConfig {
+            queue_depth: depth,
+            backend: cfg.backend,
+            coalesce_limit: cfg.doorbell_coalesce,
+            cmd_timeout: cfg.cmd_timeout,
+            max_retries: cfg.cmd_retries,
+            ..EngineConfig::default()
+        };
+        let (engines, engine_depth) = if cfg.shard_qpairs {
+            // One engine (tag table, completion service) per queue pair:
+            // shards submitting to different qpairs share no allocator.
+            let per = (qd / cfg.num_qpairs as usize).clamp(1, entries as usize - 1);
+            let engines: Vec<Rc<IoEngine>> = specs
+                .into_iter()
+                .map(|spec| IoEngine::start(&fabric, vec![spec], strategy, engine_cfg(per)))
+                .collect();
+            (engines, per)
+        } else {
+            (
+                vec![IoEngine::start(&fabric, specs, strategy, engine_cfg(qd))],
+                qd,
+            )
+        };
+        let total_tags = engines.len() * engine_depth;
 
         // --- Data path. ---
         let bounce = match cfg.data_path {
@@ -486,17 +525,17 @@ impl ClientDriver {
                 smartio,
                 device,
                 host,
-                qd,
+                total_tags,
                 cfg.partition_size,
             )?),
             DataPath::DirectMapped => None,
         };
         // Per-tag PRP list pages for DirectMapped transfers > 2 pages.
         let (direct_lists, direct_list_bus, lists_seg, lists_win) = {
-            let seg = smartio.create_segment(host, qd as u64 * prp::PAGE)?;
+            let seg = smartio.create_segment(host, total_tags as u64 * prp::PAGE)?;
             let region = smartio.segment_region(seg)?;
             let win = smartio.map_for_device(device, seg)?;
-            let lists: Vec<MemRegion> = (0..qd)
+            let lists: Vec<MemRegion> = (0..total_tags)
                 .map(|t| region.slice(t as u64 * prp::PAGE, prp::PAGE))
                 .collect();
             (lists, win.bus_base, seg, win)
@@ -513,7 +552,9 @@ impl ClientDriver {
             metadata,
             qid,
             qids,
-            engine,
+            engines,
+            engine_depth,
+            next_engine: Cell::new(0),
             bounce: RefCell::new(bounce),
             direct_lists,
             direct_list_bus,
@@ -566,11 +607,14 @@ impl ClientDriver {
         self.qids.clone()
     }
 
-    /// Snapshot of the run counters, with the engine's doorbell/batch
+    /// Snapshot of the run counters, with the engines' doorbell/batch
     /// counters folded in.
     pub fn stats(&self) -> ClientStats {
         let mut s = self.stats.borrow().clone();
-        let t = self.engine.totals();
+        let mut t = QpairStats::default();
+        for e in &self.engines {
+            t.absorb(&e.totals());
+        }
         s.sqes_submitted = t.sqes_submitted;
         s.sq_doorbells = t.sq_doorbells;
         s.coalesced_batches = t.coalesced_batches;
@@ -579,9 +623,19 @@ impl ClientDriver {
         s
     }
 
-    /// Per-queue-pair engine counters.
+    /// Per-queue-pair engine counters, concatenated across engines in
+    /// stripe order.
     pub fn qpair_stats(&self) -> EngineStats {
-        self.engine.stats()
+        let mut s = EngineStats::default();
+        for e in &self.engines {
+            s.qpairs.extend(e.stats().qpairs);
+        }
+        s
+    }
+
+    /// Number of I/O engines (1, or `num_qpairs` under `shard_qpairs`).
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
     }
 
     /// The client's cost/layout profile.
@@ -639,18 +693,22 @@ impl ClientDriver {
     /// ending in a completion or a typed [`BioError`], never a hang.
     async fn issue_recovered(
         &self,
+        engine: &IoEngine,
         tag: &Tag,
         sqe: SqEntry,
     ) -> std::result::Result<CqEntry, BioError> {
-        match self.engine.issue(tag, sqe).await {
+        match engine.issue(tag, sqe).await {
             Ok(cqe) => Ok(cqe),
-            Err(EngineError::Timeout { qid, cid }) => self.recover(tag, sqe, qid, cid).await,
+            Err(EngineError::Timeout { qid, cid }) => {
+                self.recover(engine, tag, sqe, qid, cid).await
+            }
             Err(e) => Err(e.into()),
         }
     }
 
     async fn recover(
         &self,
+        engine: &IoEngine,
         tag: &Tag,
         sqe: SqEntry,
         qid: u16,
@@ -680,7 +738,7 @@ impl ClientDriver {
         // resubmit exactly once.
         if self.recreate_qpair(qid).await.is_ok() {
             self.stats.borrow_mut().qpairs_recreated += 1;
-            if let Ok(cqe) = self.engine.issue(tag, sqe).await {
+            if let Ok(cqe) = engine.issue(tag, sqe).await {
                 return Ok(cqe);
             }
         }
@@ -713,7 +771,11 @@ impl ClientDriver {
         .await?;
         // Local rings/backlog wiped; in-flight waiters striped to this
         // qpair fail with `Gone` (recovery collateral, still typed).
-        self.engine.reset_qpair(qid);
+        for e in &self.engines {
+            if e.reset_qpair(qid) {
+                break;
+            }
+        }
         let resp = self
             .rpc(Request::CreateQp {
                 entries: w.entries,
@@ -773,46 +835,85 @@ impl ClientDriver {
         }
     }
 
+    /// Charge driver CPU: reactor-accounted ([`Handle::cpu_work`]) or a
+    /// plain sleep, per `cfg.cpu_accounting`.
+    async fn cpu(&self, d: SimDuration) {
+        if self.cfg.cpu_accounting {
+            self.handle.cpu_work(d).await;
+        } else {
+            self.handle.sleep(d).await;
+        }
+    }
+
     async fn submit_inner(&self, bio: Bio) -> BioResult {
         let bs = self.metadata.block_size;
         let len = bio.len(bs);
-        let tag = self.engine.acquire_tag().await?;
-        self.handle.sleep(self.cfg.submission_overhead).await;
-        let result = self.submit_with_tag(&bio, &tag, len).await;
-        self.handle.sleep(self.cfg.completion_overhead).await;
+        let engine_idx = {
+            let i = self.next_engine.get();
+            self.next_engine.set((i + 1) % self.engines.len());
+            i
+        };
+        let tag = self.engines[engine_idx].acquire_tag().await?;
+        self.cpu(self.cfg.submission_overhead).await;
+        let result = self.submit_with_tag(&bio, engine_idx, &tag, len).await;
+        self.cpu(self.cfg.completion_overhead).await;
         result
     }
 
-    async fn submit_with_tag(&self, bio: &Bio, tag: &Tag, len: u64) -> BioResult {
+    async fn submit_with_tag(
+        &self,
+        bio: &Bio,
+        engine_idx: usize,
+        tag: &Tag,
+        len: u64,
+    ) -> BioResult {
+        let engine = &self.engines[engine_idx];
         let cid = tag.cid();
+        // Global staging slot: bounce partitions and PRP-list pages are
+        // indexed across all engines' tag tables.
+        let slot = engine_idx * self.engine_depth + cid as usize;
         let nlb0 = bio.blocks.saturating_sub(1) as u16;
         let status = match (bio.op, self.cfg.data_path) {
             (BioOp::Flush, _) => {
                 self.stats.borrow_mut().flushes += 1;
-                self.issue_recovered(tag, SqEntry::flush(cid, 1))
+                self.issue_recovered(engine, tag, SqEntry::flush(cid, 1))
                     .await?
                     .status()
             }
             (op, DataPath::Bounce) => {
-                let (part, prps) = {
+                let staging = {
                     let b = self.bounce.borrow();
                     let b = b.as_ref().ok_or(BioError::Gone)?;
-                    (b.partition(cid as usize), b.prps(cid as usize, len))
+                    b.staging(&self.smartio, slot, bio.buf, len)
+                };
+                let (prp1, prp2, part) = match staging {
+                    Staging::ZeroCopy { prp1, prp2 } => {
+                        // The PRPs address the user buffer itself — the
+                        // staging copies below vanish from the path.
+                        self.stats.borrow_mut().zero_copy_ios += 1;
+                        (prp1, prp2, None)
+                    }
+                    Staging::Bounce { prp1, prp2 } => {
+                        let b = self.bounce.borrow();
+                        let b = b.as_ref().ok_or(BioError::Gone)?;
+                        (prp1, prp2, Some(b.partition(slot)))
+                    }
                 };
                 if op == BioOp::Write {
-                    // Stage: local memcpy user buffer -> partition (the
-                    // extra copy on the write submission path, §V).
-                    let mut data = vec![0u8; len as usize];
-                    self.fabric
-                        .mem_read(bio.buf.host, bio.buf.addr, &mut data)
-                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
-                    self.fabric
-                        .cpu_write(self.host, part.addr, &data)
-                        .await
-                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
-                    self.stats.borrow_mut().bounce_bytes_copied += len;
+                    if let Some(part) = part {
+                        // Stage: local memcpy user buffer -> partition (the
+                        // extra copy on the write submission path, §V).
+                        let mut data = vec![0u8; len as usize];
+                        self.fabric
+                            .mem_read(bio.buf.host, bio.buf.addr, &mut data)
+                            .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                        self.fabric
+                            .cpu_write(self.host, part.addr, &data)
+                            .await
+                            .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                        self.stats.borrow_mut().bounce_bytes_copied += len;
+                    }
                 }
-                let (prp1, prp2) = prps;
                 let sqe = match op {
                     BioOp::Read => {
                         self.stats.borrow_mut().reads += 1;
@@ -823,19 +924,21 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, prp1, prp2)
                     }
                 };
-                let status = self.issue_recovered(tag, sqe).await?.status();
+                let status = self.issue_recovered(engine, tag, sqe).await?.status();
                 if op == BioOp::Read && status.is_success() {
-                    // Unstage: partition -> user buffer (the extra copy on
-                    // the read completion path).
-                    let mut data = vec![0u8; len as usize];
-                    self.fabric
-                        .mem_read(self.host, part.addr, &mut data)
-                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
-                    self.fabric
-                        .cpu_write(bio.buf.host, bio.buf.addr, &data)
-                        .await
-                        .map_err(|e| BioError::DeviceError(e.to_string()))?;
-                    self.stats.borrow_mut().bounce_bytes_copied += len;
+                    if let Some(part) = part {
+                        // Unstage: partition -> user buffer (the extra copy
+                        // on the read completion path).
+                        let mut data = vec![0u8; len as usize];
+                        self.fabric
+                            .mem_read(self.host, part.addr, &mut data)
+                            .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                        self.fabric
+                            .cpu_write(bio.buf.host, bio.buf.addr, &data)
+                            .await
+                            .map_err(|e| BioError::DeviceError(e.to_string()))?;
+                        self.stats.borrow_mut().bounce_bytes_copied += len;
+                    }
                 }
                 status
             }
@@ -847,8 +950,8 @@ impl ClientDriver {
                     .map_region_for_device(self.device, bio.buf.slice(0, len))
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 self.stats.borrow_mut().dynamic_maps += 1;
-                let list_page = &self.direct_lists[cid as usize];
-                let list_bus = self.direct_list_bus.offset(cid as u64 * prp::PAGE);
+                let list_page = &self.direct_lists[slot];
+                let list_bus = self.direct_list_bus.offset(slot as u64 * prp::PAGE);
                 let set = prp::build_prps(win.bus_base, len, list_bus)
                     .map_err(|e| BioError::DeviceError(e.to_string()))?;
                 if !set.list.is_empty() {
@@ -867,7 +970,7 @@ impl ClientDriver {
                         SqEntry::write(cid, 1, bio.lba, nlb0, set.prp1, set.prp2)
                     }
                 };
-                let status = self.issue_recovered(tag, sqe).await?.status();
+                let status = self.issue_recovered(engine, tag, sqe).await?.status();
                 // Unmap + IOTLB shootdown.
                 self.smartio.unmap_device(win);
                 self.handle.sleep(self.cfg.iommu_unmap_cost).await;

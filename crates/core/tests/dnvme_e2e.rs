@@ -585,3 +585,129 @@ fn interrupt_mode_extension_works_and_costs_latency() {
         "but not more ({lat_poll} vs {lat_irq})"
     );
 }
+
+#[test]
+fn zero_copy_staging_skips_the_bounce_copy_and_round_trips() {
+    // A hinted user buffer is pre-mapped for the device, so aligned
+    // transfers DMA straight to/from it (Staging::ZeroCopy) while
+    // unaligned ones fall back to the bounce partition — byte-identical
+    // results either way.
+    let c = cluster(2);
+    let smartio = c.smartio.clone();
+    let fabric = c.fabric.clone();
+    let dev = c.dev;
+    let dev_host = c.dev_host;
+    let client_host = c.hosts[0];
+    c.rt.block_on(async move {
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
+            .await
+            .unwrap();
+        let hinted = smartio
+            .alloc_hinted(client_host, dev, 8192, smartio::AccessHints::buffer())
+            .unwrap();
+        let pattern: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+        fabric
+            .mem_write(client_host, hinted.region.addr, &pattern)
+            .unwrap();
+        // Aligned write + read (2 pages): both zero-copy.
+        drv.submit(Bio::write(64, 16, hinted.region)).await.unwrap();
+        fabric
+            .mem_write(client_host, hinted.region.addr, &vec![0u8; 8192])
+            .unwrap();
+        drv.submit(Bio::read(64, 16, hinted.region)).await.unwrap();
+        let mut out = vec![0u8; 8192];
+        fabric
+            .mem_read(client_host, hinted.region.addr, &mut out)
+            .unwrap();
+        assert_eq!(out, pattern, "zero-copy read/write corrupted data");
+        let s = drv.stats();
+        assert_eq!(s.zero_copy_ios, 2, "both aligned I/Os must be zero-copy");
+        assert_eq!(s.bounce_bytes_copied, 0, "no staging copy on this path");
+
+        // Unaligned view of the same allocation: falls back to bounce,
+        // reads back exactly what the zero-copy write stored.
+        let shifted = hinted.region.slice(512, 1024);
+        drv.submit(Bio::read(65, 2, shifted)).await.unwrap();
+        let mut out = vec![0u8; 1024];
+        fabric
+            .mem_read(client_host, shifted.addr, &mut out)
+            .unwrap();
+        assert_eq!(out, pattern[512..1536], "fallback path must byte-match");
+        let s = drv.stats();
+        assert_eq!(s.zero_copy_ios, 2, "unaligned I/O must not be zero-copy");
+        assert_eq!(s.bounce_bytes_copied, 1024, "fallback stages via bounce");
+
+        // A plain (non-hinted) buffer also stays on the bounce path.
+        let plain = fabric.alloc(client_host, 4096).unwrap();
+        drv.submit(Bio::read(64, 8, plain)).await.unwrap();
+        assert_eq!(drv.stats().zero_copy_ios, 2);
+        smartio.free_hinted(hinted.segment).unwrap();
+    });
+}
+
+#[test]
+fn sharded_qpairs_use_independent_engines() {
+    // shard_qpairs: one IoEngine (tag table + completion service) per
+    // queue pair, zero-copy submission backend — both qpairs carry
+    // traffic under round-robin and data integrity holds.
+    let c = cluster(2);
+    let smartio = c.smartio.clone();
+    let fabric = c.fabric.clone();
+    let dev = c.dev;
+    let dev_host = c.dev_host;
+    let client_host = c.hosts[0];
+    let handle = c.rt.handle();
+    c.rt.block_on(async move {
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let cfg = ClientConfig {
+            num_qpairs: 2,
+            queue_depth: 8,
+            shard_qpairs: true,
+            backend: nvme::engine::BackendKind::ZeroCopy,
+            ..ClientConfig::default()
+        };
+        let drv = ClientDriver::connect(&smartio, dev, client_host, cfg)
+            .await
+            .unwrap();
+        assert_eq!(drv.engine_count(), 2, "one engine per qpair");
+        assert_eq!(drv.qids().len(), 2);
+        let mut joins = Vec::new();
+        for lane in 0..8u64 {
+            let drv = drv.clone();
+            let fabric = fabric.clone();
+            joins.push(handle.spawn(async move {
+                let buf = fabric.alloc(client_host, 4096).unwrap();
+                let data = [lane as u8 + 7; 4096];
+                fabric.mem_write(client_host, buf.addr, &data).unwrap();
+                drv.submit(Bio::write(lane * 8, 8, buf)).await.unwrap();
+                fabric
+                    .mem_write(client_host, buf.addr, &[0u8; 4096])
+                    .unwrap();
+                drv.submit(Bio::read(lane * 8, 8, buf)).await.unwrap();
+                let mut out = vec![0u8; 4096];
+                fabric.mem_read(client_host, buf.addr, &mut out).unwrap();
+                assert!(out.iter().all(|&b| b == lane as u8 + 7), "lane {lane}");
+            }));
+        }
+        for j in joins {
+            j.await;
+        }
+        let stats = drv.qpair_stats();
+        assert_eq!(stats.qpairs.len(), 2);
+        for (qid, s) in &stats.qpairs {
+            assert!(
+                s.sqes_submitted >= 4,
+                "qpair {qid} starved under round-robin: {s:?}"
+            );
+            // ZeroCopy backend: one doorbell per SQE, never coalesced.
+            assert_eq!(s.sq_doorbells, s.sqes_submitted, "qpair {qid}");
+            assert_eq!(s.coalesced_batches, 0, "qpair {qid}");
+        }
+    });
+    assert_eq!(c.ctrl.live_io_queues(), 2);
+}

@@ -1,0 +1,105 @@
+//! Property test for the zero-copy staging decision: over arbitrary
+//! buffer offsets and transfer lengths, the driver must (a) pick
+//! zero-copy exactly when the documented predicate holds — hinted buffer,
+//! page-aligned start, ≤ 2 pages — and (b) return byte-identical data on
+//! both paths.
+
+use std::rc::Rc;
+
+use blklayer::{Bio, BlockDevice};
+use dnvme::{ClientConfig, ClientDriver, Manager, ManagerConfig};
+use nvme::{BlockStore, MediaProfile, NvmeConfig, NvmeController};
+use pcie::{Fabric, FabricParams, MemRegion};
+use proptest::prelude::*;
+use simcore::SimRuntime;
+use smartio::{AccessHints, SmartIo};
+
+const BLOCK: u64 = 512;
+const PAGE: u64 = 4096;
+/// Hinted allocation the cases slice into: 4 pages.
+const BUF: u64 = 4 * PAGE;
+
+/// One full write+read round trip at (`offset`, `len`) inside a hinted
+/// (or plain) buffer; returns (zero_copy_ios, data_ok).
+fn round_trip(offset: u64, len: u64, hinted: bool) -> (u64, bool) {
+    let rt = SimRuntime::new();
+    let fabric = Fabric::new(rt.handle(), FabricParams::default());
+    let sw = fabric.add_switch("sw");
+    let mut hosts = Vec::new();
+    for _ in 0..2 {
+        let h = fabric.add_host(256 << 20);
+        let ntb = fabric.add_ntb(h, 2 << 20, 64);
+        fabric.link(fabric.ntb_node(ntb), sw);
+        hosts.push(h);
+    }
+    let (client_host, dev_host) = (hosts[0], hosts[1]);
+    let store = Rc::new(BlockStore::new(
+        rt.handle(),
+        MediaProfile::optane(),
+        BLOCK as u32,
+        1 << 20,
+        7,
+    ));
+    let ctrl = NvmeController::attach(
+        &fabric,
+        dev_host,
+        fabric.rc_node(dev_host),
+        store,
+        NvmeConfig::default(),
+    );
+    let smartio = SmartIo::new(&fabric);
+    let dev = smartio.register_device(ctrl.device_id()).unwrap();
+    rt.block_on(async move {
+        let _mgr = Manager::start(&smartio, dev, dev_host, ManagerConfig::default())
+            .await
+            .unwrap();
+        let drv = ClientDriver::connect(&smartio, dev, client_host, ClientConfig::default())
+            .await
+            .unwrap();
+        let base: MemRegion = if hinted {
+            smartio
+                .alloc_hinted(client_host, dev, BUF, AccessHints::buffer())
+                .unwrap()
+                .region
+        } else {
+            fabric.alloc(client_host, BUF).unwrap()
+        };
+        let buf = base.slice(offset, len);
+        let pattern: Vec<u8> = (0..len).map(|i| (i % 253) as u8 + 1).collect();
+        fabric.mem_write(client_host, buf.addr, &pattern).unwrap();
+        let blocks = (len / BLOCK) as u32;
+        drv.submit(Bio::write(8, blocks, buf)).await.unwrap();
+        fabric
+            .mem_write(client_host, buf.addr, &vec![0u8; len as usize])
+            .unwrap();
+        drv.submit(Bio::read(8, blocks, buf)).await.unwrap();
+        let mut out = vec![0u8; len as usize];
+        fabric.mem_read(client_host, buf.addr, &mut out).unwrap();
+        (drv.stats().zero_copy_ios, out == pattern)
+    })
+}
+
+proptest! {
+    #[test]
+    fn staging_fallback_matrix(
+        // Offset into the hinted allocation, block-granular — includes
+        // page-aligned (0, 8, 16) and unaligned values.
+        off_blocks in 0u64..16,
+        // 512 B .. 12 KiB: crosses the 2-page zero-copy ceiling.
+        len_blocks in 1u64..=24,
+        hinted in any::<bool>(),
+    ) {
+        let offset = off_blocks * BLOCK;
+        let len = len_blocks * BLOCK;
+        prop_assume!(offset + len <= BUF);
+        let expect_zc = hinted && offset.is_multiple_of(PAGE) && len <= 2 * PAGE;
+        let (zc_ios, ok) = round_trip(offset, len, hinted);
+        prop_assert!(ok, "data corrupted at offset={offset} len={len} hinted={hinted}");
+        prop_assert_eq!(
+            zc_ios,
+            if expect_zc { 2 } else { 0 },
+            "staging decision wrong at offset={} len={} hinted={}",
+            offset, len, hinted
+        );
+    }
+}

@@ -32,7 +32,7 @@ use cluster::{Calibration, Scenario, ScenarioKind};
 use nvme::oracle::{self, LifecycleOracle, LifecycleViolation};
 use pcie::{Fabric, FaultPlan, HostId};
 use simcore::sched::{ChoiceKind, ChoiceRecord};
-use simcore::ReplayScheduler;
+use simcore::{ReactorId, ReplayScheduler};
 
 /// Everything observed while re-executing a program under one prefix.
 pub struct RunOutcome {
@@ -228,14 +228,19 @@ pub fn explore(program: &Program<'_>, config: &ExploreConfig) -> ExploreResult {
         for (j, rec) in outcome.records.iter().enumerate().skip(prefix.len()) {
             for alt in 1..rec.options() {
                 match rec.kind {
-                    ChoiceKind::Task => {
+                    // Reactor picks are scheduling preemptions just like
+                    // task picks: a non-canonical choice switches which run
+                    // loop advances, so both share the CHESS bound.
+                    ChoiceKind::Task | ChoiceKind::ReactorPick => {
                         // Count the preemptions the extended prefix carries:
-                        // every non-canonical pick at a Task point, plus
-                        // this one.
+                        // every non-canonical pick at a Task/ReactorPick
+                        // point, plus this one.
                         let mut preemptions = 1usize;
                         for (k, r) in outcome.records[..j].iter().enumerate() {
                             let picked = prefix.get(k).copied().unwrap_or(0);
-                            if r.kind == ChoiceKind::Task && picked != 0 {
+                            if matches!(r.kind, ChoiceKind::Task | ChoiceKind::ReactorPick)
+                                && picked != 0
+                            {
                                 preemptions += 1;
                             }
                         }
@@ -283,6 +288,10 @@ pub struct ScenarioProgram {
     /// *typed* error is acceptable — the oracle still checks every
     /// schedule for lifecycle violations, and a hang still fails the run.
     pub fault: Option<FaultPlan>,
+    /// Logical reactors for the runtime. With more than one, clients pin
+    /// round-robin to reactors and the explorer's schedule space grows
+    /// [`ChoiceKind::ReactorPick`] points (reactor interleavings).
+    pub reactors: usize,
 }
 
 impl ScenarioProgram {
@@ -298,6 +307,7 @@ impl ScenarioProgram {
             clients,
             ops_per_client: 1,
             fault: None,
+            reactors: 1,
         }
     }
 
@@ -324,7 +334,8 @@ impl ScenarioProgram {
         } else {
             Calibration::paper()
         };
-        let sc = Scenario::build(self.kind.clone(), &calib);
+        let reactors = self.reactors.max(1);
+        let sc = Scenario::build_sharded(self.kind.clone(), &calib, reactors);
         if let Some(plan) = &self.fault {
             sc.fabric.set_fault_plan(plan.clone());
         }
@@ -343,7 +354,8 @@ impl ScenarioProgram {
             let mut joins = Vec::new();
             for (i, (host, dev)) in targets.into_iter().enumerate() {
                 let fabric = fabric.clone();
-                joins.push(hd.spawn(async move {
+                let reactor = ReactorId::new(i % reactors);
+                joins.push(hd.spawn_on(reactor, async move {
                     client_workload(fabric, host, dev, i as u64, ops, tolerate_errors).await
                 }));
             }

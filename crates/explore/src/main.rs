@@ -38,6 +38,8 @@ bounds:
   --no-prune          disable partial-order pruning (for measurement)
   --ops N             write+read pairs per client (default 1)
   --clients N         clients to drive (default: scenario's natural size)
+  --reactors N        logical reactors; clients pin round-robin and
+                      reactor interleavings become choice points (default 1)
 
 faults:
   --faults N          sweep N single-fault runs: run k drops the k-th CQE
@@ -61,6 +63,7 @@ struct Cli {
     prune: bool,
     ops: usize,
     clients: Option<usize>,
+    reactors: usize,
     faults: Option<usize>,
     fault_plan: Option<String>,
     replay: Option<String>,
@@ -89,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         prune: true,
         ops: 1,
         clients: None,
+        reactors: 1,
         faults: None,
         fault_plan: None,
         replay: None,
@@ -132,6 +136,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         .parse()
                         .map_err(|e| format!("--clients: {e}"))?,
                 )
+            }
+            "--reactors" => {
+                cli.reactors = value("--reactors")?
+                    .parse()
+                    .map_err(|e| format!("--reactors: {e}"))?;
+                if cli.reactors == 0 {
+                    return Err("--reactors must be at least 1".into());
+                }
             }
             "--faults" => {
                 cli.faults = Some(
@@ -255,13 +267,17 @@ fn run() -> Result<bool, String> {
             let mut prog = ScenarioProgram::small(kind.clone());
             prog.ops_per_client = cli.ops;
             prog.fault = plan.clone();
+            prog.reactors = cli.reactors;
             if let Some(c) = cli.clients {
                 prog.clients = c;
             }
-            let label = match plan {
+            let mut label = match plan {
                 Some(p) => format!("{}+{}", prog.kind.label(), p),
                 None => prog.kind.label(),
             };
+            if cli.reactors > 1 {
+                label = format!("{label}@{}r", cli.reactors);
+            }
             if let Some(token) = &cli.replay {
                 let token = ScheduleToken::parse(token)?;
                 let out = prog.run(&token.prefix);

@@ -28,8 +28,8 @@ pub mod spec;
 
 pub use ctrl::{CtrlStats, NvmeConfig, NvmeController};
 pub use engine::{
-    CompletionStrategy, EngineConfig, EngineError, EngineStats, IoEngine, QpairStats,
-    QueuePairSpec, TagSet,
+    BackendKind, BatchedBackend, CompletionStrategy, EngineConfig, EngineError, EngineStats,
+    IoEngine, QpairStats, QueuePairSpec, SubmissionBackend, SubmitCtx, TagSet, ZeroCopyBackend,
 };
 pub use medium::{BlockStore, MediaProfile};
 pub use queue::CqRing;

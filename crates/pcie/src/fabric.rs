@@ -1210,6 +1210,17 @@ impl Fabric {
         );
     }
 
+    /// The happens-before actor modelling `host`'s CPU — the identity
+    /// cross-reactor shard channels bind to
+    /// ([`simcore::channel::shard`]'s `bind_actor`), so a handoff's
+    /// release/acquire edge joins the right fabric clocks.
+    pub fn sanitize_host_actor(&self, host: HostId) -> simcore::ActorId {
+        self.inner
+            .hb
+            .borrow()
+            .actor_of(crate::hb::Agent::Host(host))
+    }
+
     /// Fabric barrier: `host` observes everything `dev` has done — the
     /// completion-delivery edge for engines (RDMA NICs) whose completion
     /// queues live outside fabric memory.

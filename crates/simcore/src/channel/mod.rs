@@ -1,0 +1,7 @@
+//! Cross-reactor channels.
+//!
+//! [`shard`] is the SPSC handoff used to move work between reactors in the
+//! shard-per-core datapath; see its module docs for the happens-before
+//! contract.
+
+pub mod shard;

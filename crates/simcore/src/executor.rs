@@ -28,6 +28,26 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct TaskId(u64);
 
+/// Identifier for one logical reactor — a per-core run loop inside the
+/// deterministic executor (the SPDK/Mayastor shard model). Tasks are pinned
+/// to exactly one reactor; spawns inherit the spawner's reactor unless
+/// [`Handle::spawn_on`] pins them elsewhere. The default runtime has a
+/// single reactor, which reproduces the historical executor exactly.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ReactorId(u32);
+
+impl ReactorId {
+    /// Reactor `index` (must be below the runtime's reactor count).
+    pub fn new(index: usize) -> ReactorId {
+        ReactorId(index as u32)
+    }
+
+    /// This reactor's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 type LocalBoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
 /// Queue of tasks made runnable by wakers.
@@ -106,6 +126,18 @@ struct Core {
     /// Installed schedule controller (see [`crate::sched`]). `None` means
     /// the canonical FIFO schedule; the hot path stays branch-cheap.
     scheduler: RefCell<Option<Box<dyn Scheduler>>>,
+    /// Number of logical reactors. One (the default) disables every
+    /// reactor-aware code path, including the `ReactorPick` choice point.
+    reactors: usize,
+    /// Which reactor each live task is pinned to. Keyed access only.
+    task_reactor: RefCell<HashMap<TaskId, ReactorId>>,
+    /// Reactor of the task currently being polled; spawns inherit it.
+    /// Outside any poll (bring-up, `block_on` root) it is reactor 0.
+    current_reactor: Cell<ReactorId>,
+    /// Per-reactor CPU occupancy horizon for [`Handle::cpu_work`]: work
+    /// charged to one reactor serializes back to back, so fewer reactors
+    /// mean more queueing delay at the same offered load.
+    reactor_busy: RefCell<Vec<SimTime>>,
     #[cfg(feature = "sanitize")]
     sanitize: crate::sanitize::SanitizerState,
 }
@@ -114,7 +146,8 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Core {
-    fn new() -> Rc<Core> {
+    fn new(reactors: usize) -> Rc<Core> {
+        assert!(reactors >= 1, "a runtime needs at least one reactor");
         Rc::new(Core {
             now: Cell::new(SimTime::ZERO),
             tasks: RefCell::new(HashMap::new()),
@@ -126,9 +159,21 @@ impl Core {
             steps: Cell::new(0),
             trace: Cell::new(FNV_OFFSET),
             scheduler: RefCell::new(None),
+            reactors,
+            task_reactor: RefCell::new(HashMap::new()),
+            current_reactor: Cell::new(ReactorId(0)),
+            reactor_busy: RefCell::new(vec![SimTime::ZERO; reactors]),
             #[cfg(feature = "sanitize")]
             sanitize: crate::sanitize::SanitizerState::default(),
         })
+    }
+
+    fn reactor_of(&self, id: TaskId) -> ReactorId {
+        self.task_reactor
+            .borrow()
+            .get(&id)
+            .copied()
+            .unwrap_or(ReactorId(0))
     }
 
     fn trace_fold(&self, word: u64) {
@@ -166,7 +211,12 @@ impl Core {
 
     /// Pick the next runnable task. Without a scheduler this is a plain
     /// FIFO pop; with one installed, every instant where two or more live
-    /// tasks are runnable becomes a [`ChoiceKind::Task`] choice point.
+    /// tasks are runnable becomes a [`ChoiceKind::Task`] choice point. On a
+    /// multi-reactor runtime, runnable tasks spanning several reactors
+    /// first resolve a [`ChoiceKind::ReactorPick`]: which reactor's run
+    /// loop advances next. Reactor options are ordered by first occurrence
+    /// in the wake queue so the all-zeros answer reproduces the canonical
+    /// FIFO schedule exactly.
     fn next_runnable(&self) -> Option<TaskId> {
         if self.scheduler.borrow().is_none() {
             return self.wake_queue.pop();
@@ -186,6 +236,29 @@ impl Core {
         if candidates.is_empty() {
             queue.clear();
             return None;
+        }
+        if self.reactors > 1 {
+            // Reactors represented among the candidates, in wake order of
+            // their first runnable task.
+            let mut reactor_order: Vec<ReactorId> = Vec::new();
+            for &id in &candidates {
+                let r = self.reactor_of(id);
+                if !reactor_order.contains(&r) {
+                    reactor_order.push(r);
+                }
+            }
+            if reactor_order.len() > 1 {
+                let options = vec![ChoiceOption::opaque(); reactor_order.len()];
+                let mut sched = self.scheduler.borrow_mut();
+                let pick = sched
+                    .as_mut()
+                    .expect("scheduler vanished mid-pick")
+                    .choose(ChoiceKind::ReactorPick, &options)
+                    .min(reactor_order.len() - 1);
+                let reactor = reactor_order[pick];
+                drop(sched);
+                candidates.retain(|&id| self.reactor_of(id) == reactor);
+            }
         }
         let pick = if candidates.len() == 1 {
             0
@@ -225,8 +298,16 @@ impl Core {
             self.steps.set(self.steps.get() + 1);
             self.trace_fold(id.0);
             self.trace_fold(self.now.get().as_nanos());
-            match fut.as_mut().poll(&mut cx) {
-                Poll::Ready(()) => {}
+            // The polled task's reactor becomes current so spawns inherit
+            // it and `cpu_work` charges the right core.
+            let prev_reactor = self.current_reactor.get();
+            self.current_reactor.set(self.reactor_of(id));
+            let polled = fut.as_mut().poll(&mut cx);
+            self.current_reactor.set(prev_reactor);
+            match polled {
+                Poll::Ready(()) => {
+                    self.task_reactor.borrow_mut().remove(&id);
+                }
                 Poll::Pending => {
                     self.tasks.borrow_mut().insert(id, fut);
                 }
@@ -274,9 +355,26 @@ impl Default for SimRuntime {
 }
 
 impl SimRuntime {
-    /// A fresh runtime at virtual time zero.
+    /// A fresh runtime at virtual time zero, with a single reactor.
     pub fn new() -> Self {
-        SimRuntime { core: Core::new() }
+        SimRuntime { core: Core::new(1) }
+    }
+
+    /// A fresh runtime with `reactors` logical per-core run loops. With one
+    /// reactor this is exactly [`SimRuntime::new`]; with more, tasks pin to
+    /// reactors ([`Handle::spawn_on`]), [`Handle::cpu_work`] serializes per
+    /// reactor, and an installed scheduler sees
+    /// [`ChoiceKind::ReactorPick`] choice points whenever runnable tasks
+    /// span several reactors.
+    pub fn with_reactors(reactors: usize) -> Self {
+        SimRuntime {
+            core: Core::new(reactors),
+        }
+    }
+
+    /// Number of logical reactors.
+    pub fn reactor_count(&self) -> usize {
+        self.core.reactors
     }
 
     /// A cloneable handle for spawning tasks and reading the clock from
@@ -403,10 +501,28 @@ impl Handle {
     }
 
     /// Spawn a task. The task starts running at the current virtual time
-    /// during the next scheduler iteration.
+    /// during the next scheduler iteration, on the spawner's reactor.
     pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let reactor = self.core().current_reactor.get();
+        self.spawn_on(reactor, fut)
+    }
+
+    /// Spawn a task pinned to `reactor`. Panics if the reactor does not
+    /// exist on this runtime.
+    pub fn spawn_on<T: 'static>(
+        &self,
+        reactor: ReactorId,
+        fut: impl Future<Output = T> + 'static,
+    ) -> JoinHandle<T> {
         let core = self.core();
+        assert!(
+            reactor.index() < core.reactors,
+            "spawn_on({:?}) on a runtime with {} reactor(s)",
+            reactor,
+            core.reactors
+        );
         let id = core.alloc_task_id();
+        core.task_reactor.borrow_mut().insert(id, reactor);
         let state = Rc::new(RefCell::new(JoinState {
             value: None,
             waker: None,
@@ -422,6 +538,37 @@ impl Handle {
         });
         core.spawn_queue.borrow_mut().push((id, wrapped));
         JoinHandle { state, id }
+    }
+
+    /// The reactor of the task currently being polled (reactor 0 outside
+    /// any poll — bring-up code, the `block_on` root).
+    pub fn current_reactor(&self) -> ReactorId {
+        self.core().current_reactor.get()
+    }
+
+    /// Number of logical reactors on this runtime.
+    pub fn reactor_count(&self) -> usize {
+        self.core().reactors
+    }
+
+    /// Charge `d` of CPU work to the calling task's reactor and wait for
+    /// it to retire. Work on one reactor serializes back to back (the
+    /// per-core run loop executes one thing at a time), so the completion
+    /// instant is `max(now, reactor busy horizon) + d` — concurrent tasks
+    /// sharing a reactor queue behind each other, while tasks on distinct
+    /// reactors proceed in parallel.
+    pub fn cpu_work(&self, d: SimDuration) -> Sleep {
+        let core = self.core();
+        let r = core.current_reactor.get().index();
+        let mut busy = core.reactor_busy.borrow_mut();
+        let start = busy[r].max(core.now.get());
+        let end = start + d;
+        busy[r] = end;
+        drop(busy);
+        Sleep {
+            handle: self.clone(),
+            deadline: end,
+        }
     }
 
     pub(crate) fn register_timer(&self, deadline: SimTime, waker: Waker) {
@@ -717,6 +864,111 @@ mod tests {
         assert!(jh.is_finished());
         assert_eq!(jh.try_take(), Some("done"));
         assert_eq!(jh.try_take(), None);
+    }
+
+    #[test]
+    fn spawn_inherits_reactor_and_spawn_on_pins() {
+        let rt = SimRuntime::with_reactors(4);
+        let h = rt.handle();
+        assert_eq!(rt.reactor_count(), 4);
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s1 = seen.clone();
+        let h1 = h.clone();
+        let pinned = h.spawn_on(ReactorId::new(2), async move {
+            s1.borrow_mut().push(("pinned", h1.current_reactor()));
+            // A nested spawn inherits the spawner's reactor.
+            let s2 = s1.clone();
+            let h2 = h1.clone();
+            h1.spawn(async move {
+                s2.borrow_mut().push(("child", h2.current_reactor()));
+            })
+            .await;
+        });
+        rt.block_on(async move {
+            pinned.await;
+        });
+        assert_eq!(
+            *seen.borrow(),
+            vec![("pinned", ReactorId::new(2)), ("child", ReactorId::new(2)),]
+        );
+    }
+
+    #[test]
+    fn cpu_work_serializes_per_reactor_but_not_across() {
+        // Two tasks each needing 100 ns of CPU: sharing a reactor they
+        // finish at 100/200 ns; on distinct reactors both finish at 100 ns.
+        fn finish_times(reactors: usize, pin: [usize; 2]) -> Vec<u64> {
+            let rt = SimRuntime::with_reactors(reactors);
+            let h = rt.handle();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for &r in &pin {
+                let h2 = h.clone();
+                let log = log.clone();
+                h.spawn_on(ReactorId::new(r), async move {
+                    h2.cpu_work(SimDuration::from_nanos(100)).await;
+                    log.borrow_mut().push(h2.now().as_nanos());
+                });
+            }
+            rt.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(finish_times(1, [0, 0]), vec![100, 200]);
+        assert_eq!(finish_times(2, [0, 1]), vec![100, 100]);
+    }
+
+    #[test]
+    fn single_reactor_runtime_matches_legacy_trace() {
+        // `with_reactors(1)` must be byte-identical to `new()`: same event
+        // stream, same hash.
+        fn run(rt: SimRuntime) -> u64 {
+            let h = rt.handle();
+            for _ in 0..8 {
+                let h2 = h.clone();
+                h.spawn(async move {
+                    h2.sleep(SimDuration::from_nanos(50)).await;
+                    yield_now().await;
+                });
+            }
+            rt.run();
+            rt.trace_hash()
+        }
+        assert_eq!(run(SimRuntime::new()), run(SimRuntime::with_reactors(1)));
+    }
+
+    #[test]
+    fn reactor_pick_is_a_choice_point() {
+        use crate::sched::ReplayScheduler;
+        // Two tasks on different reactors, runnable at the same instant:
+        // with a scheduler installed the interleaving is a ReactorPick.
+        fn run(prefix: Vec<u32>) -> (Vec<&'static str>, Vec<ChoiceKind>) {
+            let rt = SimRuntime::with_reactors(2);
+            let sched = ReplayScheduler::new(prefix);
+            let trace = sched.trace();
+            rt.set_scheduler(Box::new(sched));
+            let h = rt.handle();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for (r, name) in [(0usize, "r0"), (1, "r1")] {
+                let h2 = h.clone();
+                let log = log.clone();
+                h.spawn_on(ReactorId::new(r), async move {
+                    h2.sleep(SimDuration::from_nanos(10)).await;
+                    log.borrow_mut().push(name);
+                });
+            }
+            rt.run();
+            let order = log.borrow().clone();
+            let kinds = trace.borrow().records.iter().map(|c| c.kind).collect();
+            (order, kinds)
+        }
+        let (canonical, kinds) = run(vec![]);
+        assert_eq!(canonical, vec!["r0", "r1"]);
+        assert!(
+            kinds.contains(&ChoiceKind::ReactorPick),
+            "expected a ReactorPick choice point, got {kinds:?}"
+        );
+        let (flipped, _) = run(vec![1]);
+        assert_eq!(flipped, vec!["r1", "r0"]);
     }
 
     #[test]

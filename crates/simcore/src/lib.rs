@@ -23,6 +23,7 @@
 //! assert_eq!(t.as_nanos(), 10_000);
 //! ```
 
+pub mod channel;
 pub mod executor;
 pub mod resource;
 pub mod rng;
@@ -34,7 +35,7 @@ pub mod sync;
 pub mod time;
 pub mod timeout;
 
-pub use executor::{yield_now, Handle, JoinHandle, SimRuntime, TaskId};
+pub use executor::{yield_now, Handle, JoinHandle, ReactorId, SimRuntime, TaskId};
 pub use resource::SerialResource;
 pub use rng::SimRng;
 #[cfg(feature = "sanitize")]

@@ -22,6 +22,11 @@ pub enum ChoiceKind {
     Task,
     /// Which ready fabric delivery (posted write) applies next.
     Delivery,
+    /// Which reactor's run loop advances next, when runnable tasks span
+    /// several reactors (multi-reactor runtimes only). Options are ordered
+    /// by first occurrence in the wake queue, so answer `0` reproduces the
+    /// canonical FIFO schedule.
+    ReactorPick,
 }
 
 /// The memory range a delivery option will mutate, used by partial-order

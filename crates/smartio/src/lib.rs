@@ -12,7 +12,10 @@
 //! * DMA windows — segments mapped for a *device* through the device-side
 //!   NTB ([`SmartIo::map_for_device`]),
 //! * access-pattern-hinted allocation ([`AccessHints`],
-//!   [`SmartIo::create_segment_hinted`]).
+//!   [`SmartIo::create_segment_hinted`]),
+//! * hinted *user buffers* pre-mapped for one device's DMA
+//!   ([`SmartIo::alloc_hinted`], [`SmartIo::dma_translate`]) — the
+//!   allocation primitive of the zero-copy datapath.
 
 pub mod error;
 pub mod hints;
@@ -21,5 +24,5 @@ pub mod service;
 pub use error::{Result, SmartIoError};
 pub use hints::AccessHints;
 pub use service::{
-    BorrowMode, CpuMapping, DmaWindow, PurgeReport, SegmentId, SmartDeviceId, SmartIo,
+    BorrowMode, CpuMapping, DmaWindow, HintedAlloc, PurgeReport, SegmentId, SmartDeviceId, SmartIo,
 };

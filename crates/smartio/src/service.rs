@@ -98,12 +98,36 @@ pub struct DmaWindow {
     slots: Option<(NtbId, usize, usize)>,
 }
 
+/// Registry entry for a hinted user allocation: the CPU view and the
+/// device's pre-programmed DMA window over the same bytes.
+struct HintedInfo {
+    device: SmartDeviceId,
+    cpu: CpuMapping,
+    win: DmaWindow,
+}
+
+/// A user buffer allocated by [`SmartIo::alloc_hinted`]: hint-placed,
+/// CPU-mapped, and pre-programmed into one device's DMA window so the
+/// datapath can DMA straight to/from it (zero-copy) without per-I/O
+/// window programming.
+#[derive(Copy, Clone, Debug)]
+pub struct HintedAlloc {
+    /// The backing segment (pass to [`SmartIo::free_hinted`]).
+    pub segment: SegmentId,
+    /// Where the allocating host's CPU reads/writes the buffer.
+    pub region: MemRegion,
+    /// The device's bus address of `region.addr`.
+    pub bus_base: PhysAddr,
+}
+
 struct State {
     // BTreeMaps, not HashMaps: `destroy_segment` and `devices()` iterate,
     // and iteration order must not depend on hasher state (determinism).
     segments: BTreeMap<SegmentId, SegmentInfo>,
     devices: BTreeMap<SmartDeviceId, DeviceInfo>,
     names: BTreeMap<String, SegmentId>,
+    /// Hinted user allocations ([`SmartIo::alloc_hinted`]), by segment.
+    hinted: BTreeMap<SegmentId, HintedInfo>,
     /// Live LUT window ranges, tagged with the host they serve:
     /// (owner, adapter, first slot, slot count). Normal unmaps remove
     /// their entry; [`SmartIo::purge_owner`] sweeps what a crashed host
@@ -140,6 +164,7 @@ impl SmartIo {
                 segments: BTreeMap::new(),
                 devices: BTreeMap::new(),
                 names: BTreeMap::new(),
+                hinted: BTreeMap::new(),
                 windows: Vec::new(),
                 next_segment: 1,
                 next_device: 1,
@@ -329,6 +354,73 @@ impl SmartIo {
             cpu_host
         };
         self.create_segment_owned(cpu_host, host, size)
+    }
+
+    /// Allocate a *user buffer* placed by access hints and pre-mapped for
+    /// DMA by `device` — the zero-copy datapath's allocation primitive.
+    ///
+    /// Plain [`SmartIo::create_segment`] buffers are CPU-reachable only;
+    /// every I/O must stage through a bounce partition. An `alloc_hinted`
+    /// buffer additionally gets a DMA window programmed **once**, at
+    /// allocation time, and the (device, CPU range → bus base) pair is
+    /// registered with the service, so the datapath can translate any
+    /// in-range CPU address with [`SmartIo::dma_translate`] and point PRPs
+    /// straight at the user memory — no per-I/O window programming, no
+    /// staging copy. Free with [`SmartIo::free_hinted`].
+    pub fn alloc_hinted(
+        &self,
+        host: HostId,
+        device: SmartDeviceId,
+        size: u64,
+        hints: AccessHints,
+    ) -> Result<HintedAlloc> {
+        let segment = self.create_segment_hinted(host, device, size, hints)?;
+        let cpu = self.map_for_cpu(host, segment)?;
+        let win = self.map_for_device(device, segment)?;
+        let alloc = HintedAlloc {
+            segment,
+            region: cpu.region,
+            bus_base: win.bus_base,
+        };
+        self.state
+            .borrow_mut()
+            .hinted
+            .insert(segment, HintedInfo { device, cpu, win });
+        Ok(alloc)
+    }
+
+    /// Release a hinted allocation: tear down its DMA window and CPU
+    /// mapping, deregister it, and destroy the segment.
+    pub fn free_hinted(&self, segment: SegmentId) -> Result<()> {
+        let info = self
+            .state
+            .borrow_mut()
+            .hinted
+            .remove(&segment)
+            .ok_or(SmartIoError::NoSuchSegment(segment))?;
+        self.unmap_device(info.win);
+        self.unmap_cpu(info.cpu);
+        self.destroy_segment(segment)
+    }
+
+    /// The bus address `device` uses for `region`, when `region` falls
+    /// entirely inside a hinted allocation pre-mapped for that device —
+    /// `None` means the buffer is not DMA-reachable and the datapath must
+    /// stage through the bounce buffer instead.
+    pub fn dma_translate(&self, device: SmartDeviceId, region: MemRegion) -> Option<PhysAddr> {
+        let st = self.state.borrow();
+        for info in st.hinted.values() {
+            if info.device != device || info.cpu.region.host != region.host {
+                continue;
+            }
+            let base = info.cpu.region.addr;
+            let end = base.offset(info.cpu.region.len);
+            if region.addr >= base && region.addr.offset(region.len) <= end {
+                let off = region.addr.0 - base.0;
+                return Some(info.win.bus_base.offset(off));
+            }
+        }
+        None
     }
 
     /// Give a segment a well-known name (bootstrap metadata, e.g. the

@@ -286,3 +286,49 @@ fn host_without_ntb_cannot_map_remote() {
         Err(SmartIoError::NoPath { .. })
     ));
 }
+
+#[test]
+fn alloc_hinted_translates_in_range_buffers() {
+    let b = bed();
+    let s = &b.smartio;
+    // A remote client (host 0) allocates a 16 KiB user buffer for the
+    // device in host 2: buffer() hints keep it client-local, and the DMA
+    // window is programmed once at allocation time.
+    let alloc = s
+        .alloc_hinted(b.hosts[0], b.dev, 16 << 10, AccessHints::buffer())
+        .unwrap();
+    assert_eq!(alloc.region.host, b.hosts[0]);
+    // Any in-range sub-slice translates to the matching bus offset...
+    let sub = alloc.region.slice(4096, 4096);
+    let bus = s.dma_translate(b.dev, sub).unwrap();
+    assert_eq!(bus, alloc.bus_base.offset(4096));
+    // ...and the bus address resolves, in the device's domain, to the
+    // client's memory — the zero-copy invariant.
+    let loc = b.fabric.resolve(b.hosts[2], bus, 64).unwrap();
+    match loc {
+        pcie::Location::Dram(da) => {
+            assert_eq!(da.host, b.hosts[0]);
+            assert_eq!(da.addr, alloc.region.addr.offset(4096));
+        }
+        other => panic!("expected DRAM location, got {other:?}"),
+    }
+}
+
+#[test]
+fn dma_translate_rejects_foreign_and_out_of_range_buffers() {
+    let b = bed();
+    let s = &b.smartio;
+    let alloc = s
+        .alloc_hinted(b.hosts[0], b.dev, 8192, AccessHints::buffer())
+        .unwrap();
+    // A plain (unregistered) allocation never translates.
+    let plain = b.fabric.alloc(b.hosts[0], 4096).unwrap();
+    assert!(s.dma_translate(b.dev, plain).is_none());
+    b.fabric.release(plain);
+    // A slice running past the end of the registered range is rejected.
+    let over = pcie::MemRegion::new(b.hosts[0], alloc.region.addr.offset(4096), 8192);
+    assert!(s.dma_translate(b.dev, over).is_none());
+    // After free, the registration is gone.
+    s.free_hinted(alloc.segment).unwrap();
+    assert!(s.dma_translate(b.dev, alloc.region).is_none());
+}

@@ -86,6 +86,51 @@ fn multihost_is_deterministic() {
     assert_deterministic(ScenarioKind::OursMultihost { clients: 3 });
 }
 
+/// The sharded build: four clients pinned round-robin over `reactors`
+/// logical reactors, each verifying a disjoint region concurrently.
+fn run_once_sharded(reactors: usize, seed: u64) -> (u64, u64) {
+    let calib = Calibration::paper();
+    let sc = Scenario::build_sharded(ScenarioKind::OursMultihost { clients: 4 }, &calib, reactors);
+    assert_eq!(sc.rt.reactor_count(), reactors);
+    let fabric = sc.fabric.clone();
+    let clients = sc.clients.clone();
+    let handle = sc.rt.handle();
+    sc.rt.block_on(async move {
+        let mut joins = Vec::new();
+        for (i, (host, dev)) in clients.into_iter().enumerate() {
+            let fabric = fabric.clone();
+            joins.push(
+                handle.spawn_on(simcore::ReactorId::new(i % reactors), async move {
+                    verify_region(&fabric, host, dev, i as u64 * 2048, 1024, 8, seed).await
+                }),
+            );
+        }
+        for j in joins {
+            let report = j.await;
+            assert!(report.clean(), "{report:?}");
+        }
+    });
+    (
+        sc.rt.trace_hash(),
+        violations_fingerprint(&sc.rt.sanitize_violations()),
+    )
+}
+
+#[test]
+fn sharded_multihost_is_deterministic() {
+    // Multi-reactor execution must not cost determinism: the reactors
+    // are *logical* shards of the one virtual-time executor, so the
+    // cross-reactor interleaving replays bit-identically run to run.
+    for reactors in [2usize, 4] {
+        let first = run_once_sharded(reactors, 0x5EED);
+        let second = run_once_sharded(reactors, 0x5EED);
+        assert_eq!(
+            first, second,
+            "{reactors} reactors: same seed produced diverging runs"
+        );
+    }
+}
+
 #[test]
 fn fault_schedule_replays_bit_identically() {
     // The tentpole's replay guarantee: the same fault token (a dropped

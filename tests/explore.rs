@@ -72,6 +72,45 @@ fn exhaustive_two_client_with_cqe_drop_is_conformant() {
 }
 
 #[test]
+fn exhaustive_two_client_two_reactors_is_conformant() {
+    // The sharded datapath: clients pinned to distinct reactors. Reactor
+    // interleavings become ReactorPick choice points, the schedule space
+    // grows accordingly, and the lifecycle oracle must stay silent on all
+    // of it. Tokens replay across the bigger space exactly as before.
+    let mut prog = two_client_program();
+    prog.reactors = 2;
+    let cfg = ExploreConfig {
+        max_schedules: None,
+        max_preemptions: 1,
+        prune: true,
+        stop_on_violation: true,
+    };
+    let res = explore(&|p: &[u32]| prog.run(p), &cfg);
+    assert!(
+        res.failure.is_none(),
+        "two-reactor exploration found: {:?}",
+        res.failure
+    );
+    assert!(res.stats.exhausted, "frontier must drain: {:?}", res.stats);
+    // The canonical schedule must actually exercise ReactorPick points and
+    // replay bit-identically.
+    let canonical = prog.run(&[]);
+    assert!(
+        canonical
+            .records
+            .iter()
+            .any(|r| r.kind == simcore::ChoiceKind::ReactorPick),
+        "two pinned clients must produce ReactorPick choice points"
+    );
+    assert_eq!(canonical.trace_hash, prog.run(&[]).trace_hash);
+    // A non-canonical reactor pick is a genuinely different schedule.
+    let flipped: Vec<u32> = vec![1];
+    let alt = prog.run(&flipped);
+    assert!(!alt.diverged);
+    assert_ne!(alt.trace_hash, canonical.trace_hash);
+}
+
+#[test]
 fn pruning_halves_the_naive_schedule_space() {
     let prog = two_client_program();
     let pruned_cfg = ExploreConfig {

@@ -12,7 +12,7 @@ use nvme::{
     BlockStore, CqEntry, CqRing, MediaProfile, NvmeConfig, NvmeController, SqEntry, Status,
 };
 use pcie::{DomainAddr, Fabric, FabricParams, HostId, NtbId, PhysAddr};
-use simcore::{SimDuration, SimRuntime};
+use simcore::{ReactorId, SimDuration, SimRuntime};
 
 /// Two hosts joined through NTBs and one switch chip — the minimal fabric
 /// where posted writes have a propagation window a racing read can hit.
@@ -258,6 +258,144 @@ fn bounce_partition_overlap_is_flagged() {
         "exactly the overlapping pair must be reported: {v:?}"
     );
     assert_eq!(v[0].code, "dnvme.bounce-overlap");
+}
+
+/// Two reactors hand a buffer from host `a`'s shard to host `b`'s shard
+/// over a [`simcore::channel::shard`] channel; the consumer then writes
+/// the range host `a` already wrote. With the channel's release/acquire
+/// edge the writes are ordered; with `send_unsynchronized` (the seeded
+/// seam) they are not, and only the happens-before detector can tell —
+/// both writes have long since applied.
+fn cross_reactor_handoff(synchronized: bool) -> bool {
+    let rt = SimRuntime::with_reactors(2);
+    let fabric = Fabric::new(rt.handle(), FabricParams::default());
+    let sw = fabric.add_switch("sw");
+    let mut hosts = Vec::new();
+    let mut ntbs = Vec::new();
+    for _ in 0..2 {
+        let h = fabric.add_host(64 << 20);
+        let ntb = fabric.add_ntb(h, 2 << 20, 16);
+        fabric.link(fabric.ntb_node(ntb), sw);
+        hosts.push(h);
+        ntbs.push(ntb);
+    }
+    let (a, b) = (hosts[0], hosts[1]);
+    let target = fabric.alloc(b, 4096).unwrap();
+    let slot = fabric.find_free_lut_slot(ntbs[0]).unwrap();
+    let win = fabric
+        .program_lut(ntbs[0], slot, DomainAddr::new(b, target.addr))
+        .unwrap();
+    let handle = rt.handle();
+    let (mut tx, mut rx) = simcore::channel::shard::channel::<u64>();
+    tx.bind_actor(&handle, fabric.sanitize_host_actor(a));
+    rx.bind_actor(&handle, fabric.sanitize_host_actor(b));
+    rt.block_on({
+        let fabric = fabric.clone();
+        let handle = handle.clone();
+        async move {
+            let f2 = fabric.clone();
+            let h2 = handle.clone();
+            let producer = handle.spawn_on(ReactorId::new(0), async move {
+                f2.cpu_write(a, win, &[0xAA; 64]).await.unwrap();
+                // Let the posted write apply: from here on only the
+                // happens-before log can order the two stores.
+                h2.sleep(SimDuration::from_micros(10)).await;
+                if synchronized {
+                    tx.send(1).unwrap();
+                } else {
+                    tx.send_unsynchronized(1).unwrap();
+                }
+            });
+            let f3 = fabric.clone();
+            let consumer = handle.spawn_on(ReactorId::new(1), async move {
+                rx.recv().await.unwrap();
+                f3.cpu_write(b, target.addr, &[0xBB; 64]).await.unwrap();
+            });
+            producer.await;
+            consumer.await;
+            handle.sleep(SimDuration::from_micros(10)).await;
+        }
+    });
+    rt.sanitize_take_violations()
+        .iter()
+        .any(|v| v.code == "pcie.hb-race")
+}
+
+#[test]
+fn cross_reactor_handoff_without_join_edge_is_flagged() {
+    assert!(
+        cross_reactor_handoff(false),
+        "unsynchronized handoff must leave the writes racy"
+    );
+}
+
+#[test]
+fn cross_reactor_handoff_with_join_edge_is_clean() {
+    assert!(
+        !cross_reactor_handoff(true),
+        "the channel's release/acquire edge must order the writes"
+    );
+}
+
+#[test]
+fn bounce_overlap_sweep_matches_quadratic_reference() {
+    // The sort-by-start sweep must report exactly the pairs (and in the
+    // same order) as the obvious all-pairs scan it replaced.
+    fn reference(parts: &[(PhysAddr, u64)]) -> Vec<String> {
+        let mut out = Vec::new();
+        for i in 0..parts.len() {
+            for j in i + 1..parts.len() {
+                let (a_start, a_len) = parts[i];
+                let (b_start, b_len) = parts[j];
+                if a_start < b_start.offset(b_len) && b_start < a_start.offset(a_len) {
+                    out.push(format!(
+                        "bounce ranges {i} and {j} overlap: {a_start}+{a_len:#x} vs {b_start}+{b_len:#x}"
+                    ));
+                }
+            }
+        }
+        out
+    }
+    let mut layouts: Vec<Vec<(PhysAddr, u64)>> = vec![
+        vec![],
+        vec![(PhysAddr(0x1000), 0x1000)],
+        // Adjacent (no overlap), nested, duplicate start, zero-length.
+        vec![(PhysAddr(0x1000), 0x1000), (PhysAddr(0x2000), 0x1000)],
+        vec![(PhysAddr(0x1000), 0x4000), (PhysAddr(0x2000), 0x1000)],
+        vec![(PhysAddr(0x3000), 0x1000), (PhysAddr(0x3000), 0x1000)],
+        vec![(PhysAddr(0x3000), 0), (PhysAddr(0x3000), 0x1000)],
+        // Everyone overlapping everyone (k = n(n-1)/2).
+        (0..8).map(|i| (PhysAddr(0x1000 + i), 0x1000)).collect(),
+    ];
+    // Deterministic pseudo-random layouts, unsorted input order.
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for n in [3usize, 9, 17] {
+        layouts.push(
+            (0..n)
+                .map(|_| (PhysAddr((rng() % 0x40) * 0x800), (rng() % 5) * 0x1000))
+                .collect(),
+        );
+    }
+    let rt = SimRuntime::new();
+    let handle = rt.handle();
+    for parts in &layouts {
+        dnvme::bounce::sanitize_check_partitions(&handle, parts);
+        let got: Vec<String> = rt
+            .sanitize_take_violations()
+            .into_iter()
+            .map(|v| {
+                assert_eq!(v.code, "dnvme.bounce-overlap");
+                v.detail
+            })
+            .collect();
+        assert_eq!(got, reference(parts), "layout {parts:?}");
+    }
 }
 
 #[test]
