@@ -154,13 +154,42 @@ impl Tok {
     }
 }
 
-/// A `fn` item: name, its line, and the token-index extent of the body
-/// (inclusive of the braces). Trait-method declarations without a body
-/// are not recorded.
+/// One declared parameter of a `fn` item.
+#[derive(Debug, Clone)]
+pub(crate) struct Param {
+    /// The bound identifier (`self` receivers and pattern parameters are
+    /// not recorded).
+    pub name: String,
+    /// Token index of the identifier in the signature.
+    pub at: usize,
+    /// The declared type is a `&mut` reference — an out-parameter
+    /// candidate for the interprocedural summaries.
+    pub by_mut_ref: bool,
+}
+
+/// A `fn` item: name, its line, parameters, and the token-index extent
+/// of the body (inclusive of the braces). Trait-method declarations
+/// without a body are not recorded as items (their names still surface
+/// through [`Ast::traits`]).
 #[derive(Debug)]
 pub(crate) struct FnItem {
     pub name: String,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    pub params: Vec<Param>,
     pub body: (usize, usize),
+    /// The trait this function implements, when its body sits inside an
+    /// `impl Trait for Type` block — the hook for resolving `dyn`
+    /// dispatch by trait-impl enumeration.
+    pub impl_of: Option<String>,
+}
+
+/// A `trait` declaration: the method names it declares (bodied or
+/// bodiless). A call on a `dyn Trait`/`impl Trait` receiver resolves to
+/// every impl carrying that method name, so only the names matter here.
+#[derive(Debug)]
+pub(crate) struct TraitDecl {
+    pub methods: Vec<String>,
 }
 
 /// A call expression `name(…)` inside a function body.
@@ -192,17 +221,21 @@ pub(crate) struct Ast {
     pub lines: Vec<(String, String)>,
     pub tokens: Vec<Tok>,
     pub functions: Vec<FnItem>,
+    pub traits: Vec<TraitDecl>,
 }
 
 impl Ast {
     pub(crate) fn parse(text: &str) -> Ast {
         let lines = lex_lines(text);
         let tokens = tokenize(&lines);
-        let functions = parse_functions(&tokens);
+        let mut functions = parse_functions(&tokens);
+        let traits = parse_traits(&tokens);
+        assign_impls(&tokens, &mut functions);
         Ast {
             lines,
             tokens,
             functions,
+            traits,
         }
     }
 
@@ -438,11 +471,17 @@ fn parse_functions(tokens: &[Tok]) -> Vec<FnItem> {
             if let Some(name_tok) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
                 let mut paren = 0isize;
                 let mut bracket = 0isize;
+                let mut angle = 0isize;
                 let mut j = i + 2;
                 let mut body = None;
+                let mut sig = None;
                 while j < tokens.len() {
                     let t = &tokens[j];
                     if t.punct('(') {
+                        if paren == 0 && bracket == 0 && angle == 0 && sig.is_none() {
+                            let close = match_delim(tokens, j, '(', ')');
+                            sig = Some((j, close));
+                        }
                         paren += 1;
                     } else if t.punct(')') {
                         paren -= 1;
@@ -450,6 +489,11 @@ fn parse_functions(tokens: &[Tok]) -> Vec<FnItem> {
                         bracket += 1;
                     } else if t.punct(']') {
                         bracket -= 1;
+                    } else if sig.is_none() && t.punct('<') {
+                        // Generic-parameter list before the signature.
+                        angle += 1;
+                    } else if sig.is_none() && t.punct('>') && !(tokens[j - 1].punct('-')) {
+                        angle -= 1;
                     } else if paren == 0 && bracket == 0 {
                         if t.punct(';') {
                             break;
@@ -464,7 +508,10 @@ fn parse_functions(tokens: &[Tok]) -> Vec<FnItem> {
                 if let Some(body) = body {
                     out.push(FnItem {
                         name: name_tok.text.clone(),
+                        line: name_tok.line,
+                        params: sig.map_or_else(Vec::new, |s| parse_params(tokens, s)),
                         body,
+                        impl_of: None,
                     });
                 }
             }
@@ -472,4 +519,177 @@ fn parse_functions(tokens: &[Tok]) -> Vec<FnItem> {
         i += 1;
     }
     out
+}
+
+/// Parse the parameter list between the signature parens. Each top-level
+/// comma-separated segment with a `name: type` shape yields a [`Param`];
+/// `self` receivers and pattern parameters are skipped.
+fn parse_params(tokens: &[Tok], sig: (usize, usize)) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut seg_start = sig.0 + 1;
+    let mut k = sig.0 + 1;
+    while k <= sig.1 {
+        let at_end = k == sig.1;
+        if !at_end {
+            let t = &tokens[k];
+            if t.punct('(') || t.punct('[') || t.punct('<') {
+                depth += 1;
+            } else if t.punct(')')
+                || t.punct(']')
+                || (t.punct('>') && !(k > 0 && tokens[k - 1].punct('-')))
+            {
+                depth -= 1; // `>` after `-` is a return arrow, not a close
+            }
+        }
+        if at_end || (depth == 0 && tokens[k].punct(',')) {
+            if let Some(p) = parse_param_segment(tokens, seg_start, k) {
+                out.push(p);
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+    out
+}
+
+fn parse_param_segment(tokens: &[Tok], start: usize, end: usize) -> Option<Param> {
+    // Find the first `:` at segment depth 0 that is not part of `::`.
+    let mut depth = 0isize;
+    let mut colon = None;
+    let mut k = start;
+    while k < end {
+        let t = &tokens[k];
+        if t.punct('(') || t.punct('[') || t.punct('<') {
+            depth += 1;
+        } else if t.punct(')')
+            || t.punct(']')
+            || (t.punct('>') && !(k > 0 && tokens[k - 1].punct('-')))
+        {
+            depth -= 1;
+        } else if depth == 0 && t.punct(':') {
+            if tokens.get(k + 1).is_some_and(|n| n.punct(':')) {
+                k += 2;
+                continue;
+            }
+            colon = Some(k);
+            break;
+        }
+        k += 1;
+    }
+    let colon = colon?;
+    let name_tok = tokens.get(colon.checked_sub(1)?)?;
+    if name_tok.kind != TokKind::Ident || colon - 1 < start {
+        return None; // tuple/struct pattern parameter — not a plain binding
+    }
+    // `&mut T` / `&'a mut T` types mark out-parameter candidates. The
+    // lexer drops lifetime quotes, leaving the lifetime name as an ident.
+    let by_mut_ref = tokens.get(colon + 1).is_some_and(|t| t.punct('&'))
+        && (tokens.get(colon + 2).is_some_and(|t| t.is("mut"))
+            || tokens.get(colon + 3).is_some_and(|t| t.is("mut")));
+    Some(Param {
+        name: name_tok.text.clone(),
+        at: colon - 1,
+        by_mut_ref,
+    })
+}
+
+/// Collect `trait Name { … }` declarations with the method names they
+/// declare (bodied or bodiless — `parse_functions` skips the latter, so
+/// this is how default-less trait methods enter the call graph).
+fn parse_traits(tokens: &[Tok]) -> Vec<TraitDecl> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is("trait")
+            && tokens[i].kind == TokKind::Ident
+            && !(i > 0 && tokens[i - 1].is("dyn"))
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            // Find the body brace at zero paren/angle depth.
+            let mut depth = 0isize;
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.punct('(') || t.punct('<') || t.punct('[') {
+                    depth += 1;
+                } else if t.punct(')') || t.punct('>') || t.punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && t.punct(';') {
+                    break;
+                } else if depth == 0 && t.punct('{') {
+                    body = Some((j, match_delim(tokens, j, '{', '}')));
+                    break;
+                }
+                j += 1;
+            }
+            if let Some((open, close)) = body {
+                let mut methods = Vec::new();
+                let mut k = open + 1;
+                while k < close {
+                    if tokens[k].is("fn") && tokens[k].kind == TokKind::Ident {
+                        if let Some(m) = tokens.get(k + 1).filter(|t| t.kind == TokKind::Ident) {
+                            methods.push(m.text.clone());
+                        }
+                    }
+                    k += 1;
+                }
+                out.push(TraitDecl { methods });
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Assign `FnItem::impl_of` for functions whose body sits inside an
+/// `impl Trait for Type { … }` block. The trait name is the last ident at
+/// zero delimiter depth before the `for` keyword (path-qualified traits
+/// resolve to their final segment, matching how calls are name-matched).
+fn assign_impls(tokens: &[Tok], functions: &mut [FnItem]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is("impl") && tokens[i].kind == TokKind::Ident {
+            let mut depth = 0isize;
+            let mut j = i + 1;
+            let mut trait_name: Option<String> = None;
+            let mut last_ident: Option<String> = None;
+            let mut body = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.punct('(') || t.punct('<') || t.punct('[') {
+                    depth += 1;
+                } else if t.punct(')') || t.punct('>') || t.punct(']') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if t.punct(';') {
+                        break;
+                    }
+                    if t.punct('{') {
+                        body = Some((j, match_delim(tokens, j, '{', '}')));
+                        break;
+                    }
+                    if t.kind == TokKind::Ident {
+                        if t.is("for") {
+                            trait_name = last_ident.take();
+                        } else {
+                            last_ident = Some(t.text.clone());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if let (Some(name), Some((open, close))) = (trait_name, body) {
+                for f in functions.iter_mut() {
+                    if f.body.0 > open && f.body.1 < close {
+                        f.impl_of = Some(name.clone());
+                    }
+                }
+                i = open; // fns inside still get visited harmlessly
+            }
+        }
+        i += 1;
+    }
 }

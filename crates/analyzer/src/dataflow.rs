@@ -94,6 +94,123 @@ pub fn build_def_use(src: &str) -> Vec<(String, DefUse)> {
         .collect()
 }
 
+/// Def-use chains for a body with the function's parameters prepended as
+/// defs (empty RHS at the signature token). Uses inside the body resolve
+/// to the parameter until a local binding shadows it, which is what the
+/// interprocedural summaries need: "does param `i` reach a sink/return?"
+/// is a plain reachability question over these chains.
+pub(crate) fn def_use_with_params(
+    ast: &Ast,
+    body: (usize, usize),
+    params: &[crate::ast::Param],
+) -> DefUse {
+    let du = def_use(ast, body);
+    let mut defs: Vec<Def> = params
+        .iter()
+        .map(|p| Def {
+            name: p.name.clone(),
+            at: p.at,
+            line: ast.tokens.get(p.at).map_or(0, |t| t.line),
+            expr: (p.at, p.at), // empty RHS: nothing to evaluate
+        })
+        .collect();
+    defs.extend(du.defs);
+    // Parameter reassignments: the body pass cannot see `p = …` (and
+    // deliberately skips `*p = …`) because parameter names are not
+    // `let` defs there. A deref write through a `&mut` parameter is
+    // how out-params hand values back, so both forms become defs here.
+    {
+        let toks = &ast.tokens;
+        let end = body.1.min(toks.len());
+        for i in body.0..end {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !toks.get(i + 1).is_some_and(|n| n.punct('='))
+                || toks
+                    .get(i + 2)
+                    .is_some_and(|n| n.punct('=') || n.punct('>'))
+                || i == 0
+                || !params.iter().any(|p| p.name == t.text)
+                || defs.iter().any(|d| d.at == i)
+            {
+                continue;
+            }
+            let prev = &toks[i - 1];
+            let deref = prev.punct('*');
+            let plain = !prev.punct('.')
+                && !"=<>!+-*/%&|^".contains(prev.text.as_str())
+                && !prev.is("let")
+                && !prev.is("mut");
+            if !(deref || plain) {
+                continue;
+            }
+            let stop = stmt_end(ast, i + 2, end);
+            defs.push(Def {
+                name: t.text.clone(),
+                at: i,
+                line: t.line,
+                expr: (i + 2, stop),
+            });
+        }
+    }
+    // Re-resolve all uses against the combined def list: body defs moved
+    // up by `n`, and previously-unresolved mentions may now bind to a
+    // parameter.
+    let mut uses = Vec::new();
+    for i in body.0..body.1.min(ast.tokens.len()) {
+        let t = &ast.tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if defs.iter().any(|d| d.at == i) {
+            continue;
+        }
+        if i > 0 && ast.tokens[i - 1].punct('.') {
+            continue;
+        }
+        if ast.tokens.get(i + 1).is_some_and(|nx| nx.punct(':'))
+            && !ast.tokens.get(i + 2).is_some_and(|nx| nx.punct(':'))
+            && i > 0
+            && (ast.tokens[i - 1].punct('{')
+                || ast.tokens[i - 1].punct(',')
+                || ast.tokens[i - 1].punct('('))
+        {
+            continue;
+        }
+        if let Some(d) = resolve_use(&defs, &t.text, i) {
+            uses.push(UseSite {
+                def: d,
+                at: i,
+                line: t.line,
+            });
+        }
+    }
+    DefUse { defs, uses }
+}
+
+/// Token index where def `di`'s value stops being live: its last use, or
+/// — for a never-used def — the point where a later same-name def
+/// rebinds the name (shadowing/reassignment kills the old value), else
+/// `body_end`. A bare `let _ = …` dies at the end of its own
+/// initializer (Rust drops it immediately; a named `_g` still holds to
+/// scope end). This is the D16/D19 liveness question: "is the guard
+/// still held at token X?" — `drop(g)` counts as a last use, and a
+/// rebind (`g = other.lock()`) releases the previous guard, so neither
+/// extends liveness to the body end the way the pre-PR-8 scan assumed.
+pub(crate) fn live_end(du: &DefUse, di: usize, body_end: usize) -> usize {
+    let d = &du.defs[di];
+    if let Some(last) = du.uses_of(di).map(|u| u.at).max() {
+        return last + 1;
+    }
+    if d.name == "_" {
+        return d.expr.1;
+    }
+    du.defs
+        .iter()
+        .find(|n| n.name == d.name && n.at > d.at)
+        .map_or(body_end, |n| n.at)
+}
+
 /// Scan one body's tokens into def-use chains.
 pub(crate) fn def_use(ast: &Ast, body: (usize, usize)) -> DefUse {
     let toks = &ast.tokens;
@@ -219,13 +336,13 @@ fn resolve_use(defs: &[Def], name: &str, at: usize) -> Option<usize> {
     defs.iter()
         .enumerate()
         .filter(|(_, d)| d.name == name && d.at < at && !(d.expr.0 <= at && at < d.expr.1))
+        .max_by_key(|(_, d)| d.at)
         .map(|(i, _)| i)
-        .next_back()
 }
 
 /// Token index one past the statement starting at `from`: the `;` at
 /// zero delimiter depth, or `end`.
-fn stmt_end(ast: &Ast, from: usize, end: usize) -> usize {
+pub(crate) fn stmt_end(ast: &Ast, from: usize, end: usize) -> usize {
     let mut depth = 0isize;
     for (k, t) in ast.tokens[from..end].iter().enumerate() {
         if t.punct('(') || t.punct('[') || t.punct('{') {
@@ -281,7 +398,7 @@ pub(crate) struct AbstractVal {
 }
 
 /// Constructors that re-enter the typed address world.
-const WRAPPERS: [&str; 3] = ["PhysAddr", "DomainAddr", "MemRegion"];
+pub(crate) const WRAPPERS: [&str; 3] = ["PhysAddr", "DomainAddr", "MemRegion"];
 /// Calls that translate an address across an NTB (domain-crossing is
 /// legitimate downstream of any of these).
 pub(crate) const TRANSLATORS: [&str; 4] = [
@@ -291,7 +408,7 @@ pub(crate) const TRANSLATORS: [&str; 4] = [
     "program_window",
 ];
 /// Guard-producing calls (D16).
-const GUARD_CALLS: [&str; 3] = ["lock", "borrow", "borrow_mut"];
+pub(crate) const GUARD_CALLS: [&str; 3] = ["lock", "borrow", "borrow_mut"];
 /// Status-producing calls (D14).
 const STATUS_CALLS: [&str; 3] = ["io_raw", "issue", "status"];
 

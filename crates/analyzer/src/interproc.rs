@@ -1,0 +1,1975 @@
+//! dnvme-interproc: summary-based interprocedural dataflow (DESIGN §5.4).
+//!
+//! The intraprocedural lattice (D12–D16) stops at a function boundary: a
+//! raw `as_u64()` laundered through one helper return is invisible, and
+//! the lock-order / reactor-affinity invariants are inherently
+//! cross-function. This module closes that gap without giving up the
+//! per-file cacheability the self-benchmark depends on, by splitting the
+//! analysis in two:
+//!
+//! 1. **Extraction** ([`FnLocal`]): per function, a small fact record
+//!    derived purely from the file's tokens — a node graph (parameters +
+//!    defs) with def-use flow edges, raw/typed/host seeds, call sites
+//!    with per-argument node lists, return-range facts, guard
+//!    acquisitions with liveness windows, shard-channel endpoints, spawn
+//!    regions, and D11-style blocking awaits. Extraction never looks at
+//!    another file, so the records are cached per file keyed on a
+//!    content hash (`target/dnvme-lint.summaries`).
+//! 2. **Composition** ([`Program`]): a bottom-up fixpoint over the whole
+//!    program's call graph (edges by callee name; `dyn Trait` dispatch
+//!    resolves by trait-impl enumeration, i.e. every impl of the method
+//!    name) folds the records into per-function [`Summary`]s —
+//!    param→return / param→sink transfer, returned address domain and
+//!    host tag, `&mut` out-parameter taint, transitively acquired guard
+//!    classes, and channel-endpoint use by parameter. Mutual recursion
+//!    (an SCC in the call graph) converges because the fixpoint
+//!    iterates all functions until no summary's fact set changes.
+//!
+//! The rules grounded here:
+//!
+//! * **D07/D11/D17** (re-grounded): the reachability walk is now global
+//!   — a root in `core::client` walks through `blklayer`, trait-object
+//!   backends, and any helper file — instead of per-file.
+//! * **D13** (re-grounded): a host-tagged address returned by a helper
+//!   and used against another host's fabric domain is caught even
+//!   though the tag was minted in a different function.
+//! * **D18**: a raw/untranslated address escaping through a helper
+//!   return, a tainted argument, or a `&mut` out-parameter into a
+//!   fabric/DMA/doorbell sink.
+//! * **D19**: lock/RefCell acquisition-order cycles across functions
+//!   (the interprocedural lock-order graph has `a → b` when `b` is
+//!   acquired — directly or via a callee — while `a` is held; a 2-cycle
+//!   is a deadlock/reentrant-borrow hazard, reported with both chains).
+//! * **D20**: a shard-channel `recv` reachable on the same reactor as
+//!   its paired `send` (spawn_on affinity walk — the channel can never
+//!   make progress because one side blocks the only reactor that would
+//!   run the other).
+//! * **D21**: `reset_qpair` reachable from a datapath root without
+//!   passing through the recovery-ladder frame (`recover*` /
+//!   `recreate*`), i.e. a teardown while pending tags may be live.
+//!
+//! Findings carry the full call chain as related locations; the SARIF
+//! and `--format github` writers render them.
+//!
+//! Precision notes (deliberate, mirrored in the fixtures): candidate
+//! sets larger than [`CAND_CAP`] are treated as opaque unless the name
+//! is a declared trait method (dispatch legitimately fans out there);
+//! tail expressions containing block syntax only contribute direct
+//! facts, not node flows; and only `let`-bound guards enter the D19
+//! graph — expression temporaries drop before any call they could
+//! order against.
+
+use crate::ast::{Ast, FnItem, TokKind};
+use crate::dataflow::{
+    self, def_use_with_params, eval_fn, first_arg_path, live_end, split_args, stmt_end, Taint,
+    GUARD_CALLS, TRANSLATORS, WRAPPERS,
+};
+use crate::{
+    Rule, D07_READS, D07_ROOTS, D11_BLOCKING, D11_ROOTS, D12_SINKS, D13_FABRIC_SINKS, D17_ROOTS,
+};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Candidate-set cap for summary composition: a callee name matched by
+/// more functions than this is treated as opaque (no facts) unless it
+/// is a declared trait method. Keeps ubiquitous names (`new`, `len`)
+/// from smearing taint program-wide.
+const CAND_CAP: usize = 6;
+/// Call chains attached to findings are capped at this many hops.
+const CHAIN_CAP: usize = 8;
+/// Fixpoint pass cap — far above any real nesting depth; a cycle that
+/// somehow keeps churning fact *sets* (it cannot: they only grow) would
+/// stop here rather than hang.
+const PASS_CAP: usize = 50;
+
+/// One hop of an interprocedural explanation: file index, 1-based line,
+/// and a human-readable note.
+pub(crate) type Chain = Vec<(usize, usize, String)>;
+
+fn cap_chain(mut c: Chain) -> Chain {
+    c.truncate(CHAIN_CAP);
+    c
+}
+
+// ---------------------------------------------------------------------
+// Per-function local facts (cacheable)
+// ---------------------------------------------------------------------
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub(crate) struct CallRec {
+    pub name: String,
+    pub line: usize,
+    /// Token position (argument-list start) for ordering against guard
+    /// liveness windows and spawn regions.
+    pub pos: usize,
+    pub recv: Option<String>,
+}
+
+/// Everything the composition pass needs to know about one function,
+/// derived from its own file only. "Nodes" are the function's def-use
+/// defs with the parameters prepended (node `i` < `n_params` is
+/// parameter `i`).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FnLocal {
+    pub name: String,
+    pub line: usize,
+    pub impl_of: Option<String>,
+    pub n_params: usize,
+    pub mut_ref_params: Vec<bool>,
+    pub calls: Vec<CallRec>,
+    pub n_nodes: usize,
+    pub node_lines: Vec<usize>,
+    /// Def-use flow: `(src, dst)` — `dst`'s RHS reads `src`.
+    pub flow: Vec<(usize, usize)>,
+    /// Node re-entered the typed world (wrapper/translator in its RHS).
+    pub typed_nodes: Vec<bool>,
+    /// Locally raw nodes: `(node, as_u64 line)`.
+    pub raw_nodes: Vec<(usize, usize)>,
+    /// Locally host-tagged nodes: `(node, host path)`.
+    pub node_hosts: Vec<(usize, String)>,
+    /// `(call, node)` — the node's RHS is (or contains) this call.
+    pub call_results: Vec<(usize, usize)>,
+    /// Node used inside a D12-sink argument list: `(sink name, line, node)`.
+    pub sink_uses: Vec<(String, usize, usize)>,
+    /// Node used inside a fabric-sink argument list whose *local* host is
+    /// unknown: `(domain ctx, line, node, translated)`.
+    pub host_sink_uses: Vec<(String, usize, usize, bool)>,
+    /// `(call, arg index, node)` — the node is read in that argument.
+    pub call_arg_nodes: Vec<(usize, usize, usize)>,
+    /// `(call, arg index, line)` — a direct un-wrapped `as_u64()` in it.
+    pub call_arg_raw: Vec<(usize, usize, usize)>,
+    /// `(call, arg index, node)` — argument is `&mut node`.
+    pub call_arg_mutref: Vec<(usize, usize, usize)>,
+    /// `(call, arg index, ident)` — argument is a single bare ident
+    /// (channel endpoints handed to helpers).
+    pub call_arg_idents: Vec<(usize, usize, String)>,
+    /// `(node, param)` — the node is a reassignment of parameter `param`.
+    pub param_rebinds: Vec<(usize, usize)>,
+    /// Nodes read in a return position (explicit `return` or tail expr).
+    pub ret_nodes: Vec<usize>,
+    /// Direct un-wrapped `as_u64()` in a return position.
+    pub ret_raw: Option<usize>,
+    /// A wrapper/translator appears in a return position.
+    pub ret_typed: bool,
+    /// Host tag minted directly in a return position.
+    pub ret_host: Option<String>,
+    /// `let`-bound guards: `(class, line)`.
+    pub guards: Vec<(String, usize)>,
+    /// Guard `b` acquired while guard `a` live: `(a, b, line_a, line_b)`.
+    pub guard_pairs: Vec<(String, String, usize, usize)>,
+    /// Call made while a guard is live: `(class, call, guard line)`.
+    pub guard_over_calls: Vec<(String, usize, usize)>,
+    /// `let (tx, rx) = …channel…()`: `(tx, rx, line)`.
+    pub channel_pairs: Vec<(String, String, usize)>,
+    /// `spawn_on(ReactorId::new(N), …)`: `(reactor, args start, args end)`.
+    pub spawns: Vec<(u64, usize, usize)>,
+    /// `send`/`recv` method calls: `(is_send, receiver, pos, line)`.
+    pub endpoint_ops: Vec<(bool, String, usize, usize)>,
+    /// Endpoint ops whose receiver is a parameter: `(is_send, param, line)`.
+    pub param_endpoint_ops: Vec<(bool, usize, usize)>,
+    /// Directly-awaited unguarded blocking calls (D11): `(name, line)`.
+    pub blocking_awaits: Vec<(String, usize)>,
+}
+
+/// Extract every function's local facts from one parsed file.
+pub(crate) fn extract_file(ast: &Ast) -> Vec<FnLocal> {
+    ast.functions.iter().map(|f| extract_fn(ast, f)).collect()
+}
+
+fn extract_fn(ast: &Ast, f: &FnItem) -> FnLocal {
+    let toks = &ast.tokens;
+    let du = def_use_with_params(ast, f.body, &f.params);
+    let vals = eval_fn(ast, &du, &[]);
+    let raw_calls = ast.calls_in(f.body);
+    let mut out = FnLocal {
+        name: f.name.clone(),
+        line: f.line,
+        impl_of: f.impl_of.clone(),
+        n_params: f.params.len(),
+        mut_ref_params: f.params.iter().map(|p| p.by_mut_ref).collect(),
+        n_nodes: du.defs.len(),
+        node_lines: du.defs.iter().map(|d| d.line).collect(),
+        typed_nodes: vals.iter().map(|v| v.taint == Taint::Typed).collect(),
+        ..FnLocal::default()
+    };
+    // A parameter declared with a wrapper type (`PhysAddr(bus)`, …) is
+    // typed at the call boundary — the caller cannot hand it a bare
+    // u64 — so its node never seeds or carries raw taint and the
+    // function contributes no `param_sinks` entry for it.
+    for (pi, p) in f.params.iter().enumerate() {
+        let end = f.params.get(pi + 1).map_or(f.body.0, |n| n.at);
+        if toks[p.at..end.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && WRAPPERS.contains(&t.text.as_str()))
+        {
+            out.typed_nodes[pi] = true;
+        }
+    }
+    for (di, v) in vals.iter().enumerate() {
+        if let Taint::Raw(l) = v.taint {
+            out.raw_nodes.push((di, l));
+        }
+        if let Some(h) = &v.host {
+            out.node_hosts.push((di, h.clone()));
+        }
+    }
+    // Flow edges: a use of `src` inside `dst`'s RHS.
+    for u in &du.uses {
+        for (di, d) in du.defs.iter().enumerate() {
+            if d.expr.0 <= u.at && u.at < d.expr.1 && di != u.def {
+                out.flow.push((u.def, di));
+            }
+        }
+    }
+    for (di, d) in du.defs.iter().enumerate().skip(out.n_params) {
+        if let Some(p) = (0..out.n_params).find(|&p| du.defs[p].name == d.name) {
+            out.param_rebinds.push((di, p));
+        }
+    }
+
+    // ---- calls and their argument structure
+    let translations: Vec<usize> = raw_calls
+        .iter()
+        .filter(|c| TRANSLATORS.contains(&c.name.as_str()))
+        .map(|c| c.args.0)
+        .collect();
+    let timeout_guards: Vec<(usize, usize)> = raw_calls
+        .iter()
+        .filter(|c| c.name == "timeout")
+        .map(|c| c.args)
+        .collect();
+    for (k, call) in raw_calls.iter().enumerate() {
+        out.calls.push(CallRec {
+            name: call.name.clone(),
+            line: call.line,
+            pos: call.args.0,
+            recv: call.receiver.clone(),
+        });
+        let (a, b) = (call.args.0, call.args.1.min(toks.len()));
+        let wrapped = ast.any_ident_in((a, b), |id| WRAPPERS.contains(&id));
+        if D12_SINKS.contains(&call.name.as_str()) && !wrapped {
+            for u in du.uses.iter().filter(|u| a <= u.at && u.at < b) {
+                out.sink_uses.push((call.name.clone(), u.line, u.def));
+            }
+        }
+        if D13_FABRIC_SINKS.contains(&call.name.as_str()) {
+            if let Some(ctx) = first_arg_path(ast, a.saturating_sub(1)) {
+                for u in du.uses.iter().filter(|u| a <= u.at && u.at < b) {
+                    if vals[u.def].host.is_some() {
+                        continue; // the intraprocedural D13 pass owns it
+                    }
+                    let def_at = du.defs[u.def].at;
+                    let translated = translations.iter().any(|&t| def_at < t && t < u.at);
+                    out.host_sink_uses
+                        .push((ctx.clone(), u.line, u.def, translated));
+                }
+            }
+        }
+        for (ai, arange) in split_args(ast, call.args).into_iter().enumerate() {
+            for u in du
+                .uses
+                .iter()
+                .filter(|u| arange.0 <= u.at && u.at < arange.1)
+            {
+                out.call_arg_nodes.push((k, ai, u.def));
+            }
+            let arg_wrapped =
+                ast.any_ident_in(arange, |id| WRAPPERS.contains(&id) || id == "PhysAddr");
+            if !arg_wrapped {
+                for i in arange.0..arange.1.min(toks.len()) {
+                    if toks[i].is("as_u64") && i > 0 && toks[i - 1].punct('.') {
+                        out.call_arg_raw.push((k, ai, toks[i].line));
+                        break;
+                    }
+                }
+            }
+            if arange.1 - arange.0 == 3
+                && toks[arange.0].punct('&')
+                && toks[arange.0 + 1].is("mut")
+                && toks[arange.0 + 2].kind == TokKind::Ident
+            {
+                if let Some(u) = du.uses.iter().find(|u| u.at == arange.0 + 2) {
+                    out.call_arg_mutref.push((k, ai, u.def));
+                }
+            }
+            if arange.1 - arange.0 == 1 && toks[arange.0].kind == TokKind::Ident {
+                out.call_arg_idents
+                    .push((k, ai, toks[arange.0].text.clone()));
+            }
+        }
+        // Node whose RHS contains this call (result binding).
+        for (di, d) in du.defs.iter().enumerate() {
+            if d.expr.0 <= call.args.0 && call.args.1 <= d.expr.1 {
+                out.call_results.push((k, di));
+            }
+        }
+        // Shard-channel endpoint operations.
+        let is_send = call.name == "send" || call.name == "send_unsynchronized";
+        let is_recv = call.name == "recv" || call.name == "try_recv";
+        if is_send || is_recv {
+            if let Some(r) = &call.receiver {
+                out.endpoint_ops
+                    .push((is_send, r.clone(), call.args.0, call.line));
+                if let Some(p) = f.params.iter().position(|p| &p.name == r) {
+                    out.param_endpoint_ops.push((is_send, p, call.line));
+                }
+            }
+        }
+        if call.name == "spawn_on" {
+            if let Some(r) = reactor_literal(ast, call.args) {
+                out.spawns.push((r, call.args.0, call.args.1));
+            }
+        }
+        // D11 facts: directly awaited, not inside a `timeout(..)` wrapper.
+        if D11_BLOCKING.iter().any(|bk| call.name == *bk) {
+            let close = call.args.1;
+            let awaited = toks.get(close + 1).is_some_and(|t| t.punct('.'))
+                && toks.get(close + 2).is_some_and(|t| t.is("await"));
+            let guarded = timeout_guards
+                .iter()
+                .any(|&(ga, gb)| ga <= call.args.0 && call.args.1 <= gb);
+            if awaited && !guarded {
+                out.blocking_awaits.push((call.name.clone(), call.line));
+            }
+        }
+    }
+
+    // ---- return positions
+    let mut ret_ranges: Vec<((usize, usize), bool)> = Vec::new(); // (range, full)
+    let end = f.body.1.min(toks.len());
+    for (i, t) in toks.iter().enumerate().take(end).skip(f.body.0) {
+        if t.is("return") && t.kind == TokKind::Ident {
+            ret_ranges.push(((i + 1, stmt_end(ast, i + 1, end)), true));
+        }
+    }
+    // Tail expression: after the last `;` at body depth 0.
+    let mut depth = 0isize;
+    let mut tail_start = f.body.0 + 1;
+    for (i, t) in toks.iter().enumerate().take(end).skip(f.body.0 + 1) {
+        if t.punct('{') || t.punct('(') || t.punct('[') {
+            depth += 1;
+        } else if t.punct('}') || t.punct(')') || t.punct(']') {
+            depth -= 1;
+        } else if t.punct(';') && depth == 0 {
+            tail_start = i + 1;
+        }
+    }
+    if tail_start < end {
+        // A tail containing block syntax is too coarse to attribute node
+        // flows to the return value — only direct facts are taken.
+        let simple = !(tail_start..end).any(|i| toks[i].punct('{'));
+        ret_ranges.push(((tail_start, end), simple));
+    }
+    for &((a, b), full) in &ret_ranges {
+        if full {
+            for u in du.uses.iter().filter(|u| a <= u.at && u.at < b) {
+                if !out.ret_nodes.contains(&u.def) {
+                    out.ret_nodes.push(u.def);
+                }
+            }
+        }
+        let mut d = 0isize;
+        for i in a..b {
+            let t = &toks[i];
+            if t.punct('{') {
+                d += 1;
+            } else if t.punct('}') {
+                d -= 1;
+            }
+            if !full && d > 0 {
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.is("as_u64") && i > 0 && toks[i - 1].punct('.') && out.ret_raw.is_none() {
+                out.ret_raw = Some(t.line);
+            }
+            if WRAPPERS.contains(&t.text.as_str()) || TRANSLATORS.contains(&t.text.as_str()) {
+                out.ret_typed = true;
+                if t.text != "PhysAddr" && out.ret_host.is_none() {
+                    if let Some(open) = (i..b.min(i + 5)).find(|&x| toks[x].punct('(')) {
+                        out.ret_host = first_arg_path(ast, open);
+                    }
+                }
+            }
+        }
+    }
+    if out.ret_typed {
+        out.ret_raw = None;
+    }
+
+    // ---- guards (let-bound only; see module docs)
+    let guard_info: Vec<(usize, String, usize, (usize, usize))> = du
+        .defs
+        .iter()
+        .enumerate()
+        .filter(|(di, d)| vals[*di].guard && d.name != "_")
+        .filter_map(|(di, d)| {
+            guard_class(ast, d.expr).map(|cls| {
+                let live = (d.expr.1, live_end(&du, di, f.body.1));
+                (di, cls, d.line, live)
+            })
+        })
+        .collect();
+    for (i, (_, cls, line, live)) in guard_info.iter().enumerate() {
+        out.guards.push((cls.clone(), *line));
+        for (j, (_, cls2, line2, _)) in guard_info.iter().enumerate() {
+            if i != j {
+                let at2 = du.defs[guard_info[j].0].at;
+                if live.0 <= at2 && at2 < live.1 {
+                    out.guard_pairs
+                        .push((cls.clone(), cls2.clone(), *line, *line2));
+                }
+            }
+        }
+        for (k, call) in raw_calls.iter().enumerate() {
+            if live.0 <= call.args.0 && call.args.0 < live.1 {
+                out.guard_over_calls.push((cls.clone(), k, *line));
+            }
+        }
+    }
+
+    // ---- channel pairs: `let ( tx , rx ) = …channel…`
+    let mut i = f.body.0;
+    while i + 6 < end {
+        if toks[i].is("let")
+            && toks[i + 1].punct('(')
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].punct(',')
+            && toks[i + 4].kind == TokKind::Ident
+            && toks[i + 5].punct(')')
+            && toks[i + 6].punct('=')
+        {
+            let stop = stmt_end(ast, i + 7, end);
+            if (i + 7..stop)
+                .any(|x| toks[x].kind == TokKind::Ident && toks[x].text.ends_with("channel"))
+            {
+                out.channel_pairs.push((
+                    toks[i + 2].text.clone(),
+                    toks[i + 4].text.clone(),
+                    toks[i].line,
+                ));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `ReactorId::new(<literal>)` inside the argument range → the literal.
+fn reactor_literal(ast: &Ast, args: (usize, usize)) -> Option<u64> {
+    let toks = &ast.tokens;
+    let end = args.1.min(toks.len());
+    for i in args.0..end.saturating_sub(6) {
+        if toks[i].is("ReactorId")
+            && toks[i + 1].punct(':')
+            && toks[i + 2].punct(':')
+            && toks[i + 3].is("new")
+            && toks[i + 4].punct('(')
+            && toks[i + 5].kind == TokKind::Num
+            && toks[i + 6].punct(')')
+        {
+            return dataflow::parse_num(&toks[i + 5].text);
+        }
+    }
+    None
+}
+
+/// The lock-order class of a guard RHS: the receiver path component
+/// directly before the outermost `.lock()`/`.borrow()`/`.borrow_mut()`.
+fn guard_class(ast: &Ast, expr: (usize, usize)) -> Option<String> {
+    let toks = &ast.tokens;
+    let end = expr.1.min(toks.len());
+    for i in (expr.0..end).rev() {
+        if GUARD_CALLS.contains(&toks[i].text.as_str())
+            && i >= 2
+            && toks[i - 1].punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.punct('('))
+            && toks[i - 2].kind == TokKind::Ident
+        {
+            return Some(toks[i - 2].text.clone());
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Summaries and composition
+// ---------------------------------------------------------------------
+
+/// The composed interprocedural summary of one function.
+#[derive(Clone, Debug, Default)]
+struct Summary {
+    /// Returns a raw (never re-wrapped) address; chain explains whence.
+    ret_raw: Option<Chain>,
+    /// Returns a host-tagged address: `(host path, chain)`.
+    ret_host: Option<(String, Chain)>,
+    /// Parameters whose taint flows to the return value.
+    param_rets: Vec<usize>,
+    /// Parameters whose taint reaches a sink inside (transitively).
+    param_sinks: Vec<(usize, Chain)>,
+    /// `&mut` out-parameters written with a raw address.
+    raw_out: Vec<(usize, Chain)>,
+    /// Guard classes acquired here or in any callee.
+    acquired: Vec<(String, Chain)>,
+    /// Parameters this function sends on / receives on (shard channels).
+    param_sends: Vec<usize>,
+    param_recvs: Vec<usize>,
+}
+
+impl Summary {
+    /// The chain-free fact set, for fixpoint change detection (chains
+    /// adopt the first derivation and never churn).
+    #[allow(clippy::type_complexity)]
+    fn facts(
+        &self,
+    ) -> (
+        bool,
+        Option<&String>,
+        Vec<usize>,
+        Vec<usize>,
+        Vec<usize>,
+        Vec<&String>,
+        Vec<usize>,
+        Vec<usize>,
+    ) {
+        (
+            self.ret_raw.is_some(),
+            self.ret_host.as_ref().map(|(h, _)| h),
+            self.param_rets.clone(),
+            self.param_sinks.iter().map(|(p, _)| *p).collect(),
+            self.raw_out.iter().map(|(p, _)| *p).collect(),
+            self.acquired.iter().map(|(c, _)| c).collect(),
+            self.param_sends.clone(),
+            self.param_recvs.clone(),
+        )
+    }
+}
+
+/// A file handed to [`Program::build`].
+pub(crate) struct FileInput<'a> {
+    pub rel: &'a str,
+    pub text: &'a str,
+    pub rules: Vec<Rule>,
+}
+
+/// One interprocedural finding (paths resolved by the caller).
+pub(crate) struct ProgFinding {
+    pub rule: Rule,
+    pub file: usize,
+    pub line: usize,
+    /// `(file, line, note)` related locations — the call chain.
+    pub related: Chain,
+}
+
+/// One file's cached analysis products: content hash, the method names
+/// its `trait` declarations contribute to dispatch resolution, and the
+/// per-function fact records.
+struct FileFacts {
+    hash: u64,
+    trait_methods: Vec<String>,
+    fns: Vec<FnLocal>,
+}
+
+/// The whole-program view: every file's per-function facts plus the
+/// converged summaries.
+pub(crate) struct Program {
+    rels: Vec<String>,
+    file_rules: Vec<Vec<Rule>>,
+    fns: Vec<FnLocal>,
+    fn_file: Vec<usize>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    trait_methods: Vec<String>,
+    summaries: Vec<Summary>,
+    /// Number of function summaries computed (the BENCH counter).
+    pub summary_count: usize,
+}
+
+struct NodeFacts {
+    /// `(came through a call boundary, chain)` per node.
+    raw: Vec<Option<(bool, Chain)>>,
+    host: Vec<Option<(String, bool, Chain)>>,
+}
+
+impl Program {
+    /// Parse/extract every file (through the cache when given) and run
+    /// the summary fixpoint.
+    pub(crate) fn build(files: &[FileInput], cache: Option<&Path>) -> Program {
+        let cached = cache.map(read_cache).unwrap_or_default();
+        let mut rels = Vec::new();
+        let mut file_rules = Vec::new();
+        let mut fns = Vec::new();
+        let mut fn_file = Vec::new();
+        let mut trait_methods: Vec<String> = Vec::new();
+        let mut cache_out: Vec<(String, FileFacts)> = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            rels.push(f.rel.to_string());
+            file_rules.push(f.rules.clone());
+            let hash = fnv1a(f.text.as_bytes());
+            let facts = match cached.get(f.rel) {
+                Some(ff) if ff.hash == hash => FileFacts {
+                    hash,
+                    trait_methods: ff.trait_methods.clone(),
+                    fns: ff.fns.clone(),
+                },
+                _ => {
+                    let ast = Ast::parse(f.text);
+                    let mut tm: Vec<String> = Vec::new();
+                    for t in &ast.traits {
+                        for m in &t.methods {
+                            if !tm.contains(m) {
+                                tm.push(m.clone());
+                            }
+                        }
+                    }
+                    FileFacts {
+                        hash,
+                        trait_methods: tm,
+                        fns: extract_file(&ast),
+                    }
+                }
+            };
+            // Only *declared* traits widen dispatch: `impl Trait for`
+            // blocks alone would drag in std names (`poll`, `drop`,
+            // `fmt`) and smear summaries across the whole program.
+            for m in &facts.trait_methods {
+                if !trait_methods.contains(m) {
+                    trait_methods.push(m.clone());
+                }
+            }
+            if cache.is_some() {
+                cache_out.push((
+                    f.rel.to_string(),
+                    FileFacts {
+                        hash,
+                        trait_methods: facts.trait_methods.clone(),
+                        fns: facts.fns.clone(),
+                    },
+                ));
+            }
+            for l in facts.fns {
+                fn_file.push(fi);
+                fns.push(l);
+            }
+        }
+        if let Some(path) = cache {
+            write_cache(path, &cache_out);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let summary_count = fns.len();
+        let mut prog = Program {
+            rels,
+            file_rules,
+            fns,
+            fn_file,
+            by_name,
+            trait_methods,
+            summaries: Vec::new(),
+            summary_count,
+        };
+        prog.summaries = vec![Summary::default(); prog.fns.len()];
+        prog.fixpoint();
+        prog
+    }
+
+    pub(crate) fn rel(&self, file: usize) -> &str {
+        &self.rels[file]
+    }
+
+    /// Guard classes are keyed by defining file so same-named fields
+    /// of unrelated types (`state` in the fabric vs `state` in the
+    /// oracle) never alias into one lock class.
+    fn guard_key(&self, file: usize, cls: &str) -> String {
+        let rel = &self.rels[file];
+        let short = rel
+            .strip_prefix("crates/")
+            .unwrap_or(rel)
+            .replace("/src/", "/");
+        format!("{short}::{cls}")
+    }
+
+    /// Call-target resolution. Same-file definitions always resolve
+    /// (the intraprocedural behaviour the engine grew out of); a call
+    /// crosses a file boundary only through a trait-*declared* method
+    /// name (`dyn` dispatch over a trait the workspace defines) or a
+    /// receiver-less call on a name with exactly one definition
+    /// program-wide (a free-function helper). Method calls never
+    /// cross files on a name match alone — `map.remove(k)` must not
+    /// resolve to whatever single `fn remove` the workspace happens
+    /// to define — and `drop` never resolves at all: `drop(x)` is the
+    /// std release function and `impl Drop` bodies are not explicitly
+    /// callable. Without these fences a whole-program name walk
+    /// smears through ubiquitous method names (`push`, `read`, `run`)
+    /// and invents flows between unrelated crates.
+    fn resolve(&self, caller_file: usize, call: &CallRec) -> Vec<usize> {
+        if call.name == "drop" {
+            return Vec::new();
+        }
+        let Some(all) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let dispatched = self.trait_methods.contains(&call.name);
+        let unique_helper = all.len() == 1 && call.recv.is_none();
+        all.iter()
+            .copied()
+            .filter(|&c| self.fn_file[c] == caller_file || dispatched || unique_helper)
+            .collect()
+    }
+
+    /// Summary-composition candidates: [`Program::resolve`], but a
+    /// non-dispatched name whose fan-out still exceeds [`CAND_CAP`]
+    /// is treated as opaque rather than merging unrelated summaries.
+    fn candidates(&self, caller_file: usize, call: &CallRec) -> Vec<usize> {
+        let out = self.resolve(caller_file, call);
+        if out.len() > CAND_CAP && !self.trait_methods.contains(&call.name) {
+            return Vec::new();
+        }
+        out
+    }
+
+    fn fixpoint(&mut self) {
+        for _ in 0..PASS_CAP {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                let s = self.compute_summary(i);
+                if s.facts() != self.summaries[i].facts() {
+                    changed = true;
+                }
+                self.summaries[i] = s;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn compute_summary(&self, fidx: usize) -> Summary {
+        let f = &self.fns[fidx];
+        let file = self.fn_file[fidx];
+        let facts = self.propagate(fidx, None);
+        let mut s = Summary::default();
+
+        // Return facts.
+        if let Some(line) = f.ret_raw {
+            s.ret_raw = Some(vec![(
+                file,
+                line,
+                format!("`{}` returns a raw as_u64() value", f.name),
+            )]);
+        } else if !f.ret_typed {
+            for &n in &f.ret_nodes {
+                if let Some((_, ch)) = &facts.raw[n] {
+                    let mut chain = ch.clone();
+                    chain.push((file, f.line, format!("returned by `{}`", f.name)));
+                    s.ret_raw = Some(cap_chain(chain));
+                    break;
+                }
+            }
+        }
+        if let Some(h) = &f.ret_host {
+            s.ret_host = Some((h.clone(), Vec::new()));
+        } else {
+            for &n in &f.ret_nodes {
+                if let Some((h, _, ch)) = &facts.host[n] {
+                    s.ret_host = Some((h.clone(), cap_chain(ch.clone())));
+                    break;
+                }
+            }
+        }
+        // `&mut` out-params written with a raw value.
+        for &(n, p) in &f.param_rebinds {
+            if f.mut_ref_params.get(p) == Some(&true) {
+                if let Some((_, ch)) = &facts.raw[n] {
+                    if !s.raw_out.iter().any(|(q, _)| *q == p) {
+                        let mut chain = ch.clone();
+                        chain.push((
+                            file,
+                            f.node_lines[n],
+                            format!("written through `&mut` out-param of `{}`", f.name),
+                        ));
+                        s.raw_out.push((p, cap_chain(chain)));
+                    }
+                }
+            }
+        }
+        // Acquired guard classes: local + transitive.
+        for (cls, line) in &f.guards {
+            let key = self.guard_key(file, cls);
+            if !s.acquired.iter().any(|(c, _)| c == &key) {
+                s.acquired.push((
+                    key.clone(),
+                    vec![(
+                        file,
+                        *line,
+                        format!("`{key}` guard acquired in `{}`", f.name),
+                    )],
+                ));
+            }
+        }
+        for (k, call) in f.calls.iter().enumerate() {
+            let _ = k;
+            for c in self.candidates(file, call) {
+                if c == fidx {
+                    continue;
+                }
+                for (cls, ch) in &self.summaries[c].acquired {
+                    if !s.acquired.iter().any(|(x, _)| x == cls) {
+                        let mut chain =
+                            vec![(file, call.line, format!("via call to `{}`", call.name))];
+                        chain.extend(ch.iter().cloned());
+                        s.acquired.push((cls.clone(), cap_chain(chain)));
+                    }
+                }
+            }
+        }
+        // Channel endpoints by parameter: direct + transitive.
+        for &(is_send, p, _) in &f.param_endpoint_ops {
+            let list = if is_send {
+                &mut s.param_sends
+            } else {
+                &mut s.param_recvs
+            };
+            if !list.contains(&p) {
+                list.push(p);
+            }
+        }
+        for &(k, ai, node) in &f.call_arg_nodes {
+            if node >= f.n_params {
+                continue;
+            }
+            for c in self.candidates(file, &f.calls[k]) {
+                if c == fidx {
+                    continue;
+                }
+                if self.summaries[c].param_sends.contains(&ai) && !s.param_sends.contains(&node) {
+                    s.param_sends.push(node);
+                }
+                if self.summaries[c].param_recvs.contains(&ai) && !s.param_recvs.contains(&node) {
+                    s.param_recvs.push(node);
+                }
+            }
+        }
+        // Per-parameter taint transfer.
+        for p in 0..f.n_params {
+            let pf = self.propagate(fidx, Some(p));
+            if !f.ret_typed
+                && f.ret_nodes.iter().any(|&n| pf.raw[n].is_some())
+                && !s.param_rets.contains(&p)
+            {
+                s.param_rets.push(p);
+            }
+            let mut sink_chain: Option<Chain> = None;
+            for (name, line, node) in &f.sink_uses {
+                if pf.raw[*node].is_some() {
+                    sink_chain = Some(vec![(
+                        file,
+                        *line,
+                        format!("argument of `{}` reaches the `{name}` sink", f.name),
+                    )]);
+                    break;
+                }
+            }
+            if sink_chain.is_none() {
+                'outer: for &(k, ai, node) in &f.call_arg_nodes {
+                    if pf.raw[node].is_none() {
+                        continue;
+                    }
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c == fidx {
+                            continue;
+                        }
+                        if let Some((_, ch)) =
+                            self.summaries[c].param_sinks.iter().find(|(q, _)| *q == ai)
+                        {
+                            let mut chain = vec![(
+                                file,
+                                f.calls[k].line,
+                                format!("passed on to `{}`", f.calls[k].name),
+                            )];
+                            chain.extend(ch.iter().cloned());
+                            sink_chain = Some(cap_chain(chain));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if let Some(ch) = sink_chain {
+                if !s.param_sinks.iter().any(|(q, _)| *q == p) {
+                    s.param_sinks.push((p, ch));
+                }
+            }
+        }
+        s.param_rets.sort_unstable();
+        s.param_sends.sort_unstable();
+        s.param_recvs.sort_unstable();
+        s
+    }
+
+    /// Propagate raw/host facts over one function's node graph. With a
+    /// `seed`, only that parameter starts tainted (transfer-function
+    /// mode); without, local mints and callee-derived facts seed the
+    /// graph (whole-function mode).
+    fn propagate(&self, fidx: usize, seed: Option<usize>) -> NodeFacts {
+        let f = &self.fns[fidx];
+        let file = self.fn_file[fidx];
+        let mut raw: Vec<Option<(bool, Chain)>> = vec![None; f.n_nodes];
+        let mut host: Vec<Option<(String, bool, Chain)>> = vec![None; f.n_nodes];
+        match seed {
+            Some(p) => {
+                if p < f.n_nodes && !f.typed_nodes[p] {
+                    raw[p] = Some((true, Vec::new()));
+                }
+            }
+            None => {
+                for &(n, line) in &f.raw_nodes {
+                    if !f.typed_nodes[n] && raw[n].is_none() {
+                        raw[n] = Some((
+                            false,
+                            vec![(file, line, "raw u64 minted by as_u64() here".to_string())],
+                        ));
+                    }
+                }
+                for (n, h) in &f.node_hosts {
+                    host[*n] = Some((h.clone(), false, Vec::new()));
+                }
+                for &(k, n) in &f.call_results {
+                    if f.typed_nodes[n] {
+                        continue;
+                    }
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c == fidx {
+                            continue;
+                        }
+                        if raw[n].is_none() {
+                            if let Some(ch) = &self.summaries[c].ret_raw {
+                                let mut chain = vec![(
+                                    file,
+                                    f.calls[k].line,
+                                    format!("`{}` returns a raw address", f.calls[k].name),
+                                )];
+                                chain.extend(ch.iter().cloned());
+                                raw[n] = Some((true, cap_chain(chain)));
+                            }
+                        }
+                        if host[n].is_none() {
+                            if let Some((h, ch)) = &self.summaries[c].ret_host {
+                                let mut chain = vec![(
+                                    file,
+                                    f.calls[k].line,
+                                    format!(
+                                        "`{}` returns an address in `{h}`'s domain",
+                                        f.calls[k].name
+                                    ),
+                                )];
+                                chain.extend(ch.iter().cloned());
+                                host[n] = Some((h.clone(), true, cap_chain(chain)));
+                            }
+                        }
+                    }
+                }
+                for &(k, ai, n) in &f.call_arg_mutref {
+                    if f.typed_nodes[n] || raw[n].is_some() {
+                        continue;
+                    }
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c == fidx {
+                            continue;
+                        }
+                        if let Some((_, ch)) =
+                            self.summaries[c].raw_out.iter().find(|(q, _)| *q == ai)
+                        {
+                            let mut chain = vec![(
+                                file,
+                                f.calls[k].line,
+                                format!("`{}` writes a raw address out", f.calls[k].name),
+                            )];
+                            chain.extend(ch.iter().cloned());
+                            raw[n] = Some((true, cap_chain(chain)));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        loop {
+            let mut changed = false;
+            for &(src, dst) in &f.flow {
+                if !f.typed_nodes[dst] {
+                    if raw[dst].is_none() && raw[src].is_some() {
+                        raw[dst] = raw[src].clone();
+                        changed = true;
+                    }
+                    if host[dst].is_none() && host[src].is_some() {
+                        host[dst] = host[src].clone();
+                        changed = true;
+                    }
+                }
+            }
+            // Arg taint flowing through a callee back into its result.
+            for &(k, n) in &f.call_results {
+                if f.typed_nodes[n] || raw[n].is_some() {
+                    continue;
+                }
+                for &(k2, ai, src) in &f.call_arg_nodes {
+                    if k2 != k {
+                        continue;
+                    }
+                    let Some((_, ch)) = raw[src].clone() else {
+                        continue;
+                    };
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c != fidx && self.summaries[c].param_rets.contains(&ai) {
+                            let mut chain = ch;
+                            chain.push((
+                                file,
+                                f.calls[k].line,
+                                format!("flows through `{}` back to the caller", f.calls[k].name),
+                            ));
+                            raw[n] = Some((true, cap_chain(chain)));
+                            changed = true;
+                            break;
+                        }
+                    }
+                    if raw[n].is_some() {
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        NodeFacts { raw, host }
+    }
+
+    fn file_has(&self, file: usize, rule: Rule) -> bool {
+        self.file_rules[file].contains(&rule)
+    }
+
+    /// All interprocedural findings, deduplicated by `(rule, file, line)`
+    /// and sorted by `(file, line, rule)`.
+    pub(crate) fn findings(&self) -> Vec<ProgFinding> {
+        let mut out: Vec<ProgFinding> = Vec::new();
+        let push = |out: &mut Vec<ProgFinding>, f: ProgFinding| {
+            if !out
+                .iter()
+                .any(|x| x.rule == f.rule && x.file == f.file && x.line == f.line)
+            {
+                out.push(f);
+            }
+        };
+        self.d18_d13_findings(&mut |f| push(&mut out, f));
+        self.d19_findings(&mut |f| push(&mut out, f));
+        self.d20_findings(&mut |f| push(&mut out, f));
+        self.d21_findings(&mut |f| push(&mut out, f));
+        self.reach_findings(&mut |f| push(&mut out, f));
+        out.sort_by(|a, b| (a.file, a.line, a.rule.code()).cmp(&(b.file, b.line, b.rule.code())));
+        out
+    }
+
+    fn d18_d13_findings(&self, hit: &mut dyn FnMut(ProgFinding)) {
+        for (fidx, f) in self.fns.iter().enumerate() {
+            let file = self.fn_file[fidx];
+            let d18 = self.file_has(file, Rule::D18);
+            let d13 = self.file_has(file, Rule::D13);
+            if !d18 && !d13 {
+                continue;
+            }
+            let facts = self.propagate(fidx, None);
+            if d18 {
+                // (a) an interprocedurally-raw node reaching a local sink.
+                for (_, line, node) in &f.sink_uses {
+                    if let Some((true, ch)) = &facts.raw[*node] {
+                        hit(ProgFinding {
+                            rule: Rule::D18,
+                            file,
+                            line: *line,
+                            related: ch.clone(),
+                        });
+                    }
+                }
+                // (b) a raw node handed to a helper whose param reaches a
+                // sink; (c) a direct as_u64() in such an argument.
+                for &(k, ai, node) in &f.call_arg_nodes {
+                    let Some((_, ch)) = &facts.raw[node] else {
+                        continue;
+                    };
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c == fidx {
+                            continue;
+                        }
+                        if let Some((_, sch)) =
+                            self.summaries[c].param_sinks.iter().find(|(q, _)| *q == ai)
+                        {
+                            let mut chain = ch.clone();
+                            chain.push((
+                                file,
+                                f.calls[k].line,
+                                format!("passed into `{}`", f.calls[k].name),
+                            ));
+                            chain.extend(sch.iter().cloned());
+                            hit(ProgFinding {
+                                rule: Rule::D18,
+                                file,
+                                line: f.calls[k].line,
+                                related: cap_chain(chain),
+                            });
+                        }
+                    }
+                }
+                for &(k, ai, line) in &f.call_arg_raw {
+                    for c in self.candidates(file, &f.calls[k]) {
+                        if c == fidx {
+                            continue;
+                        }
+                        if let Some((_, sch)) =
+                            self.summaries[c].param_sinks.iter().find(|(q, _)| *q == ai)
+                        {
+                            hit(ProgFinding {
+                                rule: Rule::D18,
+                                file,
+                                line,
+                                related: cap_chain(sch.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+            if d13 {
+                for (ctx, line, node, translated) in &f.host_sink_uses {
+                    if *translated {
+                        continue;
+                    }
+                    if let Some((h, true, ch)) = &facts.host[*node] {
+                        if h != ctx {
+                            hit(ProgFinding {
+                                rule: Rule::D13,
+                                file,
+                                line: *line,
+                                related: ch.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn d19_findings(&self, hit: &mut dyn FnMut(ProgFinding)) {
+        // Lock-order edges: a → b when b is acquired (directly or via a
+        // callee) while a is held. First derivation wins, deterministic
+        // because functions and their facts are iterated in order.
+        let mut edges: BTreeMap<(String, String), (usize, usize, Chain)> = BTreeMap::new();
+        for (fidx, f) in self.fns.iter().enumerate() {
+            let file = self.fn_file[fidx];
+            for (a, b, la, lb) in &f.guard_pairs {
+                let (ka, kb) = (self.guard_key(file, a), self.guard_key(file, b));
+                if ka != kb {
+                    edges.entry((ka.clone(), kb.clone())).or_insert_with(|| {
+                        (
+                            file,
+                            *la,
+                            vec![
+                                (file, *la, format!("`{ka}` guard acquired in `{}`", f.name)),
+                                (
+                                    file,
+                                    *lb,
+                                    format!("`{kb}` guard acquired while `{ka}` held"),
+                                ),
+                            ],
+                        )
+                    });
+                }
+            }
+            for (cls, k, la) in &f.guard_over_calls {
+                let key = self.guard_key(file, cls);
+                for c in self.candidates(file, &f.calls[*k]) {
+                    if c == fidx {
+                        continue;
+                    }
+                    for (h, hch) in &self.summaries[c].acquired {
+                        if *h != key {
+                            edges.entry((key.clone(), h.clone())).or_insert_with(|| {
+                                let mut chain = vec![
+                                    (file, *la, format!("`{key}` guard acquired in `{}`", f.name)),
+                                    (
+                                        file,
+                                        f.calls[*k].line,
+                                        format!(
+                                            "call into `{}` while `{key}` held",
+                                            f.calls[*k].name
+                                        ),
+                                    ),
+                                ];
+                                chain.extend(hch.iter().cloned());
+                                (file, *la, cap_chain(chain))
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for ((a, b), (file, line, ch)) in &edges {
+            if a >= b {
+                continue;
+            }
+            let Some((rfile, rline, rch)) = edges.get(&(b.clone(), a.clone())) else {
+                continue;
+            };
+            if !self.file_has(*file, Rule::D19) {
+                continue;
+            }
+            let mut related = ch.clone();
+            related.push((
+                *rfile,
+                *rline,
+                format!("opposite order — `{b}` then `{a}`:"),
+            ));
+            related.extend(rch.iter().cloned());
+            hit(ProgFinding {
+                rule: Rule::D19,
+                file: *file,
+                line: *line,
+                related: cap_chain(related),
+            });
+        }
+    }
+
+    fn d20_findings(&self, hit: &mut dyn FnMut(ProgFinding)) {
+        for (fidx, f) in self.fns.iter().enumerate() {
+            let file = self.fn_file[fidx];
+            if !self.file_has(file, Rule::D20) {
+                continue;
+            }
+            for (tx, rx, pline) in &f.channel_pairs {
+                // (is_send, reactor, line, chain)
+                let mut ops: Vec<(bool, u64, usize, Chain)> = Vec::new();
+                for &(r, a, b) in &f.spawns {
+                    for (is_send, name, pos, line) in &f.endpoint_ops {
+                        if a <= *pos
+                            && *pos < b
+                            && ((*is_send && name == tx) || (!*is_send && name == rx))
+                        {
+                            ops.push((*is_send, r, *line, Vec::new()));
+                        }
+                    }
+                    for &(k, ai, ref name) in &f.call_arg_idents {
+                        let call = &f.calls[k];
+                        if call.pos < a || call.pos >= b {
+                            continue;
+                        }
+                        for c in self.candidates(file, call) {
+                            if c == fidx {
+                                continue;
+                            }
+                            if name == tx && self.summaries[c].param_sends.contains(&ai) {
+                                ops.push((
+                                    true,
+                                    r,
+                                    call.line,
+                                    vec![(
+                                        file,
+                                        call.line,
+                                        format!(
+                                            "`{tx}` moved into `{}`, which sends on it",
+                                            call.name
+                                        ),
+                                    )],
+                                ));
+                            }
+                            if name == rx && self.summaries[c].param_recvs.contains(&ai) {
+                                ops.push((
+                                    false,
+                                    r,
+                                    call.line,
+                                    vec![(
+                                        file,
+                                        call.line,
+                                        format!(
+                                            "`{rx}` moved into `{}`, which receives on it",
+                                            call.name
+                                        ),
+                                    )],
+                                ));
+                            }
+                        }
+                    }
+                }
+                let mut reported: Vec<u64> = Vec::new();
+                for (s_send, s_r, s_line, s_ch) in ops.iter().filter(|o| o.0) {
+                    let _ = s_send;
+                    for (r_send, r_r, r_line, r_ch) in ops.iter().filter(|o| !o.0) {
+                        let _ = r_send;
+                        if s_r != r_r || reported.contains(s_r) {
+                            continue;
+                        }
+                        reported.push(*s_r);
+                        let mut related = vec![
+                            (
+                                file,
+                                *pline,
+                                format!("`({tx}, {rx})` channel pair created here"),
+                            ),
+                            (file, *s_line, format!("send side pinned to reactor {s_r}")),
+                        ];
+                        related.extend(s_ch.iter().cloned());
+                        related.extend(r_ch.iter().cloned());
+                        hit(ProgFinding {
+                            rule: Rule::D20,
+                            file,
+                            line: *r_line,
+                            related: cap_chain(related),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn d21_findings(&self, hit: &mut dyn FnMut(ProgFinding)) {
+        // BFS over (fn, laddered); the ladder frame is entered through a
+        // `recover*` / `recreate*` callee.
+        let n = self.fns.len();
+        let mut visited = vec![[false; 2]; n];
+        let mut parent: Vec<[Option<(usize, usize)>; 2]> = vec![[None; 2]; n];
+        let mut queue: Vec<(usize, bool)> = Vec::new();
+        for (i, f) in self.fns.iter().enumerate() {
+            let file = self.fn_file[i];
+            if self.file_has(file, Rule::D21)
+                && ["submit", "issue"].iter().any(|p| f.name.starts_with(p))
+            {
+                visited[i][0] = true;
+                queue.push((i, false));
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (i, laddered) = queue[qi];
+            qi += 1;
+            for call in &self.fns[i].calls {
+                for c in self.resolve(self.fn_file[i], call) {
+                    let lad = laddered
+                        || self.fns[c].name.starts_with("recover")
+                        || self.fns[c].name.starts_with("recreate");
+                    let state = usize::from(lad);
+                    if !visited[c][state] {
+                        visited[c][state] = true;
+                        parent[c][state] = Some((i, call.line));
+                        queue.push((c, lad));
+                    }
+                }
+            }
+        }
+        for (i, f) in self.fns.iter().enumerate() {
+            if !visited[i][0] {
+                continue;
+            }
+            let file = self.fn_file[i];
+            if !self.file_has(file, Rule::D21) {
+                continue;
+            }
+            for call in &f.calls {
+                if call.name == "reset_qpair" {
+                    hit(ProgFinding {
+                        rule: Rule::D21,
+                        file,
+                        line: call.line,
+                        related: self.chain_to_root(&parent, i, 0),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rebuild the call chain from a BFS parent table (root first).
+    fn chain_to_root(
+        &self,
+        parent: &[[Option<(usize, usize)>; 2]],
+        mut i: usize,
+        state: usize,
+    ) -> Chain {
+        let mut hops = Vec::new();
+        while let Some((p, line)) = parent[i][state] {
+            hops.push((
+                self.fn_file[p],
+                line,
+                format!("`{}` calls `{}`", self.fns[p].name, self.fns[i].name),
+            ));
+            i = p;
+            if hops.len() >= CHAIN_CAP {
+                break;
+            }
+        }
+        hops.reverse();
+        hops
+    }
+
+    /// D07/D11/D17: the global reachability walk with per-rule roots and
+    /// site predicates (the pre-PR-8 per-file walk, program-wide).
+    fn reach_findings(&self, hit: &mut dyn FnMut(ProgFinding)) {
+        let specs: [(Rule, &[&str]); 3] = [
+            (Rule::D07, &D07_ROOTS),
+            (Rule::D11, &D11_ROOTS),
+            (Rule::D17, &D17_ROOTS),
+        ];
+        for (rule, roots) in specs {
+            let n = self.fns.len();
+            let mut visited = vec![false; n];
+            let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+            let mut queue: Vec<usize> = Vec::new();
+            for (i, f) in self.fns.iter().enumerate() {
+                if self.file_has(self.fn_file[i], rule)
+                    && roots.iter().any(|p| f.name.starts_with(p))
+                {
+                    visited[i] = true;
+                    queue.push(i);
+                }
+            }
+            let mut qi = 0;
+            while qi < queue.len() {
+                let i = queue[qi];
+                qi += 1;
+                for call in &self.fns[i].calls {
+                    for c in self.resolve(self.fn_file[i], call) {
+                        if !visited[c] {
+                            visited[c] = true;
+                            parent[c] = Some((i, call.line));
+                            queue.push(c);
+                        }
+                    }
+                }
+            }
+            for (i, f) in self.fns.iter().enumerate() {
+                if !visited[i] {
+                    continue;
+                }
+                let file = self.fn_file[i];
+                if !self.file_has(file, rule) {
+                    continue;
+                }
+                let chain = |this: &Self| -> Chain {
+                    let mut hops = Vec::new();
+                    let mut j = i;
+                    while let Some((p, line)) = parent[j] {
+                        hops.push((
+                            this.fn_file[p],
+                            line,
+                            format!("`{}` calls `{}`", this.fns[p].name, this.fns[j].name),
+                        ));
+                        j = p;
+                        if hops.len() >= CHAIN_CAP {
+                            break;
+                        }
+                    }
+                    hops.reverse();
+                    hops
+                };
+                match rule {
+                    Rule::D07 => {
+                        for call in &f.calls {
+                            if D07_READS.iter().any(|r| call.name == *r) {
+                                hit(ProgFinding {
+                                    rule,
+                                    file,
+                                    line: call.line,
+                                    related: chain(self),
+                                });
+                            }
+                        }
+                    }
+                    Rule::D11 => {
+                        for (_, line) in &f.blocking_awaits {
+                            hit(ProgFinding {
+                                rule,
+                                file,
+                                line: *line,
+                                related: chain(self),
+                            });
+                        }
+                    }
+                    Rule::D17 => {
+                        for call in &f.calls {
+                            if call.name == "alloc"
+                                && call.recv.as_deref().is_some_and(|r| r.contains("fabric"))
+                            {
+                                hit(ProgFinding {
+                                    rule,
+                                    file,
+                                    line: call.line,
+                                    related: chain(self),
+                                });
+                            }
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-file fact cache
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the file contents: the cache key. Any edit reruns
+/// extraction for that file only; composition always reruns (it is
+/// cheap and cross-file).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn read_cache(path: &Path) -> BTreeMap<String, FileFacts> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    parse_cache(&text).unwrap_or_default()
+}
+
+fn parse_cache(text: &str) -> Option<BTreeMap<String, FileFacts>> {
+    let mut lines = text.lines();
+    if lines.next()? != "dnvme-lint-summaries v2" {
+        return None;
+    }
+    let mut out = BTreeMap::new();
+    while let Some(header) = lines.next() {
+        let mut parts = header.splitn(3, ' ');
+        let hash: u64 = parts.next()?.parse().ok()?;
+        let nfns: usize = parts.next()?.parse().ok()?;
+        let rel = parts.next()?.to_string();
+        let traits_line = lines.next()?;
+        let trait_methods = traits_line
+            .strip_prefix("traits:")?
+            .split_whitespace()
+            .map(str::to_string)
+            .collect();
+        let mut fns = Vec::with_capacity(nfns);
+        for _ in 0..nfns {
+            fns.push(parse_fnlocal(lines.next()?)?);
+        }
+        out.insert(
+            rel,
+            FileFacts {
+                hash,
+                trait_methods,
+                fns,
+            },
+        );
+    }
+    Some(out)
+}
+
+fn write_cache(path: &Path, entries: &[(String, FileFacts)]) {
+    let Some(dir) = path.parent() else { return };
+    let _ = fs::create_dir_all(dir);
+    let mut buf = String::from("dnvme-lint-summaries v2\n");
+    for (rel, ff) in entries {
+        buf.push_str(&format!("{} {} {rel}\n", ff.hash, ff.fns.len()));
+        buf.push_str("traits:");
+        for m in &ff.trait_methods {
+            buf.push(' ');
+            buf.push_str(m);
+        }
+        buf.push('\n');
+        for f in &ff.fns {
+            buf.push_str(&ser_fnlocal(f));
+            buf.push('\n');
+        }
+    }
+    // Atomic publish: concurrent scans (parallel test binaries) must
+    // never observe a torn file. A parse failure is only a cache miss,
+    // but the rename keeps even that window closed.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let ok = fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(buf.as_bytes()))
+        .is_ok();
+    if ok {
+        let _ = fs::rename(&tmp, path);
+    } else {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+fn opt_str(s: &Option<String>) -> &str {
+    s.as_deref().unwrap_or("-")
+}
+
+fn ser_fnlocal(f: &FnLocal) -> String {
+    let mut sec: Vec<String> = Vec::new();
+    sec.push(format!(
+        "{} {} {} {} {}",
+        f.name,
+        f.line,
+        opt_str(&f.impl_of),
+        f.n_params,
+        if f.mut_ref_params.is_empty() {
+            "-".to_string()
+        } else {
+            f.mut_ref_params
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect()
+        }
+    ));
+    sec.push(
+        f.calls
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} {} {} {}",
+                    c.name,
+                    c.line,
+                    c.pos,
+                    c.recv.as_deref().unwrap_or("-")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(join_nums(&f.node_lines));
+    sec.push(if f.typed_nodes.is_empty() {
+        "-".to_string()
+    } else {
+        f.typed_nodes
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
+    });
+    sec.push(join_pairs(&f.raw_nodes));
+    sec.push(
+        f.node_hosts
+            .iter()
+            .map(|(n, h)| format!("{n} {h}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(join_pairs(&f.flow));
+    sec.push(join_pairs(&f.call_results));
+    sec.push(
+        f.sink_uses
+            .iter()
+            .map(|(s, l, n)| format!("{s} {l} {n}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.host_sink_uses
+            .iter()
+            .map(|(c, l, n, t)| format!("{c} {l} {n} {}", u8::from(*t)))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(join_triples(&f.call_arg_nodes));
+    sec.push(join_triples(&f.call_arg_raw));
+    sec.push(join_triples(&f.call_arg_mutref));
+    sec.push(
+        f.call_arg_idents
+            .iter()
+            .map(|(k, a, s)| format!("{k} {a} {s}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(join_pairs(&f.param_rebinds));
+    sec.push(join_nums(&f.ret_nodes));
+    sec.push(format!(
+        "{} {} {}",
+        f.ret_raw.map_or("-".to_string(), |l| l.to_string()),
+        u8::from(f.ret_typed),
+        opt_str(&f.ret_host)
+    ));
+    sec.push(
+        f.guards
+            .iter()
+            .map(|(c, l)| format!("{c} {l}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.guard_pairs
+            .iter()
+            .map(|(a, b, la, lb)| format!("{a} {b} {la} {lb}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.guard_over_calls
+            .iter()
+            .map(|(c, k, l)| format!("{c} {k} {l}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.channel_pairs
+            .iter()
+            .map(|(t, r, l)| format!("{t} {r} {l}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.spawns
+            .iter()
+            .map(|(r, a, b)| format!("{r} {a} {b}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.endpoint_ops
+            .iter()
+            .map(|(s, r, p, l)| format!("{} {r} {p} {l}", u8::from(*s)))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.param_endpoint_ops
+            .iter()
+            .map(|(s, p, l)| format!("{} {p} {l}", u8::from(*s)))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.push(
+        f.blocking_awaits
+            .iter()
+            .map(|(n, l)| format!("{n} {l}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    sec.join("|")
+}
+
+fn join_nums(v: &[usize]) -> String {
+    v.iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn join_pairs(v: &[(usize, usize)]) -> String {
+    v.iter()
+        .map(|(a, b)| format!("{a} {b}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn join_triples(v: &[(usize, usize, usize)]) -> String {
+    v.iter()
+        .map(|(a, b, c)| format!("{a} {b} {c}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_fnlocal(line: &str) -> Option<FnLocal> {
+    let sec: Vec<&str> = line.split('|').collect();
+    if sec.len() != 25 {
+        return None;
+    }
+    let toks = |s: &str| -> Vec<String> { s.split_whitespace().map(str::to_string).collect() };
+    let head = toks(sec[0]);
+    if head.len() != 5 {
+        return None;
+    }
+    let mut f = FnLocal {
+        name: head[0].clone(),
+        line: head[1].parse().ok()?,
+        impl_of: (head[2] != "-").then(|| head[2].clone()),
+        n_params: head[3].parse().ok()?,
+        mut_ref_params: if head[4] == "-" {
+            Vec::new()
+        } else {
+            head[4].chars().map(|c| c == '1').collect()
+        },
+        ..FnLocal::default()
+    };
+    for g in toks(sec[1]).chunks(4) {
+        if g.len() != 4 {
+            return None;
+        }
+        f.calls.push(CallRec {
+            name: g[0].clone(),
+            line: g[1].parse().ok()?,
+            pos: g[2].parse().ok()?,
+            recv: (g[3] != "-").then(|| g[3].clone()),
+        });
+    }
+    f.node_lines = parse_nums(sec[2])?;
+    f.n_nodes = f.node_lines.len();
+    f.typed_nodes = if sec[3] == "-" {
+        Vec::new()
+    } else {
+        sec[3].chars().map(|c| c == '1').collect()
+    };
+    if f.typed_nodes.len() != f.n_nodes {
+        return None;
+    }
+    f.raw_nodes = parse_pairs(sec[4])?;
+    for g in toks(sec[5]).chunks(2) {
+        if g.len() != 2 {
+            return None;
+        }
+        f.node_hosts.push((g[0].parse().ok()?, g[1].clone()));
+    }
+    f.flow = parse_pairs(sec[6])?;
+    f.call_results = parse_pairs(sec[7])?;
+    for g in toks(sec[8]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.sink_uses
+            .push((g[0].clone(), g[1].parse().ok()?, g[2].parse().ok()?));
+    }
+    for g in toks(sec[9]).chunks(4) {
+        if g.len() != 4 {
+            return None;
+        }
+        f.host_sink_uses.push((
+            g[0].clone(),
+            g[1].parse().ok()?,
+            g[2].parse().ok()?,
+            g[3] == "1",
+        ));
+    }
+    f.call_arg_nodes = parse_triples(sec[10])?;
+    f.call_arg_raw = parse_triples(sec[11])?;
+    f.call_arg_mutref = parse_triples(sec[12])?;
+    for g in toks(sec[13]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.call_arg_idents
+            .push((g[0].parse().ok()?, g[1].parse().ok()?, g[2].clone()));
+    }
+    f.param_rebinds = parse_pairs(sec[14])?;
+    f.ret_nodes = parse_nums(sec[15])?;
+    let rt = toks(sec[16]);
+    if rt.len() != 3 {
+        return None;
+    }
+    f.ret_raw = (rt[0] != "-").then(|| rt[0].parse()).transpose().ok()?;
+    f.ret_typed = rt[1] == "1";
+    f.ret_host = (rt[2] != "-").then(|| rt[2].clone());
+    for g in toks(sec[17]).chunks(2) {
+        if g.len() != 2 {
+            return None;
+        }
+        f.guards.push((g[0].clone(), g[1].parse().ok()?));
+    }
+    for g in toks(sec[18]).chunks(4) {
+        if g.len() != 4 {
+            return None;
+        }
+        f.guard_pairs.push((
+            g[0].clone(),
+            g[1].clone(),
+            g[2].parse().ok()?,
+            g[3].parse().ok()?,
+        ));
+    }
+    for g in toks(sec[19]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.guard_over_calls
+            .push((g[0].clone(), g[1].parse().ok()?, g[2].parse().ok()?));
+    }
+    for g in toks(sec[20]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.channel_pairs
+            .push((g[0].clone(), g[1].clone(), g[2].parse().ok()?));
+    }
+    for g in toks(sec[21]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.spawns
+            .push((g[0].parse().ok()?, g[1].parse().ok()?, g[2].parse().ok()?));
+    }
+    for g in toks(sec[22]).chunks(4) {
+        if g.len() != 4 {
+            return None;
+        }
+        f.endpoint_ops.push((
+            g[0] == "1",
+            g[1].clone(),
+            g[2].parse().ok()?,
+            g[3].parse().ok()?,
+        ));
+    }
+    for g in toks(sec[23]).chunks(3) {
+        if g.len() != 3 {
+            return None;
+        }
+        f.param_endpoint_ops
+            .push((g[0] == "1", g[1].parse().ok()?, g[2].parse().ok()?));
+    }
+    for g in toks(sec[24]).chunks(2) {
+        if g.len() != 2 {
+            return None;
+        }
+        f.blocking_awaits.push((g[0].clone(), g[1].parse().ok()?));
+    }
+    Some(f)
+}
+
+fn parse_nums(s: &str) -> Option<Vec<usize>> {
+    s.split_whitespace().map(|t| t.parse().ok()).collect()
+}
+
+fn parse_pairs(s: &str) -> Option<Vec<(usize, usize)>> {
+    let nums = parse_nums(s)?;
+    if nums.len() % 2 != 0 {
+        return None;
+    }
+    Some(nums.chunks(2).map(|c| (c[0], c[1])).collect())
+}
+
+fn parse_triples(s: &str) -> Option<Vec<(usize, usize, usize)>> {
+    let nums = parse_nums(s)?;
+    if nums.len() % 3 != 0 {
+        return None;
+    }
+    Some(nums.chunks(3).map(|c| (c[0], c[1], c[2])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnlocal_roundtrips_through_the_cache_format() {
+        let src =
+            "fn helper(a: PhysAddr, out: &mut u64) -> u64 { *out = a.as_u64(); a.as_u64() }\n\
+                   fn caller(f: &F) { let r = helper(x, &mut y); f.dma_write(r, 0, 8); }\n";
+        let ast = Ast::parse(src);
+        let locals = extract_file(&ast);
+        assert_eq!(locals.len(), 2);
+        for l in &locals {
+            let line = ser_fnlocal(l);
+            let back = parse_fnlocal(&line).expect("roundtrip");
+            assert_eq!(format!("{l:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn blocking_awaits_counted_once_and_ser_robust_to_garbage() {
+        assert!(parse_fnlocal("").is_none());
+        assert!(parse_fnlocal("a|b|c").is_none());
+        assert!(parse_cache("not-the-header\nx").is_none());
+        // A v1 cache (pre-trait-methods format) is a clean miss, not an error.
+        assert!(parse_cache("dnvme-lint-summaries v1\n").is_none());
+        let empty = parse_cache("dnvme-lint-summaries v2\n").unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -69,6 +69,29 @@
 //!   hint is what lets the staging decision pick the zero-copy path.
 //!   Bring-up and admin allocations live off those roots and are exempt.
 //!
+//! The interprocedural rules ride the [`interproc`] summary engine
+//! (per-function dataflow summaries composed bottom-up over the whole
+//! program's call graph with SCC fixpointing, `dyn Trait` dispatch by
+//! trait-impl enumeration, DESIGN §5.4); D07/D11/D13/D17 are
+//! re-grounded on the same engine so their walks cross files. All
+//! engine findings carry the call chain as related locations:
+//!
+//! * **D18** — a raw/untranslated address escaping through a helper
+//!   return, a tainted argument, or a `&mut` out-parameter into a
+//!   fabric/DMA/doorbell sink: the interprocedural completion of D12.
+//! * **D19** — a lock/RefCell acquisition-order cycle across functions:
+//!   two guard classes each acquired while the other is held (directly
+//!   or through a callee) deadlock — or reentrant-borrow panic — the
+//!   moment the executor interleaves the two paths.
+//! * **D20** — a shard-channel `recv` reachable on the same reactor its
+//!   paired `send` is pinned to (`spawn_on` affinity walk): one side
+//!   blocks the only reactor that would run the other, so the channel
+//!   can never make progress.
+//! * **D21** — `reset_qpair` / engine teardown reachable from a
+//!   datapath root (`submit*`/`issue*`) without passing through the
+//!   recovery-ladder frame (`recover*`/`recreate*`): tearing a qpair
+//!   down outside the ladder drops pending tags on the floor.
+//!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
 //! root allowlists paths per rule (`"*"` = every rule) with glob
@@ -81,14 +104,16 @@
 
 mod ast;
 pub mod dataflow;
+mod interproc;
 
 use ast::{Ast, TokKind};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The seventeen lint rules.
+/// The twenty-one lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -108,10 +133,14 @@ pub enum Rule {
     D15,
     D16,
     D17,
+    D18,
+    D19,
+    D20,
+    D21,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 17] = [
+pub const ALL_RULES: [Rule; 21] = [
     Rule::D01,
     Rule::D02,
     Rule::D03,
@@ -129,6 +158,10 @@ pub const ALL_RULES: [Rule; 17] = [
     Rule::D15,
     Rule::D16,
     Rule::D17,
+    Rule::D18,
+    Rule::D19,
+    Rule::D20,
+    Rule::D21,
 ];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
@@ -163,6 +196,10 @@ impl Rule {
             Rule::D15 => "D15",
             Rule::D16 => "D16",
             Rule::D17 => "D17",
+            Rule::D18 => "D18",
+            Rule::D19 => "D19",
+            Rule::D20 => "D20",
+            Rule::D21 => "D21",
         }
     }
 
@@ -214,8 +251,35 @@ impl Rule {
                 "plain fabric.alloc buffer on the client datapath (use SmartIo::alloc_hinted \
                  so the staging decision can pick zero-copy)"
             }
+            Rule::D18 => {
+                "raw/untranslated address escaping through a helper return or &mut out-param \
+                 into a fabric/DMA/doorbell sink (interprocedural D12)"
+            }
+            Rule::D19 => {
+                "lock/RefCell acquisition-order cycle across functions (two guard classes \
+                 each acquired while the other is held — deadlock/reentrant-borrow hazard)"
+            }
+            Rule::D20 => {
+                "shard-channel recv reachable on the same reactor as its paired send \
+                 (the blocked side starves the only reactor that would run the other)"
+            }
+            Rule::D21 => {
+                "reset_qpair/engine teardown reachable from a datapath root outside the \
+                 recovery ladder (pending tags may be live — escalate via recover*/recreate*)"
+            }
         }
     }
+}
+
+/// One hop of an interprocedural finding's explanation: where on the
+/// call/flow chain the fact came from.
+#[derive(Clone, Debug)]
+pub struct Related {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub note: String,
 }
 
 /// One lint finding.
@@ -227,6 +291,9 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     pub excerpt: String,
+    /// Call/flow chain for interprocedural findings (empty for the
+    /// line/intraprocedural rules), root first.
+    pub related: Vec<Related>,
 }
 
 impl fmt::Display for Finding {
@@ -239,20 +306,29 @@ impl fmt::Display for Finding {
             self.line,
             self.rule.describe(),
             self.excerpt.trim()
-        )
+        )?;
+        for r in &self.related {
+            write!(f, "\n    via {}:{}: {}", r.path, r.line, r.note)?;
+        }
+        Ok(())
     }
 }
 
 impl Finding {
     /// GitHub Actions annotation line: surfaces inline on PR diffs when
-    /// printed from a workflow step.
+    /// printed from a workflow step. The call chain rides in the message
+    /// (annotations are single-location, so the hops are inlined).
     pub fn to_github_annotation(&self) -> String {
+        let mut msg = self.rule.describe().to_string();
+        for r in &self.related {
+            msg.push_str(&format!(" | via {}:{}: {}", r.path, r.line, r.note));
+        }
         format!(
             "::error file={},line={},title=dnvme-lint {}::{}",
             self.path,
             self.line,
             self.rule.code(),
-            self.rule.describe()
+            msg.replace('\n', " ")
         )
     }
 }
@@ -311,13 +387,14 @@ pub fn to_sarif(findings: &[Finding], unused: &[AllowFinding]) -> String {
                 &format!("{} — {}", f.rule.describe(), f.excerpt.trim()),
                 &f.path,
                 f.line,
+                &f.related,
             )
         })
         .collect();
     results.extend(
         unused
             .iter()
-            .map(|u| sarif_result("strict-allow", &u.detail, &u.path, u.line.max(1))),
+            .map(|u| sarif_result("strict-allow", &u.detail, &u.path, u.line.max(1), &[])),
     );
     format!(
         "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
@@ -330,15 +407,43 @@ pub fn to_sarif(findings: &[Finding], unused: &[AllowFinding]) -> String {
     )
 }
 
-fn sarif_result(rule_id: &str, message: &str, path: &str, line: usize) -> String {
+fn sarif_result(
+    rule_id: &str,
+    message: &str,
+    path: &str,
+    line: usize,
+    related: &[Related],
+) -> String {
+    let related_json = if related.is_empty() {
+        String::new()
+    } else {
+        // SARIF `relatedLocations`: GitHub renders them as "related
+        // location" links under the alert — the full call chain of an
+        // interprocedural finding, root first.
+        let hops = related
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                     \"region\":{{\"startLine\":{}}}}},\"message\":{{\"text\":\"{}\"}}}}",
+                    json_escape(&r.path),
+                    r.line.max(1),
+                    json_escape(&r.note)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(",\"relatedLocations\":[{hops}]")
+    };
     format!(
         "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
          \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
-         {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+         {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]{}}}",
         json_escape(rule_id),
         json_escape(message),
         json_escape(path),
-        line
+        line,
+        related_json
     )
 }
 
@@ -669,6 +774,17 @@ const DF_SCOPE: [&str; 5] = [
     "crates/nvmeof/src",
 ];
 
+/// D20 scope: the crates that create shard channels and pin tasks to
+/// reactors (`spawn_on`). Tests deliberately pin both ends to one
+/// reactor to seed the HB race detector, so src only.
+const D20_SCOPE: [&str; 3] = [
+    "crates/simcore/src",
+    "crates/core/src",
+    "crates/cluster/src",
+];
+/// D21 scope: where qpair engines live and are torn down.
+const D21_SCOPE: [&str; 2] = ["crates/core/src", "crates/nvme/src"];
+
 /// The rules that apply to the file at workspace-relative path `rel`.
 pub fn rules_for(rel: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::D01, Rule::D02, Rule::D04];
@@ -696,9 +812,18 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
     rules.push(Rule::D10);
     if DF_SCOPE.iter().any(|p| rel.starts_with(p)) {
         rules.extend([Rule::D12, Rule::D13, Rule::D14, Rule::D15, Rule::D16]);
+        // The interprocedural address/lock rules bind the same
+        // production sources the intraprocedural lattice does.
+        rules.extend([Rule::D18, Rule::D19]);
     }
     if D17_SCOPE.iter().any(|p| rel.starts_with(p)) {
         rules.push(Rule::D17);
+    }
+    if D20_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D20);
+    }
+    if D21_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D21);
     }
     rules
 }
@@ -721,6 +846,57 @@ pub fn scan_source(rel: &str, text: &str, rules: &[Rule]) -> Vec<Finding> {
 /// never fired — a stale `lint:allow` hides nothing today and will
 /// silently hide a real finding tomorrow.
 pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
+    scan_source_inner(rel, text, rules, None)
+}
+
+/// Rules owned by the [`interproc`] summary engine: their roots, walks,
+/// or flows cross function (and, in workspace scans, file) boundaries.
+const ENGINE_RULES: [Rule; 8] = [
+    Rule::D07,
+    Rule::D11,
+    Rule::D13,
+    Rule::D17,
+    Rule::D18,
+    Rule::D19,
+    Rule::D20,
+    Rule::D21,
+];
+
+/// Convert the engine's index-based findings into path-resolved
+/// [`Finding`]s (excerpts are filled in by the per-file merge).
+fn program_findings(prog: &interproc::Program) -> Vec<Finding> {
+    prog.findings()
+        .into_iter()
+        .map(|pf| Finding {
+            rule: pf.rule,
+            path: prog.rel(pf.file).to_string(),
+            line: pf.line,
+            excerpt: String::new(),
+            related: pf
+                .related
+                .into_iter()
+                .map(|(file, line, note)| Related {
+                    path: prog.rel(file).to_string(),
+                    line,
+                    note,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// The single-file scan body. `engine`: `None` runs the interprocedural
+/// engine over this file alone (the [`scan_source`] contract — a
+/// single-file program degenerates to the old per-file walks); `Some`
+/// carries this file's share of a whole-program run, so the engine is
+/// not re-run per file. Either way engine findings pass through the
+/// same suppression accounting as the intraprocedural ones.
+fn scan_source_inner(
+    rel: &str,
+    text: &str,
+    rules: &[Rule],
+    engine: Option<Vec<Finding>>,
+) -> SourceScan {
     let ast = Ast::parse(text);
     let raw_lines: Vec<&str> = text.lines().collect();
     let lines = &ast.lines;
@@ -831,6 +1007,7 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
                 path: rel.to_string(),
                 line: lineno,
                 excerpt: raw_lines.get(lineno - 1).copied().unwrap_or("").to_string(),
+                related: Vec::new(),
             });
         }
     };
@@ -916,15 +1093,16 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
                 | Rule::D14
                 | Rule::D15
                 | Rule::D16
-                | Rule::D17 => {} // syntax / dataflow rules below
+                | Rule::D17
+                | Rule::D18
+                | Rule::D19
+                | Rule::D20
+                | Rule::D21 => {} // syntax / dataflow / engine rules below
             }
         }
     }
 
     // -------------------------------------------------- syntax rules
-    if rules.contains(&Rule::D07) {
-        scan_d07(&ast, &mut |line| hit(Rule::D07, line, &mut findings));
-    }
     if rules.contains(&Rule::D08) {
         scan_d08(&ast, &mut |line| hit(Rule::D08, line, &mut findings));
     }
@@ -933,9 +1111,6 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     }
     if rules.contains(&Rule::D10) {
         scan_d10(&ast, &mut |line| hit(Rule::D10, line, &mut findings));
-    }
-    if rules.contains(&Rule::D11) {
-        scan_d11(&ast, &mut |line| hit(Rule::D11, line, &mut findings));
     }
     if rules.contains(&Rule::D12) {
         scan_d12(&ast, &mut |line| hit(Rule::D12, line, &mut findings));
@@ -952,8 +1127,40 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     if rules.contains(&Rule::D16) {
         scan_d16(&ast, &mut |line| hit(Rule::D16, line, &mut findings));
     }
-    if rules.contains(&Rule::D17) {
-        scan_d17(&ast, &mut |line| hit(Rule::D17, line, &mut findings));
+
+    // --------------------------------------------- interprocedural rules
+    let engine_findings = match engine {
+        Some(v) => v,
+        None => {
+            if rules.iter().any(|r| ENGINE_RULES.contains(r)) {
+                let prog = interproc::Program::build(
+                    &[interproc::FileInput {
+                        rel,
+                        text,
+                        rules: rules.to_vec(),
+                    }],
+                    None,
+                );
+                program_findings(&prog)
+            } else {
+                Vec::new()
+            }
+        }
+    };
+    for f in engine_findings {
+        if !rules.contains(&f.rule) {
+            continue;
+        }
+        if !allows_on(f.line.saturating_sub(1), f.rule)
+            && !findings
+                .iter()
+                .any(|x| x.rule == f.rule && x.line == f.line)
+        {
+            findings.push(Finding {
+                excerpt: raw_lines.get(f.line - 1).copied().unwrap_or("").to_string(),
+                ..f
+            });
+        }
     }
 
     findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
@@ -969,113 +1176,11 @@ pub fn scan_source_strict(rel: &str, text: &str, rules: &[Rule]) -> SourceScan {
     }
 }
 
-/// Intra-file call-graph reachability (edges by simple callee name) from
-/// the functions whose names satisfy `is_root`. Returns the reachability
-/// mask plus each function's call list, in `ast.functions` order.
-fn reachable_from(ast: &Ast, is_root: &dyn Fn(&str) -> bool) -> (Vec<bool>, Vec<Vec<ast::Call>>) {
-    let mut reachable: Vec<bool> = ast.functions.iter().map(|f| is_root(&f.name)).collect();
-    let calls: Vec<Vec<ast::Call>> = ast.functions.iter().map(|f| ast.calls_in(f.body)).collect();
-    // Fixed-point over the (tiny) per-file graph.
-    loop {
-        let mut changed = false;
-        for i in 0..ast.functions.len() {
-            if !reachable[i] {
-                continue;
-            }
-            for call in &calls[i] {
-                for (j, f) in ast.functions.iter().enumerate() {
-                    if !reachable[j] && f.name == call.name {
-                        reachable[j] = true;
-                        changed = true;
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    (reachable, calls)
-}
-
-/// D07: build the intra-file call graph, walk it from the I/O-path
-/// roots, and flag every non-posted read call inside a reachable
-/// function.
-fn scan_d07(ast: &Ast, hit: &mut dyn FnMut(usize)) {
-    let (reachable, calls) =
-        reachable_from(ast, &|name| D07_ROOTS.iter().any(|p| name.starts_with(p)));
-    for i in 0..ast.functions.len() {
-        if !reachable[i] {
-            continue;
-        }
-        for call in &calls[i] {
-            if D07_READS.iter().any(|r| call.name == *r) {
-                hit(call.line);
-            }
-        }
-    }
-}
-
-/// D11: in functions reachable from the I/O-path / manager-serve roots,
-/// flag every *directly awaited* blocking call (non-posted fabric read
-/// or admin RPC) that is not inside the argument list of a `timeout(…)`
-/// wrapper. `timeout(&h, d, admin.abort(q, c)).await` passes — the call
-/// is handed to the wrapper as a future; `admin.abort(q, c).await` on
-/// the same path can park forever once a fault eats the completion.
-fn scan_d11(ast: &Ast, hit: &mut dyn FnMut(usize)) {
-    let (reachable, calls) =
-        reachable_from(ast, &|name| D11_ROOTS.iter().any(|p| name.starts_with(p)));
-    for i in 0..ast.functions.len() {
-        if !reachable[i] {
-            continue;
-        }
-        let guards: Vec<(usize, usize)> = calls[i]
-            .iter()
-            .filter(|c| c.name == "timeout")
-            .map(|c| c.args)
-            .collect();
-        for call in &calls[i] {
-            if !D11_BLOCKING.iter().any(|b| call.name == *b) {
-                continue;
-            }
-            let close = call.args.1;
-            let awaited = ast.tokens.get(close + 1).is_some_and(|t| t.punct('.'))
-                && ast.tokens.get(close + 2).is_some_and(|t| t.is("await"));
-            let guarded = guards
-                .iter()
-                .any(|&(a, b)| a <= call.args.0 && call.args.1 <= b);
-            if awaited && !guarded {
-                hit(call.line);
-            }
-        }
-    }
-}
-
-/// D17: walk the intra-file call graph from the client datapath roots
-/// and flag every plain `fabric.alloc(..)` inside a reachable function.
-/// A hinted allocation (`alloc_hinted`) has a different callee name and
-/// passes; bring-up/admin code (`connect`, `start`, queue creation) is
-/// off the walked roots, so its bounce-pool and queue allocations stay
-/// legal.
-fn scan_d17(ast: &Ast, hit: &mut dyn FnMut(usize)) {
-    let (reachable, calls) =
-        reachable_from(ast, &|name| D17_ROOTS.iter().any(|p| name.starts_with(p)));
-    for i in 0..ast.functions.len() {
-        if !reachable[i] {
-            continue;
-        }
-        for call in &calls[i] {
-            if call.name == "alloc"
-                && call
-                    .receiver
-                    .as_deref()
-                    .is_some_and(|r| r.contains("fabric"))
-            {
-                hit(call.line);
-            }
-        }
-    }
-}
+// D07, D11, and D17 (call-graph reachability rules) moved into the
+// [`interproc`] engine in PR 8: the walk is now whole-program (a
+// single-file scan degenerates to the old per-file behavior), follows
+// `dyn Trait` dispatch by trait-impl enumeration, and attaches the call
+// chain to every finding.
 
 /// D08: inside each function body, a doorbell ring (a `ring` /
 /// `ring_doorbell` call, or a write call whose arguments mention a
@@ -1325,10 +1430,12 @@ fn scan_d15(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     }
 }
 
-/// D16: a `let`-bound lock/borrow guard with an `.await` between its
-/// definition and its last use (or, for unused guards, the end of the
-/// body — Rust drops them at end of scope). A bare `let _ = …` drops
-/// immediately and is exempt.
+/// D16: a `let`-bound lock/borrow guard with an `.await` inside its
+/// liveness window ([`dataflow::live_end`]): up to its last use —
+/// `drop(guard)` counts as one — or, for unused guards, to the point a
+/// same-name rebind releases it, else the end of the body (Rust drops
+/// at end of scope). A bare `let _ = …` drops immediately and is
+/// exempt.
 fn scan_d16(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
@@ -1337,11 +1444,7 @@ fn scan_d16(ast: &Ast, hit: &mut dyn FnMut(usize)) {
             if !vals[di].guard {
                 continue;
             }
-            let live_end = du
-                .uses_of(di)
-                .map(|u| u.at)
-                .max()
-                .unwrap_or(if d.name == "_" { d.expr.1 } else { f.body.1 });
+            let live_end = dataflow::live_end(&du, di, f.body.1);
             let awaited = (d.expr.1..live_end.min(ast.tokens.len()))
                 .any(|k| ast.tokens[k].is("await") && k > 0 && ast.tokens[k - 1].punct('.'));
             if awaited {
@@ -1385,9 +1488,83 @@ fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Counters from a workspace scan, for the `BENCH_lint.json`
+/// self-benchmark.
+#[derive(Copy, Clone, Debug)]
+pub struct ScanStats {
+    /// Files that entered the scan (had at least one applicable rule).
+    pub files: usize,
+    /// Function summaries the interprocedural engine computed.
+    pub summaries: usize,
+}
+
+/// Where the per-file fact cache lives (under `target/`, so `cargo
+/// clean` clears it and it never enters version control). The cache
+/// only affects speed — a stale, torn, or missing file re-extracts.
+/// Public so `--bench` can delete it to time a cold scan.
+pub fn summary_cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("dnvme-lint.summaries")
+}
+
+/// Scan a set of sources as one program: per-file line and
+/// intraprocedural rules plus one whole-program interprocedural pass
+/// whose findings are distributed back to their files (through the same
+/// `lint:allow` accounting). Findings come back sorted by
+/// `(path, line, rule)`.
+fn scan_files_with_engine(
+    inputs: &[(String, String, Vec<Rule>)],
+    cache: Option<&Path>,
+) -> (Vec<Finding>, ScanStats) {
+    let file_inputs: Vec<interproc::FileInput> = inputs
+        .iter()
+        .map(|(rel, text, rules)| interproc::FileInput {
+            rel,
+            text,
+            rules: rules.clone(),
+        })
+        .collect();
+    let prog = interproc::Program::build(&file_inputs, cache);
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in program_findings(&prog) {
+        by_file.entry(f.path.clone()).or_default().push(f);
+    }
+    let mut findings = Vec::new();
+    for (rel, text, rules) in inputs {
+        let extra = by_file.remove(rel.as_str()).unwrap_or_default();
+        findings.extend(scan_source_inner(rel, text, rules, Some(extra)).findings);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.code()).cmp(&(b.path.as_str(), b.line, b.rule.code()))
+    });
+    (
+        findings,
+        ScanStats {
+            files: inputs.len(),
+            summaries: prog.summary_count,
+        },
+    )
+}
+
+/// Multi-file twin of [`scan_source`]: scan in-memory sources as one
+/// program, so fixtures can exercise findings that only exist through
+/// cross-file call chains (helper summaries, trait-impl dispatch).
+pub fn scan_sources(files: &[(&str, &str, Vec<Rule>)]) -> Vec<Finding> {
+    let inputs: Vec<(String, String, Vec<Rule>)> = files
+        .iter()
+        .map(|(rel, text, rules)| (rel.to_string(), text.to_string(), rules.clone()))
+        .collect();
+    scan_files_with_engine(&inputs, None).0
+}
+
 /// Scan every workspace source under `crates/` and `tests/`, applying the
 /// per-path rule scopes and the `analyzer.toml` allowlist.
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    scan_workspace_stats(root).map(|(f, _)| f)
+}
+
+/// [`scan_workspace`] plus the scan counters, with the per-file fact
+/// cache engaged.
+pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Finding>, ScanStats)> {
     let config = Config::load(root);
     let mut files = Vec::new();
     for top in ["crates", "tests"] {
@@ -1396,7 +1573,7 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             collect_sources(&dir, &mut files)?;
         }
     }
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -1413,9 +1590,10 @@ pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             continue;
         }
         let text = fs::read_to_string(&path)?;
-        findings.extend(scan_source(&rel, &text, &rules));
+        inputs.push((rel, text, rules));
     }
-    Ok(findings)
+    let cache = summary_cache_path(root);
+    Ok(scan_files_with_engine(&inputs, Some(&cache)))
 }
 
 // ---------------------------------------------------------------------
@@ -1470,11 +1648,36 @@ pub struct StrictReport {
 /// allowlist rot (a glob whose offending code was fixed or moved) is
 /// flagged the moment it happens.
 pub fn strict_scan_files(config: &Config, files: &[(String, String)]) -> StrictReport {
+    strict_scan_files_cached(config, files, None)
+}
+
+fn strict_scan_files_cached(
+    config: &Config,
+    files: &[(String, String)],
+    cache: Option<&Path>,
+) -> StrictReport {
+    // One whole-program engine pass; each file then merges its share
+    // through the strict per-file scan. Fact extraction is
+    // rule-independent, so the cache is shared with [`scan_workspace`].
+    let file_inputs: Vec<interproc::FileInput> = files
+        .iter()
+        .map(|(rel, text)| interproc::FileInput {
+            rel,
+            text,
+            rules: rules_for(rel),
+        })
+        .collect();
+    let prog = interproc::Program::build(&file_inputs, cache);
+    let mut by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in program_findings(&prog) {
+        by_file.entry(f.path.clone()).or_default().push(f);
+    }
     let mut used_entries = vec![false; config.allow.len()];
     let mut findings = Vec::new();
     let mut unused = Vec::new();
     for (rel, text) in files {
-        let scan = scan_source_strict(rel, text, &rules_for(rel));
+        let extra = by_file.remove(rel.as_str()).unwrap_or_default();
+        let scan = scan_source_inner(rel, text, &rules_for(rel), Some(extra));
         for (line, code) in scan.unused_allows {
             unused.push(AllowFinding {
                 path: rel.clone(),
@@ -1529,7 +1732,8 @@ pub fn scan_workspace_strict(root: &Path) -> io::Result<StrictReport> {
             .join("/");
         files.push((rel, fs::read_to_string(&path)?));
     }
-    Ok(strict_scan_files(&config, &files))
+    let cache = summary_cache_path(root);
+    Ok(strict_scan_files_cached(&config, &files, Some(&cache)))
 }
 
 /// How many source files the workspace walk visits (the denominator of
@@ -1634,6 +1838,21 @@ mod tests {
         assert!(rules_for("crates/blklayer/src/lib.rs").contains(&Rule::D17));
         assert!(!rules_for("crates/bench/benches/datapath_shards.rs").contains(&Rule::D17));
         assert!(!rules_for("crates/nvme/src/driver/local.rs").contains(&Rule::D17));
+        // D18/D19 ride the dataflow scope; tests stay exempt.
+        assert!(rules_for("crates/pcie/src/fabric.rs").contains(&Rule::D18));
+        assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D19));
+        assert!(!rules_for("crates/nvme/tests/engine.rs").contains(&Rule::D18));
+        assert!(!rules_for("tests/sanitize.rs").contains(&Rule::D19));
+        // D20 binds the reactor/channel crates (src only — tests pin
+        // both channel ends to one reactor on purpose to seed races).
+        assert!(rules_for("crates/simcore/src/channel.rs").contains(&Rule::D20));
+        assert!(rules_for("crates/cluster/src/scenario.rs").contains(&Rule::D20));
+        assert!(!rules_for("crates/simcore/tests/shard.rs").contains(&Rule::D20));
+        assert!(!rules_for("crates/blklayer/src/lib.rs").contains(&Rule::D20));
+        // D21 binds the engine/teardown crates.
+        assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D21));
+        assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D21));
+        assert!(!rules_for("crates/smartio/src/service.rs").contains(&Rule::D21));
     }
 
     #[test]

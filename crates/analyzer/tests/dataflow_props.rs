@@ -2,8 +2,10 @@
 //! ground-truth environment maintained *while the program is synthesized*
 //! (so the oracle is independent of the builder's own resolution logic),
 //! and consistent renaming of every binding never changes the chain
-//! shape. A double-run fingerprint test pins the full D01–D16 scan as
-//! deterministic over the real workspace tree.
+//! shape. A second family synthesizes interprocedural helper chains
+//! with a known taint verdict and checks the summary engine against it.
+//! Double-run fingerprint tests pin the full scan as deterministic over
+//! the real workspace tree, cold and warm summary cache alike.
 
 use analyzer::dataflow::build_def_use;
 use proptest::prelude::*;
@@ -102,6 +104,122 @@ proptest! {
         prop_assert_eq!(a[0].1.shape(), b[0].1.shape(), "renaming changed the shape:\n{}\n{}", src, src2);
         prop_assert_eq!(a[0].1.defs.len(), b[0].1.defs.len());
     }
+}
+
+/// Synthesize a call chain `kick → h{len-1} → … → h0`, where `h0` hands
+/// its value to the `dma_write` sink. `minted` controls whether `kick`
+/// passes a raw `as_u64()` product; `wrap` (1-based layer, `len` = the
+/// root itself) retypes the value through `map_for_device` on the way
+/// down. Ground truth is by construction: the sink sees a raw address
+/// iff a raw value was minted and never re-wrapped.
+fn chain_src(len: usize, wrap: Option<usize>, minted: bool) -> String {
+    let mut src = String::from("impl W {\n");
+    src.push_str(
+        "    fn h0(&self, fab: &Fabric, v: u64) {\n        fab.dma_write(v, 0, 8);\n    }\n",
+    );
+    for i in 1..len {
+        if wrap == Some(i) {
+            src.push_str(&format!(
+                "    fn h{i}(&self, fab: &Fabric, v: u64) {{\n        \
+                 let t = self.iommu.map_for_device(v);\n        \
+                 self.h{}(fab, t);\n    }}\n",
+                i - 1
+            ));
+        } else {
+            src.push_str(&format!(
+                "    fn h{i}(&self, fab: &Fabric, v: u64) {{\n        \
+                 self.h{}(fab, v);\n    }}\n",
+                i - 1
+            ));
+        }
+    }
+    let arg = if minted {
+        "self.base.as_u64()"
+    } else {
+        "self.base.window()"
+    };
+    if wrap == Some(len) {
+        src.push_str(&format!(
+            "    fn kick(&self, fab: &Fabric) {{\n        \
+             let t = self.iommu.map_for_device({arg});\n        \
+             self.h{}(fab, t);\n    }}\n}}\n",
+            len - 1
+        ));
+    } else {
+        src.push_str(&format!(
+            "    fn kick(&self, fab: &Fabric) {{\n        \
+             self.h{}(fab, {arg});\n    }}\n}}\n",
+            len - 1
+        ));
+    }
+    src
+}
+
+proptest! {
+    /// Summary soundness over generated helper chains: D18 fires iff
+    /// the synthesized program provably lets a raw address reach the
+    /// sink — minted at the root, never retyped at any layer. Every
+    /// wrap position and the unminted variant must scan clean.
+    #[test]
+    fn interproc_verdict_matches_constructed_taint(
+        len in 1usize..6,
+        wrap_raw in 0usize..8,
+        minted in any::<bool>(),
+    ) {
+        // `wrap_raw` folds onto 0..=len: 0 = never retyped, k = retype
+        // at layer k (len = at the root call itself).
+        let wrap = match wrap_raw % (len + 1) {
+            0 => None,
+            k => Some(k),
+        };
+        let src = chain_src(len, wrap, minted);
+        let findings = analyzer::scan_source(
+            "crates/fixture/src/lib.rs",
+            &src,
+            &[analyzer::Rule::D18],
+        );
+        let tainted = minted && wrap.is_none();
+        prop_assert_eq!(
+            !findings.is_empty(),
+            tainted,
+            "len={} wrap={:?} minted={} on:\n{}\n{:?}",
+            len, wrap, minted, src, findings
+        );
+    }
+}
+
+/// Cold-vs-warm cache determinism: delete the summary cache, scan, scan
+/// again off the cache the first run wrote — finding fingerprints
+/// (chains included) must be byte-identical. The cache may only ever
+/// buy time, never change results.
+#[test]
+fn summary_cache_cold_and_warm_scans_agree() {
+    let root = analyzer::workspace_root();
+    let cache = analyzer::summary_cache_path(&root);
+    let _ = std::fs::remove_file(&cache);
+    let fingerprint = |findings: &[analyzer::Finding]| -> String {
+        findings
+            .iter()
+            .map(|f| {
+                let hops: String = f
+                    .related
+                    .iter()
+                    .map(|r| format!(" via {}:{}:{}", r.path, r.line, r.note))
+                    .collect();
+                format!(
+                    "{}|{}|{}|{}{hops}\n",
+                    f.rule.code(),
+                    f.path,
+                    f.line,
+                    f.excerpt
+                )
+            })
+            .collect()
+    };
+    let cold = analyzer::scan_workspace(&root).expect("cold scan");
+    assert!(cache.exists(), "the scan writes the summary cache");
+    let warm = analyzer::scan_workspace(&root).expect("warm scan");
+    assert_eq!(fingerprint(&cold), fingerprint(&warm));
 }
 
 /// Double-run determinism: two full D01–D16 scans of the real workspace

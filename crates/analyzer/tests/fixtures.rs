@@ -788,3 +788,451 @@ fn strict_allow_findings_survive_uncovered() {
     assert_eq!(codes(&report.findings), vec!["D04"]);
     assert!(report.unused.is_empty());
 }
+
+// ------------------------------------------------------------------ D16 (interproc-era liveness)
+
+#[test]
+fn d16_ignores_guard_dropped_or_shadowed_before_await() {
+    // `drop(guard)` is a use: liveness ends right after it, so the
+    // await below runs lock-free.
+    let src = "async fn f(&self) {\n\
+                   let admin = self.admin.borrow_mut();\n\
+                   admin.submit(sqe);\n\
+                   drop(admin);\n\
+                   self.handle.sleep(d).await;\n\
+               }\n";
+    assert!(scan(src, &[Rule::D16]).is_empty());
+    // Shadowing rebinds the name: the guard dies at the second `let`,
+    // even though `admin` is read again after the await.
+    let src = "async fn g(&self) {\n\
+                   let admin = self.admin.borrow_mut();\n\
+                   admin.submit(sqe);\n\
+                   let admin = done();\n\
+                   self.handle.sleep(d).await;\n\
+                   admin.check();\n\
+               }\n";
+    assert!(scan(src, &[Rule::D16]).is_empty());
+}
+
+#[test]
+fn d16_still_flags_guard_dropped_only_after_the_await() {
+    // The near-miss twin: the drop comes too late — the guard is live
+    // across the await because the `drop(admin)` use sits below it.
+    let src = "async fn f(&self) {\n\
+                   let admin = self.admin.borrow_mut();\n\
+                   self.handle.sleep(d).await;\n\
+                   drop(admin);\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D16])), ["D16"]);
+}
+
+// ------------------------------------------------------------------ D18
+
+#[test]
+fn d18_flags_raw_address_returned_by_a_helper_into_a_sink() {
+    let src = "impl W {\n\
+                   fn window_base(&self) -> u64 {\n\
+                       self.base.as_u64()\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let a = self.window_base();\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D18]);
+    assert_eq!(codes(&f), ["D18"]);
+    assert_eq!(f[0].line, 7, "reported at the sink");
+    assert!(
+        f[0].related.iter().any(|r| r.note.contains("as_u64")),
+        "chain names the mint: {:?}",
+        f[0].related
+    );
+}
+
+#[test]
+fn d18_flags_raw_address_through_a_mut_out_param() {
+    let src = "impl W {\n\
+                   fn fill(&self, out: &mut u64) {\n\
+                       *out = self.base.as_u64();\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let mut a = 0;\n\
+                       self.fill(&mut a);\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D18]);
+    assert_eq!(codes(&f), ["D18"]);
+    assert_eq!(f[0].line, 8);
+}
+
+#[test]
+fn d18_flags_raw_argument_into_a_helper_that_sinks_it() {
+    let src = "impl W {\n\
+                   fn blast(&self, fab: &Fabric, a: u64) {\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       self.blast(fab, self.base.as_u64());\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D18]);
+    assert_eq!(codes(&f), ["D18"]);
+    assert_eq!(
+        f[0].line, 6,
+        "reported where the raw value crosses the call"
+    );
+}
+
+#[test]
+fn d18_ignores_typed_returns_and_translated_values() {
+    // Helper returns the wrapper type: the boundary re-types the value.
+    let src = "impl W {\n\
+                   fn window_base(&self) -> PhysAddr {\n\
+                       PhysAddr::new(self.base.as_u64())\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let a = self.window_base();\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D18]).is_empty());
+    // Translated before the sink: the translator output is typed.
+    let src = "impl W {\n\
+                   fn window_base(&self) -> u64 {\n\
+                       self.base.as_u64()\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let a = self.window_base();\n\
+                       let b = self.iommu.map_for_device(a);\n\
+                       fab.dma_write(b, 0, 8);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D18]).is_empty());
+    // A callee parameter declared with a wrapper type cannot receive a
+    // bare u64 — no param-to-sink summary, no finding.
+    let src = "impl W {\n\
+                   fn blast(&self, fab: &Fabric, a: PhysAddr) {\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       self.blast(fab, self.base);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D18]).is_empty());
+}
+
+#[test]
+fn d18_suppression() {
+    let src = "impl W {\n\
+                   fn window_base(&self) -> u64 {\n\
+                       self.base.as_u64()\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let a = self.window_base();\n\
+                       // lint:allow(D18) — bounce-buffer base is device-relative\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D18]).is_empty());
+}
+
+// ------------------------------------------------------------------ D19
+
+#[test]
+fn d19_flags_cross_function_lock_order_cycle() {
+    let src = "impl M {\n\
+                   fn serve_tick(&self) {\n\
+                       let a = self.alpha.lock();\n\
+                       self.grab_beta();\n\
+                   }\n\
+                   fn grab_beta(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       b.touch();\n\
+                   }\n\
+                   fn reap_tick(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       let a = self.alpha.lock();\n\
+                       a.merge(b);\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D19]);
+    assert_eq!(codes(&f), ["D19"]);
+    assert_eq!(
+        f[0].line, 3,
+        "reported at the first acquisition of the cycle"
+    );
+    // Both acquisition chains render: the forward order and the reverse.
+    assert!(
+        f[0].related
+            .iter()
+            .any(|r| r.note.contains("opposite order")),
+        "{:?}",
+        f[0].related
+    );
+}
+
+#[test]
+fn d19_ignores_consistent_order_and_released_guards() {
+    // Same order on both paths: no cycle.
+    let src = "impl M {\n\
+                   fn serve_tick(&self) {\n\
+                       let a = self.alpha.lock();\n\
+                       let b = self.beta.lock();\n\
+                       b.merge(a);\n\
+                   }\n\
+                   fn reap_tick(&self) {\n\
+                       let a = self.alpha.lock();\n\
+                       self.grab_beta();\n\
+                   }\n\
+                   fn grab_beta(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       b.touch();\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D19]).is_empty());
+    // The reverse path releases beta (drop is a use — liveness ends
+    // there) before taking alpha: no overlap, no cycle.
+    let src = "impl M {\n\
+                   fn serve_tick(&self) {\n\
+                       let a = self.alpha.lock();\n\
+                       self.grab_beta();\n\
+                   }\n\
+                   fn grab_beta(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       b.touch();\n\
+                   }\n\
+                   fn reap_tick(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       b.touch();\n\
+                       drop(b);\n\
+                       let a = self.alpha.lock();\n\
+                       a.touch();\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D19]).is_empty());
+}
+
+#[test]
+fn d19_suppression() {
+    let src = "impl M {\n\
+                   fn serve_tick(&self) {\n\
+                       // lint:allow(D19) — tick never runs concurrently with reap\n\
+                       let a = self.alpha.lock();\n\
+                       self.grab_beta();\n\
+                   }\n\
+                   fn grab_beta(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       b.touch();\n\
+                   }\n\
+                   fn reap_tick(&self) {\n\
+                       let b = self.beta.lock();\n\
+                       let a = self.alpha.lock();\n\
+                       a.merge(b);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D19]).is_empty());
+}
+
+// ------------------------------------------------------------------ D20
+
+#[test]
+fn d20_flags_send_and_recv_pinned_to_one_reactor() {
+    let src = "fn wire(&self, rt: &Rt) {\n\
+                   let (tx, rx) = shard::channel();\n\
+                   rt.spawn_on(ReactorId::new(0), async move { tx.send(job); });\n\
+                   rt.spawn_on(ReactorId::new(0), async move { let j = rx.recv().await; j });\n\
+               }\n";
+    let f = scan(src, &[Rule::D20]);
+    assert_eq!(codes(&f), ["D20"]);
+    assert_eq!(f[0].line, 4, "reported at the recv side");
+}
+
+#[test]
+fn d20_follows_an_endpoint_moved_into_a_helper() {
+    let src = "fn drain(rx: Rx) {\n\
+                   let j = rx.recv();\n\
+                   j.work();\n\
+               }\n\
+               fn wire(&self, rt: &Rt) {\n\
+                   let (tx, rx) = shard::channel();\n\
+                   rt.spawn_on(ReactorId::new(2), async move { tx.send(job); });\n\
+                   rt.spawn_on(ReactorId::new(2), async move { drain(rx); });\n\
+               }\n";
+    let f = scan(src, &[Rule::D20]);
+    assert_eq!(codes(&f), ["D20"]);
+    assert!(
+        f[0].related.iter().any(|r| r.note.contains("drain")),
+        "{:?}",
+        f[0].related
+    );
+}
+
+#[test]
+fn d20_ignores_endpoints_on_distinct_reactors() {
+    let src = "fn wire(&self, rt: &Rt) {\n\
+                   let (tx, rx) = shard::channel();\n\
+                   rt.spawn_on(ReactorId::new(0), async move { tx.send(job); });\n\
+                   rt.spawn_on(ReactorId::new(1), async move { let j = rx.recv().await; j });\n\
+               }\n";
+    assert!(scan(src, &[Rule::D20]).is_empty());
+}
+
+#[test]
+fn d20_suppression() {
+    let src = "fn wire(&self, rt: &Rt) {\n\
+                   let (tx, rx) = shard::channel();\n\
+                   rt.spawn_on(ReactorId::new(0), async move { tx.send(job); });\n\
+                   // lint:allow(D20) — self-delivery fixture for the HB detector\n\
+                   rt.spawn_on(ReactorId::new(0), async move { let j = rx.recv().await; j });\n\
+               }\n";
+    assert!(scan(src, &[Rule::D20]).is_empty());
+}
+
+// ------------------------------------------------------------------ D21
+
+#[test]
+fn d21_flags_teardown_reachable_outside_the_ladder() {
+    let src = "impl C {\n\
+                   fn submit_io(&self, e: &Engine) {\n\
+                       self.fast_reset(e);\n\
+                   }\n\
+                   fn fast_reset(&self, e: &Engine) {\n\
+                       e.reset_qpair(qid);\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D21]);
+    assert_eq!(codes(&f), ["D21"]);
+    assert_eq!(f[0].line, 6, "reported at the reset_qpair call");
+    assert!(
+        f[0].related.iter().any(|r| r.note.contains("submit_io")),
+        "chain reaches back to the datapath root: {:?}",
+        f[0].related
+    );
+}
+
+#[test]
+fn d21_ignores_teardown_behind_the_recovery_ladder() {
+    let src = "impl C {\n\
+                   fn submit_io(&self, e: &Engine) {\n\
+                       self.recover_qpair(e);\n\
+                   }\n\
+                   fn recover_qpair(&self, e: &Engine) {\n\
+                       self.recreate_qpair(e);\n\
+                   }\n\
+                   fn recreate_qpair(&self, e: &Engine) {\n\
+                       e.reset_qpair(qid);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D21]).is_empty());
+}
+
+#[test]
+fn d21_suppression() {
+    let src = "impl C {\n\
+                   fn submit_io(&self, e: &Engine) {\n\
+                       self.fast_reset(e);\n\
+                   }\n\
+                   fn fast_reset(&self, e: &Engine) {\n\
+                       // lint:allow(D21) — test-only teardown shim\n\
+                       e.reset_qpair(qid);\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D21]).is_empty());
+}
+
+// --------------------------------------------- dyn dispatch across files
+
+#[test]
+fn d07_follows_dyn_dispatch_across_files() {
+    // The raw read is reachable only through the trait object: the root
+    // file holds the `dyn Backend` call, the impl lives elsewhere.
+    let trait_file = "pub trait Backend {\n\
+                          fn enqueue_one(&self, sqe: SqEntry);\n\
+                      }\n\
+                      pub fn submit(b: &dyn Backend, sqe: SqEntry) {\n\
+                          b.enqueue_one(sqe);\n\
+                      }\n";
+    let impl_file = "impl Backend for MmioBackend {\n\
+                         fn enqueue_one(&self, sqe: SqEntry) {\n\
+                             let head = self.window.cpu_read(HEAD_OFF);\n\
+                             self.ring.store(sqe, head);\n\
+                         }\n\
+                     }\n";
+    let f = analyzer::scan_sources(&[
+        ("crates/core/src/root.rs", trait_file, vec![Rule::D07]),
+        ("crates/core/src/mmio.rs", impl_file, vec![Rule::D07]),
+    ]);
+    assert_eq!(codes(&f), ["D07"]);
+    assert_eq!(f[0].path, "crates/core/src/mmio.rs");
+    assert_eq!(f[0].line, 3);
+    assert!(
+        f[0].related.iter().any(|r| r.note.contains("enqueue_one")),
+        "{:?}",
+        f[0].related
+    );
+}
+
+#[test]
+fn d17_follows_dyn_dispatch_across_files() {
+    let trait_file = "pub trait Stager {\n\
+                          fn stage(&self, buf: Buf) -> Staged;\n\
+                      }\n\
+                      pub fn read_block(s: &dyn Stager, buf: Buf) {\n\
+                          let staged = s.stage(buf);\n\
+                      }\n";
+    let impl_file = "impl Stager for BounceStager {\n\
+                         fn stage(&self, buf: Buf) -> Staged {\n\
+                             let bb = self.fabric.alloc(self.host, buf.len).unwrap();\n\
+                             Staged::new(bb)\n\
+                         }\n\
+                     }\n";
+    let f = analyzer::scan_sources(&[
+        ("crates/core/src/root.rs", trait_file, vec![Rule::D17]),
+        ("crates/core/src/stager.rs", impl_file, vec![Rule::D17]),
+    ]);
+    assert_eq!(codes(&f), ["D17"]);
+    assert_eq!(f[0].path, "crates/core/src/stager.rs");
+}
+
+#[test]
+fn method_calls_do_not_cross_files_without_a_trait() {
+    // Same shape, but no trait declaration anywhere: a plain method
+    // call must not resolve across files on a name match alone.
+    let root = "pub fn submit(b: &MmioBackend, sqe: SqEntry) {\n\
+                    b.enqueue_one(sqe);\n\
+                }\n";
+    let other = "impl MmioBackend {\n\
+                     fn enqueue_one(&self, sqe: SqEntry) {\n\
+                         let head = self.window.cpu_read(HEAD_OFF);\n\
+                         self.ring.store(sqe, head);\n\
+                     }\n\
+                 }\n";
+    let f = analyzer::scan_sources(&[
+        ("crates/core/src/root.rs", root, vec![Rule::D07]),
+        ("crates/core/src/mmio.rs", other, vec![Rule::D07]),
+    ]);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+// ----------------------------------------------------- chain rendering
+
+#[test]
+fn interproc_chains_render_in_github_and_sarif_output() {
+    let src = "impl W {\n\
+                   fn window_base(&self) -> u64 {\n\
+                       self.base.as_u64()\n\
+                   }\n\
+                   fn kick(&self, fab: &Fabric) {\n\
+                       let a = self.window_base();\n\
+                       fab.dma_write(a, 0, 8);\n\
+                   }\n\
+               }\n";
+    let f = scan(src, &[Rule::D18]);
+    assert_eq!(codes(&f), ["D18"]);
+    let gh = f[0].to_github_annotation();
+    assert!(gh.contains("via crates/fixture/src/lib.rs:3"), "{gh}");
+    let sarif = analyzer::to_sarif(&f, &[]);
+    assert!(sarif.contains("relatedLocations"), "{sarif}");
+    assert!(sarif.contains("as_u64"), "{sarif}");
+}
