@@ -32,8 +32,18 @@
 //! deliberately shallow — `Raw` vs `Typed` vs unknown — because the
 //! substrate sweep (typed `PhysAddr` end to end) makes the honest
 //! answer for most values "statically typed, nothing to check".
+//!
+//! Since the CFG landed ([`crate::cfg`]), [`eval_fn`] is a forward
+//! dataflow over basic blocks: defs are evaluated in reverse postorder
+//! and, at every use, the values of all same-name definitions that
+//! reach it merge under the lattice join (`Raw` absorbs `Unknown`,
+//! intervals take their hull, disagreeing host tags drop to unknown).
+//! The pre-CFG statement-ordered pass survives as [`eval_fn_linear`],
+//! the branch-free equivalence baseline the property suite holds the
+//! new engine to.
 
-use crate::ast::{Ast, TokKind};
+use crate::ast::{Ast, FnItem, TokKind};
+use crate::cfg::Cfg;
 
 // ---------------------------------------------------------------------
 // Def-use chains
@@ -379,7 +389,7 @@ pub(crate) enum Taint {
 }
 
 /// What the dataflow pass knows about one def's value.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub(crate) struct AbstractVal {
     pub taint: Taint,
     /// The host-domain tag: the dotted first-argument path of the
@@ -457,15 +467,185 @@ pub(crate) fn parse_num(text: &str) -> Option<u64> {
     }
 }
 
+/// Evaluate every def of `f`'s body with the CFG-grounded forward
+/// dataflow (builds the graph; use [`eval_fn_cfg`] to share one).
+pub(crate) fn eval_fn(
+    ast: &Ast,
+    f: &FnItem,
+    du: &DefUse,
+    consts: &[(String, u64)],
+) -> Vec<AbstractVal> {
+    let cfg = Cfg::build(ast, f);
+    eval_fn_cfg(ast, &cfg, du, consts)
+}
+
+/// Forward dataflow over basic blocks: defs are evaluated in reverse
+/// postorder (so a def in a loop body sees the header's bindings), and
+/// at every use the values of all same-name definitions reaching it
+/// merge under [`join_vals`]. A definition reaches a use when some
+/// path from the end of its binding statement arrives at the use
+/// without executing another binding of the name — on a straight-line
+/// body no merge ever fires, which is the equivalence the property
+/// suite checks against [`eval_fn_linear`]. Defs still changing at the
+/// pass bound (loop-carried arithmetic) have their interval widened to
+/// Top rather than keeping the last sample.
+pub(crate) fn eval_fn_cfg(
+    ast: &Ast,
+    cfg: &Cfg,
+    du: &DefUse,
+    consts: &[(String, u64)],
+) -> Vec<AbstractVal> {
+    let n = du.defs.len();
+    let mut vals: Vec<AbstractVal> = vec![AbstractVal::default(); n];
+    if n == 0 {
+        return vals;
+    }
+    // Parameters (signature tokens) and anything the lowering did not
+    // place evaluate as entry-block defs.
+    let dblock: Vec<usize> = du
+        .defs
+        .iter()
+        .map(|d| cfg.block_of(d.at).unwrap_or(cfg.entry))
+        .collect();
+    let mut rpo_pos = vec![usize::MAX; cfg.blocks.len()];
+    for (k, &b) in cfg.rpo().iter().enumerate() {
+        rpo_pos[b] = k;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (rpo_pos[dblock[i]], du.defs[i].at));
+    // Only same-name defs can merge; precompute the sibling sets and
+    // the kill positions (every binding of the name).
+    let siblings: Vec<Vec<usize>> = (0..n)
+        .map(|di| {
+            (0..n)
+                .filter(|&j| j != di && du.defs[j].name == du.defs[di].name)
+                .collect()
+        })
+        .collect();
+    let mut grew = vec![false; n];
+    for pass in 0..4 {
+        let mut changed = false;
+        for &di in &order {
+            let mut v = eval_expr(ast, du, &vals, di, du.defs[di].expr, consts);
+            for u in du.uses_of(di) {
+                let Some(ub) = cfg.block_of(u.at) else {
+                    continue;
+                };
+                for &dj in &siblings[di] {
+                    if !cfg.reachable(dblock[dj]) {
+                        continue;
+                    }
+                    // The sibling's value exists only once its binding
+                    // statement completed; any other binding of the
+                    // name on the way kills it.
+                    let src = du.defs[dj].expr.1.max(du.defs[dj].at);
+                    let kill: Vec<usize> = siblings[di]
+                        .iter()
+                        .copied()
+                        .chain(std::iter::once(di))
+                        .filter(|&k| k != dj)
+                        .map(|k| du.defs[k].at)
+                        .collect();
+                    if cfg.site_reaches_site((dblock[dj], src), (ub, u.at), &kill) {
+                        v = join_vals(&v, &vals[dj]);
+                    }
+                }
+            }
+            if vals[di] != v {
+                grew[di] |= pass > 0;
+                vals[di] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if pass == 3 {
+            // Still moving: widen whatever kept changing.
+            for di in 0..n {
+                if grew[di] {
+                    vals[di].range = None;
+                }
+            }
+        }
+    }
+    vals
+}
+
+/// Lattice join at a control-flow merge. `Raw` absorbs `Unknown`
+/// (raw-on-some-path must still reach the sink rules); `Typed` only
+/// survives when both sides are typed; intervals take their hull;
+/// host/region/guard/status facts survive only when both sides agree.
+fn join_vals(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
+    AbstractVal {
+        taint: match (&a.taint, &b.taint) {
+            (Taint::Raw(l), _) | (_, Taint::Raw(l)) => Taint::Raw(*l),
+            (Taint::Typed, Taint::Typed) => Taint::Typed,
+            _ => Taint::Unknown,
+        },
+        host: match (&a.host, &b.host) {
+            (Some(x), Some(y)) if x == y => Some(x.clone()),
+            _ => None,
+        },
+        range: match (a.range, b.range) {
+            (Some(x), Some(y)) => Some((x.0.min(y.0), x.1.max(y.1))),
+            _ => None,
+        },
+        region_len: match (a.region_len, b.region_len) {
+            (Some(x), Some(y)) if x == y => Some(x),
+            _ => None,
+        },
+        guard: a.guard && b.guard,
+        status: a.status && b.status,
+    }
+}
+
 /// Evaluate every def of a body into an [`AbstractVal`], in def order
-/// (later defs see earlier defs' values through their uses).
-pub(crate) fn eval_fn(ast: &Ast, du: &DefUse, consts: &[(String, u64)]) -> Vec<AbstractVal> {
+/// (later defs see earlier defs' values through their uses). This is
+/// the pre-CFG statement-ordered engine, kept as the branch-free
+/// equivalence baseline for the property suite.
+pub(crate) fn eval_fn_linear(ast: &Ast, du: &DefUse, consts: &[(String, u64)]) -> Vec<AbstractVal> {
     let mut vals: Vec<AbstractVal> = Vec::new();
     for (di, d) in du.defs.iter().enumerate() {
         let v = eval_expr(ast, du, &vals, di, d.expr, consts);
         vals.push(v);
     }
     vals
+}
+
+/// Debug digest of every def's abstract value per function, via the
+/// CFG-grounded engine (public for the property suite's oracle).
+pub fn eval_digest(src: &str) -> Vec<(String, Vec<String>)> {
+    let ast = Ast::parse(src);
+    let consts = const_env(&ast);
+    ast.functions
+        .iter()
+        .map(|f| {
+            let du = def_use(&ast, f.body);
+            let vals = eval_fn(&ast, f, &du, &consts);
+            (
+                f.name.clone(),
+                vals.iter().map(|v| format!("{v:?}")).collect(),
+            )
+        })
+        .collect()
+}
+
+/// The same digest from the legacy statement-ordered engine.
+pub fn eval_digest_linear(src: &str) -> Vec<(String, Vec<String>)> {
+    let ast = Ast::parse(src);
+    let consts = const_env(&ast);
+    ast.functions
+        .iter()
+        .map(|f| {
+            let du = def_use(&ast, f.body);
+            let vals = eval_fn_linear(&ast, &du, &consts);
+            (
+                f.name.clone(),
+                vals.iter().map(|v| format!("{v:?}")).collect(),
+            )
+        })
+        .collect()
 }
 
 /// Fold one RHS token range into an abstract value.
@@ -737,6 +917,50 @@ fn eval_range(
     if e >= s + 2 && toks[e - 2].is("as") {
         e -= 2;
     }
+    // Clamp arithmetic: `recv.min(k)` / `.max(k)` / `.saturating_sub(k)`
+    // fold their intervals instead of dropping the whole expression to
+    // Top, and `region.len()` reads the receiver's literal region
+    // length — the clamp-then-slice pattern D15 kept losing.
+    {
+        let mut depth = 0isize;
+        for m in s..e {
+            let t = &toks[m];
+            if t.punct('(') || t.punct('[') {
+                depth += 1;
+            } else if t.punct(')') || t.punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.punct('.') && m + 2 < e {
+                let name = &toks[m + 1];
+                if name.kind != TokKind::Ident
+                    || !toks[m + 2].punct('(')
+                    || crate::ast::match_delim(toks, m + 2, '(', ')') != e - 1
+                {
+                    continue;
+                }
+                match name.text.as_str() {
+                    "min" | "max" | "saturating_sub" => {
+                        let recv = eval_range(ast, du, vals, (s, m), consts);
+                        let arg = eval_range(ast, du, vals, (m + 3, e - 1), consts);
+                        if let (Some(r), Some(a)) = (recv, arg) {
+                            return Some(match name.text.as_str() {
+                                "min" => (r.0.min(a.0), r.1.min(a.1)),
+                                "max" => (r.0.max(a.0), r.1.max(a.1)),
+                                _ => (r.0.saturating_sub(a.1), r.1.saturating_sub(a.0)),
+                            });
+                        }
+                    }
+                    "len" if m + 3 == e - 1 && m > s => {
+                        if let Some(u) = du.uses.iter().find(|u| u.at == m - 1) {
+                            if let Some(len) = vals.get(u.def).and_then(|v| v.region_len) {
+                                return Some((len, len));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
     while e > s && toks[s].punct('(') && toks[e - 1].punct(')') {
         s += 1;
         e -= 1;
@@ -827,7 +1051,7 @@ mod tests {
         let consts = const_env(&ast);
         assert_eq!(consts, vec![("K".to_string(), 4096)]);
         let du = def_use(&ast, ast.functions[0].body);
-        let vals = eval_fn(&ast, &du, &consts);
+        let vals = eval_fn(&ast, &ast.functions[0], &du, &consts);
         assert_eq!(vals[0].range, Some((2, 2)));
         assert_eq!(vals[1].range, Some((2 * 4096 + 8, 2 * 4096 + 8)));
     }
@@ -837,7 +1061,7 @@ mod tests {
         let src = "fn f() { for i in 0..512 { let off = i * 8; } }";
         let ast = Ast::parse(src);
         let du = def_use(&ast, ast.functions[0].body);
-        let vals = eval_fn(&ast, &du, &[]);
+        let vals = eval_fn(&ast, &ast.functions[0], &du, &[]);
         assert_eq!(vals[0].range, Some((0, 511)));
         assert_eq!(vals[1].range, Some((0, 511 * 8)));
     }
@@ -848,7 +1072,7 @@ mod tests {
                    let ok = PhysAddr(off); }";
         let ast = Ast::parse(src);
         let du = def_use(&ast, ast.functions[0].body);
-        let vals = eval_fn(&ast, &du, &[]);
+        let vals = eval_fn(&ast, &ast.functions[0], &du, &[]);
         assert!(matches!(vals[0].taint, Taint::Raw(_)));
         assert!(matches!(vals[1].taint, Taint::Raw(_)));
         assert_eq!(vals[2].taint, Taint::Typed);
@@ -860,7 +1084,7 @@ mod tests {
                    let s = r; }";
         let ast = Ast::parse(src);
         let du = def_use(&ast, ast.functions[0].body);
-        let vals = eval_fn(&ast, &du, &[]);
+        let vals = eval_fn(&ast, &ast.functions[0], &du, &[]);
         assert_eq!(vals[0].host.as_deref(), Some("host_a"));
         assert_eq!(vals[0].region_len, Some(4096));
         assert_eq!(vals[1].host.as_deref(), Some("host_a"));
@@ -871,7 +1095,7 @@ mod tests {
         let src = "fn f() { let g = cell.borrow_mut(); let v = cell.borrow().field; }";
         let ast = Ast::parse(src);
         let du = def_use(&ast, ast.functions[0].body);
-        let vals = eval_fn(&ast, &du, &[]);
+        let vals = eval_fn(&ast, &ast.functions[0], &du, &[]);
         assert!(vals[0].guard);
         assert!(!vals[1].guard, "a copied field is not a held guard");
     }

@@ -182,7 +182,7 @@ pub(crate) fn extract_file(ast: &Ast) -> Vec<FnLocal> {
 fn extract_fn(ast: &Ast, f: &FnItem) -> FnLocal {
     let toks = &ast.tokens;
     let du = def_use_with_params(ast, f.body, &f.params);
-    let vals = eval_fn(ast, &du, &[]);
+    let vals = eval_fn(ast, f, &du, &[]);
     let raw_calls = ast.calls_in(f.body);
     let mut out = FnLocal {
         name: f.name.clone(),
@@ -1540,7 +1540,7 @@ fn read_cache(path: &Path) -> BTreeMap<String, FileFacts> {
 
 fn parse_cache(text: &str) -> Option<BTreeMap<String, FileFacts>> {
     let mut lines = text.lines();
-    if lines.next()? != "dnvme-lint-summaries v2" {
+    if lines.next()? != "dnvme-lint-summaries v3" {
         return None;
     }
     let mut out = BTreeMap::new();
@@ -1574,7 +1574,7 @@ fn parse_cache(text: &str) -> Option<BTreeMap<String, FileFacts>> {
 fn write_cache(path: &Path, entries: &[(String, FileFacts)]) {
     let Some(dir) = path.parent() else { return };
     let _ = fs::create_dir_all(dir);
-    let mut buf = String::from("dnvme-lint-summaries v2\n");
+    let mut buf = String::from("dnvme-lint-summaries v3\n");
     for (rel, ff) in entries {
         buf.push_str(&format!("{} {} {rel}\n", ff.hash, ff.fns.len()));
         buf.push_str("traits:");
@@ -1967,9 +1967,9 @@ mod tests {
         assert!(parse_fnlocal("").is_none());
         assert!(parse_fnlocal("a|b|c").is_none());
         assert!(parse_cache("not-the-header\nx").is_none());
-        // A v1 cache (pre-trait-methods format) is a clean miss, not an error.
-        assert!(parse_cache("dnvme-lint-summaries v1\n").is_none());
-        let empty = parse_cache("dnvme-lint-summaries v2\n").unwrap();
+        // An old-format cache (pre-CFG facts) is a clean miss, not an error.
+        assert!(parse_cache("dnvme-lint-summaries v2\n").is_none());
+        let empty = parse_cache("dnvme-lint-summaries v3\n").unwrap();
         assert!(empty.is_empty());
     }
 }

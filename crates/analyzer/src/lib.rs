@@ -92,6 +92,29 @@
 //!   recovery-ladder frame (`recover*`/`recreate*`): tearing a qpair
 //!   down outside the ladder drops pending tags on the floor.
 //!
+//! The path-sensitive rules ride the [`cfg`] control-flow graph (basic
+//! blocks + dominators + all-path/some-path reachability, DESIGN §5.5),
+//! so "on every path" and "on some path" are real graph queries instead
+//! of statement-order approximations:
+//!
+//! * **D22** — an SQE store whose doorbell ring is reachable on only
+//!   some of the paths to exit: the error/early-return path leaves a
+//!   written entry the device is never told about (missed doorbell).
+//! * **D23** — an engine tag/slot or hinted DMA allocation acquired but
+//!   not retired/freed on every path to exit: the `?`/early-return leak
+//!   that drains the tag pool under fault injection.
+//! * **D24** — a doorbell ring or slot retire repeated along a single
+//!   path with no intervening store/acquire: the static shadow of the
+//!   double-complete the lifecycle oracle catches dynamically.
+//! * **D25** — path-sensitive refinement of D11: a blocking
+//!   fabric/admin await reachable on a path that skipped the
+//!   `simcore::timeout` deadline arm the function otherwise has.
+//!
+//! D22/D08-class findings (including suppressed ones) can be exported
+//! as ordering *hypotheses* (`dnvme-lint --emit-hypotheses`), which
+//! `dnvme-explore --hints` perturbs first — confirming each with a
+//! replay token or refuting it as a machine-checked false positive.
+//!
 //! Suppression: an `// lint:allow(Dxx)` comment on the finding's line or
 //! the line directly above silences it; `analyzer.toml` at the workspace
 //! root allowlists paths per rule (`"*"` = every rule) with glob
@@ -103,17 +126,19 @@
 //! crate's `workspace_is_clean` test, so plain `cargo test` gates it.
 
 mod ast;
+pub(crate) mod cfg;
 pub mod dataflow;
 mod interproc;
 
 use ast::{Ast, TokKind};
+use cfg::Cfg;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The twenty-one lint rules.
+/// The twenty-five lint rules.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum Rule {
     D01,
@@ -137,10 +162,14 @@ pub enum Rule {
     D19,
     D20,
     D21,
+    D22,
+    D23,
+    D24,
+    D25,
 }
 
 /// Every rule, in code order.
-pub const ALL_RULES: [Rule; 21] = [
+pub const ALL_RULES: [Rule; 25] = [
     Rule::D01,
     Rule::D02,
     Rule::D03,
@@ -162,6 +191,10 @@ pub const ALL_RULES: [Rule; 21] = [
     Rule::D19,
     Rule::D20,
     Rule::D21,
+    Rule::D22,
+    Rule::D23,
+    Rule::D24,
+    Rule::D25,
 ];
 
 /// Crates whose state is reachable from simulation tasks: hasher-ordered
@@ -200,6 +233,10 @@ impl Rule {
             Rule::D19 => "D19",
             Rule::D20 => "D20",
             Rule::D21 => "D21",
+            Rule::D22 => "D22",
+            Rule::D23 => "D23",
+            Rule::D24 => "D24",
+            Rule::D25 => "D25",
         }
     }
 
@@ -266,6 +303,251 @@ impl Rule {
             Rule::D21 => {
                 "reset_qpair/engine teardown reachable from a datapath root outside the \
                  recovery ladder (pending tags may be live — escalate via recover*/recreate*)"
+            }
+            Rule::D22 => {
+                "SQE stored but the doorbell ring is reachable on only some paths to exit \
+                 (an error/early-return path leaves a written entry the device never fetches)"
+            }
+            Rule::D23 => {
+                "tag/slot or hinted DMA allocation acquired but not retired/freed on every \
+                 path to exit (leak through ? / early return drains the pool)"
+            }
+            Rule::D24 => {
+                "doorbell ring or slot retire repeated along a single path with no \
+                 intervening store/acquire (static double-complete)"
+            }
+            Rule::D25 => {
+                "blocking fabric/admin await reachable on a path that skipped the \
+                 simcore::timeout deadline arm this function otherwise has (path-sensitive D11)"
+            }
+        }
+    }
+
+    /// Long-form documentation for `dnvme-lint --explain <rule>`: what the
+    /// rule flags, why it matters in this codebase, a worked example, and
+    /// how to suppress a justified finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::D01 => {
+                "D01 — wall-clock time in simulation code\n\n\
+                 Flags `std::time::Instant/SystemTime` (and friends) inside crates that run\n\
+                 under the discrete-event simulator. Sim time is the virtual clock; reading\n\
+                 the host clock makes traces non-reproducible.\n\n\
+                 Example:\n    let t0 = std::time::Instant::now();      // D01\n    \
+                 let t0 = ctx.now();                      // ok: virtual nanos\n\n\
+                 Suppress with `// lint:allow(D01)` on or above the line — justified only\n\
+                 in host-side tooling that never runs under the simulator."
+            }
+            Rule::D02 => {
+                "D02 — entropy-seeded RNG\n\n\
+                 Flags RNG construction from OS entropy (`thread_rng`, `from_entropy`, ...).\n\
+                 Every random stream must derive from the run seed so a schedule token\n\
+                 replays byte-identically.\n\n\
+                 Example:\n    let mut rng = rand::thread_rng();        // D02\n    \
+                 let mut rng = ctx.rng_stream(\"arb\");     // ok: seed-derived\n\n\
+                 Suppress with `// lint:allow(D02)` — essentially never justified in\n\
+                 sim-visible code."
+            }
+            Rule::D03 => {
+                "D03 — hasher-ordered iteration in sim-visible code\n\n\
+                 Flags iteration over `HashMap`/`HashSet` in crates whose state feeds the\n\
+                 event stream. Hasher order varies run to run, so it silently reorders\n\
+                 events. Use `BTreeMap`/`BTreeSet` or sort before iterating.\n\n\
+                 Suppress with `// lint:allow(D03)` when the loop provably folds into an\n\
+                 order-insensitive value (a sum, a max)."
+            }
+            Rule::D04 => {
+                "D04 — OS thread / raw Mutex in DES-driven code\n\n\
+                 Flags `std::thread::spawn` and `std::sync::{Mutex,RwLock,Condvar}` in\n\
+                 simulator-scheduled crates. Real threads race the virtual clock; blocking\n\
+                 a reactor on a kernel mutex deadlocks the single-threaded scheduler.\n\
+                 Use simcore tasks and `RefCell`/`LocalKey` state instead.\n\n\
+                 Suppress with `// lint:allow(D04)` only in host-side harness code."
+            }
+            Rule::D05 => {
+                "D05 — unwrap/expect on fabric or DMA results in crates/core\n\n\
+                 Fabric reads and DMA ops fail under fault injection; `.unwrap()` turns an\n\
+                 injected fault into a panic instead of an escalation-ladder recovery.\n\
+                 Propagate with `?` into the ladder.\n\n\
+                 Suppress with `// lint:allow(D05)` for init-time invariants that cannot\n\
+                 be injected against (say why in the comment)."
+            }
+            Rule::D06 => {
+                "D06 — direct SqRing use outside nvme::engine\n\n\
+                 All submission must flow through `nvme::engine` so tag accounting,\n\
+                 batching, and the doorbell protocol stay in one place. Touching the ring\n\
+                 from outside bypasses slot lifetime tracking.\n\n\
+                 Suppress with `// lint:allow(D06)` — reserved for the engine's own tests."
+            }
+            Rule::D07 => {
+                "D07 — non-posted fabric read on an I/O path\n\n\
+                 Interprocedural: flags `cpu_read*`/`dma_read` reachable from a\n\
+                 submit/poll/complete root. A non-posted read stalls the caller for a full\n\
+                 NTB round trip; the datapath must stay posted-write-only (the paper's\n\
+                 core latency argument).\n\n\
+                 Example: submit() -> refresh_head() -> fabric.cpu_read_u32(db)   // D07\n\n\
+                 Suppress with `// lint:allow(D07)` at the read site when the root is\n\
+                 provably cold (slow-path recovery only)."
+            }
+            Rule::D08 => {
+                "D08 — SQE store after the doorbell ring\n\n\
+                 Within one function, flags a store into an SQE slot that happens after\n\
+                 the doorbell write. The device may fetch the entry the moment the\n\
+                 doorbell lands, reading a half-written command.\n\n\
+                 Example:\n    sq.ring_doorbell(tail);\n    \
+                 sq.slot_mut(tail).cdw0 = opcode;   // D08: device may already have fetched\n\n\
+                 Fix by completing all stores before the ring. Suppress with\n\
+                 `// lint:allow(D08)` never — reorder instead. D08 findings are exported\n\
+                 as ordering hypotheses for dnvme-explore."
+            }
+            Rule::D09 => {
+                "D09 — unsafe / raw-pointer access outside pcie::memory\n\n\
+                 All raw memory access is centralized in `pcie::memory` where bounds and\n\
+                 domain checks live. Suppress with `// lint:allow(D09)` only with a\n\
+                 safety comment explaining the invariant."
+            }
+            Rule::D10 => {
+                "D10 — queue segment without its placement hint\n\n\
+                 SQs belong device-side (doorbell locality), CQs host-local (polling\n\
+                 locality). Allocating without the hint silently gets the default and\n\
+                 costs a fabric crossing per access. Pass the placement hint explicitly.\n\n\
+                 Suppress with `// lint:allow(D10)` in tests that don't measure placement."
+            }
+            Rule::D11 => {
+                "D11 — unbounded blocking await on an I/O or manager path\n\n\
+                 Flags `.await` on fabric reads / admin RPCs reachable from datapath or\n\
+                 manager-serve roots without a `simcore::timeout` wrapper. A lost\n\
+                 completion must escalate through the recovery ladder, not hang the\n\
+                 reactor. See D25 for the path-sensitive refinement.\n\n\
+                 Fix:\n    simcore::timeout(deadline, fabric.cpu_read_u32(addr)).await\n\n\
+                 Suppress with `// lint:allow(D11)` when an enclosing frame owns the\n\
+                 deadline (name the frame in the comment)."
+            }
+            Rule::D12 => {
+                "D12 — raw u64 address reaching a sink\n\n\
+                 Dataflow rule: a value tainted by `.as_u64()` must be re-wrapped through\n\
+                 `PhysAddr`/`DomainAddr`/`MemRegion` before any fabric/DMA/doorbell sink.\n\
+                 Raw integers skip the domain tag that catches cross-host confusion.\n\n\
+                 Suppress with `// lint:allow(D12)` at the sink for log-only uses."
+            }
+            Rule::D13 => {
+                "D13 — cross-domain address without NTB translation\n\n\
+                 Dataflow rule: an address whose def-use chain starts in host A's domain\n\
+                 must pass `ntb_translate`/`to_domain` before hitting host B's region or\n\
+                 a fabric call for B. The classic symptom is a DMA landing in the wrong\n\
+                 host's window.\n\n\
+                 Suppress with `// lint:allow(D13)` when both domains are provably the\n\
+                 same host (say why)."
+            }
+            Rule::D14 => {
+                "D14 — buffer retired before its status is checked\n\n\
+                 Dataflow rule: a bound command status must be branched on before the\n\
+                 associated buffer is freed/retired/recycled in the same function;\n\
+                 otherwise failed commands recycle buffers the device may still DMA into.\n\n\
+                 Suppress with `// lint:allow(D14)` when the status is consumed by the\n\
+                 caller (document the contract)."
+            }
+            Rule::D15 => {
+                "D15 — interval arithmetic exceeds region bounds\n\n\
+                 Dataflow rule: constant-interval analysis of offset/len arithmetic\n\
+                 against the region's literal size. The lattice folds `min`/`max`/\n\
+                 `saturating_sub`/`.len()`, so clamp-then-slice patterns stay precise\n\
+                 instead of widening to Top.\n\n\
+                 Example:\n    let off = base.min(region_len);          // folded, ok\n    \
+                 let end = off + 128;                     // D15 iff 128 > slack\n\n\
+                 Suppress with `// lint:allow(D15)` when bounds come from checked config."
+            }
+            Rule::D16 => {
+                "D16 — guard held across .await\n\n\
+                 Dataflow rule: a `RefCell` borrow or lock guard live across an await\n\
+                 point. Another task on the same reactor can re-enter and panic the\n\
+                 borrow, or the lock is held for a fabric round trip.\n\
+                 Drop the guard before awaiting (scope it or `drop()` it).\n\n\
+                 Suppress with `// lint:allow(D16)` only for guards over task-local state."
+            }
+            Rule::D17 => {
+                "D17 — unhinted allocation on the client datapath\n\n\
+                 Client buffers must come from `SmartIo::alloc_hinted` so the staging\n\
+                 tier can choose zero-copy vs. bounce. Plain `fabric.alloc` pins the\n\
+                 decision to bounce. Suppress with `// lint:allow(D17)` for control-plane\n\
+                 metadata buffers."
+            }
+            Rule::D18 => {
+                "D18 — raw address escaping through a helper (interprocedural D12)\n\n\
+                 Summary-based: a helper that returns (or writes through &mut) a raw\n\
+                 `as_u64` value taints its callers; flagged when the tainted value\n\
+                 reaches a sink in any caller. The finding's related hops show the chain.\n\n\
+                 Suppress at the sink with `// lint:allow(D18)`."
+            }
+            Rule::D19 => {
+                "D19 — cross-function lock-order cycle\n\n\
+                 Summary-based: builds the acquired-while-held graph over guard classes\n\
+                 and flags cycles. Two functions acquiring {A then B} and {B then A} can\n\
+                 deadlock (or reentrant-panic RefCells) under interleaving. The related\n\
+                 hops name both acquisition sites. D19 findings are exported as ordering\n\
+                 hypotheses for dnvme-explore.\n\n\
+                 Fix by imposing a global acquisition order. Suppress with\n\
+                 `// lint:allow(D19)` only with a proof both paths can't interleave."
+            }
+            Rule::D20 => {
+                "D20 — shard-channel recv on the sender's reactor\n\n\
+                 Summary-based reactor-affinity analysis: a `recv` reachable on the same\n\
+                 reactor as its paired `send` starves the only reactor that could make\n\
+                 the send happen. The related hops show the affinity chain. Exported as\n\
+                 an ordering hypothesis for dnvme-explore.\n\n\
+                 Suppress with `// lint:allow(D20)` when the pairing is refuted by a\n\
+                 refuted hypothesis (cite the replay token)."
+            }
+            Rule::D21 => {
+                "D21 — teardown outside the recovery ladder\n\n\
+                 Summary-based: `reset_qpair`/engine teardown reachable from a datapath\n\
+                 root without an intervening `recover*`/`recreate*` frame. The ladder\n\
+                 drains pending tags first; bypassing it drops them.\n\n\
+                 Suppress with `// lint:allow(D21)` in shutdown-only paths."
+            }
+            Rule::D22 => {
+                "D22 — doorbell reachable on only some paths after an SQE store\n\n\
+                 Path-sensitive (CFG): after a store into an SQE slot, every path to the\n\
+                 function's exit must pass a doorbell ring or an explicit failure\n\
+                 resolution (`fail`/`complete`). A path that returns early leaves a\n\
+                 written entry the device is never told about: the command is silently\n\
+                 lost and its tag never completes.\n\n\
+                 Example:\n    qp.sq.push(sqe)?;                 // store lands\n    \
+                 if budget_exhausted {\n        return Ok(());                // D22: wrote SQE, never rang\n    \
+                 }\n    qp.sq.ring().await?;\n\n\
+                 The store's own `?` is benign (failure means nothing was written).\n\
+                 Fix by ringing or failing the tag on every exit path. Suppress with\n\
+                 `// lint:allow(D22)` only for deliberately-seeded fixtures; suppressed\n\
+                 findings still emit a hypothesis that dnvme-explore will try to confirm."
+            }
+            Rule::D23 => {
+                "D23 — allocation not retired on every path\n\n\
+                 Path-sensitive (CFG): a tag/slot acquire or hinted DMA allocation whose\n\
+                 owning function also retires resources, but where some path from the\n\
+                 acquire to exit skips every retire site — the `?`/early-return leak that\n\
+                 drains the tag pool under fault injection. Functions with no retire\n\
+                 site at all are assumed RAII and skipped.\n\n\
+                 Fix by retiring in the error arm (or converting to an RAII guard).\n\
+                 Suppress with `// lint:allow(D23)` when ownership transfers out."
+            }
+            Rule::D24 => {
+                "D24 — ring/retire repeated along a single path\n\n\
+                 Path-sensitive (CFG): two doorbell rings with no intervening SQE store\n\
+                 (or timeout re-arm), or two textually-identical slot retires with no\n\
+                 intervening acquire, connected by one control-flow path. This is the\n\
+                 static shadow of the double-complete the lifecycle oracle catches\n\
+                 dynamically.\n\n\
+                 Suppress with `// lint:allow(D24)` for deliberate re-rings after a\n\
+                 deadline (the timeout call already exempts the common shape)."
+            }
+            Rule::D25 => {
+                "D25 — blocking await on a path that skipped the timeout arm\n\n\
+                 Path-sensitive refinement of D11: the function does have a\n\
+                 `simcore::timeout` deadline arm, but some entry path reaches a blocking\n\
+                 fabric/admin await without passing it. D11 checks the await is guarded\n\
+                 somewhere; D25 checks it is guarded on every path that reaches it.\n\n\
+                 Fix by hoisting the timeout to dominate the await. Suppress with\n\
+                 `// lint:allow(D25)` when the unguarded path is init-only."
             }
         }
     }
@@ -785,6 +1067,32 @@ const D20_SCOPE: [&str; 3] = [
 /// D21 scope: where qpair engines live and are torn down.
 const D21_SCOPE: [&str; 2] = ["crates/core/src", "crates/nvme/src"];
 
+/// D22 additionally binds the explore fixture deck: seeded
+/// missed-doorbell fixtures are written in the event vocabulary
+/// (`SqeWritten`/`SqDoorbell`) and their suppressed findings feed the
+/// hypothesis bridge.
+const D22_EXTRA_SCOPE: [&str; 1] = ["crates/explore/src/fixtures.rs"];
+/// D23 acquire sites: tag/slot grants and hinted DMA allocations.
+const D23_ACQUIRE: [&str; 5] = [
+    "acquire",
+    "acquire_tag",
+    "acquire_slot",
+    "create_segment",
+    "alloc_hinted",
+];
+/// D23/D24 retire sites: D14's retire vocabulary plus the segment and
+/// tag-table teardown calls.
+const D2X_RETIRE: [&str; 8] = [
+    "free",
+    "release",
+    "retire",
+    "recycle",
+    "reuse",
+    "destroy_segment",
+    "unmap",
+    "complete",
+];
+
 /// The rules that apply to the file at workspace-relative path `rel`.
 pub fn rules_for(rel: &str) -> Vec<Rule> {
     let mut rules = vec![Rule::D01, Rule::D02, Rule::D04];
@@ -803,7 +1111,9 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         rules.push(Rule::D07);
         // D11 binds the same production paths: the crates whose I/O and
         // serve loops must survive injected faults without hanging.
+        // D25 is its path-sensitive refinement and rides along.
         rules.push(Rule::D11);
+        rules.push(Rule::D25);
     }
     rules.push(Rule::D08);
     if !D09_EXEMPT.iter().any(|p| rel.starts_with(p)) {
@@ -815,6 +1125,12 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         // The interprocedural address/lock rules bind the same
         // production sources the intraprocedural lattice does.
         rules.extend([Rule::D18, Rule::D19]);
+        // The path-sensitive rules ride the same production sources: the
+        // CFG queries only sharpen what the lattice rules approximate.
+        rules.extend([Rule::D22, Rule::D23, Rule::D24]);
+    }
+    if D22_EXTRA_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        rules.push(Rule::D22);
     }
     if D17_SCOPE.iter().any(|p| rel.starts_with(p)) {
         rules.push(Rule::D17);
@@ -1097,7 +1413,11 @@ fn scan_source_inner(
                 | Rule::D18
                 | Rule::D19
                 | Rule::D20
-                | Rule::D21 => {} // syntax / dataflow / engine rules below
+                | Rule::D21
+                | Rule::D22
+                | Rule::D23
+                | Rule::D24
+                | Rule::D25 => {} // syntax / dataflow / engine rules below
             }
         }
     }
@@ -1126,6 +1446,23 @@ fn scan_source_inner(
     }
     if rules.contains(&Rule::D16) {
         scan_d16(&ast, &mut |line| hit(Rule::D16, line, &mut findings));
+    }
+
+    // ------------------------------------------- path-sensitive rules
+    if rules.contains(&Rule::D22) {
+        let event_model = D22_EXTRA_SCOPE.iter().any(|p| rel.starts_with(p));
+        scan_d22(&ast, event_model, &mut |line| {
+            hit(Rule::D22, line, &mut findings)
+        });
+    }
+    if rules.contains(&Rule::D23) {
+        scan_d23(&ast, &mut |line| hit(Rule::D23, line, &mut findings));
+    }
+    if rules.contains(&Rule::D24) {
+        scan_d24(&ast, &mut |line| hit(Rule::D24, line, &mut findings));
+    }
+    if rules.contains(&Rule::D25) {
+        scan_d25(&ast, &mut |line| hit(Rule::D25, line, &mut findings));
     }
 
     // --------------------------------------------- interprocedural rules
@@ -1182,44 +1519,480 @@ fn scan_source_inner(
 // `dyn Trait` dispatch by trait-impl enumeration, and attaches the call
 // chain to every finding.
 
-/// D08: inside each function body, a doorbell ring (a `ring` /
-/// `ring_doorbell` call, or a write call whose arguments mention a
-/// doorbell) followed by an SQE store (SQ `push`, a write call carrying
-/// an `sqe`, or an `…sqe… = ` field assignment) in token order.
+/// The submission-protocol events of one function body, in the
+/// vocabulary shared by D08 (order), D22 (missed ring), and D24
+/// (repeated ring): doorbell rings, SQE stores, and explicit failure
+/// resolutions. Each event is `(token index, 1-based line)`.
+///
+/// With `event_model` set (the explore fixture deck only — the oracle
+/// *matches* these names without emitting), `SqeWritten`/`SqDoorbell`
+/// struct literals count too: they are the simulated twin of a slot
+/// store and a doorbell write, which is what lets the seeded
+/// missed-doorbell fixture carry a D22 finding into the hypothesis
+/// bridge.
+struct SubmitEvents {
+    rings: Vec<(usize, usize)>,
+    stores: Vec<(usize, usize)>,
+    resolves: Vec<(usize, usize)>,
+}
+
+fn submit_events(ast: &Ast, f: &ast::FnItem, event_model: bool) -> SubmitEvents {
+    let mut ev = SubmitEvents {
+        rings: Vec::new(),
+        stores: Vec::new(),
+        resolves: Vec::new(),
+    };
+    for call in ast.calls_in(f.body) {
+        let is_write = D08_WRITES.iter().any(|w| call.name == *w);
+        if call.name == "ring"
+            || call.name == "ring_doorbell"
+            || (is_write && ast.any_ident_in(call.args, |id| id.contains("doorbell")))
+        {
+            ev.rings.push((call.args.0, call.line));
+        } else if (is_write && ast.any_ident_in(call.args, |id| id.contains("sqe")))
+            || (call.name == "push" && call.receiver.as_deref().is_some_and(|r| r.contains("sq")))
+        {
+            ev.stores.push((call.args.0, call.line));
+        } else if call.name == "fail" || call.name == "complete" {
+            ev.resolves.push((call.args.0, call.line));
+        }
+    }
+    for fa in ast.field_assigns_in(f.body) {
+        if fa.path.iter().any(|seg| seg.contains("sqe")) {
+            ev.stores.push((fa.at, fa.line));
+        }
+    }
+    if event_model {
+        for i in f.body.0..f.body.1 {
+            let t = &ast.tokens[i];
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "SqeWritten" => ev.stores.push((i, t.line)),
+                    "SqDoorbell" => ev.rings.push((i, t.line)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    ev.rings.sort_unstable();
+    ev.stores.sort_unstable();
+    ev.resolves.sort_unstable();
+    ev
+}
+
+/// D08: inside each function body, a doorbell ring followed by an SQE
+/// store in token order — `(fn, ring line, store line)` per late store,
+/// pairing the store with the latest preceding ring.
+fn d08_pairs(ast: &Ast, event_model: bool) -> Vec<(String, usize, usize)> {
+    let mut pairs = Vec::new();
+    for f in &ast.functions {
+        let ev = submit_events(ast, f, event_model);
+        for &(tok, line) in &ev.stores {
+            if let Some(&(_, ring_line)) = ev.rings.iter().rev().find(|&&(r, _)| r < tok) {
+                pairs.push((f.name.clone(), ring_line, line));
+            }
+        }
+    }
+    pairs
+}
+
 fn scan_d08(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    for (_, _, store_line) in d08_pairs(ast, false) {
+        hit(store_line);
+    }
+}
+
+/// Name of the innermost `fn` item whose body spans `line` — how a
+/// hypothesis site gets tied back to a runnable program (the explore
+/// fixture registry keys off function names).
+fn enclosing_fn_name(ast: &Ast, line: usize) -> Option<String> {
+    ast.functions
+        .iter()
+        .filter(|f| {
+            f.line <= line
+                && ast
+                    .tokens
+                    .get(
+                        f.body
+                            .1
+                            .saturating_sub(1)
+                            .min(ast.tokens.len().saturating_sub(1)),
+                    )
+                    .is_some_and(|t| t.line >= line)
+        })
+        .max_by_key(|f| f.line)
+        .map(|f| f.name.clone())
+}
+
+/// The block holding the end of the statement containing token `pos`.
+/// Path queries for "after this store/acquire landed" start here rather
+/// than at the site itself, so the site's own `?`-failure edge (nothing
+/// was written / nothing was acquired) is not mistaken for a path that
+/// skips the ring/retire.
+fn stmt_exit_block(ast: &Ast, cfg: &Cfg, pos: usize, body_end: usize) -> Option<usize> {
+    // `pos` may sit *inside* the site's argument list, so track depth
+    // from there and let it go negative while climbing out; the
+    // statement ends at the first `;`/`,` at or above the start level,
+    // or at an enclosing close brace.
+    let end = body_end.min(ast.tokens.len());
+    let mut depth = 0isize;
+    let mut q = pos;
+    for i in pos..end {
+        let t = &ast.tokens[i];
+        if t.punct('(') || t.punct('[') || t.punct('{') {
+            depth += 1;
+        } else if t.punct(')') || t.punct(']') {
+            depth -= 1;
+        } else if t.punct('}') {
+            if depth <= 0 {
+                // Close of an enclosing block: the statement cannot
+                // extend past it.
+                q = i;
+                break;
+            }
+            depth -= 1;
+        } else if (t.punct(';') || t.punct(',')) && depth <= 0 {
+            q = i;
+            break;
+        }
+        q = i;
+    }
+    (pos..=q).rev().find_map(|k| cfg.block_of(k))
+}
+
+/// D22 core: SQE stores whose doorbell ring (or explicit failure
+/// resolution) is skipped by some path to the exit. Returns
+/// `(store line, paired ring line)` so the hypothesis exporter can cite
+/// both sites; the paired ring is the first one at or after the store,
+/// falling back to the first ring in the function.
+fn d22_missed(ast: &Ast, f: &ast::FnItem, event_model: bool) -> Vec<(usize, usize)> {
+    let ev = submit_events(ast, f, event_model);
+    if ev.rings.is_empty() || ev.stores.is_empty() {
+        return Vec::new();
+    }
+    let cfg = Cfg::build(ast, f);
+    let mut avoid = vec![false; cfg.blocks.len()];
+    for &(pos, _) in ev.rings.iter().chain(&ev.resolves) {
+        if let Some(b) = cfg.block_of(pos) {
+            avoid[b] = true;
+        }
+    }
+    let mut out = Vec::new();
+    for &(pos, line) in &ev.stores {
+        let Some(sb) = cfg.block_of(pos) else {
+            continue;
+        };
+        if !cfg.reachable(sb) {
+            continue;
+        }
+        let start = stmt_exit_block(ast, &cfg, pos, f.body.1).unwrap_or(sb);
+        // A ring or resolution later in the store's own block — or in
+        // the continuation block its `?` split off — covers the whole
+        // straight-line continuation: blocks execute atomically.
+        if ev.rings.iter().chain(&ev.resolves).any(|&(r, _)| {
+            r > pos && (cfg.block_of(r) == Some(sb) || cfg.block_of(r) == Some(start))
+        }) {
+            continue;
+        }
+        if cfg.exit_reachable_avoiding(start, &avoid) {
+            let ring = ev
+                .rings
+                .iter()
+                .find(|&&(r, _)| r > pos)
+                .or_else(|| ev.rings.first())
+                .map(|&(_, l)| l)
+                .unwrap_or(line);
+            out.push((line, ring));
+        }
+    }
+    out
+}
+
+/// D22: an SQE store in a function that also rings a doorbell, where
+/// some path from the store to the exit passes neither a ring nor an
+/// explicit failure resolution. Functions that never ring are not this
+/// rule's business (the ring may live in the caller).
+fn scan_d22(ast: &Ast, event_model: bool, hit: &mut dyn FnMut(usize)) {
+    for f in &ast.functions {
+        for (line, _) in d22_missed(ast, f, event_model) {
+            hit(line);
+        }
+    }
+}
+
+/// First identifier token inside a range (e.g. the leading argument of
+/// a call) — the coarse resource key D23 pairs acquires and retires by
+/// when there is no `let` binding to match on.
+fn first_ident_in(ast: &Ast, range: (usize, usize)) -> Option<&str> {
+    ast.tokens[range.0..range.1.min(ast.tokens.len())]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// D23: an acquire whose resource the function *does* retire on some
+/// path, but where an **error exit** (a `?` edge or a `return`
+/// mentioning `Err`) is reachable from the acquire without passing any
+/// retire of that same resource — the `?`/early-return leak. Pairing
+/// is by the acquire's `let` binding appearing in the retire's
+/// arguments, or (bindingless acquires like
+/// `smartio.acquire(device, …)?;`) by equal receiver and leading
+/// argument. Acquires with no paired retire at all are skipped
+/// (ownership moved into an RAII guard, a struct, or the caller), and
+/// success-path exits never count: returning the live resource is the
+/// point of the function.
+fn scan_d23(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let calls = ast.calls_in(f.body);
-        let mut doorbell_at: Option<usize> = None;
-        // Token index of every SQE store, found first so field assigns
-        // and calls merge into one ordered pass.
-        let mut events: Vec<(usize, bool, usize)> = Vec::new(); // (tok, is_store, line)
-        for call in &calls {
-            let is_write = D08_WRITES.iter().any(|w| call.name == *w);
-            if call.name == "ring"
-                || call.name == "ring_doorbell"
-                || (is_write && ast.any_ident_in(call.args, |id| id.contains("doorbell")))
-            {
-                events.push((call.args.0, false, call.line));
-            } else if (is_write && ast.any_ident_in(call.args, |id| id.contains("sqe")))
-                || (call.name == "push"
-                    && call.receiver.as_deref().is_some_and(|r| r.contains("sq")))
-            {
-                events.push((call.args.0, true, call.line));
-            }
+        let acquires: Vec<&ast::Call> = calls
+            .iter()
+            .filter(|c| D23_ACQUIRE.iter().any(|a| c.name == *a))
+            .collect();
+        if acquires.is_empty() {
+            continue;
         }
-        for fa in ast.field_assigns_in(f.body) {
-            if fa.path.iter().any(|seg| seg.contains("sqe")) {
-                events.push((fa.at, true, fa.line));
-            }
+        let retires: Vec<&ast::Call> = calls
+            .iter()
+            .filter(|c| D2X_RETIRE.iter().any(|r| c.name == *r))
+            .collect();
+        if retires.is_empty() {
+            continue;
         }
-        events.sort_by_key(|e| e.0);
-        for (tok, is_store, line) in events {
-            if is_store {
-                if doorbell_at.is_some_and(|d| d < tok) {
-                    hit(line);
+        let cfg = Cfg::build(ast, f);
+        // Error exits: every `?` (its block has an edge to exit at that
+        // position) and every `return` whose statement mentions `Err`.
+        let mut err_exits: Vec<usize> = Vec::new();
+        for i in f.body.0..f.body.1.min(ast.tokens.len()) {
+            let t = &ast.tokens[i];
+            if t.punct('?') {
+                err_exits.push(i);
+            } else if t.kind == TokKind::Ident && t.is("return") {
+                let e = dataflow::stmt_end(ast, i + 1, f.body.1);
+                if ast.any_ident_in((i, e), |id| id == "Err") {
+                    err_exits.push(i);
                 }
-            } else {
-                doorbell_at = Some(tok);
+            }
+        }
+        for c in &acquires {
+            let Some(ab) = cfg.block_of(c.args.0) else {
+                continue;
+            };
+            if !cfg.reachable(ab) {
+                continue;
+            }
+            let binding = ast.binding_for(c.args.0).map(str::to_string);
+            let paired: Vec<&&ast::Call> = retires
+                .iter()
+                .filter(|r| match &binding {
+                    Some(b) => ast.any_ident_in(r.args, |id| id == b),
+                    None => {
+                        r.receiver == c.receiver
+                            && first_ident_in(ast, r.args) == first_ident_in(ast, c.args)
+                    }
+                })
+                .collect();
+            // Some paired retire must be reachable from the acquire:
+            // a resource this function never retires downstream is an
+            // ownership transfer, not a leak candidate.
+            if !paired.iter().any(|r| {
+                cfg.block_of(r.args.0)
+                    .is_some_and(|rb| cfg.site_reaches_site((ab, c.args.0), (rb, r.args.0), &[]))
+            }) {
+                continue;
+            }
+            // Path query from the end of the acquire's own statement
+            // (its own `?`-failure acquired nothing) to each error
+            // exit, with the paired retires as blockers.
+            let q = dataflow::stmt_end(ast, c.args.1 + 1, f.body.1).min(f.body.1 - 1);
+            let Some(from_pos) = (c.args.0..=q).rev().find(|&k| cfg.block_of(k).is_some()) else {
+                continue;
+            };
+            let from_block = cfg.block_of(from_pos).unwrap_or(ab);
+            let blockers: Vec<usize> = paired.iter().map(|r| r.args.0).collect();
+            let leaks = err_exits.iter().any(|&e| {
+                e > from_pos
+                    && cfg.block_of(e).is_some_and(|eb| {
+                        cfg.site_reaches_site((from_block, from_pos), (eb, e), &blockers)
+                    })
+            });
+            if leaks {
+                hit(c.line);
+            }
+        }
+    }
+}
+
+/// Whether the statement on `line` consumes the call's result —
+/// asserted, branched on, or bound. A checked ring/retire is observing
+/// the protocol's defensive return; the D24 bug shape is the bare
+/// statement that ignores it.
+fn consumed_at(ast: &Ast, line: usize) -> bool {
+    ast.lines.get(line - 1).is_some_and(|(code, _)| {
+        let lt = code.trim_start();
+        code.contains("assert")
+            || lt.starts_with("if ")
+            || lt.starts_with("while ")
+            || lt.starts_with("match ")
+            || lt.starts_with("let ")
+    })
+}
+
+/// The textual identity of a call — receiver, name, and argument
+/// tokens — used by D24 to tell a deliberate second retire (different
+/// tag) from a double-complete of the same one.
+fn call_text(ast: &Ast, c: &ast::Call) -> String {
+    let mut s = c.receiver.clone().unwrap_or_default();
+    s.push('.');
+    s.push_str(&c.name);
+    for t in &ast.tokens[c.args.0..c.args.1] {
+        s.push_str(&t.text);
+    }
+    s
+}
+
+/// D24: a doorbell ring reachable from a ring (itself via a back edge,
+/// or another site) with no intervening SQE store or `timeout` re-arm;
+/// or a retire call reachable from a textually-identical retire with no
+/// intervening acquire. Both are single-path repeats — the static
+/// shadow of the lifecycle oracle's double-complete checks.
+fn scan_d24(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    for f in &ast.functions {
+        let calls = ast.calls_in(f.body);
+        let ev = submit_events(ast, f, false);
+        if calls.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::build(ast, f);
+        // (a) ring repeated: blockers are events that justify a new ring —
+        // an SQE store (new tail entry), a CQE pop (new head position),
+        // or a timeout re-arm (deadline re-ring). Sites pair only within
+        // one receiver — ringing two different queues back to back is
+        // two protocols, not a repeat.
+        let mut ring_sites: Vec<(usize, usize, String)> = Vec::new();
+        for c in &calls {
+            let is_write = D08_WRITES.iter().any(|w| c.name == *w);
+            if c.name == "ring"
+                || c.name == "ring_doorbell"
+                || (is_write && ast.any_ident_in(c.args, |id| id.contains("doorbell")))
+            {
+                ring_sites.push((c.args.0, c.line, c.receiver.clone().unwrap_or_default()));
+            }
+        }
+        let mut blockers: Vec<usize> = ev.stores.iter().map(|&(p, _)| p).collect();
+        blockers.extend(
+            calls
+                .iter()
+                .filter(|c| {
+                    matches!(
+                        c.name.as_str(),
+                        "timeout" | "try_pop" | "pop" | "next" | "drain" | "recv"
+                    )
+                })
+                .map(|c| c.args.0),
+        );
+        for &(r1, _, ref k1) in &ring_sites {
+            for &(r2, line2, ref k2) in &ring_sites {
+                if k1 != k2 || consumed_at(ast, line2) {
+                    continue;
+                }
+                let (Some(b1), Some(b2)) = (cfg.block_of(r1), cfg.block_of(r2)) else {
+                    continue;
+                };
+                if !cfg.reachable(b1) {
+                    continue;
+                }
+                if cfg.site_reaches_site((b1, r1), (b2, r2), &blockers) {
+                    hit(line2);
+                }
+            }
+        }
+        // (b) identical retire repeated: blockers are acquires.
+        let retires: Vec<&ast::Call> = calls
+            .iter()
+            .filter(|c| D2X_RETIRE.iter().any(|r| c.name == *r))
+            .collect();
+        let acquires: Vec<usize> = calls
+            .iter()
+            .filter(|c| D23_ACQUIRE.iter().any(|a| c.name == *a))
+            .map(|c| c.args.0)
+            .collect();
+        for a in &retires {
+            for b in &retires {
+                if a.args.0 == b.args.0 || call_text(ast, a) != call_text(ast, b) {
+                    continue;
+                }
+                if consumed_at(ast, b.line) {
+                    continue;
+                }
+                let (Some(ba), Some(bb)) = (cfg.block_of(a.args.0), cfg.block_of(b.args.0)) else {
+                    continue;
+                };
+                if !cfg.reachable(ba) {
+                    continue;
+                }
+                if cfg.site_reaches_site((ba, a.args.0), (bb, b.args.0), &acquires) {
+                    hit(b.line);
+                }
+            }
+        }
+    }
+}
+
+/// D25: the function has a `simcore::timeout` deadline arm, but a
+/// blocking fabric/admin await is reachable from the entry on a path
+/// that never passes it — D11's guard holds on the measured path only.
+fn scan_d25(ast: &Ast, hit: &mut dyn FnMut(usize)) {
+    for f in &ast.functions {
+        let calls = ast.calls_in(f.body);
+        let timeouts: Vec<&ast::Call> = calls.iter().filter(|c| c.name == "timeout").collect();
+        if timeouts.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::build(ast, f);
+        let mut avoid = vec![false; cfg.blocks.len()];
+        for t in &timeouts {
+            if let Some(b) = cfg.block_of(t.args.0) {
+                avoid[b] = true;
+            }
+        }
+        for c in &calls {
+            if !D11_BLOCKING.iter().any(|b| c.name == *b) {
+                continue;
+            }
+            // Only awaited calls block; a closure value or fn pointer
+            // does not.
+            let awaited = ast.tokens.get(c.args.1 + 1).is_some_and(|t| t.punct('.'))
+                && ast.tokens.get(c.args.1 + 2).is_some_and(|t| t.is("await"));
+            if !awaited {
+                continue;
+            }
+            // Lexically inside a timeout's argument list: guarded.
+            if timeouts
+                .iter()
+                .any(|t| c.args.0 > t.args.0 && c.args.1 <= t.args.1)
+            {
+                continue;
+            }
+            let Some(cb) = cfg.block_of(c.args.0) else {
+                continue;
+            };
+            if !cfg.reachable(cb) {
+                continue;
+            }
+            // A timeout earlier in the await's own block guards every
+            // path that reaches it (blocks execute atomically); one
+            // later in the block does not, so the block itself must not
+            // be treated as avoided for the entry query.
+            if timeouts
+                .iter()
+                .any(|t| cfg.block_of(t.args.0) == Some(cb) && t.args.0 < c.args.0)
+            {
+                continue;
+            }
+            let mut path_avoid = avoid.clone();
+            path_avoid[cb] = false;
+            if cfg.entry_reaches_avoiding(cb, &path_avoid) {
+                hit(c.line);
             }
         }
     }
@@ -1285,7 +2058,7 @@ fn scan_d10(ast: &Ast, hit: &mut dyn FnMut(usize)) {
 fn scan_d12(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
-        let vals = dataflow::eval_fn(ast, &du, &[]);
+        let vals = dataflow::eval_fn(ast, f, &du, &[]);
         for call in ast.calls_in(f.body) {
             if !D12_SINKS.contains(&call.name.as_str()) {
                 continue;
@@ -1328,7 +2101,7 @@ fn scan_d12(ast: &Ast, hit: &mut dyn FnMut(usize)) {
 fn scan_d13(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
-        let vals = dataflow::eval_fn(ast, &du, &[]);
+        let vals = dataflow::eval_fn(ast, f, &du, &[]);
         let calls = ast.calls_in(f.body);
         let translations: Vec<usize> = calls
             .iter()
@@ -1373,7 +2146,7 @@ fn scan_d13(ast: &Ast, hit: &mut dyn FnMut(usize)) {
 fn scan_d14(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
-        let vals = dataflow::eval_fn(ast, &du, &[]);
+        let vals = dataflow::eval_fn(ast, f, &du, &[]);
         let calls = ast.calls_in(f.body);
         for (di, d) in du.defs.iter().enumerate() {
             if !vals[di].status || d.name.starts_with('_') {
@@ -1398,7 +2171,7 @@ fn scan_d15(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     let consts = dataflow::const_env(ast);
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
-        let vals = dataflow::eval_fn(ast, &du, &consts);
+        let vals = dataflow::eval_fn(ast, f, &du, &consts);
         for call in ast.calls_in(f.body) {
             if call.name != "slice" {
                 continue;
@@ -1439,7 +2212,7 @@ fn scan_d15(ast: &Ast, hit: &mut dyn FnMut(usize)) {
 fn scan_d16(ast: &Ast, hit: &mut dyn FnMut(usize)) {
     for f in &ast.functions {
         let du = dataflow::def_use(ast, f.body);
-        let vals = dataflow::eval_fn(ast, &du, &[]);
+        let vals = dataflow::eval_fn(ast, f, &du, &[]);
         for (di, d) in du.defs.iter().enumerate() {
             if !vals[di].guard {
                 continue;
@@ -1594,6 +2367,164 @@ pub fn scan_workspace_stats(root: &Path) -> io::Result<(Vec<Finding>, ScanStats)
     }
     let cache = summary_cache_path(root);
     Ok(scan_files_with_engine(&inputs, Some(&cache)))
+}
+
+// ---------------------------------------------------------------------
+// Static→dynamic hypothesis bridge
+// ---------------------------------------------------------------------
+
+/// One ordering hypothesis behind a D08/D19/D20/D22-class finding: a
+/// pair of sites whose relative order the finding claims can go wrong.
+/// `dnvme-lint --emit-hypotheses` exports these; `dnvme-explore
+/// --hints` perturbs exactly these pairs and reports each hypothesis
+/// confirmed (with a replay token) or refuted — a refuted hypothesis is
+/// a machine-checked FP annotation instead of a hand-written allowlist
+/// entry.
+#[derive(Clone, Debug)]
+pub struct Hypothesis {
+    pub id: String,
+    pub rule: String,
+    /// Choice-point domain the explorer should perturb: "doorbell"
+    /// (D08/D22), "lock" (D19), "channel" (D20).
+    pub class: String,
+    /// `(workspace-relative path, 1-based line)`.
+    pub site_a: (String, usize),
+    pub site_b: (String, usize),
+    /// The `fn` item holding `site_a` — the key `dnvme-explore --hints`
+    /// uses to pick a runnable program for the hypothesis.
+    pub site_fn: String,
+    /// The finding is suppressed in source (`lint:allow` or an
+    /// `analyzer.toml` entry). A suppression on an ordering rule is a
+    /// claim, and claims get checked — suppressed hypotheses are
+    /// exported too, so the explorer can confirm or refute them.
+    pub suppressed: bool,
+}
+
+/// Collect the ordering hypotheses for the whole workspace: D08/D22
+/// site pairs re-derived per file (so suppressed findings surface with
+/// `suppressed: true`), plus the surviving D19/D20 engine findings with
+/// their first related hop as the partner site.
+pub fn collect_hypotheses(root: &Path) -> io::Result<Vec<Hypothesis>> {
+    let config = Config::load(root);
+    let mut hyps: Vec<Hypothesis> = Vec::new();
+    for f in scan_workspace(root)? {
+        let class = match f.rule {
+            Rule::D19 => "lock",
+            Rule::D20 => "channel",
+            _ => continue,
+        };
+        let (bp, bl) = f
+            .related
+            .first()
+            .map(|r| (r.path.clone(), r.line))
+            .unwrap_or((f.path.clone(), f.line));
+        let site_fn = fs::read_to_string(root.join(&f.path))
+            .ok()
+            .and_then(|text| enclosing_fn_name(&Ast::parse(&text), f.line))
+            .unwrap_or_default();
+        hyps.push(Hypothesis {
+            id: String::new(),
+            rule: f.rule.code().to_string(),
+            class: class.to_string(),
+            site_a: (f.path, f.line),
+            site_b: (bp, bl),
+            site_fn,
+            suppressed: false,
+        });
+    }
+    let mut files = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_sources(&dir, &mut files)?;
+        }
+    }
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let rules = rules_for(&rel);
+        let want_d08 = rules.contains(&Rule::D08);
+        let want_d22 = rules.contains(&Rule::D22);
+        if !want_d08 && !want_d22 {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let ast = Ast::parse(&text);
+        let allowed = |line: usize, rule: Rule| -> bool {
+            config.allows(rule, &rel)
+                || [line, line.saturating_sub(1)].iter().any(|&l| {
+                    l >= 1
+                        && ast.lines.get(l - 1).is_some_and(|(_, c)| {
+                            c.contains(&format!("lint:allow({}", rule.code()))
+                        })
+                })
+        };
+        let event_model = D22_EXTRA_SCOPE.iter().any(|p| rel.starts_with(p));
+        if want_d08 {
+            for (fn_name, ring_line, store_line) in d08_pairs(&ast, event_model) {
+                hyps.push(Hypothesis {
+                    id: String::new(),
+                    rule: "D08".to_string(),
+                    class: "doorbell".to_string(),
+                    site_a: (rel.clone(), ring_line),
+                    site_b: (rel.clone(), store_line),
+                    site_fn: fn_name,
+                    suppressed: allowed(store_line, Rule::D08),
+                });
+            }
+        }
+        if want_d22 {
+            for f in &ast.functions {
+                for (store_line, ring_line) in d22_missed(&ast, f, event_model) {
+                    hyps.push(Hypothesis {
+                        id: String::new(),
+                        rule: "D22".to_string(),
+                        class: "doorbell".to_string(),
+                        site_a: (rel.clone(), store_line),
+                        site_b: (rel.clone(), ring_line),
+                        site_fn: f.name.clone(),
+                        suppressed: allowed(store_line, Rule::D22),
+                    });
+                }
+            }
+        }
+    }
+    for (i, h) in hyps.iter_mut().enumerate() {
+        h.id = format!("H{}", i + 1);
+    }
+    Ok(hyps)
+}
+
+/// Serialize hypotheses as the `--emit-hypotheses` JSON artifact.
+pub fn hypotheses_json(hyps: &[Hypothesis]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"hypotheses\": [");
+    for (i, h) in hyps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"rule\": \"{}\", \"class\": \"{}\", \"suppressed\": {}, \
+             \"site_fn\": \"{}\", \
+             \"site_a\": {{\"path\": \"{}\", \"line\": {}}}, \
+             \"site_b\": {{\"path\": \"{}\", \"line\": {}}}}}",
+            json_escape(&h.id),
+            json_escape(&h.rule),
+            json_escape(&h.class),
+            h.suppressed,
+            json_escape(&h.site_fn),
+            json_escape(&h.site_a.0),
+            h.site_a.1,
+            json_escape(&h.site_b.0),
+            h.site_b.1,
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
 }
 
 // ---------------------------------------------------------------------
@@ -1853,6 +2784,18 @@ mod tests {
         assert!(rules_for("crates/core/src/client.rs").contains(&Rule::D21));
         assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D21));
         assert!(!rules_for("crates/smartio/src/service.rs").contains(&Rule::D21));
+        // D22–D24 ride the dataflow scope, and D22 additionally covers
+        // the explore fixture corpus (event-model vocabulary); D25
+        // refines D11, so it binds the I/O/serve paths only.
+        assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D22));
+        assert!(rules_for("crates/core/src/manager.rs").contains(&Rule::D23));
+        assert!(rules_for("crates/nvme/src/queue.rs").contains(&Rule::D24));
+        assert!(rules_for("crates/explore/src/fixtures.rs").contains(&Rule::D22));
+        assert!(!rules_for("crates/nvme/tests/engine.rs").contains(&Rule::D22));
+        assert!(!rules_for("tests/sanitize.rs").contains(&Rule::D23));
+        assert!(rules_for("crates/core/src/manager.rs").contains(&Rule::D25));
+        assert!(rules_for("crates/nvme/src/engine.rs").contains(&Rule::D25));
+        assert!(!rules_for("crates/nvme/src/ctrl.rs").contains(&Rule::D25));
     }
 
     #[test]

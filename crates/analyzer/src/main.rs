@@ -12,6 +12,11 @@
 //! `--bench` re-runs the scan under a wall-clock timer and rewrites
 //! `BENCH_lint.json` at the workspace root; CI diffs the committed copy
 //! (ignoring `wall_ms`) so rule-count and finding-count drift is loud.
+//! `--explain <rule>` prints one rule's long-form documentation (what it
+//! flags, why, a worked example, suppression guidance) and exits.
+//! `--emit-hypotheses <file>` additionally writes the ordering
+//! hypotheses behind D08/D19/D20/D22-class findings (suppressed ones
+//! included) as a JSON artifact for `dnvme-explore --hints`.
 
 use std::process::ExitCode;
 
@@ -25,6 +30,8 @@ struct Options {
     format: Format,
     strict_allow: bool,
     bench: bool,
+    explain: Option<String>,
+    emit_hypotheses: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +39,8 @@ fn parse_args() -> Result<Options, String> {
         format: Format::Text,
         strict_allow: false,
         bench: false,
+        explain: None,
+        emit_hypotheses: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,9 +53,18 @@ fn parse_args() -> Result<Options, String> {
             },
             "--strict-allow" => opts.strict_allow = true,
             "--bench" => opts.bench = true,
+            "--explain" => match args.next() {
+                Some(rule) => opts.explain = Some(rule),
+                None => return Err("--explain expects a rule code (e.g. D22)".to_string()),
+            },
+            "--emit-hypotheses" => match args.next() {
+                Some(path) => opts.emit_hypotheses = Some(path),
+                None => return Err("--emit-hypotheses expects an output path".to_string()),
+            },
             "--help" | "-h" => {
                 return Err(
-                    "usage: dnvme-lint [--format text|github|sarif] [--strict-allow] [--bench]"
+                    "usage: dnvme-lint [--format text|github|sarif] [--strict-allow] [--bench] \
+                     [--explain <rule>] [--emit-hypotheses <file>]"
                         .to_string(),
                 );
             }
@@ -102,7 +120,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(code) = &opts.explain {
+        let code = code.to_ascii_uppercase();
+        return match analyzer::ALL_RULES.iter().find(|r| r.code() == code) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "dnvme-lint: unknown rule {code:?} (rules are D01..D{:02})",
+                    analyzer::ALL_RULES.len()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     let root = analyzer::workspace_root();
+    if let Some(out) = &opts.emit_hypotheses {
+        match analyzer::collect_hypotheses(&root) {
+            Ok(hyps) => {
+                let json = analyzer::hypotheses_json(&hyps);
+                if let Err(e) = std::fs::write(out, json) {
+                    eprintln!("dnvme-lint: failed to write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("dnvme-lint: {} hypothesis(es) → {out}", hyps.len());
+            }
+            Err(e) => {
+                eprintln!("dnvme-lint: failed to collect hypotheses: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let (findings, unused) = if opts.strict_allow {
         match analyzer::scan_workspace_strict(&root) {
             Ok(r) => (r.findings, r.unused),

@@ -106,6 +106,55 @@ proptest! {
     }
 }
 
+/// Emit a branch-free body from op codes, exercising the abstract
+/// value forms the lattice tracks: literals, copies, arithmetic,
+/// raw-address minting, retyping wrappers, and the clamp folds
+/// (`min`/`max`/`saturating_sub`/`.len()`). No `if`/`match`/`?`/loops,
+/// so the CFG is a straight line of blocks and the CFG-grounded engine
+/// must agree with the legacy linear walk def for def.
+fn straightline_src(ops: &[(u8, u8)], names: &[&str; 4]) -> String {
+    let mut src = String::from("fn f(&self, buf: &[u8]) {\n");
+    let mut bound: [bool; 4] = [false; 4];
+    for &(op, tgt) in ops {
+        let t = (tgt % 4) as usize;
+        let prev = names[(t + 1) % 4];
+        let have_prev = bound[(t + 1) % 4];
+        let rhs = match op % 10 {
+            0 => format!("{}", (op % 7) as u32 * 64),
+            1 if have_prev => prev.to_string(),
+            2 if have_prev => format!("{prev} + 8"),
+            3 => "self.base.as_u64()".to_string(),
+            4 if have_prev => format!("self.iommu.map_for_device({prev})"),
+            5 if have_prev => format!("{prev}.min(128)"),
+            6 if have_prev => format!("{prev}.max(16)"),
+            7 if have_prev => format!("{prev}.saturating_sub(4)"),
+            8 => "buf.len()".to_string(),
+            _ => "4096".to_string(),
+        };
+        src.push_str(&format!("    let {} = {};\n", names[t], rhs));
+        bound[t] = true;
+    }
+    let live: Vec<&str> = (0..4).filter(|&i| bound[i]).map(|i| names[i]).collect();
+    src.push_str(&format!("    use_it({});\n}}\n", live.join(", ")));
+    src
+}
+
+proptest! {
+    /// On branch-free bodies the CFG has exactly one path, so the
+    /// block-structured forward dataflow and the legacy linear engine
+    /// must produce identical abstract values for every def — the
+    /// re-grounding changed the transport, not the transfer functions.
+    #[test]
+    fn cfg_dataflow_matches_linear_engine_on_branch_free_bodies(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>()), 1..20),
+    ) {
+        let src = straightline_src(&ops, &NAMES);
+        let cfg = analyzer::dataflow::eval_digest(&src);
+        let lin = analyzer::dataflow::eval_digest_linear(&src);
+        prop_assert_eq!(cfg, lin, "engines disagree on:\n{}", src);
+    }
+}
+
 /// Synthesize a call chain `kick → h{len-1} → … → h0`, where `h0` hands
 /// its value to the `dma_write` sink. `minted` controls whether `kick`
 /// passes a raw `as_u64()` product; `wrap` (1-based layer, `len` = the

@@ -1236,3 +1236,296 @@ fn interproc_chains_render_in_github_and_sarif_output() {
     assert!(sarif.contains("relatedLocations"), "{sarif}");
     assert!(sarif.contains("as_u64"), "{sarif}");
 }
+
+// ------------------------------------------------------------------ D22
+
+#[test]
+fn d22_flags_store_with_ringless_exit_path() {
+    // The pause check exits after the push without ringing or failing
+    // the command — it sits in the SQ invisible to the device.
+    let src = "async fn submit(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   if self.paused.get() {\n\
+                       return Ok(());\n\
+                   }\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    let f = scan(src, &[Rule::D22]);
+    assert_eq!(codes(&f), ["D22"]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn d22_ignores_covered_and_resolved_paths() {
+    // Straight-line store-then-ring: the only path rings.
+    let src = "async fn submit(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D22]).is_empty());
+    // The early-exit path explicitly fails the command — resolved, not
+    // lost. The store's own `?` is not a missed-doorbell path either:
+    // a failed push stored nothing.
+    let src = "async fn submit(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   if self.paused.get() {\n\
+                       self.fail(sqe.cid, Status::aborted());\n\
+                       return Ok(());\n\
+                   }\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D22]).is_empty());
+    // A function that never rings is not this rule's business — the
+    // doorbell may live in the caller's flush.
+    let src = "async fn enqueue(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D22]).is_empty());
+}
+
+#[test]
+fn d22_suppression() {
+    let src = "async fn seeded(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   // lint:allow(D22) — seeded violation for the oracle test\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   if self.paused.get() {\n\
+                       return Ok(());\n\
+                   }\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D22]).is_empty());
+}
+
+// ------------------------------------------------------------------ D23
+
+#[test]
+fn d23_flags_acquire_leaked_by_error_exit() {
+    // `segment_region`'s `?` fires between the create and the destroy:
+    // the segment leaks on that path.
+    let src = "fn probe(&self, smartio: &SmartIo, host: HostId) -> Result<MemRegion> {\n\
+                   let seg = smartio.create_segment(host, 4096)?;\n\
+                   let region = smartio.segment_region(seg)?;\n\
+                   smartio.destroy_segment(seg)?;\n\
+                   Ok(region)\n\
+               }\n";
+    let f = scan(src, &[Rule::D23]);
+    assert_eq!(codes(&f), ["D23"]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn d23_ignores_cleanup_on_every_error_path() {
+    // The fallible middle is matched, not `?`-propagated, and the error
+    // arm destroys before returning: every error exit retires.
+    let src = "fn probe(&self, smartio: &SmartIo, host: HostId) -> Result<MemRegion> {\n\
+                   let seg = smartio.create_segment(host, 4096)?;\n\
+                   let region = match smartio.segment_region(seg) {\n\
+                       Ok(r) => r,\n\
+                       Err(e) => {\n\
+                           let _ = smartio.destroy_segment(seg);\n\
+                           return Err(e);\n\
+                       }\n\
+                   };\n\
+                   smartio.destroy_segment(seg)?;\n\
+                   Ok(region)\n\
+               }\n";
+    assert!(scan(src, &[Rule::D23]).is_empty());
+}
+
+#[test]
+fn d23_ignores_ownership_transfer() {
+    // No retire of `seg` anywhere in the function: the segment is the
+    // return value and the caller owns its teardown. The `?` between
+    // is not a leak this function can be blamed for… it is, but the
+    // rule stays within its precision budget and leaves no-retire
+    // functions to the reviewer.
+    let src = "fn open(&self, smartio: &SmartIo, host: HostId) -> Result<SegmentId> {\n\
+                   let seg = smartio.create_segment(host, 4096)?;\n\
+                   self.register(seg)?;\n\
+                   Ok(seg)\n\
+               }\n";
+    assert!(scan(src, &[Rule::D23]).is_empty());
+}
+
+#[test]
+fn d23_suppression() {
+    let src = "fn probe(&self, smartio: &SmartIo, host: HostId) -> Result<MemRegion> {\n\
+                   // lint:allow(D23) — seeded leak for the reclaim test\n\
+                   let seg = smartio.create_segment(host, 4096)?;\n\
+                   let region = smartio.segment_region(seg)?;\n\
+                   smartio.destroy_segment(seg)?;\n\
+                   Ok(region)\n\
+               }\n";
+    assert!(scan(src, &[Rule::D23]).is_empty());
+}
+
+// ------------------------------------------------------------------ D24
+
+#[test]
+fn d24_flags_repeated_ring_and_double_retire() {
+    // Two bare rings of the same queue with nothing new stored between.
+    let src = "async fn kick(&self, qp: &Qp) -> Result<()> {\n\
+                   qp.sq.ring().await?;\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    let f = scan(src, &[Rule::D24]);
+    assert_eq!(codes(&f), ["D24"]);
+    assert_eq!(f[0].line, 3);
+    // Textually identical retire repeated: the classic double-free.
+    let src = "fn put(&self, pool: &Pool, tag: Tag) {\n\
+                   pool.release(tag);\n\
+                   pool.release(tag);\n\
+               }\n";
+    let f = scan(src, &[Rule::D24]);
+    assert_eq!(codes(&f), ["D24"]);
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn d24_ignores_justified_repeats() {
+    // A store between the rings justifies the second ring.
+    let src = "async fn pump(&self, qp: &Qp, sqe: SqEntry) -> Result<()> {\n\
+                   qp.sq.ring().await?;\n\
+                   qp.sq.push(&sqe).await?;\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D24]).is_empty());
+    // Re-ring in a sweep loop that pops CQEs in between: the head
+    // moved, so each ring is new information.
+    let src = "async fn sweep(&self, cq: &Cq) -> Result<()> {\n\
+                   loop {\n\
+                       while let Some(cqe) = cq.try_pop() {\n\
+                           self.deliver(cqe);\n\
+                       }\n\
+                       cq.ring_doorbell().await?;\n\
+                   }\n\
+               }\n";
+    assert!(scan(src, &[Rule::D24]).is_empty());
+    // A consumed second ring is observing the defensive return, and an
+    // acquire between retires makes the second retire a new tag.
+    let src = "async fn retry(&self, qp: &Qp) -> Result<()> {\n\
+                   qp.sq.ring().await?;\n\
+                   if qp.sq.ring().await.is_err() {\n\
+                       self.note_retry();\n\
+                   }\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D24]).is_empty());
+    let src = "fn cycle(&self, pool: &Pool, tag: Tag) {\n\
+                   pool.release(tag);\n\
+                   let tag = pool.acquire_tag();\n\
+                   pool.release(tag);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D24]).is_empty());
+}
+
+#[test]
+fn d24_suppression() {
+    let src = "async fn seeded(&self, qp: &Qp) -> Result<()> {\n\
+                   qp.sq.ring().await?;\n\
+                   // lint:allow(D24) — seeded double ring for the oracle test\n\
+                   qp.sq.ring().await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D24]).is_empty());
+}
+
+// ------------------------------------------------------------------ D25
+
+#[test]
+fn d25_flags_blocking_await_on_path_skipping_timeout() {
+    // The fast path reads the CQE under a deadline; the fallback path
+    // issues a bare admin abort that can hang the serve loop forever.
+    let src = "async fn serve_abort(&self, h: &Handle, admin: &mut AdminQueue) -> Result<()> {\n\
+                   if self.deadline_armed.get() {\n\
+                       timeout(h, self.cfg.admin_timeout, admin.abort(cid)).await?;\n\
+                   } else {\n\
+                       admin.abort(cid).await?;\n\
+                   }\n\
+                   Ok(())\n\
+               }\n";
+    let f = scan(src, &[Rule::D25]);
+    assert_eq!(codes(&f), ["D25"]);
+    assert_eq!(f[0].line, 5);
+}
+
+#[test]
+fn d25_ignores_guarded_awaits() {
+    // Every blocking await is inside the timeout's argument list.
+    let src = "async fn serve_abort(&self, h: &Handle, admin: &mut AdminQueue) -> Result<()> {\n\
+                   timeout(h, self.cfg.admin_timeout, admin.abort(cid)).await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D25]).is_empty());
+    // A timeout re-armed earlier on the same straight-line path guards
+    // the await that follows it.
+    let src = "async fn serve(&self, h: &Handle, admin: &mut AdminQueue) -> Result<()> {\n\
+                   let lease = timeout(h, self.cfg.admin_timeout, self.heartbeat()).await?;\n\
+                   admin.create_io_qpair(qid, depth).await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D25]).is_empty());
+    // Functions with no deadline arm at all are D11's business, not
+    // D25's refinement.
+    let src = "async fn bring_up(&self, admin: &mut AdminQueue) -> Result<()> {\n\
+                   admin.identify_controller(buf, bus).await?;\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D25]).is_empty());
+}
+
+#[test]
+fn d25_suppression() {
+    let src = "async fn serve_abort(&self, h: &Handle, admin: &mut AdminQueue) -> Result<()> {\n\
+                   if self.deadline_armed.get() {\n\
+                       timeout(h, self.cfg.admin_timeout, admin.abort(cid)).await?;\n\
+                   } else {\n\
+                       // lint:allow(D25) — seeded hang for the watchdog test\n\
+                       admin.abort(cid).await?;\n\
+                   }\n\
+                   Ok(())\n\
+               }\n";
+    assert!(scan(src, &[Rule::D25]).is_empty());
+}
+
+// ------------------------------------ D15 clamp-then-slice regression
+
+#[test]
+fn d15_clamp_then_slice_folds_through_min_and_len() {
+    // An insufficient clamp still overruns: off ≤ 4094 but 4094 + 8 >
+    // 4096. The interval lattice must fold `.min()` rather than drop
+    // the clamped value to Top (which would silently pass this).
+    let src = "fn f(&self) {\n\
+                   let region = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   let want = 8192;\n\
+                   let off = want.min(4094);\n\
+                   let e = region.slice(off, 8);\n\
+               }\n";
+    let f = scan(src, &[Rule::D15]);
+    assert_eq!(codes(&f), ["D15"]);
+    assert_eq!(f[0].line, 5);
+    // The correct clamp — `min(region.len().saturating_sub(64))` —
+    // provably keeps off + 64 ≤ 4096 and must scan clean.
+    let src = "fn f(&self) {\n\
+                   let region = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   let want = 8192;\n\
+                   let off = want.min(region.len().saturating_sub(64));\n\
+                   let e = region.slice(off, 64);\n\
+               }\n";
+    assert!(scan(src, &[Rule::D15]).is_empty());
+    // `.max()` folds too: a floor above the region end is caught.
+    let src = "fn f(&self) {\n\
+                   let region = MemRegion::new(self.host, PhysAddr(0), 4096);\n\
+                   let want = 16;\n\
+                   let off = want.min(8).max(4095);\n\
+                   let e = region.slice(off, 8);\n\
+               }\n";
+    assert_eq!(codes(&scan(src, &[Rule::D15])), ["D15"]);
+}

@@ -17,6 +17,7 @@ use std::rc::Rc;
 use nvme::driver::admin::{AdminError, AdminQueue, AdminQueueLayout, AdminResult};
 use nvme::spec::command::SQE_SIZE;
 use nvme::spec::completion::CQE_SIZE;
+use nvme::IdentifyNamespace;
 use pcie::{HostId, MemRegion};
 use simcore::{SimDuration, SimTime};
 use smartio::{AccessHints, BorrowMode, CpuMapping, SegmentId, SmartDeviceId, SmartIo};
@@ -187,9 +188,32 @@ impl Manager {
         host: HostId,
         cfg: ManagerConfig,
     ) -> crate::error::Result<Rc<Manager>> {
-        let fabric = smartio.fabric().clone();
-        // Exclusive lock for the privileged bring-up phase.
+        // Exclusive lock for the privileged bring-up phase. Bring-up is
+        // a long ladder of fallible steps; an early failure must not
+        // leave the device wedged in Exclusive for every other host, so
+        // the borrow is dropped on any error. On success the manager
+        // keeps a Shared borrow (bring_up downgrades internally).
         smartio.acquire(device, host, BorrowMode::Exclusive)?;
+        match Self::bring_up(smartio, device, host, cfg).await {
+            Ok(mgr) => Ok(mgr),
+            Err(e) => {
+                // Best-effort: if bring-up failed after its downgrade,
+                // this drops the Shared borrow instead.
+                let _ = smartio.release(device, host);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible body of [`Manager::start`], run while the caller
+    /// holds the device borrow (and releases it if this returns `Err`).
+    async fn bring_up(
+        smartio: &SmartIo,
+        device: SmartDeviceId,
+        host: HostId,
+        cfg: ManagerConfig,
+    ) -> crate::error::Result<Rc<Manager>> {
+        let fabric = smartio.fabric().clone();
 
         // Map the controller's registers (BAR window if remote).
         let bar_seg = smartio.bar_segment(device, 0)?;
@@ -227,13 +251,24 @@ impl Manager {
         };
         let mut admin = AdminQueue::init(&fabric, bar_map.region, admin_layout).await?;
 
-        // Identify + queue negotiation.
+        // Identify + queue negotiation. The scratch segment must be
+        // torn down on the failure paths too, not just after success.
         let idbuf_seg = smartio.create_segment(host, 4096)?;
-        let idbuf = smartio.segment_region(idbuf_seg)?;
-        let idbuf_bus = smartio.map_for_device(device, idbuf_seg)?.bus_base;
-        let _ctrl_info = admin.identify_controller(idbuf, idbuf_bus).await?;
-        let ns_info = admin.identify_namespace(1, idbuf, idbuf_bus).await?;
-        let granted = admin.set_num_queues(cfg.want_qpairs).await?;
+        let (ns_info, granted) = match Self::identify_and_negotiate(
+            smartio,
+            device,
+            &mut admin,
+            idbuf_seg,
+            cfg.want_qpairs,
+        )
+        .await
+        {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = smartio.destroy_segment(idbuf_seg);
+                return Err(e);
+            }
+        };
         smartio.destroy_segment(idbuf_seg)?;
 
         // Mailbox + metadata segments, manager-local.
@@ -284,6 +319,24 @@ impl Manager {
             fabric.handle().spawn(async move { m3.reap_loop().await });
         }
         Ok(mgr)
+    }
+
+    /// Identify the controller and namespace 1 through the scratch
+    /// segment, then negotiate the I/O queue count. The caller owns
+    /// `idbuf_seg` and destroys it on every path, success or failure.
+    async fn identify_and_negotiate(
+        smartio: &SmartIo,
+        device: SmartDeviceId,
+        admin: &mut AdminQueue,
+        idbuf_seg: SegmentId,
+        want_qpairs: u16,
+    ) -> crate::error::Result<(IdentifyNamespace, u16)> {
+        let idbuf = smartio.segment_region(idbuf_seg)?;
+        let idbuf_bus = smartio.map_for_device(device, idbuf_seg)?.bus_base;
+        let _ctrl_info = admin.identify_controller(idbuf, idbuf_bus).await?;
+        let ns_info = admin.identify_namespace(1, idbuf, idbuf_bus).await?;
+        let granted = admin.set_num_queues(want_qpairs).await?;
+        Ok((ns_info, granted))
     }
 
     /// Snapshot of the run counters.

@@ -32,6 +32,11 @@ pub const ALL: &[(&str, &str, FixtureFn)] = &[
         "nvme.lifecycle.doorbell-regression",
         doorbell_regression,
     ),
+    (
+        "missed-doorbell",
+        "nvme.lifecycle.fetch-before-doorbell",
+        missed_doorbell,
+    ),
 ];
 
 /// Look a fixture up by name.
@@ -203,6 +208,41 @@ fn doorbell_regression(prefix: &[u32]) -> RunOutcome {
         emit(Event::SqDoorbell {
             qid: Q,
             tail: 0,
+            entries: ENTRIES,
+        });
+    })
+}
+
+/// The submission path writes the SQE but a pause check returns before
+/// the tail doorbell moves — the statically-flagged missed-doorbell
+/// shape (D22). The device's fetch then acts on a slot the doorbell
+/// never exposed, which is how the lost command manifests dynamically.
+fn missed_doorbell(prefix: &[u32]) -> RunOutcome {
+    run_fixture(prefix, |fabric, h0, h1| async move {
+        let paused = true;
+        // Seeded missed doorbell: the hypothesis is exported anyway and
+        // the explorer confirms it dynamically.
+        // lint:allow(D22)
+        emit(Event::SqeWritten {
+            qid: Q,
+            cid: 5,
+            slot: 0,
+            entries: ENTRIES,
+        });
+        background_traffic(&fabric, h0, h1).await;
+        // The controller polls the ring and fetches the entry even
+        // though the doorbell never advertised it.
+        emit(Event::CmdFetched {
+            qid: Q,
+            cid: 5,
+            slot: 0,
+        });
+        if paused {
+            return;
+        }
+        emit(Event::SqDoorbell {
+            qid: Q,
+            tail: 1,
             entries: ENTRIES,
         });
     })
